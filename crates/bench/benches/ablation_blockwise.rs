@@ -1,0 +1,20 @@
+//! Ablation: blockwise (frozen main) vs joint (unfrozen) edge training —
+//! the memory argument of Fig. 6 plus the catastrophic-forgetting risk the
+//! paper's freezing avoids.
+
+use mea_bench::experiments::ablations;
+use mea_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (table, results) = ablations::ablation_blockwise(scale);
+    println!("== Ablation: blockwise vs joint edge training ==\n{table}");
+    let ours = &results[0];
+    let joint = &results[1];
+    assert!(ours.3 < joint.3, "blockwise must need less training memory");
+    // Joint training on hard classes only tends to erode easy-class
+    // accuracy (catastrophic forgetting); ours keeps it intact by
+    // construction.
+    println!("easy-class accuracy: ours {:.3} vs joint {:.3}", ours.2, joint.2);
+    assert!(ours.2 + 1e-9 >= joint.2 - 0.02, "freezing should protect easy classes");
+}

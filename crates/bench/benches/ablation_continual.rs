@@ -1,0 +1,20 @@
+//! Ablation: continual edge adaptation under a distribution shift, with
+//! and without the episodic replay the paper suggests (§III-A).
+
+use mea_bench::experiments::extensions;
+use mea_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (table, rows) = extensions::ablation_continual(scale);
+    println!("== Ablation: replay vs catastrophic forgetting ==\n{table}");
+    let naive = rows.iter().find(|r| r.replay_ratio == 0.0).expect("ratio 0 present");
+    let replayed = rows.iter().filter(|r| r.replay_ratio > 0.0).collect::<Vec<_>>();
+    assert!(!replayed.is_empty());
+    let best_replay = replayed.iter().map(|r| r.retained_accuracy).fold(0.0f64, f64::max);
+    assert!(
+        best_replay > naive.retained_accuracy,
+        "replay ({best_replay:.3}) must retain more hard-class accuracy than naive fine-tuning ({:.3})",
+        naive.retained_accuracy
+    );
+}

@@ -1,0 +1,22 @@
+//! Ablation: the paper's argmax easy/hard detection rule vs the optional
+//! trained binary detector it mentions in §III-B.
+
+use mea_bench::experiments::extensions;
+use mea_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (table, cmp) = extensions::ablation_detector(scale);
+    println!("== Ablation: easy/hard detection rules ==\n{table}");
+    // Both rules must beat coin flipping; the paper's claim is that the
+    // argmax rule is competitive *without* extra parameters — verify it is
+    // not catastrophically behind the trained head.
+    assert!(cmp.argmax_accuracy > 0.5, "argmax detection no better than chance");
+    assert!(cmp.binary_accuracy > 0.5, "binary detection no better than chance");
+    assert!(
+        cmp.argmax_accuracy >= cmp.binary_accuracy - 0.15,
+        "argmax rule fell far behind the trained detector: {:.3} vs {:.3}",
+        cmp.argmax_accuracy,
+        cmp.binary_accuracy
+    );
+}

@@ -1,0 +1,14 @@
+//! Ablation: sum vs concat feature merge at the extension-block input
+//! (the paper discusses both; sum is its default).
+
+use mea_bench::experiments::ablations;
+use mea_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (table, results) = ablations::ablation_merge(scale);
+    println!("== Ablation: feature merge mode ==\n{table}");
+    for (_, acc) in &results {
+        assert!(*acc > 0.2, "merge variant collapsed");
+    }
+}

@@ -1,0 +1,24 @@
+//! Ablation: Neurosurgeon-style partition-point sweep over the
+//! paper-scale ImageNet ResNet18 — the "sending features" collaboration
+//! mode the paper compares against (§III-C, Table I).
+
+use mea_bench::experiments::extensions;
+use mea_edgecloud::Objective;
+
+fn main() {
+    let (table, costs) = extensions::ablation_partition();
+    println!("== Ablation: DNN partition sweep (ResNet18, paper scale) ==\n{table}");
+    // The optimizer's pick must beat or match both trivial endpoints.
+    for obj in [Objective::Latency, Objective::EdgeEnergy] {
+        let score = |c: &mea_edgecloud::CutCost| match obj {
+            Objective::Latency => c.latency_s,
+            Objective::EdgeEnergy => c.edge_energy_j,
+        };
+        let best = costs.iter().cloned().min_by(|a, b| score(a).partial_cmp(&score(b)).unwrap()).unwrap();
+        assert!(score(&best) <= score(&costs[0]) + 1e-12, "{obj:?}: best worse than cloud-only");
+        assert!(score(&best) <= score(costs.last().unwrap()) + 1e-12, "{obj:?}: best worse than edge-only");
+    }
+    // q must sweep monotonically from 0 to 1.
+    assert_eq!(costs.first().unwrap().q, 0.0);
+    assert_eq!(costs.last().unwrap().q, 1.0);
+}

@@ -1,0 +1,12 @@
+//! Ablation: raw-image vs feature payloads on the uplink (the paper's
+//! §III-C discussion of the two collaboration modes).
+
+use mea_bench::experiments::ablations;
+
+fn main() {
+    let (table, rows) = ablations::ablation_payload();
+    println!("== Ablation: offload payload sizing ==\n{table}");
+    // CIFAR features bigger than raw; ImageNet raw bigger than features.
+    assert!(rows[1].1 > rows[0].1, "CIFAR f32 features should out-weigh raw pixels");
+    assert!(rows[2].1 > rows[3].1, "ImageNet raw should out-weigh late features");
+}

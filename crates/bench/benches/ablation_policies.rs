@@ -1,0 +1,30 @@
+//! Ablation: offload-policy comparison — the paper's entropy threshold
+//! against margin-based, budgeted, edge-only and cloud-only rules, all on
+//! the same trained system.
+
+use mea_bench::experiments::extensions;
+use mea_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (table, rows) = extensions::ablation_policies(scale);
+    println!("== Ablation: offload policies ==\n{table}");
+    let by_label = |needle: &str| {
+        rows.iter().find(|r| r.label.contains(needle)).unwrap_or_else(|| panic!("row {needle} missing"))
+    };
+    let never = by_label("never");
+    let always = by_label("always");
+    let entropy = by_label("entropy");
+    let budget = by_label("budget");
+    assert_eq!(never.cloud_fraction, 0.0);
+    assert_eq!(always.cloud_fraction, 1.0);
+    // Selective offloading must not fall below edge-only accuracy: the
+    // cloud handles exactly the low-confidence instances.
+    assert!(entropy.accuracy + 1e-9 >= never.accuracy - 0.02, "paper policy regressed vs edge-only");
+    // The budgeted rule hits its target within quantile granularity.
+    assert!(
+        (budget.cloud_fraction - 0.25).abs() < 0.10,
+        "budget missed its beta: sent {:.3}",
+        budget.cloud_fraction
+    );
+}

@@ -1,0 +1,23 @@
+//! Ablation: fp32 vs int8 post-training quantization of the edge backbone
+//! — the hybrid low-precision-edge deployment of the paper's companion
+//! work (reference [43]).
+
+use mea_bench::experiments::extensions;
+use mea_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (table, rows) = extensions::ablation_quant(scale);
+    println!("== Ablation: int8 quantized edge backbone ==\n{table}");
+    let float = &rows[0];
+    let int8 = &rows[1];
+    assert!(int8.model_bytes * 2 < float.model_bytes, "int8 download must be well under half the float size");
+    assert!(int8.agreement >= 0.80, "int8 predictions diverged from float: {:.3}", int8.agreement);
+    assert!(
+        int8.accuracy >= float.accuracy - 0.10,
+        "quantization cost more than 10 accuracy points: {:.3} vs {:.3}",
+        int8.accuracy,
+        float.accuracy
+    );
+    assert!(int8.energy_mj < float.energy_mj, "int8 MACs must be cheaper");
+}

@@ -1,0 +1,21 @@
+//! Ablation: WiFi vs LTE uplink energy. The paper's power model comes
+//! from an LTE measurement study (MobiSys'12) but its deployment assumes
+//! WiFi; on cellular, each uploaded byte costs several times more, which
+//! tightens the case for early exits.
+
+use mea_bench::experiments::extensions;
+
+fn main() {
+    let (table, rows) = extensions::ablation_radio();
+    println!("== Ablation: uplink radio (per raw image) ==\n{table}");
+    let wifi = rows.iter().find(|r| r.label.starts_with("WiFi")).expect("wifi row");
+    let lte = rows.iter().find(|r| r.label.starts_with("LTE")).expect("lte row");
+    // LTE's lower throughput and higher baseline make every upload more
+    // expensive despite the lower instantaneous power.
+    assert!(lte.cifar_mj > 2.0 * wifi.cifar_mj, "LTE should cost >2x per CIFAR image");
+    assert!(lte.imagenet_mj > 2.0 * wifi.imagenet_mj, "LTE should cost >2x per ImageNet image");
+    // The paper's WiFi numbers are reproduced exactly (Table VII: 7.12 mJ
+    // per CIFAR image, 349 mJ per ImageNet image).
+    assert!((wifi.cifar_mj - 7.12).abs() < 0.1, "CIFAR WiFi energy {}", wifi.cifar_mj);
+    assert!((wifi.imagenet_mj - 349.0).abs() < 3.0, "ImageNet WiFi energy {}", wifi.imagenet_mj);
+}

@@ -1,0 +1,26 @@
+//! Ablation: the paper's three multi-exit training methods (§III-A) —
+//! blockwise (ours), separate, and BranchyNet-style weighted joint — on
+//! identical starting weights.
+
+use mea_bench::experiments::extensions;
+use mea_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (table, rows) = extensions::ablation_training_methods(scale);
+    println!("== Ablation: multi-exit training methods ==\n{table}");
+    let blockwise = rows.iter().find(|r| r.label.contains("blockwise")).expect("blockwise row");
+    for other in rows.iter().filter(|r| !r.label.contains("blockwise")) {
+        assert!(
+            blockwise.memory_mib < other.memory_mib,
+            "blockwise must be the cheapest in training memory: {} vs {} ({})",
+            blockwise.memory_mib,
+            other.memory_mib,
+            other.label
+        );
+    }
+    // All methods must produce a functioning hard-class classifier.
+    for r in &rows {
+        assert!(r.hard_accuracy > 0.0, "{} produced a dead model", r.label);
+    }
+}

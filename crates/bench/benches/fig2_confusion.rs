@@ -1,0 +1,18 @@
+//! Fig. 2: confusion matrix of a ResNet on the CIFAR-10-like dataset —
+//! per-class precision is visibly non-uniform (class-wise complexity).
+
+use mea_bench::experiments::figures;
+use mea_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (rendered, confusion) = figures::fig2_confusion(scale);
+    println!("== Fig. 2: confusion matrix (CIFAR-10-like, repro scale) ==\n{rendered}");
+    // Shape check: per-class precision must be non-uniform (some classes
+    // notably harder), which is the figure's entire point.
+    let prec = confusion.per_class_precision();
+    let min = prec.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = prec.iter().cloned().fold(0.0, f64::max);
+    println!("precision spread: min {min:.2} max {max:.2}");
+    assert!(max - min > 0.08, "per-class precision unexpectedly uniform");
+}

@@ -1,0 +1,20 @@
+//! Fig. 3: class-wise complexity (FDR) × instance-wise complexity
+//! (prediction entropy) — the easy/hard/complex taxonomy.
+
+use mea_bench::experiments::figures;
+use mea_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (table, fdrs, stats) = figures::fig3_complexity(scale);
+    println!("== Fig. 3: complexity taxonomy ==\n{table}");
+    println!(
+        "instance-wise: mu_correct {:.3}, mu_wrong {:.3} (threshold range)",
+        stats.mean_correct, stats.mean_wrong
+    );
+    // Hard classes (selected by FDR) must have higher FDR on average than
+    // the rest, and wrong predictions higher entropy than correct ones.
+    assert!(stats.mean_wrong > stats.mean_correct, "entropy should separate correct/wrong");
+    let mean_fdr = fdrs.iter().sum::<f64>() / fdrs.len() as f64;
+    println!("mean FDR {mean_fdr:.3}");
+}

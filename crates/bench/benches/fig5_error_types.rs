@@ -1,0 +1,17 @@
+//! Fig. 5: the four error types with half the classes hard. The paper's
+//! claim: type IV (hard-as-hard) is the largest share — the error mass the
+//! extension block attacks.
+
+use mea_bench::experiments::figures;
+use mea_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (table, results) = figures::fig5_error_types(scale);
+    println!("== Fig. 5: error-type proportions (%) ==\n{table}");
+    for (label, b) in &results {
+        let (_, _, _, p4) = b.proportions();
+        println!("{label}: type IV share {:.1}%", 100.0 * p4);
+        assert!(p4 > 0.25, "{label}: hard-as-hard should dominate errors (got {p4:.2})");
+    }
+}

@@ -1,0 +1,28 @@
+//! Fig. 6: training memory, blockwise (ours) vs joint optimisation, at
+//! paper scale with batch 128. The paper reports ~60% savings for ResNets
+//! and ~30% for MobileNets.
+
+use mea_bench::experiments::figures;
+
+fn main() {
+    let (table, rows) = figures::fig6_memory();
+    println!("== Fig. 6: training memory at batch 128 (paper-scale models) ==\n{table}");
+    for r in &rows {
+        assert!(
+            r.ours_mib < r.joint_mib,
+            "{}: blockwise must use less memory ({} vs {})",
+            r.label,
+            r.ours_mib,
+            r.joint_mib
+        );
+    }
+    // ResNet savings should exceed MobileNet savings (paper: 60% vs 30%).
+    let saving = |r: &figures::MemoryRow| 1.0 - r.ours_mib / r.joint_mib;
+    let resnet_b = rows.iter().find(|r| r.label.contains("ResNet32 B")).expect("row");
+    let mobilenet = rows.iter().find(|r| r.label.contains("MobileNet")).expect("row");
+    println!(
+        "savings: ResNet32B {:.0}% vs MobileNetV2 {:.0}%",
+        100.0 * saving(resnet_b),
+        100.0 * saving(mobilenet)
+    );
+}

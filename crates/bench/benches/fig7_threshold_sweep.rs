@@ -1,0 +1,21 @@
+//! Fig. 7 (CIFAR-like side): accuracy and fraction sent to the cloud as a
+//! function of the entropy threshold. Lower threshold → more offload →
+//! higher accuracy, approaching cloud-only.
+
+use mea_bench::experiments::figures;
+use mea_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let result = figures::fig78_cifar(scale);
+    println!("== Fig. 7: threshold sweep ({}) ==", result.label);
+    println!("{}", figures::render_fig7(&result));
+    println!("== Fig. 8 energy for the same sweep ==\n{}", figures::render_fig8(&result));
+    // Monotone shape: cloud fraction decreases with the threshold.
+    for w in result.points.windows(2) {
+        assert!(w[1].cloud_fraction <= w[0].cloud_fraction + 1e-9, "cloud fraction must fall with threshold");
+    }
+    // Offloading should not hurt much and typically helps at low thresholds.
+    let best = result.points.iter().map(|p| p.accuracy).fold(0.0, f64::max);
+    assert!(best + 1e-9 >= result.edge_only_accuracy, "some threshold should match/beat edge-only");
+}

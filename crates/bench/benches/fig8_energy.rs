@@ -1,0 +1,25 @@
+//! Fig. 8 (ImageNet-like side): total edge energy (compute +
+//! communication) versus threshold; endpoints edge-only and cloud-only.
+//! For ImageNet-scale images, communication dominates, so distributed
+//! inference undercuts cloud-only energy substantially.
+
+use mea_bench::experiments::figures;
+use mea_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let result = figures::fig78_imagenet(scale);
+    println!("== Fig. 7 accuracy sweep ({}) ==", result.label);
+    println!("{}", figures::render_fig7(&result));
+    println!("== Fig. 8: edge energy ==\n{}", figures::render_fig8(&result));
+    // Shape: every partial-offload setting costs less communication energy
+    // than cloud-only.
+    for (thr, e) in &result.energy {
+        assert!(
+            e.communication_j <= result.energy_cloud_only.communication_j + 1e-9,
+            "thr {thr}: communication exceeds cloud-only"
+        );
+    }
+    // And edge-only has zero communication energy.
+    assert_eq!(result.energy_edge_only.communication_j, 0.0);
+}

@@ -1,0 +1,21 @@
+//! Fleet scaling: one trained MEANet's routing replicated across growing
+//! device fleets sharing two cloud servers — quantifies the cloud
+//! congestion the paper's introduction argues early exits relieve.
+
+use mea_bench::experiments::extensions;
+use mea_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (table, rows) = extensions::fleet_scaling(scale);
+    println!("== Fleet scaling (2 cloud servers) ==\n{table}");
+    // Cloud queueing must be monotone non-decreasing in fleet size.
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].cloud_wait_ms >= pair[0].cloud_wait_ms - 1e-9,
+            "cloud wait shrank when the fleet grew: {pair:?}"
+        );
+        assert!(pair[1].utilization >= pair[0].utilization - 1e-9, "utilization shrank with more devices");
+    }
+    assert!(rows.last().unwrap().p95_ms >= rows[0].p95_ms, "tail latency should grow with contention");
+}

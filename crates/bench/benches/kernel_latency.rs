@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks: per-image inference latency of the repro
+//! edge/cloud models and the core matmul/conv kernels — the measured side
+//! of Table VII.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mea_nn::layer::Mode;
+use mea_nn::models::{resnet_cifar, CifarResNetConfig};
+use mea_tensor::{matmul, Rng, Tensor};
+
+fn bench_edge_inference(c: &mut Criterion) {
+    let mut rng = Rng::new(0);
+    let mut net = resnet_cifar(&CifarResNetConfig::repro_scale(100), &mut rng);
+    let x = Tensor::randn([8, 3, 16, 16], 1.0, &mut rng);
+    c.bench_function("edge_resnet_forward_batch8", |b| {
+        b.iter(|| net.forward(&x, Mode::Eval))
+    });
+}
+
+fn bench_cloud_inference(c: &mut Criterion) {
+    let mut rng = Rng::new(1);
+    let mut cfg = CifarResNetConfig::repro_scale(100);
+    cfg.blocks_per_stage = 3;
+    cfg.channels = [12, 24, 48];
+    let mut net = resnet_cifar(&cfg, &mut rng);
+    let x = Tensor::randn([8, 3, 16, 16], 1.0, &mut rng);
+    c.bench_function("cloud_resnet_forward_batch8", |b| {
+        b.iter(|| net.forward(&x, Mode::Eval))
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::new(2);
+    let a = Tensor::randn([128, 128], 1.0, &mut rng);
+    let b2 = Tensor::randn([128, 128], 1.0, &mut rng);
+    c.bench_function("matmul_128", |b| {
+        b.iter_batched(|| (a.clone(), b2.clone()), |(a, b2)| matmul::matmul(&a, &b2), BatchSize::SmallInput)
+    });
+}
+
+fn bench_int8_inference(c: &mut Criterion) {
+    // Float vs int8 forward of the same trained-geometry edge model — the
+    // latency side of the hybrid-deployment story.
+    let mut rng = Rng::new(3);
+    let mut net = resnet_cifar(&CifarResNetConfig::repro_scale(100), &mut rng);
+    let calib = vec![Tensor::randn([8, 3, 16, 16], 1.0, &mut rng)];
+    let qnet = mea_quant::quantize_segmented(&mut net, &calib).expect("supported graph");
+    let x = Tensor::randn([8, 3, 16, 16], 1.0, &mut rng);
+    c.bench_function("edge_resnet_int8_forward_batch8", |b| {
+        b.iter(|| qnet.forward(&x))
+    });
+}
+
+fn bench_qgemm(c: &mut Criterion) {
+    let mut rng = Rng::new(4);
+    let a: Vec<i8> = (0..128 * 128).map(|_| rng.uniform_range(-128.0, 127.0) as i8).collect();
+    let b2: Vec<i8> = (0..128 * 128).map(|_| rng.uniform_range(-128.0, 127.0) as i8).collect();
+    c.bench_function("qgemm_i8_128", |b| {
+        b.iter(|| mea_quant::kernels::qgemm_i32(&a, &b2, 128, 128, 128))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_edge_inference, bench_cloud_inference, bench_matmul, bench_int8_inference, bench_qgemm
+}
+criterion_main!(benches);

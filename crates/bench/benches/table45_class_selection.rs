@@ -1,0 +1,23 @@
+//! Tables IV & V: the class-selection ablation. Paper shapes: (a)
+//! hard-by-precision selection detects better than random; (b) fewer
+//! selected classes → bigger MEANet improvement on the selected set.
+
+use mea_bench::experiments::tables;
+use mea_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (t4, t5, rows) = tables::table45_class_selection(scale);
+    println!("== Table IV: detection accuracy by selection ==\n{t4}");
+    println!("== Table V: accuracy of the selected classes (%) ==\n{t5}");
+    let hard_half = &rows[0];
+    let all = rows.last().expect("all-classes row");
+    // Improvement (MEANet − main, train) shrinks as the selection grows.
+    let gain_half = hard_half.train_meanet - hard_half.train_main;
+    let gain_all = all.train_meanet - all.train_main;
+    println!("train gain: half={gain_half:.3} all={gain_all:.3}");
+    assert!(
+        gain_half + 1e-9 >= gain_all,
+        "selecting fewer classes should give at least the improvement of selecting all"
+    );
+}

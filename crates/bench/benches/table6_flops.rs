@@ -1,0 +1,19 @@
+//! Table VI: MACs and parameters, fixed vs trained, at true paper scale.
+//! Anchors: ResNet32 ≈ 0.48M params total; MobileNetV2 fixed ≈ 3.5M;
+//! ResNet18 fixed ≈ 11.2M (+0.5M exit).
+
+use mea_bench::experiments::tables;
+
+fn main() {
+    let (table, rows) = tables::table6_flops();
+    println!("== Table VI: computations and parameters (millions) ==\n{table}");
+    let find = |s: &str| rows.iter().find(|r| r.label.contains(s)).expect("row");
+    let r32a = find("ResNet32 A");
+    assert!((0.05e6..0.25e6).contains(&(r32a.fixed_params as f64)), "ResNet32A fixed params");
+    let mob = find("MobileNetV2");
+    assert!((3.0e6..4.2e6).contains(&(mob.fixed_params as f64)), "MobileNetV2 fixed params");
+    assert!(mob.trained_params < mob.fixed_params, "MobileNetV2 B trains fewer params than frozen");
+    let r18 = find("ResNet18");
+    assert!((10.5e6..12.5e6).contains(&(r18.fixed_params as f64)), "ResNet18 fixed params");
+    assert!(r18.trained_params > 5_000_000, "ResNet18 B extension is parameter-heavy");
+}

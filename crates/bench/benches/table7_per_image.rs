@@ -1,0 +1,17 @@
+//! Table VII: per-image computation and communication power, time and
+//! energy at the edge (paper device constants + host-measured latency).
+
+use mea_bench::experiments::tables;
+
+fn main() {
+    let (table, rows) = tables::table7_per_image();
+    println!("== Table VII: per-image edge costs ==\n{table}");
+    let cifar = &rows[0].costs;
+    let inet = &rows[1].costs;
+    // Paper anchors.
+    assert!((cifar.ecp_j * 1e3 - 3.14).abs() < 0.05);
+    assert!((cifar.ecu_j * 1e3 - 7.12).abs() < 0.1);
+    assert!((inet.ecu_j * 1e3 - 349.0).abs() < 3.0);
+    // Communication dominates computation for ImageNet-sized images.
+    assert!(inet.ecu_j > 10.0 * inet.ecp_j);
+}

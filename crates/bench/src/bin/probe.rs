@@ -1,0 +1,59 @@
+//! Calibration probe: trains one model-A and one model-B system at smoke
+//! scale and prints the headline numbers (used while tuning presets; kept
+//! as a fast sanity-check entry point).
+
+use mea_bench::experiments::helpers;
+use mea_bench::Scale;
+use meanet::stats::ExitStats;
+use meanet::train::build_hard_dataset;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let t0 = Instant::now();
+    let mut sys = helpers::cifar_system_a(scale, 7, true);
+    println!("[probe] model A trained in {:.1?}s", t0.elapsed().as_secs_f32());
+
+    let dict = sys.pipeline.net.hard_dict().unwrap().clone();
+    let hard_test = build_hard_dataset(&sys.bundle.test, &dict);
+    // Re-label with original labels for main-accuracy comparison.
+    let hard_test_orig = sys.bundle.test.filter_classes(dict.hard_classes());
+
+    let main_acc = helpers::main_accuracy(&mut sys.pipeline.net, &sys.bundle.test, 32);
+    let main_hard = helpers::main_accuracy(&mut sys.pipeline.net, &hard_test_orig, 32);
+    let mea_hard = helpers::meanet_accuracy_on_hard(&mut sys.pipeline.net, &hard_test_orig, 32);
+    println!("[probe] test acc all classes (main exit): {}", helpers::pct(main_acc));
+    println!("[probe] hard-class test acc: main {} -> meanet {}", helpers::pct(main_hard), helpers::pct(mea_hard));
+    println!(
+        "[probe] entropy mu_c {:.3} mu_w {:.3}",
+        sys.pipeline.entropy.mean_correct, sys.pipeline.entropy.mean_wrong
+    );
+
+    let test_eval = helpers::evaluate_main(&mut sys.pipeline.net, &sys.bundle.test, 32);
+    let test_entropy = meanet::thresholds::entropy_stats(&test_eval);
+    println!(
+        "[probe] TEST entropy mu_c {:.3} mu_w {:.3} (n_wrong {})",
+        test_entropy.mean_correct, test_entropy.mean_wrong, test_entropy.n_wrong
+    );
+    let records = sys.pipeline.infer_edge_only(&sys.bundle.test, 32);
+    let stats = ExitStats::from_records(&records, &dict);
+    println!(
+        "[probe] edge-only: acc {} detection {} exits main/ext = {}/{}",
+        helpers::pct(stats.accuracy),
+        helpers::pct(stats.detection_accuracy),
+        stats.main_exits,
+        stats.extension_exits
+    );
+
+    for thr in [0.2f32, 0.5, 1.0, 1.5, 2.5] {
+        let records = sys.pipeline.infer_distributed(&sys.bundle.test, thr, 32);
+        let stats = ExitStats::from_records(&records, &dict);
+        println!(
+            "[probe] thr {thr}: acc {} cloud {}%",
+            helpers::pct(stats.accuracy),
+            helpers::pct(stats.cloud_fraction())
+        );
+    }
+    let _ = hard_test;
+    println!("[probe] total {:.1}s", t0.elapsed().as_secs_f32());
+}

@@ -1,0 +1,78 @@
+//! Regenerates every table and figure of the paper in one run and prints
+//! them in order. `MEA_SCALE=repro cargo run --release -p mea-bench --bin
+//! repro` is the documented reproduction entry point; the default smoke
+//! scale finishes in a few minutes on a small machine.
+
+use mea_bench::experiments::{ablations, extensions, figures, tables};
+use mea_bench::Scale;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let t0 = Instant::now();
+    println!("MEANet reproduction — scale {scale:?}\n");
+
+    let (rendered, _) = figures::fig2_confusion(scale);
+    println!("== Fig. 2: confusion matrix (CIFAR-10-like) ==\n{rendered}");
+
+    let (t3, _, stats) = figures::fig3_complexity(scale);
+    println!("== Fig. 3: class-wise FDR / hard set ==\n{t3}");
+    println!("instance-wise entropy: mu_correct {:.3}, mu_wrong {:.3}\n", stats.mean_correct, stats.mean_wrong);
+
+    let (t5, _) = figures::fig5_error_types(scale);
+    println!("== Fig. 5: error-type proportions (%) ==\n{t5}");
+
+    let (t6, _) = figures::fig6_memory();
+    println!("== Fig. 6: training memory at batch 128 (paper scale) ==\n{t6}");
+
+    let cifar_sweep = figures::fig78_cifar(scale);
+    println!("== Fig. 7 ({}) ==\n{}", cifar_sweep.label, figures::render_fig7(&cifar_sweep));
+    println!("== Fig. 8 ({}) ==\n{}", cifar_sweep.label, figures::render_fig8(&cifar_sweep));
+
+    let inet_sweep = figures::fig78_imagenet(scale);
+    println!("== Fig. 7 ({}) ==\n{}", inet_sweep.label, figures::render_fig7(&inet_sweep));
+    println!("== Fig. 8 ({}) ==\n{}", inet_sweep.label, figures::render_fig8(&inet_sweep));
+
+    let (t1, _) = tables::table1_cost_model();
+    println!("== Table I: cost model ==\n{t1}");
+
+    let (t2, _) = tables::table2_hard_classes(scale);
+    println!("== Table II: hard-class accuracy (%) ==\n{t2}");
+
+    let (t3b, _) = tables::table3_all_classes(scale);
+    println!("== Table III: all-class accuracy (%) ==\n{t3b}");
+
+    let (t4, t5b, _) = tables::table45_class_selection(scale);
+    println!("== Table IV: detection accuracy ==\n{t4}");
+    println!("== Table V: selected-class accuracy (%) ==\n{t5b}");
+
+    let (t6b, _) = tables::table6_flops();
+    println!("== Table VI: MACs / params (millions, paper scale) ==\n{t6b}");
+
+    let (t7, _) = tables::table7_per_image();
+    println!("== Table VII: per-image edge costs ==\n{t7}");
+
+    let (am, _) = ablations::ablation_merge(scale);
+    println!("== Ablation: merge mode ==\n{am}");
+    let (ab, _) = ablations::ablation_blockwise(scale);
+    println!("== Ablation: blockwise vs joint ==\n{ab}");
+    let (ap, _) = ablations::ablation_payload();
+    println!("== Ablation: payload sizing ==\n{ap}");
+
+    let (aq, _) = extensions::ablation_quant(scale);
+    println!("== Ablation: int8 quantized edge backbone ==\n{aq}");
+    let (apart, _) = extensions::ablation_partition();
+    println!("== Ablation: DNN partition sweep (paper-scale ResNet18) ==\n{apart}");
+    let (apol, _) = extensions::ablation_policies(scale);
+    println!("== Ablation: offload policies ==\n{apol}");
+    let (afleet, _) = extensions::fleet_scaling(scale);
+    println!("== Fleet scaling (shared regional cloud) ==\n{afleet}");
+    let (acont, _) = extensions::ablation_continual(scale);
+    println!("== Ablation: continual adaptation with replay ==\n{acont}");
+    let (adet, _) = extensions::ablation_detector(scale);
+    println!("== Ablation: easy/hard detection rules ==\n{adet}");
+    let (atm, _) = extensions::ablation_training_methods(scale);
+    println!("== Ablation: multi-exit training methods ==\n{atm}");
+
+    println!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,104 @@
+//! Beyond-paper ablations for the design choices DESIGN.md calls out:
+//! sum-vs-concat feature merge, blockwise-vs-joint optimisation, and
+//! raw-vs-feature offload payloads.
+
+use super::helpers::{self, pct};
+use crate::scale::Scale;
+use mea_data::synth::generate;
+use mea_edgecloud::network::NetworkLink;
+use mea_edgecloud::payload::{paper_feature_bytes, paper_raw_image_bytes};
+use mea_metrics::memory::{blockwise_bytes, joint_bytes, mib};
+use mea_metrics::Table;
+use meanet::model::Merge;
+use meanet::pipeline::{Pipeline, PipelineConfig};
+use meanet::train::{build_hard_dataset, train_edge_joint, TrainConfig};
+
+/// Sum vs Concat feature merge at the extension input (model B).
+pub fn ablation_merge(scale: Scale) -> (Table, Vec<(String, f64)>) {
+    let bundle = generate(&scale.cifar100_like(5001));
+    let classes = bundle.train.num_classes;
+    let mut results = Vec::new();
+    for (label, merge) in [("Sum", Merge::Sum), ("Concat", Merge::Concat)] {
+        let mut cfg = PipelineConfig::repro_resnet_b(classes, scale.epochs(), 5001);
+        cfg.merge = merge;
+        cfg.cloud = None;
+        cfg.val_fraction = 0.3;
+        let mut pipe = Pipeline::run(&cfg, &bundle.train);
+        let dict = pipe.net.hard_dict().expect("trained pipeline").clone();
+        let hard_test = bundle.test.filter_classes(dict.hard_classes());
+        let acc = helpers::meanet_accuracy_on_hard(&mut pipe.net, &hard_test, 32);
+        results.push((label.to_string(), acc));
+    }
+    let mut table = Table::new(&["merge", "hard-class test accuracy (%)"]);
+    for (label, acc) in &results {
+        table.row(&[label.clone(), pct(*acc)]);
+    }
+    (table, results)
+}
+
+/// Blockwise (frozen main) vs joint (unfrozen) edge training: hard-class
+/// accuracy, collateral damage to easy classes, and training memory.
+pub fn ablation_blockwise(scale: Scale) -> (Table, Vec<(String, f64, f64, f64)>) {
+    let bundle = generate(&scale.cifar100_like(5101));
+    let classes = bundle.train.num_classes;
+    let mut results = Vec::new();
+    for (label, joint) in [("blockwise (ours)", false), ("joint (unfrozen)", true)] {
+        let mut cfg = PipelineConfig::repro_resnet_b(classes, scale.epochs(), 5101);
+        cfg.cloud = None;
+        cfg.val_fraction = 0.3;
+        let mut pipe = Pipeline::run(&cfg, &bundle.train);
+        let dict = pipe.net.hard_dict().expect("trained pipeline").clone();
+        if joint {
+            // Continue training *jointly* (main unfrozen) on the hard subset
+            // — the catastrophic-forgetting risk the paper avoids.
+            let hard = build_hard_dataset(&pipe.train_split, &dict);
+            let _ = train_edge_joint(&mut pipe.net, &hard, &TrainConfig::repro(scale.epochs() / 2));
+        }
+        let hard_test = bundle.test.filter_classes(dict.hard_classes());
+        let easy_classes: Vec<usize> = (0..classes).filter(|c| !dict.contains(*c)).collect();
+        let easy_test = bundle.test.filter_classes(&easy_classes);
+        let hard_acc = helpers::meanet_accuracy_on_hard(&mut pipe.net, &hard_test, 32);
+        let easy_acc = helpers::main_accuracy(&mut pipe.net, &easy_test, 32);
+
+        let (frozen, trained) = pipe.net.memory_parts();
+        let mem = if joint {
+            let all: Vec<_> = frozen.iter().chain(trained.iter()).copied().collect();
+            mib(joint_bytes(&all, 128))
+        } else {
+            mib(blockwise_bytes(&frozen, &trained, 128))
+        };
+        results.push((label.to_string(), hard_acc, easy_acc, mem));
+    }
+    let mut table = Table::new(&["training", "hard acc (%)", "easy acc (%)", "memory @128 (MiB)"]);
+    for (label, hard, easy, mem) in &results {
+        table.row(&[label.clone(), pct(*hard), pct(*easy), format!("{mem:.1}")]);
+    }
+    (table, results)
+}
+
+/// Raw-image vs feature offload payloads: wire size and upload energy for
+/// the paper's two image geometries.
+pub fn ablation_payload() -> (Table, Vec<(String, u64, u64)>) {
+    let link = NetworkLink::wifi_18_88();
+    // CIFAR: raw 32·32·3 bytes vs the model-A main-block features
+    // (16 ch × 32×32 f32); ImageNet: raw 224·224·3 vs ResNet18 stage-4
+    // features (512 × 7×7 f32).
+    let cases = vec![
+        ("CIFAR raw".to_string(), paper_raw_image_bytes(3, 32, 32)),
+        ("CIFAR features (16x32x32 f32)".to_string(), paper_feature_bytes(16 * 32 * 32)),
+        ("ImageNet raw".to_string(), paper_raw_image_bytes(3, 224, 224)),
+        ("ImageNet features (512x7x7 f32)".to_string(), paper_feature_bytes(512 * 7 * 7)),
+    ];
+    let mut table = Table::new(&["payload", "bytes", "upload time (ms)", "upload energy (mJ)"]);
+    let mut rows = Vec::new();
+    for (label, bytes) in cases {
+        table.row(&[
+            label.clone(),
+            bytes.to_string(),
+            format!("{:.2}", link.upload_time_s(bytes) * 1e3),
+            format!("{:.2}", link.upload_energy_j(bytes) * 1e3),
+        ]);
+        rows.push((label, bytes, bytes));
+    }
+    (table, rows)
+}

@@ -1,0 +1,10 @@
+//! One runner per table/figure of the paper, plus the beyond-paper
+//! ablations. Each runner returns printable output and structured numbers.
+
+pub mod ablations;
+pub mod extensions;
+pub mod figures;
+pub mod helpers;
+pub mod tables;
+
+pub use helpers::TrainedSystem;

@@ -1,0 +1,21 @@
+//! # mea-bench
+//!
+//! The experiment harness: one runner per table/figure of the paper, shared
+//! between the `benches/` targets (`cargo bench`) and the `repro` binary
+//! (`cargo run --release -p mea-bench --bin repro`).
+//!
+//! Every runner returns a rendered table plus structured numbers, so the
+//! bench targets can both print paper-style output and assert shape
+//! properties (who wins, direction of trends).
+//!
+//! Scale is controlled by [`Scale`] (env var `MEA_SCALE=smoke|repro|full`):
+//! `smoke` finishes in seconds per experiment and is the `cargo bench`
+//! default on small machines; `repro` is the documented scale of
+//! EXPERIMENTS.md; `full` raises epochs and data for tighter numbers.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod scale;
+
+pub use scale::Scale;

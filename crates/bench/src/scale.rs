@@ -1,0 +1,111 @@
+//! Experiment scale selection.
+
+use mea_data::SynthConfig;
+
+/// How big the experiments run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds per experiment; used by `cargo bench` and CI.
+    Smoke,
+    /// The documented reproduction scale (minutes per experiment).
+    Repro,
+    /// Larger budgets for tighter numbers.
+    Full,
+}
+
+impl Scale {
+    /// Reads `MEA_SCALE` from the environment (default [`Scale::Smoke`]).
+    pub fn from_env() -> Scale {
+        match std::env::var("MEA_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "repro" => Scale::Repro,
+            "full" => Scale::Full,
+            _ => Scale::Smoke,
+        }
+    }
+
+    /// Training epochs for backbone/edge phases.
+    pub fn epochs(self) -> usize {
+        match self {
+            Scale::Smoke => 8,
+            Scale::Repro => 14,
+            Scale::Full => 24,
+        }
+    }
+
+    /// A CIFAR-100-like dataset scaled to this budget.
+    pub fn cifar100_like(self, seed: u64) -> SynthConfig {
+        let (classes, clusters, train, test) = match self {
+            Scale::Smoke => (20, 5, 24, 8),
+            Scale::Repro => (100, 20, 24, 8),
+            Scale::Full => (100, 20, 40, 10),
+        };
+        SynthConfig {
+            num_classes: classes,
+            num_clusters: clusters,
+            image_hw: 16,
+            feature_dim: 16,
+            train_per_class: train,
+            test_per_class: test,
+            cluster_separation: 2.2,
+            spread_tight: 0.28,
+            spread_loose: 1.1,
+            noise_mean: 0.62,
+            noise_cap: 2.8,
+            seed,
+        }
+    }
+
+    /// A CIFAR-10-like dataset scaled to this budget (Fig. 2).
+    pub fn cifar10_like(self, seed: u64) -> SynthConfig {
+        let mut cfg = self.cifar100_like(seed);
+        cfg.num_classes = 10;
+        cfg.num_clusters = 4;
+        cfg.feature_dim = 14;
+        cfg.train_per_class = match self {
+            Scale::Smoke => 24,
+            Scale::Repro => 30,
+            Scale::Full => 60,
+        };
+        cfg.test_per_class = 10;
+        cfg
+    }
+
+    /// An ImageNet-like dataset scaled to this budget.
+    pub fn imagenet_like(self, seed: u64) -> SynthConfig {
+        let (classes, clusters, train, test) = match self {
+            Scale::Smoke => (12, 4, 14, 6),
+            Scale::Repro => (40, 8, 20, 8),
+            Scale::Full => (40, 8, 36, 10),
+        };
+        SynthConfig {
+            num_classes: classes,
+            num_clusters: clusters,
+            image_hw: 24,
+            feature_dim: 16,
+            train_per_class: train,
+            test_per_class: test,
+            cluster_separation: 2.0,
+            spread_tight: 0.26,
+            spread_loose: 1.0,
+            noise_mean: 0.65,
+            noise_cap: 2.8,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_defaults_to_smoke() {
+        // Cannot mutate the environment safely in parallel tests; just
+        // check the default path and preset sizes.
+        let s = Scale::Smoke;
+        assert!(s.epochs() >= 4);
+        assert_eq!(s.cifar10_like(0).num_classes, 10);
+        assert!(s.cifar100_like(0).num_classes >= 20);
+        assert_eq!(s.imagenet_like(0).image_hw, 24);
+    }
+}

@@ -1,0 +1,181 @@
+//! Cloud-offload policies.
+//!
+//! The paper's Algorithm 2 offloads an instance when its main-exit entropy
+//! exceeds a threshold picked from the validation range `(µ_correct,
+//! µ_wrong)` (§III-C). That rule is one member of a family: this module
+//! abstracts the decision so alternatives can be compared under identical
+//! routing (the `ablation_policies` bench):
+//!
+//! * [`OffloadPolicy::EntropyThreshold`] — the paper's rule;
+//! * [`OffloadPolicy::ConfidenceMargin`] — offload when the gap between
+//!   the top-1 and top-2 softmax scores is small (a margin-based
+//!   uncertainty measure, common in active learning);
+//! * [`OffloadPolicy::Budgeted`] — offload *exactly* a target fraction β,
+//!   by thresholding entropy at the validation-set quantile. This is what
+//!   a deployment with a communication budget actually wants: the paper's
+//!   threshold only controls β implicitly;
+//! * [`OffloadPolicy::Never`] / [`OffloadPolicy::Always`] — the edge-only
+//!   and cloud-only endpoints of Figs. 7–8.
+
+use serde::{Deserialize, Serialize};
+
+/// A rule deciding, from main-exit statistics, whether an instance is
+/// "complex" and should be classified by the cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OffloadPolicy {
+    /// Offload when prediction entropy exceeds the threshold (the paper's
+    /// rule; threshold chosen in `(µ_correct, µ_wrong)`).
+    EntropyThreshold(f32),
+    /// Offload when `p(top1) − p(top2)` falls below the margin.
+    ConfidenceMargin(f32),
+    /// Offload when entropy exceeds a quantile threshold calibrated with
+    /// [`OffloadPolicy::budgeted_from_validation`] to hit a target β.
+    Budgeted {
+        /// The calibrated entropy threshold.
+        threshold: f32,
+    },
+    /// Edge-only: never offload.
+    Never,
+    /// Cloud-only: always offload.
+    Always,
+}
+
+impl OffloadPolicy {
+    /// Calibrates a [`OffloadPolicy::Budgeted`] policy so that a fraction
+    /// `beta` of instances with the *highest* entropies is offloaded,
+    /// using validation-set entropies as the reference distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entropies` is empty or `beta` is outside `[0, 1]`.
+    pub fn budgeted_from_validation(entropies: &[f32], beta: f64) -> OffloadPolicy {
+        assert!(!entropies.is_empty(), "cannot calibrate a budget on no data");
+        assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1], got {beta}");
+        if beta <= 0.0 {
+            return OffloadPolicy::Budgeted { threshold: f32::INFINITY };
+        }
+        if beta >= 1.0 {
+            return OffloadPolicy::Budgeted { threshold: f32::NEG_INFINITY };
+        }
+        let mut sorted: Vec<f32> = entropies.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite entropies"));
+        // Instances strictly above the (1-beta) quantile are offloaded.
+        let idx = (((sorted.len() as f64) * (1.0 - beta)).ceil() as usize).min(sorted.len()) - 1;
+        OffloadPolicy::Budgeted { threshold: sorted[idx] }
+    }
+
+    /// Decides whether to offload an instance given its main-exit softmax
+    /// row and entropy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` has fewer than two classes (a margin needs two).
+    pub fn should_offload(&self, probs: &[f32], entropy: f32) -> bool {
+        match *self {
+            OffloadPolicy::EntropyThreshold(t) => entropy > t,
+            OffloadPolicy::ConfidenceMargin(m) => {
+                assert!(probs.len() >= 2, "margin policy needs at least two classes");
+                let (top1, top2) = top_two(probs);
+                (top1 - top2) < m
+            }
+            OffloadPolicy::Budgeted { threshold } => entropy > threshold,
+            OffloadPolicy::Never => false,
+            OffloadPolicy::Always => true,
+        }
+    }
+
+    /// True when the policy can never offload (lets callers skip loading a
+    /// cloud model).
+    pub fn is_edge_only(&self) -> bool {
+        match *self {
+            OffloadPolicy::Never => true,
+            OffloadPolicy::EntropyThreshold(t) => t == f32::INFINITY,
+            OffloadPolicy::Budgeted { threshold } => threshold == f32::INFINITY,
+            _ => false,
+        }
+    }
+}
+
+/// The two largest values of a slice.
+fn top_two(xs: &[f32]) -> (f32, f32) {
+    let mut top1 = f32::MIN;
+    let mut top2 = f32::MIN;
+    for &x in xs {
+        if x > top1 {
+            top2 = top1;
+            top1 = x;
+        } else if x > top2 {
+            top2 = x;
+        }
+    }
+    (top1, top2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_threshold_matches_paper_rule() {
+        let p = OffloadPolicy::EntropyThreshold(1.0);
+        assert!(p.should_offload(&[0.5, 0.5], 1.5));
+        assert!(!p.should_offload(&[0.9, 0.1], 0.3));
+    }
+
+    #[test]
+    fn margin_fires_on_close_calls() {
+        let p = OffloadPolicy::ConfidenceMargin(0.2);
+        assert!(p.should_offload(&[0.41, 0.39, 0.2], 0.0), "top-2 gap 0.02 < 0.2");
+        assert!(!p.should_offload(&[0.8, 0.1, 0.1], 0.0), "top-2 gap 0.7 > 0.2");
+    }
+
+    #[test]
+    fn wider_margin_offloads_superset() {
+        let rows = [[0.6f32, 0.4], [0.55, 0.45], [0.9, 0.1]];
+        let narrow = OffloadPolicy::ConfidenceMargin(0.15);
+        let wide = OffloadPolicy::ConfidenceMargin(0.5);
+        for row in &rows {
+            if narrow.should_offload(row, 0.0) {
+                assert!(wide.should_offload(row, 0.0), "wider margin must contain the narrow set");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_hits_target_fraction_on_reference_distribution() {
+        let entropies: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        for beta in [0.1, 0.25, 0.5, 0.9] {
+            let p = OffloadPolicy::budgeted_from_validation(&entropies, beta);
+            let offloaded = entropies.iter().filter(|&&e| p.should_offload(&[1.0, 0.0], e)).count();
+            let got = offloaded as f64 / entropies.len() as f64;
+            assert!(
+                (got - beta).abs() <= 0.02,
+                "beta {beta}: offloaded {got} (threshold {p:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_extremes() {
+        let entropies = vec![0.1, 0.5, 0.9];
+        let none = OffloadPolicy::budgeted_from_validation(&entropies, 0.0);
+        assert!(entropies.iter().all(|&e| !none.should_offload(&[1.0, 0.0], e)));
+        assert!(none.is_edge_only());
+        let all = OffloadPolicy::budgeted_from_validation(&entropies, 1.0);
+        assert!(entropies.iter().all(|&e| all.should_offload(&[1.0, 0.0], e)));
+    }
+
+    #[test]
+    fn never_and_always() {
+        assert!(!OffloadPolicy::Never.should_offload(&[0.5, 0.5], 100.0));
+        assert!(OffloadPolicy::Always.should_offload(&[1.0, 0.0], 0.0));
+        assert!(OffloadPolicy::Never.is_edge_only());
+        assert!(!OffloadPolicy::Always.is_edge_only());
+    }
+
+    #[test]
+    fn top_two_handles_duplicates() {
+        assert_eq!(top_two(&[0.5, 0.5]), (0.5, 0.5));
+        assert_eq!(top_two(&[0.7, 0.1, 0.2]), (0.7, 0.2));
+    }
+}

@@ -1,0 +1,231 @@
+//! Deterministic training-time augmentation: the standard CIFAR pipeline
+//! (pad-and-crop, horizontal flip) plus cutout.
+//!
+//! The paper trains ResNets on CIFAR-100 with the usual recipe; this
+//! module provides the same transforms for the synthetic stand-ins. All
+//! randomness flows through the caller's [`Rng`], so training runs remain
+//! reproducible.
+
+use crate::dataset::Dataset;
+use mea_tensor::{Rng, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Augmentation policy applied independently to every image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Augment {
+    /// Zero-pad each border by this many pixels, then crop back to the
+    /// original size at a random offset. `0` disables.
+    pub pad_crop: usize,
+    /// Mirror the image horizontally with probability ½.
+    pub hflip: bool,
+    /// Zero out a random square of this side length. `None` disables.
+    pub cutout: Option<usize>,
+}
+
+impl Augment {
+    /// No-op policy.
+    pub fn none() -> Self {
+        Augment { pad_crop: 0, hflip: false, cutout: None }
+    }
+
+    /// The standard CIFAR recipe scaled to the repro images: pad-and-crop
+    /// by 2 pixels plus horizontal flip.
+    pub fn cifar_standard() -> Self {
+        Augment { pad_crop: 2, hflip: true, cutout: None }
+    }
+
+    /// CIFAR recipe plus cutout (side = quarter of the image is typical;
+    /// the caller chooses).
+    pub fn with_cutout(side: usize) -> Self {
+        Augment { pad_crop: 2, hflip: true, cutout: Some(side) }
+    }
+
+    /// True if the policy never alters an image.
+    pub fn is_noop(&self) -> bool {
+        self.pad_crop == 0 && !self.hflip && self.cutout.is_none()
+    }
+
+    /// Augments one `[C, H, W]` image in place (as a raw slice).
+    fn apply_image(&self, image: &mut [f32], c: usize, h: usize, w: usize, rng: &mut Rng) {
+        if self.pad_crop > 0 {
+            let p = self.pad_crop;
+            // Offsets into the padded canvas; (p, p) is the identity crop.
+            let dy = rng.below(2 * p + 1);
+            let dx = rng.below(2 * p + 1);
+            if dy != p || dx != p {
+                let src = image.to_vec();
+                for ch in 0..c {
+                    for y in 0..h {
+                        for x in 0..w {
+                            // Source pixel in the padded frame.
+                            let sy = y as isize + dy as isize - p as isize;
+                            let sx = x as isize + dx as isize - p as isize;
+                            image[ch * h * w + y * w + x] =
+                                if sy >= 0 && sy < h as isize && sx >= 0 && sx < w as isize {
+                                    src[ch * h * w + sy as usize * w + sx as usize]
+                                } else {
+                                    0.0
+                                };
+                        }
+                    }
+                }
+            }
+        }
+        if self.hflip && rng.bernoulli(0.5) {
+            for ch in 0..c {
+                for y in 0..h {
+                    let row = &mut image[ch * h * w + y * w..ch * h * w + (y + 1) * w];
+                    row.reverse();
+                }
+            }
+        }
+        if let Some(side) = self.cutout {
+            if side > 0 {
+                let cy = rng.below(h);
+                let cx = rng.below(w);
+                let half = side / 2;
+                let y0 = cy.saturating_sub(half);
+                let y1 = (cy + side - half).min(h);
+                let x0 = cx.saturating_sub(half);
+                let x1 = (cx + side - half).min(w);
+                for ch in 0..c {
+                    for y in y0..y1 {
+                        for x in x0..x1 {
+                            image[ch * h * w + y * w + x] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Augments a `[N, C, H, W]` batch, returning a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 4-D.
+    pub fn apply_batch(&self, images: &Tensor, rng: &mut Rng) -> Tensor {
+        assert_eq!(images.dims().len(), 4, "augmentation expects NCHW");
+        if self.is_noop() {
+            return images.clone();
+        }
+        let (n, c, h, w) = (images.dims()[0], images.dims()[1], images.dims()[2], images.dims()[3]);
+        let mut out = images.clone();
+        let chw = c * h * w;
+        for i in 0..n {
+            self.apply_image(&mut out.as_mut_slice()[i * chw..(i + 1) * chw], c, h, w, rng);
+        }
+        out
+    }
+
+    /// Augments every image of a dataset, preserving labels — one fresh
+    /// random draw per image per call (invoke once per epoch).
+    pub fn apply_dataset(&self, data: &Dataset, rng: &mut Rng) -> Dataset {
+        Dataset::new(self.apply_batch(&data.images, rng), data.labels.clone(), data.num_classes)
+    }
+}
+
+impl Default for Augment {
+    fn default() -> Self {
+        Augment::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_image(c: usize, h: usize, w: usize) -> Tensor {
+        Tensor::from_vec((0..c * h * w).map(|v| v as f32 + 1.0).collect(), &[1, c, h, w]).unwrap()
+    }
+
+    #[test]
+    fn noop_policy_is_identity() {
+        let x = ramp_image(3, 6, 6);
+        let mut rng = Rng::new(0);
+        let y = Augment::none().apply_batch(&x, &mut rng);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn shapes_and_labels_are_preserved() {
+        let images = Tensor::rand_uniform([5, 3, 8, 8], 0.0, 1.0, &mut Rng::new(1));
+        let data = Dataset::new(images, vec![0, 1, 2, 0, 1], 3);
+        let aug = Augment::with_cutout(3).apply_dataset(&data, &mut Rng::new(2));
+        assert_eq!(aug.images.dims(), data.images.dims());
+        assert_eq!(aug.labels, data.labels);
+        assert_eq!(aug.num_classes, 3);
+    }
+
+    #[test]
+    fn double_flip_is_identity() {
+        // Flipping is an involution: find a seed where both draws flip and
+        // check the round trip restores the input. Determinism makes the
+        // seed search stable.
+        let x = ramp_image(2, 4, 4);
+        let policy = Augment { pad_crop: 0, hflip: true, cutout: None };
+        let mut found = false;
+        for seed in 0..100 {
+            let mut rng = Rng::new(seed);
+            let a = policy.apply_batch(&x, &mut rng);
+            let b = policy.apply_batch(&a, &mut rng);
+            if a != x && b == x {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no double-flip seed found in 100 tries");
+    }
+
+    #[test]
+    fn crop_keeps_values_from_original_or_zero() {
+        let x = ramp_image(1, 5, 5);
+        let policy = Augment { pad_crop: 2, hflip: false, cutout: None };
+        let mut rng = Rng::new(3);
+        for _ in 0..20 {
+            let y = policy.apply_batch(&x, &mut rng);
+            for &v in y.as_slice() {
+                assert!(v == 0.0 || (v >= 1.0 && v <= 25.0), "foreign value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn cutout_zeroes_a_bounded_region() {
+        let x = Tensor::ones([1, 1, 8, 8]);
+        let policy = Augment { pad_crop: 0, hflip: false, cutout: Some(3) };
+        let mut rng = Rng::new(4);
+        let y = policy.apply_batch(&x, &mut rng);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > 0, "cutout removed nothing");
+        assert!(zeros <= 9, "cutout of side 3 may zero at most 9 pixels, got {zeros}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let images = Tensor::rand_uniform([4, 3, 8, 8], 0.0, 1.0, &mut Rng::new(5));
+        let data = Dataset::new(images, vec![0; 4], 1);
+        let policy = Augment::with_cutout(2);
+        let a = policy.apply_dataset(&data, &mut Rng::new(42));
+        let b = policy.apply_dataset(&data, &mut Rng::new(42));
+        assert_eq!(a.images, b.images);
+        let c = policy.apply_dataset(&data, &mut Rng::new(43));
+        assert_ne!(a.images, c.images, "different seeds should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn identity_crop_possible() {
+        // With pad 1 there are 9 offsets; one of them is the identity.
+        let x = ramp_image(1, 4, 4);
+        let policy = Augment { pad_crop: 1, hflip: false, cutout: None };
+        let mut found_identity = false;
+        for seed in 0..50 {
+            let y = policy.apply_batch(&x, &mut Rng::new(seed));
+            if y == x {
+                found_identity = true;
+                break;
+            }
+        }
+        assert!(found_identity, "identity crop never drawn in 50 seeds");
+    }
+}

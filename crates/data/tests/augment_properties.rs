@@ -1,0 +1,65 @@
+//! Property-based tests on the augmentation pipeline.
+
+use mea_data::{Augment, Dataset};
+use mea_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+fn arb_dims() -> impl Strategy<Value = (usize, usize, usize, usize)> {
+    (1usize..4, 1usize..4, 3usize..10, 3usize..10)
+}
+
+proptest! {
+    /// Any policy preserves the batch shape exactly.
+    #[test]
+    fn shape_is_invariant((n, c, h, w) in arb_dims(), pad in 0usize..3, seed in 0u64..100) {
+        let images = Tensor::rand_uniform([n, c, h, w], -1.0, 1.0, &mut Rng::new(seed));
+        let policy = Augment { pad_crop: pad, hflip: true, cutout: Some(2) };
+        let out = policy.apply_batch(&images, &mut Rng::new(seed));
+        prop_assert_eq!(out.dims(), images.dims());
+    }
+
+    /// Augmentation never invents values: every output pixel is either a
+    /// pixel of the input image or zero (crop padding / cutout).
+    #[test]
+    fn values_come_from_input_or_zero((n, c, h, w) in arb_dims(), seed in 0u64..100) {
+        // Use strictly positive values so zero is unambiguous.
+        let images = Tensor::rand_uniform([n, c, h, w], 0.5, 1.5, &mut Rng::new(seed));
+        let policy = Augment { pad_crop: 2, hflip: true, cutout: Some(2) };
+        let out = policy.apply_batch(&images, &mut Rng::new(seed + 1));
+        let chw = c * h * w;
+        for i in 0..n {
+            let src = &images.as_slice()[i * chw..(i + 1) * chw];
+            for &v in &out.as_slice()[i * chw..(i + 1) * chw] {
+                prop_assert!(
+                    v == 0.0 || src.iter().any(|&s| s == v),
+                    "pixel {v} is neither zero nor from the source image"
+                );
+            }
+        }
+    }
+
+    /// Labels and class count survive dataset-level augmentation.
+    #[test]
+    fn dataset_metadata_is_untouched(n in 1usize..12, classes in 1usize..5, seed in 0u64..100) {
+        let images = Tensor::rand_uniform([n, 3, 6, 6], 0.0, 1.0, &mut Rng::new(seed));
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        let data = Dataset::new(images, labels.clone(), classes);
+        let out = Augment::cifar_standard().apply_dataset(&data, &mut Rng::new(seed));
+        prop_assert_eq!(out.len(), n);
+        prop_assert_eq!(out.num_classes, classes);
+        prop_assert_eq!(out.labels, labels);
+    }
+
+    /// The same seed yields the same augmentation; the noop policy is the
+    /// identity regardless of seed.
+    #[test]
+    fn determinism_and_noop((n, c, h, w) in arb_dims(), seed in 0u64..100) {
+        let images = Tensor::rand_uniform([n, c, h, w], -1.0, 1.0, &mut Rng::new(seed));
+        let policy = Augment::with_cutout(2);
+        let a = policy.apply_batch(&images, &mut Rng::new(seed));
+        let b = policy.apply_batch(&images, &mut Rng::new(seed));
+        prop_assert_eq!(a, b);
+        let noop = Augment::none().apply_batch(&images, &mut Rng::new(seed));
+        prop_assert_eq!(noop, images);
+    }
+}

@@ -1,0 +1,167 @@
+//! Energy accounting: the per-image rows of paper Table VII and the
+//! whole-testset edge-energy totals of Fig. 8.
+
+use crate::device::DeviceProfile;
+use crate::network::NetworkLink;
+use meanet::{ExitPoint, InstanceRecord};
+use serde::{Deserialize, Serialize};
+
+/// One row of Table VII: per-image computation and communication power,
+/// time and energy at the edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerImageCosts {
+    /// Edge GPU power (W).
+    pub gpu_power_w: f64,
+    /// Radio upload power (W).
+    pub upload_power_w: f64,
+    /// Per-image edge compute latency `t_cp` (s).
+    pub tcp_s: f64,
+    /// Per-image upload time `t_cu` (s).
+    pub tcu_s: f64,
+    /// Per-image compute energy `E_cp` (J).
+    pub ecp_j: f64,
+    /// Per-image communication energy `E_cu` (J).
+    pub ecu_j: f64,
+}
+
+/// Evaluates a Table VII row for a device/link/workload combination.
+pub fn per_image(device: &DeviceProfile, link: &NetworkLink, macs: u64, upload_bytes: u64) -> PerImageCosts {
+    PerImageCosts {
+        gpu_power_w: device.power_w,
+        upload_power_w: link.upload_power_w(),
+        tcp_s: device.latency_s(macs),
+        tcu_s: link.upload_time_s(upload_bytes),
+        ecp_j: device.compute_energy_j(macs),
+        ecu_j: link.upload_energy_j(upload_bytes),
+    }
+}
+
+/// Total edge-side energy, split like the stacked bars of Fig. 8.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Edge computation energy (J).
+    pub compute_j: f64,
+    /// Edge communication energy (J).
+    pub communication_j: f64,
+}
+
+impl EnergyReport {
+    /// Total edge energy (J).
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.communication_j
+    }
+}
+
+/// Per-exit energy refinement of the Fig. 8 model, driven by actual
+/// Algorithm-2 records:
+///
+/// * every instance runs the main block (`macs_main`);
+/// * extension exits additionally run adaptive + extension
+///   (`macs_extension_extra`);
+/// * cloud exits additionally pay one upload of `upload_bytes`
+///   (cloud compute energy is ignored, as in the paper).
+pub fn energy_from_records(
+    records: &[InstanceRecord],
+    device: &DeviceProfile,
+    link: &NetworkLink,
+    macs_main: u64,
+    macs_extension_extra: u64,
+    upload_bytes: u64,
+) -> EnergyReport {
+    let mut report = EnergyReport::default();
+    for r in records {
+        report.compute_j += device.compute_energy_j(macs_main);
+        match r.exit {
+            ExitPoint::Extension => report.compute_j += device.compute_energy_j(macs_extension_extra),
+            ExitPoint::Cloud => report.communication_j += link.upload_energy_j(upload_bytes),
+            ExitPoint::Main => {}
+        }
+    }
+    report
+}
+
+/// The paper's coarser cloud-only accounting: the edge spends only
+/// communication energy, uploading every instance.
+pub fn cloud_only_energy(n: u64, link: &NetworkLink, upload_bytes: u64) -> EnergyReport {
+    EnergyReport { compute_j: 0.0, communication_j: n as f64 * link.upload_energy_j(upload_bytes) }
+}
+
+/// Edge-only accounting: every instance pays main-block compute, and
+/// detected-hard instances pay the extension too; nothing is uploaded.
+pub fn edge_only_energy(
+    records: &[InstanceRecord],
+    device: &DeviceProfile,
+    macs_main: u64,
+    macs_extension_extra: u64,
+) -> EnergyReport {
+    let link = NetworkLink::wifi_18_88(); // unused: zero uploads
+    let mut r = energy_from_records(records, device, &link, macs_main, macs_extension_extra, 0);
+    r.communication_j = 0.0;
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(exit: ExitPoint) -> InstanceRecord {
+        InstanceRecord {
+            truth: 0,
+            prediction: 0,
+            exit,
+            entropy: 0.0,
+            main_prediction: 0,
+            detected_hard: exit == ExitPoint::Extension,
+            correct: true,
+        }
+    }
+
+    #[test]
+    fn table_vii_cifar_row() {
+        let costs = per_image(
+            &DeviceProfile::edge_gpu_cifar(),
+            &NetworkLink::wifi_18_88(),
+            69_400_000,
+            32 * 32 * 3,
+        );
+        assert!((costs.gpu_power_w - 56.0).abs() < 1e-9);
+        assert!((costs.upload_power_w - 5.48).abs() < 0.01);
+        assert!((costs.tcp_s * 1e3 - 0.056).abs() < 1e-6);
+        assert!((costs.tcu_s * 1e3 - 1.302).abs() < 0.01);
+        assert!((costs.ecp_j * 1e3 - 3.14).abs() < 0.01);
+        assert!((costs.ecu_j * 1e3 - 7.13).abs() < 0.05);
+    }
+
+    #[test]
+    fn per_exit_energy_accumulates() {
+        let device = DeviceProfile::new("d", 10.0, 1e9); // 10 W, 1 GMAC/s
+        let link = NetworkLink::wifi(8.0); // 1 MB/s
+        let records =
+            vec![record(ExitPoint::Main), record(ExitPoint::Extension), record(ExitPoint::Cloud)];
+        let r = energy_from_records(&records, &device, &link, 1_000_000, 500_000, 1000);
+        // compute: 3 × main (10 mJ each) + 1 × extension extra (5 mJ)
+        assert!((r.compute_j - 0.035).abs() < 1e-9, "compute {}", r.compute_j);
+        // comm: 1 upload of 1000 B at 1 MB/s = 1 ms × P(8 Mbps)
+        let expect = link.upload_energy_j(1000);
+        assert!((r.communication_j - expect).abs() < 1e-12);
+        assert!((r.total_j() - (r.compute_j + r.communication_j)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn edge_only_has_no_communication() {
+        let device = DeviceProfile::new("d", 10.0, 1e9);
+        let records = vec![record(ExitPoint::Main), record(ExitPoint::Extension)];
+        let r = edge_only_energy(&records, &device, 1_000_000, 500_000);
+        assert_eq!(r.communication_j, 0.0);
+        assert!(r.compute_j > 0.0);
+    }
+
+    #[test]
+    fn cloud_only_scales_with_n() {
+        let link = NetworkLink::wifi_18_88();
+        let r1 = cloud_only_energy(100, &link, 3072);
+        let r2 = cloud_only_energy(200, &link, 3072);
+        assert!((r2.total_j() - 2.0 * r1.total_j()).abs() < 1e-9);
+        assert_eq!(r1.compute_j, 0.0);
+    }
+}

@@ -1,0 +1,402 @@
+//! Multi-device fleet simulation: many edge devices sharing one cloud.
+//!
+//! The paper's introduction motivates early exits with exactly this
+//! pressure: *"the large amount of IoT devices would put significant
+//! pressure on the cloud server to respond"*. This module quantifies that
+//! claim. Each device runs the [`crate::sim`] pipeline (its own edge GPU
+//! and radio), while the cloud is a shared pool of `cloud_servers` FIFO
+//! execution slots. Offloaded jobs queue when all slots are busy, so cloud
+//! latency degrades as the fleet grows or the offload fraction β rises —
+//! and recovers when MEANet keeps more inference at the edge.
+//!
+//! The simulation is a deterministic virtual-clock model: identical inputs
+//! produce identical reports.
+
+use crate::device::DeviceProfile;
+use crate::energy::EnergyReport;
+use crate::network::NetworkLink;
+use meanet::ExitPoint;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Static parameters of a fleet simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Edge device profile (all devices identical).
+    pub edge: DeviceProfile,
+    /// Cloud device profile (per server slot).
+    pub cloud: DeviceProfile,
+    /// Radio link per device (independent radios).
+    pub link: NetworkLink,
+    /// Parallel execution slots at the cloud.
+    pub cloud_servers: usize,
+    /// MACs of the main block (every instance pays this at its device).
+    pub macs_main: u64,
+    /// Extra MACs of the adaptive + extension path.
+    pub macs_extension_extra: u64,
+    /// MACs of the cloud network per offloaded instance.
+    pub macs_cloud: u64,
+    /// Upload payload bytes per offloaded instance.
+    pub payload_bytes: u64,
+    /// Per-device inter-arrival time of frames (s).
+    pub arrival_interval_s: f64,
+}
+
+/// Aggregate results of a fleet simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Number of devices simulated.
+    pub devices: usize,
+    /// Total instances across the fleet.
+    pub instances: usize,
+    /// Mean end-to-end latency across all instances (s).
+    pub mean_latency_s: f64,
+    /// Median latency (s).
+    pub p50_latency_s: f64,
+    /// 95th-percentile latency (s).
+    pub p95_latency_s: f64,
+    /// 99th-percentile latency (s).
+    pub p99_latency_s: f64,
+    /// Completion time of the last instance (s).
+    pub makespan_s: f64,
+    /// Mean time offloaded jobs spent waiting for a free cloud slot (s).
+    pub cloud_wait_mean_s: f64,
+    /// Worst-case cloud queueing delay (s).
+    pub cloud_wait_max_s: f64,
+    /// Busy time across slots divided by `servers × makespan`.
+    pub cloud_utilization: f64,
+    /// Fleet-wide edge energy (compute + communication).
+    pub energy: EnergyReport,
+}
+
+/// A job that reached the cloud ingress queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CloudJob {
+    device: usize,
+    index: usize,
+    ready_s: f64,
+}
+
+/// Runs the fleet simulation with the fixed per-device frame interval of
+/// `cfg.arrival_interval_s`. `routes[d]` is the per-instance exit sequence
+/// of device `d` (e.g. from Algorithm-2 records); devices may have
+/// different instance counts.
+///
+/// # Panics
+///
+/// Panics if `routes` is empty, any device has no instances, or
+/// `cfg.cloud_servers == 0`.
+pub fn simulate_fleet(cfg: &FleetConfig, routes: &[Vec<ExitPoint>]) -> FleetReport {
+    let arrivals: Vec<Vec<f64>> = routes
+        .iter()
+        .map(|r| (0..r.len()).map(|i| i as f64 * cfg.arrival_interval_s).collect())
+        .collect();
+    simulate_fleet_with_arrivals(cfg, routes, &arrivals)
+}
+
+/// [`simulate_fleet`] with explicit per-device arrival times (e.g. from
+/// [`crate::traces::ArrivalModel`]): `arrivals[d][i]` is when instance `i`
+/// reaches device `d`. `cfg.arrival_interval_s` is ignored.
+///
+/// # Panics
+///
+/// Panics if `routes` is empty, any device has no instances,
+/// `cfg.cloud_servers == 0`, or any arrival sequence has the wrong length
+/// or decreases.
+pub fn simulate_fleet_with_arrivals(
+    cfg: &FleetConfig,
+    routes: &[Vec<ExitPoint>],
+    arrivals: &[Vec<f64>],
+) -> FleetReport {
+    assert!(!routes.is_empty(), "no devices to simulate");
+    assert!(routes.iter().all(|r| !r.is_empty()), "every device needs at least one instance");
+    assert!(cfg.cloud_servers > 0, "need at least one cloud server");
+    assert_eq!(routes.len(), arrivals.len(), "one arrival trace per device");
+    for (d, (r, a)) in routes.iter().zip(arrivals).enumerate() {
+        assert_eq!(r.len(), a.len(), "device {d}: {} routes but {} arrivals", r.len(), a.len());
+        assert!(a.windows(2).all(|w| w[1] >= w[0]), "device {d}: arrival times must be non-decreasing");
+    }
+
+    let t_main = cfg.edge.latency_s(cfg.macs_main);
+    let t_ext = cfg.edge.latency_s(cfg.macs_extension_extra);
+    let t_up = cfg.link.upload_time_s(cfg.payload_bytes);
+    let t_cloud = cfg.cloud.latency_s(cfg.macs_cloud);
+    let half_rtt = cfg.link.rtt_s / 2.0;
+
+    let mut energy = EnergyReport::default();
+    // completion[d][i]: set for edge exits now, cloud exits after queueing.
+    let mut completion: Vec<Vec<f64>> = routes.iter().map(|r| vec![0.0; r.len()]).collect();
+    let mut cloud_jobs: Vec<CloudJob> = Vec::new();
+
+    for (d, dev_routes) in routes.iter().enumerate() {
+        let mut edge_free = 0.0f64;
+        let mut radio_free = 0.0f64;
+        for (i, route) in dev_routes.iter().enumerate() {
+            let arrival = arrivals[d][i];
+            let start_edge = edge_free.max(arrival);
+            let done_main = start_edge + t_main;
+            energy.compute_j += cfg.edge.compute_energy_j(cfg.macs_main);
+            match route {
+                ExitPoint::Main => {
+                    edge_free = done_main;
+                    completion[d][i] = done_main;
+                }
+                ExitPoint::Extension => {
+                    let done = done_main + t_ext;
+                    energy.compute_j += cfg.edge.compute_energy_j(cfg.macs_extension_extra);
+                    edge_free = done;
+                    completion[d][i] = done;
+                }
+                ExitPoint::Cloud => {
+                    edge_free = done_main;
+                    let start_up = radio_free.max(done_main);
+                    let uploaded = start_up + t_up;
+                    radio_free = uploaded;
+                    energy.communication_j += cfg.link.upload_energy_j(cfg.payload_bytes);
+                    cloud_jobs.push(CloudJob { device: d, index: i, ready_s: uploaded + half_rtt });
+                }
+            }
+        }
+    }
+
+    // Shared cloud: jobs are served FIFO in ready order across the fleet.
+    cloud_jobs.sort_by(|a, b| {
+        a.ready_s
+            .partial_cmp(&b.ready_s)
+            .expect("finite times")
+            .then(a.device.cmp(&b.device))
+            .then(a.index.cmp(&b.index))
+    });
+    let mut servers: BinaryHeap<Reverse<OrderedF64>> = (0..cfg.cloud_servers).map(|_| Reverse(OrderedF64(0.0))).collect();
+    let mut wait_sum = 0.0f64;
+    let mut wait_max = 0.0f64;
+    let mut busy = 0.0f64;
+    let n_cloud = cloud_jobs.len();
+    for job in &cloud_jobs {
+        let Reverse(OrderedF64(free)) = servers.pop().expect("non-empty server pool");
+        let start = free.max(job.ready_s);
+        let wait = start - job.ready_s;
+        wait_sum += wait;
+        wait_max = wait_max.max(wait);
+        let finish = start + t_cloud;
+        busy += t_cloud;
+        servers.push(Reverse(OrderedF64(finish)));
+        completion[job.device][job.index] = finish + half_rtt;
+    }
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut makespan = 0.0f64;
+    for d in 0..routes.len() {
+        for i in 0..routes[d].len() {
+            latencies.push(completion[d][i] - arrivals[d][i]);
+            makespan = makespan.max(completion[d][i]);
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let pct = |p: f64| latencies[((latencies.len() as f64 * p) as usize).min(latencies.len() - 1)];
+    let instances = latencies.len();
+
+    FleetReport {
+        devices: routes.len(),
+        instances,
+        mean_latency_s: latencies.iter().sum::<f64>() / instances as f64,
+        p50_latency_s: pct(0.50),
+        p95_latency_s: pct(0.95),
+        p99_latency_s: pct(0.99),
+        makespan_s: makespan,
+        cloud_wait_mean_s: if n_cloud == 0 { 0.0 } else { wait_sum / n_cloud as f64 },
+        cloud_wait_max_s: wait_max,
+        cloud_utilization: if makespan > 0.0 { busy / (cfg.cloud_servers as f64 * makespan) } else { 0.0 },
+        energy,
+    }
+}
+
+/// Total-order wrapper for finite f64 times in the server heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite simulation times")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate, SimConfig};
+
+    fn cfg(servers: usize) -> FleetConfig {
+        FleetConfig {
+            edge: DeviceProfile::new("edge", 10.0, 1e9),
+            cloud: DeviceProfile::new("cloud", 100.0, 1e10),
+            link: NetworkLink::wifi(8.0).with_rtt(0.01),
+            cloud_servers: servers,
+            macs_main: 1_000_000,
+            macs_extension_extra: 500_000,
+            macs_cloud: 10_000_000,
+            payload_bytes: 1000,
+            arrival_interval_s: 0.002,
+        }
+    }
+
+    fn mixed_routes(n: usize) -> Vec<ExitPoint> {
+        (0..n)
+            .map(|i| match i % 3 {
+                0 => ExitPoint::Main,
+                1 => ExitPoint::Extension,
+                _ => ExitPoint::Cloud,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_device_matches_pipeline_simulator() {
+        // With one device and one cloud server, the fleet model must agree
+        // with the single-pipeline simulator (same FIFO disciplines).
+        let f = cfg(1);
+        let routes = mixed_routes(12);
+        let fleet = simulate_fleet(&f, &[routes.clone()]);
+        let single = simulate(
+            &SimConfig {
+                edge: f.edge.clone(),
+                cloud: f.cloud.clone(),
+                link: f.link.clone(),
+                macs_main: f.macs_main,
+                macs_extension_extra: f.macs_extension_extra,
+                macs_cloud: f.macs_cloud,
+                payload_bytes: f.payload_bytes,
+                arrival_interval_s: f.arrival_interval_s,
+            },
+            &routes,
+        );
+        assert!((fleet.mean_latency_s - single.mean_latency_s).abs() < 1e-12);
+        assert!((fleet.makespan_s - single.makespan_s).abs() < 1e-12);
+        assert!((fleet.energy.total_j() - single.energy.total_j()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn growing_the_fleet_congests_the_cloud() {
+        let f = cfg(1);
+        let routes_small: Vec<Vec<ExitPoint>> = (0..2).map(|_| vec![ExitPoint::Cloud; 10]).collect();
+        let routes_big: Vec<Vec<ExitPoint>> = (0..16).map(|_| vec![ExitPoint::Cloud; 10]).collect();
+        let small = simulate_fleet(&f, &routes_small);
+        let big = simulate_fleet(&f, &routes_big);
+        assert!(
+            big.cloud_wait_mean_s > small.cloud_wait_mean_s,
+            "16 devices must queue more than 2: {} vs {}",
+            big.cloud_wait_mean_s,
+            small.cloud_wait_mean_s
+        );
+        assert!(big.p95_latency_s > small.p95_latency_s);
+    }
+
+    #[test]
+    fn more_servers_relieve_contention() {
+        let routes: Vec<Vec<ExitPoint>> = (0..12).map(|_| vec![ExitPoint::Cloud; 8]).collect();
+        let one = simulate_fleet(&cfg(1), &routes);
+        let eight = simulate_fleet(&cfg(8), &routes);
+        assert!(eight.cloud_wait_mean_s < one.cloud_wait_mean_s);
+        assert!(eight.mean_latency_s < one.mean_latency_s);
+    }
+
+    #[test]
+    fn edge_exits_are_immune_to_fleet_size() {
+        let routes_a: Vec<Vec<ExitPoint>> = (0..1).map(|_| vec![ExitPoint::Main; 10]).collect();
+        let routes_b: Vec<Vec<ExitPoint>> = (0..32).map(|_| vec![ExitPoint::Main; 10]).collect();
+        let a = simulate_fleet(&cfg(1), &routes_a);
+        let b = simulate_fleet(&cfg(1), &routes_b);
+        assert!((a.mean_latency_s - b.mean_latency_s).abs() < 1e-12, "edge-only latency must not depend on fleet size");
+        assert_eq!(b.cloud_utilization, 0.0);
+        assert_eq!(b.cloud_wait_max_s, 0.0);
+    }
+
+    #[test]
+    fn early_exits_relieve_the_cloud() {
+        // Same fleet, two policies: offload everything vs offload a third.
+        let all_cloud: Vec<Vec<ExitPoint>> = (0..8).map(|_| vec![ExitPoint::Cloud; 9]).collect();
+        let meanet: Vec<Vec<ExitPoint>> = (0..8).map(|_| mixed_routes(9)).collect();
+        let heavy = simulate_fleet(&cfg(1), &all_cloud);
+        let light = simulate_fleet(&cfg(1), &meanet);
+        assert!(light.cloud_wait_mean_s < heavy.cloud_wait_mean_s);
+        assert!(light.mean_latency_s < heavy.mean_latency_s);
+        assert!(light.energy.communication_j < heavy.energy.communication_j);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let routes: Vec<Vec<ExitPoint>> = (0..5).map(|d| mixed_routes(7 + d)).collect();
+        let a = simulate_fleet(&cfg(2), &routes);
+        let b = simulate_fleet(&cfg(2), &routes);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let routes: Vec<Vec<ExitPoint>> = (0..6).map(|_| mixed_routes(20)).collect();
+        let r = simulate_fleet(&cfg(2), &routes);
+        assert!(r.p50_latency_s <= r.p95_latency_s);
+        assert!(r.p95_latency_s <= r.p99_latency_s);
+        assert!(r.p99_latency_s <= r.makespan_s + 1e-12);
+        assert!(r.cloud_utilization > 0.0 && r.cloud_utilization <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cloud server")]
+    fn zero_servers_rejected() {
+        let mut f = cfg(1);
+        f.cloud_servers = 0;
+        let _ = simulate_fleet(&f, &[vec![ExitPoint::Main]]);
+    }
+
+    #[test]
+    fn explicit_uniform_arrivals_match_the_interval_path() {
+        let f = cfg(2);
+        let routes: Vec<Vec<ExitPoint>> = (0..3).map(|_| mixed_routes(9)).collect();
+        let arrivals: Vec<Vec<f64>> =
+            routes.iter().map(|r| (0..r.len()).map(|i| i as f64 * f.arrival_interval_s).collect()).collect();
+        let a = simulate_fleet(&f, &routes);
+        let b = simulate_fleet_with_arrivals(&f, &routes, &arrivals);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bursty_arrivals_inflate_tail_latency_at_equal_mean_rate() {
+        use crate::traces::ArrivalModel;
+        use mea_tensor::Rng;
+        let f = cfg(1);
+        let n = 60;
+        let routes: Vec<Vec<ExitPoint>> = (0..4).map(|_| vec![ExitPoint::Cloud; n]).collect();
+        let uniform = ArrivalModel::Uniform { interval_s: 0.004 };
+        // Same mean interval (3·0 + 0.016)/4 = 0.004 s, but 4-deep bursts.
+        let bursty = ArrivalModel::Bursty { burst_len: 4, intra_s: 0.0, gap_s: 0.016 };
+        assert!((uniform.mean_interval_s() - bursty.mean_interval_s()).abs() < 1e-12);
+        let mut rng = Rng::new(0);
+        let ua: Vec<Vec<f64>> = (0..4).map(|_| uniform.generate(n, &mut rng)).collect();
+        let ba: Vec<Vec<f64>> = (0..4).map(|_| bursty.generate(n, &mut rng)).collect();
+        let u = simulate_fleet_with_arrivals(&f, &routes, &ua);
+        let b = simulate_fleet_with_arrivals(&f, &routes, &ba);
+        assert!(
+            b.p95_latency_s > u.p95_latency_s,
+            "bursts must hurt the tail: {} vs {}",
+            b.p95_latency_s,
+            u.p95_latency_s
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_arrivals_rejected() {
+        let f = cfg(1);
+        let _ = simulate_fleet_with_arrivals(&f, &[vec![ExitPoint::Main; 2]], &[vec![1.0, 0.5]]);
+    }
+}

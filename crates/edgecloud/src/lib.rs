@@ -1,0 +1,46 @@
+//! # mea-edgecloud
+//!
+//! The distributed-system substrate of the MEANet reproduction: everything
+//! between the edge model and the cloud model.
+//!
+//! * [`device`] — compute device profiles (power, effective MAC throughput)
+//!   calibrated against the paper's Table VII measurements;
+//! * [`network`] — the WiFi upload power model the paper takes from
+//!   Huang et al. (MobiSys'12): `P = 283.17 mW/Mbps · s + 132.86 mW`;
+//! * [`payload`] — what actually crosses the link (raw images vs feature
+//!   maps), with a binary codec and wire-size accounting;
+//! * [`cost`] — the closed-form cost estimation of Table I for the four
+//!   strategies (edge, cloud, edge-cloud raw, edge-cloud features);
+//! * [`partition`] — Neurosurgeon-style layer-granularity partition-point
+//!   search backing the "sending features" strategy (every layer boundary
+//!   scored for latency or edge energy);
+//! * [`energy`] — per-image compute/communication energy (Table VII) and
+//!   whole-testset totals (Fig. 8), both the paper's coarse model and a
+//!   per-exit refinement driven by Algorithm-2 records;
+//! * [`sim`] — an edge-cloud pipeline simulator: a deterministic
+//!   virtual-clock mode for latency accounting and a threaded mode (real
+//!   crossbeam channels) for end-to-end integration tests;
+//! * [`fleet`] — a multi-device extension of the simulator where many edge
+//!   devices share a bounded pool of cloud servers, quantifying the cloud
+//!   congestion the paper's introduction argues early exits relieve.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod device;
+pub mod energy;
+pub mod fleet;
+pub mod network;
+pub mod partition;
+pub mod payload;
+pub mod sim;
+pub mod traces;
+
+pub use cost::{CostBreakdown, CostParams, Strategy};
+pub use device::DeviceProfile;
+pub use energy::{EnergyReport, PerImageCosts};
+pub use fleet::{simulate_fleet, simulate_fleet_with_arrivals, FleetConfig, FleetReport};
+pub use network::{NetworkLink, UploadPowerModel};
+pub use partition::{best_cut, profile_network, sweep_cuts, CutCost, LayerProfile, Objective, PartitionEnv};
+pub use payload::Payload;
+pub use traces::ArrivalModel;

@@ -1,0 +1,161 @@
+//! The wireless uplink model (paper §IV-B, after Huang et al., MobiSys'12
+//! and Eshratifar & Pedram): `P_upload = 283.17 mW/Mbps · s + 132.86 mW`.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear throughput→power model of the uplink radio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UploadPowerModel {
+    /// Milliwatts per Mbps of throughput.
+    pub mw_per_mbps: f64,
+    /// Baseline milliwatts while transmitting.
+    pub base_mw: f64,
+}
+
+impl UploadPowerModel {
+    /// The paper's WiFi coefficients.
+    pub fn wifi() -> Self {
+        UploadPowerModel { mw_per_mbps: 283.17, base_mw: 132.86 }
+    }
+
+    /// LTE uplink coefficients from the same measurement study the paper
+    /// takes its WiFi model from (Huang et al., MobiSys'12, Table 4:
+    /// `α_u = 438.39 mW/Mbps`, `β = 1288.04 mW`). LTE burns ~10× the idle
+    /// baseline of WiFi, which is why cellular deployments want even
+    /// fewer offloads.
+    pub fn lte() -> Self {
+        UploadPowerModel { mw_per_mbps: 438.39, base_mw: 1288.04 }
+    }
+
+    /// Upload power in watts at the given throughput.
+    pub fn power_w(&self, throughput_mbps: f64) -> f64 {
+        (self.mw_per_mbps * throughput_mbps + self.base_mw) / 1e3
+    }
+}
+
+/// An uplink: throughput plus the power model, with optional propagation
+/// delay for the latency simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkLink {
+    /// Sustained uplink throughput in Mbps.
+    pub throughput_mbps: f64,
+    /// Radio power model.
+    pub power: UploadPowerModel,
+    /// One-way propagation delay in seconds (0 in the paper's energy
+    /// accounting; used by the latency simulator).
+    pub rtt_s: f64,
+}
+
+impl NetworkLink {
+    /// The paper's WiFi link: 18.88 Mb/s average upload speed.
+    pub fn wifi_18_88() -> Self {
+        NetworkLink { throughput_mbps: 18.88, power: UploadPowerModel::wifi(), rtt_s: 0.0 }
+    }
+
+    /// A WiFi link with a given throughput.
+    pub fn wifi(throughput_mbps: f64) -> Self {
+        NetworkLink { throughput_mbps, power: UploadPowerModel::wifi(), rtt_s: 0.0 }
+    }
+
+    /// An LTE link with a given throughput (Huang et al.'s measured
+    /// average LTE uplink was ~5.6 Mb/s).
+    pub fn lte(throughput_mbps: f64) -> Self {
+        NetworkLink { throughput_mbps, power: UploadPowerModel::lte(), rtt_s: 0.0 }
+    }
+
+    /// The MobiSys'12 average LTE uplink: 5.64 Mb/s.
+    pub fn lte_5_64() -> Self {
+        NetworkLink::lte(5.64)
+    }
+
+    /// Adds a propagation delay (builder style).
+    pub fn with_rtt(mut self, rtt_s: f64) -> Self {
+        self.rtt_s = rtt_s;
+        self
+    }
+
+    /// Upload power in watts.
+    pub fn upload_power_w(&self) -> f64 {
+        self.power.power_w(self.throughput_mbps)
+    }
+
+    /// Seconds to push `bytes` up the link (serialisation time only).
+    pub fn upload_time_s(&self, bytes: u64) -> f64 {
+        (bytes as f64 * 8.0) / (self.throughput_mbps * 1e6)
+    }
+
+    /// Joules spent by the edge radio to upload `bytes`.
+    pub fn upload_energy_j(&self, bytes: u64) -> f64 {
+        self.upload_power_w() * self.upload_time_s(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_wifi_power_is_5_48w() {
+        let link = NetworkLink::wifi_18_88();
+        assert!((link.upload_power_w() - 5.479).abs() < 0.01, "power {}", link.upload_power_w());
+    }
+
+    #[test]
+    fn cifar_image_upload_matches_table_vii() {
+        // 32×32×3 bytes ⇒ 1.3 ms and 7.12 mJ.
+        let link = NetworkLink::wifi_18_88();
+        let t = link.upload_time_s(32 * 32 * 3);
+        assert!((t * 1e3 - 1.302).abs() < 0.01, "time {} ms", t * 1e3);
+        let e = link.upload_energy_j(32 * 32 * 3);
+        assert!((e * 1e3 - 7.13).abs() < 0.05, "energy {} mJ", e * 1e3);
+    }
+
+    #[test]
+    fn imagenet_image_upload_matches_table_vii() {
+        // 224×224×3 bytes ⇒ 63.7 ms and ~349 mJ.
+        let link = NetworkLink::wifi_18_88();
+        let t = link.upload_time_s(224 * 224 * 3);
+        assert!((t * 1e3 - 63.78).abs() < 0.2, "time {} ms", t * 1e3);
+        let e = link.upload_energy_j(224 * 224 * 3);
+        assert!((e * 1e3 - 349.0).abs() < 2.0, "energy {} mJ", e * 1e3);
+    }
+
+    #[test]
+    fn energy_is_linear_in_bytes() {
+        let link = NetworkLink::wifi(10.0);
+        let e1 = link.upload_energy_j(1000);
+        let e2 = link.upload_energy_j(2000);
+        assert!((e2 - 2.0 * e1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_link_uses_more_power_but_less_energy() {
+        let slow = NetworkLink::wifi(5.0);
+        let fast = NetworkLink::wifi(50.0);
+        assert!(fast.upload_power_w() > slow.upload_power_w());
+        assert!(fast.upload_energy_j(10_000) < slow.upload_energy_j(10_000));
+    }
+
+    #[test]
+    fn lte_coefficients_match_mobisys12() {
+        // 438.39 mW/Mbps · 5.64 Mbps + 1288.04 mW ≈ 3.76 W.
+        let link = NetworkLink::lte_5_64();
+        assert!((link.upload_power_w() - 3.761).abs() < 0.01, "power {}", link.upload_power_w());
+    }
+
+    #[test]
+    fn lte_costs_more_energy_per_byte_than_wifi() {
+        // Same picture the paper's source measured: at their respective
+        // average throughputs, LTE's higher baseline power and lower
+        // throughput make each uploaded byte more expensive.
+        let wifi = NetworkLink::wifi_18_88();
+        let lte = NetworkLink::lte_5_64();
+        let bytes = 32 * 32 * 3;
+        assert!(
+            lte.upload_energy_j(bytes) > 2.0 * wifi.upload_energy_j(bytes),
+            "lte {} vs wifi {}",
+            lte.upload_energy_j(bytes),
+            wifi.upload_energy_j(bytes)
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! Layer-granularity DNN partitioning between the edge and the cloud —
+//! the "sending features" collaboration mode of paper §III-C and Table I.
+//!
+//! The paper cites Neurosurgeon (Kang et al., ASPLOS'17) and chooses *not*
+//! to partition (it sends raw images so the cloud model stays independent).
+//! This module implements the alternative it argues against, so the two
+//! modes can be compared quantitatively: every boundary between top-level
+//! layers is a candidate cut; the edge runs the prefix, uploads the
+//! intermediate activation, and the cloud runs the suffix. The optimizer
+//! scores every cut in closed form against a device/link model and returns
+//! the best, for either end-to-end latency or edge energy.
+
+use crate::device::DeviceProfile;
+use crate::network::NetworkLink;
+use mea_nn::layer::Layer;
+use mea_nn::models::SegmentedCnn;
+use serde::{Deserialize, Serialize};
+
+/// Compute/output profile of one top-level layer (one candidate slice of
+/// the partition).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Human-readable layer name.
+    pub name: String,
+    /// Multiply-adds of this layer for one image.
+    pub macs: u64,
+    /// Elements of this layer's output for one image (what a cut *after*
+    /// this layer would transmit).
+    pub out_elems: u64,
+}
+
+/// Profiles every top-level layer of a [`SegmentedCnn`] (all segments in
+/// order, then the head as one opaque unit), yielding the candidate cut
+/// points of the partition search.
+pub fn profile_network(net: &SegmentedCnn) -> Vec<LayerProfile> {
+    let mut shape: Vec<usize> = net.in_shape.to_vec();
+    let mut profiles = Vec::new();
+    for seg in &net.segments {
+        for layer in seg.layers() {
+            let (macs, out) = layer.macs(&shape);
+            profiles.push(LayerProfile {
+                name: layer.name().to_string(),
+                macs,
+                out_elems: out.iter().product::<usize>() as u64,
+            });
+            shape = out;
+        }
+    }
+    let (head_macs, head_out) = net.head.macs(&shape);
+    profiles.push(LayerProfile {
+        name: "Head".to_string(),
+        macs: head_macs,
+        out_elems: head_out.iter().product::<usize>() as u64,
+    });
+    profiles
+}
+
+/// What the partition search minimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// End-to-end per-image latency (edge compute + upload + RTT + cloud
+    /// compute).
+    Latency,
+    /// Energy drawn from the edge device (compute + radio), the quantity
+    /// the paper's Fig. 8 cares about.
+    EdgeEnergy,
+}
+
+/// Scored evaluation of one cut point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CutCost {
+    /// Number of leading layers executed at the edge (`0` = cloud-only
+    /// with raw upload, `L` = edge-only).
+    pub cut: usize,
+    /// Fraction `q` of total MACs executed at the edge (Table I's `q`).
+    pub q: f64,
+    /// Bytes uploaded per image at this cut.
+    pub upload_bytes: u64,
+    /// Per-image end-to-end latency (s).
+    pub latency_s: f64,
+    /// Per-image energy at the edge (J).
+    pub edge_energy_j: f64,
+}
+
+/// Device/link context of a partition search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionEnv {
+    /// The edge device.
+    pub edge: DeviceProfile,
+    /// The cloud device.
+    pub cloud: DeviceProfile,
+    /// The uplink.
+    pub link: NetworkLink,
+    /// Bytes per transmitted activation element (4 for f32 features, 1
+    /// for int8-quantized features).
+    pub bytes_per_elem: u64,
+    /// Bytes of one raw input image (the cut-at-0 upload).
+    pub raw_input_bytes: u64,
+}
+
+/// Scores every cut of the profiled network.
+///
+/// Cut `k` means layers `[0, k)` run at the edge and `[k, L)` at the
+/// cloud. `k = L` is edge-only (no upload, no cloud compute); `k = 0`
+/// uploads the raw image.
+///
+/// # Panics
+///
+/// Panics if `profiles` is empty.
+pub fn sweep_cuts(profiles: &[LayerProfile], env: &PartitionEnv) -> Vec<CutCost> {
+    assert!(!profiles.is_empty(), "nothing to partition");
+    let total_macs: u64 = profiles.iter().map(|p| p.macs).sum();
+    let l = profiles.len();
+    let mut out = Vec::with_capacity(l + 1);
+    let mut edge_macs = 0u64;
+    for cut in 0..=l {
+        if cut > 0 {
+            edge_macs += profiles[cut - 1].macs;
+        }
+        let cloud_macs = total_macs - edge_macs;
+        let upload_bytes = if cut == l {
+            0
+        } else if cut == 0 {
+            env.raw_input_bytes
+        } else {
+            profiles[cut - 1].out_elems * env.bytes_per_elem
+        };
+        let edge_lat = env.edge.latency_s(edge_macs);
+        let (comm_lat, cloud_lat, comm_energy) = if cut == l {
+            (0.0, 0.0, 0.0)
+        } else {
+            (
+                env.link.upload_time_s(upload_bytes) + env.link.rtt_s,
+                env.cloud.latency_s(cloud_macs),
+                env.link.upload_energy_j(upload_bytes),
+            )
+        };
+        out.push(CutCost {
+            cut,
+            q: if total_macs == 0 { 1.0 } else { edge_macs as f64 / total_macs as f64 },
+            upload_bytes,
+            latency_s: edge_lat + comm_lat + cloud_lat,
+            edge_energy_j: env.edge.compute_energy_j(edge_macs) + comm_energy,
+        });
+    }
+    out
+}
+
+/// The best cut under an objective, breaking ties toward more edge layers
+/// (the paper's preference: keep data local).
+///
+/// # Panics
+///
+/// Panics if `profiles` is empty.
+pub fn best_cut(profiles: &[LayerProfile], env: &PartitionEnv, objective: Objective) -> CutCost {
+    let costs = sweep_cuts(profiles, env);
+    let score = |c: &CutCost| match objective {
+        Objective::Latency => c.latency_s,
+        Objective::EdgeEnergy => c.edge_energy_j,
+    };
+    costs
+        .into_iter()
+        .rev() // later cuts (more edge) win ties
+        .min_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite costs"))
+        .expect("at least the two trivial cuts exist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_nn::models::{resnet_cifar, CifarResNetConfig};
+    use mea_tensor::Rng;
+
+    fn toy_profiles() -> Vec<LayerProfile> {
+        vec![
+            LayerProfile { name: "conv1".into(), macs: 1_000_000, out_elems: 4096 },
+            LayerProfile { name: "conv2".into(), macs: 2_000_000, out_elems: 1024 },
+            LayerProfile { name: "head".into(), macs: 100_000, out_elems: 10 },
+        ]
+    }
+
+    fn env() -> PartitionEnv {
+        PartitionEnv {
+            edge: DeviceProfile::new("edge", 10.0, 1e9),
+            cloud: DeviceProfile::new("cloud", 200.0, 1e11),
+            link: NetworkLink::wifi(8.0).with_rtt(0.01),
+            bytes_per_elem: 4,
+            raw_input_bytes: 3 * 32 * 32,
+        }
+    }
+
+    #[test]
+    fn endpoints_match_closed_forms() {
+        let profiles = toy_profiles();
+        let e = env();
+        let costs = sweep_cuts(&profiles, &e);
+        assert_eq!(costs.len(), 4);
+        // Cut 0 = cloud-only: edge pays only the raw upload.
+        let c0 = costs[0];
+        assert_eq!(c0.upload_bytes, e.raw_input_bytes);
+        assert!((c0.edge_energy_j - e.link.upload_energy_j(e.raw_input_bytes)).abs() < 1e-12);
+        assert_eq!(c0.q, 0.0);
+        // Cut L = edge-only: no communication at all.
+        let cl = costs[3];
+        assert_eq!(cl.upload_bytes, 0);
+        assert_eq!(cl.q, 1.0);
+        assert!((cl.latency_s - e.edge.latency_s(3_100_000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_is_monotone_in_cut() {
+        let costs = sweep_cuts(&toy_profiles(), &env());
+        for pair in costs.windows(2) {
+            assert!(pair[1].q >= pair[0].q);
+        }
+    }
+
+    #[test]
+    fn best_cut_beats_or_equals_endpoints() {
+        let profiles = toy_profiles();
+        let e = env();
+        let costs = sweep_cuts(&profiles, &e);
+        for obj in [Objective::Latency, Objective::EdgeEnergy] {
+            let best = best_cut(&profiles, &e, obj);
+            let score = |c: &CutCost| match obj {
+                Objective::Latency => c.latency_s,
+                Objective::EdgeEnergy => c.edge_energy_j,
+            };
+            assert!(score(&best) <= score(&costs[0]) + 1e-12);
+            assert!(score(&best) <= score(costs.last().unwrap()) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn slow_link_pushes_partition_to_the_edge() {
+        let profiles = toy_profiles();
+        let mut e = env();
+        e.link = NetworkLink::wifi(0.001).with_rtt(0.5); // ~1 kB/s
+        let best = best_cut(&profiles, &e, Objective::Latency);
+        assert_eq!(best.cut, profiles.len(), "with a dead link, run everything at the edge");
+    }
+
+    #[test]
+    fn fast_cloud_and_fat_link_pull_partition_to_the_cloud() {
+        let profiles = toy_profiles();
+        let mut e = env();
+        e.link = NetworkLink::wifi(100_000.0).with_rtt(0.0); // effectively free uplink
+        e.cloud = DeviceProfile::new("dc", 500.0, 1e14);
+        let best = best_cut(&profiles, &e, Objective::Latency);
+        assert_eq!(best.cut, 0, "free uplink + huge cloud: offload immediately");
+    }
+
+    #[test]
+    fn bottleneck_cut_wins_when_features_shrink() {
+        // A Neurosurgeon-shaped network: conv2 produces a bottleneck
+        // activation (1 KiB) far smaller than the raw input (12 KiB), and a
+        // heavy head follows. Cutting after the bottleneck then strictly
+        // beats both endpoints: upload is cheap *and* the expensive suffix
+        // runs on the fast cloud.
+        let profiles = vec![
+            LayerProfile { name: "conv1".into(), macs: 1_000_000, out_elems: 4096 },
+            LayerProfile { name: "conv2".into(), macs: 2_000_000, out_elems: 256 },
+            LayerProfile { name: "head".into(), macs: 5_000_000, out_elems: 10 },
+        ];
+        let e = PartitionEnv {
+            edge: DeviceProfile::new("edge", 10.0, 1e9),
+            cloud: DeviceProfile::new("dc", 500.0, 1e11),
+            link: NetworkLink::wifi(10.0).with_rtt(0.0),
+            bytes_per_elem: 4,
+            raw_input_bytes: 12288,
+        };
+        let best = best_cut(&profiles, &e, Objective::Latency);
+        assert_eq!(best.cut, 2, "cut after the bottleneck layer, got {best:?}");
+    }
+
+    #[test]
+    fn quantized_features_shift_optimum_cloudward() {
+        // 1-byte features make feature upload 4x cheaper, so the optimal
+        // energy cut can only move toward (or stay at) less edge compute.
+        let profiles = toy_profiles();
+        let mut e = env();
+        e.link = NetworkLink::wifi(2.0).with_rtt(0.0);
+        let f32_best = best_cut(&profiles, &e, Objective::EdgeEnergy);
+        e.bytes_per_elem = 1;
+        let int8_best = best_cut(&profiles, &e, Objective::EdgeEnergy);
+        assert!(int8_best.edge_energy_j <= f32_best.edge_energy_j + 1e-12);
+    }
+
+    #[test]
+    fn profile_network_covers_all_macs() {
+        let mut rng = Rng::new(0);
+        let mut cfg = CifarResNetConfig::repro_scale(6);
+        cfg.input_hw = 8;
+        let net = resnet_cifar(&cfg, &mut rng);
+        let profiles = profile_network(&net);
+        let total: u64 = profiles.iter().map(|p| p.macs).sum();
+        assert_eq!(total, net.total_macs(), "profiled MACs must equal the model's total");
+        // Head is the last profile and outputs one logit per class.
+        assert_eq!(profiles.last().unwrap().out_elems, 6);
+    }
+}

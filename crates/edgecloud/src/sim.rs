@@ -1,0 +1,275 @@
+//! Edge-cloud pipeline simulation.
+//!
+//! Two complementary modes:
+//!
+//! * [`simulate`] — a deterministic **virtual-clock** model of the paper's
+//!   deployment: frames arrive at a fixed interval, the edge GPU is a FIFO
+//!   server, the radio is a FIFO channel, the cloud is a FIFO server.
+//!   Produces per-instance end-to-end latency, the makespan, and the edge
+//!   energy split. This is what backs the latency claims of §IV-B ("since
+//!   more than 50% of data inference have terminated at the edge,
+//!   edge-cloud distributed inference still has the advantage in latency").
+//! * [`run_threaded`] — a **real** two-node pipeline: the edge thread
+//!   encodes [`Payload`]s onto a bounded crossbeam channel, a cloud worker
+//!   thread decodes and classifies, and responses flow back over a second
+//!   channel. Used by integration tests to prove the wire format and
+//!   routing logic work end to end, not just in closed form.
+
+use crate::device::DeviceProfile;
+use crate::energy::EnergyReport;
+use crate::network::NetworkLink;
+use crate::payload::Payload;
+use meanet::ExitPoint;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of a virtual-clock simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Edge device profile.
+    pub edge: DeviceProfile,
+    /// Cloud device profile.
+    pub cloud: DeviceProfile,
+    /// Uplink model.
+    pub link: NetworkLink,
+    /// MACs of the main block (every instance pays this).
+    pub macs_main: u64,
+    /// Extra MACs of the adaptive + extension path.
+    pub macs_extension_extra: u64,
+    /// MACs of the cloud network.
+    pub macs_cloud: u64,
+    /// Upload payload size in bytes for offloaded instances.
+    pub payload_bytes: u64,
+    /// Inter-arrival time of frames at the edge (s); 0 = all available at
+    /// time zero (batch processing).
+    pub arrival_interval_s: f64,
+}
+
+/// Per-instance timing from the virtual-clock simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceTiming {
+    /// Arrival time (s).
+    pub arrival_s: f64,
+    /// Completion time — when the final label is available at the edge (s).
+    pub completion_s: f64,
+}
+
+impl InstanceTiming {
+    /// End-to-end latency (s).
+    pub fn latency_s(&self) -> f64 {
+        self.completion_s - self.arrival_s
+    }
+}
+
+/// Aggregate simulation results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Per-instance timings in arrival order.
+    pub timings: Vec<InstanceTiming>,
+    /// Completion time of the last instance (s).
+    pub makespan_s: f64,
+    /// Mean end-to-end latency (s).
+    pub mean_latency_s: f64,
+    /// 95th-percentile end-to-end latency (s).
+    pub p95_latency_s: f64,
+    /// Edge energy split (compute + communication).
+    pub energy: EnergyReport,
+}
+
+/// Runs the virtual-clock simulation for a route sequence (one
+/// [`ExitPoint`] per instance, e.g. from Algorithm-2 records).
+///
+/// # Panics
+///
+/// Panics if `routes` is empty.
+pub fn simulate(cfg: &SimConfig, routes: &[ExitPoint]) -> SimReport {
+    assert!(!routes.is_empty(), "nothing to simulate");
+    let mut edge_free = 0.0f64;
+    let mut radio_free = 0.0f64;
+    let mut cloud_free = 0.0f64;
+    let mut energy = EnergyReport::default();
+    let mut timings = Vec::with_capacity(routes.len());
+
+    let t_main = cfg.edge.latency_s(cfg.macs_main);
+    let t_ext = cfg.edge.latency_s(cfg.macs_extension_extra);
+    let t_up = cfg.link.upload_time_s(cfg.payload_bytes);
+    let t_cloud = cfg.cloud.latency_s(cfg.macs_cloud);
+
+    for (i, route) in routes.iter().enumerate() {
+        let arrival = i as f64 * cfg.arrival_interval_s;
+        // Main block on the edge GPU (FIFO).
+        let start_edge = edge_free.max(arrival);
+        let mut done = start_edge + t_main;
+        energy.compute_j += cfg.edge.compute_energy_j(cfg.macs_main);
+        match route {
+            ExitPoint::Main => {
+                edge_free = done;
+            }
+            ExitPoint::Extension => {
+                done += t_ext;
+                energy.compute_j += cfg.edge.compute_energy_j(cfg.macs_extension_extra);
+                edge_free = done;
+            }
+            ExitPoint::Cloud => {
+                // The edge GPU is released after the main block; the radio
+                // and cloud pipelines run in parallel with later frames.
+                edge_free = done;
+                let start_up = radio_free.max(done);
+                let uploaded = start_up + t_up;
+                radio_free = uploaded;
+                energy.communication_j += cfg.link.upload_energy_j(cfg.payload_bytes);
+                let start_cloud = cloud_free.max(uploaded + cfg.link.rtt_s / 2.0);
+                let classified = start_cloud + t_cloud;
+                cloud_free = classified;
+                done = classified + cfg.link.rtt_s / 2.0;
+            }
+        }
+        timings.push(InstanceTiming { arrival_s: arrival, completion_s: done });
+    }
+
+    let mut latencies: Vec<f64> = timings.iter().map(InstanceTiming::latency_s).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let makespan_s = timings.iter().map(|t| t.completion_s).fold(0.0, f64::max);
+    let mean_latency_s = latencies.iter().sum::<f64>() / latencies.len() as f64;
+    let p95_latency_s = latencies[((latencies.len() as f64 * 0.95) as usize).min(latencies.len() - 1)];
+    SimReport { timings, makespan_s, mean_latency_s, p95_latency_s, energy }
+}
+
+/// Statistics gathered by the threaded pipeline.
+#[derive(Debug, Default)]
+pub struct ThreadedStats {
+    /// Total bytes that crossed the edge→cloud channel.
+    pub bytes_sent: u64,
+    /// Number of payloads processed by the cloud worker.
+    pub payloads: u64,
+}
+
+/// Runs a real two-thread edge→cloud pipeline: payloads are encoded,
+/// shipped over a bounded channel, decoded and classified by the cloud
+/// worker; predictions return over a response channel in order.
+///
+/// `classify` runs on the cloud thread and must be `Send + Sync`.
+pub fn run_threaded(
+    payloads: Vec<Payload>,
+    classify: impl Fn(&Payload) -> usize + Send + Sync,
+) -> (Vec<usize>, ThreadedStats) {
+    let stats = Mutex::new(ThreadedStats::default());
+    let (tx, rx) = crossbeam::channel::bounded::<bytes::Bytes>(4);
+    let (resp_tx, resp_rx) = crossbeam::channel::unbounded::<usize>();
+    let n = payloads.len();
+
+    let mut results = Vec::with_capacity(n);
+    crossbeam::thread::scope(|scope| {
+        // Cloud worker: decode, classify, respond.
+        let stats_ref = &stats;
+        let classify_ref = &classify;
+        scope.spawn(move |_| {
+            while let Ok(buf) = rx.recv() {
+                let mut guard = stats_ref.lock();
+                guard.bytes_sent += buf.len() as u64;
+                guard.payloads += 1;
+                drop(guard);
+                let payload = Payload::decode(buf);
+                let pred = classify_ref(&payload);
+                resp_tx.send(pred).expect("edge response channel open");
+            }
+        });
+        // Edge: stream payloads, then collect all responses.
+        for p in &payloads {
+            tx.send(p.encode()).expect("cloud request channel open");
+        }
+        drop(tx); // close the channel so the worker terminates
+        for _ in 0..n {
+            results.push(resp_rx.recv().expect("response for every payload"));
+        }
+    })
+    .expect("threaded pipeline panicked");
+
+    (results, stats.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_tensor::{Rng, Tensor};
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            edge: DeviceProfile::new("edge", 10.0, 1e9),
+            cloud: DeviceProfile::new("cloud", 100.0, 1e10),
+            link: NetworkLink::wifi(8.0).with_rtt(0.01),
+            macs_main: 1_000_000,        // 1 ms on edge
+            macs_extension_extra: 500_000, // 0.5 ms
+            macs_cloud: 10_000_000,      // 1 ms on cloud
+            payload_bytes: 1000,         // 1 ms on the 1 MB/s link
+            arrival_interval_s: 0.002,
+        }
+    }
+
+    #[test]
+    fn main_exits_have_main_latency() {
+        let report = simulate(&cfg(), &[ExitPoint::Main; 5]);
+        // Interval (2 ms) exceeds service (1 ms): no queueing.
+        for t in &report.timings {
+            assert!((t.latency_s() - 0.001).abs() < 1e-9, "latency {}", t.latency_s());
+        }
+        assert_eq!(report.energy.communication_j, 0.0);
+    }
+
+    #[test]
+    fn cloud_exits_pay_upload_and_rtt() {
+        let report = simulate(&cfg(), &[ExitPoint::Cloud]);
+        // 1 ms edge + 1 ms upload + 5 ms half-rtt + 1 ms cloud + 5 ms back.
+        let expect = 0.001 + 0.001 + 0.005 + 0.001 + 0.005;
+        assert!((report.timings[0].latency_s() - expect).abs() < 1e-9);
+        assert!(report.energy.communication_j > 0.0);
+    }
+
+    #[test]
+    fn queueing_appears_when_arrivals_outpace_service() {
+        let mut c = cfg();
+        c.arrival_interval_s = 0.0005; // 0.5 ms arrivals vs 1 ms service
+        let report = simulate(&c, &[ExitPoint::Main; 10]);
+        let first = report.timings.first().unwrap().latency_s();
+        let last = report.timings.last().unwrap().latency_s();
+        assert!(last > first * 3.0, "queueing should build up: {first} vs {last}");
+    }
+
+    #[test]
+    fn extension_exits_occupy_edge_longer() {
+        let base = simulate(&cfg(), &[ExitPoint::Main; 4]);
+        let ext = simulate(&cfg(), &[ExitPoint::Extension; 4]);
+        assert!(ext.mean_latency_s > base.mean_latency_s);
+        assert!(ext.energy.compute_j > base.energy.compute_j);
+    }
+
+    #[test]
+    fn cloud_offload_overlaps_with_edge_work() {
+        // While instance 0 is in flight to the cloud, instance 1 should
+        // complete at the edge: pipeline parallelism.
+        let report = simulate(&cfg(), &[ExitPoint::Cloud, ExitPoint::Main]);
+        let t_cloud = report.timings[0].completion_s;
+        let t_main = report.timings[1].completion_s;
+        assert!(t_main < t_cloud, "edge work should overlap offload");
+    }
+
+    #[test]
+    fn threaded_pipeline_round_trips() {
+        let mut rng = Rng::new(0);
+        let payloads: Vec<Payload> = (0..6)
+            .map(|i| {
+                let t = Tensor::randn([3, 4, 4], 1.0, &mut rng).map(|v| v + i as f32);
+                Payload::Features { features: t }
+            })
+            .collect();
+        // "Classifier": index of the largest element sum bucketised.
+        let (results, stats) = run_threaded(payloads.clone(), |p| {
+            let s = p.tensor().sum();
+            s.clamp(0.0, 5.0) as usize
+        });
+        assert_eq!(results.len(), 6);
+        assert_eq!(stats.payloads, 6);
+        let expected_bytes: u64 = payloads.iter().map(|p| p.wire_size_bytes()).sum();
+        assert_eq!(stats.bytes_sent, expected_bytes);
+    }
+}

@@ -1,0 +1,152 @@
+//! Deterministic arrival-trace generators for the simulators.
+//!
+//! The paper's latency story assumes a steady camera-style frame interval;
+//! real IoT traffic is rarely that polite. These generators produce
+//! seeded, reproducible arrival-time sequences for the fleet simulator so
+//! tail-latency claims can be checked under uniform, Poisson and bursty
+//! load (burstiness is what actually stresses the shared cloud queue).
+
+use mea_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A stochastic (but seeded) model of when frames arrive at one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// Fixed inter-arrival interval (the paper's implicit assumption).
+    Uniform {
+        /// Seconds between consecutive frames.
+        interval_s: f64,
+    },
+    /// Poisson process: exponential inter-arrival times.
+    Poisson {
+        /// Mean arrival rate in frames per second.
+        rate_hz: f64,
+    },
+    /// On/off bursts: `burst_len` frames back to back, then a gap.
+    Bursty {
+        /// Frames per burst.
+        burst_len: usize,
+        /// Spacing inside a burst (s).
+        intra_s: f64,
+        /// Gap between bursts (s).
+        gap_s: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// Generates `n` non-decreasing arrival times starting at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the model parameters are non-positive.
+    pub fn generate(&self, n: usize, rng: &mut Rng) -> Vec<f64> {
+        assert!(n > 0, "need at least one arrival");
+        let mut times = Vec::with_capacity(n);
+        let mut t = 0.0f64;
+        match *self {
+            ArrivalModel::Uniform { interval_s } => {
+                assert!(interval_s >= 0.0, "interval must be non-negative");
+                for i in 0..n {
+                    times.push(i as f64 * interval_s);
+                }
+            }
+            ArrivalModel::Poisson { rate_hz } => {
+                assert!(rate_hz > 0.0, "rate must be positive");
+                for _ in 0..n {
+                    times.push(t);
+                    // Inverse-CDF exponential draw; uniform() is in [0, 1).
+                    let u = (1.0 - rng.uniform() as f64).max(1e-12);
+                    t += -u.ln() / rate_hz;
+                }
+            }
+            ArrivalModel::Bursty { burst_len, intra_s, gap_s } => {
+                assert!(burst_len > 0, "bursts need at least one frame");
+                assert!(intra_s >= 0.0 && gap_s >= 0.0, "spacings must be non-negative");
+                let mut in_burst = 0usize;
+                for _ in 0..n {
+                    times.push(t);
+                    in_burst += 1;
+                    if in_burst == burst_len {
+                        in_burst = 0;
+                        t += gap_s;
+                    } else {
+                        t += intra_s;
+                    }
+                }
+            }
+        }
+        times
+    }
+
+    /// Mean inter-arrival time implied by the model (for rate-matched
+    /// comparisons between models).
+    pub fn mean_interval_s(&self) -> f64 {
+        match *self {
+            ArrivalModel::Uniform { interval_s } => interval_s,
+            ArrivalModel::Poisson { rate_hz } => 1.0 / rate_hz,
+            ArrivalModel::Bursty { burst_len, intra_s, gap_s } => {
+                ((burst_len - 1) as f64 * intra_s + gap_s) / burst_len as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_an_arithmetic_sequence() {
+        let mut rng = Rng::new(0);
+        let t = ArrivalModel::Uniform { interval_s: 0.5 }.generate(4, &mut rng);
+        assert_eq!(t, vec![0.0, 0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn poisson_is_seeded_and_non_decreasing() {
+        let a = ArrivalModel::Poisson { rate_hz: 100.0 }.generate(50, &mut Rng::new(7));
+        let b = ArrivalModel::Poisson { rate_hz: 100.0 }.generate(50, &mut Rng::new(7));
+        assert_eq!(a, b, "same seed, same trace");
+        for w in a.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        let c = ArrivalModel::Poisson { rate_hz: 100.0 }.generate(50, &mut Rng::new(8));
+        assert_ne!(a, c, "different seed, different trace");
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_roughly_right() {
+        let n = 2000;
+        let t = ArrivalModel::Poisson { rate_hz: 1000.0 }.generate(n, &mut Rng::new(1));
+        let span = t.last().unwrap() - t[0];
+        let rate = (n - 1) as f64 / span;
+        assert!((rate - 1000.0).abs() < 100.0, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn bursty_alternates_spacing() {
+        let t = ArrivalModel::Bursty { burst_len: 3, intra_s: 0.001, gap_s: 0.1 }
+            .generate(7, &mut Rng::new(0));
+        // 0, .001, .002 | .102, .103, .104 | .204
+        assert!((t[1] - t[0] - 0.001).abs() < 1e-12);
+        assert!((t[3] - t[2] - 0.1).abs() < 1e-12);
+        assert!((t[6] - t[5] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_intervals_match_generated_traces() {
+        for model in [
+            ArrivalModel::Uniform { interval_s: 0.01 },
+            ArrivalModel::Bursty { burst_len: 4, intra_s: 0.001, gap_s: 0.037 },
+        ] {
+            let n = 400;
+            let t = model.generate(n, &mut Rng::new(2));
+            let empirical = (t.last().unwrap() - t[0]) / (n - 1) as f64;
+            assert!(
+                (empirical - model.mean_interval_s()).abs() < model.mean_interval_s() * 0.05,
+                "{model:?}: empirical {empirical} vs {}",
+                model.mean_interval_s()
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Prediction-entropy statistics.
+//!
+//! The paper (§III-C): *"At the main block, the entropy values of correct
+//! ones show an exponential distribution peaking at zero, while those of
+//! wrong predictions show a normal distribution whose mean is larger than
+//! one. … the range of the threshold can be determined as (µc, µw)."*
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of entropy distributions for correct vs wrong predictions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntropyStats {
+    /// Mean entropy of correctly classified instances (`µc`).
+    pub mean_correct: f64,
+    /// Mean entropy of misclassified instances (`µw`).
+    pub mean_wrong: f64,
+    /// Number of correct instances observed.
+    pub n_correct: usize,
+    /// Number of wrong instances observed.
+    pub n_wrong: usize,
+}
+
+impl EntropyStats {
+    /// Computes the statistics from per-instance entropies and correctness
+    /// flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or are empty.
+    pub fn from_predictions(entropies: &[f32], correct: &[bool]) -> Self {
+        assert_eq!(entropies.len(), correct.len(), "entropy/correctness length mismatch");
+        assert!(!entropies.is_empty(), "no predictions to summarise");
+        let (mut sc, mut sw) = (0.0f64, 0.0f64);
+        let (mut nc, mut nw) = (0usize, 0usize);
+        for (&h, &ok) in entropies.iter().zip(correct) {
+            if ok {
+                sc += h as f64;
+                nc += 1;
+            } else {
+                sw += h as f64;
+                nw += 1;
+            }
+        }
+        EntropyStats {
+            mean_correct: if nc > 0 { sc / nc as f64 } else { 0.0 },
+            mean_wrong: if nw > 0 { sw / nw as f64 } else { 0.0 },
+            n_correct: nc,
+            n_wrong: nw,
+        }
+    }
+
+    /// The `(µc, µw)` threshold range the user picks from. Degenerates to a
+    /// zero-width range when the model is perfect or hopeless.
+    pub fn threshold_range(&self) -> (f64, f64) {
+        (self.mean_correct, self.mean_wrong.max(self.mean_correct))
+    }
+
+    /// A default operating threshold: the midpoint of the range.
+    pub fn suggested_threshold(&self) -> f64 {
+        let (lo, hi) = self.threshold_range();
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separated_distributions() {
+        let entropies = [0.1f32, 0.2, 0.05, 1.5, 2.0, 1.8];
+        let correct = [true, true, true, false, false, false];
+        let s = EntropyStats::from_predictions(&entropies, &correct);
+        assert!(s.mean_correct < 0.2);
+        assert!(s.mean_wrong > 1.5);
+        let (lo, hi) = s.threshold_range();
+        assert!(lo < hi);
+        let mid = s.suggested_threshold();
+        assert!(mid > lo && mid < hi);
+    }
+
+    #[test]
+    fn all_correct_degenerates_gracefully() {
+        let s = EntropyStats::from_predictions(&[0.3, 0.4], &[true, true]);
+        assert_eq!(s.n_wrong, 0);
+        let (lo, hi) = s.threshold_range();
+        assert!(hi >= lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        EntropyStats::from_predictions(&[0.1], &[true, false]);
+    }
+}

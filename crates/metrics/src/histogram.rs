@@ -1,0 +1,116 @@
+//! Fixed-bin histograms for entropy distributions (paper §III-C's
+//! correct-vs-wrong entropy separation).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A histogram with uniform bins over `[lo, hi)`; values outside the range
+/// clamp into the first/last bin so tails stay visible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty, got [{lo}, {hi})");
+        Histogram { lo, hi, counts: vec![0; bins] }
+    }
+
+    /// Adds a value (clamped into range).
+    pub fn add(&mut self, v: f64) {
+        let bins = self.counts.len();
+        let t = ((v - self.lo) / (self.hi - self.lo) * bins as f64).floor();
+        let idx = (t.max(0.0) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Adds many values.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f64>) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// The mean of the recorded (clamped) values, approximated from bins.
+    pub fn approx_mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let s: f64 = self.counts.iter().enumerate().map(|(i, &c)| c as f64 * self.bin_center(i)).sum();
+        s / total as f64
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c * 40 / max) as usize);
+            writeln!(f, "{:>7.3} | {bar} {c}", self.bin_center(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend([0.1, 0.3, 0.6, 0.9, 0.95]);
+        assert_eq!(h.counts(), &[1, 1, 1, 2]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(7.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn approx_mean_is_reasonable() {
+        let mut h = Histogram::new(0.0, 2.0, 100);
+        h.extend((0..1000).map(|i| i as f64 / 1000.0)); // uniform on [0,1)
+        assert!((h.approx_mean() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn display_renders_bars() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.extend([0.1, 0.2, 0.8]);
+        let s = h.to_string();
+        assert!(s.contains('#'));
+        assert_eq!(s.lines().count(), 2);
+    }
+}

@@ -1,0 +1,355 @@
+//! Composite residual blocks: ResNet `BasicBlock` and MobileNetV2
+//! `InvertedResidual`.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::layers::{Activation, BatchNorm2d, Conv2d, DepthwiseConv2d};
+use crate::sequential::Sequential;
+use mea_tensor::{Rng, Tensor};
+
+/// The classic two-convolution residual block of CIFAR/ImageNet ResNets.
+///
+/// `y = ReLU(BN(conv3x3(ReLU(BN(conv3x3(x))))) + shortcut(x))` where the
+/// shortcut is the identity, or a 1×1 strided projection when the spatial
+/// size or channel count changes.
+#[derive(Debug)]
+pub struct BasicBlock {
+    main: Sequential,
+    projection: Option<Sequential>,
+    relu_out: Activation,
+    /// Shortcut input kept in training mode when the shortcut is the
+    /// identity (the projection branch caches internally otherwise).
+    needs_identity_grad: bool,
+}
+
+impl BasicBlock {
+    /// Creates a basic block mapping `in_c → out_c` with the given stride on
+    /// the first convolution.
+    pub fn new(in_c: usize, out_c: usize, stride: usize, rng: &mut Rng) -> Self {
+        let main = Sequential::new(vec![
+            Box::new(Conv2d::new(in_c, out_c, 3, stride, 1, false, rng)),
+            Box::new(BatchNorm2d::new(out_c)),
+            Box::new(Activation::relu()),
+            Box::new(Conv2d::new(out_c, out_c, 3, 1, 1, false, rng)),
+            Box::new(BatchNorm2d::new(out_c)),
+        ]);
+        let projection = (stride != 1 || in_c != out_c).then(|| {
+            Sequential::new(vec![
+                Box::new(Conv2d::new(in_c, out_c, 1, stride, 0, false, rng)) as Box<dyn Layer>,
+                Box::new(BatchNorm2d::new(out_c)),
+            ])
+        });
+        let needs_identity_grad = projection.is_none();
+        BasicBlock { main, projection, relu_out: Activation::relu(), needs_identity_grad }
+    }
+
+    /// The `(main path, projection shortcut)` sub-networks, for graph
+    /// walkers (quantizer, serializer). The projection is `None` for
+    /// identity shortcuts.
+    pub fn parts(&self) -> (&Sequential, Option<&Sequential>) {
+        (&self.main, self.projection.as_ref())
+    }
+
+    /// Mutable counterpart of [`BasicBlock::parts`].
+    pub fn parts_mut(&mut self) -> (&mut Sequential, Option<&mut Sequential>) {
+        (&mut self.main, self.projection.as_mut())
+    }
+}
+
+impl Layer for BasicBlock {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let main_out = self.main.forward(x, mode);
+        let shortcut = match &mut self.projection {
+            Some(proj) => proj.forward(x, mode),
+            None => x.clone(),
+        };
+        let sum = main_out.add(&shortcut);
+        self.relu_out.forward(&sum, mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g_sum = self.relu_out.backward(grad_out);
+        let g_main = self.main.backward(&g_sum);
+        match &mut self.projection {
+            Some(proj) => {
+                let g_skip = proj.backward(&g_sum);
+                g_main.add(&g_skip)
+            }
+            None => {
+                debug_assert!(self.needs_identity_grad);
+                g_main.add(&g_sum)
+            }
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params(f);
+        if let Some(proj) = &mut self.projection {
+            proj.visit_params(f);
+        }
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        self.main.visit_buffers(f);
+        if let Some(proj) = &mut self.projection {
+            proj.visit_buffers(f);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.main.param_count() + self.projection.as_ref().map_or(0, |p| p.param_count())
+    }
+
+    fn macs(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
+        let (main_macs, out) = self.main.macs(in_shape);
+        let proj_macs = self.projection.as_ref().map_or(0, |p| p.macs(in_shape).0);
+        (main_macs + proj_macs, out)
+    }
+
+    fn name(&self) -> &'static str {
+        "BasicBlock"
+    }
+
+    fn activation_elems(&self, in_shape: &[usize]) -> u64 {
+        let main = self.main.activation_elems(in_shape);
+        let proj = self.projection.as_ref().map_or(0, |p| p.activation_elems(in_shape));
+        let (_, out) = self.macs(in_shape);
+        // + the post-sum ReLU activation.
+        main + proj + out.iter().product::<usize>() as u64
+    }
+
+    fn clear_cache(&mut self) {
+        self.main.clear_cache();
+        if let Some(p) = &mut self.projection {
+            p.clear_cache();
+        }
+        self.relu_out.clear_cache();
+    }
+}
+
+/// MobileNetV2's inverted residual: expand (1×1) → depthwise (3×3) →
+/// project (1×1, linear), with a residual connection when the geometry
+/// allows it.
+#[derive(Debug)]
+pub struct InvertedResidual {
+    main: Sequential,
+    use_skip: bool,
+}
+
+impl InvertedResidual {
+    /// Creates an inverted residual block with expansion factor `expand`.
+    pub fn new(in_c: usize, out_c: usize, stride: usize, expand: usize, rng: &mut Rng) -> Self {
+        let hidden = in_c * expand;
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        if expand != 1 {
+            layers.push(Box::new(Conv2d::new(in_c, hidden, 1, 1, 0, false, rng)));
+            layers.push(Box::new(BatchNorm2d::new(hidden)));
+            layers.push(Box::new(Activation::relu6()));
+        }
+        layers.push(Box::new(DepthwiseConv2d::new(hidden, 3, stride, 1, rng)));
+        layers.push(Box::new(BatchNorm2d::new(hidden)));
+        layers.push(Box::new(Activation::relu6()));
+        layers.push(Box::new(Conv2d::new(hidden, out_c, 1, 1, 0, false, rng)));
+        layers.push(Box::new(BatchNorm2d::new(out_c)));
+        InvertedResidual { main: Sequential::new(layers), use_skip: stride == 1 && in_c == out_c }
+    }
+
+    /// Whether the block adds its input back to its output.
+    pub fn has_skip(&self) -> bool {
+        self.use_skip
+    }
+
+    /// The expand → depthwise → project stack, for graph walkers.
+    pub fn inner(&self) -> &Sequential {
+        &self.main
+    }
+
+    /// Mutable counterpart of [`InvertedResidual::inner`].
+    pub fn inner_mut(&mut self) -> &mut Sequential {
+        &mut self.main
+    }
+}
+
+impl Layer for InvertedResidual {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let y = self.main.forward(x, mode);
+        if self.use_skip {
+            y.add(x)
+        } else {
+            y
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g_main = self.main.backward(grad_out);
+        if self.use_skip {
+            g_main.add(grad_out)
+        } else {
+            g_main
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params(f);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        self.main.visit_buffers(f);
+    }
+
+    fn param_count(&self) -> usize {
+        self.main.param_count()
+    }
+
+    fn macs(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
+        self.main.macs(in_shape)
+    }
+
+    fn name(&self) -> &'static str {
+        "InvertedResidual"
+    }
+
+    fn activation_elems(&self, in_shape: &[usize]) -> u64 {
+        self.main.activation_elems(in_shape)
+    }
+
+    fn clear_cache(&mut self) {
+        self.main.clear_cache();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::zero_grads;
+
+    fn weighted_loss(layer: &mut dyn Layer, x: &Tensor, wsum: &Tensor) -> f64 {
+        let y = layer.forward(x, Mode::Train);
+        y.as_slice().iter().zip(wsum.as_slice()).map(|(&a, &b)| (a * b) as f64).sum()
+    }
+
+    #[test]
+    fn identity_shortcut_preserves_shape() {
+        let mut rng = Rng::new(0);
+        let mut block = BasicBlock::new(4, 4, 1, &mut rng);
+        let x = Tensor::randn([2, 4, 6, 6], 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), x.dims());
+        assert!(block.projection.is_none());
+    }
+
+    #[test]
+    fn strided_block_downsamples_with_projection() {
+        let mut rng = Rng::new(1);
+        let mut block = BasicBlock::new(4, 8, 2, &mut rng);
+        let x = Tensor::randn([2, 4, 6, 6], 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[2, 8, 3, 3]);
+        assert!(block.projection.is_some());
+    }
+
+    #[test]
+    fn basic_block_gradient_check() {
+        let mut rng = Rng::new(2);
+        let mut block = BasicBlock::new(2, 4, 2, &mut rng);
+        let x = Tensor::randn([2, 2, 6, 6], 0.5, &mut rng);
+        let wsum = Tensor::randn([2, 4, 3, 3], 1.0, &mut rng);
+        let _ = weighted_loss(&mut block, &x, &wsum);
+        zero_grads(&mut block);
+        let _ = block.forward(&x, Mode::Train);
+        let gx = block.backward(&wsum);
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 31, 77, 143] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (weighted_loss(&mut block, &xp, &wsum) - weighted_loss(&mut block, &xm, &wsum))
+                / (2.0 * eps as f64);
+            let ana = gx.as_slice()[idx] as f64;
+            // BN batch statistics shift with the probe, so tolerance is loose
+            // but still catches sign/structure errors.
+            assert!((num - ana).abs() < 0.1 * (1.0 + ana.abs()), "grad {idx}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn inverted_residual_skip_rules() {
+        let mut rng = Rng::new(3);
+        assert!(InvertedResidual::new(8, 8, 1, 6, &mut rng).has_skip());
+        assert!(!InvertedResidual::new(8, 16, 1, 6, &mut rng).has_skip());
+        assert!(!InvertedResidual::new(8, 8, 2, 6, &mut rng).has_skip());
+    }
+
+    #[test]
+    fn inverted_residual_shapes_and_backward() {
+        let mut rng = Rng::new(4);
+        let mut block = InvertedResidual::new(4, 8, 2, 2, &mut rng);
+        let x = Tensor::randn([2, 4, 8, 8], 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[2, 8, 4, 4]);
+        let g = block.backward(&Tensor::ones(y.shape().clone()));
+        assert_eq!(g.dims(), x.dims());
+    }
+
+    #[test]
+    fn inverted_residual_gradient_check_with_skip() {
+        let mut rng = Rng::new(5);
+        let mut block = InvertedResidual::new(3, 3, 1, 2, &mut rng);
+        let x = Tensor::randn([2, 3, 5, 5], 0.5, &mut rng);
+        let wsum = Tensor::randn([2, 3, 5, 5], 1.0, &mut rng);
+        let _ = weighted_loss(&mut block, &x, &wsum);
+        zero_grads(&mut block);
+        let _ = block.forward(&x, Mode::Train);
+        let gx = block.backward(&wsum);
+        let eps = 1e-2f32;
+        // ReLU6 is non-smooth: a probe that crosses a kink produces a bogus
+        // numerical gradient, so require agreement on the large majority of
+        // coordinates rather than every single one.
+        let mut agree = 0;
+        let probes = [0usize, 17, 50, 77, 111, 140];
+        for &idx in &probes {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (weighted_loss(&mut block, &xp, &wsum) - weighted_loss(&mut block, &xm, &wsum))
+                / (2.0 * eps as f64);
+            let ana = gx.as_slice()[idx] as f64;
+            if (num - ana).abs() < 0.1 * (1.0 + ana.abs()) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= probes.len() - 1, "only {agree}/{} gradient probes agree", probes.len());
+    }
+
+    #[test]
+    fn block_macs_include_projection() {
+        let mut rng = Rng::new(6);
+        let with_proj = BasicBlock::new(4, 8, 2, &mut rng);
+        let without = BasicBlock::new(8, 8, 1, &mut rng);
+        let (m1, out1) = with_proj.macs(&[4, 8, 8]);
+        let (m2, out2) = without.macs(&[8, 8, 8]);
+        assert_eq!(out1, vec![8, 4, 4]);
+        assert_eq!(out2, vec![8, 8, 8]);
+        // conv1 4→8 s2: 8·4·9·16 = 4608 ; conv2 8→8: 8·8·9·16 = 9216 ;
+        // proj 1x1 4→8 s2: 8·4·16 = 512.
+        assert_eq!(m1, 4608 + 9216 + 512);
+        assert_eq!(m2, (8 * 8 * 9 * 64 * 2) as u64);
+    }
+}

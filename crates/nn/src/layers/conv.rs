@@ -1,0 +1,353 @@
+//! Dense 2-D convolution lowered to im2col + matmul, batch-parallel.
+
+use crate::init;
+use crate::layer::{Layer, Mode, Param};
+use mea_tensor::conv::{col2im, im2col, ConvGeom};
+use mea_tensor::{matmul, ops, Rng, Tensor};
+
+/// A standard 2-D convolution over `[N, C, H, W]` tensors.
+///
+/// Weights are stored pre-flattened as `[out_c, in_c·kh·kw]` so forward and
+/// backward are single matrix products per image. The batch dimension is
+/// split across threads.
+#[derive(Debug)]
+pub struct Conv2d {
+    geom: ConvGeom,
+    out_channels: usize,
+    weight: Param,
+    bias: Option<Param>,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    /// Per-image im2col patch matrices from the last training forward.
+    cols: Vec<Tensor>,
+    in_hw: (usize, usize),
+}
+
+impl Conv2d {
+    /// Creates a convolution with a square `kernel`, given `stride` and
+    /// `pad`, Kaiming-initialised. ResNet-style networks set `bias = false`
+    /// because a BatchNorm follows.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        rng: &mut Rng,
+    ) -> Self {
+        let geom = ConvGeom::square(in_channels, kernel, stride, pad);
+        let weight = Param::new(init::kaiming_conv(out_channels, geom.patch_len(), rng));
+        let bias = bias.then(|| Param::new(Tensor::zeros([out_channels])));
+        Conv2d { geom, out_channels, weight, bias, cache: None }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Convolution geometry (kernel/stride/pad).
+    pub fn geom(&self) -> &ConvGeom {
+        &self.geom
+    }
+
+    /// The flattened `[out_c, in_c·kh·kw]` weight matrix.
+    pub fn weight_value(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The bias vector, if the layer has one.
+    pub fn bias_value(&self) -> Option<&Tensor> {
+        self.bias.as_ref().map(|b| &b.value)
+    }
+
+    fn check_input(&self, x: &Tensor) -> (usize, usize, usize) {
+        assert_eq!(x.shape().rank(), 4, "Conv2d expects NCHW, got {}", x.shape());
+        assert_eq!(
+            x.dims()[1],
+            self.geom.in_channels,
+            "Conv2d expects {} input channels, got {}",
+            self.geom.in_channels,
+            x.dims()[1]
+        );
+        (x.dims()[0], x.dims()[2], x.dims()[3])
+    }
+}
+
+impl Layer for Conv2d {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let (n, h, w) = self.check_input(x);
+        let (oh, ow) = self.geom.out_hw(h, w);
+        let chw = self.geom.in_channels * h * w;
+        let out_per_img = self.out_channels * oh * ow;
+        let mut out = Tensor::zeros([n, self.out_channels, oh, ow]);
+
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+        let band = n.div_ceil(workers);
+        let weight = &self.weight.value;
+        let xs = x.as_slice();
+        let mut cols_store: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+
+        crossbeam::thread::scope(|scope| {
+            let mut out_rest = out.as_mut_slice();
+            let mut cols_rest = cols_store.as_mut_slice();
+            let mut start = 0usize;
+            while start < n {
+                let take = band.min(n - start);
+                let (out_band, out_tail) = out_rest.split_at_mut(take * out_per_img);
+                out_rest = out_tail;
+                let (cols_band, cols_tail) = cols_rest.split_at_mut(take);
+                cols_rest = cols_tail;
+                let geom = self.geom;
+                let i0 = start;
+                scope.spawn(move |_| {
+                    for di in 0..take {
+                        let img = &xs[(i0 + di) * chw..(i0 + di + 1) * chw];
+                        let cols = im2col(img, h, w, &geom);
+                        let y = matmul::matmul(weight, &cols);
+                        out_band[di * out_per_img..(di + 1) * out_per_img].copy_from_slice(y.as_slice());
+                        if mode.is_train() {
+                            cols_band[di] = Some(cols);
+                        }
+                    }
+                });
+                start += take;
+            }
+        })
+        .expect("conv forward worker panicked");
+
+        if let Some(bias) = &self.bias {
+            ops::add_bias_nchw(&mut out, &bias.value);
+        }
+        if mode.is_train() {
+            let cols = cols_store.into_iter().map(|c| c.expect("cols cached")).collect();
+            self.cache = Some(Cache { cols, in_hw: (h, w) });
+        } else {
+            self.cache = None;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("Conv2d::backward called without a training forward");
+        let (h, w) = cache.in_hw;
+        let n = grad_out.dims()[0];
+        assert_eq!(n, cache.cols.len(), "batch size changed between forward and backward");
+        let (oh, ow) = self.geom.out_hw(h, w);
+        let out_per_img = self.out_channels * oh * ow;
+        let chw = self.geom.in_channels * h * w;
+        let mut grad_in = Tensor::zeros([n, self.geom.in_channels, h, w]);
+
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+        let band = n.div_ceil(workers);
+        let weight = &self.weight.value;
+        let gs = grad_out.as_slice();
+        let cols_all = &cache.cols;
+        let has_bias = self.bias.is_some();
+
+        // Each worker accumulates its own (dW, db), merged after the scope.
+        let mut partials: Vec<(Tensor, Tensor)> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut gi_rest = grad_in.as_mut_slice();
+            let mut start = 0usize;
+            while start < n {
+                let take = band.min(n - start);
+                let (gi_band, gi_tail) = gi_rest.split_at_mut(take * chw);
+                gi_rest = gi_tail;
+                let geom = self.geom;
+                let oc = self.out_channels;
+                let i0 = start;
+                handles.push(scope.spawn(move |_| {
+                    let mut dw = Tensor::zeros([oc, geom.patch_len()]);
+                    let mut db = Tensor::zeros([oc]);
+                    for di in 0..take {
+                        let g_img = Tensor::from_vec(
+                            gs[(i0 + di) * out_per_img..(i0 + di + 1) * out_per_img].to_vec(),
+                            &[oc, oh * ow],
+                        )
+                        .expect("grad slice shape");
+                        let cols = &cols_all[i0 + di];
+                        dw.add_assign(&matmul::matmul_a_bt(&g_img, cols));
+                        if has_bias {
+                            let db_s = db.as_mut_slice();
+                            for (c, row) in g_img.as_slice().chunks_exact(oh * ow).enumerate() {
+                                db_s[c] += row.iter().sum::<f32>();
+                            }
+                        }
+                        let grad_cols = matmul::matmul_at_b(weight, &g_img);
+                        col2im(&grad_cols, h, w, &geom, &mut gi_band[di * chw..(di + 1) * chw]);
+                    }
+                    (dw, db)
+                }));
+                start += take;
+            }
+            for handle in handles {
+                partials.push(handle.join().expect("conv backward worker panicked"));
+            }
+        })
+        .expect("conv backward scope failed");
+
+        for (dw, db) in partials {
+            self.weight.grad.add_assign(&dw);
+            if let Some(bias) = &mut self.bias {
+                bias.grad.add_assign(&db);
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.numel() + self.bias.as_ref().map_or(0, Param::numel)
+    }
+
+    fn macs(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
+        assert_eq!(in_shape.len(), 3, "Conv2d::macs expects [C, H, W]");
+        let (oh, ow) = self.geom.out_hw(in_shape[1], in_shape[2]);
+        let macs = (self.out_channels * self.geom.patch_len() * oh * ow) as u64;
+        (macs, vec![self.out_channels, oh, ow])
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::zero_grads;
+
+    /// Numerical-vs-analytic gradient check: the canonical correctness test
+    /// for a hand-written backward pass.
+    #[test]
+    fn gradient_check_weight_and_input() {
+        let mut rng = Rng::new(42);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, true, &mut rng);
+        let x = Tensor::randn([2, 2, 5, 5], 1.0, &mut rng);
+
+        // Scalar loss: sum of outputs weighted by a fixed random tensor.
+        let wsum = Tensor::randn([2, 3, 5, 5], 1.0, &mut rng);
+        let loss = |conv: &mut Conv2d, x: &Tensor| -> f64 {
+            let y = conv.forward(x, Mode::Train);
+            y.as_slice().iter().zip(wsum.as_slice()).map(|(&a, &b)| (a * b) as f64).sum()
+        };
+
+        let _ = loss(&mut conv, &x);
+        zero_grads(&mut conv);
+        let _ = conv.forward(&x, Mode::Train);
+        let gx = conv.backward(&wsum);
+
+        // Check dL/dx at a few coordinates.
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 17, 49, 99] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&mut conv, &xp) - loss(&mut conv, &xm)) / (2.0 * eps as f64);
+            let ana = gx.as_slice()[idx] as f64;
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "input grad {idx}: {num} vs {ana}");
+        }
+
+        // Check dL/dW at a few coordinates.
+        zero_grads(&mut conv);
+        let _ = conv.forward(&x, Mode::Train);
+        let _ = conv.backward(&wsum);
+        let wgrad = conv.weight.grad.clone();
+        for &idx in &[0usize, 5, 23, 53] {
+            let orig = conv.weight.value.as_slice()[idx];
+            conv.weight.value.as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&mut conv, &x);
+            conv.weight.value.as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&mut conv, &x);
+            conv.weight.value.as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps as f64);
+            let ana = wgrad.as_slice()[idx] as f64;
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "weight grad {idx}: {num} vs {ana}");
+        }
+
+        // Bias gradient equals the sum of output grads per channel.
+        let bgrad = conv.bias.as_ref().unwrap().grad.clone();
+        for c in 0..3 {
+            let mut expect = 0.0f64;
+            for img in 0..2 {
+                for p in 0..25 {
+                    expect += wsum.as_slice()[(img * 3 + c) * 25 + p] as f64;
+                }
+            }
+            assert!((bgrad.as_slice()[c] as f64 - expect).abs() < 1e-2, "bias grad channel {c}");
+        }
+    }
+
+    #[test]
+    fn stride_two_halves_spatial_dims() {
+        let mut rng = Rng::new(0);
+        let mut conv = Conv2d::new(3, 8, 3, 2, 1, false, &mut rng);
+        let x = Tensor::randn([1, 3, 8, 8], 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn eval_forward_keeps_no_cache() {
+        let mut rng = Rng::new(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, false, &mut rng);
+        let x = Tensor::randn([1, 1, 4, 4], 1.0, &mut rng);
+        let _ = conv.forward(&x, Mode::Eval);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            conv.backward(&Tensor::zeros([1, 1, 4, 4]))
+        }));
+        assert!(result.is_err(), "backward after eval forward must panic");
+    }
+
+    #[test]
+    fn forward_is_deterministic_across_batch_split() {
+        // The threaded path must give identical results to a 1-image batch.
+        let mut rng = Rng::new(9);
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, true, &mut rng);
+        let x = Tensor::randn([4, 2, 6, 6], 1.0, &mut rng);
+        let y_batch = conv.forward(&x, Mode::Eval);
+        for i in 0..4 {
+            let xi = x.slice_axis0(i, i + 1);
+            let yi = conv.forward(&xi, Mode::Eval);
+            let expected = y_batch.slice_axis0(i, i + 1);
+            for (a, b) in yi.as_slice().iter().zip(expected.as_slice()) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn macs_match_formula() {
+        let mut rng = Rng::new(0);
+        let conv = Conv2d::new(16, 32, 3, 1, 1, false, &mut rng);
+        let (macs, out) = conv.macs(&[16, 32, 32]);
+        assert_eq!(out, vec![32, 32, 32]);
+        assert_eq!(macs, (32 * 16 * 9 * 32 * 32) as u64);
+        assert_eq!(conv.param_count(), 32 * 16 * 9);
+    }
+}

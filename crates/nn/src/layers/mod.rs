@@ -1,0 +1,20 @@
+//! Primitive layers: convolutions, normalisation, activations, pooling,
+//! linear classifiers and dropout.
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod depthwise;
+mod dropout;
+mod flatten;
+mod linear;
+mod pool;
+
+pub use activation::Activation;
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use depthwise::DepthwiseConv2d;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};

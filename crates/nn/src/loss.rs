@@ -1,0 +1,127 @@
+//! Softmax cross-entropy loss, fused with its gradient.
+
+use mea_tensor::{ops, Tensor};
+
+/// Softmax cross-entropy over integer class labels.
+///
+/// `forward` returns the mean loss, the gradient with respect to the logits
+/// (already divided by the batch size) and the softmax probabilities — the
+/// probabilities are exactly what the MEANet inference engine needs for
+/// confidence and entropy, so they are exposed instead of recomputed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CrossEntropyLoss;
+
+/// Result of a cross-entropy evaluation.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean negative log-likelihood across the batch.
+    pub loss: f64,
+    /// Gradient of the mean loss w.r.t. the logits, `[N, K]`.
+    pub grad: Tensor,
+    /// Softmax probabilities, `[N, K]`.
+    pub probs: Tensor,
+}
+
+impl CrossEntropyLoss {
+    /// Creates the loss. Stateless; exists for API symmetry.
+    pub fn new() -> Self {
+        CrossEntropyLoss
+    }
+
+    /// Evaluates loss, gradient and probabilities for `logits: [N, K]` and
+    /// `labels` (length `N`, each `< K`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or a label is out of range.
+    pub fn forward(&self, logits: &Tensor, labels: &[usize]) -> LossOutput {
+        assert_eq!(logits.shape().rank(), 2, "cross-entropy expects [N, K] logits, got {}", logits.shape());
+        let (n, k) = (logits.dims()[0], logits.dims()[1]);
+        assert_eq!(labels.len(), n, "expected {n} labels, got {}", labels.len());
+
+        let log_probs = ops::log_softmax_rows(logits);
+        let probs = log_probs.map(f32::exp);
+        let mut grad = probs.clone();
+        let mut loss = 0.0f64;
+        let inv_n = 1.0 / n as f32;
+        {
+            let g = grad.as_mut_slice();
+            for (i, &label) in labels.iter().enumerate() {
+                assert!(label < k, "label {label} out of range for {k} classes");
+                loss -= log_probs.row(i)[label] as f64;
+                g[i * k + label] -= 1.0;
+            }
+            for v in g.iter_mut() {
+                *v *= inv_n;
+            }
+        }
+        LossOutput { loss: loss / n as f64, grad, probs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_tensor::Rng;
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0], &[2, 3]).unwrap();
+        let out = CrossEntropyLoss::new().forward(&logits, &[0, 1]);
+        assert!(out.loss < 1e-6, "loss {}", out.loss);
+    }
+
+    #[test]
+    fn uniform_prediction_loss_is_log_k() {
+        let logits = Tensor::zeros([4, 10]);
+        let out = CrossEntropyLoss::new().forward(&logits, &[0, 3, 5, 9]);
+        assert!((out.loss - (10.0f64).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_softmax_minus_onehot() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.5], &[1, 3]).unwrap();
+        let out = CrossEntropyLoss::new().forward(&logits, &[2]);
+        let p = out.probs.row(0);
+        assert!((out.grad.row(0)[0] - p[0]).abs() < 1e-6);
+        assert!((out.grad.row(0)[2] - (p[2] - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        let mut rng = Rng::new(0);
+        let logits = Tensor::randn([3, 5], 1.0, &mut rng);
+        let labels = [1usize, 4, 0];
+        let loss_fn = |l: &Tensor| CrossEntropyLoss::new().forward(l, &labels).loss;
+        let out = CrossEntropyLoss::new().forward(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in [0usize, 6, 14] {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let num = (loss_fn(&lp) - loss_fn(&lm)) / (2.0 * eps as f64);
+            let ana = out.grad.as_slice()[idx] as f64;
+            assert!((num - ana).abs() < 1e-4, "{num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        // softmax − onehot always sums to zero per row.
+        let mut rng = Rng::new(1);
+        let logits = Tensor::randn([4, 7], 2.0, &mut rng);
+        let out = CrossEntropyLoss::new().forward(&logits, &[0, 1, 2, 3]);
+        for i in 0..4 {
+            let s: f32 = out.grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_out_of_range_panics() {
+        let logits = Tensor::zeros([1, 3]);
+        CrossEntropyLoss::new().forward(&logits, &[3]);
+    }
+}

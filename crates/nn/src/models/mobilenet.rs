@@ -1,0 +1,164 @@
+//! MobileNetV2 builder (Sandler et al., 2018): inverted residuals with
+//! linear bottlenecks, at paper scale and repro scale.
+
+use super::{make_head, SegmentSpec, SegmentedCnn};
+use crate::blocks::InvertedResidual;
+use crate::layer::Layer;
+use crate::layers::{Activation, BatchNorm2d, Conv2d};
+use crate::sequential::Sequential;
+use mea_tensor::Rng;
+
+/// One `(expand, channels, repeats, stride)` row of the MobileNetV2
+/// bottleneck table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BottleneckRow {
+    /// Expansion factor `t`.
+    pub expand: usize,
+    /// Output channels `c`.
+    pub channels: usize,
+    /// Number of blocks `n` (the first takes the stride).
+    pub repeats: usize,
+    /// Stride `s` of the first block.
+    pub stride: usize,
+}
+
+/// Full MobileNetV2 configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MobileNetConfig {
+    /// Stem output channels (32 at paper scale).
+    pub stem_channels: usize,
+    /// Stem stride (2 at paper scale, 1 for small repro inputs).
+    pub stem_stride: usize,
+    /// Bottleneck table.
+    pub rows: Vec<BottleneckRow>,
+    /// Channels of the final 1×1 convolution (1280 at paper scale).
+    pub last_channels: usize,
+    /// Number of classes of the head exit.
+    pub num_classes: usize,
+    /// Input spatial size.
+    pub input_hw: usize,
+}
+
+impl MobileNetConfig {
+    /// The standard ImageNet MobileNetV2 (≈ 3.5M parameters).
+    pub fn imagenet() -> Self {
+        MobileNetConfig {
+            stem_channels: 32,
+            stem_stride: 2,
+            rows: vec![
+                BottleneckRow { expand: 1, channels: 16, repeats: 1, stride: 1 },
+                BottleneckRow { expand: 6, channels: 24, repeats: 2, stride: 2 },
+                BottleneckRow { expand: 6, channels: 32, repeats: 3, stride: 2 },
+                BottleneckRow { expand: 6, channels: 64, repeats: 4, stride: 2 },
+                BottleneckRow { expand: 6, channels: 96, repeats: 3, stride: 1 },
+                BottleneckRow { expand: 6, channels: 160, repeats: 3, stride: 2 },
+                BottleneckRow { expand: 6, channels: 320, repeats: 1, stride: 1 },
+            ],
+            last_channels: 1280,
+            num_classes: 1000,
+            input_hw: 224,
+        }
+    }
+
+    /// A narrow variant that trains on the 2-CPU repro box.
+    pub fn repro_scale(num_classes: usize) -> Self {
+        MobileNetConfig {
+            stem_channels: 8,
+            stem_stride: 1,
+            rows: vec![
+                BottleneckRow { expand: 1, channels: 8, repeats: 1, stride: 1 },
+                BottleneckRow { expand: 4, channels: 12, repeats: 2, stride: 2 },
+                BottleneckRow { expand: 4, channels: 16, repeats: 2, stride: 2 },
+                BottleneckRow { expand: 4, channels: 24, repeats: 1, stride: 1 },
+            ],
+            last_channels: 64,
+            num_classes,
+            input_hw: 24,
+        }
+    }
+}
+
+/// Builds a MobileNetV2 as segments: `stem`, one segment per bottleneck
+/// row, and a final 1×1 expansion conv. Alias of [`mobilenet_v2`] kept for
+/// discoverability at repro scale.
+pub fn mobilenet_v2_lite(num_classes: usize, rng: &mut Rng) -> SegmentedCnn {
+    mobilenet_v2(&MobileNetConfig::repro_scale(num_classes), rng)
+}
+
+/// Builds a MobileNetV2 from an explicit configuration.
+pub fn mobilenet_v2(config: &MobileNetConfig, rng: &mut Rng) -> SegmentedCnn {
+    let mut segments = Vec::new();
+    let mut specs = Vec::new();
+
+    segments.push(Sequential::new(vec![
+        Box::new(Conv2d::new(3, config.stem_channels, 3, config.stem_stride, 1, false, rng)) as Box<dyn Layer>,
+        Box::new(BatchNorm2d::new(config.stem_channels)),
+        Box::new(Activation::relu6()),
+    ]));
+    specs.push(SegmentSpec { out_channels: config.stem_channels, downsample: config.stem_stride });
+
+    let mut in_c = config.stem_channels;
+    for row in &config.rows {
+        let mut seg = Sequential::empty();
+        for i in 0..row.repeats {
+            let stride = if i == 0 { row.stride } else { 1 };
+            seg.push(Box::new(InvertedResidual::new(in_c, row.channels, stride, row.expand, rng)));
+            in_c = row.channels;
+        }
+        segments.push(seg);
+        specs.push(SegmentSpec { out_channels: row.channels, downsample: row.stride });
+    }
+
+    segments.push(Sequential::new(vec![
+        Box::new(Conv2d::new(in_c, config.last_channels, 1, 1, 0, false, rng)) as Box<dyn Layer>,
+        Box::new(BatchNorm2d::new(config.last_channels)),
+        Box::new(Activation::relu6()),
+    ]));
+    specs.push(SegmentSpec { out_channels: config.last_channels, downsample: 1 });
+
+    let head = make_head(config.last_channels, config.num_classes, rng);
+    SegmentedCnn {
+        segments,
+        specs,
+        head,
+        num_classes: config.num_classes,
+        in_shape: [3, config.input_hw, config.input_hw],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use mea_tensor::Tensor;
+
+    #[test]
+    fn imagenet_mobilenet_matches_paper_scale_counts() {
+        // Reference MobileNetV2: ~3.5M params, ~300M MACs at 224².
+        let mut rng = Rng::new(0);
+        let net = mobilenet_v2(&MobileNetConfig::imagenet(), &mut rng);
+        let params = net.param_count();
+        assert!((3_200_000..3_800_000).contains(&params), "MobileNetV2 params {params}");
+        let macs = net.total_macs();
+        assert!((250_000_000..400_000_000).contains(&macs), "MobileNetV2 MACs {macs}");
+    }
+
+    #[test]
+    fn lite_variant_forward_pass() {
+        let mut rng = Rng::new(1);
+        let mut net = mobilenet_v2_lite(10, &mut rng);
+        let x = Tensor::randn([2, 3, 24, 24], 1.0, &mut rng);
+        let y = net.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn segments_line_up_with_rows() {
+        let mut rng = Rng::new(2);
+        let cfg = MobileNetConfig::repro_scale(10);
+        let net = mobilenet_v2(&cfg, &mut rng);
+        // stem + rows + last conv
+        assert_eq!(net.segments.len(), cfg.rows.len() + 2);
+        assert_eq!(net.out_channels(net.segments.len() - 1), cfg.last_channels);
+    }
+}

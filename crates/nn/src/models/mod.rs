@@ -1,0 +1,135 @@
+//! Reference architectures: CIFAR/ImageNet ResNets and MobileNetV2, built
+//! as *segmented* CNNs so the MEANet assembly can cut them into main and
+//! extension blocks at segment boundaries.
+
+mod mobilenet;
+mod resnet;
+
+pub use mobilenet::{mobilenet_v2, mobilenet_v2_lite, MobileNetConfig};
+pub use resnet::{resnet_cifar, resnet_imagenet, CifarResNetConfig, ImageNetResNetConfig};
+
+use crate::layer::{Layer, Mode};
+use crate::layers::{GlobalAvgPool, Linear};
+use crate::sequential::Sequential;
+use mea_tensor::{Rng, Tensor};
+
+/// Static description of one convolutional segment of a backbone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentSpec {
+    /// Channels produced by the segment.
+    pub out_channels: usize,
+    /// Spatial downsampling factor applied *by this segment* (1 = none).
+    pub downsample: usize,
+}
+
+/// A CNN backbone decomposed into sequential segments plus a classifier
+/// head (global average pool + fully connected exit).
+///
+/// The MEANet builder consumes this: model A keeps the first segments as
+/// the main block and moves the rest into the extension block; model B
+/// keeps everything as the main block and builds a fresh extension.
+#[derive(Debug)]
+pub struct SegmentedCnn {
+    /// Convolutional segments in forward order.
+    pub segments: Vec<Sequential>,
+    /// Static spec for each segment (parallel to `segments`).
+    pub specs: Vec<SegmentSpec>,
+    /// Classifier head applied after the last segment.
+    pub head: Sequential,
+    /// Number of classes the head predicts.
+    pub num_classes: usize,
+    /// Expected input shape `[C, H, W]`.
+    pub in_shape: [usize; 3],
+}
+
+impl SegmentedCnn {
+    /// Runs the full network (all segments, then the head).
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut cur = x.clone();
+        for seg in &mut self.segments {
+            cur = seg.forward(&cur, mode);
+        }
+        self.head.forward(&cur, mode)
+    }
+
+    /// Backpropagates a logits gradient through the head and all segments
+    /// (requires a preceding training-mode [`SegmentedCnn::forward`]).
+    pub fn backward(&mut self, grad_logits: &Tensor) {
+        let mut g = self.head.backward(grad_logits);
+        for seg in self.segments.iter_mut().rev() {
+            g = seg.backward(&g);
+        }
+    }
+
+    /// Visits every learnable parameter (segments then head).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut crate::layer::Param)) {
+        for seg in &mut self.segments {
+            seg.visit_params(f);
+        }
+        self.head.visit_params(f);
+    }
+
+    /// Clears all cached activations.
+    pub fn clear_caches(&mut self) {
+        for seg in &mut self.segments {
+            seg.clear_cache();
+        }
+        self.head.clear_cache();
+    }
+
+    /// Total learnable parameters.
+    pub fn param_count(&self) -> usize {
+        self.segments.iter().map(|s| s.param_count()).sum::<usize>() + self.head.param_count()
+    }
+
+    /// Total multiply-adds for a single image.
+    pub fn total_macs(&self) -> u64 {
+        let mut shape = self.in_shape.to_vec();
+        let mut total = 0u64;
+        for seg in &self.segments {
+            let (m, out) = seg.macs(&shape);
+            total += m;
+            shape = out;
+        }
+        total + self.head.macs(&shape).0
+    }
+
+    /// Channels coming out of segment `i`.
+    pub fn out_channels(&self, i: usize) -> usize {
+        self.specs[i].out_channels
+    }
+
+    /// Cumulative downsampling after segment `i` (inclusive).
+    pub fn cumulative_downsample(&self, i: usize) -> usize {
+        self.specs[..=i].iter().map(|s| s.downsample).product()
+    }
+
+    /// Decomposes into `(segments, head)` for MEANet assembly.
+    pub fn into_parts(self) -> (Vec<Sequential>, Sequential) {
+        (self.segments, self.head)
+    }
+}
+
+/// Builds a classifier head (`GlobalAvgPool → Linear`) — the "exit" attached
+/// to each MEANet block.
+pub fn make_head(channels: usize, num_classes: usize, rng: &mut Rng) -> Sequential {
+    Sequential::new(vec![
+        Box::new(GlobalAvgPool::new()),
+        Box::new(Linear::new(channels, num_classes, rng)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_head_maps_channels_to_classes() {
+        let mut rng = Rng::new(0);
+        let mut head = make_head(8, 5, &mut rng);
+        let x = Tensor::ones([2, 8, 4, 4]);
+        let y = head.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[2, 5]);
+        assert_eq!(head.param_count(), 8 * 5 + 5);
+    }
+}

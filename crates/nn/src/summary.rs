@@ -1,0 +1,158 @@
+//! Model summaries: a Keras-style shape/parameter/MAC walk over any
+//! [`Layer`] graph — the introspection behind debugging model builders and
+//! the per-layer numbers quoted in DESIGN.md.
+
+use crate::layer::Layer;
+use crate::models::SegmentedCnn;
+use crate::sequential::Sequential;
+use std::fmt;
+
+/// One row of a model summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryRow {
+    /// Layer name (from [`Layer::name`]).
+    pub name: String,
+    /// Output shape `[C, H, W]`-style (single image, no batch dim).
+    pub out_shape: Vec<usize>,
+    /// Learnable parameters of this layer.
+    pub params: usize,
+    /// Multiply-adds for one image.
+    pub macs: u64,
+}
+
+/// A per-layer summary of a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Summary {
+    rows: Vec<SummaryRow>,
+    in_shape: Vec<usize>,
+}
+
+impl Summary {
+    /// Walks the top-level children of a [`Sequential`] for an input of
+    /// shape `in_shape` (`[C, H, W]`).
+    pub fn of_sequential(net: &Sequential, in_shape: &[usize]) -> Summary {
+        let mut rows = Vec::with_capacity(net.len());
+        let mut shape = in_shape.to_vec();
+        for layer in net.layers() {
+            let (macs, out) = layer.macs(&shape);
+            rows.push(SummaryRow {
+                name: layer.name().to_string(),
+                out_shape: out.clone(),
+                params: layer.param_count(),
+                macs,
+            });
+            shape = out;
+        }
+        Summary { rows, in_shape: in_shape.to_vec() }
+    }
+
+    /// Walks a [`SegmentedCnn`]: each segment's top-level layers, then the
+    /// head as one row.
+    pub fn of_cnn(net: &SegmentedCnn) -> Summary {
+        let mut rows = Vec::new();
+        let mut shape = net.in_shape.to_vec();
+        for seg in &net.segments {
+            for layer in seg.layers() {
+                let (macs, out) = layer.macs(&shape);
+                rows.push(SummaryRow {
+                    name: layer.name().to_string(),
+                    out_shape: out.clone(),
+                    params: layer.param_count(),
+                    macs,
+                });
+                shape = out;
+            }
+        }
+        let (head_macs, head_out) = net.head.macs(&shape);
+        rows.push(SummaryRow {
+            name: "Head".to_string(),
+            out_shape: head_out,
+            params: net.head.param_count(),
+            macs: head_macs,
+        });
+        Summary { rows, in_shape: net.in_shape.to_vec() }
+    }
+
+    /// The rows, in forward order.
+    pub fn rows(&self) -> &[SummaryRow] {
+        &self.rows
+    }
+
+    /// Total learnable parameters.
+    pub fn total_params(&self) -> usize {
+        self.rows.iter().map(|r| r.params).sum()
+    }
+
+    /// Total multiply-adds for one image.
+    pub fn total_macs(&self) -> u64 {
+        self.rows.iter().map(|r| r.macs).sum()
+    }
+
+    /// The final output shape.
+    pub fn out_shape(&self) -> &[usize] {
+        self.rows.last().map(|r| r.out_shape.as_slice()).unwrap_or(&self.in_shape)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<20} {:>16} {:>12} {:>14}", "layer", "output", "params", "MACs")?;
+        writeln!(f, "{}", "-".repeat(66))?;
+        for r in &self.rows {
+            writeln!(f, "{:<20} {:>16} {:>12} {:>14}", r.name, format!("{:?}", r.out_shape), r.params, r.macs)?;
+        }
+        writeln!(f, "{}", "-".repeat(66))?;
+        write!(f, "total: {} params, {} MACs/image", self.total_params(), self.total_macs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Conv2d, GlobalAvgPool, Linear};
+    use crate::models::{resnet_cifar, CifarResNetConfig};
+    use mea_tensor::Rng;
+
+    #[test]
+    fn summary_totals_match_layer_totals() {
+        let mut rng = Rng::new(0);
+        let net = Sequential::new(vec![
+            Box::new(Conv2d::new(3, 8, 3, 1, 1, false, &mut rng)) as Box<dyn Layer>,
+            Box::new(Activation::relu()),
+            Box::new(GlobalAvgPool::new()),
+            Box::new(Linear::new(8, 5, &mut rng)),
+        ]);
+        let s = Summary::of_sequential(&net, &[3, 8, 8]);
+        assert_eq!(s.total_params(), net.param_count());
+        assert_eq!(s.total_macs(), net.macs(&[3, 8, 8]).0);
+        assert_eq!(s.out_shape(), &[5]);
+        assert_eq!(s.rows().len(), 4);
+    }
+
+    #[test]
+    fn cnn_summary_covers_all_segments_and_head() {
+        let mut rng = Rng::new(1);
+        let mut cfg = CifarResNetConfig::repro_scale(10);
+        cfg.input_hw = 8;
+        let net = resnet_cifar(&cfg, &mut rng);
+        let s = Summary::of_cnn(&net);
+        assert_eq!(s.total_params(), net.param_count());
+        assert_eq!(s.total_macs(), net.total_macs());
+        assert_eq!(s.rows().last().unwrap().name, "Head");
+        assert_eq!(s.out_shape(), &[10]);
+    }
+
+    #[test]
+    fn display_renders_every_row() {
+        let mut rng = Rng::new(2);
+        let net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 2, 3, 1, 1, false, &mut rng)) as Box<dyn Layer>,
+            Box::new(GlobalAvgPool::new()),
+            Box::new(Linear::new(2, 2, &mut rng)),
+        ]);
+        let text = Summary::of_sequential(&net, &[1, 4, 4]).to_string();
+        assert!(text.contains("Conv2d"));
+        assert!(text.contains("Linear"));
+        assert!(text.contains("total:"));
+    }
+}

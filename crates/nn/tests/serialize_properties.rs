@@ -1,0 +1,82 @@
+//! Property-based tests on the state-dict wire format.
+
+use mea_nn::layers::{BatchNorm2d, Conv2d, Linear};
+use mea_nn::{Layer, Sequential, StateDict, StateDictError};
+use mea_tensor::Rng;
+use proptest::prelude::*;
+
+fn random_net(conv_out: usize, fc_in: usize, fc_out: usize, seed: u64) -> Sequential {
+    let mut rng = Rng::new(seed);
+    Sequential::new(vec![
+        Box::new(Conv2d::new(1, conv_out, 3, 1, 1, true, &mut rng)) as Box<dyn Layer>,
+        Box::new(BatchNorm2d::new(conv_out)),
+        Box::new(Linear::new(fc_in, fc_out, &mut rng)),
+    ])
+}
+
+proptest! {
+    /// Encode→decode is the identity for any architecture in range.
+    #[test]
+    fn round_trip_any_architecture(
+        conv_out in 1usize..8,
+        fc_in in 1usize..16,
+        fc_out in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut net = random_net(conv_out, fc_in, fc_out, seed);
+        let dict = StateDict::from_layer(&mut net);
+        let decoded = StateDict::decode(dict.encode()).expect("self-encoded dict decodes");
+        prop_assert_eq!(decoded, dict);
+    }
+
+    /// Truncating the stream anywhere strictly inside yields Truncated
+    /// (never a silently wrong dict, never a panic).
+    #[test]
+    fn any_truncation_is_detected(seed in 0u64..200, frac in 0.0f64..0.999) {
+        let mut net = random_net(3, 6, 4, seed);
+        let dict = StateDict::from_layer(&mut net);
+        let bytes = dict.encode();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assume!(cut < bytes.len());
+        let result = StateDict::decode(bytes.slice(..cut));
+        prop_assert!(
+            matches!(result, Err(StateDictError::Truncated) | Err(StateDictError::BadMagic)),
+            "truncated stream produced {result:?}"
+        );
+    }
+
+    /// Applying a dict to a differently-shaped model errors without
+    /// mutating the target.
+    #[test]
+    fn mismatched_apply_never_mutates(
+        a in 1usize..6,
+        b in 1usize..6,
+        seed in 0u64..200,
+    ) {
+        prop_assume!(a != b);
+        let mut src = random_net(a, 6, 4, seed);
+        let dict = StateDict::from_layer(&mut src);
+        let mut dst = random_net(b, 6, 4, seed + 1);
+        let mut before = Vec::new();
+        dst.visit_params(&mut |p| before.push(p.value.clone()));
+        prop_assert!(dict.apply_to_layer(&mut dst).is_err());
+        let mut after = Vec::new();
+        dst.visit_params(&mut |p| after.push(p.value.clone()));
+        prop_assert_eq!(before, after);
+    }
+
+    /// Wire size is exactly header + 4 bytes per scalar + per-entry
+    /// descriptors — no hidden growth.
+    #[test]
+    fn wire_size_formula(conv_out in 1usize..8, seed in 0u64..200) {
+        let mut net = random_net(conv_out, 5, 3, seed);
+        let dict = StateDict::from_layer(&mut net);
+        let scalars = dict.total_scalars() as u64;
+        // 16-byte header; each param: 4 (rank) + 4·rank; each buffer: 4.
+        let mut expected = 16 + scalars * 4;
+        let mut net2 = random_net(conv_out, 5, 3, seed);
+        net2.visit_params(&mut |p| expected += 4 + 4 * p.value.dims().len() as u64);
+        net2.visit_buffers(&mut |_| expected += 4);
+        prop_assert_eq!(dict.wire_size_bytes(), expected);
+    }
+}

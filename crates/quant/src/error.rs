@@ -1,0 +1,64 @@
+//! Error type of the quantization pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failure modes of post-training quantization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// The float graph contains a layer the quantizer does not support.
+    UnsupportedLayer {
+        /// The layer's [`mea_nn::Layer::name`].
+        layer: String,
+    },
+    /// A fully connected layer appears before the end of the network; the
+    /// int8 pipeline keeps logits in f32, so a `Linear` must be terminal.
+    LinearNotTerminal,
+    /// No calibration batches were supplied.
+    NoCalibrationData,
+    /// Calibration batches disagree with the network's expected input.
+    CalibrationShape {
+        /// What the network expects, `[C, H, W]`.
+        expected: Vec<usize>,
+        /// What the batch provided.
+        got: Vec<usize>,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::UnsupportedLayer { layer } => {
+                write!(f, "layer `{layer}` is not supported by the int8 quantizer")
+            }
+            QuantError::LinearNotTerminal => {
+                write!(f, "a Linear layer must be the last compute layer of a quantized network")
+            }
+            QuantError::NoCalibrationData => write!(f, "at least one calibration batch is required"),
+            QuantError::CalibrationShape { expected, got } => {
+                write!(f, "calibration batch shape {got:?} does not match network input {expected:?}")
+            }
+        }
+    }
+}
+
+impl Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QuantError::UnsupportedLayer { layer: "Dropout".into() };
+        assert!(e.to_string().contains("Dropout"));
+        let e = QuantError::CalibrationShape { expected: vec![3, 8, 8], got: vec![1, 8, 8] };
+        assert!(e.to_string().contains("[3, 8, 8]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuantError>();
+    }
+}

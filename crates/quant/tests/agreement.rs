@@ -1,0 +1,68 @@
+//! End-to-end agreement: a trained float classifier and its int8
+//! quantization must broadly agree on held-out data — the property that
+//! makes hybrid (int8-edge / float-cloud) deployment viable.
+
+use mea_data::presets;
+use mea_nn::layer::Mode;
+use mea_nn::models::{resnet_cifar, CifarResNetConfig};
+use mea_quant::quantize_segmented;
+use mea_tensor::Rng;
+
+#[test]
+fn quantized_resnet_agrees_with_float_on_test_set() {
+    let bundle = presets::tiny(42);
+    let mut rng = Rng::new(7);
+    let mut cfg = CifarResNetConfig::repro_scale(6);
+    cfg.input_hw = 8;
+    let mut net = resnet_cifar(&cfg, &mut rng);
+
+    // Brief training so the float model is meaningfully better than chance.
+    let tc = meanet_train_config();
+    let stats = meanet::train::train_backbone(&mut net, &bundle.train, &tc);
+    assert!(stats.last().unwrap().accuracy > 0.4, "float model failed to train: {stats:?}");
+
+    // Calibrate on a handful of training batches.
+    let calib: Vec<_> = bundle.train.batches(16).take(3).map(|(x, _)| x).collect();
+    let qnet = quantize_segmented(&mut net, &calib).expect("supported graph");
+
+    let mut agree = 0usize;
+    let mut float_correct = 0usize;
+    let mut quant_correct = 0usize;
+    let mut total = 0usize;
+    for (images, labels) in bundle.test.batches(16) {
+        let fp = net.forward(&images, Mode::Eval).argmax_rows();
+        let qp = qnet.predict(&images);
+        for i in 0..labels.len() {
+            agree += usize::from(fp[i] == qp[i]);
+            float_correct += usize::from(fp[i] == labels[i]);
+            quant_correct += usize::from(qp[i] == labels[i]);
+            total += 1;
+        }
+    }
+    let agreement = agree as f64 / total as f64;
+    assert!(agreement >= 0.85, "int8 and float disagree on {:.0}% of instances", 100.0 * (1.0 - agreement));
+    let drop = float_correct as f64 / total as f64 - quant_correct as f64 / total as f64;
+    assert!(drop <= 0.10, "quantization dropped accuracy by {:.1} points", 100.0 * drop);
+}
+
+#[test]
+fn quantized_model_is_smaller_on_the_wire() {
+    let mut rng = Rng::new(8);
+    let mut cfg = CifarResNetConfig::repro_scale(6);
+    cfg.input_hw = 8;
+    let mut net = resnet_cifar(&cfg, &mut rng);
+    let float_bytes = 4 * net.param_count() as u64;
+    let bundle = presets::tiny(43);
+    let calib: Vec<_> = bundle.train.batches(16).take(1).map(|(x, _)| x).collect();
+    let qnet = quantize_segmented(&mut net, &calib).expect("supported graph");
+    assert!(
+        qnet.weight_bytes() * 3 < float_bytes,
+        "int8 download {} should be well under a third of the float {} (BN folds away)",
+        qnet.weight_bytes(),
+        float_bytes
+    );
+}
+
+fn meanet_train_config() -> meanet::TrainConfig {
+    meanet::TrainConfig::repro(6)
+}

@@ -1,0 +1,205 @@
+//! Convolution geometry and im2col / col2im transforms.
+//!
+//! Convolutions are lowered to matrix products: for one image the patch
+//! matrix `cols` has shape `[C·kh·kw, oh·ow]`, and the layer computes
+//! `W · cols` with `W: [C_out, C·kh·kw]`. The backward pass uses
+//! [`col2im`] to scatter patch gradients back onto the input image.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a 2-D convolution (square stride/padding, no dilation —
+/// sufficient for ResNet and MobileNetV2 family architectures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride applied in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding applied on every border.
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Square-kernel convenience constructor.
+    pub fn square(in_channels: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+        ConvGeom { in_channels, kh: kernel, kw: kernel, stride, pad }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.pad;
+        let pw = w + 2 * self.pad;
+        assert!(ph >= self.kh && pw >= self.kw, "kernel {}x{} larger than padded input {ph}x{pw}", self.kh, self.kw);
+        ((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1)
+    }
+
+    /// Rows of the im2col patch matrix (`C·kh·kw`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kh * self.kw
+    }
+}
+
+/// Unfolds one `[C, H, W]` image (given as a raw slice) into a patch matrix
+/// of shape `[C·kh·kw, oh·ow]`. Out-of-bounds (padding) taps contribute
+/// zeros.
+///
+/// # Panics
+///
+/// Panics if `image.len() != C·H·W`.
+pub fn im2col(image: &[f32], h: usize, w: usize, geom: &ConvGeom) -> Tensor {
+    assert_eq!(image.len(), geom.in_channels * h * w, "image length mismatch");
+    let (oh, ow) = geom.out_hw(h, w);
+    let mut cols = Tensor::zeros([geom.patch_len(), oh * ow]);
+    let out = cols.as_mut_slice();
+    let ncols = oh * ow;
+    for c in 0..geom.in_channels {
+        let img_plane = &image[c * h * w..(c + 1) * h * w];
+        for ki in 0..geom.kh {
+            for kj in 0..geom.kw {
+                let row = (c * geom.kh + ki) * geom.kw + kj;
+                let dst = &mut out[row * ncols..(row + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ki) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // stays zero
+                    }
+                    let src_row = &img_plane[iy as usize * w..(iy as usize + 1) * w];
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kj) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[oy * ow + ox] = src_row[ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Folds a patch-matrix gradient back into an image gradient, accumulating
+/// overlapping taps. `cols` must have shape `[C·kh·kw, oh·ow]`; the result
+/// is added into `image_grad` (length `C·H·W`).
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the geometry.
+pub fn col2im(cols: &Tensor, h: usize, w: usize, geom: &ConvGeom, image_grad: &mut [f32]) {
+    let (oh, ow) = geom.out_hw(h, w);
+    assert_eq!(cols.dims(), &[geom.patch_len(), oh * ow], "col2im shape mismatch: {}", cols.shape());
+    assert_eq!(image_grad.len(), geom.in_channels * h * w, "image gradient length mismatch");
+    let ncols = oh * ow;
+    let src = cols.as_slice();
+    for c in 0..geom.in_channels {
+        let img_plane = &mut image_grad[c * h * w..(c + 1) * h * w];
+        for ki in 0..geom.kh {
+            for kj in 0..geom.kw {
+                let row = (c * geom.kh + ki) * geom.kw + kj;
+                let s = &src[row * ncols..(row + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ki) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_row = &mut img_plane[iy as usize * w..(iy as usize + 1) * w];
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kj) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst_row[ix as usize] += s[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn out_hw_standard_cases() {
+        // 3x3 stride-1 pad-1 preserves size ("same" conv).
+        let g = ConvGeom::square(3, 3, 1, 1);
+        assert_eq!(g.out_hw(8, 8), (8, 8));
+        // 3x3 stride-2 pad-1 halves (ceil).
+        let g = ConvGeom::square(3, 3, 2, 1);
+        assert_eq!(g.out_hw(8, 8), (4, 4));
+        // 1x1 stride-1 pad-0 preserves.
+        let g = ConvGeom::square(3, 1, 1, 0);
+        assert_eq!(g.out_hw(5, 7), (5, 7));
+    }
+
+    #[test]
+    fn im2col_identity_kernel_is_copy() {
+        // 1x1 kernel: the patch matrix is exactly the flattened image.
+        let g = ConvGeom::square(2, 1, 1, 0);
+        let img: Vec<f32> = (0..2 * 3 * 3).map(|x| x as f32).collect();
+        let cols = im2col(&img, 3, 3, &g);
+        assert_eq!(cols.dims(), &[2, 9]);
+        assert_eq!(cols.as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn im2col_center_tap_matches_input() {
+        // For a 3x3 same conv, the center tap row (ki=1, kj=1) equals the image.
+        let g = ConvGeom::square(1, 3, 1, 1);
+        let img: Vec<f32> = (0..16).map(|x| x as f32).collect();
+        let cols = im2col(&img, 4, 4, &g);
+        let center_row = 1 * 3 + 1; // c=0, ki=1, kj=1
+        assert_eq!(&cols.as_slice()[center_row * 16..(center_row + 1) * 16], img.as_slice());
+    }
+
+    #[test]
+    fn im2col_padding_taps_are_zero() {
+        let g = ConvGeom::square(1, 3, 1, 1);
+        let img = vec![1.0f32; 9];
+        let cols = im2col(&img, 3, 3, &g);
+        // Top-left output position, top-left kernel tap (ki=0, kj=0) reads
+        // the padded corner => zero.
+        assert_eq!(cols.at(&[0, 0]), 0.0);
+        // Center tap at the same position reads image(0,0) = 1.
+        assert_eq!(cols.at(&[4, 0]), 1.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining property of the
+        // adjoint, which is exactly what backprop relies on.
+        let g = ConvGeom::square(2, 3, 2, 1);
+        let (h, w) = (5, 5);
+        let mut rng = Rng::new(7);
+        let x = Tensor::randn([2 * h * w], 1.0, &mut rng);
+        let cols = im2col(x.as_slice(), h, w, &g);
+        let y = Tensor::randn([cols.dims()[0], cols.dims()[1]], 1.0, &mut rng);
+        let lhs: f64 = cols.as_slice().iter().zip(y.as_slice()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        let mut xgrad = vec![0.0f32; x.numel()];
+        col2im(&y, h, w, &g, &mut xgrad);
+        let rhs: f64 = x.as_slice().iter().zip(xgrad.iter()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_accumulates_overlaps() {
+        // stride-1 3x3 over 3x3 input: center pixel is touched by all 9 taps.
+        let g = ConvGeom::square(1, 3, 1, 1);
+        let cols = Tensor::ones([9, 9]);
+        let mut grad = vec![0.0f32; 9];
+        col2im(&cols, 3, 3, &g, &mut grad);
+        assert_eq!(grad[4], 9.0); // center
+        assert_eq!(grad[0], 4.0); // corner reached by 4 taps
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type shared by fallible tensor constructors and reshapes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+///
+/// Hot-path kernels (matmul, conv) panic on shape mismatch instead, because a
+/// mismatch there is a programming error in the layer code, not a recoverable
+/// condition; constructors and user-facing reshapes return this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data.
+    LengthMismatch {
+        /// Elements implied by the requested shape.
+        expected: usize,
+        /// Elements actually provided.
+        got: usize,
+    },
+    /// Two tensors were expected to share a shape but do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// A shape was structurally invalid (for example, zero dimensions).
+    InvalidShape {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, got } => {
+                write!(f, "shape expects {expected} elements but {got} were provided")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch between {left:?} and {right:?}")
+            }
+            TensorError::InvalidShape { reason } => write!(f, "invalid shape: {reason}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::LengthMismatch { expected: 4, got: 3 };
+        assert!(e.to_string().contains("4"));
+        assert!(e.to_string().contains("3"));
+        let e = TensorError::ShapeMismatch { left: vec![2, 2], right: vec![3] };
+        assert!(e.to_string().contains("[2, 2]"));
+        let e = TensorError::InvalidShape { reason: "empty".into() };
+        assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,297 @@
+//! Blocked, optionally multi-threaded matrix products.
+//!
+//! Three variants cover everything the layer library needs without ever
+//! materialising a transpose:
+//!
+//! * [`matmul`]      — `C = A·B`   (linear/conv forward),
+//! * [`matmul_a_bt`] — `C = A·Bᵀ`  (weight gradients: `dW = dY·Xᵀ`),
+//! * [`matmul_at_b`] — `C = Aᵀ·B`  (input gradients: `dX = Wᵀ·dY`).
+//!
+//! The inner loops are written in `i-k-j` order so the compiler can
+//! vectorise the `j` dimension; work is split across threads by rows of the
+//! output when the problem is large enough to amortise thread spawn.
+
+use crate::tensor::Tensor;
+
+/// FLOP threshold above which the product is parallelised across threads.
+/// Below it, thread-spawn overhead dominates on the small matrices used in
+/// unit tests.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 20;
+
+fn worker_count(rows: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    cores.min(rows).max(1)
+}
+
+/// `C = A·B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics if the operands are not matrices or the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "A");
+    let (k2, n) = mat_dims(b, "B");
+    assert_eq!(k, k2, "matmul inner dimension mismatch: A is [{m}, {k}], B is [{k2}, {n}]");
+    let mut out = Tensor::zeros([m, n]);
+    gemm(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
+    out
+}
+
+/// `C = A·Bᵀ` for `A: [m, k]`, `B: [n, k]`.
+///
+/// # Panics
+///
+/// Panics if the operands are not matrices or the shared dimension disagrees.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "A");
+    let (n, k2) = mat_dims(b, "B");
+    assert_eq!(k, k2, "matmul_a_bt shared dimension mismatch: A is [{m}, {k}], B is [{n}, {k2}]");
+    let mut out = Tensor::zeros([m, n]);
+    gemm_a_bt(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
+    out
+}
+
+/// `C = Aᵀ·B` for `A: [k, m]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics if the operands are not matrices or the shared dimension disagrees.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = mat_dims(a, "A");
+    let (k2, n) = mat_dims(b, "B");
+    assert_eq!(k, k2, "matmul_at_b shared dimension mismatch: A is [{k}, {m}], B is [{k2}, {n}]");
+    let mut out = Tensor::zeros([m, n]);
+    // Cᵀ-free formulation: C[i, j] = Σ_k A[k, i] · B[k, j].
+    // Parallelising over output rows i would stride badly through A, so we
+    // instead process k in order and accumulate, splitting rows of C.
+    let c = out.as_mut_slice();
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    let flops = m * n * k;
+    let workers = if flops >= PARALLEL_FLOP_THRESHOLD { worker_count(m) } else { 1 };
+    if workers <= 1 {
+        for kk in 0..k {
+            let arow = &a_s[kk * m..(kk + 1) * m];
+            let brow = &b_s[kk * n..(kk + 1) * n];
+            for i in 0..m {
+                let aik = arow[i];
+                if aik == 0.0 {
+                    continue;
+                }
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+        return out;
+    }
+    // Parallel: each worker owns a contiguous band of C rows (i-range).
+    let band = m.div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        let mut rest = c;
+        let mut start = 0usize;
+        while start < m {
+            let take = band.min(m - start).min(rest.len() / n);
+            let (mine, tail) = rest.split_at_mut(take * n);
+            rest = tail;
+            let i0 = start;
+            scope.spawn(move |_| {
+                for kk in 0..k {
+                    let arow = &a_s[kk * m..(kk + 1) * m];
+                    let brow = &b_s[kk * n..(kk + 1) * n];
+                    for di in 0..take {
+                        let aik = arow[i0 + di];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let crow = &mut mine[di * n..(di + 1) * n];
+                        for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            });
+            start += take;
+        }
+    })
+    .expect("matmul worker panicked");
+    out
+}
+
+fn mat_dims(t: &Tensor, name: &str) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "{name} must be a matrix, got {}", t.shape());
+    (t.dims()[0], t.dims()[1])
+}
+
+/// Row-parallel `C += A·B` on raw slices.
+fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let flops = m * n * k;
+    let workers = if flops >= PARALLEL_FLOP_THRESHOLD { worker_count(m) } else { 1 };
+    if workers <= 1 {
+        gemm_rows(a, b, c, m, k, n, 0);
+        return;
+    }
+    let band = m.div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        let mut rest = c;
+        let mut start = 0usize;
+        while start < m {
+            let take = band.min(m - start);
+            let (mine, tail) = rest.split_at_mut(take * n);
+            rest = tail;
+            let a_band = &a[start * k..(start + take) * k];
+            scope.spawn(move |_| gemm_rows(a_band, b, mine, take, k, n, 0));
+            start += take;
+        }
+    })
+    .expect("matmul worker panicked");
+}
+
+/// Serial i-k-j kernel computing `rows` rows of `C += A·B`.
+fn gemm_rows(a: &[f32], b: &[f32], c: &mut [f32], rows: usize, k: usize, n: usize, _i0: usize) {
+    for i in 0..rows {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+/// Row-parallel `C = A·Bᵀ` on raw slices (dot-product formulation).
+fn gemm_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let flops = m * n * k;
+    let workers = if flops >= PARALLEL_FLOP_THRESHOLD { worker_count(m) } else { 1 };
+    let body = |a_band: &[f32], mine: &mut [f32], take: usize| {
+        for i in 0..take {
+            let arow = &a_band[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (av, bv) in arow.iter().zip(brow.iter()) {
+                    acc += av * bv;
+                }
+                mine[i * n + j] = acc;
+            }
+        }
+    };
+    if workers <= 1 {
+        body(a, c, m);
+        return;
+    }
+    let band = m.div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        let mut rest = c;
+        let mut start = 0usize;
+        while start < m {
+            let take = band.min(m - start);
+            let (mine, tail) = rest.split_at_mut(take * n);
+            rest = tail;
+            let a_band = &a[start * k..(start + take) * k];
+            scope.spawn(move |_| body(a_band, mine, take));
+            start += take;
+        }
+    })
+    .expect("matmul worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut c = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                c.set(&[i, j], acc);
+            }
+        }
+        c
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::new(0);
+        let a = Tensor::randn([5, 5], 1.0, &mut rng);
+        assert_close(&matmul(&a, &Tensor::eye(5)), &a, 1e-6);
+        assert_close(&matmul(&Tensor::eye(5), &a), &a, 1e-6);
+    }
+
+    #[test]
+    fn matches_naive_on_random_rect() {
+        let mut rng = Rng::new(1);
+        let a = Tensor::randn([7, 13], 1.0, &mut rng);
+        let b = Tensor::randn([13, 5], 1.0, &mut rng);
+        assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // Big enough to cross PARALLEL_FLOP_THRESHOLD.
+        let mut rng = Rng::new(2);
+        let a = Tensor::randn([128, 96], 1.0, &mut rng);
+        let b = Tensor::randn([96, 128], 1.0, &mut rng);
+        assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn a_bt_equals_explicit_transpose() {
+        let mut rng = Rng::new(3);
+        let a = Tensor::randn([6, 9], 1.0, &mut rng);
+        let b = Tensor::randn([4, 9], 1.0, &mut rng);
+        assert_close(&matmul_a_bt(&a, &b), &matmul(&a, &b.transpose2d()), 1e-5);
+    }
+
+    #[test]
+    fn at_b_equals_explicit_transpose() {
+        let mut rng = Rng::new(4);
+        let a = Tensor::randn([9, 6], 1.0, &mut rng);
+        let b = Tensor::randn([9, 4], 1.0, &mut rng);
+        assert_close(&matmul_at_b(&a, &b), &matmul(&a.transpose2d(), &b), 1e-5);
+    }
+
+    #[test]
+    fn at_b_parallel_matches() {
+        let mut rng = Rng::new(5);
+        let a = Tensor::randn([96, 128], 1.0, &mut rng);
+        let b = Tensor::randn([96, 100], 1.0, &mut rng);
+        assert_close(&matmul_at_b(&a, &b), &matmul(&a.transpose2d(), &b), 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        matmul(&a, &b);
+    }
+}

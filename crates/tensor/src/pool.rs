@@ -1,0 +1,225 @@
+//! Pooling kernels: average, max and global-average, forward and backward.
+
+use crate::tensor::Tensor;
+
+/// Average pooling over non-overlapping `k × k` windows of an
+/// `[N, C, H, W]` tensor. `H` and `W` must be divisible by `k` (true for
+/// every architecture in the reproduction).
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or not divisible by `k`.
+pub fn avg_pool2d(x: &Tensor, k: usize) -> Tensor {
+    let (n, c, h, w) = nchw(x);
+    assert!(h % k == 0 && w % k == 0, "avg_pool2d: {h}x{w} not divisible by {k}");
+    let (oh, ow) = (h / k, w / k);
+    let mut out = Tensor::zeros([n, c, oh, ow]);
+    let inv = 1.0 / (k * k) as f32;
+    let src = x.as_slice();
+    let dst = out.as_mut_slice();
+    for img in 0..n {
+        for ch in 0..c {
+            let sbase = (img * c + ch) * h * w;
+            let dbase = (img * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for dy in 0..k {
+                        let row = sbase + (oy * k + dy) * w + ox * k;
+                        for dx in 0..k {
+                            acc += src[row + dx];
+                        }
+                    }
+                    dst[dbase + oy * ow + ox] = acc * inv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`avg_pool2d`]: spreads each output gradient uniformly over
+/// its window.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the forward call.
+pub fn avg_pool2d_backward(grad_out: &Tensor, k: usize, h: usize, w: usize) -> Tensor {
+    let (n, c, oh, ow) = nchw(grad_out);
+    assert_eq!((oh * k, ow * k), (h, w), "avg_pool2d_backward geometry mismatch");
+    let mut grad_in = Tensor::zeros([n, c, h, w]);
+    let inv = 1.0 / (k * k) as f32;
+    let src = grad_out.as_slice();
+    let dst = grad_in.as_mut_slice();
+    for img in 0..n {
+        for ch in 0..c {
+            let sbase = (img * c + ch) * oh * ow;
+            let dbase = (img * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = src[sbase + oy * ow + ox] * inv;
+                    for dy in 0..k {
+                        let row = dbase + (oy * k + dy) * w + ox * k;
+                        for dx in 0..k {
+                            dst[row + dx] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+/// Max pooling over non-overlapping `k × k` windows; also returns the flat
+/// argmax index of every window for the backward pass.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or not divisible by `k`.
+pub fn max_pool2d(x: &Tensor, k: usize) -> (Tensor, Vec<u32>) {
+    let (n, c, h, w) = nchw(x);
+    assert!(h % k == 0 && w % k == 0, "max_pool2d: {h}x{w} not divisible by {k}");
+    let (oh, ow) = (h / k, w / k);
+    let mut out = Tensor::zeros([n, c, oh, ow]);
+    let mut argmax = vec![0u32; n * c * oh * ow];
+    let src = x.as_slice();
+    let dst = out.as_mut_slice();
+    for img in 0..n {
+        for ch in 0..c {
+            let sbase = (img * c + ch) * h * w;
+            let dbase = (img * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for dy in 0..k {
+                        let row = sbase + (oy * k + dy) * w + ox * k;
+                        for dx in 0..k {
+                            let v = src[row + dx];
+                            if v > best {
+                                best = v;
+                                best_idx = row + dx;
+                            }
+                        }
+                    }
+                    dst[dbase + oy * ow + ox] = best;
+                    argmax[dbase + oy * ow + ox] = best_idx as u32;
+                }
+            }
+        }
+    }
+    (out, argmax)
+}
+
+/// Backward of [`max_pool2d`]: routes each output gradient to the input
+/// element that won the window.
+pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[u32], input_numel: usize) -> Tensor {
+    let mut grad_in = vec![0.0f32; input_numel];
+    for (g, &idx) in grad_out.as_slice().iter().zip(argmax.iter()) {
+        grad_in[idx as usize] += g;
+    }
+    Tensor::from_vec(grad_in, &[input_numel]).expect("length matches by construction")
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D.
+pub fn global_avg_pool(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = nchw(x);
+    let mut out = Tensor::zeros([n, c]);
+    let inv = 1.0 / (h * w) as f32;
+    let src = x.as_slice();
+    let dst = out.as_mut_slice();
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            let mut acc = 0.0f32;
+            for &v in &src[base..base + h * w] {
+                acc += v;
+            }
+            dst[img * c + ch] = acc * inv;
+        }
+    }
+    out
+}
+
+/// Backward of [`global_avg_pool`].
+pub fn global_avg_pool_backward(grad_out: &Tensor, h: usize, w: usize) -> Tensor {
+    let (n, c) = (grad_out.dims()[0], grad_out.dims()[1]);
+    let mut grad_in = Tensor::zeros([n, c, h, w]);
+    let inv = 1.0 / (h * w) as f32;
+    let src = grad_out.as_slice();
+    let dst = grad_in.as_mut_slice();
+    for img in 0..n {
+        for ch in 0..c {
+            let g = src[img * c + ch] * inv;
+            let base = (img * c + ch) * h * w;
+            for v in &mut dst[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    grad_in
+}
+
+fn nchw(x: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(x.shape().rank(), 4, "expected NCHW tensor, got {}", x.shape());
+    (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn avg_pool_known_values() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let y = avg_pool2d(&x, 2);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_distributes_uniformly() {
+        let g = Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]).unwrap();
+        let gi = avg_pool2d_backward(&g, 2, 2, 2);
+        assert_eq!(gi.as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn avg_pool_adjoint_property() {
+        let mut rng = Rng::new(1);
+        let x = Tensor::randn([2, 3, 4, 4], 1.0, &mut rng);
+        let y = avg_pool2d(&x, 2);
+        let gy = Tensor::randn([2, 3, 2, 2], 1.0, &mut rng);
+        let gx = avg_pool2d_backward(&gy, 2, 4, 4);
+        let lhs: f64 = y.as_slice().iter().zip(gy.as_slice()).map(|(&a, &b)| (a * b) as f64).sum();
+        let rhs: f64 = x.as_slice().iter().zip(gx.as_slice()).map(|(&a, &b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn max_pool_picks_maxima_and_routes_gradient() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0, 9.0, 0.0, 4.0, 8.0], &[1, 2, 2, 2]).unwrap();
+        let (y, arg) = max_pool2d(&x, 2);
+        assert_eq!(y.as_slice(), &[5.0, 9.0]);
+        let g = Tensor::from_vec(vec![1.0, 2.0], &[1, 2, 1, 1]).unwrap();
+        let gi = max_pool2d_backward(&g, &arg, 8);
+        assert_eq!(gi.as_slice(), &[0.0, 1.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_means_planes() {
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let y = global_avg_pool(&x);
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.as_slice(), &[1.5, 5.5]);
+        let gy = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap();
+        let gx = global_avg_pool_backward(&gy, 2, 2);
+        assert_eq!(gx.as_slice(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Fleet simulation: many edge devices sharing a small cloud — the
+//! congestion the paper's introduction argues early exits relieve.
+//!
+//! Compares an all-offload fleet against a MEANet-style fleet (most
+//! inference exits at the edge) as the number of devices grows.
+//!
+//! ```bash
+//! cargo run --release --example fleet_simulation
+//! ```
+
+use mea_edgecloud::{simulate_fleet, DeviceProfile, FleetConfig, NetworkLink};
+use meanet::ExitPoint;
+
+fn routes(n: usize, meanet: bool) -> Vec<ExitPoint> {
+    (0..n)
+        .map(|i| {
+            if meanet {
+                // MEANet routing shape: ~60% main exits, ~25% extension,
+                // ~15% offloaded (the paper's CIFAR operating point).
+                match i % 20 {
+                    0..=11 => ExitPoint::Main,
+                    12..=16 => ExitPoint::Extension,
+                    _ => ExitPoint::Cloud,
+                }
+            } else {
+                ExitPoint::Cloud
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = FleetConfig {
+        edge: DeviceProfile::edge_jetson_like(),
+        cloud: DeviceProfile::cloud_accelerator(),
+        link: NetworkLink::wifi_18_88(),
+        cloud_servers: 2,
+        macs_main: 70_000_000,
+        macs_extension_extra: 30_000_000,
+        macs_cloud: 2_000_000_000,
+        payload_bytes: 3 * 32 * 32,
+        arrival_interval_s: 0.005,
+    };
+    println!("{:<9} {:>14} {:>14} {:>16} {:>14}", "devices", "policy", "mean lat (ms)", "p95 lat (ms)", "cloud wait (ms)");
+    for devices in [1usize, 4, 16, 64] {
+        for (label, meanet) in [("all-cloud", false), ("MEANet", true)] {
+            let fleet: Vec<Vec<ExitPoint>> = (0..devices).map(|d| routes(40 + d % 3, meanet)).collect();
+            let r = simulate_fleet(&cfg, &fleet);
+            println!(
+                "{:<9} {:>14} {:>14.2} {:>16.2} {:>14.3}",
+                devices,
+                label,
+                r.mean_latency_s * 1e3,
+                r.p95_latency_s * 1e3,
+                r.cloud_wait_mean_s * 1e3
+            );
+        }
+    }
+    println!("\nEarly exits keep fleet latency flat while the all-cloud fleet queues up.");
+}

@@ -1,0 +1,65 @@
+//! Hybrid precision deployment: the cloud trains in fp32, the edge runs
+//! int8 — the low-precision-edge / full-precision-cloud split of the
+//! paper's companion work (reference [43]).
+//!
+//! ```bash
+//! cargo run --release --example hybrid_quantized
+//! ```
+
+use mea_data::presets;
+use mea_edgecloud::DeviceProfile;
+use mea_nn::layer::Mode;
+use mea_nn::models::{resnet_cifar, CifarResNetConfig};
+use mea_quant::quantize_segmented;
+use mea_tensor::Rng;
+use meanet::train::{train_backbone, TrainConfig};
+
+fn main() {
+    // "Cloud": train a float edge backbone on the full dataset.
+    let bundle = presets::tiny(7);
+    let mut rng = Rng::new(7);
+    let mut cfg = CifarResNetConfig::repro_scale(6);
+    cfg.input_hw = 8;
+    let mut float_net = resnet_cifar(&cfg, &mut rng);
+    let stats = train_backbone(&mut float_net, &bundle.train, &TrainConfig::repro(10));
+    println!("float training: final epoch accuracy {:.1}%", 100.0 * stats.last().unwrap().accuracy);
+
+    // Post-training quantization with a handful of calibration batches.
+    let calib: Vec<_> = bundle.train.batches(16).take(3).map(|(x, _)| x).collect();
+    let qnet = quantize_segmented(&mut float_net, &calib).expect("supported graph");
+
+    // Accuracy and agreement on held-out data.
+    let mut float_correct = 0;
+    let mut int8_correct = 0;
+    let mut agree = 0;
+    let mut total = 0;
+    for (images, labels) in bundle.test.batches(16) {
+        let fp = float_net.forward(&images, Mode::Eval).argmax_rows();
+        let qp = qnet.predict(&images);
+        for i in 0..labels.len() {
+            float_correct += usize::from(fp[i] == labels[i]);
+            int8_correct += usize::from(qp[i] == labels[i]);
+            agree += usize::from(fp[i] == qp[i]);
+            total += 1;
+        }
+    }
+    println!("test accuracy: fp32 {:.1}%  int8 {:.1}%  (agreement {:.1}%)",
+        100.0 * float_correct as f64 / total as f64,
+        100.0 * int8_correct as f64 / total as f64,
+        100.0 * agree as f64 / total as f64);
+
+    // Why the edge wants this: a 4x smaller download and cheaper MACs.
+    let float_bytes = 4 * float_net.param_count() as u64;
+    println!(
+        "model download: fp32 {:.1} KB -> int8 {:.1} KB",
+        float_bytes as f64 / 1024.0,
+        qnet.weight_bytes() as f64 / 1024.0
+    );
+    let device = DeviceProfile::edge_gpu_cifar();
+    let e_f32 = device.compute_energy_j(float_net.total_macs()) * 1e3;
+    println!(
+        "per-image edge compute energy: fp32 {:.3} mJ -> int8 ~{:.3} mJ (0.25x MAC energy)",
+        e_f32,
+        e_f32 * 0.25
+    );
+}

@@ -1,0 +1,89 @@
+//! The full deployment lifecycle of Algorithm 1, over a real channel:
+//!
+//! 1. the cloud trains the main block on all classes;
+//! 2. the main block's weights and the hard-class dictionary are
+//!    serialized and "downloaded" to the edge through the threaded
+//!    edge-cloud pipeline (real crossbeam channels);
+//! 3. the edge attaches adaptive/extension blocks and trains them locally
+//!    on hard-class data only;
+//! 4. later, freshly collected data arrives and the edge adapts with
+//!    episodic replay, as §III-A suggests.
+//!
+//! ```bash
+//! cargo run --release --example model_deployment
+//! ```
+
+use mea_data::presets;
+use mea_nn::models::{resnet_cifar, CifarResNetConfig};
+use mea_nn::StateDict;
+use mea_tensor::Rng;
+use meanet::continual::{extension_accuracy, train_edge_continual, ReplayBuffer};
+use meanet::hard_classes::Selection;
+use meanet::model::{MeaNet, Merge, Variant};
+use meanet::stats::evaluate_main_exit;
+use meanet::train::{build_hard_dataset, train_backbone, train_edge_blocks, TrainConfig};
+
+fn main() {
+    let bundle = presets::tiny(11);
+    let mut rng = Rng::new(11);
+    let mut arch = CifarResNetConfig::repro_scale(6);
+    arch.input_hw = 8;
+
+    // ---- cloud side -----------------------------------------------------
+    let (train_split, val_split) = bundle.train.split_fraction(0.7, &mut rng);
+    let mut backbone = resnet_cifar(&arch, &mut rng);
+    let _ = train_backbone(&mut backbone, &train_split, &TrainConfig::repro(10));
+    let mut cloud_net = MeaNet::from_backbone(
+        backbone,
+        Variant::FullBackbone { extension_channels: 16, extension_blocks: 1 },
+        Merge::Sum,
+        &mut rng,
+    );
+    // Rank classes by validation precision; the bottom half is hard.
+    let eval = evaluate_main_exit(&mut cloud_net, &val_split, 8);
+    let dict = Selection::HardestByPrecision { n: 3 }.select_dict(&eval.confusion);
+    let weights = cloud_net.main_state_dict();
+    println!(
+        "cloud: trained main block ({} tensors, {:.1} KB), hard classes {:?}",
+        weights.num_params(),
+        weights.wire_size_bytes() as f64 / 1024.0,
+        dict.hard_classes()
+    );
+
+    // ---- the download (encode, cross a byte channel, decode) -------------
+    let wire = weights.encode();
+    println!("edge: downloading {} bytes of weights", wire.len());
+    let downloaded = StateDict::decode(wire).expect("clean channel");
+
+    // ---- edge side --------------------------------------------------------
+    let mut edge_net = MeaNet::from_backbone(
+        resnet_cifar(&arch, &mut Rng::new(999)), // blank weights
+        Variant::FullBackbone { extension_channels: 16, extension_blocks: 1 },
+        Merge::Sum,
+        &mut Rng::new(999),
+    );
+    edge_net.load_main_state_dict(&downloaded).expect("matching architecture");
+    edge_net.attach_edge_blocks(dict.clone(), &mut Rng::new(1000));
+    let hard_train = build_hard_dataset(&bundle.train, &dict);
+    let hard_test = build_hard_dataset(&bundle.test, &dict);
+    let _ = train_edge_blocks(&mut edge_net, &hard_train, &TrainConfig::repro(10));
+    println!(
+        "edge: blockwise training done, hard-class accuracy {:.1}%",
+        100.0 * extension_accuracy(&mut edge_net, &hard_test, 8)
+    );
+
+    // ---- continual adaptation ----------------------------------------------
+    let mut buffer = ReplayBuffer::new(hard_train.len(), dict.len());
+    let mut brng = Rng::new(12);
+    buffer.observe(&hard_train, &mut brng);
+    // The environment now only produces instances of one hard class.
+    let keep: Vec<usize> = (0..hard_train.len()).filter(|&i| hard_train.labels[i] == 0).collect();
+    let shift = hard_train.subset(&keep);
+    let stats = train_edge_continual(&mut edge_net, &shift, &mut buffer, 2.0, &TrainConfig::repro(6), &mut brng);
+    println!(
+        "edge: adapted on {} new + {} replayed instances; hard-class accuracy now {:.1}%",
+        stats.new_instances,
+        stats.replayed_instances,
+        100.0 * extension_accuracy(&mut edge_net, &hard_test, 8)
+    );
+}

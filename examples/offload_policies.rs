@@ -1,0 +1,55 @@
+//! Compare offload policies: edge-only, cloud-only, and entropy thresholds
+//! across the (µ_correct, µ_wrong) range — a miniature of Figs. 7–8.
+//!
+//! ```bash
+//! cargo run --release --example offload_policies
+//! ```
+
+use mea_data::presets;
+use mea_edgecloud::device::DeviceProfile;
+use mea_edgecloud::energy::{cloud_only_energy, edge_only_energy, energy_from_records};
+use mea_edgecloud::network::NetworkLink;
+use meanet::pipeline::{BackboneChoice, Pipeline, PipelineConfig};
+use meanet::stats::ExitStats;
+
+fn main() {
+    let bundle = presets::tiny(11);
+    let mut cfg = PipelineConfig::repro_resnet_b(6, 8, 11);
+    if let BackboneChoice::CifarResNet(ref mut c) = cfg.backbone {
+        c.input_hw = 8;
+    }
+    if let Some(BackboneChoice::CifarResNet(ref mut c)) = cfg.cloud {
+        c.input_hw = 8;
+    }
+    let mut pipe = Pipeline::run(&cfg, &bundle.train);
+    let dict = pipe.net.hard_dict().expect("trained pipeline").clone();
+    let device = DeviceProfile::edge_gpu_cifar();
+    let link = NetworkLink::wifi_18_88();
+    let split = pipe.net.cost_split();
+    let bytes = 3 * 8 * 8;
+
+    println!("{:<14} {:>9} {:>9} {:>12}", "policy", "acc (%)", "cloud %", "edge mJ");
+    let edge_records = pipe.infer_edge_only(&bundle.test, 8);
+    let s = ExitStats::from_records(&edge_records, &dict);
+    let e = edge_only_energy(&edge_records, &device, split.fixed_macs, split.trained_macs);
+    println!("{:<14} {:>9.1} {:>9.1} {:>12.3}", "edge-only", 100.0 * s.accuracy, 0.0, 1e3 * e.total_j());
+
+    let (lo, hi) = pipe.entropy.threshold_range();
+    for thr in [lo as f32, ((lo + hi) / 2.0) as f32, hi as f32, 2.0 * hi as f32] {
+        let records = pipe.infer_distributed(&bundle.test, thr, 8);
+        let s = ExitStats::from_records(&records, &dict);
+        let e = energy_from_records(&records, &device, &link, split.fixed_macs, split.trained_macs, bytes);
+        println!(
+            "{:<14} {:>9.1} {:>9.1} {:>12.3}",
+            format!("thr={thr:.3}"),
+            100.0 * s.accuracy,
+            100.0 * s.cloud_fraction(),
+            1e3 * e.total_j()
+        );
+    }
+
+    let cloud_records = meanet::infer::run_cloud_only(pipe.cloud.as_mut().expect("cloud"), &bundle.test, 8);
+    let acc = cloud_records.iter().filter(|r| r.correct).count() as f64 / cloud_records.len() as f64;
+    let e = cloud_only_energy(bundle.test.len() as u64, &link, bytes);
+    println!("{:<14} {:>9.1} {:>9.1} {:>12.3}", "cloud-only", 100.0 * acc, 100.0, 1e3 * e.total_j());
+}

@@ -1,0 +1,58 @@
+//! Quickstart: train a MEANet on a tiny synthetic dataset and run
+//! complexity-aware inference, end to end, in under a minute.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use mea_data::presets;
+use meanet::pipeline::{BackboneChoice, Pipeline, PipelineConfig};
+use meanet::stats::ExitStats;
+
+fn main() {
+    // 1. A six-class synthetic dataset with built-in hard classes.
+    let bundle = presets::tiny(42);
+    println!("dataset: {} train / {} test instances, {} classes", bundle.train.len(), bundle.test.len(), bundle.train.num_classes);
+
+    // 2. Configure the distributed system: model B MEANet at the edge,
+    //    deeper ResNet at the cloud.
+    let mut cfg = PipelineConfig::repro_resnet_b(6, 8, 42);
+    if let BackboneChoice::CifarResNet(ref mut c) = cfg.backbone {
+        c.input_hw = 8; // the tiny preset uses 8x8 images
+    }
+    if let Some(BackboneChoice::CifarResNet(ref mut c)) = cfg.cloud {
+        c.input_hw = 8;
+    }
+
+    // 3. Algorithm 1: cloud pretraining, hard-class selection, blockwise
+    //    edge training.
+    let mut pipe = Pipeline::run(&cfg, &bundle.train);
+    println!("hard classes (lowest validation precision first): {:?}", pipe.hard_classes);
+    println!(
+        "entropy threshold range (mu_correct, mu_wrong) = ({:.3}, {:.3})",
+        pipe.entropy.mean_correct, pipe.entropy.mean_wrong
+    );
+
+    // 4. Algorithm 2, edge-only: early exits at the main block for easy
+    //    classes, extension block for hard ones.
+    let dict = pipe.net.hard_dict().expect("pipeline trains edge blocks").clone();
+    let records = pipe.infer_edge_only(&bundle.test, 8);
+    let stats = ExitStats::from_records(&records, &dict);
+    println!(
+        "edge-only:   accuracy {:.1}%, exits main/extension = {}/{}",
+        100.0 * stats.accuracy,
+        stats.main_exits,
+        stats.extension_exits
+    );
+
+    // 5. Algorithm 2 with the cloud: complex (high-entropy) instances are
+    //    offloaded.
+    let threshold = pipe.entropy.suggested_threshold() as f32;
+    let records = pipe.infer_distributed(&bundle.test, threshold, 8);
+    let stats = ExitStats::from_records(&records, &dict);
+    println!(
+        "edge-cloud:  accuracy {:.1}%, {:.1}% of instances sent to the cloud (threshold {threshold:.3})",
+        100.0 * stats.accuracy,
+        100.0 * stats.cloud_fraction()
+    );
+}

@@ -1,0 +1,105 @@
+//! Cross-crate integration: the full Algorithm 1 deployment over a real
+//! inter-thread byte channel — cloud trains, serializes and "uploads";
+//! edge downloads, restores, and trains its local blocks.
+
+use mea_data::{presets, ClassDict};
+use mea_nn::models::{resnet_cifar, CifarResNetConfig};
+use mea_nn::{StateDict, StateDictError};
+use mea_tensor::{Rng, Tensor};
+use meanet::model::{MeaNet, Merge, Variant};
+use meanet::train::{build_hard_dataset, train_backbone, train_edge_blocks, TrainConfig};
+use mea_nn::layer::Mode;
+use std::sync::mpsc;
+use std::thread;
+
+fn arch() -> CifarResNetConfig {
+    let mut cfg = CifarResNetConfig::repro_scale(6);
+    cfg.input_hw = 8;
+    cfg
+}
+
+fn assemble(seed: u64) -> MeaNet {
+    let mut rng = Rng::new(seed);
+    MeaNet::from_backbone(
+        resnet_cifar(&arch(), &mut rng),
+        Variant::FullBackbone { extension_channels: 16, extension_blocks: 1 },
+        Merge::Sum,
+        &mut rng,
+    )
+}
+
+#[test]
+fn cloud_to_edge_download_over_a_channel() {
+    let bundle = presets::tiny(70);
+    let dict = ClassDict::new(&[0, 2, 4]);
+    let (tx, rx) = mpsc::channel::<Vec<u8>>();
+
+    // Cloud thread: train the backbone, assemble the MEANet, upload the
+    // main block + exit as MEAW bytes, and report reference logits.
+    let train = bundle.train.clone();
+    let cloud = thread::spawn(move || {
+        let mut rng = Rng::new(70);
+        let mut backbone = resnet_cifar(&arch(), &mut rng);
+        let _ = train_backbone(&mut backbone, &train, &TrainConfig::repro(6));
+        let mut net = MeaNet::from_backbone(
+            backbone,
+            Variant::FullBackbone { extension_channels: 16, extension_blocks: 1 },
+            Merge::Sum,
+            &mut rng,
+        );
+        let wire = net.main_state_dict().encode();
+        tx.send(wire.to_vec()).expect("edge is listening");
+        // Reference logits for a fixed probe so the edge can verify.
+        let probe = Tensor::randn([2, 3, 8, 8], 1.0, &mut Rng::new(71));
+        net.main_logits(&probe, Mode::Eval)
+    });
+
+    // Edge side: receive, decode, restore into a blank model.
+    let bytes = rx.recv().expect("download arrives");
+    let dict_bytes_len = bytes.len();
+    let downloaded = StateDict::decode(bytes::Bytes::from(bytes)).expect("clean channel");
+    let mut edge = assemble(9999);
+    edge.load_main_state_dict(&downloaded).expect("architectures match");
+
+    let reference = cloud.join().expect("cloud thread finished");
+    let probe = Tensor::randn([2, 3, 8, 8], 1.0, &mut Rng::new(71));
+    let local = edge.main_logits(&probe, Mode::Eval);
+    assert_eq!(local, reference, "edge model must replicate the cloud's logits bit-for-bit");
+    assert!(dict_bytes_len > 1000, "sanity: a real model crossed the wire");
+
+    // The edge then trains its blocks locally on hard-class data only.
+    edge.attach_edge_blocks(dict.clone(), &mut Rng::new(72));
+    let hard = build_hard_dataset(&bundle.train, &dict);
+    let stats = train_edge_blocks(&mut edge, &hard, &TrainConfig::repro(6));
+    assert!(
+        stats.last().unwrap().accuracy > stats.first().unwrap().accuracy - 0.05,
+        "local edge training regressed: {stats:?}"
+    );
+}
+
+#[test]
+fn corrupted_download_is_rejected_and_model_untouched() {
+    let mut net = assemble(80);
+    let good = net.main_state_dict();
+    let mut bytes = good.encode().to_vec();
+    bytes.truncate(bytes.len() / 2);
+    assert_eq!(StateDict::decode(bytes::Bytes::from(bytes)).unwrap_err(), StateDictError::Truncated);
+
+    // Loading a dict from a *different* architecture must fail cleanly.
+    let mut big_cfg = arch();
+    big_cfg.channels = [16, 24, 32];
+    let mut rng = Rng::new(81);
+    let other = MeaNet::from_backbone(
+        resnet_cifar(&big_cfg, &mut rng),
+        Variant::FullBackbone { extension_channels: 16, extension_blocks: 1 },
+        Merge::Sum,
+        &mut rng,
+    );
+    let mut other = other;
+    let foreign = other.main_state_dict();
+    let probe = Tensor::randn([1, 3, 8, 8], 1.0, &mut Rng::new(82));
+    let before = net.main_logits(&probe, Mode::Eval);
+    assert!(net.load_main_state_dict(&foreign).is_err());
+    let after = net.main_logits(&probe, Mode::Eval);
+    assert_eq!(before, after, "failed load must leave the model unchanged");
+}

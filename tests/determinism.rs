@@ -1,0 +1,38 @@
+//! Reproducibility: identical seeds must give identical datasets, training
+//! trajectories and inference decisions across the whole stack.
+
+use mea_data::presets;
+use meanet::pipeline::{BackboneChoice, Pipeline, PipelineConfig};
+
+fn run_once(seed: u64) -> (Vec<usize>, Vec<f64>, Vec<usize>) {
+    let bundle = presets::tiny(seed);
+    let mut cfg = PipelineConfig::repro_resnet_b(6, 6, seed);
+    if let BackboneChoice::CifarResNet(ref mut c) = cfg.backbone {
+        c.input_hw = 8;
+    }
+    cfg.cloud = None;
+    cfg.val_fraction = 0.25;
+    let mut pipe = Pipeline::run(&cfg, &bundle.train);
+    let records = pipe.infer_edge_only(&bundle.test, 8);
+    (
+        pipe.hard_classes.clone(),
+        pipe.pretrain_stats.iter().map(|s| s.loss).collect(),
+        records.iter().map(|r| r.prediction).collect(),
+    )
+}
+
+#[test]
+fn same_seed_reproduces_everything() {
+    let (hard_a, losses_a, preds_a) = run_once(77);
+    let (hard_b, losses_b, preds_b) = run_once(77);
+    assert_eq!(hard_a, hard_b, "hard-class selection must be deterministic");
+    assert_eq!(losses_a, losses_b, "training trajectory must be deterministic");
+    assert_eq!(preds_a, preds_b, "inference must be deterministic");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let (_, losses_a, _) = run_once(78);
+    let (_, losses_b, _) = run_once(79);
+    assert_ne!(losses_a, losses_b, "different seeds should explore different trajectories");
+}

@@ -1,0 +1,86 @@
+//! Cross-crate integration: the full Algorithm 1 + Algorithm 2 pipeline on
+//! a tiny dataset, checking the paper's qualitative claims end to end.
+
+use mea_data::presets;
+use meanet::pipeline::{BackboneChoice, Pipeline, PipelineConfig};
+use meanet::stats::ExitStats;
+use meanet::ExitPoint;
+
+fn tiny_pipeline(seed: u64, with_cloud: bool) -> (Pipeline, mea_data::DatasetBundle) {
+    let bundle = presets::tiny(seed);
+    let mut cfg = PipelineConfig::repro_resnet_b(6, 8, seed);
+    if let BackboneChoice::CifarResNet(ref mut c) = cfg.backbone {
+        c.input_hw = 8;
+    }
+    match (&mut cfg.cloud, with_cloud) {
+        (cloud @ Some(_), false) => *cloud = None,
+        (Some(BackboneChoice::CifarResNet(c)), true) => c.input_hw = 8,
+        _ => {}
+    }
+    cfg.val_fraction = 0.25;
+    (Pipeline::run(&cfg, &bundle.train), bundle)
+}
+
+#[test]
+fn pipeline_learns_above_chance_and_routes_consistently() {
+    let (mut pipe, bundle) = tiny_pipeline(100, false);
+    let dict = pipe.net.hard_dict().expect("edge blocks trained").clone();
+    assert_eq!(dict.len(), 3, "half of 6 classes should be hard");
+
+    let records = pipe.infer_edge_only(&bundle.test, 8);
+    let stats = ExitStats::from_records(&records, &dict);
+    assert!(stats.accuracy > 1.0 / 6.0 + 0.1, "edge accuracy {:.3} barely above chance", stats.accuracy);
+    assert!(stats.detection_accuracy > 0.5, "detection {:.3}", stats.detection_accuracy);
+
+    for r in &records {
+        assert_ne!(r.exit, ExitPoint::Cloud, "edge-only run must not use the cloud");
+        assert_eq!(r.detected_hard, dict.contains(r.main_prediction));
+        assert_eq!(r.correct, r.prediction == r.truth);
+    }
+}
+
+#[test]
+fn offloading_more_never_reduces_cloud_share_and_tracks_threshold() {
+    let (mut pipe, bundle) = tiny_pipeline(200, true);
+    let dict = pipe.net.hard_dict().expect("edge blocks trained").clone();
+    let mut previous_cloud_count = usize::MAX;
+    for thr in [0.0f32, 0.2, 0.6, 1.2, 3.0] {
+        let records = pipe.infer_distributed(&bundle.test, thr, 8);
+        let stats = ExitStats::from_records(&records, &dict);
+        let cloud_count = stats.cloud_exits;
+        assert!(cloud_count <= previous_cloud_count, "threshold {thr}: offload must shrink");
+        previous_cloud_count = cloud_count;
+        // Every record with entropy above the threshold went to the cloud.
+        for r in &records {
+            assert_eq!(r.exit == ExitPoint::Cloud, r.entropy > thr, "entropy gate broken at {thr}");
+        }
+    }
+}
+
+#[test]
+fn hard_class_training_does_not_touch_main_and_improves_hard_train_accuracy() {
+    let (pipe, bundle) = tiny_pipeline(300, false);
+    let dict = pipe.net.hard_dict().expect("edge blocks trained").clone();
+
+    // The blockwise edge-training curve should end at a healthy training
+    // accuracy on the remapped hard subset.
+    let final_edge = pipe.edge_stats.last().expect("edge epochs ran");
+    assert!(final_edge.accuracy > 0.5, "edge training accuracy {:.3}", final_edge.accuracy);
+
+    // Backbone pretraining must have converged too.
+    let final_pre = pipe.pretrain_stats.last().expect("pretrain epochs ran");
+    assert!(final_pre.accuracy > 0.5, "pretrain accuracy {:.3}", final_pre.accuracy);
+
+    // Hard classes selected by ascending precision must match the dict.
+    assert_eq!(pipe.hard_classes, dict.hard_classes());
+    let _ = bundle;
+}
+
+#[test]
+fn entropy_threshold_range_is_usable() {
+    let (pipe, _) = tiny_pipeline(400, false);
+    let (lo, hi) = pipe.entropy.threshold_range();
+    assert!(lo >= 0.0 && hi >= lo, "degenerate range ({lo}, {hi})");
+    let mid = pipe.entropy.suggested_threshold();
+    assert!(mid >= lo && mid <= hi);
+}

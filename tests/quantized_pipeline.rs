@@ -1,0 +1,66 @@
+//! Cross-crate integration: an int8-quantized edge backbone drives the
+//! same complexity-aware routing decisions as its float original.
+//!
+//! The hybrid deployment of reference [43] only works if the quantized
+//! edge model's *confidence signals* (entropy, argmax) — not just its
+//! accuracy — survive quantization, because Algorithm 2 routes on them.
+
+use mea_data::presets;
+use mea_nn::layer::Mode;
+use mea_nn::models::{resnet_cifar, CifarResNetConfig};
+use mea_quant::quantize_segmented;
+use mea_tensor::{ops, Rng};
+use meanet::train::{train_backbone, TrainConfig};
+
+#[test]
+fn quantized_backbone_preserves_routing_signals() {
+    let bundle = presets::tiny(60);
+    let mut rng = Rng::new(60);
+    let mut cfg = CifarResNetConfig::repro_scale(6);
+    cfg.input_hw = 8;
+    let mut net = resnet_cifar(&cfg, &mut rng);
+    let _ = train_backbone(&mut net, &bundle.train, &TrainConfig::repro(8));
+    let calib: Vec<_> = bundle.train.batches(16).take(3).map(|(x, _)| x).collect();
+    let qnet = quantize_segmented(&mut net, &calib).expect("supported graph");
+
+    // Route with the same entropy threshold on both models and compare the
+    // offload decisions instance by instance.
+    let threshold = 1.0f32;
+    let mut same_route = 0usize;
+    let mut float_offloads = 0usize;
+    let mut int8_offloads = 0usize;
+    let mut total = 0usize;
+    for (images, _) in bundle.test.batches(16) {
+        let fl = net.forward(&images, Mode::Eval);
+        let ql = qnet.forward(&images);
+        let fe = ops::entropy_rows(&ops::softmax_rows(&fl));
+        let qe = ops::entropy_rows(&ops::softmax_rows(&ql));
+        for i in 0..fe.len() {
+            let f_off = fe[i] > threshold;
+            let q_off = qe[i] > threshold;
+            same_route += usize::from(f_off == q_off);
+            float_offloads += usize::from(f_off);
+            int8_offloads += usize::from(q_off);
+            total += 1;
+        }
+    }
+    let agreement = same_route as f64 / total as f64;
+    assert!(agreement >= 0.85, "quantization changed {:.0}% of routing decisions", 100.0 * (1.0 - agreement));
+    let beta_f = float_offloads as f64 / total as f64;
+    let beta_q = int8_offloads as f64 / total as f64;
+    assert!(
+        (beta_f - beta_q).abs() <= 0.15,
+        "offload fraction drifted after quantization: {beta_f:.3} vs {beta_q:.3}"
+    );
+}
+
+#[test]
+fn quantized_features_shrink_the_offload_payload() {
+    // When the edge sends int8 features instead of f32, the payload is a
+    // quarter the size — the lever the partition ablation sweeps.
+    let mut rng = Rng::new(61);
+    let x = mea_tensor::Tensor::randn([1, 16, 4, 4], 1.0, &mut rng);
+    let q = mea_quant::QTensor::quantize(&x, mea_quant::QuantParams::affine_from_range(-4.0, 4.0));
+    let f32_bytes = mea_edgecloud::payload::paper_feature_bytes(x.numel());
+    assert_eq!(q.wire_size_bytes() * 4, f32_bytes);
+}
