@@ -11,9 +11,7 @@ fn bench_edge_inference(c: &mut Criterion) {
     let mut rng = Rng::new(0);
     let mut net = resnet_cifar(&CifarResNetConfig::repro_scale(100), &mut rng);
     let x = Tensor::randn([8, 3, 16, 16], 1.0, &mut rng);
-    c.bench_function("edge_resnet_forward_batch8", |b| {
-        b.iter(|| net.forward(&x, Mode::Eval))
-    });
+    c.bench_function("edge_resnet_forward_batch8", |b| b.iter(|| net.forward(&x, Mode::Eval)));
 }
 
 fn bench_cloud_inference(c: &mut Criterion) {
@@ -23,9 +21,7 @@ fn bench_cloud_inference(c: &mut Criterion) {
     cfg.channels = [12, 24, 48];
     let mut net = resnet_cifar(&cfg, &mut rng);
     let x = Tensor::randn([8, 3, 16, 16], 1.0, &mut rng);
-    c.bench_function("cloud_resnet_forward_batch8", |b| {
-        b.iter(|| net.forward(&x, Mode::Eval))
-    });
+    c.bench_function("cloud_resnet_forward_batch8", |b| b.iter(|| net.forward(&x, Mode::Eval)));
 }
 
 fn bench_matmul(c: &mut Criterion) {
@@ -45,18 +41,14 @@ fn bench_int8_inference(c: &mut Criterion) {
     let calib = vec![Tensor::randn([8, 3, 16, 16], 1.0, &mut rng)];
     let qnet = mea_quant::quantize_segmented(&mut net, &calib).expect("supported graph");
     let x = Tensor::randn([8, 3, 16, 16], 1.0, &mut rng);
-    c.bench_function("edge_resnet_int8_forward_batch8", |b| {
-        b.iter(|| qnet.forward(&x))
-    });
+    c.bench_function("edge_resnet_int8_forward_batch8", |b| b.iter(|| qnet.forward(&x)));
 }
 
 fn bench_qgemm(c: &mut Criterion) {
     let mut rng = Rng::new(4);
     let a: Vec<i8> = (0..128 * 128).map(|_| rng.uniform_range(-128.0, 127.0) as i8).collect();
     let b2: Vec<i8> = (0..128 * 128).map(|_| rng.uniform_range(-128.0, 127.0) as i8).collect();
-    c.bench_function("qgemm_i8_128", |b| {
-        b.iter(|| mea_quant::kernels::qgemm_i32(&a, &b2, 128, 128, 128))
-    });
+    c.bench_function("qgemm_i8_128", |b| b.iter(|| mea_quant::kernels::qgemm_i32(&a, &b2, 128, 128, 128)));
 }
 
 criterion_group! {

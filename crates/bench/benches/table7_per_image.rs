@@ -1,6 +1,10 @@
 //! Table VII: per-image computation and communication power, time and
 //! energy at the edge (paper device constants + host-measured latency).
 
+// Table VII's CIFAR edge-compute energy anchor is 3.14 mJ — a paper
+// constant that only coincidentally resembles π.
+#![allow(clippy::approx_constant)]
+
 use mea_bench::experiments::tables;
 
 fn main() {

@@ -25,8 +25,7 @@ use meanet::continual::{extension_accuracy, train_edge_continual, ReplayBuffer};
 use meanet::infer::run_inference_with_policy;
 use meanet::model::{MeaNet, Merge, Variant};
 use meanet::train::{
-    build_hard_dataset, train_backbone, train_edge_blocks, train_edge_joint_weighted, train_separate,
-    TrainConfig,
+    build_hard_dataset, train_backbone, train_edge_blocks, train_edge_joint_weighted, train_separate, TrainConfig,
 };
 use meanet::{ExitPoint, HardDetector, OffloadPolicy};
 
@@ -99,7 +98,8 @@ pub fn ablation_quant(scale: Scale) -> (Table, Vec<QuantRow>) {
             energy_mj: float_energy * INT8_MAC_ENERGY_RATIO,
         },
     ];
-    let mut table = Table::new(&["precision", "test acc (%)", "agreement (%)", "download (KB)", "energy/img (mJ)"]);
+    let mut table =
+        Table::new(&["precision", "test acc (%)", "agreement (%)", "download (KB)", "energy/img (mJ)"]);
     for r in &rows {
         table.row(&[
             r.label.clone(),
@@ -112,10 +112,7 @@ pub fn ablation_quant(scale: Scale) -> (Table, Vec<QuantRow>) {
     (table, rows)
 }
 
-fn resnet_cifar_cfg(
-    cfg: &mea_nn::models::CifarResNetConfig,
-    rng: &mut Rng,
-) -> mea_nn::models::SegmentedCnn {
+fn resnet_cifar_cfg(cfg: &mea_nn::models::CifarResNetConfig, rng: &mut Rng) -> mea_nn::models::SegmentedCnn {
     mea_nn::models::resnet_cifar(cfg, rng)
 }
 

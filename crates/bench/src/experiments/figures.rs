@@ -71,13 +71,8 @@ pub fn fig5_error_types(scale: Scale) -> (Table, Vec<(String, ErrorBreakdown)>) 
     let eval = helpers::evaluate_main(&mut sys.pipeline.net, &sys.bundle.test, 32);
     results.push(("ImageNet-like".to_string(), eval.error_breakdown(&dict)));
 
-    let mut table = Table::new(&[
-        "dataset",
-        "I easy-as-hard",
-        "II hard-as-easy",
-        "III easy-as-easy",
-        "IV hard-as-hard",
-    ]);
+    let mut table =
+        Table::new(&["dataset", "I easy-as-hard", "II hard-as-easy", "III easy-as-easy", "IV hard-as-hard"]);
     for (label, b) in &results {
         let (p1, p2, p3, p4) = b.proportions();
         table.row(&[label.clone(), pct(p1), pct(p2), pct(p3), pct(p4)]);
@@ -161,15 +156,18 @@ pub fn fig78_sweep(
 ) -> SweepResult {
     let dict = sys.pipeline.net.hard_dict().expect("trained pipeline").clone();
     let link = NetworkLink::wifi_18_88();
-    let (macs_main, macs_ext, _) =
-        helpers::macs_profile(&sys.pipeline.net, sys.pipeline.cloud.as_ref());
+    let (macs_main, macs_ext, _) = helpers::macs_profile(&sys.pipeline.net, sys.pipeline.cloud.as_ref());
 
     let mut points = Vec::new();
     let mut energy = Vec::new();
     for &thr in thresholds {
         let records = sys.pipeline.infer_distributed(&sys.bundle.test, thr as f32, 32);
         let stats = ExitStats::from_records(&records, &dict);
-        points.push(SweepPoint { threshold: thr, accuracy: stats.accuracy, cloud_fraction: stats.cloud_fraction() });
+        points.push(SweepPoint {
+            threshold: thr,
+            accuracy: stats.accuracy,
+            cloud_fraction: stats.cloud_fraction(),
+        });
         energy.push((thr, energy_from_records(&records, device, &link, macs_main, macs_ext, raw_bytes)));
     }
 
@@ -180,8 +178,7 @@ pub fn fig78_sweep(
         &sys.bundle.test,
         32,
     );
-    let cloud_acc =
-        cloud_records.iter().filter(|r| r.correct).count() as f64 / cloud_records.len() as f64;
+    let cloud_acc = cloud_records.iter().filter(|r| r.correct).count() as f64 / cloud_records.len() as f64;
 
     SweepResult {
         label: label.to_string(),

@@ -181,13 +181,7 @@ pub fn table45_class_selection(scale: Scale) -> (Table, Table, Vec<SelectionRow>
     }
     let mut t5 = Table::new(&["selected classes", "train main", "train MEANet", "test main", "test MEANet"]);
     for r in &rows {
-        t5.row(&[
-            r.label.clone(),
-            pct(r.train_main),
-            pct(r.train_meanet),
-            pct(r.test_main),
-            pct(r.test_meanet),
-        ]);
+        t5.row(&[r.label.clone(), pct(r.train_main), pct(r.train_meanet), pct(r.test_main), pct(r.test_meanet)]);
     }
     (t4, t5, rows)
 }
@@ -207,13 +201,8 @@ pub fn table1_cost_model() -> (Table, Vec<(Strategy, f64)>) {
     };
     let strategies =
         [Strategy::EdgeOnly, Strategy::CloudOnly, Strategy::EdgeCloudRaw, Strategy::EdgeCloudFeatures];
-    let mut table = Table::new(&[
-        "strategy",
-        "edge compute (J)",
-        "cloud compute (J)",
-        "communication (J)",
-        "edge total (J)",
-    ]);
+    let mut table =
+        Table::new(&["strategy", "edge compute (J)", "cloud compute (J)", "communication (J)", "edge total (J)"]);
     let mut totals = Vec::new();
     for s in strategies {
         let c = estimate(s, &params);
@@ -342,14 +331,9 @@ pub fn table7_per_image() -> (Table, Vec<PerImageRow>) {
     let link = NetworkLink::wifi_18_88();
     let mut rng = Rng::new(7);
 
-    let cifar =
-        per_image(&DeviceProfile::edge_gpu_cifar(), &link, 69_400_000, paper_raw_image_bytes(3, 32, 32));
-    let inet = per_image(
-        &DeviceProfile::edge_gpu_imagenet(),
-        &link,
-        1_820_000_000,
-        paper_raw_image_bytes(3, 224, 224),
-    );
+    let cifar = per_image(&DeviceProfile::edge_gpu_cifar(), &link, 69_400_000, paper_raw_image_bytes(3, 32, 32));
+    let inet =
+        per_image(&DeviceProfile::edge_gpu_imagenet(), &link, 1_820_000_000, paper_raw_image_bytes(3, 224, 224));
 
     let mut small = resnet_cifar(&CifarResNetConfig::repro_scale(100), &mut rng);
     let x = Tensor::randn([16, 3, 16, 16], 1.0, &mut rng);

@@ -281,8 +281,7 @@ mod tests {
 
         // Environment shift: only remapped class 0 is collected now.
         let only_class0 = {
-            let keep: Vec<usize> =
-                (0..hard_train.len()).filter(|&i| hard_train.labels[i] == 0).collect();
+            let keep: Vec<usize> = (0..hard_train.len()).filter(|&i| hard_train.labels[i] == 0).collect();
             hard_train.subset(&keep)
         };
         let mut buffer = ReplayBuffer::new(hard_train.len(), dict.len());

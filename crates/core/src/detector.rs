@@ -91,11 +91,7 @@ impl HardDetector {
         for (images, labels) in data.batches(batch_size) {
             let features = net.main_features(&images, Mode::Eval);
             let preds = self.predict_from_features(&features);
-            correct += preds
-                .iter()
-                .zip(labels)
-                .filter(|(&p, &l)| p == dict.contains(l))
-                .count();
+            correct += preds.iter().zip(labels).filter(|(&p, &l)| p == dict.contains(l)).count();
         }
         correct as f64 / data.len() as f64
     }

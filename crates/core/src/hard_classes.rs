@@ -66,11 +66,7 @@ mod tests {
 
     fn confusion_with_known_hardness() -> ConfusionMatrix {
         // class 0 perfect, class 1 mediocre, class 2 terrible.
-        ConfusionMatrix::from_predictions(
-            3,
-            &[0, 0, 0, 1, 1, 1, 2, 2, 2],
-            &[0, 0, 0, 1, 1, 2, 1, 1, 2],
-        )
+        ConfusionMatrix::from_predictions(3, &[0, 0, 0, 1, 1, 1, 2, 2, 2], &[0, 0, 0, 1, 1, 2, 1, 1, 2])
     }
 
     #[test]

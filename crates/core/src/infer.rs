@@ -107,10 +107,7 @@ pub fn run_inference_with_policy(
     batch_size: usize,
 ) -> Vec<InstanceRecord> {
     assert!(net.hard_dict().is_some(), "attach edge blocks before inference");
-    assert!(
-        policy.is_edge_only() || cloud.is_some(),
-        "an offloading policy requires a cloud model"
-    );
+    assert!(policy.is_edge_only() || cloud.is_some(), "an offloading policy requires a cloud model");
     let mut records = Vec::with_capacity(data.len());
     for (images, labels) in data.batches(batch_size) {
         let n = labels.len();
@@ -259,11 +256,8 @@ mod tests {
         // everything else exits at the main block. (An untrained net may
         // collapse onto one route, so we don't demand both occur.)
         for r in &records {
-            let expected = if [0, 2, 4].contains(&r.main_prediction) {
-                ExitPoint::Extension
-            } else {
-                ExitPoint::Main
-            };
+            let expected =
+                if [0, 2, 4].contains(&r.main_prediction) { ExitPoint::Extension } else { ExitPoint::Main };
             assert_eq!(r.exit, expected);
         }
     }

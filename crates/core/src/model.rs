@@ -588,7 +588,8 @@ mod tests {
     fn model_a_with_concat_is_rejected() {
         let mut rng = Rng::new(3);
         let backbone = tiny_backbone(4, &mut rng);
-        let _ = MeaNet::from_backbone(backbone, Variant::SplitBackbone { main_segments: 2 }, Merge::Concat, &mut rng);
+        let _ =
+            MeaNet::from_backbone(backbone, Variant::SplitBackbone { main_segments: 2 }, Merge::Concat, &mut rng);
     }
 
     #[test]

@@ -148,10 +148,7 @@ mod tests {
             let p = OffloadPolicy::budgeted_from_validation(&entropies, beta);
             let offloaded = entropies.iter().filter(|&&e| p.should_offload(&[1.0, 0.0], e)).count();
             let got = offloaded as f64 / entropies.len() as f64;
-            assert!(
-                (got - beta).abs() <= 0.02,
-                "beta {beta}: offloaded {got} (threshold {p:?})"
-            );
+            assert!((got - beta).abs() <= 0.02, "beta {beta}: offloaded {got} (threshold {p:?})");
         }
     }
 

@@ -168,10 +168,10 @@ mod tests {
     fn exit_stats_aggregate() {
         let dict = ClassDict::new(&[2, 3]);
         let records = vec![
-            record(0, 0, ExitPoint::Main, false),      // easy correct
-            record(2, 2, ExitPoint::Extension, true),  // hard correct
-            record(3, 2, ExitPoint::Extension, true),  // hard wrong
-            record(1, 3, ExitPoint::Cloud, true),      // easy wrong, detection wrong
+            record(0, 0, ExitPoint::Main, false),     // easy correct
+            record(2, 2, ExitPoint::Extension, true), // hard correct
+            record(3, 2, ExitPoint::Extension, true), // hard wrong
+            record(1, 3, ExitPoint::Cloud, true),     // easy wrong, detection wrong
         ];
         let s = ExitStats::from_records(&records, &dict);
         assert_eq!((s.main_exits, s.extension_exits, s.cloud_exits), (1, 2, 1));

@@ -114,7 +114,10 @@ fn epoch_loop(
             correct += c;
             batches += 1;
         }
-        stats.push(EpochStats { loss: loss_sum / batches.max(1) as f64, accuracy: correct as f64 / data.len() as f64 });
+        stats.push(EpochStats {
+            loss: loss_sum / batches.max(1) as f64,
+            accuracy: correct as f64 / data.len() as f64,
+        });
     }
     stats
 }
@@ -282,7 +285,11 @@ pub fn train_edge_joint_weighted(
     w_ext: f32,
 ) -> Vec<EpochStats> {
     let dict = net.hard_dict().expect("edge blocks not attached").clone();
-    assert_eq!(hard_data.num_classes, dict.len(), "hard dataset must use remapped labels (see build_hard_dataset)");
+    assert_eq!(
+        hard_data.num_classes,
+        dict.len(),
+        "hard dataset must use remapped labels (see build_hard_dataset)"
+    );
     let loss_fn = CrossEntropyLoss::new();
     let mut opt = cfg.optimizer();
     epoch_loop(hard_data, cfg, |images, labels, lr| {

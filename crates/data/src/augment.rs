@@ -185,7 +185,7 @@ mod tests {
         for _ in 0..20 {
             let y = policy.apply_batch(&x, &mut rng);
             for &v in y.as_slice() {
-                assert!(v == 0.0 || (v >= 1.0 && v <= 25.0), "foreign value {v}");
+                assert!(v == 0.0 || (1.0..=25.0).contains(&v), "foreign value {v}");
             }
         }
     }

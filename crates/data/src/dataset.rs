@@ -162,13 +162,8 @@ mod tests {
         assert_eq!(b.len(), 15);
         // Together they hold every original image exactly once (checked via
         // the first pixel, which is unique per image in `toy`).
-        let mut firsts: Vec<i64> = a
-            .images
-            .as_slice()
-            .chunks(12)
-            .chain(b.images.as_slice().chunks(12))
-            .map(|c| c[0] as i64)
-            .collect();
+        let mut firsts: Vec<i64> =
+            a.images.as_slice().chunks(12).chain(b.images.as_slice().chunks(12)).map(|c| c[0] as i64).collect();
         firsts.sort_unstable();
         assert_eq!(firsts, (0..20).map(|i| i * 12).collect::<Vec<i64>>());
     }

@@ -122,18 +122,9 @@ mod tests {
         let mut b = a.clone();
         b[0] += 0.01;
         let far: Vec<f32> = a.iter().map(|v| -v).collect();
-        let d_near: f32 = dict
-            .render(&a)
-            .iter()
-            .zip(dict.render(&b).iter())
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum();
-        let d_far: f32 = dict
-            .render(&a)
-            .iter()
-            .zip(dict.render(&far).iter())
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum();
+        let d_near: f32 = dict.render(&a).iter().zip(dict.render(&b).iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+        let d_far: f32 =
+            dict.render(&a).iter().zip(dict.render(&far).iter()).map(|(x, y)| (x - y) * (x - y)).sum();
         assert!(d_near < d_far / 100.0, "near {d_near} vs far {d_far}");
     }
 

@@ -138,12 +138,11 @@ pub fn generate(config: &SynthConfig) -> DatasetBundle {
         let mut data = Vec::with_capacity(n * img_len);
         let mut labels = Vec::with_capacity(n);
         let mut noises = Vec::with_capacity(n);
-        for class in 0..config.num_classes {
+        for (class, proto) in prototypes.iter().enumerate().take(config.num_classes) {
             for _ in 0..per_class {
                 // Long-tailed instance noise: exponential, clipped.
                 let noise = (-rng.uniform().max(1e-9).ln() * config.noise_mean).min(config.noise_cap);
-                let coeffs: Vec<f32> =
-                    prototypes[class].iter().map(|&p| p + noise * rng.normal()).collect();
+                let coeffs: Vec<f32> = proto.iter().map(|&p| p + noise * rng.normal()).collect();
                 let mut img = dict.render(&coeffs);
                 for v in &mut img {
                     *v += 0.3 * noise * rng.normal(); // pixel-level noise

@@ -31,7 +31,7 @@ proptest! {
             let src = &images.as_slice()[i * chw..(i + 1) * chw];
             for &v in &out.as_slice()[i * chw..(i + 1) * chw] {
                 prop_assert!(
-                    v == 0.0 || src.iter().any(|&s| s == v),
+                    v == 0.0 || src.contains(&v),
                     "pixel {v} is neither zero nor from the source image"
                 );
             }

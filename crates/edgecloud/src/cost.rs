@@ -54,7 +54,10 @@ impl CostParams {
         assert!((0.0..=1.0).contains(&self.beta), "beta must be in [0,1], got {}", self.beta);
         assert!((0.0..=1.0).contains(&self.q), "q must be in [0,1], got {}", self.q);
         assert!(
-            self.edge_unit >= 0.0 && self.cloud_unit >= 0.0 && self.comm_raw_unit >= 0.0 && self.comm_feat_unit >= 0.0,
+            self.edge_unit >= 0.0
+                && self.cloud_unit >= 0.0
+                && self.comm_raw_unit >= 0.0
+                && self.comm_feat_unit >= 0.0,
             "unit costs must be non-negative"
         );
     }
@@ -93,7 +96,9 @@ pub fn estimate(strategy: Strategy, p: &CostParams) -> CostBreakdown {
     p.validate();
     let n = p.n as f64;
     match strategy {
-        Strategy::EdgeOnly => CostBreakdown { edge_compute: n * p.edge_unit, cloud_compute: 0.0, communication: 0.0 },
+        Strategy::EdgeOnly => {
+            CostBreakdown { edge_compute: n * p.edge_unit, cloud_compute: 0.0, communication: 0.0 }
+        }
         Strategy::CloudOnly => CostBreakdown {
             edge_compute: 0.0,
             cloud_compute: n * p.cloud_unit,

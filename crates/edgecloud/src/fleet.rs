@@ -88,10 +88,8 @@ struct CloudJob {
 /// Panics if `routes` is empty, any device has no instances, or
 /// `cfg.cloud_servers == 0`.
 pub fn simulate_fleet(cfg: &FleetConfig, routes: &[Vec<ExitPoint>]) -> FleetReport {
-    let arrivals: Vec<Vec<f64>> = routes
-        .iter()
-        .map(|r| (0..r.len()).map(|i| i as f64 * cfg.arrival_interval_s).collect())
-        .collect();
+    let arrivals: Vec<Vec<f64>> =
+        routes.iter().map(|r| (0..r.len()).map(|i| i as f64 * cfg.arrival_interval_s).collect()).collect();
     simulate_fleet_with_arrivals(cfg, routes, &arrivals)
 }
 
@@ -168,7 +166,8 @@ pub fn simulate_fleet_with_arrivals(
             .then(a.device.cmp(&b.device))
             .then(a.index.cmp(&b.index))
     });
-    let mut servers: BinaryHeap<Reverse<OrderedF64>> = (0..cfg.cloud_servers).map(|_| Reverse(OrderedF64(0.0))).collect();
+    let mut servers: BinaryHeap<Reverse<OrderedF64>> =
+        (0..cfg.cloud_servers).map(|_| Reverse(OrderedF64(0.0))).collect();
     let mut wait_sum = 0.0f64;
     let mut wait_max = 0.0f64;
     let mut busy = 0.0f64;
@@ -265,12 +264,12 @@ mod tests {
         // with the single-pipeline simulator (same FIFO disciplines).
         let f = cfg(1);
         let routes = mixed_routes(12);
-        let fleet = simulate_fleet(&f, &[routes.clone()]);
+        let fleet = simulate_fleet(&f, std::slice::from_ref(&routes));
         let single = simulate(
             &SimConfig {
                 edge: f.edge.clone(),
                 cloud: f.cloud.clone(),
-                link: f.link.clone(),
+                link: f.link,
                 macs_main: f.macs_main,
                 macs_extension_extra: f.macs_extension_extra,
                 macs_cloud: f.macs_cloud,
@@ -315,7 +314,10 @@ mod tests {
         let routes_b: Vec<Vec<ExitPoint>> = (0..32).map(|_| vec![ExitPoint::Main; 10]).collect();
         let a = simulate_fleet(&cfg(1), &routes_a);
         let b = simulate_fleet(&cfg(1), &routes_b);
-        assert!((a.mean_latency_s - b.mean_latency_s).abs() < 1e-12, "edge-only latency must not depend on fleet size");
+        assert!(
+            (a.mean_latency_s - b.mean_latency_s).abs() < 1e-12,
+            "edge-only latency must not depend on fleet size"
+        );
         assert_eq!(b.cloud_utilization, 0.0);
         assert_eq!(b.cloud_wait_max_s, 0.0);
     }

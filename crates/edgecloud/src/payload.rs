@@ -78,8 +78,7 @@ impl Payload {
         let numel: usize = dims.iter().product();
         match tag {
             0 => {
-                let data: Vec<f32> =
-                    (0..numel).map(|_| (buf.get_u8() as f32 / 255.0) * 4.0 - 2.0).collect();
+                let data: Vec<f32> = (0..numel).map(|_| (buf.get_u8() as f32 / 255.0) * 4.0 - 2.0).collect();
                 Payload::RawImage { image: Tensor::from_vec(data, &dims).expect("decoded shape") }
             }
             1 => {

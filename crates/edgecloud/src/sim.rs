@@ -198,10 +198,10 @@ mod tests {
             edge: DeviceProfile::new("edge", 10.0, 1e9),
             cloud: DeviceProfile::new("cloud", 100.0, 1e10),
             link: NetworkLink::wifi(8.0).with_rtt(0.01),
-            macs_main: 1_000_000,        // 1 ms on edge
+            macs_main: 1_000_000,          // 1 ms on edge
             macs_extension_extra: 500_000, // 0.5 ms
-            macs_cloud: 10_000_000,      // 1 ms on cloud
-            payload_bytes: 1000,         // 1 ms on the 1 MB/s link
+            macs_cloud: 10_000_000,        // 1 ms on cloud
+            payload_bytes: 1000,           // 1 ms on the 1 MB/s link
             arrival_interval_s: 0.002,
         }
     }

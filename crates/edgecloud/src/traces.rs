@@ -125,8 +125,7 @@ mod tests {
 
     #[test]
     fn bursty_alternates_spacing() {
-        let t = ArrivalModel::Bursty { burst_len: 3, intra_s: 0.001, gap_s: 0.1 }
-            .generate(7, &mut Rng::new(0));
+        let t = ArrivalModel::Bursty { burst_len: 3, intra_s: 0.001, gap_s: 0.1 }.generate(7, &mut Rng::new(0));
         // 0, .001, .002 | .102, .103, .104 | .204
         assert!((t[1] - t[0] - 0.001).abs() < 1e-12);
         assert!((t[3] - t[2] - 0.1).abs() < 1e-12);

@@ -2,8 +2,7 @@
 //! arrival-trace generators.
 
 use mea_edgecloud::{
-    simulate_fleet, sweep_cuts, ArrivalModel, DeviceProfile, FleetConfig, LayerProfile, NetworkLink,
-    PartitionEnv,
+    simulate_fleet, sweep_cuts, ArrivalModel, DeviceProfile, FleetConfig, LayerProfile, NetworkLink, PartitionEnv,
 };
 use mea_tensor::Rng;
 use meanet::ExitPoint;

@@ -84,10 +84,7 @@ impl Reliability {
         if self.total == 0 {
             return 0.0;
         }
-        self.bins
-            .iter()
-            .map(|b| (b.count as f64 / self.total as f64) * b.gap().abs())
-            .sum()
+        self.bins.iter().map(|b| (b.count as f64 / self.total as f64) * b.gap().abs()).sum()
     }
 
     /// Maximum calibration error: the worst occupied bin's |gap|.

@@ -42,7 +42,11 @@ impl ConfusionMatrix {
     ///
     /// Panics if either label is out of range.
     pub fn record(&mut self, truth: usize, predicted: usize) {
-        assert!(truth < self.k && predicted < self.k, "label out of range ({truth}, {predicted}) for {} classes", self.k);
+        assert!(
+            truth < self.k && predicted < self.k,
+            "label out of range ({truth}, {predicted}) for {} classes",
+            self.k
+        );
         self.counts[truth * self.k + predicted] += 1;
     }
 

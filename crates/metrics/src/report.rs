@@ -22,7 +22,13 @@ impl Table {
     ///
     /// Panics if the cell count differs from the header count.
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "row width {} != header width {}", cells.len(), self.headers.len());
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
         self.rows.push(cells.to_vec());
         self
     }

@@ -274,18 +274,33 @@ mod tests {
         let _ = block.forward(&x, Mode::Train);
         let gx = block.backward(&wsum);
         let eps = 1e-2f32;
-        for &idx in &[0usize, 31, 77, 143] {
+        let f0 = weighted_loss(&mut block, &x, &wsum);
+        // A probe that straddles a ReLU kink reads ~half the analytic slope
+        // from the central difference, independent of any gradient bug. The
+        // one-sided differences disagree sharply there, so such indices are
+        // detected and skipped at runtime rather than hand-picked per RNG
+        // stream; enough probes must survive for the check to mean anything.
+        let mut checked = 0usize;
+        for &idx in &[0usize, 31, 60, 77, 100, 142, 143] {
             let mut xp = x.clone();
             xp.as_mut_slice()[idx] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[idx] -= eps;
-            let num = (weighted_loss(&mut block, &xp, &wsum) - weighted_loss(&mut block, &xm, &wsum))
-                / (2.0 * eps as f64);
+            let fp = weighted_loss(&mut block, &xp, &wsum);
+            let fm = weighted_loss(&mut block, &xm, &wsum);
+            let fwd = (fp - f0) / eps as f64;
+            let bwd = (f0 - fm) / eps as f64;
+            if (fwd - bwd).abs() > 0.15 * (1.0 + fwd.abs().max(bwd.abs())) {
+                continue; // kink straddled: the numeric estimate is meaningless here
+            }
+            let num = (fp - fm) / (2.0 * eps as f64);
             let ana = gx.as_slice()[idx] as f64;
             // BN batch statistics shift with the probe, so tolerance is loose
             // but still catches sign/structure errors.
             assert!((num - ana).abs() < 0.1 * (1.0 + ana.abs()), "grad {idx}: {num} vs {ana}");
+            checked += 1;
         }
+        assert!(checked >= 4, "only {checked} kink-free probe indices; widen the probe set");
     }
 
     #[test]

@@ -68,7 +68,13 @@ impl BatchNorm2d {
 
     fn dims(&self, x: &Tensor) -> (usize, usize, usize, usize) {
         assert_eq!(x.shape().rank(), 4, "BatchNorm2d expects NCHW, got {}", x.shape());
-        assert_eq!(x.dims()[1], self.channels, "BatchNorm2d expects {} channels, got {}", self.channels, x.dims()[1]);
+        assert_eq!(
+            x.dims()[1],
+            self.channels,
+            "BatchNorm2d expects {} channels, got {}",
+            self.channels,
+            x.dims()[1]
+        );
         (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3])
     }
 }
@@ -96,27 +102,27 @@ impl Layer for BatchNorm2d {
             let mut var = vec![0.0f32; c];
             let src = x.as_slice();
             for img in 0..n {
-                for ch in 0..c {
+                for (ch, acc) in mean.iter_mut().enumerate() {
                     let base = (img * c + ch) * plane;
                     for &v in &src[base..base + plane] {
-                        mean[ch] += v;
+                        *acc += v;
                     }
                 }
             }
-            for ch in 0..c {
-                mean[ch] /= m as f32;
+            for v in &mut mean {
+                *v /= m as f32;
             }
             for img in 0..n {
-                for ch in 0..c {
+                for (ch, acc) in var.iter_mut().enumerate() {
                     let base = (img * c + ch) * plane;
                     let mu = mean[ch];
                     for &v in &src[base..base + plane] {
-                        var[ch] += (v - mu) * (v - mu);
+                        *acc += (v - mu) * (v - mu);
                     }
                 }
             }
-            for ch in 0..c {
-                var[ch] /= m as f32;
+            for v in &mut var {
+                *v /= m as f32;
             }
 
             let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();

@@ -318,9 +318,8 @@ mod tests {
         let mut conv = Conv2d::new(1, 1, 3, 1, 1, false, &mut rng);
         let x = Tensor::randn([1, 1, 4, 4], 1.0, &mut rng);
         let _ = conv.forward(&x, Mode::Eval);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            conv.backward(&Tensor::zeros([1, 1, 4, 4]))
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| conv.backward(&Tensor::zeros([1, 1, 4, 4]))));
         assert!(result.is_err(), "backward after eval forward must panic");
     }
 

@@ -59,7 +59,13 @@ impl Layer for Linear {
 
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(x.shape().rank(), 2, "Linear expects [N, features], got {}", x.shape());
-        assert_eq!(x.dims()[1], self.in_features, "Linear expects {} features, got {}", self.in_features, x.dims()[1]);
+        assert_eq!(
+            x.dims()[1],
+            self.in_features,
+            "Linear expects {} features, got {}",
+            self.in_features,
+            x.dims()[1]
+        );
         let mut y = matmul::matmul_a_bt(x, &self.weight.value);
         ops::add_bias_rows(&mut y, &self.bias.value);
         self.cache = mode.is_train().then(|| x.clone());

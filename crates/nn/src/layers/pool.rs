@@ -97,9 +97,7 @@ impl Layer for MaxPool2d {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let (argmax, numel, dims) = self.cache.as_ref().expect("MaxPool2d::backward without training forward");
-        pool::max_pool2d_backward(grad_out, argmax, *numel)
-            .reshape(dims)
-            .expect("pool backward shape")
+        pool::max_pool2d_backward(grad_out, argmax, *numel).reshape(dims).expect("pool backward shape")
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}

@@ -113,10 +113,7 @@ impl SegmentedCnn {
 /// Builds a classifier head (`GlobalAvgPool → Linear`) — the "exit" attached
 /// to each MEANet block.
 pub fn make_head(channels: usize, num_classes: usize, rng: &mut Rng) -> Sequential {
-    Sequential::new(vec![
-        Box::new(GlobalAvgPool::new()),
-        Box::new(Linear::new(channels, num_classes, rng)),
-    ])
+    Sequential::new(vec![Box::new(GlobalAvgPool::new()), Box::new(Linear::new(channels, num_classes, rng))])
 }
 
 #[cfg(test)]

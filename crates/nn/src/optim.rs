@@ -51,6 +51,9 @@ impl Sgd {
     /// Like [`Sgd::step`] but over an arbitrary parameter group expressed as
     /// a visitation function — how MEANet trains only its edge blocks while
     /// the main block stays frozen.
+    // The nested-FnMut shape is the `visit_params` contract used across the
+    // workspace; a type alias here would only obscure it.
+    #[allow(clippy::type_complexity)]
     pub fn step_with(&mut self, visit: &mut dyn FnMut(&mut dyn FnMut(&mut Param))) {
         let mut idx = 0usize;
         let (lr, mu, wd) = (self.lr, self.momentum, self.weight_decay);
@@ -119,8 +122,14 @@ mod tests {
     fn sgd_decreases_loss_on_toy_problem() {
         let mut rng = Rng::new(0);
         let mut model = Linear::new(4, 3, &mut rng);
-        let x = Tensor::randn([16, 4], 1.0, &mut rng);
+        // Class-separable toy data: feature `i % 3` carries a +2 mean shift,
+        // so a linear model can always drive the loss well down. (A purely
+        // random [16, 4] draw is only fittable for lucky RNG streams.)
+        let mut x = Tensor::randn([16, 4], 1.0, &mut rng);
         let labels: Vec<usize> = (0..16).map(|i| i % 3).collect();
+        for (i, &label) in labels.iter().enumerate() {
+            x.as_mut_slice()[i * 4 + label] += 2.0;
+        }
         let loss_fn = CrossEntropyLoss::new();
         let mut opt = Sgd::new(0.5, 0.9, 0.0);
 

@@ -188,11 +188,7 @@ impl StateDict {
         }
         for (index, (t, s)) in self.params.iter().zip(model_shapes).enumerate() {
             if t.dims() != s.as_slice() {
-                return Err(StateDictError::ShapeMismatch {
-                    index,
-                    expected: t.dims().to_vec(),
-                    got: s.clone(),
-                });
+                return Err(StateDictError::ShapeMismatch { index, expected: t.dims().to_vec(), got: s.clone() });
             }
         }
         Ok(())

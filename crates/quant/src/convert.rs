@@ -11,9 +11,7 @@
 
 use crate::error::QuantError;
 use crate::observer::MinMaxObserver;
-use crate::qlayers::{
-    qadd, qavg_pool, qglobal_avg_pool, qmax_pool, qrelu, QConv2d, QDepthwiseConv2d, QLinear,
-};
+use crate::qlayers::{qadd, qavg_pool, qglobal_avg_pool, qmax_pool, qrelu, QConv2d, QDepthwiseConv2d, QLinear};
 use crate::qparams::QuantParams;
 use crate::qtensor::QTensor;
 use mea_nn::blocks::{BasicBlock, InvertedResidual};
@@ -281,9 +279,10 @@ fn walk_sequential(
                 }
                 consumed += 1;
             }
-            let relu_clamp = seq.layers().get(i + consumed).and_then(|l| {
-                l.as_any().downcast_ref::<Activation>().map(|a| a.clamp_max())
-            });
+            let relu_clamp = seq
+                .layers()
+                .get(i + consumed)
+                .and_then(|l| l.as_any().downcast_ref::<Activation>().map(|a| a.clamp_max()));
             if relu_clamp.is_some() {
                 consumed += 1;
             }
@@ -317,9 +316,10 @@ fn walk_sequential(
                 }
                 consumed += 1;
             }
-            let relu_clamp = seq.layers().get(i + consumed).and_then(|l| {
-                l.as_any().downcast_ref::<Activation>().map(|a| a.clamp_max())
-            });
+            let relu_clamp = seq
+                .layers()
+                .get(i + consumed)
+                .and_then(|l| l.as_any().downcast_ref::<Activation>().map(|a| a.clamp_max()));
             if relu_clamp.is_some() {
                 consumed += 1;
             }
@@ -344,10 +344,7 @@ fn walk_sequential(
         }
         // --- residual blocks ----------------------------------------------
         if seq.layers()[i].as_any().is::<BasicBlock>() {
-            let block = seq.layers_mut()[i]
-                .as_any_mut()
-                .downcast_mut::<BasicBlock>()
-                .expect("type checked above");
+            let block = seq.layers_mut()[i].as_any_mut().downcast_mut::<BasicBlock>().expect("type checked above");
             let input = cur.clone();
             let input_params = cur_params.clone();
             let (main_seq, _) = block.parts_mut();
@@ -367,11 +364,8 @@ fn walk_sequential(
                 None => (None, input),
             };
             // Float reference of the post-add, post-ReLU output.
-            let summed: Vec<Tensor> = main_out
-                .iter()
-                .zip(&shortcut_out)
-                .map(|(m, s)| m.add(s).map(|v| v.max(0.0)))
-                .collect();
+            let summed: Vec<Tensor> =
+                main_out.iter().zip(&shortcut_out).map(|(m, s)| m.add(s).map(|v| v.max(0.0))).collect();
             let out_params = observe_params(&summed);
             ops.push(QOp::Block(Box::new(QResidual {
                 main: main_ops,
@@ -386,10 +380,8 @@ fn walk_sequential(
             continue;
         }
         if seq.layers()[i].as_any().is::<InvertedResidual>() {
-            let block = seq.layers_mut()[i]
-                .as_any_mut()
-                .downcast_mut::<InvertedResidual>()
-                .expect("type checked above");
+            let block =
+                seq.layers_mut()[i].as_any_mut().downcast_mut::<InvertedResidual>().expect("type checked above");
             let has_skip = block.has_skip();
             let input = cur.clone();
             let input_params = cur_params.clone();
@@ -417,10 +409,8 @@ fn walk_sequential(
         }
         // --- nested sequential --------------------------------------------
         if seq.layers()[i].as_any().is::<Sequential>() {
-            let nested = seq.layers_mut()[i]
-                .as_any_mut()
-                .downcast_mut::<Sequential>()
-                .expect("type checked above");
+            let nested =
+                seq.layers_mut()[i].as_any_mut().downcast_mut::<Sequential>().expect("type checked above");
             walk_sequential(nested, cur, cur_params, ops)?;
             i += 1;
             continue;
@@ -515,12 +505,7 @@ mod tests {
             hi = hi.max(v);
         }
         let range = (hi - lo).max(1e-6);
-        let mad: f32 = float_out
-            .as_slice()
-            .iter()
-            .zip(q_out.as_slice())
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f32>()
+        let mad: f32 = float_out.as_slice().iter().zip(q_out.as_slice()).map(|(a, b)| (a - b).abs()).sum::<f32>()
             / float_out.numel() as f32;
         mad / range
     }
@@ -604,17 +589,14 @@ mod tests {
         let qnet = quantize_sequential(&mut net, &batches).unwrap();
         // int8 weights plus 32-bit biases land well under half the float
         // size (BN folds away entirely).
-        assert!(
-            qnet.weight_bytes() * 2 < float_param_bytes,
-            "{} vs {float_param_bytes}",
-            qnet.weight_bytes()
-        );
+        assert!(qnet.weight_bytes() * 2 < float_param_bytes, "{} vs {float_param_bytes}", qnet.weight_bytes());
     }
 
     #[test]
     fn no_calibration_data_is_an_error() {
         let mut rng = Rng::new(5);
-        let mut net = Sequential::new(vec![Box::new(Conv2d::new(1, 1, 1, 1, 0, false, &mut rng)) as Box<dyn Layer>]);
+        let mut net =
+            Sequential::new(vec![Box::new(Conv2d::new(1, 1, 1, 1, 0, false, &mut rng)) as Box<dyn Layer>]);
         match quantize_sequential(&mut net, &[]) {
             Err(QuantError::NoCalibrationData) => {}
             other => panic!("expected NoCalibrationData, got {other:?}"),

@@ -183,8 +183,10 @@ mod tests {
         let w = Tensor::rand_uniform([2, 4], -1.0, 1.0, &mut rng); // [m=2, k=4]
         let s_x = 2.0 / 255.0;
         let s_w = 1.0 / 127.0;
-        let xq: Vec<i8> = x.as_slice().iter().map(|&v| ((v / s_x).round() as i32).clamp(-128, 127) as i8).collect();
-        let wq: Vec<i8> = w.as_slice().iter().map(|&v| ((v / s_w).round() as i32).clamp(-128, 127) as i8).collect();
+        let xq: Vec<i8> =
+            x.as_slice().iter().map(|&v| ((v / s_x).round() as i32).clamp(-128, 127) as i8).collect();
+        let wq: Vec<i8> =
+            w.as_slice().iter().map(|&v| ((v / s_w).round() as i32).clamp(-128, 127) as i8).collect();
         let acc = qgemm_i32(&wq, &xq, 2, 4, 6);
         for mi in 0..2 {
             for ni in 0..6 {

@@ -128,11 +128,7 @@ impl MovingAverageObserver {
 pub fn channel_absmax(weights: &Tensor) -> Vec<f32> {
     let out_c = weights.dims()[0];
     let row = weights.numel() / out_c;
-    weights
-        .as_slice()
-        .chunks(row)
-        .map(|chunk| chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs())))
-        .collect()
+    weights.as_slice().chunks(row).map(|chunk| chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs()))).collect()
 }
 
 #[cfg(test)]

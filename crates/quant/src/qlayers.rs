@@ -110,12 +110,14 @@ impl QConv2d {
         let cols_n = oh * ow;
         let mut out = vec![0i8; n * self.out_channels * cols_n];
         for img in 0..n {
-            let cols = qim2col(&x.as_slice()[img * c * h * w..(img + 1) * c * h * w], h, w, &self.geom, zp_x as i8);
+            let cols =
+                qim2col(&x.as_slice()[img * c * h * w..(img + 1) * c * h * w], h, w, &self.geom, zp_x as i8);
             let acc = qgemm_i32(&self.weight, &cols, self.out_channels, patch, cols_n);
             for m in 0..self.out_channels {
                 let multiplier = s_x * self.weight_scales[m] / s_y;
                 let corr = zp_x * self.weight_row_sums[m] - self.bias_i32[m];
-                let dst = &mut out[(img * self.out_channels + m) * cols_n..(img * self.out_channels + m + 1) * cols_n];
+                let dst =
+                    &mut out[(img * self.out_channels + m) * cols_n..(img * self.out_channels + m + 1) * cols_n];
                 for (d, &a) in dst.iter_mut().zip(&acc[m * cols_n..(m + 1) * cols_n]) {
                     *d = requantize(a - corr, multiplier, zp_y, self.clamp_lo, self.clamp_hi);
                 }
@@ -244,6 +246,10 @@ impl QDepthwiseConv2d {
     /// # Panics
     ///
     /// Panics on shape mismatches.
+    // Mirrors the float DepthwiseConv2d constructor plus the two quant
+    // grids; bundling into a config struct would just move the argument
+    // list one call site up.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         channels: usize,
         kernel: usize,
@@ -503,14 +509,8 @@ mod tests {
             hi = hi.max(v);
         }
         let xq = quantize_act(&x);
-        let conv = QConv2d::new(
-            geom,
-            &weight,
-            &bias,
-            xq.params().clone(),
-            QuantParams::affine_from_range(lo, hi),
-            None,
-        );
+        let conv =
+            QConv2d::new(geom, &weight, &bias, xq.params().clone(), QuantParams::affine_from_range(lo, hi), None);
         let yq = conv.forward(&xq);
         let back = yq.dequantize();
         let range = hi - lo;

@@ -38,7 +38,12 @@ impl ConvGeom {
     pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
         let ph = h + 2 * self.pad;
         let pw = w + 2 * self.pad;
-        assert!(ph >= self.kh && pw >= self.kw, "kernel {}x{} larger than padded input {ph}x{pw}", self.kh, self.kw);
+        assert!(
+            ph >= self.kh && pw >= self.kw,
+            "kernel {}x{} larger than padded input {ph}x{pw}",
+            self.kh,
+            self.kw
+        );
         ((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1)
     }
 
@@ -159,7 +164,7 @@ mod tests {
         let g = ConvGeom::square(1, 3, 1, 1);
         let img: Vec<f32> = (0..16).map(|x| x as f32).collect();
         let cols = im2col(&img, 4, 4, &g);
-        let center_row = 1 * 3 + 1; // c=0, ki=1, kj=1
+        let center_row = 3 + 1; // c=0, ki=1, kj=1
         assert_eq!(&cols.as_slice()[center_row * 16..(center_row + 1) * 16], img.as_slice());
     }
 

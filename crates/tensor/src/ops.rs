@@ -124,9 +124,8 @@ pub fn add_bias_nchw(x: &mut Tensor, bias: &Tensor) {
     let b = bias.as_slice();
     let data = x.as_mut_slice();
     for img in 0..n {
-        for ch in 0..c {
+        for (ch, &bb) in b.iter().enumerate() {
             let base = (img * c + ch) * plane;
-            let bb = b[ch];
             for v in &mut data[base..base + plane] {
                 *v += bb;
             }

@@ -24,10 +24,8 @@ impl Shape {
         if dims.is_empty() {
             return Err(TensorError::InvalidShape { reason: "shape has no dimensions".into() });
         }
-        if dims.iter().any(|&d| d == 0) {
-            return Err(TensorError::InvalidShape {
-                reason: format!("zero-sized dimension in {dims:?}"),
-            });
+        if dims.contains(&0) {
+            return Err(TensorError::InvalidShape { reason: format!("zero-sized dimension in {dims:?}") });
         }
         Ok(Shape(dims.to_vec()))
     }

@@ -38,22 +38,16 @@ fn main() {
 
     // Step 2 — rank classes by validation precision to find hard classes.
     let eval = evaluate_main_exit(&mut net, &bundle.test, 8);
-    println!("step 2: per-class precision {:?}", eval
-        .confusion
-        .per_class_precision()
-        .iter()
-        .map(|p| (p * 100.0).round())
-        .collect::<Vec<_>>());
+    println!(
+        "step 2: per-class precision {:?}",
+        eval.confusion.per_class_precision().iter().map(|p| (p * 100.0).round()).collect::<Vec<_>>()
+    );
     let dict = Selection::HardestByPrecision { n: 3 }.select_dict(&eval.confusion);
     println!("        hard classes: {:?}", dict.hard_classes());
 
     // Steps 3–5 — ClassDict remapping and hard-subset construction.
     let hard_train = build_hard_dataset(&bundle.train, &dict);
-    println!(
-        "step 3-5: hard subset has {} instances, labels remapped to 0..{}",
-        hard_train.len(),
-        dict.len()
-    );
+    println!("step 3-5: hard subset has {} instances, labels remapped to 0..{}", hard_train.len(), dict.len());
 
     // Steps 6–8 — attach adaptive + extension blocks and train them with
     // the main block frozen (blockwise optimisation).

@@ -30,10 +30,11 @@ fn main() {
     let mut pipe = Pipeline::run(&cfg, &bundle.train);
     let records = pipe.infer_distributed(&bundle.test, 0.3, 8);
     let routes: Vec<_> = records.iter().map(|r| r.exit).collect();
-    println!("routing: {} instances, {} offloaded to the cloud", routes.len(), routes
-        .iter()
-        .filter(|e| matches!(e, meanet::ExitPoint::Cloud))
-        .count());
+    println!(
+        "routing: {} instances, {} offloaded to the cloud",
+        routes.len(),
+        routes.iter().filter(|e| matches!(e, meanet::ExitPoint::Cloud)).count()
+    );
 
     // (a) Energy accounting with the paper's device/link models.
     let device = DeviceProfile::edge_gpu_cifar();
@@ -87,6 +88,8 @@ fn main() {
     });
     println!(
         "threaded pipeline: {} payloads, {} bytes on the wire, predictions {:?}",
-        stats.payloads, stats.bytes_sent, &preds[..n.min(8)]
+        stats.payloads,
+        stats.bytes_sent,
+        &preds[..n.min(8)]
     );
 }

@@ -41,7 +41,10 @@ fn main() {
         payload_bytes: 3 * 32 * 32,
         arrival_interval_s: 0.005,
     };
-    println!("{:<9} {:>14} {:>14} {:>16} {:>14}", "devices", "policy", "mean lat (ms)", "p95 lat (ms)", "cloud wait (ms)");
+    println!(
+        "{:<9} {:>14} {:>14} {:>16} {:>14}",
+        "devices", "policy", "mean lat (ms)", "p95 lat (ms)", "cloud wait (ms)"
+    );
     for devices in [1usize, 4, 16, 64] {
         for (label, meanet) in [("all-cloud", false), ("MEANet", true)] {
             let fleet: Vec<Vec<ExitPoint>> = (0..devices).map(|d| routes(40 + d % 3, meanet)).collect();

@@ -43,10 +43,12 @@ fn main() {
             total += 1;
         }
     }
-    println!("test accuracy: fp32 {:.1}%  int8 {:.1}%  (agreement {:.1}%)",
+    println!(
+        "test accuracy: fp32 {:.1}%  int8 {:.1}%  (agreement {:.1}%)",
         100.0 * float_correct as f64 / total as f64,
         100.0 * int8_correct as f64 / total as f64,
-        100.0 * agree as f64 / total as f64);
+        100.0 * agree as f64 / total as f64
+    );
 
     // Why the edge wants this: a 4x smaller download and cheaper MACs.
     let float_bytes = 4 * float_net.param_count() as u64;

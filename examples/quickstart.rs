@@ -12,7 +12,12 @@ use meanet::stats::ExitStats;
 fn main() {
     // 1. A six-class synthetic dataset with built-in hard classes.
     let bundle = presets::tiny(42);
-    println!("dataset: {} train / {} test instances, {} classes", bundle.train.len(), bundle.test.len(), bundle.train.num_classes);
+    println!(
+        "dataset: {} train / {} test instances, {} classes",
+        bundle.train.len(),
+        bundle.test.len(),
+        bundle.train.num_classes
+    );
 
     // 2. Configure the distributed system: model B MEANet at the edge,
     //    deeper ResNet at the cloud.

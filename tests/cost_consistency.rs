@@ -58,8 +58,7 @@ fn closed_form_matches_per_record_accounting() {
 fn simulator_energy_matches_record_accounting() {
     let device = DeviceProfile::new("edge", 15.0, 1e9);
     let link = NetworkLink::wifi(10.0);
-    let routes =
-        vec![ExitPoint::Main, ExitPoint::Extension, ExitPoint::Cloud, ExitPoint::Main, ExitPoint::Cloud];
+    let routes = vec![ExitPoint::Main, ExitPoint::Extension, ExitPoint::Cloud, ExitPoint::Main, ExitPoint::Cloud];
     let records: Vec<InstanceRecord> = routes.iter().map(|&e| record(e)).collect();
 
     let cfg = SimConfig {
@@ -110,9 +109,8 @@ fn latency_beats_cloud_only_when_most_exit_early() {
         payload_bytes: 3072,
         arrival_interval_s: 0.01,
     };
-    let mixed: Vec<ExitPoint> = (0..40)
-        .map(|i| if i % 4 == 0 { ExitPoint::Cloud } else { ExitPoint::Main })
-        .collect();
+    let mixed: Vec<ExitPoint> =
+        (0..40).map(|i| if i % 4 == 0 { ExitPoint::Cloud } else { ExitPoint::Main }).collect();
     let all_cloud = vec![ExitPoint::Cloud; 40];
     let distributed = simulate(&cfg, &mixed);
     let cloud_only = simulate(&cfg, &all_cloud);

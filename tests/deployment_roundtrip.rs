@@ -3,12 +3,12 @@
 //! edge downloads, restores, and trains its local blocks.
 
 use mea_data::{presets, ClassDict};
+use mea_nn::layer::Mode;
 use mea_nn::models::{resnet_cifar, CifarResNetConfig};
 use mea_nn::{StateDict, StateDictError};
 use mea_tensor::{Rng, Tensor};
 use meanet::model::{MeaNet, Merge, Variant};
 use meanet::train::{build_hard_dataset, train_backbone, train_edge_blocks, TrainConfig};
-use mea_nn::layer::Mode;
 use std::sync::mpsc;
 use std::thread;
 

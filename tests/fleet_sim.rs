@@ -2,8 +2,8 @@
 //! MEANet feed the multi-device fleet simulator, and early exits
 //! measurably relieve the shared cloud.
 
-use mea_edgecloud::{simulate_fleet, DeviceProfile, FleetConfig, NetworkLink};
 use mea_data::presets;
+use mea_edgecloud::{simulate_fleet, DeviceProfile, FleetConfig, NetworkLink};
 use meanet::pipeline::{BackboneChoice, Pipeline, PipelineConfig};
 use meanet::ExitPoint;
 
@@ -51,8 +51,7 @@ fn meanet_routing_relieves_the_cloud_against_all_offload() {
     let routes = trained_routes();
     let devices = 8;
     let meanet_fleet: Vec<Vec<ExitPoint>> = (0..devices).map(|_| routes.clone()).collect();
-    let cloud_fleet: Vec<Vec<ExitPoint>> =
-        (0..devices).map(|_| vec![ExitPoint::Cloud; routes.len()]).collect();
+    let cloud_fleet: Vec<Vec<ExitPoint>> = (0..devices).map(|_| vec![ExitPoint::Cloud; routes.len()]).collect();
     let cfg = fleet_cfg();
     let ours = simulate_fleet(&cfg, &meanet_fleet);
     let all_cloud = simulate_fleet(&cfg, &cloud_fleet);

@@ -1,0 +1,151 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! Provides the API the repo's `kernel_latency` bench target uses —
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! wall-clock loop: a warm-up iteration followed by `sample_size` timed
+//! iterations, reporting min/mean/max per iteration. No statistical
+//! analysis, plots or baselines; it exists so `cargo bench` runs offline
+//! and prints comparable per-kernel numbers.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimizer barrier under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup; carried for API compatibility only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup every iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration durations recorded by the last `iter*` call.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        self.times.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.times.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        self.times.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+/// Benchmark registry/driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints its per-iteration timing.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: self.sample_size, times: Vec::new() };
+        f(&mut bencher);
+        let n = bencher.times.len().max(1);
+        let total: Duration = bencher.times.iter().sum();
+        let mean = total / n as u32;
+        let min = bencher.times.iter().min().copied().unwrap_or_default();
+        let max = bencher.times.iter().max().copied().unwrap_or_default();
+        println!("{id:<40} time: [{min:>12.3?} {mean:>12.3?} {max:>12.3?}]  ({n} samples)");
+        self
+    }
+}
+
+/// Declares a benchmark group as a function running each target.
+/// Supports both the positional and the `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Emits `fn main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_chains() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| b.iter(|| runs += 1))
+            .bench_function("batched", |b| b.iter_batched(|| 2u64, |x| x * 2, BatchSize::SmallInput));
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    criterion_group!(smoke, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("unit", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        smoke();
+    }
+}

@@ -1,0 +1,195 @@
+//! Vendored stand-in for `crossbeam` built on the standard library.
+//!
+//! * [`thread::scope`] delegates to `std::thread::scope` (stable since Rust
+//!   1.63) and keeps crossbeam's closure signature, where spawned closures
+//!   receive a `&Scope` for nested spawning. A panic in a child thread
+//!   propagates as a panic out of `scope` (std semantics) rather than an
+//!   `Err`, which every call site here treats identically (`.expect(..)`).
+//! * [`channel`] wraps `std::sync::mpsc` with crossbeam's
+//!   `bounded`/`unbounded` constructors and `Result`-returning send/recv.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle for spawning threads tied to the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, or the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from the environment; the closure
+        /// receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-environment threads can be
+    /// spawned; all threads are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam, a child panic re-raises here instead of returning
+    /// `Err` — callers that `.expect()` the result observe the same abort.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving side has hung up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when all senders have hung up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T> {
+        tx: Tx<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { tx: self.tx.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.tx {
+                Tx::Bounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Tx::Unbounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; errors once the channel is closed and
+        /// drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.rx.try_recv()
+        }
+
+        /// Blocking iterator over incoming values until close.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.rx.iter()
+        }
+    }
+
+    /// Channel with a capacity bound; `send` blocks when full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { tx: Tx::Bounded(tx) }, Receiver { rx })
+    }
+
+    /// Channel without a capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { tx: Tx::Unbounded(tx) }, Receiver { rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|scope| {
+            for (src, dst) in data.chunks(2).zip(out.chunks_mut(2)) {
+                scope.spawn(move |_| {
+                    for (s, d) in src.iter().zip(dst.iter_mut()) {
+                        *d = s * 10;
+                    }
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .expect("scope");
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn bounded_channel_closes_on_sender_drop() {
+        let (tx, rx) = super::channel::bounded::<u32>(2);
+        super::thread::scope(|scope| {
+            scope.spawn(move |_| {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+                // tx dropped here closes the channel.
+            });
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        })
+        .expect("scope");
+    }
+}

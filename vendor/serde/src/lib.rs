@@ -1,0 +1,20 @@
+//! Vendored stand-in for `serde` used by the offline workspace build.
+//!
+//! The reproduction derives `Serialize`/`Deserialize` on its config and
+//! report types but never invokes a serializer (the wire formats in
+//! `mea-nn::serialize` and `mea-edgecloud::payload` are hand-rolled via
+//! `bytes`). The traits are therefore markers with blanket impls, and the
+//! derives (re-exported from `serde_derive`) expand to nothing. Swapping in
+//! real serde later only requires replacing this vendor crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

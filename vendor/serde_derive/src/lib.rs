@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored `serde` stub.
+//!
+//! The vendored `serde` crate provides blanket impls of its marker traits,
+//! so the derives have nothing to generate — they only need to exist so
+//! `#[derive(Serialize, Deserialize)]` attributes in the sources compile.
+
+use proc_macro::TokenStream;
+
+/// Accepts the annotated item and emits nothing: `serde::Serialize` is a
+/// blanket-implemented marker trait in the vendored stub.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the annotated item and emits nothing: `serde::Deserialize` is a
+/// blanket-implemented marker trait in the vendored stub.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
