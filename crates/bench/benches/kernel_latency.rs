@@ -2,7 +2,8 @@
 //! edge/cloud models and the core matmul/conv kernels — the measured side
 //! of Table VII.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{BatchSize, Criterion};
+use mea_bench::regression::Reporter;
 use mea_nn::layer::Mode;
 use mea_nn::models::{resnet_cifar, CifarResNetConfig};
 use mea_tensor::{matmul, Rng, Tensor};
@@ -51,9 +52,18 @@ fn bench_qgemm(c: &mut Criterion) {
     c.bench_function("qgemm_i8_128", |b| b.iter(|| mea_quant::kernels::qgemm_i32(&a, &b2, 128, 128, 128)));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_edge_inference, bench_cloud_inference, bench_matmul, bench_int8_inference, bench_qgemm
+// Explicit main instead of `criterion_main!`: the per-kernel mean times
+// feed the CI regression gate as `_ms` metrics.
+fn main() {
+    let mut rep = Reporter::start("kernel_latency");
+    let mut c = Criterion::default().sample_size(10);
+    bench_edge_inference(&mut c);
+    bench_cloud_inference(&mut c);
+    bench_matmul(&mut c);
+    bench_int8_inference(&mut c);
+    bench_qgemm(&mut c);
+    for (id, mean_ms) in c.mean_times_ms() {
+        rep.metric(&format!("{id}_ms"), *mean_ms);
+    }
+    rep.finish();
 }
-criterion_main!(benches);

@@ -2,13 +2,19 @@
 //! instantiated with the paper's Table VII unit costs.
 
 use mea_bench::experiments::tables;
+use mea_bench::regression::Reporter;
 use mea_edgecloud::cost::Strategy;
 
 fn main() {
+    let mut rep = Reporter::start("table1_cost_model");
     let (table, totals) = tables::table1_cost_model();
     println!("== Table I: cost estimation (10k CIFAR images, beta=0.15, q=0.5) ==\n{table}");
     let get = |s: Strategy| totals.iter().find(|(x, _)| *x == s).expect("strategy present").1;
     // Shape: with beta = 0.15, edge-cloud(raw) must be cheaper at the edge
     // than cloud-only communication of everything.
     assert!(get(Strategy::EdgeCloudRaw) < get(Strategy::CloudOnly));
+    for (strategy, total) in &totals {
+        rep.metric(&format!("{strategy:?}_edge_total_j").to_lowercase(), *total);
+    }
+    rep.finish();
 }

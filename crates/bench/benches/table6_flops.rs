@@ -1,10 +1,14 @@
 //! Table VI: MACs and parameters, fixed vs trained, at true paper scale.
 //! Anchors: ResNet32 backbone ≈ 0.48M params; MobileNetV2 fixed ≈ 3.5M;
-//! ResNet18 fixed ≈ 11.2M (+0.5M exit).
+//! ResNet18 fixed ≈ 11.2M (+0.5M exit); MobileNetV2 B trained ≈ 1.1M
+//! under the default depthwise-separable adaptive plan.
 
 use mea_bench::experiments::tables;
+use mea_bench::regression::Reporter;
+use meanet::model::AdaptivePlan;
 
 fn main() {
+    let mut rep = Reporter::start("table6_flops");
     let (table, rows) = tables::table6_flops();
     println!("== Table VI: computations and parameters (millions) ==\n{table}");
     let find = |s: &str| rows.iter().find(|r| r.label.contains(s)).expect("row");
@@ -21,16 +25,51 @@ fn main() {
     );
     let mob = find("MobileNetV2");
     assert!((3.0e6..4.2e6).contains(&(mob.fixed_params as f64)), "MobileNetV2 fixed params");
-    // The generic adaptive block mirrors every backbone segment with dense
-    // 3x3 convs, so MobileNet's 320->1280 expansion segment alone costs
-    // ~3.7M trained params — far above the paper's ~1.1M claim for this
-    // row. Upper-bound the current defect (lightening is tracked in
-    // ROADMAP.md; the planned ~1.1M result still clears the sanity floor).
+    // Paper claim: ~1.1M trained parameters for the MobileNetV2 B row.
+    // The depthwise-separable adaptive plan must land within ~1.5× of it
+    // (the dense mirror used to cost ~6.2M; see the contrast below).
     assert!(
-        (0.5e6..8.0e6).contains(&(mob.trained_params as f64)),
-        "MobileNetV2 B trained params outside sanity bounds"
+        (0.7e6..1.7e6).contains(&(mob.trained_params as f64)),
+        "MobileNetV2 B trained params {} outside ~1.5x of the paper's 1.1M",
+        mob.trained_params
     );
     let r18 = find("ResNet18");
     assert!((10.5e6..12.5e6).contains(&(r18.fixed_params as f64)), "ResNet18 fixed params");
     assert!(r18.trained_params > 5_000_000, "ResNet18 B extension is parameter-heavy");
+
+    // The table is computed from CostSplit; the nets' own accessor must
+    // agree, and the legacy dense mirror must document its defect: the
+    // same MobileNetV2 B assembly trains >3x more parameters.
+    for (plan, nets) in [
+        (AdaptivePlan::DepthwiseSeparable, tables::paper_scale_meanets_under(AdaptivePlan::DepthwiseSeparable)),
+        (AdaptivePlan::DenseMirror, tables::paper_scale_meanets_under(AdaptivePlan::DenseMirror)),
+    ] {
+        for (label, net) in &nets {
+            assert_eq!(net.adaptive_plan(), Some(plan), "{label}");
+            let row = rows.iter().find(|r| r.label == *label);
+            if plan == AdaptivePlan::DepthwiseSeparable {
+                assert_eq!(
+                    net.trained_params(),
+                    row.expect("table row").trained_params,
+                    "{label}: trained_params() disagrees with the table"
+                );
+            }
+        }
+        let (_, net) = nets.iter().find(|(l, _)| l.contains("MobileNetV2")).expect("MobileNetV2 row");
+        if plan == AdaptivePlan::DenseMirror {
+            assert!(
+                net.trained_params() as f64 > 3.0 * mob.trained_params as f64,
+                "dense mirror ({}) should dwarf the separable plan ({})",
+                net.trained_params(),
+                mob.trained_params
+            );
+        }
+    }
+
+    for r in &rows {
+        let key = r.label.to_lowercase().replace([',', ' '], "_").replace("__", "_");
+        rep.metric(&format!("{key}_trained_params"), r.trained_params as f64);
+        rep.metric(&format!("{key}_fixed_params"), r.fixed_params as f64);
+    }
+    rep.finish();
 }

@@ -6,8 +6,10 @@
 #![allow(clippy::approx_constant)]
 
 use mea_bench::experiments::tables;
+use mea_bench::regression::Reporter;
 
 fn main() {
+    let mut rep = Reporter::start("table7_per_image");
     let (table, rows) = tables::table7_per_image();
     println!("== Table VII: per-image edge costs ==\n{table}");
     let cifar = &rows[0].costs;
@@ -18,4 +20,12 @@ fn main() {
     assert!((inet.ecu_j * 1e3 - 349.0).abs() < 3.0);
     // Communication dominates computation for ImageNet-sized images.
     assert!(inet.ecu_j > 10.0 * inet.ecp_j);
+    // Modelled constants are invariants; host-measured latencies go in as
+    // `_ms` metrics so only a real slowdown trips the CI gate.
+    rep.metric("cifar_ecp_mj", cifar.ecp_j * 1e3);
+    rep.metric("cifar_ecu_mj", cifar.ecu_j * 1e3);
+    rep.metric("imagenet_ecu_mj", inet.ecu_j * 1e3);
+    rep.metric("cifar_measured_ms", rows[0].measured_latency_s * 1e3);
+    rep.metric("imagenet_measured_ms", rows[1].measured_latency_s * 1e3);
+    rep.finish();
 }

@@ -23,7 +23,7 @@ use mea_quant::quantize_segmented;
 use mea_tensor::Rng;
 use meanet::continual::{extension_accuracy, train_edge_continual, ReplayBuffer};
 use meanet::infer::run_inference_with_policy;
-use meanet::model::{MeaNet, Merge, Variant};
+use meanet::model::{AdaptivePlan, MeaNet, Merge, Variant};
 use meanet::train::{
     build_hard_dataset, train_backbone, train_edge_blocks, train_edge_joint_weighted, train_separate, TrainConfig,
 };
@@ -358,7 +358,7 @@ pub fn ablation_continual(scale: Scale) -> (Table, Vec<ContinualRow>) {
             Merge::Sum,
             &mut Rng::new(2),
         );
-        net.attach_edge_blocks(dict.clone(), &mut Rng::new(3));
+        net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, dict.clone(), &mut Rng::new(3));
         let _ = train_edge_blocks(&mut net, &hard_train, &TrainConfig::repro(scale.epochs()));
         let mut buffer = ReplayBuffer::new(hard_train.len(), dict.len());
         let mut brng = Rng::new(4);
@@ -433,7 +433,7 @@ pub fn ablation_training_methods(scale: Scale) -> (Table, Vec<MethodRow>) {
             Merge::Sum,
             &mut Rng::new(11),
         );
-        net.attach_edge_blocks(dict.clone(), &mut Rng::new(12));
+        net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, dict.clone(), &mut Rng::new(12));
         net
     };
 

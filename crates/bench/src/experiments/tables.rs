@@ -18,7 +18,7 @@ use mea_nn::models::{
 };
 use mea_tensor::{Rng, Tensor};
 use meanet::hard_classes::Selection;
-use meanet::model::{MeaNet, Merge, Variant};
+use meanet::model::{AdaptivePlan, MeaNet, Merge, Variant};
 use meanet::pipeline::{Pipeline, PipelineConfig};
 use meanet::stats::ExitStats;
 use meanet::train::TrainConfig;
@@ -234,8 +234,15 @@ pub struct FlopsRow {
 }
 
 /// Builds the four *paper-scale* MEANets of Table VI (no training — pure
-/// architecture counting, so this runs at full CIFAR/ImageNet geometry).
+/// architecture counting, so this runs at full CIFAR/ImageNet geometry)
+/// under the default [`AdaptivePlan`].
 pub fn paper_scale_meanets() -> Vec<(String, MeaNet)> {
+    paper_scale_meanets_under(AdaptivePlan::default())
+}
+
+/// [`paper_scale_meanets`] with an explicit adaptive plan, so benches can
+/// contrast the depthwise-separable budget against the dense mirror.
+pub fn paper_scale_meanets_under(plan: AdaptivePlan) -> Vec<(String, MeaNet)> {
     let mut rng = Rng::new(0);
     let mut nets = Vec::new();
 
@@ -243,7 +250,7 @@ pub fn paper_scale_meanets() -> Vec<(String, MeaNet)> {
     let backbone = resnet_cifar(&CifarResNetConfig::resnet32_cifar100(), &mut rng);
     let mut net =
         MeaNet::from_backbone(backbone, Variant::SplitBackbone { main_segments: 2 }, Merge::Sum, &mut rng);
-    net.attach_edge_blocks(mea_data::ClassDict::new(&(0..50).collect::<Vec<_>>()), &mut rng);
+    net.attach_edge_blocks(plan, mea_data::ClassDict::new(&(0..50).collect::<Vec<_>>()), &mut rng);
     nets.push(("CIFAR-100, ResNet32 A".to_string(), net));
 
     // CIFAR-100 ResNet32 B: full backbone + 2 fresh 64-channel blocks.
@@ -254,7 +261,7 @@ pub fn paper_scale_meanets() -> Vec<(String, MeaNet)> {
         Merge::Sum,
         &mut rng,
     );
-    net.attach_edge_blocks(mea_data::ClassDict::new(&(0..50).collect::<Vec<_>>()), &mut rng);
+    net.attach_edge_blocks(plan, mea_data::ClassDict::new(&(0..50).collect::<Vec<_>>()), &mut rng);
     nets.push(("CIFAR-100, ResNet32 B".to_string(), net));
 
     // ImageNet MobileNetV2 B: full backbone + 4 narrow residual blocks
@@ -266,7 +273,7 @@ pub fn paper_scale_meanets() -> Vec<(String, MeaNet)> {
         Merge::Sum,
         &mut rng,
     );
-    net.attach_edge_blocks(mea_data::ClassDict::new(&(0..500).collect::<Vec<_>>()), &mut rng);
+    net.attach_edge_blocks(plan, mea_data::ClassDict::new(&(0..500).collect::<Vec<_>>()), &mut rng);
     nets.push(("ImageNet, MobileNetV2 B".to_string(), net));
 
     // ImageNet ResNet18 B: full backbone + 2 fresh 512-channel blocks.
@@ -277,7 +284,7 @@ pub fn paper_scale_meanets() -> Vec<(String, MeaNet)> {
         Merge::Sum,
         &mut rng,
     );
-    net.attach_edge_blocks(mea_data::ClassDict::new(&(0..500).collect::<Vec<_>>()), &mut rng);
+    net.attach_edge_blocks(plan, mea_data::ClassDict::new(&(0..500).collect::<Vec<_>>()), &mut rng);
     nets.push(("ImageNet, ResNet18 B".to_string(), net));
     nets
 }

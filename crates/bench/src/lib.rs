@@ -12,10 +12,16 @@
 //! `smoke` finishes in seconds per experiment and is the `cargo bench`
 //! default on small machines; `repro` is the documented scale of
 //! EXPERIMENTS.md; `full` raises epochs and data for tighter numbers.
+//!
+//! The fast asserting benches additionally emit machine-readable
+//! `BENCH_<name>.json` reports via [`regression::Reporter`] (set
+//! `MEA_BENCH_JSON=<dir>`); the `bench_regression` binary gates them
+//! against the baselines under `baselines/` in CI.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod regression;
 pub mod scale;
 
 pub use scale::Scale;

@@ -185,7 +185,7 @@ pub fn extension_accuracy(net: &mut MeaNet, hard_data: &Dataset, batch_size: usi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{Merge, Variant};
+    use crate::model::{AdaptivePlan, Merge, Variant};
     use crate::train::{build_hard_dataset, train_backbone, TrainConfig};
     use mea_data::{presets, ClassDict};
     use mea_nn::models::{resnet_cifar, CifarResNetConfig};
@@ -265,7 +265,7 @@ mod tests {
                 Merge::Sum,
                 &mut Rng::new(99),
             );
-            net.attach_edge_blocks(dict.clone(), &mut Rng::new(100));
+            net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, dict.clone(), &mut Rng::new(100));
             net
         };
 
@@ -318,7 +318,7 @@ mod tests {
             Merge::Sum,
             &mut rng,
         );
-        net.attach_edge_blocks(dict.clone(), &mut rng);
+        net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, dict.clone(), &mut rng);
         let hard = build_hard_dataset(&bundle.train, &dict);
         let mut buffer = ReplayBuffer::new(4, dict.len());
         buffer.observe(&hard, &mut rng);

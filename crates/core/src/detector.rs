@@ -145,7 +145,7 @@ pub fn compare_detectors(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{Merge, Variant};
+    use crate::model::{AdaptivePlan, Merge, Variant};
     use crate::train::{train_backbone, TrainConfig};
     use mea_data::presets;
     use mea_nn::models::{resnet_cifar, CifarResNetConfig};
@@ -164,7 +164,7 @@ mod tests {
             &mut rng,
         );
         let dict = ClassDict::new(&[0, 2, 4]);
-        net.attach_edge_blocks(dict.clone(), &mut rng);
+        net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, dict.clone(), &mut rng);
         (net, bundle.train, bundle.test, dict)
     }
 

@@ -217,7 +217,7 @@ pub fn payload_elems(net: &MeaNet, send_features: bool) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{Merge, Variant};
+    use crate::model::{AdaptivePlan, Merge, Variant};
     use mea_data::{presets, ClassDict};
     use mea_nn::models::{resnet_cifar, CifarResNetConfig};
     use mea_tensor::Rng;
@@ -233,7 +233,7 @@ mod tests {
             Merge::Sum,
             &mut rng,
         );
-        net.attach_edge_blocks(ClassDict::new(&[0, 2, 4]), &mut rng);
+        net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, ClassDict::new(&[0, 2, 4]), &mut rng);
         net
     }
 

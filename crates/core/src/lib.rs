@@ -57,7 +57,7 @@ pub use continual::{extension_accuracy, train_edge_continual, AdaptationStats, R
 pub use detector::{compare_detectors, DetectorComparison, HardDetector};
 pub use hard_classes::Selection;
 pub use infer::{ExitPoint, InferenceConfig, InstanceRecord};
-pub use model::{ExtensionPlan, MeaNet, Merge};
+pub use model::{AdaptivePlan, ExtensionPlan, MeaNet, Merge};
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use policy::OffloadPolicy;
 pub use runtime::ThresholdController;

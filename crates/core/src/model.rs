@@ -4,12 +4,34 @@
 use mea_data::ClassDict;
 use mea_metrics::flops::CostSplit;
 use mea_metrics::memory::{part_cost, PartCost};
-use mea_nn::blocks::BasicBlock;
+use mea_nn::blocks::{separable_stack, BasicBlock};
 use mea_nn::layer::{Layer, Mode, Param};
 use mea_nn::layers::{Activation, BatchNorm2d, Conv2d};
 use mea_nn::models::{make_head, SegmentSpec, SegmentedCnn};
 use mea_nn::Sequential;
 use mea_tensor::{Rng, Tensor};
+
+/// How the edge-trained mirror stages are built: the adaptive block's
+/// per-segment stages and, for a fresh model-B extension, the bridge stage
+/// that maps the merged features down to the extension width.
+///
+/// The paper describes the adaptive block as *"a light-weight version of
+/// the main block"*; [`AdaptivePlan::DepthwiseSeparable`] realises that
+/// with MobileNet-style factorised convolutions and is the default.
+/// [`AdaptivePlan::DenseMirror`] keeps the original dense 3×3 mirror for
+/// comparison — on wide backbones it trains ~9× more parameters than the
+/// paper's Table VI reports (MobileNetV2 B: ~6.2M vs the claimed ~1.1M).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdaptivePlan {
+    /// One dense `3×3 conv + BN + ReLU` per mirrored stage, and a dense
+    /// residual block bridging into a fresh extension.
+    DenseMirror,
+    /// One `depthwise 3×3 + BN + ReLU + pointwise 1×1 + BN + ReLU` stage
+    /// per mirrored segment (and as the fresh-extension bridge) — same
+    /// output geometry, ~9× fewer weights per stage.
+    #[default]
+    DepthwiseSeparable,
+}
 
 /// How the adaptive block's features join the main block's features at the
 /// extension block input (paper: *"the sum or concatenation of them are used
@@ -66,6 +88,7 @@ struct EdgeBlocks {
     extension: Sequential,
     exit: Sequential,
     dict: ClassDict,
+    plan: AdaptivePlan,
 }
 
 /// A MEANet: frozen main block + exit over all classes, and (after
@@ -179,22 +202,47 @@ impl MeaNet {
     /// given hard classes (Algorithm 1, step 6).
     ///
     /// The adaptive block is a light-weight mirror of the main block: one
-    /// `3×3 conv + BN + ReLU` per main segment, matching that segment's
-    /// output channels and downsampling — so its output shape equals the
-    /// main block's output shape (paper: *"the adaptive block is a
-    /// light-weight version of the main block"*).
+    /// stage per main segment, matching that segment's output channels and
+    /// downsampling — so its output shape equals the main block's output
+    /// shape (paper: *"the adaptive block is a light-weight version of the
+    /// main block"*). How each stage is realised — and, for a fresh
+    /// model-B extension, how the merged features are bridged down to the
+    /// extension width — is governed by `plan`:
+    ///
+    /// * [`AdaptivePlan::DepthwiseSeparable`] (default): depthwise 3×3 +
+    ///   pointwise 1×1 stages, and a separable bridge followed by
+    ///   `blocks - 1` residual blocks. This matches the paper's Table VI
+    ///   trained-parameter budget (~1.1M for the MobileNetV2 B row).
+    /// * [`AdaptivePlan::DenseMirror`]: dense `3×3 conv + BN + ReLU`
+    ///   stages, and `blocks` dense residual blocks (the first bridging) —
+    ///   the original heavyweight behaviour.
     ///
     /// # Panics
     ///
     /// Panics if edge blocks were already attached.
-    pub fn attach_edge_blocks(&mut self, dict: ClassDict, rng: &mut Rng) {
+    pub fn attach_edge_blocks(&mut self, plan: AdaptivePlan, dict: ClassDict, rng: &mut Rng) {
         assert!(self.edge.is_none(), "edge blocks already attached");
         let mut adaptive = Sequential::empty();
         let mut prev_c = self.in_shape[0];
         for spec in &self.main_specs {
-            adaptive.push(Box::new(Conv2d::new(prev_c, spec.out_channels, 3, spec.downsample, 1, false, rng)));
-            adaptive.push(Box::new(BatchNorm2d::new(spec.out_channels)));
-            adaptive.push(Box::new(Activation::relu()));
+            match plan {
+                AdaptivePlan::DenseMirror => {
+                    adaptive.push(Box::new(Conv2d::new(
+                        prev_c,
+                        spec.out_channels,
+                        3,
+                        spec.downsample,
+                        1,
+                        false,
+                        rng,
+                    )));
+                    adaptive.push(Box::new(BatchNorm2d::new(spec.out_channels)));
+                    adaptive.push(Box::new(Activation::relu()));
+                }
+                AdaptivePlan::DepthwiseSeparable => {
+                    adaptive.append(separable_stack(prev_c, spec.out_channels, spec.downsample, rng));
+                }
+            }
             prev_c = spec.out_channels;
         }
 
@@ -210,7 +258,18 @@ impl MeaNet {
             }
             ExtensionPlan::Fresh { channels, blocks } => {
                 let mut ext = Sequential::empty();
-                ext.push(Box::new(BasicBlock::new(merged_channels, channels, 1, rng)));
+                match plan {
+                    AdaptivePlan::DenseMirror => {
+                        ext.push(Box::new(BasicBlock::new(merged_channels, channels, 1, rng)))
+                    }
+                    // The bridge from the (possibly very wide) merged
+                    // features is where a dense extension's parameters
+                    // concentrate; under the separable plan it, too, is
+                    // factorised.
+                    AdaptivePlan::DepthwiseSeparable => {
+                        ext.append(separable_stack(merged_channels, channels, 1, rng));
+                    }
+                }
                 for _ in 1..blocks {
                     ext.push(Box::new(BasicBlock::new(channels, channels, 1, rng)));
                 }
@@ -218,7 +277,7 @@ impl MeaNet {
             }
         };
         let exit = make_head(ext_out_channels, dict.len(), rng);
-        self.edge = Some(EdgeBlocks { adaptive, extension, exit, dict });
+        self.edge = Some(EdgeBlocks { adaptive, extension, exit, dict, plan });
     }
 
     // ------------------------------------------------------------ accessors
@@ -241,6 +300,30 @@ impl MeaNet {
     /// The hard-class dictionary, once edge blocks are attached.
     pub fn hard_dict(&self) -> Option<&ClassDict> {
         self.edge.as_ref().map(|e| &e.dict)
+    }
+
+    /// The [`AdaptivePlan`] the edge blocks were built with, once attached.
+    pub fn adaptive_plan(&self) -> Option<AdaptivePlan> {
+        self.edge.as_ref().map(|e| e.plan)
+    }
+
+    /// Parameters trained at the edge (adaptive + extension + exit) — the
+    /// Table VI "trained" column, without computing the full
+    /// [`MeaNet::cost_split`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if edge blocks are not attached.
+    pub fn trained_params(&self) -> u64 {
+        let edge = self.edge.as_ref().expect("edge blocks not attached");
+        (edge.adaptive.param_count() + edge.extension.param_count() + edge.exit.param_count()) as u64
+    }
+
+    /// Parameters of the frozen main block + exit — the Table VI "fixed"
+    /// column. Available before edge blocks are attached (model A counts
+    /// its parked tail as pending-extension, not fixed).
+    pub fn fixed_params(&self) -> u64 {
+        (self.main.param_count() + self.main_exit.param_count()) as u64
     }
 
     /// `IsHard` from the paper: whether a *predicted* class is hard.
@@ -536,7 +619,7 @@ mod tests {
             Merge::Sum,
             &mut rng,
         );
-        net.attach_edge_blocks(ClassDict::new(&[1, 3, 5]), &mut rng);
+        net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, ClassDict::new(&[1, 3, 5]), &mut rng);
         let x = Tensor::randn([2, 3, 8, 8], 1.0, &mut rng);
         let f = net.main_features(&x, Mode::Eval);
         assert_eq!(f.dims(), &[2, 32, 2, 2]);
@@ -554,7 +637,7 @@ mod tests {
             MeaNet::from_backbone(backbone, Variant::SplitBackbone { main_segments: 2 }, Merge::Sum, &mut rng);
         // Main output after 2 segments: 8 channels at full resolution.
         assert_eq!(net.main_out_shape(), vec![8, 8, 8]);
-        net.attach_edge_blocks(ClassDict::new(&[0, 2]), &mut rng);
+        net.attach_edge_blocks(AdaptivePlan::DenseMirror, ClassDict::new(&[0, 2]), &mut rng);
         let x = Tensor::randn([1, 3, 8, 8], 1.0, &mut rng);
         let f = net.main_features(&x, Mode::Eval);
         let y1 = net.main_logits_from(&f, Mode::Eval);
@@ -573,7 +656,7 @@ mod tests {
             Merge::Concat,
             &mut rng,
         );
-        net.attach_edge_blocks(ClassDict::new(&[0, 1]), &mut rng);
+        net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, ClassDict::new(&[0, 1]), &mut rng);
         let x = Tensor::randn([2, 3, 8, 8], 1.0, &mut rng);
         let f = net.main_features(&x, Mode::Eval);
         let y2 = net.extension_logits(&x, &f, Mode::Eval);
@@ -602,7 +685,7 @@ mod tests {
             Merge::Sum,
             &mut rng,
         );
-        net.attach_edge_blocks(ClassDict::new(&[1, 2]), &mut rng);
+        net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, ClassDict::new(&[1, 2]), &mut rng);
         let mut main_before = Vec::new();
         net.visit_main_params(&mut |p| main_before.push(p.value.clone()));
 
@@ -691,11 +774,98 @@ mod tests {
             Merge::Sum,
             &mut rng,
         );
-        net.attach_edge_blocks(ClassDict::new(&[0, 1, 2]), &mut rng);
+        net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, ClassDict::new(&[0, 1, 2]), &mut rng);
         let split = net.cost_split();
         let mut visited = 0u64;
         net.visit_all_params(&mut |p| visited += p.numel() as u64);
         assert_eq!(split.total_params(), visited);
         assert!(split.fixed_params > 0 && split.trained_params > 0);
+    }
+
+    /// Builds one model-A (split ResNet) and one model-B (MobileNetV2) net
+    /// under the given plan, with edge blocks attached.
+    fn nets_under(plan: AdaptivePlan) -> Vec<MeaNet> {
+        let mut rng = Rng::new(42);
+        let resnet = tiny_backbone(6, &mut rng);
+        let mut a =
+            MeaNet::from_backbone(resnet, Variant::SplitBackbone { main_segments: 2 }, Merge::Sum, &mut rng);
+        a.attach_edge_blocks(plan, ClassDict::new(&[0, 2, 4]), &mut rng);
+        let mobilenet = mea_nn::models::mobilenet_v2_lite(6, &mut rng);
+        let mut b = MeaNet::from_backbone(
+            mobilenet,
+            Variant::FullBackbone { extension_channels: 16, extension_blocks: 2 },
+            Merge::Sum,
+            &mut rng,
+        );
+        b.attach_edge_blocks(plan, ClassDict::new(&[1, 3, 5]), &mut rng);
+        vec![a, b]
+    }
+
+    #[test]
+    fn trained_params_agree_with_cost_split_for_both_plans() {
+        for plan in [AdaptivePlan::DenseMirror, AdaptivePlan::DepthwiseSeparable] {
+            for net in nets_under(plan) {
+                assert_eq!(net.adaptive_plan(), Some(plan));
+                let split = net.cost_split();
+                assert_eq!(net.trained_params(), split.trained_params, "{plan:?}");
+                assert_eq!(net.fixed_params(), split.fixed_params, "{plan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn separable_plan_is_lighter_and_geometry_compatible() {
+        let dense = nets_under(AdaptivePlan::DenseMirror);
+        let separable = nets_under(AdaptivePlan::DepthwiseSeparable);
+        let mut rng = Rng::new(43);
+        for (mut d, mut s) in dense.into_iter().zip(separable) {
+            assert!(
+                s.trained_params() < d.trained_params(),
+                "separable ({}) must train fewer params than dense ({})",
+                s.trained_params(),
+                d.trained_params()
+            );
+            // Same fixed side, and the lighter edge path still produces
+            // hard-class logits of the same shape.
+            assert_eq!(s.fixed_params(), d.fixed_params());
+            let hw = s.in_shape()[1];
+            let x = Tensor::randn([2, 3, hw, hw], 1.0, &mut rng);
+            let fd = d.main_features(&x, Mode::Eval);
+            let fs = s.main_features(&x, Mode::Eval);
+            let yd = d.extension_logits(&x, &fd, Mode::Eval);
+            let ys = s.extension_logits(&x, &fs, Mode::Eval);
+            assert_eq!(yd.dims(), ys.dims());
+        }
+    }
+
+    #[test]
+    fn separable_adaptive_params_match_closed_form() {
+        // MobileNetV2 repro backbone, model B: the adaptive side of
+        // `trained_params()` must equal the separable formula
+        // Σ (9·in + 2·in + in·out + 2·out) over mirrored segments, and the
+        // extension bridge the same formula at stride 1, + residual blocks
+        // + exit.
+        let mut rng = Rng::new(44);
+        let cfg = mea_nn::models::MobileNetConfig::repro_scale(6);
+        let backbone = mea_nn::models::mobilenet_v2(&cfg, &mut rng);
+        let specs = backbone.specs.clone();
+        let mut net = MeaNet::from_backbone(
+            backbone,
+            Variant::FullBackbone { extension_channels: 16, extension_blocks: 2 },
+            Merge::Sum,
+            &mut rng,
+        );
+        net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, ClassDict::new(&[0, 1, 2]), &mut rng);
+        let sep = |i: usize, o: usize| 9 * i + 2 * i + i * o + 2 * o;
+        let mut expect = 0usize;
+        let mut prev = 3usize;
+        for s in &specs {
+            expect += sep(prev, s.out_channels);
+            prev = s.out_channels;
+        }
+        expect += sep(cfg.last_channels, 16); // bridge into the fresh extension
+        expect += 2 * (16 * 16 * 9) + 2 * (2 * 16); // one residual block at width 16
+        expect += 16 * 3 + 3; // exit head over 3 hard classes
+        assert_eq!(net.trained_params(), expect as u64);
     }
 }

@@ -4,7 +4,7 @@
 
 use crate::hard_classes::Selection;
 use crate::infer::{run_inference, InferenceConfig, InstanceRecord};
-use crate::model::{MeaNet, Merge, Variant};
+use crate::model::{AdaptivePlan, MeaNet, Merge, Variant};
 use crate::stats::{evaluate_main_exit, MainEval};
 use crate::thresholds::entropy_stats;
 use crate::train::{
@@ -49,6 +49,10 @@ pub struct PipelineConfig {
     pub variant: Variant,
     /// Feature merge mode at the extension input.
     pub merge: Merge,
+    /// How the edge-trained adaptive mirror (and fresh-extension bridge)
+    /// is built; [`AdaptivePlan::DepthwiseSeparable`] is the paper-faithful
+    /// default.
+    pub adaptive: AdaptivePlan,
     /// Hard-class selection strategy.
     pub selection: Selection,
     /// Cloud DNN architecture (None = edge-only system).
@@ -82,6 +86,7 @@ impl PipelineConfig {
             backbone: BackboneChoice::CifarResNet(backbone),
             variant: Variant::SplitBackbone { main_segments: 2 },
             merge: Merge::Sum,
+            adaptive: AdaptivePlan::default(),
             selection: Selection::HardestByPrecision { n: (num_classes / 2).max(1) },
             cloud: Some(BackboneChoice::CifarResNet(cloud)),
             cloud_pretrain: TrainConfig::repro(epochs * 2),
@@ -110,6 +115,7 @@ impl PipelineConfig {
             backbone: BackboneChoice::ImageNetResNet(backbone),
             variant: Variant::FullBackbone { extension_channels: 32, extension_blocks: 2 },
             merge: Merge::Sum,
+            adaptive: AdaptivePlan::default(),
             selection: Selection::HardestByPrecision { n: (num_classes / 2).max(1) },
             cloud: Some(BackboneChoice::ImageNetResNet(cloud)),
             cloud_pretrain: TrainConfig::repro(epochs * 2),
@@ -132,6 +138,7 @@ impl PipelineConfig {
             backbone: BackboneChoice::MobileNet(MobileNetConfig::repro_scale(num_classes)),
             variant: Variant::FullBackbone { extension_channels: 48, extension_blocks: 4 },
             merge: Merge::Sum,
+            adaptive: AdaptivePlan::default(),
             selection: Selection::HardestByPrecision { n: (num_classes / 2).max(1) },
             cloud: Some(BackboneChoice::ImageNetResNet(cloud)),
             cloud_pretrain: TrainConfig::repro(epochs * 2),
@@ -197,7 +204,7 @@ impl Pipeline {
         let hard_classes = dict.hard_classes().to_vec();
 
         // Steps 3–8: attach and train the edge blocks on the hard subset.
-        net.attach_edge_blocks(dict.clone(), &mut rng);
+        net.attach_edge_blocks(cfg.adaptive, dict.clone(), &mut rng);
         let hard_train = build_hard_dataset(&train_split, &dict);
         let edge_stats = train_edge_blocks(&mut net, &hard_train, &cfg.edge_train);
 

@@ -349,7 +349,7 @@ pub fn train_separate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{Merge, Variant};
+    use crate::model::{AdaptivePlan, Merge, Variant};
     use mea_data::presets;
     use mea_nn::models::{resnet_cifar, CifarResNetConfig};
 
@@ -366,7 +366,7 @@ mod tests {
             Merge::Sum,
             &mut rng,
         );
-        net.attach_edge_blocks(ClassDict::new(&[0, 2, 4]), &mut rng);
+        net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, ClassDict::new(&[0, 2, 4]), &mut rng);
         (net, bundle.train, bundle.test)
     }
 

@@ -9,7 +9,7 @@ use mea_data::presets;
 use mea_nn::models::{resnet_cifar, CifarResNetConfig};
 use mea_tensor::Rng;
 use meanet::hard_classes::Selection;
-use meanet::model::{MeaNet, Merge, Variant};
+use meanet::model::{AdaptivePlan, MeaNet, Merge, Variant};
 use meanet::stats::evaluate_main_exit;
 use meanet::train::{build_hard_dataset, train_backbone, train_edge_blocks, TrainConfig};
 
@@ -50,13 +50,16 @@ fn main() {
     println!("step 3-5: hard subset has {} instances, labels remapped to 0..{}", hard_train.len(), dict.len());
 
     // Steps 6–8 — attach adaptive + extension blocks and train them with
-    // the main block frozen (blockwise optimisation).
-    net.attach_edge_blocks(dict.clone(), &mut rng);
+    // the main block frozen (blockwise optimisation). The depthwise-
+    // separable plan is the paper-faithful "light-weight" mirror; the
+    // dense mirror is kept as a heavyweight baseline.
+    net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, dict.clone(), &mut rng);
     let split = net.cost_split();
     println!(
-        "step 6: fixed {:.3}M params (frozen main) vs trained {:.3}M params (adaptive+extension)",
+        "step 6: fixed {:.3}M params (frozen main) vs trained {:.3}M params (adaptive+extension, {:?})",
         split.fixed_params as f64 / 1e6,
-        split.trained_params as f64 / 1e6
+        split.trained_params as f64 / 1e6,
+        net.adaptive_plan().expect("edge blocks attached")
     );
     let stats = train_edge_blocks(&mut net, &hard_train, &TrainConfig::repro(8));
     println!(

@@ -19,7 +19,7 @@ use mea_nn::StateDict;
 use mea_tensor::Rng;
 use meanet::continual::{extension_accuracy, train_edge_continual, ReplayBuffer};
 use meanet::hard_classes::Selection;
-use meanet::model::{MeaNet, Merge, Variant};
+use meanet::model::{AdaptivePlan, MeaNet, Merge, Variant};
 use meanet::stats::evaluate_main_exit;
 use meanet::train::{build_hard_dataset, train_backbone, train_edge_blocks, TrainConfig};
 
@@ -63,7 +63,11 @@ fn main() {
         &mut Rng::new(999),
     );
     edge_net.load_main_state_dict(&downloaded).expect("matching architecture");
-    edge_net.attach_edge_blocks(dict.clone(), &mut Rng::new(1000));
+    edge_net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, dict.clone(), &mut Rng::new(1000));
+    println!(
+        "edge: attached light-weight edge blocks ({:.3}M trained params)",
+        edge_net.trained_params() as f64 / 1e6
+    );
     let hard_train = build_hard_dataset(&bundle.train, &dict);
     let hard_test = build_hard_dataset(&bundle.test, &dict);
     let _ = train_edge_blocks(&mut edge_net, &hard_train, &TrainConfig::repro(10));

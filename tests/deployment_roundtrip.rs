@@ -7,7 +7,7 @@ use mea_nn::layer::Mode;
 use mea_nn::models::{resnet_cifar, CifarResNetConfig};
 use mea_nn::{StateDict, StateDictError};
 use mea_tensor::{Rng, Tensor};
-use meanet::model::{MeaNet, Merge, Variant};
+use meanet::model::{AdaptivePlan, MeaNet, Merge, Variant};
 use meanet::train::{build_hard_dataset, train_backbone, train_edge_blocks, TrainConfig};
 use std::sync::mpsc;
 use std::thread;
@@ -68,7 +68,7 @@ fn cloud_to_edge_download_over_a_channel() {
     assert!(dict_bytes_len > 1000, "sanity: a real model crossed the wire");
 
     // The edge then trains its blocks locally on hard-class data only.
-    edge.attach_edge_blocks(dict.clone(), &mut Rng::new(72));
+    edge.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, dict.clone(), &mut Rng::new(72));
     let hard = build_hard_dataset(&bundle.train, &dict);
     let stats = train_edge_blocks(&mut edge, &hard, &TrainConfig::repro(6));
     assert!(

@@ -4,6 +4,7 @@
 //! check it agrees with the monolithic forward. Runs in well under a
 //! second; meant as the first thing to break when crate wiring regresses.
 
+use mea_data::ClassDict;
 use mea_edgecloud::{
     best_cut, profile_network, sweep_cuts, DeviceProfile, NetworkLink, Objective, PartitionEnv, Payload,
 };
@@ -11,6 +12,7 @@ use mea_nn::layer::{zero_grads, Mode};
 use mea_nn::models::mobilenet_v2_lite;
 use mea_nn::{CrossEntropyLoss, Layer, Sgd};
 use mea_tensor::{Rng, Tensor};
+use meanet::model::{AdaptivePlan, MeaNet, Merge, Variant};
 
 #[test]
 fn workspace_smoke() {
@@ -82,4 +84,34 @@ fn workspace_smoke() {
     let best = best_cut(&profiles, &env, Objective::Latency);
     assert!(best.latency_s <= costs[0].latency_s + 1e-12, "best worse than cloud-only");
     assert!(best.latency_s <= costs.last().unwrap().latency_s + 1e-12, "best worse than edge-only");
+
+    // MEANet assembly through the adaptive-plan API: the same tiny
+    // MobileNet becomes a model-B main block, edge blocks attach under the
+    // default depthwise-separable plan, and the edge path produces
+    // hard-class logits. The dense mirror must cost strictly more.
+    let assemble = |plan: AdaptivePlan| {
+        let mut rng = Rng::new(0xBEEF);
+        let backbone = mobilenet_v2_lite(classes, &mut rng);
+        let mut net = MeaNet::from_backbone(
+            backbone,
+            Variant::FullBackbone { extension_channels: 8, extension_blocks: 1 },
+            Merge::Sum,
+            &mut rng,
+        );
+        net.attach_edge_blocks(plan, ClassDict::new(&[0, 2]), &mut rng);
+        net
+    };
+    let mut net = assemble(AdaptivePlan::default());
+    assert_eq!(net.adaptive_plan(), Some(AdaptivePlan::DepthwiseSeparable), "default plan is separable");
+    let probe = Tensor::randn([2, 3, 24, 24], 1.0, &mut Rng::new(5));
+    let features = net.main_features(&probe, Mode::Eval);
+    let y2 = net.extension_logits(&probe, &features, Mode::Eval);
+    assert_eq!(y2.dims(), &[2, 2], "edge path predicts over the two hard classes");
+    let dense = assemble(AdaptivePlan::DenseMirror);
+    assert!(
+        net.trained_params() < dense.trained_params(),
+        "separable edge blocks ({}) must be lighter than the dense mirror ({})",
+        net.trained_params(),
+        dense.trained_params()
+    );
 }

@@ -66,11 +66,12 @@ impl Bencher {
 /// Benchmark registry/driver, mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_size: usize,
+    mean_ms: Vec<(String, f64)>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion { sample_size: 20, mean_ms: Vec::new() }
     }
 }
 
@@ -95,7 +96,16 @@ impl Criterion {
         let min = bencher.times.iter().min().copied().unwrap_or_default();
         let max = bencher.times.iter().max().copied().unwrap_or_default();
         println!("{id:<40} time: [{min:>12.3?} {mean:>12.3?} {max:>12.3?}]  ({n} samples)");
+        self.mean_ms.push((id.to_string(), mean.as_secs_f64() * 1e3));
         self
+    }
+
+    /// Mean per-iteration time of every benchmark run so far, in
+    /// milliseconds and run order — a stub-only extension (upstream
+    /// criterion writes JSON under `target/criterion` instead) that lets
+    /// bench targets export their timings to the CI regression gate.
+    pub fn mean_times_ms(&self) -> &[(String, f64)] {
+        &self.mean_ms
     }
 }
 
@@ -136,6 +146,11 @@ mod tests {
             .bench_function("batched", |b| b.iter_batched(|| 2u64, |x| x * 2, BatchSize::SmallInput));
         // 1 warm-up + 3 samples.
         assert_eq!(runs, 4);
+        let means = c.mean_times_ms();
+        assert_eq!(means.len(), 2);
+        assert_eq!(means[0].0, "noop");
+        assert_eq!(means[1].0, "batched");
+        assert!(means.iter().all(|(_, ms)| *ms >= 0.0));
     }
 
     criterion_group!(smoke, noop_bench);
