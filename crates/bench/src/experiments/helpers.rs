@@ -70,10 +70,25 @@ pub fn imagenet_resnet_b(scale: Scale, seed: u64, with_cloud: bool) -> TrainedSy
 
 /// Model B with a MobileNetV2 main block on the ImageNet-like dataset.
 pub fn imagenet_mobilenet_b(scale: Scale, seed: u64, with_cloud: bool) -> TrainedSystem {
-    let bundle = generate(&scale.imagenet_like(seed));
+    let mut data_cfg = scale.imagenet_like(seed);
+    if scale == Scale::Smoke {
+        // The depthwise-separable MobileNet backbone converges slower than
+        // the ResNets on the tiny synthetic set; under the generic smoke
+        // budget its main exit sits near chance — and easy/hard detection
+        // with it. This system alone gets a raised smoke budget (more
+        // training data, doubled pretrain/edge schedules; still seconds)
+        // so the Table III detection floor holds at 0.6 for every row —
+        // the old smoke-only 0.45 concession is retired.
+        data_cfg.train_per_class += data_cfg.train_per_class / 2;
+    }
+    let bundle = generate(&data_cfg);
     let classes = bundle.train.num_classes;
     let mut cfg = PipelineConfig::repro_mobilenet_b(classes, scale.epochs(), seed);
     shrink_schedules(&mut cfg, scale);
+    if scale == Scale::Smoke {
+        cfg.pretrain = TrainConfig::repro(scale.epochs() * 2);
+        cfg.edge_train = TrainConfig::repro(scale.epochs() * 2);
+    }
     if !with_cloud {
         cfg.cloud = None;
     }

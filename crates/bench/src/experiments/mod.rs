@@ -5,6 +5,7 @@ pub mod ablations;
 pub mod extensions;
 pub mod figures;
 pub mod helpers;
+pub mod serving;
 pub mod tables;
 
 pub use helpers::TrainedSystem;

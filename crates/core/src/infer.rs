@@ -8,6 +8,7 @@
 
 use crate::model::MeaNet;
 use crate::policy::OffloadPolicy;
+use crate::routing::{PendingCloud, RoutingEngine};
 use mea_data::Dataset;
 use mea_nn::layer::Mode;
 use mea_nn::models::SegmentedCnn;
@@ -95,6 +96,10 @@ pub fn run_inference(
 /// Algorithm 2 with a pluggable offload rule (see [`OffloadPolicy`]);
 /// [`run_inference`] is the paper's entropy-threshold special case.
 ///
+/// All routing decisions and both local legs go through the shared
+/// [`RoutingEngine`], so this offline sweep and the online serving
+/// runtime (`mea_edgecloud::serve`) provably agree instance by instance.
+///
 /// # Panics
 ///
 /// Panics if edge blocks are not attached, or if the policy can offload
@@ -107,73 +112,41 @@ pub fn run_inference_with_policy(
     batch_size: usize,
 ) -> Vec<InstanceRecord> {
     assert!(net.hard_dict().is_some(), "attach edge blocks before inference");
-    assert!(policy.is_edge_only() || cloud.is_some(), "an offloading policy requires a cloud model");
+    let engine = RoutingEngine::new(policy, cloud.is_some());
     let mut records = Vec::with_capacity(data.len());
     for (images, labels) in data.batches(batch_size) {
         let n = labels.len();
-        // Main block + exit for the whole batch.
-        let features = net.main_features(&images, Mode::Eval);
-        let logits1 = net.main_logits_from(&features, Mode::Eval);
-        let probs1 = ops::softmax_rows(&logits1);
-        let entropies = ops::entropy_rows(&probs1);
-        let preds1 = probs1.argmax_rows();
+        let main = RoutingEngine::evaluate_main(net, &images);
+        let plan = engine.plan(net, &main);
+        let to_cloud = plan.cloud_indices();
+        let to_extension = plan.extension_indices();
 
-        // Partition the batch by route.
-        let mut to_cloud = Vec::new();
-        let mut to_extension = Vec::new();
-        for i in 0..n {
-            if cloud.is_some() && policy.should_offload(probs1.row(i), entropies[i]) {
-                to_cloud.push(i);
-            } else if net.is_hard(preds1[i]) {
-                to_extension.push(i);
-            }
-        }
-
-        // Cloud route: raw images to the deeper network.
-        let mut cloud_preds = vec![0usize; 0];
+        // Cloud route: raw images to the deeper network, one batched
+        // forward over the gathered sub-batch (what the serving runtime's
+        // dynamic batcher does with a coalesced queue).
+        let mut cloud_preds = Vec::new();
         if !to_cloud.is_empty() {
             let cloud_net = cloud.as_deref_mut().expect("cloud model present");
             let sub = images.gather_axis0(&to_cloud);
-            let logits = cloud_net.forward(&sub, Mode::Eval);
-            cloud_preds = logits.argmax_rows();
+            cloud_preds = RoutingEngine::classify_cloud(cloud_net, &sub);
         }
 
         // Extension route: adaptive + extension on the sub-batch, then
-        // confidence comparison against the main exit.
-        let mut ext_choices: Vec<(usize, usize)> = Vec::new(); // (batch idx, final pred)
-        if !to_extension.is_empty() {
-            let sub_x = images.gather_axis0(&to_extension);
-            let sub_f = features.gather_axis0(&to_extension);
-            let logits2 = net.extension_logits(&sub_x, &sub_f, Mode::Eval);
-            let probs2 = ops::softmax_rows(&logits2);
-            let preds2 = probs2.argmax_rows();
-            let dict = net.hard_dict().expect("edge blocks attached");
-            for (j, &i) in to_extension.iter().enumerate() {
-                let conf1 = probs1.row(i).iter().cloned().fold(0.0f32, f32::max);
-                let conf2 = probs2.row(j).iter().cloned().fold(0.0f32, f32::max);
-                let final_pred = if conf1 > conf2 { preds1[i] } else { dict.to_original(preds2[j]) };
-                ext_choices.push((i, final_pred));
-            }
-        }
+        // confidence arbitration against the main exit.
+        let ext_preds = RoutingEngine::finish_extension(net, &images, &main, &to_extension);
 
         // Assemble records in batch order.
-        let mut route: Vec<(ExitPoint, usize)> = (0..n).map(|i| (ExitPoint::Main, preds1[i])).collect();
+        let mut final_preds: Vec<usize> = main.preds.clone();
         for (k, &i) in to_cloud.iter().enumerate() {
-            route[i] = (ExitPoint::Cloud, cloud_preds[k]);
+            final_preds[i] = cloud_preds[k];
         }
-        for &(i, pred) in &ext_choices {
-            route[i] = (ExitPoint::Extension, pred);
+        for (k, &i) in to_extension.iter().enumerate() {
+            final_preds[i] = ext_preds[k];
         }
         for i in 0..n {
-            let (exit, prediction) = route[i];
-            records.push(InstanceRecord {
-                truth: labels[i],
-                prediction,
-                exit,
-                entropy: entropies[i],
-                main_prediction: preds1[i],
-                detected_hard: net.is_hard(preds1[i]),
-                correct: prediction == labels[i],
+            records.push(match plan.routes[i] {
+                ExitPoint::Cloud => PendingCloud::from_main(net, &main, i, labels[i]).complete(final_preds[i]),
+                exit => RoutingEngine::local_record(net, &main, i, exit, final_preds[i], labels[i]),
             });
         }
     }

@@ -21,6 +21,10 @@
 //!   freezing) supports the Fig. 6 memory comparison.
 //! * [`infer`] — Algorithm 2: entropy-gated cloud offload, `IsHard` routing
 //!   into the extension block, and confidence-based exit arbitration.
+//! * [`routing`] — the per-instance routing core of Algorithm 2 factored
+//!   out of the sweep: main-exit evaluation, route planning, the local
+//!   execution legs and record assembly, shared with the online serving
+//!   runtime in `mea_edgecloud::serve`.
 //! * [`policy`] — the offload decision abstracted: the paper's entropy
 //!   threshold plus margin-based and budgeted (quantile-calibrated)
 //!   alternatives, and the edge-only/cloud-only endpoints.
@@ -48,6 +52,7 @@ pub mod infer;
 pub mod model;
 pub mod pipeline;
 pub mod policy;
+pub mod routing;
 pub mod runtime;
 pub mod stats;
 pub mod thresholds;
@@ -60,5 +65,6 @@ pub use infer::{ExitPoint, InferenceConfig, InstanceRecord};
 pub use model::{AdaptivePlan, ExtensionPlan, MeaNet, Merge};
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use policy::OffloadPolicy;
+pub use routing::{MainExit, PendingCloud, RoutePlan, RoutingEngine};
 pub use runtime::ThresholdController;
 pub use train::TrainConfig;

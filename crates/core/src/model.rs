@@ -557,6 +557,82 @@ impl MeaNet {
         result
     }
 
+    /// Snapshots the locally trained blocks (adaptive, extension, exit) —
+    /// together with [`MeaNet::main_state_dict`] this captures the whole
+    /// deployed model, which is how the serving runtime replicates one
+    /// trained MEANet bitwise-identically onto every edge worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if edge blocks are not attached.
+    pub fn edge_state_dict(&mut self) -> mea_nn::StateDict {
+        let edge = self.edge.as_mut().expect("edge blocks not attached");
+        let mut chain = Sequential::empty();
+        std::mem::swap(&mut chain, &mut edge.adaptive);
+        let adaptive_len = chain.len();
+        let mut ext = Sequential::empty();
+        std::mem::swap(&mut ext, &mut edge.extension);
+        chain.append(ext);
+        let ext_end = chain.len();
+        let mut exit = Sequential::empty();
+        std::mem::swap(&mut exit, &mut edge.exit);
+        chain.append(exit);
+        let dict = mea_nn::StateDict::from_layer(&mut chain);
+        let mut tail = chain.split_off(adaptive_len);
+        edge.adaptive = chain;
+        let exit_part = tail.split_off(ext_end - adaptive_len);
+        edge.extension = tail;
+        edge.exit = exit_part;
+        dict
+    }
+
+    /// Restores a snapshot produced by [`MeaNet::edge_state_dict`] into
+    /// this network's edge blocks (architectures must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`mea_nn::StateDictError`] on count or shape
+    /// mismatch; the model is unchanged on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if edge blocks are not attached.
+    pub fn load_edge_state_dict(&mut self, dict: &mea_nn::StateDict) -> Result<(), mea_nn::StateDictError> {
+        let edge = self.edge.as_mut().expect("edge blocks not attached");
+        let mut chain = Sequential::empty();
+        std::mem::swap(&mut chain, &mut edge.adaptive);
+        let adaptive_len = chain.len();
+        let mut ext = Sequential::empty();
+        std::mem::swap(&mut ext, &mut edge.extension);
+        chain.append(ext);
+        let ext_end = chain.len();
+        let mut exit = Sequential::empty();
+        std::mem::swap(&mut exit, &mut edge.exit);
+        chain.append(exit);
+        let result = dict.apply_to_layer(&mut chain);
+        let mut tail = chain.split_off(adaptive_len);
+        edge.adaptive = chain;
+        let exit_part = tail.split_off(ext_end - adaptive_len);
+        edge.extension = tail;
+        edge.exit = exit_part;
+        result
+    }
+
+    /// Copies every trained weight (main + edge) into `other`, which must
+    /// have been assembled with identical architecture choices — the
+    /// replication step that gives each serving worker its own model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on architecture mismatch or missing edge blocks on either
+    /// side.
+    pub fn replicate_into(&mut self, other: &mut MeaNet) {
+        let main = self.main_state_dict();
+        other.load_main_state_dict(&main).expect("replica main architecture matches");
+        let edge = self.edge_state_dict();
+        other.load_edge_state_dict(&edge).expect("replica edge architecture matches");
+    }
+
     /// Memory-model parts for Fig. 6: `(frozen, trained)` under blockwise
     /// training.
     ///
@@ -644,6 +720,71 @@ mod tests {
         assert_eq!(y1.dims(), &[1, 6]);
         let y2 = net.extension_logits(&x, &f, Mode::Eval);
         assert_eq!(y2.dims(), &[1, 2]);
+    }
+
+    #[test]
+    fn replicate_into_makes_a_bitwise_identical_worker() {
+        let mut rng_a = Rng::new(7);
+        let backbone_a = tiny_backbone(6, &mut rng_a);
+        let mut a = MeaNet::from_backbone(
+            backbone_a,
+            Variant::FullBackbone { extension_channels: 16, extension_blocks: 2 },
+            Merge::Sum,
+            &mut rng_a,
+        );
+        a.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, ClassDict::new(&[1, 3, 5]), &mut rng_a);
+
+        // Same architecture, different weights (different seed).
+        let mut rng_b = Rng::new(8);
+        let backbone_b = tiny_backbone(6, &mut rng_b);
+        let mut b = MeaNet::from_backbone(
+            backbone_b,
+            Variant::FullBackbone { extension_channels: 16, extension_blocks: 2 },
+            Merge::Sum,
+            &mut rng_b,
+        );
+        b.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, ClassDict::new(&[1, 3, 5]), &mut rng_b);
+
+        let mut probe = Rng::new(9);
+        let x = Tensor::randn([3, 3, 8, 8], 1.0, &mut probe);
+        let fa = a.main_features(&x, Mode::Eval);
+        let fb = b.main_features(&x, Mode::Eval);
+        assert_ne!(fa, fb, "different seeds should give different weights");
+
+        a.replicate_into(&mut b);
+        let fa = a.main_features(&x, Mode::Eval);
+        let fb = b.main_features(&x, Mode::Eval);
+        assert_eq!(fa, fb, "replicated main block must match bitwise");
+        let ya = a.extension_logits(&x, &fa, Mode::Eval);
+        let yb = b.extension_logits(&x, &fb, Mode::Eval);
+        assert_eq!(ya, yb, "replicated edge blocks must match bitwise");
+        let la = a.main_logits_from(&fa, Mode::Eval);
+        let lb = b.main_logits_from(&fb, Mode::Eval);
+        assert_eq!(la, lb, "replicated main exit must match bitwise");
+    }
+
+    #[test]
+    fn edge_state_dict_round_trips_through_restore() {
+        let mut rng = Rng::new(11);
+        let backbone = tiny_backbone(4, &mut rng);
+        let mut net = MeaNet::from_backbone(
+            backbone,
+            Variant::FullBackbone { extension_channels: 8, extension_blocks: 1 },
+            Merge::Sum,
+            &mut rng,
+        );
+        net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, ClassDict::new(&[0, 1]), &mut rng);
+        let before = net.edge_state_dict();
+        // Perturb, restore, snapshot again: must equal the original.
+        net.visit_edge_params(&mut |p| p.value.map_inplace(|v| v + 1.0));
+        let perturbed = net.edge_state_dict();
+        assert_ne!(before, perturbed);
+        net.load_edge_state_dict(&before).expect("matching architecture");
+        assert_eq!(net.edge_state_dict(), before);
+        // The block structure survived the chain/split dance.
+        let x = Tensor::randn([1, 3, 8, 8], 1.0, &mut rng);
+        let f = net.main_features(&x, Mode::Eval);
+        assert_eq!(net.extension_logits(&x, &f, Mode::Eval).dims(), &[1, 2]);
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! The per-instance routing core of Algorithm 2, factored out of the
+//! offline sweep so online serving paths can reuse it.
+//!
+//! [`crate::infer::run_inference_with_policy`] (the offline evaluation
+//! sweep) and `mea_edgecloud`'s serving runtime both route instances the
+//! same way: run the main block, consult the [`OffloadPolicy`], send
+//! complex instances to the cloud, detected-hard instances through the
+//! adaptive + extension path, and let everything else exit at the main
+//! block. [`RoutingEngine`] owns that decision plus the two local
+//! execution legs, and [`PendingCloud`] carries a half-finished record to
+//! wherever the cloud prediction is eventually produced — in-process for
+//! the sweep, on a cloud worker thread for the server. One routing core,
+//! two substrates, provably identical records.
+
+use crate::infer::{ExitPoint, InstanceRecord};
+use crate::model::MeaNet;
+use crate::policy::OffloadPolicy;
+use mea_nn::layer::Mode;
+use mea_nn::models::SegmentedCnn;
+use mea_tensor::{ops, Tensor};
+
+/// Main-exit statistics for one batch of instances: everything the
+/// routing decision and the downstream legs need from the main block.
+#[derive(Debug)]
+pub struct MainExit {
+    /// Main-block feature maps `F` for the batch.
+    pub features: Tensor,
+    /// Softmax probabilities at the main exit.
+    pub probs: Tensor,
+    /// Prediction entropy per instance.
+    pub entropies: Vec<f32>,
+    /// Main-exit argmax prediction per instance.
+    pub preds: Vec<usize>,
+}
+
+impl MainExit {
+    /// Number of instances in the batch.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+}
+
+/// Planned exit per instance of a batch, before the extension and cloud
+/// legs have produced their predictions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutePlan {
+    /// Planned exit per instance, in batch order.
+    pub routes: Vec<ExitPoint>,
+}
+
+impl RoutePlan {
+    /// Batch indices routed to the cloud, in batch order.
+    pub fn cloud_indices(&self) -> Vec<usize> {
+        self.indices_of(ExitPoint::Cloud)
+    }
+
+    /// Batch indices routed through the extension path, in batch order.
+    pub fn extension_indices(&self) -> Vec<usize> {
+        self.indices_of(ExitPoint::Extension)
+    }
+
+    fn indices_of(&self, exit: ExitPoint) -> Vec<usize> {
+        self.routes.iter().enumerate().filter(|(_, &r)| r == exit).map(|(i, _)| i).collect()
+    }
+}
+
+/// A routed instance whose prediction the cloud still owes: the partial
+/// [`InstanceRecord`] travels with the offloaded payload and is completed
+/// wherever the cloud forward runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingCloud {
+    /// True class.
+    pub truth: usize,
+    /// Main-exit entropy.
+    pub entropy: f32,
+    /// The main exit's own prediction.
+    pub main_prediction: usize,
+    /// Whether `IsHard(main_prediction)` fired.
+    pub detected_hard: bool,
+}
+
+impl PendingCloud {
+    /// Captures the main-exit side of instance `i`'s record.
+    pub fn from_main(net: &MeaNet, main: &MainExit, i: usize, truth: usize) -> PendingCloud {
+        PendingCloud {
+            truth,
+            entropy: main.entropies[i],
+            main_prediction: main.preds[i],
+            detected_hard: net.is_hard(main.preds[i]),
+        }
+    }
+
+    /// Completes the record with the cloud's prediction.
+    pub fn complete(self, prediction: usize) -> InstanceRecord {
+        InstanceRecord {
+            truth: self.truth,
+            prediction,
+            exit: ExitPoint::Cloud,
+            entropy: self.entropy,
+            main_prediction: self.main_prediction,
+            detected_hard: self.detected_hard,
+            correct: prediction == self.truth,
+        }
+    }
+}
+
+/// The shared routing core: a policy plus the knowledge of whether a cloud
+/// is reachable at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingEngine {
+    policy: OffloadPolicy,
+    cloud_available: bool,
+}
+
+impl RoutingEngine {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy can offload but no cloud is available —
+    /// routing would silently degrade instead of honouring the policy.
+    pub fn new(policy: OffloadPolicy, cloud_available: bool) -> RoutingEngine {
+        assert!(policy.is_edge_only() || cloud_available, "an offloading policy requires a cloud model");
+        RoutingEngine { policy, cloud_available }
+    }
+
+    /// The current offload policy.
+    pub fn policy(&self) -> OffloadPolicy {
+        self.policy
+    }
+
+    /// Replaces the offload policy at runtime (the serving path does this
+    /// when a [`crate::runtime::ThresholdController`] retunes the entropy
+    /// threshold between windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new policy can offload but the engine has no cloud.
+    pub fn set_policy(&mut self, policy: OffloadPolicy) {
+        assert!(policy.is_edge_only() || self.cloud_available, "an offloading policy requires a cloud model");
+        self.policy = policy;
+    }
+
+    /// Runs the main block + exit over a batch, producing the statistics
+    /// every routing decision consumes. Pure evaluation — identical for
+    /// the offline sweep and the server.
+    pub fn evaluate_main(net: &mut MeaNet, images: &Tensor) -> MainExit {
+        let features = net.main_features(images, Mode::Eval);
+        let logits = net.main_logits_from(&features, Mode::Eval);
+        let probs = ops::softmax_rows(&logits);
+        let entropies = ops::entropy_rows(&probs);
+        let preds = probs.argmax_rows();
+        MainExit { features, probs, entropies, preds }
+    }
+
+    /// Decides every instance's exit: cloud when the policy fires (and a
+    /// cloud exists), extension when the main prediction is a hard class,
+    /// main otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if edge blocks are not attached to `net`.
+    pub fn plan(&self, net: &MeaNet, main: &MainExit) -> RoutePlan {
+        let routes = (0..main.len())
+            .map(|i| {
+                if self.cloud_available && self.policy.should_offload(main.probs.row(i), main.entropies[i]) {
+                    ExitPoint::Cloud
+                } else if net.is_hard(main.preds[i]) {
+                    ExitPoint::Extension
+                } else {
+                    ExitPoint::Main
+                }
+            })
+            .collect();
+        RoutePlan { routes }
+    }
+
+    /// Runs the adaptive + extension leg for the sub-batch `indices` and
+    /// arbitrates each instance between the two exits by confidence,
+    /// returning final predictions (original label space) in `indices`
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if edge blocks are not attached.
+    pub fn finish_extension(net: &mut MeaNet, images: &Tensor, main: &MainExit, indices: &[usize]) -> Vec<usize> {
+        if indices.is_empty() {
+            return Vec::new();
+        }
+        let sub_x = images.gather_axis0(indices);
+        let sub_f = main.features.gather_axis0(indices);
+        let logits2 = net.extension_logits(&sub_x, &sub_f, Mode::Eval);
+        let probs2 = ops::softmax_rows(&logits2);
+        let preds2 = probs2.argmax_rows();
+        let dict = net.hard_dict().expect("edge blocks attached");
+        indices
+            .iter()
+            .enumerate()
+            .map(|(j, &i)| {
+                let conf1 = main.probs.row(i).iter().cloned().fold(0.0f32, f32::max);
+                let conf2 = probs2.row(j).iter().cloned().fold(0.0f32, f32::max);
+                if conf1 > conf2 {
+                    main.preds[i]
+                } else {
+                    dict.to_original(preds2[j])
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the cloud network over an already-gathered sub-batch and
+    /// returns its predictions — the one batched forward both the offline
+    /// sweep and the dynamic-batching cloud worker perform.
+    pub fn classify_cloud(cloud: &mut SegmentedCnn, images: &Tensor) -> Vec<usize> {
+        cloud.forward(images, Mode::Eval).argmax_rows()
+    }
+
+    /// Assembles the record of a locally completed instance (main or
+    /// extension exit).
+    pub fn local_record(
+        net: &MeaNet,
+        main: &MainExit,
+        i: usize,
+        exit: ExitPoint,
+        prediction: usize,
+        truth: usize,
+    ) -> InstanceRecord {
+        InstanceRecord {
+            truth,
+            prediction,
+            exit,
+            entropy: main.entropies[i],
+            main_prediction: main.preds[i],
+            detected_hard: net.is_hard(main.preds[i]),
+            correct: prediction == truth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AdaptivePlan, Merge, Variant};
+    use mea_data::{presets, ClassDict};
+    use mea_nn::models::{resnet_cifar, CifarResNetConfig};
+    use mea_tensor::Rng;
+
+    fn tiny_net(seed: u64) -> MeaNet {
+        let mut rng = Rng::new(seed);
+        let mut cfg = CifarResNetConfig::repro_scale(6);
+        cfg.input_hw = 8;
+        let backbone = resnet_cifar(&cfg, &mut rng);
+        let mut net = MeaNet::from_backbone(
+            backbone,
+            Variant::FullBackbone { extension_channels: 8, extension_blocks: 1 },
+            Merge::Sum,
+            &mut rng,
+        );
+        net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, ClassDict::new(&[0, 2, 4]), &mut rng);
+        net
+    }
+
+    #[test]
+    fn plan_respects_policy_and_hard_dict() {
+        let mut net = tiny_net(0);
+        let bundle = presets::tiny(30);
+        let images = bundle.test.images.slice_axis0(0, 8);
+        let main = RoutingEngine::evaluate_main(&mut net, &images);
+
+        let edge_only = RoutingEngine::new(OffloadPolicy::Never, false).plan(&net, &main);
+        for (i, route) in edge_only.routes.iter().enumerate() {
+            let expect = if [0, 2, 4].contains(&main.preds[i]) { ExitPoint::Extension } else { ExitPoint::Main };
+            assert_eq!(*route, expect);
+        }
+
+        let all_cloud = RoutingEngine::new(OffloadPolicy::Always, true).plan(&net, &main);
+        assert!(all_cloud.routes.iter().all(|&r| r == ExitPoint::Cloud));
+        assert_eq!(all_cloud.cloud_indices(), (0..8).collect::<Vec<_>>());
+        assert!(all_cloud.extension_indices().is_empty());
+    }
+
+    #[test]
+    fn index_lists_partition_the_batch() {
+        let mut net = tiny_net(1);
+        let bundle = presets::tiny(31);
+        let images = bundle.test.images.slice_axis0(0, 10);
+        let main = RoutingEngine::evaluate_main(&mut net, &images);
+        let median = {
+            let mut e = main.entropies.clone();
+            e.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            e[e.len() / 2]
+        };
+        let plan = RoutingEngine::new(OffloadPolicy::EntropyThreshold(median), true).plan(&net, &main);
+        let cloud = plan.cloud_indices();
+        let ext = plan.extension_indices();
+        let locals = plan.routes.iter().filter(|&&r| r == ExitPoint::Main).count() + cloud.len() + ext.len();
+        assert_eq!(locals, main.len());
+        for &i in &cloud {
+            assert!(!ext.contains(&i), "instance {i} routed twice");
+        }
+    }
+
+    #[test]
+    fn pending_cloud_round_trips_the_record() {
+        let mut net = tiny_net(2);
+        let bundle = presets::tiny(32);
+        let images = bundle.test.images.slice_axis0(0, 4);
+        let main = RoutingEngine::evaluate_main(&mut net, &images);
+        let pending = PendingCloud::from_main(&net, &main, 2, bundle.test.labels[2]);
+        let rec = pending.complete(bundle.test.labels[2]);
+        assert_eq!(rec.exit, ExitPoint::Cloud);
+        assert!(rec.correct);
+        assert_eq!(rec.main_prediction, main.preds[2]);
+        assert_eq!(rec.detected_hard, [0, 2, 4].contains(&main.preds[2]));
+    }
+
+    #[test]
+    fn set_policy_is_checked_against_cloud_availability() {
+        let mut engine = RoutingEngine::new(OffloadPolicy::Never, true);
+        engine.set_policy(OffloadPolicy::EntropyThreshold(0.5));
+        assert_eq!(engine.policy(), OffloadPolicy::EntropyThreshold(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a cloud model")]
+    fn offloading_policy_without_cloud_rejected() {
+        let _ = RoutingEngine::new(OffloadPolicy::Always, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a cloud model")]
+    fn set_policy_without_cloud_rejected() {
+        let mut engine = RoutingEngine::new(OffloadPolicy::Never, false);
+        engine.set_policy(OffloadPolicy::Always);
+    }
+}

@@ -22,7 +22,14 @@
 //!   crossbeam channels) for end-to-end integration tests;
 //! * [`fleet`] — a multi-device extension of the simulator where many edge
 //!   devices share a bounded pool of cloud servers, quantifying the cloud
-//!   congestion the paper's introduction argues early exits relieve.
+//!   congestion the paper's introduction argues early exits relieve;
+//! * [`serve`] — the *online* counterpart of [`fleet`]: a real multi-worker
+//!   serving runtime (N edge workers, M dynamically batching cloud
+//!   workers over bounded channels) that routes trace-driven traffic
+//!   through a trained MEANet with the same `RoutingEngine` as the
+//!   offline sweep;
+//! * [`traces`] — seeded arrival-time generators (uniform / Poisson /
+//!   bursty) driving both the fleet simulator and the serving runtime.
 
 #![warn(missing_docs)]
 
@@ -33,6 +40,7 @@ pub mod fleet;
 pub mod network;
 pub mod partition;
 pub mod payload;
+pub mod serve;
 pub mod sim;
 pub mod traces;
 
@@ -43,4 +51,8 @@ pub use fleet::{simulate_fleet, simulate_fleet_with_arrivals, FleetConfig, Fleet
 pub use network::{NetworkLink, UploadPowerModel};
 pub use partition::{best_cut, profile_network, sweep_cuts, CutCost, LayerProfile, Objective, PartitionEnv};
 pub use payload::Payload;
+pub use serve::{
+    serve, trace_requests, Completion, ControllerConfig, ServeConfig, ServeReport, ServeRequest, ServeStats,
+    WireFormat,
+};
 pub use traces::ArrivalModel;

@@ -96,6 +96,16 @@ impl Payload {
             Payload::Features { features } => features,
         }
     }
+
+    /// The tensor inside, consuming the payload — lets a decode site take
+    /// ownership without an extra copy (the serving runtime's cloud
+    /// workers decode every offloaded image on the hot path).
+    pub fn into_tensor(self) -> Tensor {
+        match self {
+            Payload::RawImage { image } => image,
+            Payload::Features { features } => features,
+        }
+    }
 }
 
 fn header_len(t: &Tensor) -> u64 {

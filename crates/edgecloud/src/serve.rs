@@ -1,0 +1,874 @@
+//! Multi-worker online serving runtime with dynamic cloud batching.
+//!
+//! The paper motivates early exits with the cloud pressure of "a large
+//! amount of IoT devices" — this module is the substrate that actually
+//! serves that traffic through a trained MEANet instead of modelling it in
+//! closed form (see [`crate::fleet`] for the analytic counterpart):
+//!
+//! * **N edge workers**, each owning a bitwise-identical replica of the
+//!   trained [`MeaNet`] (see `MeaNet::replicate_into`), consume requests
+//!   from bounded per-worker queues. Requests are routed to workers
+//!   device-stickily (`device % N`), so one device's stream is processed
+//!   in order.
+//! * Every routing decision goes through the same
+//!   [`meanet::routing::RoutingEngine`] the offline sweep
+//!   (`meanet::infer::run_inference`) uses, so the served system and the
+//!   evaluation sweep provably produce identical [`InstanceRecord`]s.
+//! * **M cloud workers** each drain a bounded ingress queue with
+//!   **dynamic batching**: whatever is queued is coalesced up to
+//!   [`ServeConfig::max_batch`] (waiting at most
+//!   [`ServeConfig::max_wait`] for stragglers) and classified in *one*
+//!   batched forward. Because eval-mode forwards are bitwise per-sample
+//!   independent, batch composition cannot change predictions.
+//! * Offloaded instances cross a real wire format ([`Payload`]); an
+//!   optional [`NetworkLink`] models upload + RTT as wall-clock delay, so
+//!   cloud-worker scaling overlaps network latency exactly like
+//!   concurrent in-flight RPCs.
+//! * A [`ThresholdController`] can steer the entropy threshold inside the
+//!   serving path (SPINN-style runtime adaptation): every
+//!   [`ControllerConfig::window`] routed instances, the achieved offload
+//!   fraction is fed back and the threshold retuned.
+//!
+//! Backpressure is end-to-end: bounded edge queues block the dispatcher,
+//! bounded cloud queues block edge workers, so a slow cloud tier slows
+//! admission instead of ballooning memory.
+
+use crate::network::NetworkLink;
+use crate::payload::Payload;
+use crate::sim::ThreadedStats;
+use crate::traces::ArrivalModel;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use mea_data::Dataset;
+use mea_metrics::Histogram;
+use mea_nn::models::SegmentedCnn;
+use mea_tensor::{Rng, Tensor};
+use meanet::routing::{PendingCloud, RoutingEngine};
+use meanet::{ExitPoint, InstanceRecord, MeaNet, OffloadPolicy, ThresholdController};
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// How offloaded images are encoded on the edge→cloud wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// Lossless `f32` tensors ([`Payload::Features`] codec). The cloud
+    /// sees exactly the edge's pixels, so the served system is
+    /// bit-identical to the offline sweep.
+    #[default]
+    Float32,
+    /// The paper's 1-byte-per-sample sensor format
+    /// ([`Payload::RawImage`]): 4× smaller uploads, but quantisation can
+    /// flip borderline cloud predictions.
+    Quantised8Bit,
+}
+
+/// Closed-loop threshold steering inside the serving path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// The integral controller (carries the initial threshold, the target
+    /// β and the gain).
+    pub controller: ThresholdController,
+    /// Number of routed instances per feedback window.
+    pub window: usize,
+}
+
+/// Static configuration of the serving runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Edge worker threads (must equal the number of edge replicas).
+    pub edge_workers: usize,
+    /// Cloud worker threads (must equal the number of cloud replicas).
+    pub cloud_workers: usize,
+    /// Dynamic-batching cap: a cloud worker coalesces at most this many
+    /// queued payloads into one batched forward.
+    pub max_batch: usize,
+    /// How long a cloud worker waits for stragglers once it holds at
+    /// least one payload. `Duration::ZERO` coalesces only what is already
+    /// queued (no added latency).
+    pub max_wait: Duration,
+    /// Capacity of each bounded edge/cloud ingress queue.
+    pub queue_depth: usize,
+    /// Offload policy. Ignored when `controller` is set (the controller
+    /// then drives an entropy-threshold policy starting from its own
+    /// threshold).
+    pub policy: OffloadPolicy,
+    /// Optional SPINN-style runtime threshold adaptation.
+    pub controller: Option<ControllerConfig>,
+    /// Wire encoding for offloaded images.
+    pub wire: WireFormat,
+    /// Optional uplink model: each cloud batch pays its upload time plus
+    /// one RTT as real wall-clock delay on the worker that serves it.
+    pub link: Option<NetworkLink>,
+}
+
+impl ServeConfig {
+    /// A serving configuration with sane defaults: no batching wait, a
+    /// queue depth of 4 per worker, lossless wire format, no simulated
+    /// link, no controller.
+    pub fn new(policy: OffloadPolicy, edge_workers: usize, cloud_workers: usize, max_batch: usize) -> Self {
+        ServeConfig {
+            edge_workers,
+            cloud_workers,
+            max_batch,
+            max_wait: Duration::ZERO,
+            queue_depth: 4,
+            policy,
+            controller: None,
+            wire: WireFormat::default(),
+            link: None,
+        }
+    }
+
+    /// The degenerate single-pipeline configuration (`edge_workers: 1,
+    /// cloud_workers: 1, max_batch: 1`) that
+    /// [`crate::sim::run_threaded`] is a thin wrapper over.
+    pub fn pipeline(policy: OffloadPolicy) -> Self {
+        ServeConfig::new(policy, 1, 1, 1)
+    }
+}
+
+/// One request to the serving runtime: an image from a device, due at a
+/// trace-determined arrival time.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Originating device (drives device-sticky worker routing).
+    pub device: usize,
+    /// Per-device sequence number (0, 1, 2, … in arrival order).
+    pub seq: usize,
+    /// Arrival offset from the start of serving (s).
+    pub arrival_s: f64,
+    /// The image, `[1, C, H, W]`.
+    pub image: Tensor,
+    /// True class (carried for record keeping, never used for routing).
+    pub truth: usize,
+}
+
+/// Builds a request trace over a dataset: instance `i` becomes device
+/// `i % devices`' `i / devices`-th frame, with per-device arrival times
+/// drawn from `model`. The result is sorted by arrival time (stably, so
+/// simultaneous arrivals keep dataset order).
+///
+/// # Panics
+///
+/// Panics if `devices == 0` or the dataset is empty.
+pub fn trace_requests(data: &Dataset, devices: usize, model: &ArrivalModel, rng: &mut Rng) -> Vec<ServeRequest> {
+    assert!(devices > 0, "need at least one device");
+    let n = data.len();
+    assert!(n > 0, "nothing to serve");
+    let per_device: Vec<usize> = (0..devices).map(|d| n / devices + usize::from(d < n % devices)).collect();
+    let times: Vec<Vec<f64>> =
+        per_device.iter().map(|&c| if c == 0 { Vec::new() } else { model.generate(c, rng) }).collect();
+    let mut requests: Vec<ServeRequest> = (0..n)
+        .map(|i| {
+            let device = i % devices;
+            let seq = i / devices;
+            ServeRequest {
+                device,
+                seq,
+                arrival_s: times[device][seq],
+                image: data.images.slice_axis0(i, i + 1),
+                truth: data.labels[i],
+            }
+        })
+        .collect();
+    requests.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).expect("finite arrival times"));
+    requests
+}
+
+/// One served instance, in completion order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Index of the request in the input vector.
+    pub req_id: usize,
+    /// Originating device.
+    pub device: usize,
+    /// Per-device sequence number.
+    pub seq: usize,
+    /// The finished Algorithm-2 record.
+    pub record: InstanceRecord,
+    /// End-to-end latency from (trace) arrival to completion (s).
+    pub latency_s: f64,
+}
+
+/// Aggregate serving statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Requests served.
+    pub total: usize,
+    /// Requests classified by the cloud tier.
+    pub offloaded: usize,
+    /// Wall-clock time from start of dispatch to last completion (s).
+    pub wall_s: f64,
+    /// `total / wall_s`.
+    pub throughput_hz: f64,
+    /// Batched forwards executed by the cloud tier.
+    pub cloud_batches: u64,
+    /// Largest coalesced batch observed.
+    pub max_batch_seen: usize,
+    /// Bytes received by the cloud tier.
+    pub bytes_to_cloud: u64,
+    /// The entropy threshold after the last controller window (None
+    /// without a controller).
+    pub final_threshold: Option<f32>,
+}
+
+/// Everything the serving runtime produces.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// One record per request, in *input vector order* — directly
+    /// comparable against the offline sweep on the same instances.
+    pub records: Vec<InstanceRecord>,
+    /// Per-instance completions in completion order (the stream an
+    /// operator would observe).
+    pub completions: Vec<Completion>,
+    /// Aggregate statistics.
+    pub stats: ServeStats,
+}
+
+impl ServeReport {
+    /// Fraction of requests classified by the cloud.
+    pub fn achieved_beta(&self) -> f64 {
+        if self.stats.total == 0 {
+            0.0
+        } else {
+            self.stats.offloaded as f64 / self.stats.total as f64
+        }
+    }
+
+    /// End-to-end latency distribution over `bins` uniform bins spanning
+    /// the observed range — quantiles come from
+    /// [`Histogram::quantile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no completions or `bins == 0`.
+    pub fn latency_histogram(&self, bins: usize) -> Histogram {
+        let latencies: Vec<f64> = self.completions.iter().map(|c| c.latency_s).collect();
+        Histogram::of_nonnegative(&latencies, bins)
+    }
+}
+
+/// An instance travelling from the dispatcher to an edge worker.
+#[derive(Debug)]
+struct EdgeJob<'a> {
+    req_id: usize,
+    req: &'a ServeRequest,
+    due: Instant,
+}
+
+/// An offloaded instance travelling from an edge worker to a cloud worker.
+#[derive(Debug)]
+struct CloudJob {
+    req_id: usize,
+    device: usize,
+    seq: usize,
+    bytes: bytes::Bytes,
+    pending: PendingCloud,
+    due: Instant,
+}
+
+/// Shared (mutexed) routing policy state: the engine all edge workers
+/// consult, plus the controller feedback loop.
+struct PolicyState {
+    engine: RoutingEngine,
+    controller: Option<ThresholdController>,
+    window: usize,
+    seen: usize,
+    offloaded: usize,
+}
+
+impl PolicyState {
+    fn new(cfg: &ServeConfig, cloud_available: bool) -> PolicyState {
+        let (policy, controller, window) = match cfg.controller {
+            Some(cc) => {
+                assert!(cc.window > 0, "controller window must be non-empty");
+                (OffloadPolicy::EntropyThreshold(cc.controller.threshold()), Some(cc.controller), cc.window)
+            }
+            None => (cfg.policy, None, 0),
+        };
+        PolicyState {
+            engine: RoutingEngine::new(policy, cloud_available),
+            controller,
+            window,
+            seen: 0,
+            offloaded: 0,
+        }
+    }
+
+    /// Feeds one routing decision back into the controller; when a window
+    /// fills, the threshold (and the engine's policy) is retuned.
+    fn observe(&mut self, offloaded: bool) {
+        let Some(ctrl) = &mut self.controller else { return };
+        self.seen += 1;
+        self.offloaded += usize::from(offloaded);
+        if self.seen == self.window {
+            let t = ctrl.observe_window(self.offloaded, self.seen);
+            self.engine.set_policy(OffloadPolicy::EntropyThreshold(t));
+            self.seen = 0;
+            self.offloaded = 0;
+        }
+    }
+}
+
+/// Cloud-tier counters, merged under a mutex by the cloud workers.
+#[derive(Debug, Default)]
+struct CloudCounters {
+    batches: u64,
+    max_batch: usize,
+    bytes: u64,
+}
+
+/// Coalesces queued items into a batch: blocks for the first item, then
+/// drains greedily up to `max_batch`, waiting at most `max_wait` for
+/// stragglers. Returns `None` once the channel is closed and drained.
+fn coalesce<T>(rx: &Receiver<T>, max_batch: usize, max_wait: Duration) -> Option<Vec<T>> {
+    let first = rx.recv().ok()?;
+    let mut batch = vec![first];
+    let deadline = Instant::now() + max_wait;
+    while batch.len() < max_batch {
+        let now = Instant::now();
+        if now >= deadline {
+            match rx.try_recv() {
+                Ok(item) => batch.push(item),
+                Err(_) => break,
+            }
+        } else {
+            match rx.recv_timeout(deadline - now) {
+                Ok(item) => batch.push(item),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+    Some(batch)
+}
+
+/// Runs the serving runtime to completion over a request trace.
+///
+/// `edges` and `clouds` are per-worker model replicas (`edges[w]` serves
+/// edge worker `w`); replicate a trained system onto them with
+/// `MeaNet::replicate_into` / `mea_nn::StateDict::from_cnn` so every
+/// worker answers identically. Requests must be sorted by `arrival_s`
+/// (see [`trace_requests`]); the dispatcher paces them in real time.
+///
+/// # Panics
+///
+/// Panics on inconsistent configuration: worker counts not matching the
+/// replica slices, zero edge workers, `max_batch == 0`, an offloading
+/// policy with no cloud workers, unsorted arrivals, or images that are
+/// not single-instance `[1, C, H, W]` batches.
+pub fn serve(
+    cfg: &ServeConfig,
+    edges: &mut [MeaNet],
+    clouds: &mut [SegmentedCnn],
+    requests: &[ServeRequest],
+) -> ServeReport {
+    assert!(cfg.edge_workers > 0, "need at least one edge worker");
+    assert_eq!(cfg.edge_workers, edges.len(), "one MeaNet replica per edge worker");
+    assert_eq!(cfg.cloud_workers, clouds.len(), "one cloud replica per cloud worker");
+    assert!(cfg.max_batch > 0, "max_batch must be at least 1");
+    assert!(cfg.queue_depth > 0, "queues need capacity");
+    assert!(
+        requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        "requests must be sorted by arrival time"
+    );
+    for r in requests {
+        assert!(r.arrival_s >= 0.0, "negative arrival time");
+        assert_eq!(r.image.dims()[0], 1, "requests carry single-instance [1, C, H, W] images");
+    }
+
+    let n = requests.len();
+    let cloud_available = cfg.cloud_workers > 0;
+    let policy_state = Mutex::new(PolicyState::new(cfg, cloud_available));
+    let cloud_counters = Mutex::new(CloudCounters::default());
+
+    let (done_tx, done_rx) = unbounded::<Completion>();
+    let mut cloud_txs: Vec<Sender<CloudJob>> = Vec::with_capacity(cfg.cloud_workers);
+    let mut cloud_rxs: Vec<Receiver<CloudJob>> = Vec::with_capacity(cfg.cloud_workers);
+    for _ in 0..cfg.cloud_workers {
+        let (tx, rx) = bounded(cfg.queue_depth);
+        cloud_txs.push(tx);
+        cloud_rxs.push(rx);
+    }
+    let mut edge_txs: Vec<Sender<EdgeJob<'_>>> = Vec::with_capacity(cfg.edge_workers);
+    let mut edge_rxs: Vec<Receiver<EdgeJob<'_>>> = Vec::with_capacity(cfg.edge_workers);
+    for _ in 0..cfg.edge_workers {
+        let (tx, rx) = bounded(cfg.queue_depth);
+        edge_txs.push(tx);
+        edge_rxs.push(rx);
+    }
+
+    let t0 = Instant::now();
+    let completions = crossbeam::thread::scope(|scope| {
+        for (rx, cloud) in cloud_rxs.into_iter().zip(clouds.iter_mut()) {
+            let dtx = done_tx.clone();
+            let counters = &cloud_counters;
+            scope.spawn(move |_| cloud_worker(cfg, cloud, rx, dtx, counters));
+        }
+        for (rx, net) in edge_rxs.into_iter().zip(edges.iter_mut()) {
+            let ctxs = cloud_txs.clone();
+            let dtx = done_tx.clone();
+            let shared = &policy_state;
+            scope.spawn(move |_| edge_worker(cfg, net, rx, ctxs, dtx, shared));
+        }
+        drop(cloud_txs);
+        drop(done_tx);
+
+        // Dispatch: pace the trace in real time, device-sticky routing.
+        for (req_id, req) in requests.iter().enumerate() {
+            let due = t0 + Duration::from_secs_f64(req.arrival_s);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            edge_txs[req.device % cfg.edge_workers].send(EdgeJob { req_id, req, due }).expect("edge worker alive");
+        }
+        drop(edge_txs);
+
+        // Collect every completion (workers drain and shut down as the
+        // channels close behind the dispatcher).
+        let mut completions = Vec::with_capacity(n);
+        for _ in 0..n {
+            completions.push(done_rx.recv().expect("completion for every request"));
+        }
+        completions
+    })
+    .expect("serving runtime panicked");
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut records: Vec<Option<InstanceRecord>> = vec![None; n];
+    for c in &completions {
+        assert!(records[c.req_id].is_none(), "request {} completed twice", c.req_id);
+        records[c.req_id] = Some(c.record);
+    }
+    let records: Vec<InstanceRecord> = records.into_iter().map(|r| r.expect("every request served")).collect();
+
+    let offloaded = records.iter().filter(|r| r.exit == ExitPoint::Cloud).count();
+    let counters = cloud_counters.into_inner();
+    let final_threshold = {
+        let st = policy_state.into_inner();
+        st.controller.map(|c| c.threshold())
+    };
+    let stats = ServeStats {
+        total: n,
+        offloaded,
+        wall_s,
+        throughput_hz: if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 },
+        cloud_batches: counters.batches,
+        max_batch_seen: counters.max_batch,
+        bytes_to_cloud: counters.bytes,
+        final_threshold,
+    };
+    ServeReport { records, completions, stats }
+}
+
+/// Edge worker loop: route each request through the shared engine,
+/// finish main/extension exits locally, ship cloud exits to the sticky
+/// cloud worker.
+fn edge_worker(
+    cfg: &ServeConfig,
+    net: &mut MeaNet,
+    rx: Receiver<EdgeJob<'_>>,
+    cloud_txs: Vec<Sender<CloudJob>>,
+    done_tx: Sender<Completion>,
+    shared: &Mutex<PolicyState>,
+) {
+    // Without a controller the policy never changes: take a private copy
+    // of the engine once and keep the hot path lock-free. With one, the
+    // lock both serves the current threshold and feeds the window back.
+    let static_engine: Option<RoutingEngine> = {
+        let st = shared.lock();
+        st.controller.is_none().then_some(st.engine)
+    };
+    while let Ok(job) = rx.recv() {
+        let req = job.req;
+        let main = RoutingEngine::evaluate_main(net, &req.image);
+        let route = match &static_engine {
+            Some(engine) => engine.plan(net, &main).routes[0],
+            None => {
+                let mut st = shared.lock();
+                let route = st.engine.plan(net, &main).routes[0];
+                st.observe(route == ExitPoint::Cloud);
+                route
+            }
+        };
+        match route {
+            ExitPoint::Cloud => {
+                let payload = match cfg.wire {
+                    WireFormat::Float32 => Payload::Features { features: req.image.clone() },
+                    WireFormat::Quantised8Bit => Payload::RawImage { image: req.image.clone() },
+                };
+                let job = CloudJob {
+                    req_id: job.req_id,
+                    device: req.device,
+                    seq: req.seq,
+                    bytes: payload.encode(),
+                    pending: PendingCloud::from_main(net, &main, 0, req.truth),
+                    due: job.due,
+                };
+                cloud_txs[req.device % cloud_txs.len()].send(job).expect("cloud worker alive");
+            }
+            exit => {
+                let prediction = match exit {
+                    ExitPoint::Extension => RoutingEngine::finish_extension(net, &req.image, &main, &[0])[0],
+                    _ => main.preds[0],
+                };
+                let record = RoutingEngine::local_record(net, &main, 0, exit, prediction, req.truth);
+                let completion = Completion {
+                    req_id: job.req_id,
+                    device: req.device,
+                    seq: req.seq,
+                    record,
+                    latency_s: job.due.elapsed().as_secs_f64(),
+                };
+                done_tx.send(completion).expect("collector alive");
+            }
+        }
+    }
+}
+
+/// Cloud worker loop: coalesce queued payloads, pay the (optional) link
+/// delay, run one batched forward, complete every record in the batch.
+fn cloud_worker(
+    cfg: &ServeConfig,
+    cloud: &mut SegmentedCnn,
+    rx: Receiver<CloudJob>,
+    done_tx: Sender<Completion>,
+    counters: &Mutex<CloudCounters>,
+) {
+    while let Some(batch) = coalesce(&rx, cfg.max_batch, cfg.max_wait) {
+        let batch_bytes: u64 = batch.iter().map(|j| j.bytes.len() as u64).sum();
+        {
+            let mut c = counters.lock();
+            c.batches += 1;
+            c.max_batch = c.max_batch.max(batch.len());
+            c.bytes += batch_bytes;
+        }
+        if let Some(link) = &cfg.link {
+            std::thread::sleep(Duration::from_secs_f64(link.upload_time_s(batch_bytes) + link.rtt_s));
+        }
+        let tensors: Vec<Tensor> = batch.iter().map(|j| Payload::decode(j.bytes.clone()).into_tensor()).collect();
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let stacked = Tensor::concat_axis0(&refs);
+        let preds = RoutingEngine::classify_cloud(cloud, &stacked);
+        for (job, pred) in batch.into_iter().zip(preds) {
+            let completion = Completion {
+                req_id: job.req_id,
+                device: job.device,
+                seq: job.seq,
+                record: job.pending.complete(pred),
+                latency_s: job.due.elapsed().as_secs_f64(),
+            };
+            done_tx.send(completion).expect("collector alive");
+        }
+    }
+}
+
+/// Generic payload pipeline: round-robins encoded payloads across
+/// `workers` dynamic-batching consumers and returns the classifications
+/// in request order — the transport skeleton of the cloud tier, exposed
+/// so [`crate::sim::run_threaded`] is literally the
+/// `workers: 1, max_batch: 1` special case of the serving substrate.
+///
+/// # Panics
+///
+/// Panics if `workers == 0` or `max_batch == 0`, or when a worker thread
+/// panics.
+pub fn run_payload_pipeline(
+    payloads: Vec<Payload>,
+    workers: usize,
+    max_batch: usize,
+    max_wait: Duration,
+    queue_depth: usize,
+    classify: impl Fn(&Payload) -> usize + Send + Sync,
+) -> (Vec<usize>, ThreadedStats) {
+    assert!(workers > 0, "need at least one worker");
+    assert!(max_batch > 0, "max_batch must be at least 1");
+    let n = payloads.len();
+    let stats = Mutex::new(ThreadedStats::default());
+    let (resp_tx, resp_rx) = unbounded::<(usize, usize)>();
+    let mut txs = Vec::with_capacity(workers);
+    let mut rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = bounded::<(usize, bytes::Bytes)>(queue_depth);
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let mut results = vec![0usize; n];
+    crossbeam::thread::scope(|scope| {
+        for rx in rxs {
+            let tx = resp_tx.clone();
+            let stats_ref = &stats;
+            let classify_ref = &classify;
+            scope.spawn(move |_| {
+                while let Some(batch) = coalesce(&rx, max_batch, max_wait) {
+                    {
+                        let mut guard = stats_ref.lock();
+                        for (_, buf) in &batch {
+                            guard.bytes_sent += buf.len() as u64;
+                            guard.payloads += 1;
+                        }
+                    }
+                    for (id, buf) in batch {
+                        let payload = Payload::decode(buf);
+                        tx.send((id, classify_ref(&payload))).expect("response channel open");
+                    }
+                }
+            });
+        }
+        drop(resp_tx);
+        for (id, p) in payloads.iter().enumerate() {
+            txs[id % workers].send((id, p.encode())).expect("worker alive");
+        }
+        drop(txs);
+        for _ in 0..n {
+            let (id, pred) = resp_rx.recv().expect("response for every payload");
+            results[id] = pred;
+        }
+    })
+    .expect("payload pipeline panicked");
+
+    (results, stats.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_data::{presets, ClassDict};
+    use mea_nn::models::{resnet_cifar, CifarResNetConfig};
+    use meanet::infer::run_inference;
+    use meanet::infer::{run_inference_with_policy, InferenceConfig};
+    use meanet::model::{AdaptivePlan, Merge, Variant};
+
+    fn tiny_net(seed: u64) -> MeaNet {
+        let mut rng = Rng::new(seed);
+        let mut cfg = CifarResNetConfig::repro_scale(6);
+        cfg.input_hw = 8;
+        let backbone = resnet_cifar(&cfg, &mut rng);
+        let mut net = MeaNet::from_backbone(
+            backbone,
+            Variant::FullBackbone { extension_channels: 8, extension_blocks: 1 },
+            Merge::Sum,
+            &mut rng,
+        );
+        net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, ClassDict::new(&[0, 2, 4]), &mut rng);
+        net
+    }
+
+    fn tiny_cloud(seed: u64) -> SegmentedCnn {
+        let mut rng = Rng::new(seed);
+        let mut cfg = CifarResNetConfig::repro_scale(6);
+        cfg.input_hw = 8;
+        cfg.channels = [16, 24, 32];
+        resnet_cifar(&cfg, &mut rng)
+    }
+
+    fn replicas<T>(count: usize, mut build: impl FnMut() -> T) -> Vec<T> {
+        (0..count).map(|_| build()).collect()
+    }
+
+    fn instant_requests(data: &Dataset, devices: usize) -> Vec<ServeRequest> {
+        let mut rng = Rng::new(0);
+        trace_requests(data, devices, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng)
+    }
+
+    #[test]
+    fn serve_matches_offline_sweep_bitwise() {
+        let bundle = presets::tiny(60);
+        let policy = OffloadPolicy::EntropyThreshold(0.8);
+        let mut offline_net = tiny_net(1);
+        let mut offline_cloud = tiny_cloud(2);
+        let expected =
+            run_inference_with_policy(&mut offline_net, Some(&mut offline_cloud), &bundle.test, policy, 8);
+
+        for (e, c, b) in [(1usize, 1usize, 1usize), (2, 1, 4), (3, 2, 4)] {
+            let mut edges = replicas(e, || tiny_net(1));
+            let mut clouds = replicas(c, || tiny_cloud(2));
+            let cfg = ServeConfig::new(policy, e, c, b);
+            let report = serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 3));
+            assert_eq!(report.records, expected, "serve({e} edge, {c} cloud, batch {b}) diverged");
+            assert_eq!(report.stats.total, bundle.test.len());
+        }
+    }
+
+    #[test]
+    fn pipeline_config_is_the_degenerate_case() {
+        let cfg = ServeConfig::pipeline(OffloadPolicy::Always);
+        assert_eq!((cfg.edge_workers, cfg.cloud_workers, cfg.max_batch), (1, 1, 1));
+    }
+
+    #[test]
+    fn edge_only_serving_needs_no_cloud_replicas() {
+        let bundle = presets::tiny(61);
+        let mut edges = replicas(2, || tiny_net(3));
+        let cfg = ServeConfig::new(OffloadPolicy::Never, 2, 0, 1);
+        let report = serve(&cfg, &mut edges, &mut [], &instant_requests(&bundle.test, 2));
+        assert_eq!(report.stats.offloaded, 0);
+        assert!(report.records.iter().all(|r| r.exit != ExitPoint::Cloud));
+        let mut net = tiny_net(3);
+        let expected = run_inference(&mut net, None, &bundle.test, &InferenceConfig::edge_only(8));
+        assert_eq!(report.records, expected);
+    }
+
+    #[test]
+    fn dynamic_batching_actually_batches_under_saturation() {
+        let bundle = presets::tiny(62);
+        let mut edges = replicas(1, || tiny_net(4));
+        let mut clouds = replicas(1, || tiny_cloud(5));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 8);
+        // A generous wait so queued items coalesce even on a slow host.
+        cfg.max_wait = Duration::from_millis(2);
+        cfg.queue_depth = 16;
+        let report = serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1));
+        assert_eq!(report.stats.offloaded, report.stats.total);
+        assert!(
+            report.stats.cloud_batches < report.stats.offloaded as u64 || report.stats.total <= 1,
+            "no coalescing happened: {} batches for {} offloads",
+            report.stats.cloud_batches,
+            report.stats.offloaded
+        );
+        assert!(report.stats.max_batch_seen >= 2);
+    }
+
+    #[test]
+    fn controller_steers_beta_in_the_serving_path() {
+        let bundle = presets::tiny(63);
+        let mut edges = replicas(1, || tiny_net(6));
+        let mut clouds = replicas(1, || tiny_cloud(7));
+        let target = 0.5;
+        let mut cfg = ServeConfig::new(OffloadPolicy::Never, 1, 1, 4);
+        cfg.controller = Some(ControllerConfig {
+            controller: ThresholdController::new(1.0, target, 2.0, (0.0, 3.0)),
+            window: 8,
+        });
+        // Repeat the tiny set to give the controller windows to converge.
+        let mut requests = Vec::new();
+        for rep in 0..6 {
+            for mut r in instant_requests(&bundle.test, 2) {
+                r.seq += rep * bundle.test.len();
+                requests.push(r);
+            }
+        }
+        let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+        assert!(report.stats.final_threshold.is_some());
+        let beta = report.achieved_beta();
+        assert!((beta - target).abs() < 0.25, "controller failed to steer beta toward {target}: achieved {beta}");
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_are_ordered() {
+        let bundle = presets::tiny(64);
+        let mut edges = replicas(1, || tiny_net(8));
+        let mut clouds = replicas(1, || tiny_cloud(9));
+        let cfg = ServeConfig::new(OffloadPolicy::EntropyThreshold(0.5), 1, 1, 2);
+        let report = serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2));
+        let h = report.latency_histogram(128);
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+        assert!(report.stats.throughput_hz > 0.0);
+    }
+
+    #[test]
+    fn simulated_link_delay_shows_up_in_latency() {
+        let bundle = presets::tiny(65);
+        let n = bundle.test.len();
+        let run = |link: Option<NetworkLink>| {
+            let mut edges = replicas(1, || tiny_net(10));
+            let mut clouds = replicas(1, || tiny_cloud(11));
+            let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 4);
+            cfg.link = link;
+            serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1))
+        };
+        let fast = run(None);
+        let slow = run(Some(NetworkLink::wifi(8.0).with_rtt(0.004)));
+        assert_eq!(fast.records, slow.records, "link delay must not change predictions");
+        let mean = |r: &ServeReport| r.completions.iter().map(|c| c.latency_s).sum::<f64>() / n as f64;
+        assert!(mean(&slow) > mean(&fast), "simulated RTT should add latency: {} vs {}", mean(&slow), mean(&fast));
+    }
+
+    #[test]
+    fn quantised_wire_serves_everything_and_mostly_agrees_with_lossless() {
+        let bundle = presets::tiny(69);
+        let run = |wire: WireFormat| {
+            let mut edges = replicas(2, || tiny_net(14));
+            let mut clouds = replicas(1, || tiny_cloud(15));
+            let mut cfg = ServeConfig::new(OffloadPolicy::Always, 2, 1, 4);
+            cfg.wire = wire;
+            serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2))
+        };
+        let lossless = run(WireFormat::Float32);
+        let quantised = run(WireFormat::Quantised8Bit);
+        assert_eq!(quantised.records.len(), lossless.records.len());
+        assert!(quantised.records.iter().all(|r| r.exit == ExitPoint::Cloud));
+        // The 1-byte codec shrinks the upload roughly 4x (f32 -> u8).
+        assert!(quantised.stats.bytes_to_cloud * 3 < lossless.stats.bytes_to_cloud);
+        // Edge-side fields are computed before quantisation: identical.
+        for (q, l) in quantised.records.iter().zip(&lossless.records) {
+            assert_eq!(q.truth, l.truth);
+            assert_eq!(q.entropy, l.entropy);
+            assert_eq!(q.main_prediction, l.main_prediction);
+        }
+        // Cloud predictions may flip on borderline images, but rarely.
+        let n = lossless.records.len();
+        let agree =
+            quantised.records.iter().zip(&lossless.records).filter(|(q, l)| q.prediction == l.prediction).count();
+        assert!(agree * 4 >= n * 3, "8-bit wire flipped too many predictions: {agree}/{n}");
+    }
+
+    #[test]
+    fn trace_requests_cover_the_dataset_in_order() {
+        let bundle = presets::tiny(66);
+        let mut rng = Rng::new(1);
+        let reqs = trace_requests(&bundle.test, 4, &ArrivalModel::Poisson { rate_hz: 100.0 }, &mut rng);
+        assert_eq!(reqs.len(), bundle.test.len());
+        assert!(reqs.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        // Per-device seq numbers are contiguous from 0.
+        for d in 0..4 {
+            let mut seqs: Vec<usize> = reqs.iter().filter(|r| r.device == d).map(|r| r.seq).collect();
+            seqs.sort_unstable();
+            assert_eq!(seqs, (0..seqs.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn unsorted_requests_rejected() {
+        let bundle = presets::tiny(67);
+        let mut reqs = instant_requests(&bundle.test, 1);
+        reqs[0].arrival_s = 1.0;
+        let mut edges = replicas(1, || tiny_net(12));
+        let _ = serve(&ServeConfig::new(OffloadPolicy::Never, 1, 0, 1), &mut edges, &mut [], &reqs);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a cloud model")]
+    fn offload_policy_without_cloud_workers_rejected() {
+        let bundle = presets::tiny(68);
+        let mut edges = replicas(1, || tiny_net(13));
+        let reqs = instant_requests(&bundle.test, 1);
+        let _ = serve(&ServeConfig::new(OffloadPolicy::Always, 1, 0, 1), &mut edges, &mut [], &reqs);
+    }
+
+    #[test]
+    fn payload_pipeline_round_trips_in_order_across_workers() {
+        let mut rng = Rng::new(0);
+        let payloads: Vec<Payload> = (0..12)
+            .map(|i| {
+                let t = Tensor::randn([3, 4, 4], 1.0, &mut rng).map(|v| v + i as f32);
+                Payload::Features { features: t }
+            })
+            .collect();
+        let expected_bytes: u64 = payloads.iter().map(|p| p.wire_size_bytes()).sum();
+        for workers in [1usize, 3] {
+            let (results, stats) =
+                run_payload_pipeline(payloads.clone(), workers, 4, Duration::from_millis(1), 4, |p| {
+                    p.tensor().sum().clamp(0.0, 11.0) as usize
+                });
+            assert_eq!(results.len(), 12);
+            assert_eq!(stats.payloads, 12);
+            assert_eq!(stats.bytes_sent, expected_bytes);
+            let (serial, _) = run_payload_pipeline(payloads.clone(), 1, 1, Duration::ZERO, 4, |p| {
+                p.tensor().sum().clamp(0.0, 11.0) as usize
+            });
+            assert_eq!(results, serial, "worker/batch configuration changed results");
+        }
+    }
+}

@@ -13,15 +13,19 @@
 //!   encodes [`Payload`]s onto a bounded crossbeam channel, a cloud worker
 //!   thread decodes and classifies, and responses flow back over a second
 //!   channel. Used by integration tests to prove the wire format and
-//!   routing logic work end to end, not just in closed form.
+//!   routing logic work end to end, not just in closed form. Since the
+//!   serving runtime landed this is just the
+//!   `workers: 1, max_batch: 1` special case of
+//!   [`crate::serve::run_payload_pipeline`].
 
 use crate::device::DeviceProfile;
 use crate::energy::EnergyReport;
 use crate::network::NetworkLink;
 use crate::payload::Payload;
+use mea_metrics::Histogram;
 use meanet::ExitPoint;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// Static parameters of a virtual-clock simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -127,11 +131,12 @@ pub fn simulate(cfg: &SimConfig, routes: &[ExitPoint]) -> SimReport {
         timings.push(InstanceTiming { arrival_s: arrival, completion_s: done });
     }
 
-    let mut latencies: Vec<f64> = timings.iter().map(InstanceTiming::latency_s).collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let latencies: Vec<f64> = timings.iter().map(InstanceTiming::latency_s).collect();
     let makespan_s = timings.iter().map(|t| t.completion_s).fold(0.0, f64::max);
     let mean_latency_s = latencies.iter().sum::<f64>() / latencies.len() as f64;
-    let p95_latency_s = latencies[((latencies.len() as f64 * 0.95) as usize).min(latencies.len() - 1)];
+    // Tail latency via the shared finely-binned histogram quantile (the
+    // same estimator the serving runtime reports).
+    let p95_latency_s = Histogram::of_nonnegative(&latencies, 4096).p95();
     SimReport { timings, makespan_s, mean_latency_s, p95_latency_s, energy }
 }
 
@@ -148,44 +153,16 @@ pub struct ThreadedStats {
 /// shipped over a bounded channel, decoded and classified by the cloud
 /// worker; predictions return over a response channel in order.
 ///
+/// This is the degenerate `workers: 1, max_batch: 1` configuration of the
+/// serving substrate (see [`crate::serve::ServeConfig::pipeline`]),
+/// delegating to [`crate::serve::run_payload_pipeline`].
+///
 /// `classify` runs on the cloud thread and must be `Send + Sync`.
 pub fn run_threaded(
     payloads: Vec<Payload>,
     classify: impl Fn(&Payload) -> usize + Send + Sync,
 ) -> (Vec<usize>, ThreadedStats) {
-    let stats = Mutex::new(ThreadedStats::default());
-    let (tx, rx) = crossbeam::channel::bounded::<bytes::Bytes>(4);
-    let (resp_tx, resp_rx) = crossbeam::channel::unbounded::<usize>();
-    let n = payloads.len();
-
-    let mut results = Vec::with_capacity(n);
-    crossbeam::thread::scope(|scope| {
-        // Cloud worker: decode, classify, respond.
-        let stats_ref = &stats;
-        let classify_ref = &classify;
-        scope.spawn(move |_| {
-            while let Ok(buf) = rx.recv() {
-                let mut guard = stats_ref.lock();
-                guard.bytes_sent += buf.len() as u64;
-                guard.payloads += 1;
-                drop(guard);
-                let payload = Payload::decode(buf);
-                let pred = classify_ref(&payload);
-                resp_tx.send(pred).expect("edge response channel open");
-            }
-        });
-        // Edge: stream payloads, then collect all responses.
-        for p in &payloads {
-            tx.send(p.encode()).expect("cloud request channel open");
-        }
-        drop(tx); // close the channel so the worker terminates
-        for _ in 0..n {
-            results.push(resp_rx.recv().expect("response for every payload"));
-        }
-    })
-    .expect("threaded pipeline panicked");
-
-    (results, stats.into_inner())
+    crate::serve::run_payload_pipeline(payloads, 1, 1, Duration::ZERO, 4, classify)
 }
 
 #[cfg(test)]

@@ -1,0 +1,127 @@
+//! Property-based tests on the serving runtime: per-device response
+//! ordering under dynamic batching, and record equivalence with the
+//! offline sweep under arbitrary worker/batch configurations.
+
+use mea_data::{presets, ClassDict};
+use mea_edgecloud::serve::{serve, trace_requests, ServeConfig};
+use mea_edgecloud::traces::ArrivalModel;
+use mea_nn::models::{resnet_cifar, CifarResNetConfig, SegmentedCnn};
+use mea_tensor::Rng;
+use meanet::infer::run_inference_with_policy;
+use meanet::model::{AdaptivePlan, MeaNet, Merge, Variant};
+use meanet::{ExitPoint, OffloadPolicy};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn tiny_net(seed: u64) -> MeaNet {
+    let mut rng = Rng::new(seed);
+    let mut cfg = CifarResNetConfig::repro_scale(6);
+    cfg.input_hw = 8;
+    let backbone = resnet_cifar(&cfg, &mut rng);
+    let mut net = MeaNet::from_backbone(
+        backbone,
+        Variant::FullBackbone { extension_channels: 8, extension_blocks: 1 },
+        Merge::Sum,
+        &mut rng,
+    );
+    net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, ClassDict::new(&[0, 2, 4]), &mut rng);
+    net
+}
+
+fn tiny_cloud(seed: u64) -> SegmentedCnn {
+    let mut rng = Rng::new(seed);
+    let mut cfg = CifarResNetConfig::repro_scale(6);
+    cfg.input_hw = 8;
+    cfg.channels = [16, 24, 32];
+    resnet_cifar(&cfg, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Dynamic batching never reorders responses *per device*: within one
+    /// device's stream, cloud completions come back in sequence order and
+    /// local completions come back in sequence order, whatever the worker
+    /// topology, batch cap or coalescing wait. (A local exit may overtake
+    /// an earlier in-flight offload — that cross-exit interleaving is
+    /// inherent to early-exit serving — but the cloud path itself is
+    /// device-FIFO end to end.)
+    #[test]
+    fn dynamic_batching_preserves_per_device_order(
+        devices in 1usize..5,
+        edge_workers in 1usize..4,
+        cloud_workers in 1usize..4,
+        max_batch in 1usize..9,
+        wait_us in 0u64..2000,
+        threshold in 0.0f32..2.0,
+    ) {
+        let bundle = presets::tiny(70);
+        let mut rng = Rng::new(5);
+        let requests =
+            trace_requests(&bundle.test, devices, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+        let mut edges: Vec<MeaNet> = (0..edge_workers).map(|_| tiny_net(21)).collect();
+        let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|_| tiny_cloud(22)).collect();
+        let mut cfg = ServeConfig::new(
+            OffloadPolicy::EntropyThreshold(threshold),
+            edge_workers,
+            cloud_workers,
+            max_batch,
+        );
+        cfg.max_wait = Duration::from_micros(wait_us);
+        let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+        prop_assert_eq!(report.completions.len(), requests.len());
+
+        for d in 0..devices {
+            let mut last_cloud_seq = None;
+            let mut last_local_seq = None;
+            for c in report.completions.iter().filter(|c| c.device == d) {
+                let slot = if c.record.exit == ExitPoint::Cloud {
+                    &mut last_cloud_seq
+                } else {
+                    &mut last_local_seq
+                };
+                if let Some(prev) = *slot {
+                    prop_assert!(
+                        c.seq > prev,
+                        "device {} exit {:?}: seq {} completed after seq {}",
+                        d, c.record.exit, c.seq, prev
+                    );
+                }
+                *slot = Some(c.seq);
+            }
+        }
+    }
+
+    /// Whatever the configuration, the records equal the sequential
+    /// offline sweep's — worker scheduling is invisible in the output.
+    #[test]
+    fn any_configuration_matches_the_offline_sweep(
+        devices in 1usize..4,
+        edge_workers in 1usize..4,
+        cloud_workers in 1usize..3,
+        max_batch in 1usize..6,
+        batch_size in 1usize..17,
+        threshold in 0.0f32..2.0,
+    ) {
+        let bundle = presets::tiny(71);
+        let policy = OffloadPolicy::EntropyThreshold(threshold);
+        let mut offline_net = tiny_net(23);
+        let mut offline_cloud = tiny_cloud(24);
+        let expected = run_inference_with_policy(
+            &mut offline_net,
+            Some(&mut offline_cloud),
+            &bundle.test,
+            policy,
+            batch_size,
+        );
+
+        let mut rng = Rng::new(6);
+        let requests =
+            trace_requests(&bundle.test, devices, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+        let mut edges: Vec<MeaNet> = (0..edge_workers).map(|_| tiny_net(23)).collect();
+        let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|_| tiny_cloud(24)).collect();
+        let cfg = ServeConfig::new(policy, edge_workers, cloud_workers, max_batch);
+        let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+        prop_assert_eq!(report.records, expected);
+    }
+}

@@ -129,4 +129,26 @@ mod tests {
         assert_eq!(y.dims(), &[2, 5]);
         assert_eq!(head.param_count(), 8 * 5 + 5);
     }
+
+    #[test]
+    fn eval_forward_is_bitwise_per_sample_independent() {
+        // The serving runtime's dynamic batcher coalesces whatever happens
+        // to be queued, so a row of a batched eval forward must equal the
+        // same instance's single-image forward bit for bit — otherwise
+        // batching would change predictions depending on queue timing.
+        let mut rng = Rng::new(3);
+        let cfg = CifarResNetConfig::repro_scale(6);
+        let mut net = resnet_cifar(&cfg, &mut rng);
+        let batch = Tensor::randn([5, 3, cfg.input_hw, cfg.input_hw], 1.0, &mut rng);
+        let full = net.forward(&batch, Mode::Eval);
+        for i in 0..5 {
+            let single = net.forward(&batch.slice_axis0(i, i + 1), Mode::Eval);
+            assert_eq!(single.row(0), full.row(i), "sample {i} depends on its batch neighbours");
+        }
+        // And on an arbitrary sub-batch (different size, different order).
+        let sub = batch.gather_axis0(&[3, 1]);
+        let sub_out = net.forward(&sub, Mode::Eval);
+        assert_eq!(sub_out.row(0), full.row(3));
+        assert_eq!(sub_out.row(1), full.row(1));
+    }
 }

@@ -1,0 +1,114 @@
+//! The serving runtime and the offline sweep must be the same system:
+//! for any worker/batch configuration, `edgecloud::serve` over a trained
+//! MEANet must produce exactly the `InstanceRecord`s that sequential
+//! `run_inference` produces on the same dataset and policy — dynamic
+//! batching, worker scheduling and the wire format may not change a
+//! single prediction, entropy or exit.
+
+use mea_edgecloud::serve::{serve, trace_requests, ServeConfig};
+use mea_edgecloud::traces::ArrivalModel;
+use mea_nn::models::SegmentedCnn;
+use mea_nn::StateDict;
+use mea_tensor::Rng;
+use meanet::infer::run_inference_with_policy;
+use meanet::pipeline::{BackboneChoice, Pipeline, PipelineConfig};
+use meanet::{MeaNet, OffloadPolicy};
+
+/// Trains a tiny model-B system and returns builders for bitwise replicas
+/// of the edge net and the cloud net.
+fn trained_system() -> (Pipeline, PipelineConfig, mea_data::synth::DatasetBundle) {
+    let bundle = mea_data::presets::tiny(77);
+    let mut cfg = PipelineConfig::repro_resnet_b(6, 3, 7);
+    if let BackboneChoice::CifarResNet(ref mut c) = cfg.backbone {
+        c.input_hw = 8;
+    }
+    if let Some(BackboneChoice::CifarResNet(ref mut c)) = cfg.cloud {
+        c.input_hw = 8;
+    }
+    let pipe = Pipeline::run(&cfg, &bundle.train);
+    (pipe, cfg, bundle)
+}
+
+/// Builds `count` bitwise replicas of the pipeline's trained MEANet by
+/// assembling fresh same-architecture nets and copying the state over.
+fn edge_replicas(pipe: &mut Pipeline, cfg: &PipelineConfig, count: usize) -> Vec<MeaNet> {
+    let dict = pipe.net.hard_dict().expect("trained pipeline").clone();
+    (0..count)
+        .map(|i| {
+            let mut rng = Rng::new(1000 + i as u64);
+            let backbone = cfg.backbone.build(&mut rng);
+            let mut replica = MeaNet::from_backbone(backbone, cfg.variant, cfg.merge, &mut rng);
+            replica.attach_edge_blocks(cfg.adaptive, dict.clone(), &mut rng);
+            pipe.net.replicate_into(&mut replica);
+            replica
+        })
+        .collect()
+}
+
+/// Builds `count` bitwise replicas of the trained cloud DNN.
+fn cloud_replicas(pipe: &mut Pipeline, cfg: &PipelineConfig, count: usize) -> Vec<SegmentedCnn> {
+    let cloud = pipe.cloud.as_mut().expect("pipeline has a cloud");
+    let state = StateDict::from_cnn(cloud);
+    let choice = cfg.cloud.as_ref().expect("cloud configured");
+    (0..count)
+        .map(|i| {
+            let mut rng = Rng::new(2000 + i as u64);
+            let mut replica = choice.build(&mut rng);
+            state.apply_to_cnn(&mut replica).expect("identical cloud architecture");
+            replica
+        })
+        .collect()
+}
+
+#[test]
+fn serving_runtime_reproduces_sequential_inference_exactly() {
+    let (mut pipe, cfg, bundle) = trained_system();
+    // A mid-range threshold so all three exits actually occur.
+    let mid = 0.5 * (pipe.entropy.mean_correct + pipe.entropy.mean_wrong) as f32;
+    let policy = OffloadPolicy::EntropyThreshold(mid);
+
+    let mut offline_net = edge_replicas(&mut pipe, &cfg, 1);
+    let mut offline_cloud = cloud_replicas(&mut pipe, &cfg, 1);
+    let expected =
+        run_inference_with_policy(&mut offline_net[0], Some(&mut offline_cloud[0]), &bundle.test, policy, 16);
+    let exits: std::collections::HashSet<_> = expected.iter().map(|r| r.exit).collect();
+    assert!(exits.len() >= 2, "threshold {mid} exercised only {exits:?}; test is too weak");
+
+    let mut rng = Rng::new(3);
+    let requests = trace_requests(&bundle.test, 5, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+    for (e, c, b) in [(1usize, 1usize, 1usize), (2, 2, 1), (4, 1, 8), (3, 2, 4)] {
+        let mut edges = edge_replicas(&mut pipe, &cfg, e);
+        let mut clouds = cloud_replicas(&mut pipe, &cfg, c);
+        let serve_cfg = ServeConfig::new(policy, e, c, b);
+        let report = serve(&serve_cfg, &mut edges, &mut clouds, &requests);
+        assert_eq!(
+            report.records, expected,
+            "serve(edge={e}, cloud={c}, max_batch={b}) diverged from the offline sweep"
+        );
+        assert_eq!(report.stats.offloaded, expected.iter().filter(|r| r.exit == meanet::ExitPoint::Cloud).count());
+    }
+}
+
+#[test]
+fn batched_cloud_forward_is_bitwise_stable_across_batch_caps() {
+    // Same trained system, saturating all-offload traffic: whatever batch
+    // sizes the dynamic batcher happens to form, the predictions must be
+    // identical — batching is a throughput knob, never an accuracy knob.
+    let (mut pipe, cfg, bundle) = trained_system();
+    let mut rng = Rng::new(4);
+    let requests = trace_requests(&bundle.test, 3, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+    let mut baseline = None;
+    for max_batch in [1usize, 2, 8] {
+        let mut edges = edge_replicas(&mut pipe, &cfg, 1);
+        let mut clouds = cloud_replicas(&mut pipe, &cfg, 1);
+        let mut serve_cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, max_batch);
+        serve_cfg.max_wait = std::time::Duration::from_millis(1);
+        serve_cfg.queue_depth = 8;
+        let report = serve(&serve_cfg, &mut edges, &mut clouds, &requests);
+        assert_eq!(report.stats.offloaded, report.stats.total);
+        match &baseline {
+            None => baseline = Some(report.records),
+            Some(b) => assert_eq!(&report.records, b, "max_batch={max_batch} changed predictions"),
+        }
+    }
+}

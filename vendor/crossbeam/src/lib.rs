@@ -72,6 +72,16 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`], mirroring
+    /// `crossbeam::channel::RecvTimeoutError`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the timeout elapsed.
+        Timeout,
+        /// All senders hung up and the channel is drained.
+        Disconnected,
+    }
+
     enum Tx<T> {
         Bounded(mpsc::SyncSender<T>),
         Unbounded(mpsc::Sender<T>),
@@ -124,6 +134,15 @@ pub mod channel {
             self.rx.try_recv()
         }
 
+        /// Blocks for the next value at most `timeout` — the primitive a
+        /// dynamic-batching consumer needs to bound its coalescing window.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
         /// Blocking iterator over incoming values until close.
         pub fn iter(&self) -> mpsc::Iter<'_, T> {
             self.rx.iter()
@@ -172,6 +191,17 @@ mod tests {
         })
         .expect("scope");
         assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use std::time::Duration;
+        let (tx, rx) = super::channel::bounded::<u32>(1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(super::channel::RecvTimeoutError::Timeout));
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(7));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(super::channel::RecvTimeoutError::Disconnected));
     }
 
     #[test]
