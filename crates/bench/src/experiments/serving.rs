@@ -5,8 +5,13 @@
 use crate::scale::Scale;
 use mea_data::synth::generate;
 use mea_data::{ClassDict, Dataset};
+use mea_edgecloud::device::DeviceProfile;
 use mea_edgecloud::network::NetworkLink;
-use mea_edgecloud::serve::{serve, trace_requests, ServeConfig, ServeReport, ServeRequest};
+use mea_edgecloud::partition::Objective;
+use mea_edgecloud::serve::{
+    serve, trace_requests, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, PayloadPlan,
+    ServeConfig, ServeReport, ServeRequest, WireFormat,
+};
 use mea_edgecloud::traces::ArrivalModel;
 use mea_metrics::Histogram;
 use mea_nn::models::{resnet_cifar, CifarResNetConfig, SegmentedCnn};
@@ -120,7 +125,8 @@ pub fn serving_throughput(scale: Scale) -> ServingResult {
     let mut served = Vec::new();
     for cloud_workers in [1usize, 2, 4] {
         let edge_workers = 2;
-        let mut edges: Vec<MeaNet> = (0..edge_workers).map(|_| edge_replica(31, &hard)).collect();
+        let mut edges: Vec<EdgeReplica> =
+            (0..edge_workers).map(|_| EdgeReplica::new(edge_replica(31, &hard))).collect();
         let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|_| cloud_replica(32)).collect();
         let mut cfg = ServeConfig::new(policy, edge_workers, cloud_workers, 4);
         cfg.queue_depth = 8;
@@ -138,7 +144,7 @@ pub fn serving_throughput(scale: Scale) -> ServingResult {
     // 16 ms (aggregate ~500 req/s, comfortably under the 4-worker
     // capacity), so end-to-end latency reflects service + batching + link
     // rather than the saturation backlog.
-    let mut edges: Vec<MeaNet> = (0..2).map(|_| edge_replica(31, &hard)).collect();
+    let mut edges: Vec<EdgeReplica> = (0..2).map(|_| EdgeReplica::new(edge_replica(31, &hard))).collect();
     let mut clouds: Vec<SegmentedCnn> = (0..4).map(|_| cloud_replica(32)).collect();
     let mut cfg = ServeConfig::new(policy, 2, 4, 4);
     cfg.queue_depth = 8;
@@ -157,6 +163,118 @@ pub fn serving_throughput(scale: Scale) -> ServingResult {
     served.push(ordered);
 
     ServingResult { rows, paced, offline, served }
+}
+
+/// One payload mode's measurements from the feature-payload experiment.
+#[derive(Debug, Clone)]
+pub struct PayloadModeRow {
+    /// Human-readable mode name.
+    pub mode: &'static str,
+    /// Bytes the cloud tier received.
+    pub bytes_to_cloud: u64,
+    /// Response bytes sent back down.
+    pub bytes_from_cloud: u64,
+    /// MACs the cloud tier executed.
+    pub cloud_macs: u64,
+    /// MACs the cloud tier skipped thanks to edge prefix execution.
+    pub cloud_macs_saved: u64,
+    /// Mean wall-clock service time per request (ms).
+    pub service_ms: f64,
+    /// The cut layer (image modes have none).
+    pub cut: Option<usize>,
+    /// Records produced by the run, in input order.
+    pub records: Vec<InstanceRecord>,
+}
+
+/// Everything the `feature_payload` bench target asserts and reports.
+#[derive(Debug)]
+pub struct FeaturePayloadResult {
+    /// Raw-image upload (the paper's 1-byte-per-pixel baseline).
+    pub image_raw: PayloadModeRow,
+    /// f32 activations at the online-planned cut (lossless).
+    pub feature_f32: PayloadModeRow,
+    /// int8 activations at the deepest cut (`mea-quant` wire codec).
+    pub feature_int8: PayloadModeRow,
+    /// The sequential offline sweep's records (ground truth).
+    pub offline: Vec<InstanceRecord>,
+    /// Requests offloaded to the cloud (identical across modes).
+    pub offloaded: usize,
+    /// Full-forward MACs of the cloud network.
+    pub cloud_total_macs: u64,
+}
+
+/// Runs the same saturating high-offload trace through the three payload
+/// modes: raw-image upload, f32 feature payload at the cut the
+/// [`mea_edgecloud::partition::CutPlanner`] picks online, and int8
+/// feature payload at the deepest cut. Same models, same policy, same
+/// instances — only the wire and the split move.
+pub fn feature_payload(scale: Scale) -> FeaturePayloadResult {
+    let instances = match scale {
+        Scale::Smoke => 96,
+        Scale::Repro | Scale::Full => 384,
+    };
+    let mut data_cfg = scale.cifar100_like(5301);
+    data_cfg.num_classes = 6;
+    data_cfg.num_clusters = 3;
+    data_cfg.image_hw = 8;
+    data_cfg.test_per_class = instances / 6 + 1;
+    let bundle = generate(&data_cfg);
+    let data = bundle.test.subset(&(0..instances.min(bundle.test.len())).collect::<Vec<_>>());
+
+    let hard = [0usize, 2, 4];
+    let mut probe_net = edge_replica(41, &hard);
+    let policy = high_offload_policy(&mut probe_net, &data, 0.8);
+
+    let mut offline_net = edge_replica(41, &hard);
+    let mut offline_cloud = cloud_replica(42);
+    let offline = run_inference_with_policy(&mut offline_net, Some(&mut offline_cloud), &data, policy, 16);
+
+    let mut rng = Rng::new(8);
+    let requests = trace_requests(&data, 8, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+    let link = NetworkLink::wifi(50.0).with_rtt(0.002);
+    let deep_cut = cloud_replica(42).cut_layer_count() - 1;
+
+    let run = |mode: &'static str, payload: PayloadPlan| -> PayloadModeRow {
+        let mut edges: Vec<EdgeReplica> =
+            (0..2).map(|_| EdgeReplica::with_cloud_prefix(edge_replica(41, &hard), cloud_replica(42))).collect();
+        let mut clouds: Vec<SegmentedCnn> = (0..2).map(|_| cloud_replica(42)).collect();
+        let mut cfg = ServeConfig::new(policy, 2, 2, 4);
+        cfg.queue_depth = 8;
+        cfg.link = Some(link);
+        cfg.payload = payload;
+        let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+        PayloadModeRow {
+            mode,
+            bytes_to_cloud: report.stats.bytes_to_cloud,
+            bytes_from_cloud: report.stats.bytes_from_cloud,
+            cloud_macs: report.stats.cloud_macs,
+            cloud_macs_saved: report.stats.cloud_macs_saved,
+            service_ms: 1e3 * report.stats.wall_s / report.stats.total as f64,
+            cut: report.stats.final_cuts.map(|c| c[0]),
+            records: report.records,
+        }
+    };
+
+    let image_raw = run("image (raw 8-bit)", PayloadPlan::Image(WireFormat::Quantised8Bit));
+    let feature_f32 = run(
+        "features f32 @ planned cut",
+        PayloadPlan::Features(FeatureConfig {
+            wire: FeatureWire::F32,
+            cut: CutSelection::Planned(CutPlannerConfig {
+                classes: vec![DeviceProfile::new("edge worker", 15.0, 5e11)],
+                cloud: DeviceProfile::new("cloud worker", 200.0, 1e12),
+                objective: Objective::Latency,
+            }),
+        }),
+    );
+    let feature_int8 = run(
+        "features int8 @ deepest cut",
+        PayloadPlan::Features(FeatureConfig { wire: FeatureWire::Int8, cut: CutSelection::Fixed(deep_cut) }),
+    );
+
+    let offloaded = offline.iter().filter(|r| r.exit == meanet::ExitPoint::Cloud).count();
+    let cloud_total_macs = cloud_replica(42).total_macs();
+    FeaturePayloadResult { image_raw, feature_f32, feature_int8, offline, offloaded, cloud_total_macs }
 }
 
 fn row_from(cloud_workers: usize, report: &ServeReport) -> ServingRow {

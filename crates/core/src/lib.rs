@@ -34,7 +34,7 @@
 //! * [`continual`] — episodic-replay adaptation for newly collected edge
 //!   data, the paper's §III-A suggestion for avoiding catastrophic
 //!   forgetting, with a measurable forgetting protocol.
-//! * [`runtime`] — SPINN-style (reference [42]) runtime adaptation: an
+//! * [`runtime`] — SPINN-style (reference \[42\]) runtime adaptation: an
 //!   integral controller that retunes the entropy threshold between
 //!   windows so the offload fraction tracks a target under input drift.
 //! * [`thresholds`] — the `(µ_correct, µ_wrong)` entropy threshold range.

@@ -82,17 +82,33 @@ pub struct PendingCloud {
     pub main_prediction: usize,
     /// Whether `IsHard(main_prediction)` fired.
     pub detected_hard: bool,
+    /// Cloud-network layer the forward resumes at: `0` means the payload
+    /// is the input image (the cloud computes from pixels); `k > 0` means
+    /// the edge already ran the cloud network's prefix `[0, k)` and the
+    /// payload is the activation at the cut.
+    pub resume_layer: usize,
 }
 
 impl PendingCloud {
-    /// Captures the main-exit side of instance `i`'s record.
+    /// Captures the main-exit side of instance `i`'s record. The resume
+    /// point defaults to `0` (cloud computes from pixels); feature-payload
+    /// paths override it with [`PendingCloud::resume_at`].
     pub fn from_main(net: &MeaNet, main: &MainExit, i: usize, truth: usize) -> PendingCloud {
         PendingCloud {
             truth,
             entropy: main.entropies[i],
             main_prediction: main.preds[i],
             detected_hard: net.is_hard(main.preds[i]),
+            resume_layer: 0,
         }
+    }
+
+    /// Marks the payload as the cloud network's activation at layer
+    /// `cut`, so the cloud resumes its forward there instead of
+    /// recomputing the prefix.
+    pub fn resume_at(mut self, cut: usize) -> PendingCloud {
+        self.resume_layer = cut;
+        self
     }
 
     /// Completes the record with the cloud's prediction.
@@ -220,6 +236,17 @@ impl RoutingEngine {
         cloud.forward(images, Mode::Eval).argmax_rows()
     }
 
+    /// Resumes the cloud network at `resume_layer` over a batch of
+    /// activations shipped from the edge (see
+    /// [`PendingCloud::resume_layer`]) and returns its predictions.
+    /// `resume_layer == 0` is exactly [`RoutingEngine::classify_cloud`]:
+    /// suffix execution is bitwise identical to the full forward
+    /// (asserted in `mea-nn`), so feature payloads cannot change a
+    /// prediction — they only cut the cloud's recompute.
+    pub fn classify_cloud_from(cloud: &mut SegmentedCnn, activations: &Tensor, resume_layer: usize) -> Vec<usize> {
+        cloud.forward_from(activations, resume_layer, Mode::Eval).argmax_rows()
+    }
+
     /// Assembles the record of a locally completed instance (main or
     /// extension exit).
     pub fn local_record(
@@ -317,6 +344,38 @@ mod tests {
         assert!(rec.correct);
         assert_eq!(rec.main_prediction, main.preds[2]);
         assert_eq!(rec.detected_hard, [0, 2, 4].contains(&main.preds[2]));
+    }
+
+    #[test]
+    fn pending_cloud_carries_the_resume_point() {
+        let mut net = tiny_net(4);
+        let bundle = presets::tiny(33);
+        let images = bundle.test.images.slice_axis0(0, 2);
+        let main = RoutingEngine::evaluate_main(&mut net, &images);
+        let pending = PendingCloud::from_main(&net, &main, 1, bundle.test.labels[1]);
+        assert_eq!(pending.resume_layer, 0, "default payload is pixels");
+        let resumed = pending.resume_at(3);
+        assert_eq!(resumed.resume_layer, 3);
+        // The resume point is transport metadata: the finished record is
+        // identical whichever cut produced the cloud prediction.
+        assert_eq!(pending.complete(0), resumed.complete(0));
+    }
+
+    #[test]
+    fn classify_cloud_from_any_cut_matches_full_forward() {
+        use mea_nn::layer::Mode;
+        let mut rng = Rng::new(9);
+        let mut cfg = CifarResNetConfig::repro_scale(6);
+        cfg.input_hw = 8;
+        let mut cloud = resnet_cifar(&cfg, &mut rng);
+        let bundle = presets::tiny(34);
+        let images = bundle.test.images.slice_axis0(0, 6);
+        let expected = RoutingEngine::classify_cloud(&mut cloud, &images);
+        for cut in 0..cloud.cut_layer_count() {
+            let activation = cloud.forward_prefix(&images, cut, Mode::Eval);
+            let preds = RoutingEngine::classify_cloud_from(&mut cloud, &activation, cut);
+            assert_eq!(preds, expected, "resume at layer {cut} changed cloud predictions");
+        }
     }
 
     #[test]

@@ -23,11 +23,12 @@
 //! * [`fleet`] — a multi-device extension of the simulator where many edge
 //!   devices share a bounded pool of cloud servers, quantifying the cloud
 //!   congestion the paper's introduction argues early exits relieve;
-//! * [`serve`] — the *online* counterpart of [`fleet`]: a real multi-worker
+//! * [`mod@serve`] — the *online* counterpart of [`fleet`]: a real multi-worker
 //!   serving runtime (N edge workers, M dynamically batching cloud
 //!   workers over bounded channels) that routes trace-driven traffic
 //!   through a trained MEANet with the same `RoutingEngine` as the
-//!   offline sweep;
+//!   offline sweep, shipping offloads as images or as cut-layer
+//!   activations whose cut the [`partition::CutPlanner`] selects online;
 //! * [`traces`] — seeded arrival-time generators (uniform / Poisson /
 //!   bursty) driving both the fleet simulator and the serving runtime.
 
@@ -49,10 +50,12 @@ pub use device::DeviceProfile;
 pub use energy::{EnergyReport, PerImageCosts};
 pub use fleet::{simulate_fleet, simulate_fleet_with_arrivals, FleetConfig, FleetReport};
 pub use network::{NetworkLink, UploadPowerModel};
-pub use partition::{best_cut, profile_network, sweep_cuts, CutCost, LayerProfile, Objective, PartitionEnv};
+pub use partition::{
+    best_cut, profile_network, sweep_cuts, CutCost, CutPlanner, LayerProfile, Objective, PartitionEnv,
+};
 pub use payload::Payload;
 pub use serve::{
-    serve, trace_requests, Completion, ControllerConfig, ServeConfig, ServeReport, ServeRequest, ServeStats,
-    WireFormat,
+    serve, trace_requests, Completion, ControllerConfig, CutPlannerConfig, CutSelection, EdgeReplica,
+    FeatureConfig, FeatureWire, PayloadPlan, ServeConfig, ServeReport, ServeRequest, ServeStats, WireFormat,
 };
 pub use traces::ArrivalModel;

@@ -33,34 +33,47 @@ impl UploadPowerModel {
     }
 }
 
-/// An uplink: throughput plus the power model, with optional propagation
-/// delay for the latency simulator.
+/// A link: uplink/downlink throughput plus the power model, with optional
+/// propagation delay for the latency simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NetworkLink {
     /// Sustained uplink throughput in Mbps.
     pub throughput_mbps: f64,
+    /// Sustained downlink throughput in Mbps — what the cloud's response
+    /// (prediction, logits) comes back over. Defaults to the uplink rate;
+    /// real access links are usually downlink-heavier, so override with
+    /// [`NetworkLink::with_download`].
+    pub download_mbps: f64,
     /// Radio power model.
     pub power: UploadPowerModel,
-    /// One-way propagation delay in seconds (0 in the paper's energy
-    /// accounting; used by the latency simulator).
+    /// Round-trip propagation delay in seconds (0 in the paper's energy
+    /// accounting; used by the latency simulators — the virtual clock
+    /// charges half in each direction, [`NetworkLink::round_trip_s`]
+    /// charges it once for the full out-and-back).
     pub rtt_s: f64,
 }
 
 impl NetworkLink {
     /// The paper's WiFi link: 18.88 Mb/s average upload speed.
     pub fn wifi_18_88() -> Self {
-        NetworkLink { throughput_mbps: 18.88, power: UploadPowerModel::wifi(), rtt_s: 0.0 }
+        NetworkLink::wifi(18.88)
     }
 
-    /// A WiFi link with a given throughput.
+    /// A WiFi link with a given throughput (symmetric until
+    /// [`NetworkLink::with_download`] says otherwise).
     pub fn wifi(throughput_mbps: f64) -> Self {
-        NetworkLink { throughput_mbps, power: UploadPowerModel::wifi(), rtt_s: 0.0 }
+        NetworkLink {
+            throughput_mbps,
+            download_mbps: throughput_mbps,
+            power: UploadPowerModel::wifi(),
+            rtt_s: 0.0,
+        }
     }
 
     /// An LTE link with a given throughput (Huang et al.'s measured
     /// average LTE uplink was ~5.6 Mb/s).
     pub fn lte(throughput_mbps: f64) -> Self {
-        NetworkLink { throughput_mbps, power: UploadPowerModel::lte(), rtt_s: 0.0 }
+        NetworkLink { throughput_mbps, download_mbps: throughput_mbps, power: UploadPowerModel::lte(), rtt_s: 0.0 }
     }
 
     /// The MobiSys'12 average LTE uplink: 5.64 Mb/s.
@@ -71,6 +84,17 @@ impl NetworkLink {
     /// Adds a propagation delay (builder style).
     pub fn with_rtt(mut self, rtt_s: f64) -> Self {
         self.rtt_s = rtt_s;
+        self
+    }
+
+    /// Sets an asymmetric downlink rate (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is non-positive.
+    pub fn with_download(mut self, download_mbps: f64) -> Self {
+        assert!(download_mbps > 0.0, "downlink throughput must be positive");
+        self.download_mbps = download_mbps;
         self
     }
 
@@ -87,6 +111,21 @@ impl NetworkLink {
     /// Joules spent by the edge radio to upload `bytes`.
     pub fn upload_energy_j(&self, bytes: u64) -> f64 {
         self.upload_power_w() * self.upload_time_s(bytes)
+    }
+
+    /// Seconds to pull `bytes` down the link (serialisation time of the
+    /// cloud's response).
+    pub fn download_time_s(&self, bytes: u64) -> f64 {
+        (bytes as f64 * 8.0) / (self.download_mbps * 1e6)
+    }
+
+    /// End-to-end communication time of one offload round trip: upload
+    /// the payload, cross the propagation delay, pull the response back.
+    /// The original model charged upload + RTT only, which silently
+    /// favoured strategies with chatty responses (e.g. full logit vectors)
+    /// when comparing feature- against image-payload offloading.
+    pub fn round_trip_s(&self, upload_bytes: u64, response_bytes: u64) -> f64 {
+        self.upload_time_s(upload_bytes) + self.rtt_s + self.download_time_s(response_bytes)
     }
 }
 
@@ -134,6 +173,27 @@ mod tests {
         let fast = NetworkLink::wifi(50.0);
         assert!(fast.upload_power_w() > slow.upload_power_w());
         assert!(fast.upload_energy_j(10_000) < slow.upload_energy_j(10_000));
+    }
+
+    #[test]
+    fn download_defaults_symmetric_and_overrides() {
+        let link = NetworkLink::wifi(10.0);
+        assert!((link.download_time_s(1000) - link.upload_time_s(1000)).abs() < 1e-15);
+        let fat_down = link.with_download(100.0);
+        assert!(fat_down.download_time_s(1000) < link.download_time_s(1000) / 5.0);
+        // The upload leg is untouched by the downlink override.
+        assert!((fat_down.upload_time_s(1000) - link.upload_time_s(1000)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn round_trip_charges_both_legs_and_the_rtt() {
+        let link = NetworkLink::wifi(8.0).with_rtt(0.01).with_download(80.0);
+        let up = link.upload_time_s(4000);
+        let down = link.download_time_s(400);
+        assert!((link.round_trip_s(4000, 400) - (up + 0.01 + down)).abs() < 1e-15);
+        // A response 10x the size costs real time: chatty responses are no
+        // longer free.
+        assert!(link.round_trip_s(4000, 4000) > link.round_trip_s(4000, 400));
     }
 
     #[test]

@@ -96,6 +96,11 @@ pub struct PartitionEnv {
     pub bytes_per_elem: u64,
     /// Bytes of one raw input image (the cut-at-0 upload).
     pub raw_input_bytes: u64,
+    /// Bytes of the cloud's response per image (a bare class id, or a
+    /// full logit vector for calibration-hungry clients). Charged on the
+    /// downlink for every cut that reaches the cloud, so payload
+    /// comparisons are not biased toward chatty responses.
+    pub response_bytes: u64,
 }
 
 /// Scores every cut of the profiled network.
@@ -130,7 +135,7 @@ pub fn sweep_cuts(profiles: &[LayerProfile], env: &PartitionEnv) -> Vec<CutCost>
             (0.0, 0.0, 0.0)
         } else {
             (
-                env.link.upload_time_s(upload_bytes) + env.link.rtt_s,
+                env.link.round_trip_s(upload_bytes, env.response_bytes),
                 env.cloud.latency_s(cloud_macs),
                 env.link.upload_energy_j(upload_bytes),
             )
@@ -165,6 +170,127 @@ pub fn best_cut(profiles: &[LayerProfile], env: &PartitionEnv, objective: Object
         .expect("at least the two trivial cuts exist")
 }
 
+/// Online cut-point selection for the feature-payload serving path.
+///
+/// The offline search above scores a *static* environment once; a serving
+/// runtime faces conditions that move while it runs: the
+/// `ThresholdController` retunes the offload fraction β, and the link
+/// model can be swapped when the radio degrades. `CutPlanner` keeps the
+/// layer profiles and the environment together and re-derives the
+/// cost-minimal cut whenever either changes, per edge device class.
+///
+/// Congestion model: the uplink is shared by the offloading device
+/// streams, so the effective per-transfer throughput is the nominal rate
+/// divided by the expected number of concurrent offload streams,
+/// `max(1, β · streams)`. A higher β therefore slows the effective link
+/// and pushes the optimum toward deeper (smaller-upload) cuts — partition
+/// choice as a load-adaptive throughput knob.
+///
+/// A *serving* cut must end at the cloud (the cloud produces the
+/// prediction), so the edge-only endpoint `cut == L` is excluded from the
+/// plan; ties still break toward more edge layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutPlanner {
+    profiles: Vec<LayerProfile>,
+    env: PartitionEnv,
+    objective: Objective,
+    streams: f64,
+    beta: f64,
+}
+
+impl CutPlanner {
+    /// Creates a planner over pre-computed layer profiles.
+    ///
+    /// `streams` is the number of device streams sharing the uplink
+    /// (drives the congestion model; use the device count of the trace).
+    /// β starts at 1 (worst-case contention) until
+    /// [`CutPlanner::set_beta`] feeds back an observed fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or `streams == 0`.
+    pub fn new(profiles: Vec<LayerProfile>, env: PartitionEnv, objective: Objective, streams: usize) -> Self {
+        assert!(!profiles.is_empty(), "nothing to partition");
+        assert!(streams > 0, "need at least one device stream");
+        CutPlanner { profiles, env, objective, streams: streams as f64, beta: 1.0 }
+    }
+
+    /// Profiles `net` and creates a planner over it.
+    pub fn from_network(net: &SegmentedCnn, env: PartitionEnv, objective: Objective, streams: usize) -> Self {
+        CutPlanner::new(profile_network(net), env, objective, streams)
+    }
+
+    /// The current offload fraction the congestion model assumes.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Number of candidate serving cuts (`0 ..= L-1`; the edge-only
+    /// endpoint is not a serving cut).
+    pub fn serving_cut_count(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Feeds back an observed offload fraction (e.g. a
+    /// `ThresholdController` window outcome).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` leaves `[0, 1]`.
+    pub fn set_beta(&mut self, beta: f64) {
+        assert!((0.0..=1.0).contains(&beta), "offload fraction must be in [0,1], got {beta}");
+        self.beta = beta;
+    }
+
+    /// Swaps the link model (radio conditions changed).
+    pub fn set_link(&mut self, link: NetworkLink) {
+        self.env.link = link;
+    }
+
+    /// The environment under the current contention: nominal link rates
+    /// divided by the expected concurrent offload streams.
+    pub fn effective_env(&self) -> PartitionEnv {
+        let share = (self.beta * self.streams).max(1.0);
+        let mut env = self.env.clone();
+        env.link.throughput_mbps /= share;
+        env.link.download_mbps /= share;
+        env
+    }
+
+    /// The cost-minimal serving cut for the configured edge device under
+    /// current conditions.
+    pub fn plan(&self) -> CutCost {
+        self.plan_for(&self.env.edge.clone())
+    }
+
+    /// The cost-minimal serving cut for a specific edge device class.
+    pub fn plan_for(&self, edge: &DeviceProfile) -> CutCost {
+        let mut env = self.effective_env();
+        env.edge = edge.clone();
+        let costs = sweep_cuts(&self.profiles, &env);
+        let score = |c: &CutCost| match self.objective {
+            Objective::Latency => c.latency_s,
+            Objective::EdgeEnergy => c.edge_energy_j,
+        };
+        costs[..self.profiles.len()] // exclude the edge-only endpoint
+            .iter()
+            .rev() // later cuts (more edge) win ties
+            .min_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite costs"))
+            .copied()
+            .expect("at least the raw-upload cut exists")
+    }
+
+    /// One cost-minimal serving cut per edge device class, in class order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty.
+    pub fn plan_classes(&self, classes: &[DeviceProfile]) -> Vec<CutCost> {
+        assert!(!classes.is_empty(), "need at least one device class");
+        classes.iter().map(|c| self.plan_for(c)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +312,7 @@ mod tests {
             link: NetworkLink::wifi(8.0).with_rtt(0.01),
             bytes_per_elem: 4,
             raw_input_bytes: 3 * 32 * 32,
+            response_bytes: 0,
         }
     }
 
@@ -268,6 +395,7 @@ mod tests {
             link: NetworkLink::wifi(10.0).with_rtt(0.0),
             bytes_per_elem: 4,
             raw_input_bytes: 12288,
+            response_bytes: 0,
         };
         let best = best_cut(&profiles, &e, Objective::Latency);
         assert_eq!(best.cut, 2, "cut after the bottleneck layer, got {best:?}");
@@ -284,6 +412,106 @@ mod tests {
         e.bytes_per_elem = 1;
         let int8_best = best_cut(&profiles, &e, Objective::EdgeEnergy);
         assert!(int8_best.edge_energy_j <= f32_best.edge_energy_j + 1e-12);
+    }
+
+    #[test]
+    fn chatty_responses_penalise_every_cloud_cut_but_not_edge_only() {
+        let profiles = toy_profiles();
+        let mut e = env();
+        let lean = sweep_cuts(&profiles, &e);
+        e.response_bytes = 100_000; // a fat logit/calibration response
+        let chatty = sweep_cuts(&profiles, &e);
+        let l = profiles.len();
+        for k in 0..l {
+            let extra = e.link.download_time_s(e.response_bytes);
+            assert!(
+                (chatty[k].latency_s - lean[k].latency_s - extra).abs() < 1e-12,
+                "cut {k}: download leg not charged"
+            );
+        }
+        // Edge-only never talks to the cloud: no response to download.
+        assert!((chatty[l].latency_s - lean[l].latency_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn chatty_responses_can_flip_the_optimum_to_edge_only() {
+        // With upload-only accounting the fast cloud wins; once the bulky
+        // response is charged on a slow downlink, staying at the edge wins.
+        let profiles = toy_profiles();
+        let mut e = env();
+        e.cloud = DeviceProfile::new("dc", 500.0, 1e14);
+        e.link = NetworkLink::wifi(50.0).with_rtt(0.0).with_download(0.5);
+        e.response_bytes = 0;
+        let lean = best_cut(&profiles, &e, Objective::Latency);
+        assert!(lean.cut < profiles.len(), "with a free response the cloud should win");
+        e.response_bytes = 50_000;
+        let chatty = best_cut(&profiles, &e, Objective::Latency);
+        assert_eq!(chatty.cut, profiles.len(), "bulky responses over a thin downlink favour edge-only");
+    }
+
+    #[test]
+    fn planner_tracks_beta_contention_monotonically() {
+        // More offload traffic -> slower effective link -> the planned cut
+        // uploads no more bytes than before (it can only move toward
+        // cheaper uploads).
+        let mut planner = CutPlanner::new(toy_profiles(), env(), Objective::Latency, 16);
+        planner.set_beta(0.05);
+        let quiet = planner.plan();
+        planner.set_beta(1.0);
+        let busy = planner.plan();
+        assert!(
+            busy.upload_bytes <= quiet.upload_bytes,
+            "congestion should shrink uploads: {quiet:?} -> {busy:?}"
+        );
+        // And the effective environment really is slower.
+        let eff = planner.effective_env();
+        assert!((eff.link.throughput_mbps - env().link.throughput_mbps / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planner_never_picks_the_edge_only_endpoint() {
+        // Even with a dead link (where the offline search would keep
+        // everything at the edge), a *serving* cut must reach the cloud.
+        let profiles = toy_profiles();
+        let mut e = env();
+        e.link = NetworkLink::wifi(0.001).with_rtt(0.5);
+        assert_eq!(best_cut(&profiles, &e, Objective::Latency).cut, profiles.len());
+        let planner = CutPlanner::new(profiles.clone(), e, Objective::Latency, 1);
+        let cut = planner.plan();
+        assert!(cut.cut < profiles.len(), "serving cut may not be edge-only");
+        assert_eq!(planner.serving_cut_count(), profiles.len());
+    }
+
+    #[test]
+    fn planner_differentiates_device_classes() {
+        // A starved edge class should run no more layers locally than a
+        // fast edge class under the same link.
+        let profiles = vec![
+            LayerProfile { name: "conv1".into(), macs: 1_000_000, out_elems: 4096 },
+            LayerProfile { name: "conv2".into(), macs: 2_000_000, out_elems: 256 },
+            LayerProfile { name: "head".into(), macs: 5_000_000, out_elems: 10 },
+        ];
+        let mut e = env();
+        e.link = NetworkLink::wifi(10.0).with_rtt(0.0);
+        e.raw_input_bytes = 12288;
+        let planner = CutPlanner::new(profiles, e, Objective::Latency, 1);
+        let fast = DeviceProfile::new("fast edge", 10.0, 1e12);
+        let slow = DeviceProfile::new("slow edge", 10.0, 1e6);
+        let cuts = planner.plan_classes(&[fast, slow]);
+        assert!(cuts[1].cut <= cuts[0].cut, "slow edge should offload earlier: {cuts:?}");
+        assert_eq!(cuts.len(), 2);
+    }
+
+    #[test]
+    fn planner_link_swap_replans() {
+        let mut e = env();
+        e.cloud = DeviceProfile::new("dc", 500.0, 1e14);
+        let mut planner = CutPlanner::new(toy_profiles(), e, Objective::Latency, 1);
+        let slow_cut = planner.plan();
+        planner.set_link(NetworkLink::wifi(100_000.0).with_rtt(0.0));
+        let fast_cut = planner.plan();
+        assert_eq!(fast_cut.cut, 0, "free uplink + huge cloud: ship pixels immediately");
+        assert!(fast_cut.latency_s <= slow_cut.latency_s, "a better link cannot make the plan worse");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! over [`bytes`] makes the transfer concrete for the threaded simulator.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mea_quant::{wire, QTensor, QuantParams};
 use mea_tensor::Tensor;
 
 /// A payload travelling from the edge to the cloud.
@@ -25,32 +26,43 @@ pub enum Payload {
         /// Feature tensor.
         features: Tensor,
     },
+    /// Intermediate feature maps quantised to int8 through the `mea-quant`
+    /// wire codec: 1 byte per element plus a small parameter header, so a
+    /// deep-cut activation can undercut even the raw-image upload — the
+    /// answer to the paper's "f32 features are bigger than small images"
+    /// objection to sending features.
+    QuantFeatures {
+        /// Quantised feature tensor.
+        features: QTensor,
+    },
 }
 
 impl Payload {
+    /// Quantises an f32 feature tensor onto the int8 wire grid (affine
+    /// per-tensor parameters from the tensor's own range).
+    pub fn quantize_features(features: &Tensor) -> Payload {
+        let params = QuantParams::affine_from_range(features.min(), features.max());
+        Payload::QuantFeatures { features: QTensor::quantize(features, params) }
+    }
+
     /// Size on the wire in bytes: 1 byte/sample for raw images, 4 for f32
-    /// features, plus the shape header.
+    /// features, plus the shape header; quantised features carry the
+    /// `mea_quant::wire` frame (1 byte/element plus parameter header).
     pub fn wire_size_bytes(&self) -> u64 {
         match self {
             Payload::RawImage { image } => header_len(image) + image.numel() as u64,
             Payload::Features { features } => header_len(features) + 4 * features.numel() as u64,
+            Payload::QuantFeatures { features } => 1 + wire::encoded_len(features),
         }
     }
 
     /// Encodes into a byte buffer (tag, rank, dims, data).
     pub fn encode(&self) -> Bytes {
-        let (tag, tensor) = match self {
-            Payload::RawImage { image } => (0u8, image),
-            Payload::Features { features } => (1u8, features),
-        };
         let mut buf = BytesMut::with_capacity(self.wire_size_bytes() as usize + 1);
-        buf.put_u8(tag);
-        buf.put_u8(tensor.shape().rank() as u8);
-        for &d in tensor.dims() {
-            buf.put_u32_le(d as u32);
-        }
         match self {
             Payload::RawImage { image } => {
+                buf.put_u8(0);
+                put_header(&mut buf, image);
                 // Quantise [-2, 2] → u8, mirroring a sensor's 8-bit output.
                 for &v in image.as_slice() {
                     let q = ((v + 2.0) / 4.0 * 255.0).clamp(0.0, 255.0) as u8;
@@ -58,9 +70,17 @@ impl Payload {
                 }
             }
             Payload::Features { features } => {
+                buf.put_u8(1);
+                put_header(&mut buf, features);
                 for &v in features.as_slice() {
                     buf.put_f32_le(v);
                 }
+            }
+            Payload::QuantFeatures { features } => {
+                buf.put_u8(2);
+                let mut frame = Vec::new();
+                wire::encode_into(features, &mut frame);
+                buf.put_slice(&frame);
             }
         }
         buf.freeze()
@@ -73,6 +93,10 @@ impl Payload {
     /// Panics on a malformed buffer (wrong tag, truncated data).
     pub fn decode(mut buf: Bytes) -> Payload {
         let tag = buf.get_u8();
+        if tag == 2 {
+            let (features, _) = wire::decode(&buf);
+            return Payload::QuantFeatures { features };
+        }
         let rank = buf.get_u8() as usize;
         let dims: Vec<usize> = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
         let numel: usize = dims.iter().product();
@@ -89,22 +113,30 @@ impl Payload {
         }
     }
 
-    /// The tensor inside, whichever variant.
-    pub fn tensor(&self) -> &Tensor {
-        match self {
-            Payload::RawImage { image } => image,
-            Payload::Features { features } => features,
-        }
-    }
-
-    /// The tensor inside, consuming the payload — lets a decode site take
-    /// ownership without an extra copy (the serving runtime's cloud
-    /// workers decode every offloaded image on the hot path).
+    /// The f32 tensor the cloud computes on, consuming the payload —
+    /// dequantises int8 features, hands f32 variants over without a copy
+    /// (the serving runtime's cloud workers decode every offloaded
+    /// payload on the hot path).
     pub fn into_tensor(self) -> Tensor {
         match self {
             Payload::RawImage { image } => image,
             Payload::Features { features } => features,
+            Payload::QuantFeatures { features } => features.dequantize(),
         }
+    }
+
+    /// The f32 tensor the cloud computes on. This clones (and for int8
+    /// features dequantises) the payload — prefer
+    /// [`Payload::into_tensor`] when the payload can be consumed.
+    pub fn to_tensor(&self) -> Tensor {
+        self.clone().into_tensor()
+    }
+}
+
+fn put_header(buf: &mut BytesMut, t: &Tensor) {
+    buf.put_u8(t.shape().rank() as u8);
+    for &d in t.dims() {
+        buf.put_u32_le(d as u32);
     }
 }
 
@@ -146,12 +178,48 @@ mod tests {
         let mut rng = Rng::new(1);
         let t = Tensor::randn([3, 8, 8], 0.5, &mut rng);
         let p = Payload::RawImage { image: t.clone() };
-        let decoded = Payload::decode(p.encode());
-        let d = decoded.tensor();
+        let d = Payload::decode(p.encode()).into_tensor();
         assert_eq!(d.dims(), t.dims());
         for (a, b) in d.as_slice().iter().zip(t.as_slice()) {
             assert!((a - b).abs() < 4.0 / 255.0 + 1e-4, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn quantised_features_round_trip_exactly_and_dequantise_close() {
+        let mut rng = Rng::new(5);
+        let t = Tensor::randn([1, 4, 4, 4], 1.0, &mut rng);
+        let p = Payload::quantize_features(&t);
+        let decoded = Payload::decode(p.encode());
+        assert_eq!(decoded, p, "int8 wire round trip must be bit-exact");
+        let d = decoded.into_tensor();
+        assert_eq!(d.dims(), t.dims());
+        let half_scale = match &p {
+            Payload::QuantFeatures { features } => features.params().scale(0) / 2.0 + 1e-6,
+            _ => unreachable!(),
+        };
+        for (a, b) in d.as_slice().iter().zip(t.as_slice()) {
+            assert!((a - b).abs() <= half_scale, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantised_features_undercut_raw_image_at_a_bottleneck() {
+        // The whole point of the int8 feature wire: a deep activation with
+        // fewer elements than the image beats the 1-byte-per-pixel upload.
+        let image = Tensor::zeros([3, 8, 8]); // 192 pixels
+        let deep = Tensor::rand_uniform([32, 2, 2], -1.0, 1.0, &mut Rng::new(6)); // 128 elements
+        let raw = Payload::RawImage { image };
+        let q = Payload::quantize_features(&deep);
+        assert!(
+            q.wire_size_bytes() < raw.wire_size_bytes(),
+            "{} vs {}",
+            q.wire_size_bytes(),
+            raw.wire_size_bytes()
+        );
+        // While the f32 encoding of the same activation is far bigger.
+        let f = Payload::Features { features: deep };
+        assert!(f.wire_size_bytes() > 2 * raw.wire_size_bytes());
     }
 
     #[test]

@@ -21,9 +21,20 @@
 //!   batched forward. Because eval-mode forwards are bitwise per-sample
 //!   independent, batch composition cannot change predictions.
 //! * Offloaded instances cross a real wire format ([`Payload`]); an
-//!   optional [`NetworkLink`] models upload + RTT as wall-clock delay, so
-//!   cloud-worker scaling overlaps network latency exactly like
-//!   concurrent in-flight RPCs.
+//!   optional [`NetworkLink`] models upload + RTT + response download as
+//!   wall-clock delay, so cloud-worker scaling overlaps network latency
+//!   exactly like concurrent in-flight RPCs.
+//! * [`PayloadPlan::Features`] turns on **feature-payload serving**: the
+//!   edge runs the *cloud network's* prefix up to a cut layer (each
+//!   [`EdgeReplica`] carries a cloud-prefix replica) and ships the
+//!   activation — optionally int8-quantised through the `mea-quant` wire
+//!   codec — and the cloud resumes at the cut instead of recomputing from
+//!   pixels. The cut is fixed or planned online by a
+//!   [`CutPlanner`] per edge device class, replanned whenever the
+//!   [`ThresholdController`] moves the offload fraction. Because suffix
+//!   execution is bitwise identical to the full forward (asserted in
+//!   `mea-nn`), the cut — like batch composition — is a pure cost knob:
+//!   it can never change a prediction under the lossless wire.
 //! * A [`ThresholdController`] can steer the entropy threshold inside the
 //!   serving path (SPINN-style runtime adaptation): every
 //!   [`ControllerConfig::window`] routed instances, the achieved offload
@@ -33,19 +44,28 @@
 //! bounded cloud queues block edge workers, so a slow cloud tier slows
 //! admission instead of ballooning memory.
 
+use crate::device::DeviceProfile;
 use crate::network::NetworkLink;
+use crate::partition::{profile_network, CutPlanner, Objective, PartitionEnv};
 use crate::payload::Payload;
 use crate::sim::ThreadedStats;
 use crate::traces::ArrivalModel;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use mea_data::Dataset;
 use mea_metrics::Histogram;
+use mea_nn::layer::Mode;
 use mea_nn::models::SegmentedCnn;
 use mea_tensor::{Rng, Tensor};
 use meanet::routing::{PendingCloud, RoutingEngine};
 use meanet::{ExitPoint, InstanceRecord, MeaNet, OffloadPolicy, ThresholdController};
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
+
+/// Bytes of the cloud's response per prediction on the downlink (a class
+/// id plus framing) — what [`ServeStats::bytes_from_cloud`] counts and
+/// the [`CutPlanner`] charges as `response_bytes`.
+pub const RESPONSE_WIRE_BYTES: u64 = 8;
 
 /// How offloaded images are encoded on the edge→cloud wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,6 +79,108 @@ pub enum WireFormat {
     /// ([`Payload::RawImage`]): 4× smaller uploads, but quantisation can
     /// flip borderline cloud predictions.
     Quantised8Bit,
+}
+
+/// How offloaded *activations* are encoded on the edge→cloud wire in
+/// feature-payload mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FeatureWire {
+    /// Lossless `f32` activations ([`Payload::Features`]): the resumed
+    /// cloud forward is bitwise identical to the full forward, whatever
+    /// the cut.
+    #[default]
+    F32,
+    /// Int8 activations through the `mea-quant` wire codec
+    /// ([`Payload::QuantFeatures`]): ~4× smaller — a deep cut undercuts
+    /// even the raw-image upload — at the cost of borderline prediction
+    /// flips.
+    Int8,
+}
+
+impl FeatureWire {
+    /// Bytes one activation element occupies on the wire.
+    pub fn bytes_per_elem(self) -> u64 {
+        match self {
+            FeatureWire::F32 => 4,
+            FeatureWire::Int8 => 1,
+        }
+    }
+}
+
+/// Online cut-point planning parameters for feature-payload serving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutPlannerConfig {
+    /// Edge device classes: device `d` belongs to class
+    /// `d % classes.len()` and serves from that class's planned cut.
+    pub classes: Vec<DeviceProfile>,
+    /// The cloud device executing the suffix.
+    pub cloud: DeviceProfile,
+    /// What the planner minimises.
+    pub objective: Objective,
+}
+
+/// How the cut layer of feature-payload serving is chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CutSelection {
+    /// A fixed cut layer index (same for every device).
+    Fixed(usize),
+    /// Online planning: the [`CutPlanner`] scores every cut of the cloud
+    /// network against the serving link and device profiles, picks the
+    /// cost-minimal cut per device class, and replans whenever the
+    /// [`ThresholdController`] moves β.
+    Planned(CutPlannerConfig),
+}
+
+/// Configuration of feature-payload serving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureConfig {
+    /// Activation wire encoding.
+    pub wire: FeatureWire,
+    /// Cut-layer choice.
+    pub cut: CutSelection,
+}
+
+/// What crosses the edge→cloud wire for offloaded instances.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PayloadPlan {
+    /// Ship the input image; the cloud computes its whole network from
+    /// pixels (the paper's collaboration mode).
+    Image(WireFormat),
+    /// Ship the cloud network's activation at a cut layer; the cloud
+    /// resumes from there (the Neurosurgeon-style split this repo's
+    /// offline `partition` search scores, now live).
+    Features(FeatureConfig),
+}
+
+impl Default for PayloadPlan {
+    fn default() -> Self {
+        PayloadPlan::Image(WireFormat::Float32)
+    }
+}
+
+/// One edge worker's model state: the MEANet it routes with, plus — in
+/// feature-payload mode — a bitwise replica of the cloud network whose
+/// prefix it executes up to the current cut.
+#[derive(Debug)]
+pub struct EdgeReplica {
+    /// The trained MEANet (routing, main/extension exits).
+    pub net: MeaNet,
+    /// Cloud-network replica for prefix execution. Must be bitwise
+    /// identical to the cloud workers' replicas; required when
+    /// [`ServeConfig::payload`] is [`PayloadPlan::Features`].
+    pub cloud_prefix: Option<SegmentedCnn>,
+}
+
+impl EdgeReplica {
+    /// An edge replica for image-payload serving (no cloud prefix).
+    pub fn new(net: MeaNet) -> Self {
+        EdgeReplica { net, cloud_prefix: None }
+    }
+
+    /// An edge replica that can serve feature payloads.
+    pub fn with_cloud_prefix(net: MeaNet, cloud: SegmentedCnn) -> Self {
+        EdgeReplica { net, cloud_prefix: Some(cloud) }
+    }
 }
 
 /// Closed-loop threshold steering inside the serving path.
@@ -93,10 +215,13 @@ pub struct ServeConfig {
     pub policy: OffloadPolicy,
     /// Optional SPINN-style runtime threshold adaptation.
     pub controller: Option<ControllerConfig>,
-    /// Wire encoding for offloaded images.
-    pub wire: WireFormat,
-    /// Optional uplink model: each cloud batch pays its upload time plus
-    /// one RTT as real wall-clock delay on the worker that serves it.
+    /// What offloaded instances carry across the wire: images (the cloud
+    /// recomputes from pixels) or cut-layer activations (the cloud
+    /// resumes from the cut).
+    pub payload: PayloadPlan,
+    /// Optional link model: each cloud batch pays its upload time, one
+    /// RTT and the response download as real wall-clock delay on the
+    /// worker that serves it.
     pub link: Option<NetworkLink>,
 }
 
@@ -113,7 +238,7 @@ impl ServeConfig {
             queue_depth: 4,
             policy,
             controller: None,
-            wire: WireFormat::default(),
+            payload: PayloadPlan::default(),
             link: None,
         }
     }
@@ -200,12 +325,31 @@ pub struct ServeStats {
     pub wall_s: f64,
     /// `total / wall_s`.
     pub throughput_hz: f64,
-    /// Batched forwards executed by the cloud tier.
+    /// Coalesced batches formed by the cloud tier (a batch holding mixed
+    /// cut points runs one forward per cut).
     pub cloud_batches: u64,
+    /// Batched forwards executed by the cloud tier (≥ `cloud_batches`).
+    pub cloud_forwards: u64,
     /// Largest coalesced batch observed.
     pub max_batch_seen: usize,
     /// Bytes received by the cloud tier.
     pub bytes_to_cloud: u64,
+    /// Response bytes sent back down the link
+    /// ([`RESPONSE_WIRE_BYTES`] per offloaded instance).
+    pub bytes_from_cloud: u64,
+    /// Multiply-adds the cloud tier actually executed (suffix MACs per
+    /// offloaded instance; the full network in image-payload mode).
+    pub cloud_macs: u64,
+    /// Multiply-adds the cloud tier did *not* recompute because the edge
+    /// shipped cut-layer activations — equivalently, the prefix MACs the
+    /// edge executed on behalf of the cloud. Zero in image-payload mode.
+    pub cloud_macs_saved: u64,
+    /// Times the cut planner re-planned mid-run (controller-driven β
+    /// moves; 0 for fixed cuts or image payloads).
+    pub cut_replans: u64,
+    /// The cut layer each device class ended on (None in image-payload
+    /// mode).
+    pub final_cuts: Option<Vec<usize>>,
     /// The entropy threshold after the last controller window (None
     /// without a controller).
     pub final_threshold: Option<f32>,
@@ -266,18 +410,41 @@ struct CloudJob {
     due: Instant,
 }
 
+/// The live cut table of feature-payload serving: the current cut per
+/// device class, plus the planner that re-derives it when β moves.
+#[derive(Debug)]
+struct CutTable {
+    /// None for `CutSelection::Fixed` (the table never changes).
+    planner: Option<(CutPlanner, Vec<DeviceProfile>)>,
+    per_class: Vec<usize>,
+    replans: u64,
+}
+
+impl CutTable {
+    fn cut_for(&self, device: usize) -> usize {
+        class_cut(&self.per_class, device)
+    }
+}
+
+/// The single definition of device→class cut lookup (class is
+/// `device % classes`), shared by the locked and lock-free edge paths.
+fn class_cut(per_class: &[usize], device: usize) -> usize {
+    per_class[device % per_class.len()]
+}
+
 /// Shared (mutexed) routing policy state: the engine all edge workers
-/// consult, plus the controller feedback loop.
+/// consult, plus the controller feedback loop and the live cut table.
 struct PolicyState {
     engine: RoutingEngine,
     controller: Option<ThresholdController>,
     window: usize,
     seen: usize,
     offloaded: usize,
+    cuts: Option<CutTable>,
 }
 
 impl PolicyState {
-    fn new(cfg: &ServeConfig, cloud_available: bool) -> PolicyState {
+    fn new(cfg: &ServeConfig, cloud_available: bool, cuts: Option<CutTable>) -> PolicyState {
         let (policy, controller, window) = match cfg.controller {
             Some(cc) => {
                 assert!(cc.window > 0, "controller window must be non-empty");
@@ -291,20 +458,34 @@ impl PolicyState {
             window,
             seen: 0,
             offloaded: 0,
+            cuts,
         }
     }
 
     /// Feeds one routing decision back into the controller; when a window
-    /// fills, the threshold (and the engine's policy) is retuned.
+    /// fills, the threshold (and the engine's policy) is retuned and —
+    /// since the offload fraction just moved — the cut planner re-plans
+    /// the per-class cuts under the new contention.
     fn observe(&mut self, offloaded: bool) {
         let Some(ctrl) = &mut self.controller else { return };
         self.seen += 1;
         self.offloaded += usize::from(offloaded);
         if self.seen == self.window {
+            let achieved = self.offloaded as f64 / self.seen as f64;
             let t = ctrl.observe_window(self.offloaded, self.seen);
             self.engine.set_policy(OffloadPolicy::EntropyThreshold(t));
             self.seen = 0;
             self.offloaded = 0;
+            if let Some(table) = &mut self.cuts {
+                if let Some((planner, classes)) = &mut table.planner {
+                    planner.set_beta(achieved);
+                    let new_cuts: Vec<usize> = planner.plan_classes(classes).iter().map(|c| c.cut).collect();
+                    if new_cuts != table.per_class {
+                        table.per_class = new_cuts;
+                        table.replans += 1;
+                    }
+                }
+            }
         }
     }
 }
@@ -313,8 +494,12 @@ impl PolicyState {
 #[derive(Debug, Default)]
 struct CloudCounters {
     batches: u64,
+    forwards: u64,
     max_batch: usize,
     bytes: u64,
+    bytes_down: u64,
+    macs: u64,
+    macs_saved: u64,
 }
 
 /// Coalesces queued items into a batch: blocks for the first item, then
@@ -341,28 +526,69 @@ fn coalesce<T>(rx: &Receiver<T>, max_batch: usize, max_wait: Duration) -> Option
     Some(batch)
 }
 
+/// Derives the initial cut table (and its planner) from the payload plan.
+fn build_cut_table(cfg: &ServeConfig, edges: &[EdgeReplica], requests: &[ServeRequest]) -> Option<CutTable> {
+    let PayloadPlan::Features(fc) = &cfg.payload else { return None };
+    let prefix = edges
+        .first()
+        .and_then(|e| e.cloud_prefix.as_ref())
+        .expect("feature-payload serving requires cloud-prefix replicas on every edge worker");
+    let cut_layers = prefix.cut_layer_count();
+    match &fc.cut {
+        CutSelection::Fixed(k) => {
+            assert!(*k < cut_layers, "fixed cut {k} out of range (cloud network has {cut_layers} cut layers)");
+            Some(CutTable { planner: None, per_class: vec![*k], replans: 0 })
+        }
+        CutSelection::Planned(pc) => {
+            assert!(!pc.classes.is_empty(), "planned cut selection needs at least one device class");
+            let link = cfg.link.expect("planned cut selection requires a link model (ServeConfig::link)");
+            let in_elems: u64 = prefix.in_shape.iter().map(|&d| d as u64).product();
+            let env = PartitionEnv {
+                edge: pc.classes[0].clone(),
+                cloud: pc.cloud.clone(),
+                link,
+                bytes_per_elem: fc.wire.bytes_per_elem(),
+                raw_input_bytes: fc.wire.bytes_per_elem() * in_elems,
+                response_bytes: RESPONSE_WIRE_BYTES,
+            };
+            let streams = requests.iter().map(|r| r.device + 1).max().unwrap_or(1);
+            let mut planner = CutPlanner::from_network(prefix, env, pc.objective, streams);
+            if let Some(cc) = &cfg.controller {
+                planner.set_beta(cc.controller.target_beta());
+            }
+            let per_class = planner.plan_classes(&pc.classes).iter().map(|c| c.cut).collect();
+            Some(CutTable { planner: Some((planner, pc.classes.clone())), per_class, replans: 0 })
+        }
+    }
+}
+
 /// Runs the serving runtime to completion over a request trace.
 ///
 /// `edges` and `clouds` are per-worker model replicas (`edges[w]` serves
 /// edge worker `w`); replicate a trained system onto them with
 /// `MeaNet::replicate_into` / `mea_nn::StateDict::from_cnn` so every
-/// worker answers identically. Requests must be sorted by `arrival_s`
+/// worker answers identically. In feature-payload mode every
+/// [`EdgeReplica`] must also carry a bitwise replica of the cloud network
+/// (its prefix runs at the edge). Requests must be sorted by `arrival_s`
 /// (see [`trace_requests`]); the dispatcher paces them in real time.
 ///
 /// # Panics
 ///
 /// Panics on inconsistent configuration: worker counts not matching the
 /// replica slices, zero edge workers, `max_batch == 0`, an offloading
-/// policy with no cloud workers, unsorted arrivals, or images that are
-/// not single-instance `[1, C, H, W]` batches.
+/// policy with no cloud workers, unsorted arrivals, images that are not
+/// single-instance `[1, C, H, W]` batches, or a feature-payload plan
+/// whose edge replicas lack cloud prefixes, whose fixed cut is out of
+/// range, or whose planned cut selection has no device classes or no
+/// [`ServeConfig::link`] to plan against.
 pub fn serve(
     cfg: &ServeConfig,
-    edges: &mut [MeaNet],
+    edges: &mut [EdgeReplica],
     clouds: &mut [SegmentedCnn],
     requests: &[ServeRequest],
 ) -> ServeReport {
     assert!(cfg.edge_workers > 0, "need at least one edge worker");
-    assert_eq!(cfg.edge_workers, edges.len(), "one MeaNet replica per edge worker");
+    assert_eq!(cfg.edge_workers, edges.len(), "one edge replica per edge worker");
     assert_eq!(cfg.cloud_workers, clouds.len(), "one cloud replica per cloud worker");
     assert!(cfg.max_batch > 0, "max_batch must be at least 1");
     assert!(cfg.queue_depth > 0, "queues need capacity");
@@ -374,11 +600,39 @@ pub fn serve(
         assert!(r.arrival_s >= 0.0, "negative arrival time");
         assert_eq!(r.image.dims()[0], 1, "requests carry single-instance [1, C, H, W] images");
     }
+    if matches!(cfg.payload, PayloadPlan::Features(_)) {
+        for (w, e) in edges.iter().enumerate() {
+            assert!(e.cloud_prefix.is_some(), "feature-payload serving: edge worker {w} has no cloud prefix");
+        }
+        if let Some(cloud) = clouds.first() {
+            let prefix = edges[0].cloud_prefix.as_ref().expect("checked above");
+            assert_eq!(
+                prefix.cut_layer_count(),
+                cloud.cut_layer_count(),
+                "edge cloud-prefix and cloud replicas disagree on the layer enumeration"
+            );
+        }
+    }
 
     let n = requests.len();
     let cloud_available = cfg.cloud_workers > 0;
-    let policy_state = Mutex::new(PolicyState::new(cfg, cloud_available));
+    let cut_table = build_cut_table(cfg, edges, requests);
+    let policy_state = Mutex::new(PolicyState::new(cfg, cloud_available, cut_table));
     let cloud_counters = Mutex::new(CloudCounters::default());
+    // Suffix MACs per resume layer (suffix_macs[k] = MACs of layers
+    // [k, L)): what the cloud pays per instance resumed at k, and the
+    // basis of the recompute-saved accounting.
+    let suffix_macs: Vec<u64> = match clouds.first() {
+        Some(cloud) => {
+            let profiles = profile_network(cloud);
+            let mut acc = vec![0u64; profiles.len() + 1];
+            for k in (0..profiles.len()).rev() {
+                acc[k] = acc[k + 1] + profiles[k].macs;
+            }
+            acc
+        }
+        None => Vec::new(),
+    };
 
     let (done_tx, done_rx) = unbounded::<Completion>();
     let mut cloud_txs: Vec<Sender<CloudJob>> = Vec::with_capacity(cfg.cloud_workers);
@@ -401,13 +655,14 @@ pub fn serve(
         for (rx, cloud) in cloud_rxs.into_iter().zip(clouds.iter_mut()) {
             let dtx = done_tx.clone();
             let counters = &cloud_counters;
-            scope.spawn(move |_| cloud_worker(cfg, cloud, rx, dtx, counters));
+            let suffixes = &suffix_macs;
+            scope.spawn(move |_| cloud_worker(cfg, cloud, rx, dtx, counters, suffixes));
         }
-        for (rx, net) in edge_rxs.into_iter().zip(edges.iter_mut()) {
+        for (rx, replica) in edge_rxs.into_iter().zip(edges.iter_mut()) {
             let ctxs = cloud_txs.clone();
             let dtx = done_tx.clone();
             let shared = &policy_state;
-            scope.spawn(move |_| edge_worker(cfg, net, rx, ctxs, dtx, shared));
+            scope.spawn(move |_| edge_worker(cfg, replica, rx, ctxs, dtx, shared));
         }
         drop(cloud_txs);
         drop(done_tx);
@@ -443,9 +698,11 @@ pub fn serve(
 
     let offloaded = records.iter().filter(|r| r.exit == ExitPoint::Cloud).count();
     let counters = cloud_counters.into_inner();
-    let final_threshold = {
+    let (final_threshold, cut_replans, final_cuts) = {
         let st = policy_state.into_inner();
-        st.controller.map(|c| c.threshold())
+        let replans = st.cuts.as_ref().map_or(0, |t| t.replans);
+        let cuts = st.cuts.map(|t| t.per_class);
+        (st.controller.map(|c| c.threshold()), replans, cuts)
     };
     let stats = ServeStats {
         total: n,
@@ -453,8 +710,14 @@ pub fn serve(
         wall_s,
         throughput_hz: if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 },
         cloud_batches: counters.batches,
+        cloud_forwards: counters.forwards,
         max_batch_seen: counters.max_batch,
         bytes_to_cloud: counters.bytes,
+        bytes_from_cloud: counters.bytes_down,
+        cloud_macs: counters.macs,
+        cloud_macs_saved: counters.macs_saved,
+        cut_replans,
+        final_cuts,
         final_threshold,
     };
     ServeReport { records, completions, stats }
@@ -462,46 +725,71 @@ pub fn serve(
 
 /// Edge worker loop: route each request through the shared engine,
 /// finish main/extension exits locally, ship cloud exits to the sticky
-/// cloud worker.
+/// cloud worker — as images, or as cut-layer activations of the local
+/// cloud-prefix replica in feature-payload mode.
 fn edge_worker(
     cfg: &ServeConfig,
-    net: &mut MeaNet,
+    replica: &mut EdgeReplica,
     rx: Receiver<EdgeJob<'_>>,
     cloud_txs: Vec<Sender<CloudJob>>,
     done_tx: Sender<Completion>,
     shared: &Mutex<PolicyState>,
 ) {
-    // Without a controller the policy never changes: take a private copy
-    // of the engine once and keep the hot path lock-free. With one, the
-    // lock both serves the current threshold and feeds the window back.
-    let static_engine: Option<RoutingEngine> = {
+    let EdgeReplica { net, cloud_prefix } = replica;
+    // Without a controller neither the policy nor the cut table ever
+    // changes: take private copies once and keep the hot path lock-free.
+    // With one, the lock serves the current threshold and cuts, and feeds
+    // the window back.
+    let (static_engine, static_cuts): (Option<RoutingEngine>, Option<Vec<usize>>) = {
         let st = shared.lock();
-        st.controller.is_none().then_some(st.engine)
+        if st.controller.is_none() {
+            (Some(st.engine), st.cuts.as_ref().map(|t| t.per_class.clone()))
+        } else {
+            (None, None)
+        }
     };
     while let Ok(job) = rx.recv() {
         let req = job.req;
         let main = RoutingEngine::evaluate_main(net, &req.image);
-        let route = match &static_engine {
-            Some(engine) => engine.plan(net, &main).routes[0],
+        let (route, cut) = match &static_engine {
+            Some(engine) => {
+                let route = engine.plan(net, &main).routes[0];
+                let cut = static_cuts.as_ref().map(|cuts| class_cut(cuts, req.device));
+                (route, cut)
+            }
             None => {
                 let mut st = shared.lock();
                 let route = st.engine.plan(net, &main).routes[0];
                 st.observe(route == ExitPoint::Cloud);
-                route
+                (route, st.cuts.as_ref().map(|t| t.cut_for(req.device)))
             }
         };
         match route {
             ExitPoint::Cloud => {
-                let payload = match cfg.wire {
-                    WireFormat::Float32 => Payload::Features { features: req.image.clone() },
-                    WireFormat::Quantised8Bit => Payload::RawImage { image: req.image.clone() },
+                let (payload, resume) = match &cfg.payload {
+                    PayloadPlan::Image(WireFormat::Float32) => {
+                        (Payload::Features { features: req.image.clone() }, 0)
+                    }
+                    PayloadPlan::Image(WireFormat::Quantised8Bit) => {
+                        (Payload::RawImage { image: req.image.clone() }, 0)
+                    }
+                    PayloadPlan::Features(fc) => {
+                        let cut = cut.expect("feature mode builds a cut table");
+                        let prefix = cloud_prefix.as_mut().expect("validated in serve()");
+                        let activation = prefix.forward_prefix(&req.image, cut, Mode::Eval);
+                        let payload = match fc.wire {
+                            FeatureWire::F32 => Payload::Features { features: activation },
+                            FeatureWire::Int8 => Payload::quantize_features(&activation),
+                        };
+                        (payload, cut)
+                    }
                 };
                 let job = CloudJob {
                     req_id: job.req_id,
                     device: req.device,
                     seq: req.seq,
                     bytes: payload.encode(),
-                    pending: PendingCloud::from_main(net, &main, 0, req.truth),
+                    pending: PendingCloud::from_main(net, &main, 0, req.truth).resume_at(resume),
                     due: job.due,
                 };
                 cloud_txs[req.device % cloud_txs.len()].send(job).expect("cloud worker alive");
@@ -526,30 +814,63 @@ fn edge_worker(
 }
 
 /// Cloud worker loop: coalesce queued payloads, pay the (optional) link
-/// delay, run one batched forward, complete every record in the batch.
+/// delay on both legs, resume one batched forward per distinct cut point,
+/// complete every record in the batch.
 fn cloud_worker(
     cfg: &ServeConfig,
     cloud: &mut SegmentedCnn,
     rx: Receiver<CloudJob>,
     done_tx: Sender<Completion>,
     counters: &Mutex<CloudCounters>,
+    suffix_macs: &[u64],
 ) {
     while let Some(batch) = coalesce(&rx, cfg.max_batch, cfg.max_wait) {
         let batch_bytes: u64 = batch.iter().map(|j| j.bytes.len() as u64).sum();
+        let response_bytes = RESPONSE_WIRE_BYTES * batch.len() as u64;
+        let total_macs = suffix_macs[0];
         {
             let mut c = counters.lock();
             c.batches += 1;
             c.max_batch = c.max_batch.max(batch.len());
             c.bytes += batch_bytes;
+            c.bytes_down += response_bytes;
+            for job in &batch {
+                c.macs += suffix_macs[job.pending.resume_layer];
+                c.macs_saved += total_macs - suffix_macs[job.pending.resume_layer];
+            }
         }
         if let Some(link) = &cfg.link {
             std::thread::sleep(Duration::from_secs_f64(link.upload_time_s(batch_bytes) + link.rtt_s));
         }
-        let tensors: Vec<Tensor> = batch.iter().map(|j| Payload::decode(j.bytes.clone()).into_tensor()).collect();
-        let refs: Vec<&Tensor> = tensors.iter().collect();
-        let stacked = Tensor::concat_axis0(&refs);
-        let preds = RoutingEngine::classify_cloud(cloud, &stacked);
-        for (job, pred) in batch.into_iter().zip(preds) {
+        // A coalesced batch may mix cut points (the planner re-planned
+        // mid-flight, or device classes cut differently): group by resume
+        // layer — activations at different cuts have different shapes —
+        // and run one batched forward per group. Per-sample independence
+        // makes the grouping invisible in the predictions.
+        let mut groups: BTreeMap<usize, Vec<CloudJob>> = BTreeMap::new();
+        for job in batch {
+            groups.entry(job.pending.resume_layer).or_default().push(job);
+        }
+        counters.lock().forwards += groups.len() as u64;
+        let mut classified: Vec<(CloudJob, usize)> = Vec::new();
+        for (resume, group) in groups {
+            let tensors: Vec<Tensor> =
+                group.iter().map(|j| Payload::decode(j.bytes.clone()).into_tensor()).collect();
+            let refs: Vec<&Tensor> = tensors.iter().collect();
+            let stacked = Tensor::concat_axis0(&refs);
+            let preds = RoutingEngine::classify_cloud_from(cloud, &stacked, resume);
+            classified.extend(group.into_iter().zip(preds));
+        }
+        // Grouping by cut may interleave devices; restore per-device
+        // sequence order so the device-FIFO guarantee survives a mid-batch
+        // replan boundary.
+        classified.sort_by_key(|(job, _)| (job.device, job.seq));
+        // The responses ride the downlink back before anyone observes a
+        // completion.
+        if let Some(link) = &cfg.link {
+            std::thread::sleep(Duration::from_secs_f64(link.download_time_s(response_bytes)));
+        }
+        for (job, pred) in classified {
             let completion = Completion {
                 req_id: job.req_id,
                 device: job.device,
@@ -666,6 +987,17 @@ mod tests {
         (0..count).map(|_| build()).collect()
     }
 
+    /// Image-payload edge replicas (no cloud prefix).
+    fn edge_replicas(count: usize, seed: u64) -> Vec<EdgeReplica> {
+        replicas(count, || EdgeReplica::new(tiny_net(seed)))
+    }
+
+    /// Feature-payload edge replicas: each carries a bitwise replica of
+    /// the cloud network (same constructor seed = same weights).
+    fn split_replicas(count: usize, net_seed: u64, cloud_seed: u64) -> Vec<EdgeReplica> {
+        replicas(count, || EdgeReplica::with_cloud_prefix(tiny_net(net_seed), tiny_cloud(cloud_seed)))
+    }
+
     fn instant_requests(data: &Dataset, devices: usize) -> Vec<ServeRequest> {
         let mut rng = Rng::new(0);
         trace_requests(data, devices, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng)
@@ -681,7 +1013,7 @@ mod tests {
             run_inference_with_policy(&mut offline_net, Some(&mut offline_cloud), &bundle.test, policy, 8);
 
         for (e, c, b) in [(1usize, 1usize, 1usize), (2, 1, 4), (3, 2, 4)] {
-            let mut edges = replicas(e, || tiny_net(1));
+            let mut edges = edge_replicas(e, 1);
             let mut clouds = replicas(c, || tiny_cloud(2));
             let cfg = ServeConfig::new(policy, e, c, b);
             let report = serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 3));
@@ -699,7 +1031,7 @@ mod tests {
     #[test]
     fn edge_only_serving_needs_no_cloud_replicas() {
         let bundle = presets::tiny(61);
-        let mut edges = replicas(2, || tiny_net(3));
+        let mut edges = edge_replicas(2, 3);
         let cfg = ServeConfig::new(OffloadPolicy::Never, 2, 0, 1);
         let report = serve(&cfg, &mut edges, &mut [], &instant_requests(&bundle.test, 2));
         assert_eq!(report.stats.offloaded, 0);
@@ -712,7 +1044,7 @@ mod tests {
     #[test]
     fn dynamic_batching_actually_batches_under_saturation() {
         let bundle = presets::tiny(62);
-        let mut edges = replicas(1, || tiny_net(4));
+        let mut edges = edge_replicas(1, 4);
         let mut clouds = replicas(1, || tiny_cloud(5));
         let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 8);
         // A generous wait so queued items coalesce even on a slow host.
@@ -732,7 +1064,7 @@ mod tests {
     #[test]
     fn controller_steers_beta_in_the_serving_path() {
         let bundle = presets::tiny(63);
-        let mut edges = replicas(1, || tiny_net(6));
+        let mut edges = edge_replicas(1, 6);
         let mut clouds = replicas(1, || tiny_cloud(7));
         let target = 0.5;
         let mut cfg = ServeConfig::new(OffloadPolicy::Never, 1, 1, 4);
@@ -757,7 +1089,7 @@ mod tests {
     #[test]
     fn latency_histogram_quantiles_are_ordered() {
         let bundle = presets::tiny(64);
-        let mut edges = replicas(1, || tiny_net(8));
+        let mut edges = edge_replicas(1, 8);
         let mut clouds = replicas(1, || tiny_cloud(9));
         let cfg = ServeConfig::new(OffloadPolicy::EntropyThreshold(0.5), 1, 1, 2);
         let report = serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2));
@@ -771,7 +1103,7 @@ mod tests {
         let bundle = presets::tiny(65);
         let n = bundle.test.len();
         let run = |link: Option<NetworkLink>| {
-            let mut edges = replicas(1, || tiny_net(10));
+            let mut edges = edge_replicas(1, 10);
             let mut clouds = replicas(1, || tiny_cloud(11));
             let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 4);
             cfg.link = link;
@@ -788,10 +1120,10 @@ mod tests {
     fn quantised_wire_serves_everything_and_mostly_agrees_with_lossless() {
         let bundle = presets::tiny(69);
         let run = |wire: WireFormat| {
-            let mut edges = replicas(2, || tiny_net(14));
+            let mut edges = edge_replicas(2, 14);
             let mut clouds = replicas(1, || tiny_cloud(15));
             let mut cfg = ServeConfig::new(OffloadPolicy::Always, 2, 1, 4);
-            cfg.wire = wire;
+            cfg.payload = PayloadPlan::Image(wire);
             serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2))
         };
         let lossless = run(WireFormat::Float32);
@@ -834,7 +1166,7 @@ mod tests {
         let bundle = presets::tiny(67);
         let mut reqs = instant_requests(&bundle.test, 1);
         reqs[0].arrival_s = 1.0;
-        let mut edges = replicas(1, || tiny_net(12));
+        let mut edges = edge_replicas(1, 12);
         let _ = serve(&ServeConfig::new(OffloadPolicy::Never, 1, 0, 1), &mut edges, &mut [], &reqs);
     }
 
@@ -842,9 +1174,174 @@ mod tests {
     #[should_panic(expected = "requires a cloud model")]
     fn offload_policy_without_cloud_workers_rejected() {
         let bundle = presets::tiny(68);
-        let mut edges = replicas(1, || tiny_net(13));
+        let mut edges = edge_replicas(1, 13);
         let reqs = instant_requests(&bundle.test, 1);
         let _ = serve(&ServeConfig::new(OffloadPolicy::Always, 1, 0, 1), &mut edges, &mut [], &reqs);
+    }
+
+    /// A feature config with a fixed cut and the given wire.
+    fn feature_plan(wire: FeatureWire, cut: usize) -> PayloadPlan {
+        PayloadPlan::Features(FeatureConfig { wire, cut: CutSelection::Fixed(cut) })
+    }
+
+    #[test]
+    fn feature_payload_any_fixed_cut_matches_image_mode_bitwise() {
+        // The crux of the tentpole: shipping the activation at ANY cut and
+        // resuming on the cloud is indistinguishable (in records) from
+        // shipping pixels — the cut moves compute, never predictions.
+        let bundle = presets::tiny(72);
+        let policy = OffloadPolicy::EntropyThreshold(0.5);
+        let run = |payload: PayloadPlan| {
+            let mut edges = split_replicas(2, 16, 17);
+            let mut clouds = replicas(2, || tiny_cloud(17));
+            let mut cfg = ServeConfig::new(policy, 2, 2, 4);
+            cfg.payload = payload;
+            serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 3))
+        };
+        let image = run(PayloadPlan::Image(WireFormat::Float32));
+        let layers = tiny_cloud(17).cut_layer_count();
+        for cut in [0, 1, layers / 2, layers - 1] {
+            let feat = run(feature_plan(FeatureWire::F32, cut));
+            assert_eq!(feat.records, image.records, "cut {cut} changed records");
+            if cut > 0 {
+                assert!(feat.stats.cloud_macs_saved > 0, "cut {cut} saved no cloud MACs");
+            }
+            assert_eq!(
+                feat.stats.cloud_macs + feat.stats.cloud_macs_saved,
+                image.stats.cloud_macs,
+                "cut {cut}: MAC split does not cover the full forward"
+            );
+            assert_eq!(feat.stats.final_cuts, Some(vec![cut]));
+        }
+        assert_eq!(image.stats.cloud_macs_saved, 0);
+        assert_eq!(image.stats.final_cuts, None);
+    }
+
+    #[test]
+    fn deep_int8_cut_beats_raw_image_upload_on_bytes() {
+        let bundle = presets::tiny(73);
+        let run = |payload: PayloadPlan| {
+            let mut edges = split_replicas(1, 18, 19);
+            let mut clouds = replicas(1, || tiny_cloud(19));
+            let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 4);
+            cfg.payload = payload;
+            serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2))
+        };
+        let raw = run(PayloadPlan::Image(WireFormat::Quantised8Bit));
+        let deep = tiny_cloud(19).cut_layer_count() - 1;
+        let int8 = run(feature_plan(FeatureWire::Int8, deep));
+        let f32_deep = run(feature_plan(FeatureWire::F32, deep));
+        assert!(
+            int8.stats.bytes_to_cloud < raw.stats.bytes_to_cloud,
+            "deep int8 activations should undercut the raw-image upload: {} vs {}",
+            int8.stats.bytes_to_cloud,
+            raw.stats.bytes_to_cloud
+        );
+        // While f32 features at the same cut are bigger than the raw image
+        // (the paper's objection to sending features from small images).
+        assert!(f32_deep.stats.bytes_to_cloud > raw.stats.bytes_to_cloud);
+        // Responses are charged: every offload pulls its prediction back.
+        assert_eq!(int8.stats.bytes_from_cloud, RESPONSE_WIRE_BYTES * int8.stats.offloaded as u64);
+        // Int8 may flip borderline predictions but serves everything.
+        assert_eq!(int8.records.len(), raw.records.len());
+        assert!(int8.records.iter().all(|r| r.exit == ExitPoint::Cloud));
+    }
+
+    #[test]
+    fn planned_cut_is_deterministic_and_in_range() {
+        let bundle = presets::tiny(74);
+        let planned = PayloadPlan::Features(FeatureConfig {
+            wire: FeatureWire::Int8,
+            cut: CutSelection::Planned(CutPlannerConfig {
+                classes: vec![
+                    DeviceProfile::new("fast edge", 10.0, 1e12),
+                    DeviceProfile::new("slow edge", 10.0, 1e7),
+                ],
+                cloud: DeviceProfile::new("cloud", 200.0, 1e11),
+                objective: Objective::Latency,
+            }),
+        });
+        let run = || {
+            let mut edges = split_replicas(2, 20, 21);
+            let mut clouds = replicas(1, || tiny_cloud(21));
+            let mut cfg = ServeConfig::new(OffloadPolicy::Always, 2, 1, 4);
+            cfg.payload = planned.clone();
+            cfg.link = Some(NetworkLink::wifi(1.0).with_rtt(0.001));
+            serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 4))
+        };
+        let a = run();
+        let b = run();
+        let cuts = a.stats.final_cuts.clone().expect("feature mode reports cuts");
+        assert_eq!(cuts.len(), 2, "one cut per device class");
+        let layers = tiny_cloud(21).cut_layer_count();
+        assert!(cuts.iter().all(|&c| c < layers));
+        assert_eq!(a.stats.final_cuts, b.stats.final_cuts, "closed-form planning must be deterministic");
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.stats.cut_replans, 0, "no controller, no replans");
+    }
+
+    #[test]
+    fn controller_replans_cuts_without_touching_predictions() {
+        // A controller window moves β; the planner re-derives the cut
+        // under the new contention. With the lossless wire the records
+        // still match plain image serving bit for bit.
+        let bundle = presets::tiny(75);
+        let mut requests = Vec::new();
+        for rep in 0..4 {
+            for mut r in instant_requests(&bundle.test, 4) {
+                r.seq += rep * bundle.test.len();
+                requests.push(r);
+            }
+        }
+        let controller =
+            Some(ControllerConfig { controller: ThresholdController::new(1.0, 0.5, 2.0, (0.0, 3.0)), window: 16 });
+        // One edge worker: the controller's window feedback then happens
+        // in arrival order, so both runs see the same threshold (and cut)
+        // trajectory. With several edge workers the lock interleaving —
+        // not the payload plan — can reorder observations.
+        let run = |payload: PayloadPlan| {
+            let mut edges = split_replicas(1, 22, 23);
+            let mut clouds = replicas(2, || tiny_cloud(23));
+            let mut cfg = ServeConfig::new(OffloadPolicy::Never, 1, 2, 4);
+            cfg.payload = payload;
+            cfg.controller = controller;
+            cfg.link = Some(NetworkLink::wifi(40.0).with_rtt(0.0005));
+            serve(&cfg, &mut edges, &mut clouds, &requests)
+        };
+        let planned = PayloadPlan::Features(FeatureConfig {
+            wire: FeatureWire::F32,
+            cut: CutSelection::Planned(CutPlannerConfig {
+                classes: vec![DeviceProfile::new("edge", 10.0, 1e8)],
+                cloud: DeviceProfile::new("cloud", 200.0, 1e11),
+                objective: Objective::Latency,
+            }),
+        });
+        let feat = run(planned);
+        let image = run(PayloadPlan::Image(WireFormat::Float32));
+        assert_eq!(feat.records, image.records, "replanning leaked into predictions");
+        assert!(feat.stats.final_cuts.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no cloud prefix")]
+    fn feature_mode_without_prefixes_rejected() {
+        let bundle = presets::tiny(76);
+        let mut edges = edge_replicas(1, 24);
+        let mut clouds = replicas(1, || tiny_cloud(25));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+        cfg.payload = feature_plan(FeatureWire::F32, 1);
+        let _ = serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fixed_cut_out_of_range_rejected() {
+        let bundle = presets::tiny(78);
+        let mut edges = split_replicas(1, 26, 27);
+        let mut clouds = replicas(1, || tiny_cloud(27));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+        cfg.payload = feature_plan(FeatureWire::F32, tiny_cloud(27).cut_layer_count());
+        let _ = serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1));
     }
 
     #[test]
@@ -860,13 +1357,13 @@ mod tests {
         for workers in [1usize, 3] {
             let (results, stats) =
                 run_payload_pipeline(payloads.clone(), workers, 4, Duration::from_millis(1), 4, |p| {
-                    p.tensor().sum().clamp(0.0, 11.0) as usize
+                    p.to_tensor().sum().clamp(0.0, 11.0) as usize
                 });
             assert_eq!(results.len(), 12);
             assert_eq!(stats.payloads, 12);
             assert_eq!(stats.bytes_sent, expected_bytes);
             let (serial, _) = run_payload_pipeline(payloads.clone(), 1, 1, Duration::ZERO, 4, |p| {
-                p.tensor().sum().clamp(0.0, 11.0) as usize
+                p.to_tensor().sum().clamp(0.0, 11.0) as usize
             });
             assert_eq!(results, serial, "worker/batch configuration changed results");
         }

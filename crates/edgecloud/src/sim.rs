@@ -241,7 +241,7 @@ mod tests {
             .collect();
         // "Classifier": index of the largest element sum bucketised.
         let (results, stats) = run_threaded(payloads.clone(), |p| {
-            let s = p.tensor().sum();
+            let s = p.to_tensor().sum();
             s.clamp(0.0, 5.0) as usize
         });
         assert_eq!(results.len(), 6);

@@ -25,6 +25,7 @@ fn env(throughput_mbps: f64) -> PartitionEnv {
         link: NetworkLink::wifi(throughput_mbps).with_rtt(0.005),
         bytes_per_elem: 4,
         raw_input_bytes: 3072,
+        response_bytes: 8,
     }
 }
 

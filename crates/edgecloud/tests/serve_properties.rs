@@ -1,9 +1,12 @@
 //! Property-based tests on the serving runtime: per-device response
-//! ordering under dynamic batching, and record equivalence with the
-//! offline sweep under arbitrary worker/batch configurations.
+//! ordering under dynamic batching, record equivalence with the offline
+//! sweep under arbitrary worker/batch configurations, and cut-point
+//! invariance of feature-payload serving.
 
 use mea_data::{presets, ClassDict};
-use mea_edgecloud::serve::{serve, trace_requests, ServeConfig};
+use mea_edgecloud::serve::{
+    serve, trace_requests, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, PayloadPlan, ServeConfig,
+};
 use mea_edgecloud::traces::ArrivalModel;
 use mea_nn::models::{resnet_cifar, CifarResNetConfig, SegmentedCnn};
 use mea_tensor::Rng;
@@ -59,7 +62,7 @@ proptest! {
         let mut rng = Rng::new(5);
         let requests =
             trace_requests(&bundle.test, devices, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
-        let mut edges: Vec<MeaNet> = (0..edge_workers).map(|_| tiny_net(21)).collect();
+        let mut edges: Vec<EdgeReplica> = (0..edge_workers).map(|_| EdgeReplica::new(tiny_net(21))).collect();
         let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|_| tiny_cloud(22)).collect();
         let mut cfg = ServeConfig::new(
             OffloadPolicy::EntropyThreshold(threshold),
@@ -118,10 +121,55 @@ proptest! {
         let mut rng = Rng::new(6);
         let requests =
             trace_requests(&bundle.test, devices, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
-        let mut edges: Vec<MeaNet> = (0..edge_workers).map(|_| tiny_net(23)).collect();
+        let mut edges: Vec<EdgeReplica> = (0..edge_workers).map(|_| EdgeReplica::new(tiny_net(23))).collect();
         let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|_| tiny_cloud(24)).collect();
         let cfg = ServeConfig::new(policy, edge_workers, cloud_workers, max_batch);
         let report = serve(&cfg, &mut edges, &mut clouds, &requests);
         prop_assert_eq!(report.records, expected);
+    }
+
+    /// Any cut index yields bitwise-identical cloud predictions: serving
+    /// with a feature payload (lossless wire) at an arbitrary cut, under
+    /// an arbitrary worker/batch topology, reproduces the offline sweep's
+    /// records exactly — and saves the cloud exactly the prefix MACs.
+    #[test]
+    fn any_cut_yields_bitwise_identical_cloud_predictions(
+        cut_pick in 0usize..1000,
+        devices in 1usize..4,
+        edge_workers in 1usize..3,
+        cloud_workers in 1usize..3,
+        max_batch in 1usize..6,
+        threshold in 0.0f32..1.5,
+    ) {
+        let bundle = presets::tiny(79);
+        let policy = OffloadPolicy::EntropyThreshold(threshold);
+        let mut offline_net = tiny_net(25);
+        let mut offline_cloud = tiny_cloud(26);
+        let expected =
+            run_inference_with_policy(&mut offline_net, Some(&mut offline_cloud), &bundle.test, policy, 8);
+
+        let layers = tiny_cloud(26).cut_layer_count();
+        let cut = cut_pick % layers;
+        let mut rng = Rng::new(7);
+        let requests =
+            trace_requests(&bundle.test, devices, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+        let mut edges: Vec<EdgeReplica> = (0..edge_workers)
+            .map(|_| EdgeReplica::with_cloud_prefix(tiny_net(25), tiny_cloud(26)))
+            .collect();
+        let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|_| tiny_cloud(26)).collect();
+        let mut cfg = ServeConfig::new(policy, edge_workers, cloud_workers, max_batch);
+        cfg.payload = PayloadPlan::Features(FeatureConfig {
+            wire: FeatureWire::F32,
+            cut: CutSelection::Fixed(cut),
+        });
+        let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+        prop_assert_eq!(report.records, expected, "cut {} diverged", cut);
+        prop_assert_eq!(report.stats.final_cuts, Some(vec![cut]));
+        // MAC conservation: executed + saved = offloads x full forward.
+        let total_macs: u64 = tiny_cloud(26).total_macs();
+        prop_assert_eq!(
+            report.stats.cloud_macs + report.stats.cloud_macs_saved,
+            report.stats.offloaded as u64 * total_macs
+        );
     }
 }

@@ -52,6 +52,61 @@ impl SegmentedCnn {
         self.head.forward(&cur, mode)
     }
 
+    /// Number of partitionable top-level layers: every layer of every
+    /// segment in forward order, plus the head counted as one opaque
+    /// unit. This is the enumeration the edge-cloud partition search
+    /// scores, so a cut index `k` means layers `[0, k)` run on one side
+    /// and `[k, cut_layer_count())` on the other.
+    pub fn cut_layer_count(&self) -> usize {
+        self.segments.iter().map(|s| s.len()).sum::<usize>() + 1
+    }
+
+    /// Runs top-level layers `[from, to)` in evaluation order. The head
+    /// occupies the final index (`cut_layer_count() - 1`).
+    ///
+    /// Because [`crate::sequential::Sequential::forward`] is exactly this
+    /// loop, chaining `forward_range(x, 0, k)` into
+    /// `forward_range(·, k, L)` is **bitwise identical** to one
+    /// uninterrupted [`SegmentedCnn::forward`] — the guarantee the
+    /// feature-payload serving path relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to` or `to > cut_layer_count()`.
+    pub fn forward_range(&mut self, x: &Tensor, from: usize, to: usize, mode: Mode) -> Tensor {
+        let total = self.cut_layer_count();
+        assert!(from <= to, "inverted layer range [{from}, {to})");
+        assert!(to <= total, "layer range end {to} exceeds the {total} cut layers");
+        let mut cur = x.clone();
+        let mut idx = 0usize;
+        for seg in &mut self.segments {
+            for layer in seg.layers_mut() {
+                if idx >= from && idx < to {
+                    cur = layer.forward(&cur, mode);
+                }
+                idx += 1;
+            }
+        }
+        if idx >= from && idx < to {
+            cur = self.head.forward(&cur, mode);
+        }
+        cur
+    }
+
+    /// Runs the prefix `[0, cut)` — what the edge executes before
+    /// shipping the activation at a partition cut.
+    pub fn forward_prefix(&mut self, x: &Tensor, cut: usize, mode: Mode) -> Tensor {
+        self.forward_range(x, 0, cut, mode)
+    }
+
+    /// Resumes the forward at layer `cut` from an activation produced by
+    /// [`SegmentedCnn::forward_prefix`] at the same cut, running the
+    /// suffix (including the head) to logits. `forward_from(x, 0, mode)`
+    /// is bitwise identical to [`SegmentedCnn::forward`].
+    pub fn forward_from(&mut self, activation: &Tensor, cut: usize, mode: Mode) -> Tensor {
+        self.forward_range(activation, cut, self.cut_layer_count(), mode)
+    }
+
     /// Backpropagates a logits gradient through the head and all segments
     /// (requires a preceding training-mode [`SegmentedCnn::forward`]).
     pub fn backward(&mut self, grad_logits: &Tensor) {
@@ -128,6 +183,43 @@ mod tests {
         let y = head.forward(&x, Mode::Eval);
         assert_eq!(y.dims(), &[2, 5]);
         assert_eq!(head.param_count(), 8 * 5 + 5);
+    }
+
+    #[test]
+    fn split_forward_is_bitwise_identical_at_every_cut() {
+        // The feature-payload serving path runs the prefix on the edge and
+        // resumes on the cloud; any cut must reproduce the monolithic
+        // forward bit for bit, or the partition choice would become an
+        // accuracy knob instead of a cost knob.
+        let mut rng = Rng::new(11);
+        let mut cfg = CifarResNetConfig::repro_scale(6);
+        cfg.input_hw = 8;
+        let mut net = resnet_cifar(&cfg, &mut rng);
+        let x = Tensor::randn([3, 3, 8, 8], 1.0, &mut rng);
+        let expected = net.forward(&x, Mode::Eval);
+        let l = net.cut_layer_count();
+        assert!(l >= 3, "resnet should expose several cut layers, got {l}");
+        for cut in 0..=l {
+            let mid = net.forward_prefix(&x, cut, Mode::Eval);
+            let out = net.forward_from(&mid, cut, Mode::Eval);
+            assert_eq!(out.as_slice(), expected.as_slice(), "cut {cut} diverged from the monolithic forward");
+        }
+        // Cut 0 ships the input unchanged; the full-range resume is the
+        // whole network.
+        assert_eq!(net.forward_prefix(&x, 0, Mode::Eval).as_slice(), x.as_slice());
+        assert_eq!(net.forward_from(&x, 0, Mode::Eval).as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn out_of_range_cut_rejected() {
+        let mut rng = Rng::new(12);
+        let mut cfg = CifarResNetConfig::repro_scale(6);
+        cfg.input_hw = 8;
+        let mut net = resnet_cifar(&cfg, &mut rng);
+        let l = net.cut_layer_count();
+        let x = Tensor::randn([1, 3, 8, 8], 1.0, &mut rng);
+        let _ = net.forward_prefix(&x, l + 1, Mode::Eval);
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! * [`qlayers`] — fused `conv+BN+ReLU`, depthwise conv, linear, pools,
 //!   residual add;
 //! * [`convert`] — the graph walker that fuses, calibrates and emits the
-//!   quantized network.
+//!   quantized network;
+//! * [`wire`] — the little-endian int8 byte codec quantized feature
+//!   payloads travel in on the edge→cloud link.
 //!
 //! ```
 //! use mea_nn::layers::{Activation, BatchNorm2d, Conv2d, GlobalAvgPool, Linear};
@@ -53,6 +55,7 @@ pub mod observer;
 pub mod qlayers;
 pub mod qparams;
 pub mod qtensor;
+pub mod wire;
 
 pub use convert::{quantize_segmented, quantize_sequential, QNetwork, QOp, QResidual};
 pub use error::QuantError;

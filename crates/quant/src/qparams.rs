@@ -94,6 +94,30 @@ impl QuantParams {
         QuantParams { scheme: QScheme::SymmetricPerChannel, scales, zero_points }
     }
 
+    /// Reassembles parameters from their raw parts — the decode side of
+    /// the wire codec ([`crate::wire`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent parts: empty or length-mismatched vectors,
+    /// a per-tensor scheme with more than one channel, non-positive or
+    /// non-finite scales, or a non-zero zero-point under a symmetric
+    /// scheme.
+    pub fn from_parts(scheme: QScheme, scales: Vec<f32>, zero_points: Vec<i32>) -> Self {
+        assert!(!scales.is_empty(), "parameters need at least one channel");
+        assert_eq!(scales.len(), zero_points.len(), "scale/zero-point count mismatch");
+        if scheme != QScheme::SymmetricPerChannel {
+            assert_eq!(scales.len(), 1, "per-tensor scheme with {} channels", scales.len());
+        }
+        for &s in &scales {
+            assert!(s.is_finite() && s > 0.0, "invalid scale {s}");
+        }
+        if scheme != QScheme::AffinePerTensor {
+            assert!(zero_points.iter().all(|&z| z == 0), "symmetric scheme with non-zero zero-point");
+        }
+        QuantParams { scheme, scales, zero_points }
+    }
+
     /// The scheme these parameters follow.
     pub fn scheme(&self) -> QScheme {
         self.scheme

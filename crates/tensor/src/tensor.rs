@@ -342,6 +342,11 @@ impl Tensor {
         self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
     }
 
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
     /// Index of the maximum element in each row of a 2-D tensor (ties go to
     /// the first occurrence).
     ///

@@ -8,8 +8,13 @@
 //! cargo run --release --example serving
 //! ```
 
+use mea_edgecloud::device::DeviceProfile;
 use mea_edgecloud::network::NetworkLink;
-use mea_edgecloud::serve::{serve, trace_requests, ControllerConfig, ServeConfig, ServeRequest};
+use mea_edgecloud::partition::Objective;
+use mea_edgecloud::serve::{
+    serve, trace_requests, ControllerConfig, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig,
+    FeatureWire, PayloadPlan, ServeConfig, ServeRequest, WireFormat,
+};
 use mea_edgecloud::traces::ArrivalModel;
 use mea_nn::models::SegmentedCnn;
 use mea_nn::StateDict;
@@ -30,29 +35,38 @@ fn main() {
     let mut pipe = Pipeline::run(&cfg, &bundle.train);
 
     // Replicate the trained models onto the workers: 2 edge, 2 cloud.
+    // Every run below rebuilds fresh replicas from the same trained
+    // state, so they all serve bitwise-identical models.
     let edge_workers = 2;
     let cloud_workers = 2;
     let dict = pipe.net.hard_dict().expect("trained pipeline").clone();
-    let mut edges: Vec<MeaNet> = (0..edge_workers)
-        .map(|i| {
-            let mut rng = Rng::new(100 + i as u64);
-            let backbone = cfg.backbone.build(&mut rng);
-            let mut replica = MeaNet::from_backbone(backbone, cfg.variant, cfg.merge, &mut rng);
-            replica.attach_edge_blocks(cfg.adaptive, dict.clone(), &mut rng);
-            pipe.net.replicate_into(&mut replica);
-            replica
-        })
-        .collect();
     let cloud_state = StateDict::from_cnn(pipe.cloud.as_mut().expect("pipeline has a cloud"));
     let cloud_choice = cfg.cloud.as_ref().expect("cloud configured");
-    let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers)
-        .map(|i| {
-            let mut rng = Rng::new(200 + i as u64);
-            let mut replica = cloud_choice.build(&mut rng);
-            cloud_state.apply_to_cnn(&mut replica).expect("identical cloud architecture");
-            replica
-        })
-        .collect();
+    let build_cloud = |seed: u64| -> SegmentedCnn {
+        let mut rng = Rng::new(seed);
+        let mut replica = cloud_choice.build(&mut rng);
+        cloud_state.apply_to_cnn(&mut replica).expect("identical cloud architecture");
+        replica
+    };
+    let mut build_edges = |with_prefix: bool| -> Vec<EdgeReplica> {
+        (0..edge_workers)
+            .map(|i| {
+                let mut rng = Rng::new(100 + i as u64);
+                let backbone = cfg.backbone.build(&mut rng);
+                let mut net = MeaNet::from_backbone(backbone, cfg.variant, cfg.merge, &mut rng);
+                net.attach_edge_blocks(cfg.adaptive, dict.clone(), &mut rng);
+                pipe.net.replicate_into(&mut net);
+                if with_prefix {
+                    // Feature payloads need the cloud's prefix at the edge.
+                    EdgeReplica::with_cloud_prefix(net, build_cloud(300 + i as u64))
+                } else {
+                    EdgeReplica::new(net)
+                }
+            })
+            .collect()
+    };
+    let mut edges = build_edges(false);
+    let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|i| build_cloud(200 + i as u64)).collect();
 
     // Bursty traffic from 6 devices: 5-frame bursts with a 60 ms gap —
     // exactly the pattern that stresses the shared cloud queue. Repeat
@@ -94,4 +108,41 @@ fn main() {
     let h = report.latency_histogram(24);
     println!("latency: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms", 1e3 * h.p50(), 1e3 * h.p95(), 1e3 * h.p99());
     println!("end-to-end latency histogram (s):\n{h}");
+
+    // Feature-payload comparison: the same trace with everything
+    // offloaded, once as raw 8-bit images (the cloud recomputes from
+    // pixels) and once as int8 activations at the cut a CutPlanner picks
+    // online (the cloud resumes from the cut).
+    let mut compare = |label: &str, payload: PayloadPlan| {
+        let mut edges = build_edges(matches!(payload, PayloadPlan::Features(_)));
+        let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|i| build_cloud(400 + i as u64)).collect();
+        let mut cfg2 = ServeConfig::new(OffloadPolicy::Always, edge_workers, cloud_workers, 8);
+        cfg2.queue_depth = 8;
+        cfg2.link = Some(NetworkLink::wifi(50.0).with_rtt(0.008));
+        cfg2.payload = payload;
+        let r = serve(&cfg2, &mut edges, &mut clouds, &requests);
+        println!(
+            "{label:<26} cut {:<8} {:>8} bytes up, cloud ran {:>6.2} MMACs, skipped {:>6.2} MMACs",
+            r.stats.final_cuts.map_or("-".into(), |c| format!("{c:?}")),
+            r.stats.bytes_to_cloud,
+            r.stats.cloud_macs as f64 / 1e6,
+            r.stats.cloud_macs_saved as f64 / 1e6,
+        );
+    };
+    println!("\npayload modes over the same all-offload trace:");
+    compare("image (raw 8-bit)", PayloadPlan::Image(WireFormat::Quantised8Bit));
+    // A congested cloud (two orders of magnitude below the edge's
+    // effective throughput) pushes the planner toward a deep cut: the
+    // edge absorbs the prefix and the cloud only finishes the suffix.
+    compare(
+        "features (int8, planned)",
+        PayloadPlan::Features(FeatureConfig {
+            wire: FeatureWire::Int8,
+            cut: CutSelection::Planned(CutPlannerConfig {
+                classes: vec![DeviceProfile::new("edge worker", 15.0, 5e11)],
+                cloud: DeviceProfile::new("congested cloud", 200.0, 1e10),
+                objective: Objective::Latency,
+            }),
+        }),
+    );
 }

@@ -1,11 +1,14 @@
 //! The serving runtime and the offline sweep must be the same system:
-//! for any worker/batch configuration, `edgecloud::serve` over a trained
-//! MEANet must produce exactly the `InstanceRecord`s that sequential
-//! `run_inference` produces on the same dataset and policy — dynamic
-//! batching, worker scheduling and the wire format may not change a
-//! single prediction, entropy or exit.
+//! for any worker/batch configuration — and for any payload plan with a
+//! lossless wire — `edgecloud::serve` over a trained MEANet must produce
+//! exactly the `InstanceRecord`s that sequential `run_inference` produces
+//! on the same dataset and policy. Dynamic batching, worker scheduling,
+//! the wire format and the partition cut may not change a single
+//! prediction, entropy or exit.
 
-use mea_edgecloud::serve::{serve, trace_requests, ServeConfig};
+use mea_edgecloud::serve::{
+    serve, trace_requests, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, PayloadPlan, ServeConfig,
+};
 use mea_edgecloud::traces::ArrivalModel;
 use mea_nn::models::SegmentedCnn;
 use mea_nn::StateDict;
@@ -45,6 +48,19 @@ fn edge_replicas(pipe: &mut Pipeline, cfg: &PipelineConfig, count: usize) -> Vec
         .collect()
 }
 
+/// Image-payload serving replicas (no cloud prefix).
+fn serving_replicas(pipe: &mut Pipeline, cfg: &PipelineConfig, count: usize) -> Vec<EdgeReplica> {
+    edge_replicas(pipe, cfg, count).into_iter().map(EdgeReplica::new).collect()
+}
+
+/// Feature-payload serving replicas: each edge additionally carries a
+/// bitwise replica of the trained cloud network for prefix execution.
+fn split_serving_replicas(pipe: &mut Pipeline, cfg: &PipelineConfig, count: usize) -> Vec<EdgeReplica> {
+    let nets = edge_replicas(pipe, cfg, count);
+    let prefixes = cloud_replicas(pipe, cfg, count);
+    nets.into_iter().zip(prefixes).map(|(n, p)| EdgeReplica::with_cloud_prefix(n, p)).collect()
+}
+
 /// Builds `count` bitwise replicas of the trained cloud DNN.
 fn cloud_replicas(pipe: &mut Pipeline, cfg: &PipelineConfig, count: usize) -> Vec<SegmentedCnn> {
     let cloud = pipe.cloud.as_mut().expect("pipeline has a cloud");
@@ -77,7 +93,7 @@ fn serving_runtime_reproduces_sequential_inference_exactly() {
     let mut rng = Rng::new(3);
     let requests = trace_requests(&bundle.test, 5, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
     for (e, c, b) in [(1usize, 1usize, 1usize), (2, 2, 1), (4, 1, 8), (3, 2, 4)] {
-        let mut edges = edge_replicas(&mut pipe, &cfg, e);
+        let mut edges = serving_replicas(&mut pipe, &cfg, e);
         let mut clouds = cloud_replicas(&mut pipe, &cfg, c);
         let serve_cfg = ServeConfig::new(policy, e, c, b);
         let report = serve(&serve_cfg, &mut edges, &mut clouds, &requests);
@@ -90,6 +106,49 @@ fn serving_runtime_reproduces_sequential_inference_exactly() {
 }
 
 #[test]
+fn feature_payload_serving_is_the_same_system_at_every_cut() {
+    // The three substrates — sequential `run_inference`, image-payload
+    // serving, feature-payload serving at an arbitrary cut — must be one
+    // system: identical records everywhere, while the cloud provably
+    // recomputes less the deeper the cut.
+    let (mut pipe, cfg, bundle) = trained_system();
+    let mid = 0.5 * (pipe.entropy.mean_correct + pipe.entropy.mean_wrong) as f32;
+    let policy = OffloadPolicy::EntropyThreshold(mid);
+
+    let mut offline_net = edge_replicas(&mut pipe, &cfg, 1);
+    let mut offline_cloud = cloud_replicas(&mut pipe, &cfg, 1);
+    let expected =
+        run_inference_with_policy(&mut offline_net[0], Some(&mut offline_cloud[0]), &bundle.test, policy, 16);
+    assert!(
+        expected.iter().any(|r| r.exit == meanet::ExitPoint::Cloud),
+        "threshold routed nothing to the cloud; test is too weak"
+    );
+
+    let mut rng = Rng::new(5);
+    let requests = trace_requests(&bundle.test, 4, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+    let layers = cloud_replicas(&mut pipe, &cfg, 1)[0].cut_layer_count();
+    let mut saved_at: Vec<u64> = Vec::new();
+    for (e, c, b, cut) in
+        [(1usize, 1usize, 1usize, 0usize), (2, 2, 4, 1), (3, 1, 8, layers / 2), (2, 2, 2, layers - 1)]
+    {
+        let mut edges = split_serving_replicas(&mut pipe, &cfg, e);
+        let mut clouds = cloud_replicas(&mut pipe, &cfg, c);
+        let mut serve_cfg = ServeConfig::new(policy, e, c, b);
+        serve_cfg.payload =
+            PayloadPlan::Features(FeatureConfig { wire: FeatureWire::F32, cut: CutSelection::Fixed(cut) });
+        let report = serve(&serve_cfg, &mut edges, &mut clouds, &requests);
+        assert_eq!(
+            report.records, expected,
+            "feature serve(edge={e}, cloud={c}, max_batch={b}, cut={cut}) diverged from the offline sweep"
+        );
+        saved_at.push(report.stats.cloud_macs_saved);
+    }
+    assert_eq!(saved_at[0], 0, "cut 0 ships pixels and saves nothing");
+    assert!(saved_at.windows(2).all(|w| w[0] <= w[1]), "deeper cuts must save at least as much: {saved_at:?}");
+    assert!(*saved_at.last().unwrap() > 0, "the deepest cut must spare the cloud real recompute");
+}
+
+#[test]
 fn batched_cloud_forward_is_bitwise_stable_across_batch_caps() {
     // Same trained system, saturating all-offload traffic: whatever batch
     // sizes the dynamic batcher happens to form, the predictions must be
@@ -99,7 +158,7 @@ fn batched_cloud_forward_is_bitwise_stable_across_batch_caps() {
     let requests = trace_requests(&bundle.test, 3, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
     let mut baseline = None;
     for max_batch in [1usize, 2, 8] {
-        let mut edges = edge_replicas(&mut pipe, &cfg, 1);
+        let mut edges = serving_replicas(&mut pipe, &cfg, 1);
         let mut clouds = cloud_replicas(&mut pipe, &cfg, 1);
         let mut serve_cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, max_batch);
         serve_cfg.max_wait = std::time::Duration::from_millis(1);

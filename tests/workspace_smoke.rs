@@ -58,7 +58,7 @@ fn workspace_smoke() {
     let wire = Payload::Features { features: edge_out }.encode();
     assert!(!wire.is_empty(), "encoded payload is empty");
     let received = Payload::decode(wire);
-    let mut cloud_out = received.tensor().clone();
+    let mut cloud_out = received.into_tensor();
     for seg in &mut net.segments[cut..] {
         cloud_out = seg.forward(&cloud_out, Mode::Eval);
     }
@@ -77,6 +77,7 @@ fn workspace_smoke() {
         link: NetworkLink::wifi(8.0).with_rtt(0.005),
         bytes_per_elem: 4,
         raw_input_bytes: (3 * hw * hw) as u64,
+        response_bytes: 8,
     };
     let costs = sweep_cuts(&profiles, &env);
     assert_eq!(costs.len(), profiles.len() + 1);
