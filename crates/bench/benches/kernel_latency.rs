@@ -54,16 +54,34 @@ fn bench_qgemm(c: &mut Criterion) {
 
 // Explicit main instead of `criterion_main!`: the per-kernel mean times
 // feed the CI regression gate as `_ms` metrics.
+//
+// The gate sees the per-kernel **median of three** full in-process
+// repeats: a single repeat's mean is at the mercy of transient background
+// load (a concurrent compile once pushed one kernel over the 20%
+// threshold), while a median tolerates one bad repeat without loosening
+// the gate itself.
 fn main() {
     let mut rep = Reporter::start("kernel_latency");
-    let mut c = Criterion::default().sample_size(10);
-    bench_edge_inference(&mut c);
-    bench_cloud_inference(&mut c);
-    bench_matmul(&mut c);
-    bench_int8_inference(&mut c);
-    bench_qgemm(&mut c);
-    for (id, mean_ms) in c.mean_times_ms() {
-        rep.metric(&format!("{id}_ms"), *mean_ms);
+    let mut repeats: Vec<Vec<(String, f64)>> = Vec::new();
+    for _ in 0..3 {
+        let mut c = Criterion::default().sample_size(10);
+        bench_edge_inference(&mut c);
+        bench_cloud_inference(&mut c);
+        bench_matmul(&mut c);
+        bench_int8_inference(&mut c);
+        bench_qgemm(&mut c);
+        repeats.push(c.mean_times_ms().to_vec());
+    }
+    for (k, (id, _)) in repeats[0].iter().enumerate() {
+        let mut samples: Vec<f64> = repeats
+            .iter()
+            .map(|r| {
+                assert_eq!(r[k].0, *id, "repeats must run the same kernels in the same order");
+                r[k].1
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        rep.metric(&format!("{id}_ms"), samples[1]);
     }
     rep.finish();
 }

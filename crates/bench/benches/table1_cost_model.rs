@@ -16,5 +16,29 @@ fn main() {
     for (strategy, total) in &totals {
         rep.metric(&format!("{strategy:?}_edge_total_j").to_lowercase(), *total);
     }
+
+    // The "sending features" row, measured end-to-end by the offline
+    // sweep (`run_inference_with_payload`) instead of assumed: the paper
+    // models f32 features as input-sized (4x the raw bytes); a planned
+    // cut ships the actual activation, and the int8 wire undercuts even
+    // the raw image.
+    let (mtable, m) = tables::table1_measured_features();
+    println!("== Table I, communication column: modelled vs measured ==\n{mtable}");
+    assert!(m.offloaded > 0, "beta quantile offloaded nothing; the measured row is vacuous");
+    assert!(m.cut > 0, "the planner should pick a non-trivial cut under a congested uplink");
+    assert!(m.records_identical, "the lossless feature sweep must reproduce the pixel sweep's records");
+    // Measured raw == modelled raw: the pixel payload is exactly the
+    // paper's 1 byte per sample.
+    assert_eq!(m.raw_measured, m.raw_modelled as f64);
+    // The planned cut ships a smaller activation than the input-sized f32
+    // map the model assumes, and int8 beats even the raw upload.
+    assert!(m.f32_measured < m.f32_modelled as f64, "planned cut should undercut the modelled features row");
+    assert!(m.int8_measured < m.raw_measured, "int8 features at the planned cut should beat raw pixels");
+    rep.metric("measured_offloaded", m.offloaded as f64);
+    rep.metric("measured_cut", m.cut as f64);
+    rep.metric("measured_raw_bytes_per_offload", m.raw_measured);
+    rep.metric("measured_f32_bytes_per_offload", m.f32_measured);
+    rep.metric("measured_int8_bytes_per_offload", m.int8_measured);
+    rep.metric("modelled_f32_bytes_per_offload", m.f32_modelled as f64);
     rep.finish();
 }

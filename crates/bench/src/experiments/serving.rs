@@ -6,11 +6,11 @@ use crate::scale::Scale;
 use mea_data::synth::generate;
 use mea_data::{ClassDict, Dataset};
 use mea_edgecloud::device::DeviceProfile;
-use mea_edgecloud::network::NetworkLink;
+use mea_edgecloud::network::{LinkEstimate, NetworkLink};
 use mea_edgecloud::partition::Objective;
 use mea_edgecloud::serve::{
-    serve, trace_requests, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, PayloadPlan,
-    ServeConfig, ServeReport, ServeRequest, WireFormat,
+    serve, trace_requests, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, LinkChange,
+    LinkFeedback, PayloadPlan, ServeConfig, ServeReport, ServeRequest, WireFormat,
 };
 use mea_edgecloud::traces::ArrivalModel;
 use mea_metrics::Histogram;
@@ -59,7 +59,9 @@ pub struct ServingResult {
     pub served: Vec<Vec<InstanceRecord>>,
 }
 
-fn edge_replica(seed: u64, hard: &[usize]) -> MeaNet {
+/// A tiny untrained MEANet (shared by the serving experiments and the
+/// measured Table I row).
+pub(crate) fn edge_replica(seed: u64, hard: &[usize]) -> MeaNet {
     let mut rng = Rng::new(seed);
     let mut cfg = CifarResNetConfig::repro_scale(6);
     cfg.input_hw = 8;
@@ -74,7 +76,8 @@ fn edge_replica(seed: u64, hard: &[usize]) -> MeaNet {
     net
 }
 
-fn cloud_replica(seed: u64) -> SegmentedCnn {
+/// The matching tiny cloud DNN replica builder.
+pub(crate) fn cloud_replica(seed: u64) -> SegmentedCnn {
     let mut rng = Rng::new(seed);
     let mut cfg = CifarResNetConfig::repro_scale(6);
     cfg.input_hw = 8;
@@ -85,7 +88,7 @@ fn cloud_replica(seed: u64) -> SegmentedCnn {
 
 /// Picks an entropy threshold that offloads roughly `beta` of the data
 /// (quantile of the main-exit entropies on the same instances).
-fn high_offload_policy(net: &mut MeaNet, data: &Dataset, beta: f64) -> OffloadPolicy {
+pub(crate) fn high_offload_policy(net: &mut MeaNet, data: &Dataset, beta: f64) -> OffloadPolicy {
     let probe = meanet::infer::run_inference(net, None, data, &meanet::infer::InferenceConfig::edge_only(16));
     let entropies: Vec<f32> = probe.iter().map(|r| r.entropy).collect();
     OffloadPolicy::budgeted_from_validation(&entropies, beta)
@@ -264,6 +267,7 @@ pub fn feature_payload(scale: Scale) -> FeaturePayloadResult {
                 classes: vec![DeviceProfile::new("edge worker", 15.0, 5e11)],
                 cloud: DeviceProfile::new("cloud worker", 200.0, 1e12),
                 objective: Objective::Latency,
+                feedback: None,
             }),
         }),
     );
@@ -275,6 +279,119 @@ pub fn feature_payload(scale: Scale) -> FeaturePayloadResult {
     let offloaded = offline.iter().filter(|r| r.exit == meanet::ExitPoint::Cloud).count();
     let cloud_total_macs = cloud_replica(42).total_macs();
     FeaturePayloadResult { image_raw, feature_f32, feature_int8, offline, offloaded, cloud_total_macs }
+}
+
+/// One planner-loop configuration's outcome in the measured-link
+/// feedback experiment.
+#[derive(Debug, Clone)]
+pub struct FeedbackRow {
+    /// Human-readable loop mode.
+    pub mode: &'static str,
+    /// The cut the (single) device class ended the run on.
+    pub final_cut: usize,
+    /// Replans that actually changed a cut.
+    pub cut_replans: u64,
+    /// Bytes the cloud tier received (informational: requests in flight
+    /// across a replan boundary make the exact split racy).
+    pub bytes_to_cloud: u64,
+    /// Mean wall-clock service time per request (ms).
+    pub service_ms: f64,
+    /// Records produced by the run, in input order.
+    pub records: Vec<InstanceRecord>,
+}
+
+/// Everything the `planner_feedback` bench target asserts and reports.
+#[derive(Debug)]
+pub struct PlannerFeedbackResult {
+    /// Open loop: the static contention model never hears about the
+    /// degradation and keeps its nominal plan to the end.
+    pub open: FeedbackRow,
+    /// Closed loop: per-batch link telemetry reaches the planner, which
+    /// moves the cut once the measured rate collapses.
+    pub closed: FeedbackRow,
+    /// The sequential offline sweep's records (ground truth).
+    pub offline: Vec<InstanceRecord>,
+    /// Requests offloaded (all of them: the trace serves `Always`).
+    pub offloaded: usize,
+    /// The degraded wire's uplink rate (Mbps) the schedule switches to.
+    pub degraded_up_mbps: f64,
+    /// The closed-loop run's final class-0 link estimate.
+    pub estimate: LinkEstimate,
+}
+
+/// Runs the measured-link planner-feedback experiment: one device
+/// streaming through a 1 edge × 1 cloud × `max_batch 1` pipeline (batch
+/// order — and hence the whole telemetry trajectory — is deterministic),
+/// with the wire silently degrading 100× a quarter of the way in. The
+/// same trace runs open-loop (static contention model only) and
+/// closed-loop ([`LinkFeedback`]); only the closed loop can move the cut.
+pub fn planner_feedback(scale: Scale) -> PlannerFeedbackResult {
+    let instances = match scale {
+        Scale::Smoke => 96,
+        Scale::Repro | Scale::Full => 288,
+    };
+    let mut data_cfg = scale.cifar100_like(6401);
+    data_cfg.num_classes = 6;
+    data_cfg.num_clusters = 3;
+    data_cfg.image_hw = 8;
+    data_cfg.test_per_class = instances / 6 + 1;
+    let bundle = generate(&data_cfg);
+    let data = bundle.test.subset(&(0..instances.min(bundle.test.len())).collect::<Vec<_>>());
+
+    let hard = [0usize, 2, 4];
+    let mut offline_net = edge_replica(51, &hard);
+    let mut offline_cloud = cloud_replica(52);
+    let offline =
+        run_inference_with_policy(&mut offline_net, Some(&mut offline_cloud), &data, OffloadPolicy::Always, 16);
+
+    // A slow edge next to a fast cloud: under the nominal 100 Mbps wire
+    // the planner ships pixels; once the wire collapses to 1 Mbps, paying
+    // the edge prefix to shrink the upload wins — but only measured
+    // telemetry can find that out.
+    let nominal = NetworkLink::wifi(100.0).with_rtt(0.0002);
+    let degraded = NetworkLink::wifi(1.0).with_rtt(0.0002);
+    let degrade_after = instances as u64 / 4;
+    let edge_class = DeviceProfile::new("edge", 10.0, 5e9);
+
+    let mut rng = Rng::new(9);
+    let requests = trace_requests(&data, 1, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+    let run = |mode: &'static str, feedback: Option<LinkFeedback>| -> (FeedbackRow, ServeReport) {
+        let mut edges = vec![EdgeReplica::with_cloud_prefix(edge_replica(51, &hard), cloud_replica(52))];
+        let mut clouds = vec![cloud_replica(52)];
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+        cfg.queue_depth = 4;
+        cfg.payload = PayloadPlan::Features(FeatureConfig {
+            wire: FeatureWire::F32,
+            cut: CutSelection::Planned(CutPlannerConfig {
+                classes: vec![edge_class.clone()],
+                cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                objective: Objective::Latency,
+                feedback,
+            }),
+        });
+        cfg.link = Some(nominal);
+        cfg.link_schedule = vec![LinkChange { after_batches: degrade_after, link: degraded }];
+        let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+        let row = FeedbackRow {
+            mode,
+            final_cut: report.stats.final_cuts.as_ref().expect("planned mode")[0],
+            cut_replans: report.stats.cut_replans,
+            bytes_to_cloud: report.stats.bytes_to_cloud,
+            service_ms: 1e3 * report.stats.wall_s / report.stats.total as f64,
+            records: report.records.clone(),
+        };
+        (row, report)
+    };
+
+    let (open, _) = run("open loop (static model)", None);
+    let (closed, closed_report) = run(
+        "closed loop (measured feedback)",
+        Some(LinkFeedback { alpha: 0.5, prior_samples: 0.0, replan_every: 8 }),
+    );
+    let estimate = closed_report.stats.link_estimates.expect("feedback reports estimates")[0]
+        .expect("class 0 observed at least one batch");
+    let offloaded = offline.iter().filter(|r| r.exit == meanet::ExitPoint::Cloud).count();
+    PlannerFeedbackResult { open, closed, offline, offloaded, degraded_up_mbps: 1.0, estimate }
 }
 
 fn row_from(cloud_workers: usize, report: &ServeReport) -> ServingRow {

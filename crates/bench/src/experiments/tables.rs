@@ -218,6 +218,101 @@ pub fn table1_cost_model() -> (Table, Vec<(Strategy, f64)>) {
     (table, totals)
 }
 
+/// Table I's "sending features" row, **measured** instead of modelled.
+#[derive(Debug, Clone)]
+pub struct MeasuredFeaturesResult {
+    /// Instances the sweep offloaded (same set in every payload mode).
+    pub offloaded: usize,
+    /// Total instances swept.
+    pub total: usize,
+    /// The cut the offline `CutPlanner` picked for the measured rows.
+    pub cut: usize,
+    /// Measured bytes per offload, pixel payload (paper accounting).
+    pub raw_measured: f64,
+    /// Measured bytes per offload, f32 activations at the planned cut.
+    pub f32_measured: f64,
+    /// Measured bytes per offload, int8 activations through the
+    /// `mea_quant::wire` codec (real frame, header included).
+    pub int8_measured: f64,
+    /// The paper's model for the raw row: 1 byte per input sample.
+    pub raw_modelled: u64,
+    /// The paper's model for the features row: f32 maps assumed
+    /// input-sized, i.e. 4 bytes per input sample (`x'_cu = 4·x_cu` —
+    /// exactly the `comm_feat_unit` ratio [`table1_cost_model`] uses).
+    pub f32_modelled: u64,
+    /// Whether the f32 feature sweep reproduced the pixel sweep's records
+    /// bitwise (it must: the wire is lossless).
+    pub records_identical: bool,
+}
+
+/// Measures Table I's communication column end-to-end: the same offline
+/// sweep (`run_inference_with_payload`, β ≈ 0.15 like the table) run with
+/// pixel, f32-feature and int8-feature payloads at the cut an offline
+/// [`CutPlanner`](mea_edgecloud::partition::CutPlanner) picks, next to
+/// the closed-form model's per-offload byte assumptions. The modelled
+/// features row assumes input-sized f32 maps (4× the raw bytes — the
+/// paper's stated objection to sending features); the measured rows show
+/// what a *planned* cut actually ships.
+pub fn table1_measured_features() -> (Table, MeasuredFeaturesResult) {
+    use super::serving::{cloud_replica, edge_replica, high_offload_policy};
+    use mea_edgecloud::network::NetworkLink;
+    use mea_edgecloud::partition::{CutPlanner, Objective, PartitionEnv};
+    use meanet::infer::run_inference_with_payload;
+    use meanet::SweepPayload;
+
+    let bundle = mea_data::presets::tiny(91);
+    let data = &bundle.test;
+    let hard = [0usize, 2, 4];
+    let mut probe = edge_replica(61, &hard);
+    let policy = high_offload_policy(&mut probe, data, 0.15);
+
+    // Plan the cut offline against a congested uplink (the regime where
+    // the features row earns its keep).
+    let cloud_net = cloud_replica(62);
+    let in_elems: u64 = cloud_net.in_shape.iter().map(|&d| d as u64).product();
+    let env = PartitionEnv {
+        edge: DeviceProfile::new("edge", 10.0, 5e9),
+        cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+        link: NetworkLink::wifi(1.0).with_rtt(0.0002),
+        bytes_per_elem: 4,
+        raw_input_bytes: 4 * in_elems,
+        response_bytes: 8,
+    };
+    let planner = CutPlanner::from_network(&cloud_net, env, Objective::Latency, 1);
+    let cut = planner.plan().cut;
+
+    let sweep = |payload: SweepPayload| {
+        let mut net = edge_replica(61, &hard);
+        let mut cloud = cloud_replica(62);
+        run_inference_with_payload(&mut net, Some(&mut cloud), data, policy, 16, payload)
+    };
+    let (pixel_records, pixels) = sweep(SweepPayload::Pixels);
+    let (f32_records, f32s) = sweep(SweepPayload::Features { cut });
+    let (_, int8s) = sweep(SweepPayload::QuantFeatures { cut });
+
+    let per = |bytes: u64| bytes as f64 / pixels.offloaded.max(1) as f64;
+    let result = MeasuredFeaturesResult {
+        offloaded: pixels.offloaded,
+        total: data.len(),
+        cut,
+        raw_measured: per(pixels.upload_bytes),
+        f32_measured: per(f32s.upload_bytes),
+        int8_measured: per(int8s.upload_bytes),
+        raw_modelled: in_elems,
+        f32_modelled: 4 * in_elems,
+        records_identical: f32_records == pixel_records,
+    };
+    let mut table = Table::new(&["payload", "modelled (B/offload)", "measured (B/offload)"]);
+    table.row(&["raw pixels".into(), result.raw_modelled.to_string(), format!("{:.1}", result.raw_measured)]);
+    table.row(&[
+        format!("features f32 @ cut {cut}"),
+        result.f32_modelled.to_string(),
+        format!("{:.1}", result.f32_measured),
+    ]);
+    table.row(&[format!("features int8 @ cut {cut}"), "-".into(), format!("{:.1}", result.int8_measured)]);
+    (table, result)
+}
+
 /// One row of the Table VI reproduction.
 #[derive(Debug, Clone)]
 pub struct FlopsRow {

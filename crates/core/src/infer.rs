@@ -8,7 +8,7 @@
 
 use crate::model::MeaNet;
 use crate::policy::OffloadPolicy;
-use crate::routing::{PendingCloud, RoutingEngine};
+use crate::routing::{PendingCloud, RoutingEngine, SweepPayload};
 use mea_data::Dataset;
 use mea_nn::layer::Mode;
 use mea_nn::models::SegmentedCnn;
@@ -106,14 +106,53 @@ pub fn run_inference(
 /// but no cloud model is given.
 pub fn run_inference_with_policy(
     net: &mut MeaNet,
-    mut cloud: Option<&mut SegmentedCnn>,
+    cloud: Option<&mut SegmentedCnn>,
     data: &Dataset,
     policy: OffloadPolicy,
     batch_size: usize,
 ) -> Vec<InstanceRecord> {
+    run_inference_with_payload(net, cloud, data, policy, batch_size, SweepPayload::Pixels).0
+}
+
+/// Byte accounting of one offline sweep — the measured side of Table I's
+/// communication column (what the closed-form `mea_edgecloud::cost` model
+/// only estimates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Instances routed to the cloud.
+    pub offloaded: usize,
+    /// Bytes that crossed the edge→cloud wire, under the payload mode's
+    /// accounting (see [`SweepPayload`]).
+    pub upload_bytes: u64,
+    /// The cut layer offloads resumed at (0 = cloud computed from the
+    /// payload's input tensor).
+    pub cut: usize,
+}
+
+/// [`run_inference_with_policy`] with a configurable offload payload: the
+/// feature-payload modes run the cloud network's prefix on the edge side
+/// and resume at the cut, exactly like `mea_edgecloud::serve`'s
+/// `PayloadPlan::Features` — same routing, same split execution, same
+/// int8 wire — so the sequential sweep measures Table I's "sending
+/// features" row end-to-end and is provably record-identical to
+/// feature-payload serving at the same cut.
+///
+/// # Panics
+///
+/// Panics if edge blocks are not attached, if the policy can offload but
+/// no cloud model is given, or if a feature cut is out of range.
+pub fn run_inference_with_payload(
+    net: &mut MeaNet,
+    mut cloud: Option<&mut SegmentedCnn>,
+    data: &Dataset,
+    policy: OffloadPolicy,
+    batch_size: usize,
+    payload: SweepPayload,
+) -> (Vec<InstanceRecord>, SweepStats) {
     assert!(net.hard_dict().is_some(), "attach edge blocks before inference");
     let engine = RoutingEngine::new(policy, cloud.is_some());
     let mut records = Vec::with_capacity(data.len());
+    let mut stats = SweepStats { cut: payload.cut(), ..SweepStats::default() };
     for (images, labels) in data.batches(batch_size) {
         let n = labels.len();
         let main = RoutingEngine::evaluate_main(net, &images);
@@ -121,14 +160,18 @@ pub fn run_inference_with_policy(
         let to_cloud = plan.cloud_indices();
         let to_extension = plan.extension_indices();
 
-        // Cloud route: raw images to the deeper network, one batched
-        // forward over the gathered sub-batch (what the serving runtime's
-        // dynamic batcher does with a coalesced queue).
+        // Cloud route: the payload (pixels or cut-layer activations) to
+        // the deeper network, one batched forward over the gathered
+        // sub-batch (what the serving runtime's dynamic batcher does with
+        // a coalesced queue).
         let mut cloud_preds = Vec::new();
         if !to_cloud.is_empty() {
             let cloud_net = cloud.as_deref_mut().expect("cloud model present");
             let sub = images.gather_axis0(&to_cloud);
-            cloud_preds = RoutingEngine::classify_cloud(cloud_net, &sub);
+            let (preds, bytes) = RoutingEngine::classify_cloud_payload(cloud_net, &sub, payload);
+            cloud_preds = preds;
+            stats.offloaded += to_cloud.len();
+            stats.upload_bytes += bytes;
         }
 
         // Extension route: adaptive + extension on the sub-batch, then
@@ -150,7 +193,7 @@ pub fn run_inference_with_policy(
             });
         }
     }
-    records
+    (records, stats)
 }
 
 /// Runs plain cloud-only inference (every instance classified by the cloud
@@ -339,6 +382,96 @@ mod tests {
         assert!(
             (frac - beta).abs() <= 2.0 / records.len() as f64 + 0.05,
             "budget {beta} missed: offloaded {frac}"
+        );
+    }
+
+    #[test]
+    fn feature_payload_sweep_matches_pixel_sweep_at_every_cut() {
+        // The offline "sending features" row must be the same system as
+        // the pixel sweep: the lossless f32 wire at any cut changes bytes
+        // and compute placement, never a record.
+        let bundle = presets::tiny(20);
+        let policy = OffloadPolicy::EntropyThreshold(0.5);
+        let mut net = tiny_net(20);
+        let mut cloud = tiny_cloud(21);
+        let (expected, pixel_stats) =
+            run_inference_with_payload(&mut net, Some(&mut cloud), &bundle.test, policy, 8, SweepPayload::Pixels);
+        assert!(pixel_stats.offloaded > 0, "threshold routed nothing to the cloud; test is too weak");
+        assert_eq!(pixel_stats.cut, 0);
+        // Pixels: the paper's 1 byte per input sample.
+        assert_eq!(pixel_stats.upload_bytes, (pixel_stats.offloaded * 3 * 8 * 8) as u64);
+
+        let layers = tiny_cloud(21).cut_layer_count();
+        for cut in [0, 1, layers / 2, layers - 1] {
+            let mut net = tiny_net(20);
+            let mut cloud = tiny_cloud(21);
+            let (records, stats) = run_inference_with_payload(
+                &mut net,
+                Some(&mut cloud),
+                &bundle.test,
+                policy,
+                8,
+                SweepPayload::Features { cut },
+            );
+            assert_eq!(records, expected, "cut {cut} changed records");
+            assert_eq!(stats.offloaded, pixel_stats.offloaded);
+            assert_eq!(stats.cut, cut);
+            assert!(stats.upload_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn quantized_feature_sweep_serves_everything_and_mostly_agrees() {
+        let bundle = presets::tiny(22);
+        let mut net = tiny_net(23);
+        let mut cloud = tiny_cloud(24);
+        let cut = tiny_cloud(24).cut_layer_count() - 1;
+        let (lossless, f32_stats) = run_inference_with_payload(
+            &mut net,
+            Some(&mut cloud),
+            &bundle.test,
+            OffloadPolicy::Always,
+            8,
+            SweepPayload::Features { cut },
+        );
+        let mut net = tiny_net(23);
+        let mut cloud = tiny_cloud(24);
+        let (quant, q_stats) = run_inference_with_payload(
+            &mut net,
+            Some(&mut cloud),
+            &bundle.test,
+            OffloadPolicy::Always,
+            8,
+            SweepPayload::QuantFeatures { cut },
+        );
+        assert_eq!(quant.len(), lossless.len());
+        assert!(quant.iter().all(|r| r.exit == ExitPoint::Cloud));
+        // Edge-side fields are computed before quantization: identical.
+        for (q, l) in quant.iter().zip(&lossless) {
+            assert_eq!(q.entropy, l.entropy);
+            assert_eq!(q.main_prediction, l.main_prediction);
+        }
+        // The int8 frame (1 byte/element + small header) undercuts f32.
+        assert!(q_stats.upload_bytes * 3 < f32_stats.upload_bytes);
+        let n = lossless.len();
+        let agree = quant.iter().zip(&lossless).filter(|(q, l)| q.prediction == l.prediction).count();
+        assert!(agree * 4 >= n * 3, "int8 wire flipped too many predictions: {agree}/{n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sweep_cut_out_of_range_rejected() {
+        let bundle = presets::tiny(25);
+        let mut net = tiny_net(26);
+        let mut cloud = tiny_cloud(27);
+        let cut = tiny_cloud(27).cut_layer_count();
+        let _ = run_inference_with_payload(
+            &mut net,
+            Some(&mut cloud),
+            &bundle.test,
+            OffloadPolicy::Always,
+            8,
+            SweepPayload::Features { cut },
         );
     }
 

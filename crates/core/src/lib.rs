@@ -61,10 +61,10 @@ pub mod train;
 pub use continual::{extension_accuracy, train_edge_continual, AdaptationStats, ReplayBuffer};
 pub use detector::{compare_detectors, DetectorComparison, HardDetector};
 pub use hard_classes::Selection;
-pub use infer::{ExitPoint, InferenceConfig, InstanceRecord};
+pub use infer::{ExitPoint, InferenceConfig, InstanceRecord, SweepStats};
 pub use model::{AdaptivePlan, ExtensionPlan, MeaNet, Merge};
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use policy::OffloadPolicy;
-pub use routing::{MainExit, PendingCloud, RoutePlan, RoutingEngine};
+pub use routing::{MainExit, PendingCloud, RoutePlan, RoutingEngine, SweepPayload};
 pub use runtime::ThresholdController;
 pub use train::TrainConfig;

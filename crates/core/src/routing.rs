@@ -18,6 +18,48 @@ use crate::policy::OffloadPolicy;
 use mea_nn::layer::Mode;
 use mea_nn::models::SegmentedCnn;
 use mea_tensor::{ops, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// What an offloaded instance carries across the edge→cloud wire in the
+/// *offline* evaluation sweep — the measured counterpart of Table I's
+/// strategy rows, mirroring the serving runtime's `PayloadPlan` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SweepPayload {
+    /// Raw pixels: the cloud recomputes its whole network from the input
+    /// (the paper's chosen collaboration mode, §III-C). Accounted at the
+    /// paper's 1 byte per sample (Table VII's `C·H·W`).
+    #[default]
+    Pixels,
+    /// The cloud network's f32 activation at cut layer `cut`: the edge
+    /// runs the prefix `[0, cut)`, the cloud resumes at `cut`
+    /// ([`SegmentedCnn::forward_prefix`] / [`SegmentedCnn::forward_from`],
+    /// bitwise identical to the monolithic forward). Accounted at 4 bytes
+    /// per activation element — Table I's "sending features" row,
+    /// measured instead of modelled.
+    Features {
+        /// Cloud-network cut layer (`0` degenerates to shipping the raw
+        /// input tensor).
+        cut: usize,
+    },
+    /// The activation at `cut`, int8 through the `mea_quant::wire` codec
+    /// (per-instance affine grid, exactly the serving runtime's
+    /// `Payload::QuantFeatures` wire). Accounted at the codec's real
+    /// frame length.
+    QuantFeatures {
+        /// Cloud-network cut layer.
+        cut: usize,
+    },
+}
+
+impl SweepPayload {
+    /// The cut layer the cloud resumes at (`0` for pixels).
+    pub fn cut(&self) -> usize {
+        match *self {
+            SweepPayload::Pixels => 0,
+            SweepPayload::Features { cut } | SweepPayload::QuantFeatures { cut } => cut,
+        }
+    }
+}
 
 /// Main-exit statistics for one batch of instances: everything the
 /// routing decision and the downstream legs need from the main block.
@@ -245,6 +287,65 @@ impl RoutingEngine {
     /// prediction — they only cut the cloud's recompute.
     pub fn classify_cloud_from(cloud: &mut SegmentedCnn, activations: &Tensor, resume_layer: usize) -> Vec<usize> {
         cloud.forward_from(activations, resume_layer, Mode::Eval).argmax_rows()
+    }
+
+    /// Runs the cloud leg of the offline sweep for a gathered sub-batch
+    /// under a [`SweepPayload`] mode, returning the predictions and the
+    /// bytes that crossed the (virtual) wire.
+    ///
+    /// * [`SweepPayload::Pixels`] is exactly
+    ///   [`RoutingEngine::classify_cloud`], accounted at the paper's
+    ///   1 byte per input sample.
+    /// * [`SweepPayload::Features`] runs the prefix once over the
+    ///   sub-batch (eval forwards are bitwise per-sample independent) and
+    ///   resumes at the cut; 4 bytes per activation element.
+    /// * [`SweepPayload::QuantFeatures`] quantizes each instance's
+    ///   activation on its *own* affine grid through
+    ///   `mea_quant::wire::ship_affine` — the same per-request round trip
+    ///   the serving runtime's int8 wire performs, so the two paths see
+    ///   bitwise-identical dequantized activations — then resumes the
+    ///   batched forward at the cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a feature cut is out of range for `cloud`.
+    pub fn classify_cloud_payload(
+        cloud: &mut SegmentedCnn,
+        images: &Tensor,
+        payload: SweepPayload,
+    ) -> (Vec<usize>, u64) {
+        let check_cut = |cut: usize| {
+            let layers = cloud.cut_layer_count();
+            assert!(cut < layers, "sweep cut {cut} out of range (cloud network has {layers} cut layers)");
+        };
+        match payload {
+            SweepPayload::Pixels => (Self::classify_cloud(cloud, images), images.numel() as u64),
+            SweepPayload::Features { cut } => {
+                check_cut(cut);
+                let activation = cloud.forward_prefix(images, cut, Mode::Eval);
+                let bytes = 4 * activation.numel() as u64;
+                (Self::classify_cloud_from(cloud, &activation, cut), bytes)
+            }
+            SweepPayload::QuantFeatures { cut } => {
+                check_cut(cut);
+                // One batched prefix forward (bitwise identical to
+                // per-instance prefixes — eval forwards are per-sample
+                // independent), then quantize each instance's slice on
+                // its own affine grid, exactly like the serving wire.
+                let activations = cloud.forward_prefix(images, cut, Mode::Eval);
+                let n = activations.dims()[0];
+                let mut bytes = 0u64;
+                let mut parts = Vec::with_capacity(n);
+                for i in 0..n {
+                    let (shipped, frame) = mea_quant::wire::ship_affine(&activations.slice_axis0(i, i + 1));
+                    bytes += frame;
+                    parts.push(shipped);
+                }
+                let refs: Vec<&Tensor> = parts.iter().collect();
+                let stacked = Tensor::concat_axis0(&refs);
+                (Self::classify_cloud_from(cloud, &stacked, cut), bytes)
+            }
+        }
     }
 
     /// Assembles the record of a locally completed instance (main or

@@ -28,7 +28,9 @@
 //!   workers over bounded channels) that routes trace-driven traffic
 //!   through a trained MEANet with the same `RoutingEngine` as the
 //!   offline sweep, shipping offloads as images or as cut-layer
-//!   activations whose cut the [`partition::CutPlanner`] selects online;
+//!   activations whose cut the [`partition::CutPlanner`] selects online —
+//!   closed-loop when [`serve::LinkFeedback`] feeds the workers' measured
+//!   per-batch link times ([`network::LinkEstimator`]) back into the plan;
 //! * [`traces`] — seeded arrival-time generators (uniform / Poisson /
 //!   bursty) driving both the fleet simulator and the serving runtime.
 
@@ -49,13 +51,15 @@ pub use cost::{CostBreakdown, CostParams, Strategy};
 pub use device::DeviceProfile;
 pub use energy::{EnergyReport, PerImageCosts};
 pub use fleet::{simulate_fleet, simulate_fleet_with_arrivals, FleetConfig, FleetReport};
-pub use network::{NetworkLink, UploadPowerModel};
+pub use network::{LinkEstimate, LinkEstimator, NetworkLink, UploadPowerModel};
 pub use partition::{
     best_cut, profile_network, sweep_cuts, CutCost, CutPlanner, LayerProfile, Objective, PartitionEnv,
+    MEASURED_PRIOR_SAMPLES,
 };
 pub use payload::Payload;
 pub use serve::{
     serve, trace_requests, Completion, ControllerConfig, CutPlannerConfig, CutSelection, EdgeReplica,
-    FeatureConfig, FeatureWire, PayloadPlan, ServeConfig, ServeReport, ServeRequest, ServeStats, WireFormat,
+    FeatureConfig, FeatureWire, LinkChange, LinkFeedback, PayloadPlan, ServeConfig, ServeReport, ServeRequest,
+    ServeStats, WireFormat,
 };
 pub use traces::ArrivalModel;

@@ -119,13 +119,169 @@ impl NetworkLink {
         (bytes as f64 * 8.0) / (self.download_mbps * 1e6)
     }
 
-    /// End-to-end communication time of one offload round trip: upload
-    /// the payload, cross the propagation delay, pull the response back.
-    /// The original model charged upload + RTT only, which silently
-    /// favoured strategies with chatty responses (e.g. full logit vectors)
-    /// when comparing feature- against image-payload offloading.
+    /// Time of the **uplink leg** of one offload: serialise `bytes` up the
+    /// link, then cross half the propagation delay.
+    ///
+    /// This is the repo-wide RTT convention: each direction of a round
+    /// trip carries `rtt_s / 2`. The virtual-clock simulator
+    /// (`crate::sim::simulate`), the closed-form
+    /// [`NetworkLink::round_trip_s`] and the serving runtime
+    /// (`crate::serve`) all charge propagation through this pair of leg
+    /// helpers, so their totals are identical by construction.
+    pub fn uplink_leg_s(&self, bytes: u64) -> f64 {
+        self.upload_time_s(bytes) + self.rtt_s / 2.0
+    }
+
+    /// Time of the **downlink leg** of one offload: cross half the
+    /// propagation delay, then serialise `bytes` down the link (see
+    /// [`NetworkLink::uplink_leg_s`] for the shared convention).
+    pub fn downlink_leg_s(&self, bytes: u64) -> f64 {
+        self.rtt_s / 2.0 + self.download_time_s(bytes)
+    }
+
+    /// End-to-end communication time of one offload round trip: the
+    /// uplink leg (payload serialisation + half the RTT) plus the downlink
+    /// leg (half the RTT + response serialisation). The original model
+    /// charged upload + RTT only, which silently favoured strategies with
+    /// chatty responses (e.g. full logit vectors) when comparing feature-
+    /// against image-payload offloading.
     pub fn round_trip_s(&self, upload_bytes: u64, response_bytes: u64) -> f64 {
-        self.upload_time_s(upload_bytes) + self.rtt_s + self.download_time_s(response_bytes)
+        self.uplink_leg_s(upload_bytes) + self.downlink_leg_s(response_bytes)
+    }
+}
+
+/// A snapshot of measured link behaviour for one edge device class — what
+/// [`LinkEstimator::estimate`] hands the `CutPlanner` so it can replan
+/// from *observed* rates instead of its static contention model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkEstimate {
+    /// Observed effective uplink throughput (Mbps), EWMA-smoothed.
+    pub up_mbps: f64,
+    /// Observed effective downlink throughput (Mbps), EWMA-smoothed.
+    pub down_mbps: f64,
+    /// Observed round-trip propagation delay (s), EWMA-smoothed.
+    pub rtt_s: f64,
+    /// Number of batch observations behind this estimate (drives the
+    /// prior/measurement blend in the planner).
+    pub samples: u64,
+}
+
+/// EWMA state of one device class's observed link behaviour. Tracked in
+/// seconds *per byte* so payload size cancels out: a batch of any size
+/// contributes one rate observation. Each leg seeds its EWMA from its
+/// own first byte-bearing observation (a zero-byte leg carries no rate
+/// information and must not leave a 0.0 seed behind for later samples
+/// to blend against).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct ClassTelemetry {
+    up_s_per_byte: f64,
+    up_samples: u64,
+    down_s_per_byte: f64,
+    down_samples: u64,
+    rtt_s: f64,
+    samples: u64,
+}
+
+/// Measured-link telemetry: per edge device class, an exponentially
+/// weighted moving average of the per-byte link time each served cloud
+/// batch actually paid.
+///
+/// The serving runtime's cloud workers feed one observation per coalesced
+/// batch (upload bytes + seconds, response bytes + seconds, propagation
+/// delay); the planner asks for [`LinkEstimate`]s and blends them with its
+/// static contention prior by sample count. Neurosurgeon-style measured
+/// link profiles, kept live instead of collected offline — the telemetry
+/// never sees the link *model*, only `(bytes, seconds)` pairs, which is
+/// exactly what a real deployment can measure from timestamps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkEstimator {
+    alpha: f64,
+    classes: Vec<ClassTelemetry>,
+}
+
+impl LinkEstimator {
+    /// Creates an estimator for `classes` device classes with EWMA
+    /// coefficient `alpha` (weight of the newest observation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0` or `alpha` leaves `(0, 1]`.
+    pub fn new(classes: usize, alpha: f64) -> Self {
+        assert!(classes > 0, "need at least one device class");
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA coefficient must be in (0, 1], got {alpha}");
+        LinkEstimator { alpha, classes: vec![ClassTelemetry::default(); classes] }
+    }
+
+    /// Number of device classes tracked.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Feeds one observed batch round trip for device class `class`:
+    /// `up_bytes` crossed the uplink in `up_s` seconds, `down_bytes` came
+    /// back in `down_s` seconds, and the propagation delay was `rtt_s`.
+    /// Legs with zero bytes are skipped (no rate information).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range or a time is negative.
+    pub fn observe(&mut self, class: usize, up_bytes: u64, up_s: f64, down_bytes: u64, down_s: f64, rtt_s: f64) {
+        assert!(up_s >= 0.0 && down_s >= 0.0 && rtt_s >= 0.0, "negative observed time");
+        let alpha = self.alpha;
+        let t = &mut self.classes[class];
+        let blend = |old: f64, obs: f64, first: bool| if first { obs } else { alpha * obs + (1.0 - alpha) * old };
+        if up_bytes > 0 {
+            t.up_s_per_byte = blend(t.up_s_per_byte, up_s / up_bytes as f64, t.up_samples == 0);
+            t.up_samples += 1;
+        }
+        if down_bytes > 0 {
+            t.down_s_per_byte = blend(t.down_s_per_byte, down_s / down_bytes as f64, t.down_samples == 0);
+            t.down_samples += 1;
+        }
+        t.rtt_s = blend(t.rtt_s, rtt_s, t.samples == 0);
+        t.samples += 1;
+    }
+
+    /// Batch observations recorded for `class`.
+    pub fn samples(&self, class: usize) -> u64 {
+        self.classes[class].samples
+    }
+
+    /// Batch observations recorded across all classes.
+    pub fn total_samples(&self) -> u64 {
+        self.classes.iter().map(|c| c.samples).sum()
+    }
+
+    /// The current estimate for `class`, or `None` before the first
+    /// observation (cold start: the planner stays on its static prior).
+    ///
+    /// A leg that has never carried bytes (or whose observed time was 0)
+    /// reports an *infinite* rate; `CutPlanner::effective_env_measured`
+    /// ignores non-finite legs and stays on its prior for them.
+    pub fn estimate(&self, class: usize) -> Option<LinkEstimate> {
+        let t = &self.classes[class];
+        if t.samples == 0 {
+            return None;
+        }
+        let to_mbps = |s_per_byte: f64, leg_samples: u64| {
+            if leg_samples > 0 && s_per_byte > 0.0 {
+                8.0 / (s_per_byte * 1e6)
+            } else {
+                f64::INFINITY
+            }
+        };
+        Some(LinkEstimate {
+            up_mbps: to_mbps(t.up_s_per_byte, t.up_samples),
+            down_mbps: to_mbps(t.down_s_per_byte, t.down_samples),
+            rtt_s: t.rtt_s,
+            samples: t.samples,
+        })
+    }
+
+    /// Estimates for every class, in class order (see
+    /// [`LinkEstimator::estimate`]).
+    pub fn estimates(&self) -> Vec<Option<LinkEstimate>> {
+        (0..self.classes.len()).map(|c| self.estimate(c)).collect()
     }
 }
 
@@ -183,6 +339,92 @@ mod tests {
         assert!(fat_down.download_time_s(1000) < link.download_time_s(1000) / 5.0);
         // The upload leg is untouched by the downlink override.
         assert!((fat_down.upload_time_s(1000) - link.upload_time_s(1000)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn legs_split_the_rtt_and_compose_the_round_trip() {
+        // The documented convention: each leg carries rtt/2, and the
+        // closed-form round trip is exactly the two legs' sum — the same
+        // helpers the virtual-clock simulator and the serving runtime
+        // charge, so all three paths agree by construction.
+        let link = NetworkLink::wifi(8.0).with_rtt(0.01).with_download(80.0);
+        assert!((link.uplink_leg_s(4000) - (link.upload_time_s(4000) + 0.005)).abs() < 1e-15);
+        assert!((link.downlink_leg_s(400) - (0.005 + link.download_time_s(400))).abs() < 1e-15);
+        assert!(
+            (link.round_trip_s(4000, 400) - (link.uplink_leg_s(4000) + link.downlink_leg_s(400))).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn link_estimator_recovers_a_stationary_link() {
+        // Feeding the estimator the exact per-batch times of a fixed link
+        // must converge to that link's rates (first sample initialises, so
+        // a stationary signal is recovered immediately and stays put).
+        let link = NetworkLink::wifi(20.0).with_rtt(0.006).with_download(40.0);
+        let mut est = LinkEstimator::new(2, 0.3);
+        assert!(est.estimate(0).is_none(), "cold start has no estimate");
+        for i in 0..10u64 {
+            let up_bytes = 1000 + i * 137; // payload size varies; the rate does not
+            let down_bytes = 8 * (i + 1);
+            est.observe(
+                0,
+                up_bytes,
+                link.upload_time_s(up_bytes),
+                down_bytes,
+                link.download_time_s(down_bytes),
+                link.rtt_s,
+            );
+        }
+        let e = est.estimate(0).expect("observed");
+        assert_eq!(e.samples, 10);
+        assert!((e.up_mbps - 20.0).abs() < 1e-9, "up {}", e.up_mbps);
+        assert!((e.down_mbps - 40.0).abs() < 1e-9, "down {}", e.down_mbps);
+        assert!((e.rtt_s - 0.006).abs() < 1e-12);
+        // The untouched class is still cold.
+        assert!(est.estimate(1).is_none());
+        assert_eq!(est.total_samples(), 10);
+    }
+
+    #[test]
+    fn link_estimator_seeds_each_leg_from_its_own_first_observation() {
+        // A leg whose first byte-bearing observation arrives late must
+        // seed from that observation, not blend it against a 0.0 default
+        // left by earlier zero-byte batches — and a leg that never
+        // carries bytes reports an infinite rate (the planner keeps its
+        // prior for non-finite legs).
+        let link = NetworkLink::wifi(10.0).with_download(40.0);
+        let mut est = LinkEstimator::new(1, 0.3);
+        // Two ack-only batches first: no payload on the downlink.
+        for _ in 0..2 {
+            est.observe(0, 1000, link.upload_time_s(1000), 0, 0.0, 0.0);
+        }
+        let e = est.estimate(0).expect("observed");
+        assert!((e.up_mbps - 10.0).abs() < 1e-9);
+        assert!(e.down_mbps.is_infinite(), "never-observed leg must not report a finite rate");
+        // The first real response seeds the downlink EWMA exactly.
+        est.observe(0, 1000, link.upload_time_s(1000), 64, link.download_time_s(64), 0.0);
+        let e = est.estimate(0).expect("observed");
+        assert!((e.down_mbps - 40.0).abs() < 1e-9, "late first leg sample must seed, not blend: {}", e.down_mbps);
+    }
+
+    #[test]
+    fn link_estimator_tracks_a_degradation() {
+        let fast = NetworkLink::wifi(50.0);
+        let slow = NetworkLink::wifi(25.0);
+        let mut est = LinkEstimator::new(1, 0.5);
+        for _ in 0..4 {
+            est.observe(0, 2000, fast.upload_time_s(2000), 8, fast.download_time_s(8), 0.0);
+        }
+        let before = est.estimate(0).unwrap().up_mbps;
+        assert!((before - 50.0).abs() < 1e-9);
+        for _ in 0..12 {
+            est.observe(0, 2000, slow.upload_time_s(2000), 8, slow.download_time_s(8), 0.0);
+        }
+        let after = est.estimate(0).unwrap().up_mbps;
+        // EWMA on s/byte: after 12 half-weight steps the estimate is
+        // within a fraction of a percent of the degraded rate.
+        assert!(after < before * 0.55, "estimate failed to track the degradation: {before} -> {after}");
+        assert!((after - 25.0).abs() / 25.0 < 0.01, "after {after}");
     }
 
     #[test]

@@ -11,10 +11,16 @@
 //! the best, for either end-to-end latency or edge energy.
 
 use crate::device::DeviceProfile;
-use crate::network::NetworkLink;
+use crate::network::{LinkEstimate, NetworkLink};
 use mea_nn::layer::Layer;
 use mea_nn::models::SegmentedCnn;
 use serde::{Deserialize, Serialize};
+
+/// Default pseudo-sample weight of the static contention prior when
+/// blending with measured [`LinkEstimate`]s: a measurement with this many
+/// batch observations behind it counts as much as the prior (see
+/// [`CutPlanner::effective_env_measured`]).
+pub const MEASURED_PRIOR_SAMPLES: f64 = 8.0;
 
 /// Compute/output profile of one top-level layer (one candidate slice of
 /// the partition).
@@ -186,6 +192,13 @@ pub fn best_cut(profiles: &[LayerProfile], env: &PartitionEnv, objective: Object
 /// and pushes the optimum toward deeper (smaller-upload) cuts — partition
 /// choice as a load-adaptive throughput knob.
 ///
+/// The static model is only a *prior*: when measured link telemetry is
+/// available (a [`LinkEstimate`] from the serving runtime's
+/// [`crate::network::LinkEstimator`]), the planner blends the observed
+/// effective rates with the prior by sample count
+/// ([`CutPlanner::plan_for_measured`]) — the Neurosurgeon-style closed
+/// loop: real congestion reaches the plan instead of an assumed divisor.
+///
 /// A *serving* cut must end at the cloud (the cloud produces the
 /// prediction), so the edge-only endpoint `cut == L` is excluded from the
 /// plan; ties still break toward more edge layers.
@@ -196,6 +209,7 @@ pub struct CutPlanner {
     objective: Objective,
     streams: f64,
     beta: f64,
+    prior_samples: f64,
 }
 
 impl CutPlanner {
@@ -212,7 +226,14 @@ impl CutPlanner {
     pub fn new(profiles: Vec<LayerProfile>, env: PartitionEnv, objective: Objective, streams: usize) -> Self {
         assert!(!profiles.is_empty(), "nothing to partition");
         assert!(streams > 0, "need at least one device stream");
-        CutPlanner { profiles, env, objective, streams: streams as f64, beta: 1.0 }
+        CutPlanner {
+            profiles,
+            env,
+            objective,
+            streams: streams as f64,
+            beta: 1.0,
+            prior_samples: MEASURED_PRIOR_SAMPLES,
+        }
     }
 
     /// Profiles `net` and creates a planner over it.
@@ -247,6 +268,19 @@ impl CutPlanner {
         self.env.link = link;
     }
 
+    /// Sets the pseudo-sample weight of the static contention prior in
+    /// the measured-link blend (default [`MEASURED_PRIOR_SAMPLES`]): a
+    /// [`LinkEstimate`] with `n` samples gets weight `n / (n + prior)`.
+    /// `0` trusts measurements completely from the first sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior_samples` is negative or non-finite.
+    pub fn set_prior_samples(&mut self, prior_samples: f64) {
+        assert!(prior_samples >= 0.0 && prior_samples.is_finite(), "prior weight must be finite and >= 0");
+        self.prior_samples = prior_samples;
+    }
+
     /// The environment under the current contention: nominal link rates
     /// divided by the expected concurrent offload streams.
     pub fn effective_env(&self) -> PartitionEnv {
@@ -257,15 +291,48 @@ impl CutPlanner {
         env
     }
 
+    /// The environment the planner scores cuts against when measured link
+    /// telemetry is available: the static contention model's effective
+    /// rates (the cold-start prior) blended with the observed rates by
+    /// sample count — `w = samples / (samples + prior_samples)` on the
+    /// measurement side. `None` (or zero samples) reduces to
+    /// [`CutPlanner::effective_env`] exactly, and a non-finite leg rate
+    /// (a leg the estimator never saw carry bytes) keeps that leg on the
+    /// prior instead of planning against a free wire.
+    pub fn effective_env_measured(&self, measured: Option<&LinkEstimate>) -> PartitionEnv {
+        let mut env = self.effective_env();
+        if let Some(m) = measured {
+            if m.samples > 0 {
+                let w = m.samples as f64 / (m.samples as f64 + self.prior_samples);
+                if m.up_mbps.is_finite() {
+                    env.link.throughput_mbps = w * m.up_mbps + (1.0 - w) * env.link.throughput_mbps;
+                }
+                if m.down_mbps.is_finite() {
+                    env.link.download_mbps = w * m.down_mbps + (1.0 - w) * env.link.download_mbps;
+                }
+                env.link.rtt_s = w * m.rtt_s + (1.0 - w) * env.link.rtt_s;
+            }
+        }
+        env
+    }
+
     /// The cost-minimal serving cut for the configured edge device under
     /// current conditions.
     pub fn plan(&self) -> CutCost {
         self.plan_for(&self.env.edge.clone())
     }
 
-    /// The cost-minimal serving cut for a specific edge device class.
+    /// The cost-minimal serving cut for a specific edge device class
+    /// under the static contention model (no telemetry).
     pub fn plan_for(&self, edge: &DeviceProfile) -> CutCost {
-        let mut env = self.effective_env();
+        self.plan_for_measured(edge, None)
+    }
+
+    /// The cost-minimal serving cut for a specific edge device class,
+    /// blending the static contention prior with that class's measured
+    /// link estimate (see [`CutPlanner::effective_env_measured`]).
+    pub fn plan_for_measured(&self, edge: &DeviceProfile, measured: Option<&LinkEstimate>) -> CutCost {
+        let mut env = self.effective_env_measured(measured);
         env.edge = edge.clone();
         let costs = sweep_cuts(&self.profiles, &env);
         let score = |c: &CutCost| match self.objective {
@@ -288,6 +355,23 @@ impl CutPlanner {
     pub fn plan_classes(&self, classes: &[DeviceProfile]) -> Vec<CutCost> {
         assert!(!classes.is_empty(), "need at least one device class");
         classes.iter().map(|c| self.plan_for(c)).collect()
+    }
+
+    /// One cost-minimal serving cut per edge device class, each blended
+    /// with that class's measured link estimate (`estimates[c]`; `None`
+    /// entries fall back to the static prior).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or the slices' lengths differ.
+    pub fn plan_classes_measured(
+        &self,
+        classes: &[DeviceProfile],
+        estimates: &[Option<LinkEstimate>],
+    ) -> Vec<CutCost> {
+        assert!(!classes.is_empty(), "need at least one device class");
+        assert_eq!(classes.len(), estimates.len(), "one (optional) link estimate per device class");
+        classes.iter().zip(estimates).map(|(c, m)| self.plan_for_measured(c, m.as_ref())).collect()
     }
 }
 
@@ -466,6 +550,81 @@ mod tests {
         // And the effective environment really is slower.
         let eff = planner.effective_env();
         assert!((eff.link.throughput_mbps - env().link.throughput_mbps / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_blend_interpolates_between_prior_and_measurement() {
+        let mut planner = CutPlanner::new(toy_profiles(), env(), Objective::Latency, 4);
+        planner.set_beta(1.0); // static share = 4 -> prior rate = nominal / 4
+        let prior = planner.effective_env().link;
+        let measured = LinkEstimate { up_mbps: 100.0, down_mbps: 100.0, rtt_s: 0.0, samples: 8 };
+        // Default prior weight is 8 pseudo-samples: 8 real samples = 50/50.
+        let blended = planner.effective_env_measured(Some(&measured)).link;
+        assert!((blended.throughput_mbps - 0.5 * (100.0 + prior.throughput_mbps)).abs() < 1e-12);
+        assert!((blended.rtt_s - 0.5 * prior.rtt_s).abs() < 1e-12);
+        // No measurement (or zero samples) is exactly the static prior.
+        assert_eq!(planner.effective_env_measured(None), planner.effective_env());
+        let cold = LinkEstimate { samples: 0, ..measured };
+        assert_eq!(planner.effective_env_measured(Some(&cold)), planner.effective_env());
+        // With the prior weight at zero, measurements win outright.
+        planner.set_prior_samples(0.0);
+        let pure = planner.effective_env_measured(Some(&measured)).link;
+        assert!((pure.throughput_mbps - 100.0).abs() < 1e-12);
+        // And as samples grow, the blend converges to the measurement.
+        planner.set_prior_samples(8.0);
+        let heavy = LinkEstimate { samples: 10_000, ..measured };
+        let near = planner.effective_env_measured(Some(&heavy)).link;
+        assert!((near.throughput_mbps - 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn measured_degradation_moves_the_plan_edge_heavier() {
+        // The closed loop in one assertion: a planner whose static prior
+        // says the link is fine, but whose telemetry reports a halved
+        // effective rate, must plan a cut that uploads no more bytes (and
+        // typically strictly fewer) than the open-loop plan.
+        let profiles = vec![
+            LayerProfile { name: "conv1".into(), macs: 1_000_000, out_elems: 4096 },
+            LayerProfile { name: "conv2".into(), macs: 2_000_000, out_elems: 256 },
+            LayerProfile { name: "head".into(), macs: 5_000_000, out_elems: 10 },
+        ];
+        let mut e = env();
+        e.link = NetworkLink::wifi(1000.0).with_rtt(0.0);
+        e.cloud = DeviceProfile::new("dc", 500.0, 1e14);
+        e.raw_input_bytes = 12288;
+        let mut planner = CutPlanner::new(profiles, e, Objective::Latency, 1);
+        planner.set_prior_samples(0.0); // trust telemetry outright
+        let open_loop = planner.plan();
+        assert_eq!(open_loop.cut, 0, "with a fat prior link and a huge cloud, ship pixels");
+        let degraded = LinkEstimate { up_mbps: 0.5, down_mbps: 0.5, rtt_s: 0.0, samples: 32 };
+        let edge = planner.effective_env().edge;
+        let closed_loop = planner.plan_for_measured(&edge, Some(&degraded));
+        assert!(
+            closed_loop.upload_bytes < open_loop.upload_bytes,
+            "measured congestion should shrink uploads: {open_loop:?} -> {closed_loop:?}"
+        );
+        assert!(closed_loop.cut > open_loop.cut, "degraded link should push layers to the edge");
+    }
+
+    #[test]
+    fn plan_classes_measured_blends_per_class() {
+        let profiles = toy_profiles();
+        let mut e = env();
+        e.cloud = DeviceProfile::new("dc", 500.0, 1e14);
+        e.link = NetworkLink::wifi(0.5).with_rtt(0.0);
+        e.bytes_per_elem = 1; // int8 feature wire
+        let mut planner = CutPlanner::new(profiles, e, Objective::Latency, 1);
+        planner.set_prior_samples(0.0);
+        let edge = DeviceProfile::new("edge", 10.0, 1e9);
+        let classes = vec![edge.clone(), edge];
+        // Class 0 measures a fat pipe, class 1 has no telemetry: only
+        // class 0's plan may move cloudward relative to the static prior.
+        let fat = LinkEstimate { up_mbps: 100_000.0, down_mbps: 100_000.0, rtt_s: 0.0, samples: 64 };
+        let static_cuts = planner.plan_classes(&classes);
+        assert!(static_cuts[0].cut > 0, "the slow static prior should keep layers at the edge");
+        let cuts = planner.plan_classes_measured(&classes, &[Some(fat), None]);
+        assert_eq!(cuts[1], static_cuts[1], "class without telemetry stays on the prior");
+        assert_eq!(cuts[0].cut, 0, "a free measured uplink ships pixels immediately");
     }
 
     #[test]

@@ -35,6 +35,13 @@
 //!   execution is bitwise identical to the full forward (asserted in
 //!   `mea-nn`), the cut — like batch composition — is a pure cost knob:
 //!   it can never change a prediction under the lossless wire.
+//! * [`LinkFeedback`] closes the planner loop: cloud workers record the
+//!   upload/RTT/download time every batch actually paid into a per-class
+//!   [`LinkEstimator`] EWMA, and the [`CutPlanner`] periodically replans
+//!   from the *measured* effective rates (blended with its static
+//!   `rate / max(1, β·streams)` contention prior by sample count) — so
+//!   real congestion, including a mid-run [`LinkChange`] the static model
+//!   never hears about, reaches the cut decision.
 //! * A [`ThresholdController`] can steer the entropy threshold inside the
 //!   serving path (SPINN-style runtime adaptation): every
 //!   [`ControllerConfig::window`] routed instances, the achieved offload
@@ -45,8 +52,8 @@
 //! admission instead of ballooning memory.
 
 use crate::device::DeviceProfile;
-use crate::network::NetworkLink;
-use crate::partition::{profile_network, CutPlanner, Objective, PartitionEnv};
+use crate::network::{LinkEstimate, LinkEstimator, NetworkLink};
+use crate::partition::{profile_network, CutPlanner, Objective, PartitionEnv, MEASURED_PRIOR_SAMPLES};
 use crate::payload::Payload;
 use crate::sim::ThreadedStats;
 use crate::traces::ArrivalModel;
@@ -107,6 +114,39 @@ impl FeatureWire {
     }
 }
 
+/// Measured-link feedback configuration: the closed loop between the
+/// cloud tier's per-batch link telemetry and the [`CutPlanner`].
+///
+/// When set on a [`CutPlannerConfig`], every served cloud batch feeds one
+/// `(bytes, seconds)` observation per device class into a
+/// [`LinkEstimator`] EWMA, and every [`LinkFeedback::replan_every`]
+/// batches the planner re-derives the per-class cuts from the measured
+/// effective rates blended with its static contention prior — so real
+/// congestion (e.g. a [`LinkChange`] degradation) moves the cut, not just
+/// the modelled `β·streams` divisor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFeedback {
+    /// EWMA coefficient for per-batch observations, in `(0, 1]` (weight
+    /// of the newest observation).
+    pub alpha: f64,
+    /// Pseudo-sample weight of the static contention prior: a class with
+    /// `n` observed batches trusts its measurement with weight
+    /// `n / (n + prior_samples)` (see
+    /// [`CutPlanner::effective_env_measured`]).
+    pub prior_samples: f64,
+    /// Replan the per-class cuts every this many observed batches.
+    pub replan_every: u64,
+}
+
+impl Default for LinkFeedback {
+    /// A moderately reactive loop: newest observation worth 30%, the
+    /// static prior worth [`MEASURED_PRIOR_SAMPLES`] batches, replanning
+    /// every 8 batches.
+    fn default() -> Self {
+        LinkFeedback { alpha: 0.3, prior_samples: MEASURED_PRIOR_SAMPLES, replan_every: 8 }
+    }
+}
+
 /// Online cut-point planning parameters for feature-payload serving.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CutPlannerConfig {
@@ -117,6 +157,10 @@ pub struct CutPlannerConfig {
     pub cloud: DeviceProfile,
     /// What the planner minimises.
     pub objective: Objective,
+    /// Measured-link feedback: `None` plans open-loop from the static
+    /// contention model only (replanning only when the controller moves
+    /// β); `Some` closes the loop on observed per-batch link times.
+    pub feedback: Option<LinkFeedback>,
 }
 
 /// How the cut layer of feature-payload serving is chosen.
@@ -219,10 +263,49 @@ pub struct ServeConfig {
     /// recomputes from pixels) or cut-layer activations (the cloud
     /// resumes from the cut).
     pub payload: PayloadPlan,
-    /// Optional link model: each cloud batch pays its upload time, one
-    /// RTT and the response download as real wall-clock delay on the
-    /// worker that serves it.
+    /// Optional link model: each cloud batch pays its uplink leg (the
+    /// upload plus half the RTT) before the forward and its downlink leg
+    /// (half the RTT plus the response download) after it, as real
+    /// wall-clock delay on the worker that serves it — the same
+    /// [`NetworkLink::uplink_leg_s`]/[`NetworkLink::downlink_leg_s`]
+    /// convention the virtual-clock simulator and the closed-form
+    /// `round_trip_s` charge.
     pub link: Option<NetworkLink>,
+    /// Scheduled changes of the *real* wire mid-run (radio degradation):
+    /// once the cloud tier has *started* `after_batches` coalesced
+    /// batches, subsequently started batches ride the changed link.
+    /// Applied in order; requires [`ServeConfig::link`]. The planner's
+    /// static model is deliberately not told — only measured-link
+    /// feedback ([`LinkFeedback`]) can observe the change.
+    pub link_schedule: Vec<LinkChange>,
+}
+
+/// One scheduled change of serving link conditions (see
+/// [`ServeConfig::link_schedule`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkChange {
+    /// The change takes effect once this many coalesced cloud batches
+    /// have been *started* (dequeued), counted across the whole cloud
+    /// tier. With one cloud worker batches start in completion order, so
+    /// the switch point is exact; with several workers the start order is
+    /// scheduler-dependent, so batches already in flight may still ride
+    /// the old link.
+    pub after_batches: u64,
+    /// The link every later batch pays (and telemetry observes).
+    pub link: NetworkLink,
+}
+
+/// The link a batch rides given how many batches the cloud tier has
+/// completed before it: [`ServeConfig::link`] with every due
+/// [`LinkChange`] applied in order.
+fn scheduled_link(cfg: &ServeConfig, batches_before: u64) -> Option<NetworkLink> {
+    let mut link = cfg.link?;
+    for change in &cfg.link_schedule {
+        if batches_before >= change.after_batches {
+            link = change.link;
+        }
+    }
+    Some(link)
 }
 
 impl ServeConfig {
@@ -240,6 +323,7 @@ impl ServeConfig {
             controller: None,
             payload: PayloadPlan::default(),
             link: None,
+            link_schedule: Vec::new(),
         }
     }
 
@@ -344,12 +428,17 @@ pub struct ServeStats {
     /// shipped cut-layer activations — equivalently, the prefix MACs the
     /// edge executed on behalf of the cloud. Zero in image-payload mode.
     pub cloud_macs_saved: u64,
-    /// Times the cut planner re-planned mid-run (controller-driven β
-    /// moves; 0 for fixed cuts or image payloads).
+    /// Times the cut planner re-planned mid-run and actually changed a
+    /// cut (controller-driven β moves and measured-link feedback; 0 for
+    /// fixed cuts or image payloads).
     pub cut_replans: u64,
     /// The cut layer each device class ended on (None in image-payload
     /// mode).
     pub final_cuts: Option<Vec<usize>>,
+    /// Final measured-link estimate per device class (None unless
+    /// [`LinkFeedback`] was configured; a class entry is None until its
+    /// first observed batch).
+    pub link_estimates: Option<Vec<Option<LinkEstimate>>>,
     /// The entropy threshold after the last controller window (None
     /// without a controller).
     pub final_threshold: Option<f32>,
@@ -411,18 +500,41 @@ struct CloudJob {
 }
 
 /// The live cut table of feature-payload serving: the current cut per
-/// device class, plus the planner that re-derives it when β moves.
+/// device class, plus the planner that re-derives it when β moves or the
+/// measured-link telemetry says the wire changed.
 #[derive(Debug)]
 struct CutTable {
     /// None for `CutSelection::Fixed` (the table never changes).
     planner: Option<(CutPlanner, Vec<DeviceProfile>)>,
     per_class: Vec<usize>,
     replans: u64,
+    /// The closed-loop configuration; None plans open-loop.
+    feedback: Option<LinkFeedback>,
+    /// Per-class EWMA link telemetry (present exactly when `feedback` is).
+    estimator: Option<LinkEstimator>,
+    /// Cloud batches observed by the feedback loop so far.
+    observed_batches: u64,
 }
 
 impl CutTable {
     fn cut_for(&self, device: usize) -> usize {
         class_cut(&self.per_class, device)
+    }
+
+    /// Re-derives the per-class cuts under the planner's current β and
+    /// whatever telemetry has accumulated; counts a replan only when a
+    /// cut actually changes.
+    fn replan(&mut self) {
+        let Some((planner, classes)) = &self.planner else { return };
+        let costs = match &self.estimator {
+            Some(est) => planner.plan_classes_measured(classes, &est.estimates()),
+            None => planner.plan_classes(classes),
+        };
+        let new_cuts: Vec<usize> = costs.iter().map(|c| c.cut).collect();
+        if new_cuts != self.per_class {
+            self.per_class = new_cuts;
+            self.replans += 1;
+        }
     }
 }
 
@@ -465,7 +577,8 @@ impl PolicyState {
     /// Feeds one routing decision back into the controller; when a window
     /// fills, the threshold (and the engine's policy) is retuned and —
     /// since the offload fraction just moved — the cut planner re-plans
-    /// the per-class cuts under the new contention.
+    /// the per-class cuts under the new contention (and whatever link
+    /// telemetry has accumulated).
     fn observe(&mut self, offloaded: bool) {
         let Some(ctrl) = &mut self.controller else { return };
         self.seen += 1;
@@ -477,15 +590,43 @@ impl PolicyState {
             self.seen = 0;
             self.offloaded = 0;
             if let Some(table) = &mut self.cuts {
-                if let Some((planner, classes)) = &mut table.planner {
+                if let Some((planner, _)) = &mut table.planner {
                     planner.set_beta(achieved);
-                    let new_cuts: Vec<usize> = planner.plan_classes(classes).iter().map(|c| c.cut).collect();
-                    if new_cuts != table.per_class {
-                        table.per_class = new_cuts;
-                        table.replans += 1;
-                    }
+                    table.replan();
                 }
             }
+        }
+    }
+
+    /// Feeds one served cloud batch's link telemetry into the estimator
+    /// (one observation per device class present in the batch) and, every
+    /// [`LinkFeedback::replan_every`] batches, replans the cuts from the
+    /// measured rates. No-op without a closed-loop cut table.
+    #[allow(clippy::too_many_arguments)]
+    fn observe_link(
+        &mut self,
+        devices: &[usize],
+        up_bytes: u64,
+        up_s: f64,
+        down_bytes: u64,
+        down_s: f64,
+        rtt_s: f64,
+    ) {
+        let Some(table) = &mut self.cuts else { return };
+        let Some(fb) = table.feedback else { return };
+        let Some(est) = &mut table.estimator else { return };
+        let classes = est.class_count();
+        let mut seen = vec![false; classes];
+        for &d in devices {
+            let class = d % classes;
+            if !seen[class] {
+                seen[class] = true;
+                est.observe(class, up_bytes, up_s, down_bytes, down_s, rtt_s);
+            }
+        }
+        table.observed_batches += 1;
+        if table.observed_batches % fb.replan_every == 0 {
+            table.replan();
         }
     }
 }
@@ -537,7 +678,14 @@ fn build_cut_table(cfg: &ServeConfig, edges: &[EdgeReplica], requests: &[ServeRe
     match &fc.cut {
         CutSelection::Fixed(k) => {
             assert!(*k < cut_layers, "fixed cut {k} out of range (cloud network has {cut_layers} cut layers)");
-            Some(CutTable { planner: None, per_class: vec![*k], replans: 0 })
+            Some(CutTable {
+                planner: None,
+                per_class: vec![*k],
+                replans: 0,
+                feedback: None,
+                estimator: None,
+                observed_batches: 0,
+            })
         }
         CutSelection::Planned(pc) => {
             assert!(!pc.classes.is_empty(), "planned cut selection needs at least one device class");
@@ -551,13 +699,28 @@ fn build_cut_table(cfg: &ServeConfig, edges: &[EdgeReplica], requests: &[ServeRe
                 raw_input_bytes: fc.wire.bytes_per_elem() * in_elems,
                 response_bytes: RESPONSE_WIRE_BYTES,
             };
-            let streams = requests.iter().map(|r| r.device + 1).max().unwrap_or(1);
-            let mut planner = CutPlanner::from_network(prefix, env, pc.objective, streams);
+            // Contention counts the *distinct* devices sharing the
+            // uplink: a trace from devices {0, 7} is two streams, not
+            // eight (ids may be sparse — device numbering is opaque).
+            let streams = requests.iter().map(|r| r.device).collect::<std::collections::BTreeSet<_>>().len();
+            let mut planner = CutPlanner::from_network(prefix, env, pc.objective, streams.max(1));
             if let Some(cc) = &cfg.controller {
                 planner.set_beta(cc.controller.target_beta());
             }
+            let estimator = pc.feedback.map(|fb| {
+                assert!(fb.replan_every > 0, "feedback must replan after a positive number of batches");
+                planner.set_prior_samples(fb.prior_samples);
+                LinkEstimator::new(pc.classes.len(), fb.alpha)
+            });
             let per_class = planner.plan_classes(&pc.classes).iter().map(|c| c.cut).collect();
-            Some(CutTable { planner: Some((planner, pc.classes.clone())), per_class, replans: 0 })
+            Some(CutTable {
+                planner: Some((planner, pc.classes.clone())),
+                per_class,
+                replans: 0,
+                feedback: pc.feedback,
+                estimator,
+                observed_batches: 0,
+            })
         }
     }
 }
@@ -577,10 +740,11 @@ fn build_cut_table(cfg: &ServeConfig, edges: &[EdgeReplica], requests: &[ServeRe
 /// Panics on inconsistent configuration: worker counts not matching the
 /// replica slices, zero edge workers, `max_batch == 0`, an offloading
 /// policy with no cloud workers, unsorted arrivals, images that are not
-/// single-instance `[1, C, H, W]` batches, or a feature-payload plan
-/// whose edge replicas lack cloud prefixes, whose fixed cut is out of
-/// range, or whose planned cut selection has no device classes or no
-/// [`ServeConfig::link`] to plan against.
+/// single-instance `[1, C, H, W]` batches, a
+/// [`ServeConfig::link_schedule`] without a [`ServeConfig::link`], or a
+/// feature-payload plan whose edge replicas lack cloud prefixes, whose
+/// fixed cut is out of range, or whose planned cut selection has no
+/// device classes or no [`ServeConfig::link`] to plan against.
 pub fn serve(
     cfg: &ServeConfig,
     edges: &mut [EdgeReplica],
@@ -592,6 +756,10 @@ pub fn serve(
     assert_eq!(cfg.cloud_workers, clouds.len(), "one cloud replica per cloud worker");
     assert!(cfg.max_batch > 0, "max_batch must be at least 1");
     assert!(cfg.queue_depth > 0, "queues need capacity");
+    assert!(
+        cfg.link_schedule.is_empty() || cfg.link.is_some(),
+        "a link schedule needs a link model (ServeConfig::link) to change"
+    );
     assert!(
         requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
         "requests must be sorted by arrival time"
@@ -656,7 +824,8 @@ pub fn serve(
             let dtx = done_tx.clone();
             let counters = &cloud_counters;
             let suffixes = &suffix_macs;
-            scope.spawn(move |_| cloud_worker(cfg, cloud, rx, dtx, counters, suffixes));
+            let shared = &policy_state;
+            scope.spawn(move |_| cloud_worker(cfg, cloud, rx, dtx, counters, suffixes, shared));
         }
         for (rx, replica) in edge_rxs.into_iter().zip(edges.iter_mut()) {
             let ctxs = cloud_txs.clone();
@@ -698,11 +867,12 @@ pub fn serve(
 
     let offloaded = records.iter().filter(|r| r.exit == ExitPoint::Cloud).count();
     let counters = cloud_counters.into_inner();
-    let (final_threshold, cut_replans, final_cuts) = {
+    let (final_threshold, cut_replans, final_cuts, link_estimates) = {
         let st = policy_state.into_inner();
         let replans = st.cuts.as_ref().map_or(0, |t| t.replans);
+        let estimates = st.cuts.as_ref().and_then(|t| t.estimator.as_ref()).map(LinkEstimator::estimates);
         let cuts = st.cuts.map(|t| t.per_class);
-        (st.controller.map(|c| c.threshold()), replans, cuts)
+        (st.controller.map(|c| c.threshold()), replans, cuts, estimates)
     };
     let stats = ServeStats {
         total: n,
@@ -718,6 +888,7 @@ pub fn serve(
         cloud_macs_saved: counters.macs_saved,
         cut_replans,
         final_cuts,
+        link_estimates,
         final_threshold,
     };
     ServeReport { records, completions, stats }
@@ -736,13 +907,14 @@ fn edge_worker(
     shared: &Mutex<PolicyState>,
 ) {
     let EdgeReplica { net, cloud_prefix } = replica;
-    // Without a controller neither the policy nor the cut table ever
-    // changes: take private copies once and keep the hot path lock-free.
-    // With one, the lock serves the current threshold and cuts, and feeds
-    // the window back.
+    // Without a controller or measured-link feedback neither the policy
+    // nor the cut table ever changes: take private copies once and keep
+    // the hot path lock-free. With either loop active, the lock serves
+    // the current threshold and cuts, and feeds the window back.
     let (static_engine, static_cuts): (Option<RoutingEngine>, Option<Vec<usize>>) = {
         let st = shared.lock();
-        if st.controller.is_none() {
+        let cuts_move = st.cuts.as_ref().is_some_and(|t| t.feedback.is_some());
+        if st.controller.is_none() && !cuts_move {
             (Some(st.engine), st.cuts.as_ref().map(|t| t.per_class.clone()))
         } else {
             (None, None)
@@ -814,8 +986,10 @@ fn edge_worker(
 }
 
 /// Cloud worker loop: coalesce queued payloads, pay the (optional) link
-/// delay on both legs, resume one batched forward per distinct cut point,
-/// complete every record in the batch.
+/// delay on both legs (rtt/2 each — the shared `NetworkLink` leg
+/// convention), resume one batched forward per distinct cut point, report
+/// the link time the batch actually paid to the measured-link feedback
+/// loop, and complete every record in the batch.
 fn cloud_worker(
     cfg: &ServeConfig,
     cloud: &mut SegmentedCnn,
@@ -823,12 +997,13 @@ fn cloud_worker(
     done_tx: Sender<Completion>,
     counters: &Mutex<CloudCounters>,
     suffix_macs: &[u64],
+    shared: &Mutex<PolicyState>,
 ) {
     while let Some(batch) = coalesce(&rx, cfg.max_batch, cfg.max_wait) {
         let batch_bytes: u64 = batch.iter().map(|j| j.bytes.len() as u64).sum();
         let response_bytes = RESPONSE_WIRE_BYTES * batch.len() as u64;
         let total_macs = suffix_macs[0];
-        {
+        let batches_before = {
             let mut c = counters.lock();
             c.batches += 1;
             c.max_batch = c.max_batch.max(batch.len());
@@ -838,9 +1013,16 @@ fn cloud_worker(
                 c.macs += suffix_macs[job.pending.resume_layer];
                 c.macs_saved += total_macs - suffix_macs[job.pending.resume_layer];
             }
-        }
-        if let Some(link) = &cfg.link {
-            std::thread::sleep(Duration::from_secs_f64(link.upload_time_s(batch_bytes) + link.rtt_s));
+            c.batches - 1
+        };
+        // The wire this batch actually rides: the configured link with any
+        // due schedule changes applied. The telemetry below observes THIS
+        // link's per-byte behaviour; the planner's static model still
+        // assumes the nominal one — measured feedback is the only path by
+        // which a degradation reaches the cut decision.
+        let link = scheduled_link(cfg, batches_before);
+        if let Some(link) = &link {
+            std::thread::sleep(Duration::from_secs_f64(link.uplink_leg_s(batch_bytes)));
         }
         // A coalesced batch may mix cut points (the planner re-planned
         // mid-flight, or device classes cut differently): group by resume
@@ -867,8 +1049,21 @@ fn cloud_worker(
         classified.sort_by_key(|(job, _)| (job.device, job.seq));
         // The responses ride the downlink back before anyone observes a
         // completion.
-        if let Some(link) = &cfg.link {
-            std::thread::sleep(Duration::from_secs_f64(link.download_time_s(response_bytes)));
+        if let Some(link) = &link {
+            std::thread::sleep(Duration::from_secs_f64(link.downlink_leg_s(response_bytes)));
+            // Close the telemetry loop: record what this round trip cost
+            // per leg — (bytes, seconds) pairs and the propagation delay,
+            // exactly what timestamps on a real wire would yield — for
+            // every device class in the batch.
+            let devices: Vec<usize> = classified.iter().map(|(job, _)| job.device).collect();
+            shared.lock().observe_link(
+                &devices,
+                batch_bytes,
+                link.upload_time_s(batch_bytes),
+                response_bytes,
+                link.download_time_s(response_bytes),
+                link.rtt_s,
+            );
         }
         for (job, pred) in classified {
             let completion = Completion {
@@ -1259,6 +1454,7 @@ mod tests {
                 ],
                 cloud: DeviceProfile::new("cloud", 200.0, 1e11),
                 objective: Objective::Latency,
+                feedback: None,
             }),
         });
         let run = || {
@@ -1314,12 +1510,156 @@ mod tests {
                 classes: vec![DeviceProfile::new("edge", 10.0, 1e8)],
                 cloud: DeviceProfile::new("cloud", 200.0, 1e11),
                 objective: Objective::Latency,
+                feedback: None,
             }),
         });
         let feat = run(planned);
         let image = run(PayloadPlan::Image(WireFormat::Float32));
         assert_eq!(feat.records, image.records, "replanning leaked into predictions");
         assert!(feat.stats.final_cuts.is_some());
+    }
+
+    /// Rebuilds the planner exactly as `build_cut_table` does for an F32
+    /// feature plan over the tiny cloud: same env, same stream count.
+    fn planner_like_serve(cloud_seed: u64, link: NetworkLink, edge: &DeviceProfile, streams: usize) -> CutPlanner {
+        let prefix = tiny_cloud(cloud_seed);
+        let in_elems: u64 = prefix.in_shape.iter().map(|&d| d as u64).product();
+        let env = PartitionEnv {
+            edge: edge.clone(),
+            cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+            link,
+            bytes_per_elem: 4,
+            raw_input_bytes: 4 * in_elems,
+            response_bytes: RESPONSE_WIRE_BYTES,
+        };
+        CutPlanner::from_network(&prefix, env, Objective::Latency, streams)
+    }
+
+    #[test]
+    fn stream_count_uses_distinct_devices_not_max_id() {
+        // Regression: the planner's contention model used to estimate the
+        // stream count as `max(device id) + 1`, so a trace from devices
+        // {0, 7} was charged as EIGHT concurrent uploaders instead of two,
+        // inflating β·streams and pushing the planned cut away from where
+        // the actual two-stream contention warrants.
+        let bundle = presets::tiny(80);
+        let edge = DeviceProfile::new("edge", 10.0, 1e9);
+        // Find a link rate where 2-stream and 8-stream contention plan
+        // different cuts (such a rate must exist: the effective rates
+        // differ 4x), so the test can detect which model served.
+        let rate = (0..60)
+            .map(|i| 0.05 * 1.3f64.powi(i))
+            .find(|&r| {
+                let two = planner_like_serve(29, NetworkLink::wifi(r).with_rtt(0.001), &edge, 2);
+                let eight = planner_like_serve(29, NetworkLink::wifi(r).with_rtt(0.001), &edge, 8);
+                two.plan_for(&edge).cut != eight.plan_for(&edge).cut
+            })
+            .expect("some rate separates 2-stream from 8-stream contention");
+        let link = NetworkLink::wifi(rate).with_rtt(0.001);
+        let expected_cut = planner_like_serve(29, link, &edge, 2).plan_for(&edge).cut;
+        let wrong_cut = planner_like_serve(29, link, &edge, 8).plan_for(&edge).cut;
+        assert_ne!(expected_cut, wrong_cut, "rate search guaranteed a separation");
+
+        // Sparse trace: the same frames, but the second device is id 7.
+        let mut requests = instant_requests(&bundle.test, 2);
+        for r in &mut requests {
+            if r.device == 1 {
+                r.device = 7;
+            }
+        }
+        let planned = PayloadPlan::Features(FeatureConfig {
+            wire: FeatureWire::F32,
+            cut: CutSelection::Planned(CutPlannerConfig {
+                classes: vec![edge.clone()],
+                cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                objective: Objective::Latency,
+                feedback: None,
+            }),
+        });
+        let mut edges = split_replicas(2, 28, 29);
+        let mut clouds = replicas(1, || tiny_cloud(29));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 2, 1, 4);
+        cfg.payload = planned;
+        cfg.link = Some(link);
+        let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+        assert_eq!(
+            report.stats.final_cuts,
+            Some(vec![expected_cut]),
+            "sparse ids {{0, 7}} must be planned as two streams, not eight"
+        );
+    }
+
+    #[test]
+    fn measured_degradation_replans_toward_an_edge_heavier_cut() {
+        // The closed loop end to end: the wire silently degrades 50x
+        // mid-run; the static contention model can never see it, but the
+        // cloud workers' per-batch telemetry does, and the planner moves
+        // the cut toward the edge (smaller uploads). 1 edge x 1 cloud x
+        // max_batch 1 keeps the batch order and hence the whole feedback
+        // trajectory deterministic.
+        let bundle = presets::tiny(81);
+        // A slow edge device makes the nominal plan shallow (ship early,
+        // the cloud is 2000x faster); once the wire degrades 200x, paying
+        // the edge prefix to shrink the upload wins.
+        let nominal = NetworkLink::wifi(100.0).with_rtt(0.0002);
+        let degraded = NetworkLink::wifi(0.5).with_rtt(0.0002);
+        let edge = DeviceProfile::new("edge", 10.0, 5e8);
+        let run = |feedback: Option<LinkFeedback>| {
+            let mut edges = split_replicas(1, 30, 31);
+            let mut clouds = replicas(1, || tiny_cloud(31));
+            let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+            cfg.payload = PayloadPlan::Features(FeatureConfig {
+                wire: FeatureWire::F32,
+                cut: CutSelection::Planned(CutPlannerConfig {
+                    classes: vec![edge.clone()],
+                    cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                    objective: Objective::Latency,
+                    feedback,
+                }),
+            });
+            cfg.link = Some(nominal);
+            cfg.link_schedule = vec![LinkChange { after_batches: 8, link: degraded }];
+            serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1))
+        };
+        let closed = run(Some(LinkFeedback { alpha: 0.5, prior_samples: 0.0, replan_every: 4 }));
+        let open = run(None);
+
+        // Open loop: the degradation happened, nobody replanned.
+        assert_eq!(open.stats.cut_replans, 0);
+        assert!(open.stats.link_estimates.is_none());
+        let open_cut = open.stats.final_cuts.clone().expect("planned mode")[0];
+
+        // Closed loop: telemetry saw the slower wire and the plan moved.
+        assert!(closed.stats.cut_replans >= 1, "degradation never reached the planner");
+        let closed_cut = closed.stats.final_cuts.clone().expect("planned mode")[0];
+        assert!(closed_cut > open_cut, "cut should move edge-heavier: {open_cut} -> {closed_cut}");
+        let cloud_net = tiny_cloud(31);
+        let profiles = profile_network(&cloud_net);
+        let in_elems: u64 = cloud_net.in_shape.iter().map(|&d| d as u64).product();
+        let upload = |cut: usize| if cut == 0 { 4 * in_elems } else { 4 * profiles[cut - 1].out_elems };
+        assert!(upload(closed_cut) < upload(open_cut), "edge-heavier cut must shrink the upload");
+
+        // The estimator converged onto the degraded wire (EWMA of exact
+        // per-batch observations; the nominal prefix decays geometrically).
+        let ests = closed.stats.link_estimates.expect("feedback reports estimates");
+        let est = ests[0].expect("class 0 observed");
+        assert_eq!(est.samples, closed.stats.offloaded as u64, "one observation per served batch");
+        assert!((est.up_mbps - 0.5).abs() / 0.5 < 0.05, "estimate {} should track 0.5 Mbps", est.up_mbps);
+        assert!((est.rtt_s - 0.0002).abs() < 1e-9);
+
+        // The cut is a pure cost knob: closed- and open-loop runs serve
+        // bitwise-identical records under the lossless wire.
+        assert_eq!(closed.records, open.records, "replanning leaked into predictions");
+    }
+
+    #[test]
+    #[should_panic(expected = "link schedule needs a link")]
+    fn link_schedule_without_link_rejected() {
+        let bundle = presets::tiny(82);
+        let mut edges = edge_replicas(1, 33);
+        let mut cfg = ServeConfig::new(OffloadPolicy::Never, 1, 0, 1);
+        cfg.link_schedule = vec![LinkChange { after_batches: 1, link: NetworkLink::wifi(1.0) }];
+        let _ = serve(&cfg, &mut edges, &mut [], &instant_requests(&bundle.test, 1));
     }
 
     #[test]

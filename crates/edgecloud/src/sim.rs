@@ -117,15 +117,21 @@ pub fn simulate(cfg: &SimConfig, routes: &[ExitPoint]) -> SimReport {
             ExitPoint::Cloud => {
                 // The edge GPU is released after the main block; the radio
                 // and cloud pipelines run in parallel with later frames.
+                // Propagation follows the repo-wide convention (rtt/2 per
+                // leg, `NetworkLink::{uplink_leg_s, downlink_leg_s}`): the
+                // radio is busy only for the serialisation time, the
+                // payload arrives at the cloud after the uplink leg, and
+                // the label is back at the edge after the downlink leg
+                // (the simulator ships no response payload bytes).
                 edge_free = done;
                 let start_up = radio_free.max(done);
-                let uploaded = start_up + t_up;
-                radio_free = uploaded;
+                radio_free = start_up + t_up;
                 energy.communication_j += cfg.link.upload_energy_j(cfg.payload_bytes);
-                let start_cloud = cloud_free.max(uploaded + cfg.link.rtt_s / 2.0);
+                let arrives = start_up + cfg.link.uplink_leg_s(cfg.payload_bytes);
+                let start_cloud = cloud_free.max(arrives);
                 let classified = start_cloud + t_cloud;
                 cloud_free = classified;
-                done = classified + cfg.link.rtt_s / 2.0;
+                done = classified + cfg.link.downlink_leg_s(0);
             }
         }
         timings.push(InstanceTiming { arrival_s: arrival, completion_s: done });
@@ -200,6 +206,22 @@ mod tests {
         let expect = 0.001 + 0.001 + 0.005 + 0.001 + 0.005;
         assert!((report.timings[0].latency_s() - expect).abs() < 1e-9);
         assert!(report.energy.communication_j > 0.0);
+    }
+
+    #[test]
+    fn rtt_convention_is_shared_across_paths() {
+        // Cross-path check of the one documented RTT convention: an
+        // uncontended cloud exit's simulated latency is exactly the edge
+        // compute plus the two `NetworkLink` legs plus the cloud compute —
+        // the same leg helpers the closed-form `round_trip_s` sums and the
+        // serving runtime sleeps, so all three charge identically.
+        let c = cfg();
+        let report = simulate(&c, &[ExitPoint::Cloud]);
+        let legs = c.link.uplink_leg_s(c.payload_bytes) + c.link.downlink_leg_s(0);
+        let expect = c.edge.latency_s(c.macs_main) + legs + c.cloud.latency_s(c.macs_cloud);
+        assert!((report.timings[0].latency_s() - expect).abs() < 1e-12);
+        // The closed form agrees with the legs it is built from.
+        assert!((c.link.round_trip_s(c.payload_bytes, 0) - legs).abs() < 1e-15);
     }
 
     #[test]

@@ -4,8 +4,12 @@
 //! invariance of feature-payload serving.
 
 use mea_data::{presets, ClassDict};
+use mea_edgecloud::device::DeviceProfile;
+use mea_edgecloud::network::{LinkEstimate, LinkEstimator, NetworkLink};
+use mea_edgecloud::partition::{CutPlanner, Objective, PartitionEnv};
 use mea_edgecloud::serve::{
-    serve, trace_requests, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, PayloadPlan, ServeConfig,
+    serve, trace_requests, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, LinkChange,
+    LinkFeedback, PayloadPlan, ServeConfig, RESPONSE_WIRE_BYTES,
 };
 use mea_edgecloud::traces::ArrivalModel;
 use mea_nn::models::{resnet_cifar, CifarResNetConfig, SegmentedCnn};
@@ -170,6 +174,141 @@ proptest! {
         prop_assert_eq!(
             report.stats.cloud_macs + report.stats.cloud_macs_saved,
             report.stats.offloaded as u64 * total_macs
+        );
+    }
+
+    /// The exchange law of closed-loop planning: degrading the *measured*
+    /// link (any factor >= 1) can never move the planned serving cut to a
+    /// larger upload — congestion only ever shrinks what crosses the
+    /// wire. (The cut index itself need not be monotone: a shallow cut
+    /// with a small upload may legitimately beat a deep cut with a fat
+    /// activation.)
+    #[test]
+    fn measured_degradation_never_grows_the_planned_upload(
+        rate in 0.05f64..500.0,
+        factor in 1.0f64..256.0,
+        edge_rate in 1e7f64..1e12,
+        cloud_rate in 1e9f64..1e13,
+        samples in 1u64..128,
+    ) {
+        let cloud_net = tiny_cloud(26);
+        let in_elems: u64 = cloud_net.in_shape.iter().map(|&d| d as u64).product();
+        let env = PartitionEnv {
+            edge: DeviceProfile::new("edge", 10.0, edge_rate),
+            cloud: DeviceProfile::new("cloud", 200.0, cloud_rate),
+            link: NetworkLink::wifi(rate).with_rtt(0.001),
+            bytes_per_elem: 4,
+            raw_input_bytes: 4 * in_elems,
+            response_bytes: RESPONSE_WIRE_BYTES,
+        };
+        let mut planner = CutPlanner::from_network(&cloud_net, env, Objective::Latency, 1);
+        planner.set_prior_samples(0.0); // isolate the measured path
+        let edge = DeviceProfile::new("edge", 10.0, edge_rate);
+        let nominal = LinkEstimate { up_mbps: rate, down_mbps: rate, rtt_s: 0.001, samples };
+        let degraded = LinkEstimate { up_mbps: rate / factor, down_mbps: rate / factor, ..nominal };
+        let before = planner.plan_for_measured(&edge, Some(&nominal));
+        let after = planner.plan_for_measured(&edge, Some(&degraded));
+        prop_assert!(
+            after.upload_bytes <= before.upload_bytes,
+            "degradation x{} grew the upload: {:?} -> {:?}", factor, before, after
+        );
+        // And a measured link identical to the static prior is a no-op.
+        let static_plan = planner.plan_for(&edge);
+        prop_assert_eq!(before.cut, static_plan.cut);
+    }
+
+    /// EWMA telemetry recovers a stationary link's true rates exactly
+    /// (observations are size-invariant), and after a mid-stream rate
+    /// change converges geometrically onto the new rate.
+    #[test]
+    fn link_estimator_converges_to_the_true_rate(
+        up in 0.1f64..1000.0,
+        down in 0.1f64..1000.0,
+        rtt in 0.0f64..0.05,
+        alpha in 0.2f64..1.0,
+        sizes in proptest::collection::vec(1u64..100_000, 4..24),
+    ) {
+        let link = NetworkLink::wifi(up).with_rtt(rtt).with_download(down);
+        let mut est = LinkEstimator::new(1, alpha);
+        for &bytes in &sizes {
+            est.observe(0, bytes, link.upload_time_s(bytes), bytes, link.download_time_s(bytes), link.rtt_s);
+        }
+        let e = est.estimate(0).expect("observed");
+        prop_assert!((e.up_mbps - up).abs() / up < 1e-9, "stationary up {} vs {}", e.up_mbps, up);
+        prop_assert!((e.down_mbps - down).abs() / down < 1e-9);
+        prop_assert!((e.rtt_s - rtt).abs() < 1e-12);
+        // Halve the link; after 24 more observations the estimate must
+        // sit within 5% of the new rate for any alpha >= 0.2
+        // (residual weight (1-alpha)^24 < 0.005).
+        let slow = NetworkLink::wifi(up / 2.0).with_rtt(rtt).with_download(down / 2.0);
+        for &bytes in sizes.iter().cycle().take(24) {
+            est.observe(0, bytes, slow.upload_time_s(bytes), bytes, slow.download_time_s(bytes), slow.rtt_s);
+        }
+        let e = est.estimate(0).expect("observed");
+        let target = up / 2.0;
+        prop_assert!(
+            (e.up_mbps - target).abs() / target < 0.05,
+            "after degradation: {} vs {}", e.up_mbps, target
+        );
+    }
+
+    /// Closed-loop serving under a mid-trace link degradation: whatever
+    /// the feedback cadence and smoothing, the records stay bitwise
+    /// identical to the open-loop run (the cut is a pure cost knob under
+    /// the lossless wire), replan telemetry is reported, and the final
+    /// planned upload is never larger than the open-loop one.
+    #[test]
+    fn degraded_link_feedback_replans_without_touching_predictions(
+        replan_every in 1u64..7,
+        alpha in 0.3f64..1.0,
+        after_batches in 4u64..12,
+        threshold in 0.2f32..1.2,
+    ) {
+        let bundle = presets::tiny(83);
+        let nominal = NetworkLink::wifi(100.0).with_rtt(0.0002);
+        let degraded = NetworkLink::wifi(0.5).with_rtt(0.0002);
+        let edge = DeviceProfile::new("edge", 10.0, 5e8);
+        let run = |feedback: Option<LinkFeedback>| {
+            let mut edges =
+                vec![EdgeReplica::with_cloud_prefix(tiny_net(27), tiny_cloud(28))];
+            let mut clouds: Vec<SegmentedCnn> = vec![tiny_cloud(28)];
+            let mut cfg = ServeConfig::new(OffloadPolicy::EntropyThreshold(threshold), 1, 1, 1);
+            cfg.payload = PayloadPlan::Features(FeatureConfig {
+                wire: FeatureWire::F32,
+                cut: CutSelection::Planned(CutPlannerConfig {
+                    classes: vec![edge.clone()],
+                    cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                    objective: Objective::Latency,
+                    feedback,
+                }),
+            });
+            cfg.link = Some(nominal);
+            cfg.link_schedule = vec![LinkChange { after_batches, link: degraded }];
+            let mut rng = Rng::new(9);
+            let requests =
+                trace_requests(&bundle.test, 1, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+            serve(&cfg, &mut edges, &mut clouds, &requests)
+        };
+        let closed = run(Some(LinkFeedback { alpha, prior_samples: 0.0, replan_every }));
+        let open = run(None);
+        prop_assert_eq!(&closed.records, &open.records, "feedback leaked into predictions");
+        prop_assert_eq!(open.stats.cut_replans, 0);
+        let ests = closed.stats.link_estimates.as_ref().expect("feedback reports estimates");
+        if closed.stats.offloaded > 0 {
+            let est = ests[0].expect("class observed");
+            prop_assert_eq!(est.samples, closed.stats.offloaded as u64);
+        }
+        // The closed-loop final cut uploads no more than the open-loop one.
+        let cloud_net = tiny_cloud(28);
+        let profiles = mea_edgecloud::partition::profile_network(&cloud_net);
+        let in_elems: u64 = cloud_net.in_shape.iter().map(|&d| d as u64).product();
+        let upload =
+            |cut: usize| if cut == 0 { 4 * in_elems } else { 4 * profiles[cut - 1].out_elems };
+        let closed_cut = closed.stats.final_cuts.as_ref().expect("planned")[0];
+        let open_cut = open.stats.final_cuts.as_ref().expect("planned")[0];
+        prop_assert!(
+            upload(closed_cut) <= upload(open_cut),
+            "feedback grew the upload: open cut {} -> closed cut {}", open_cut, closed_cut
         );
     }
 }

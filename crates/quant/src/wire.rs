@@ -25,6 +25,26 @@
 
 use crate::qparams::{QScheme, QuantParams};
 use crate::qtensor::QTensor;
+use mea_tensor::Tensor;
+
+/// Ships one f32 activation across the int8 wire end-to-end: quantize on
+/// the affine per-tensor grid (parameters from the tensor's own range),
+/// encode the frame, decode it back, and dequantize — returning exactly
+/// the tensor the receiving side computes on, plus the frame's length in
+/// bytes.
+///
+/// This is the single primitive both offload paths share: the serving
+/// runtime's `Payload::QuantFeatures` and the offline sweep's
+/// quantized-feature mode produce bitwise-identical activations because
+/// they both reduce to this round trip (the codec is exact, so the only
+/// loss is the quantization grid itself).
+pub fn ship_affine(t: &Tensor) -> (Tensor, u64) {
+    let q = QTensor::quantize(t, QuantParams::affine_from_range(t.min(), t.max()));
+    let buf = encode(&q);
+    let (back, consumed) = decode(&buf);
+    debug_assert_eq!(consumed, buf.len(), "wire frame decoded short");
+    (back.dequantize(), buf.len() as u64)
+}
 
 /// Bytes [`encode`] produces for `t` (header + one byte per element).
 pub fn encoded_len(t: &QTensor) -> u64 {
@@ -142,6 +162,18 @@ mod tests {
         let q = sample(2);
         let f32_bytes = 4 * q.numel() as u64;
         assert!(encoded_len(&q) < f32_bytes / 2, "int8 wire should crush the f32 encoding");
+    }
+
+    #[test]
+    fn ship_affine_matches_manual_round_trip() {
+        let mut rng = Rng::new(4);
+        let t = Tensor::randn([1, 3, 5, 5], 1.0, &mut rng);
+        let (shipped, bytes) = ship_affine(&t);
+        // Same grid, same frame: shipping is exactly quantize → dequantize.
+        let q = QTensor::quantize(&t, QuantParams::affine_from_range(t.min(), t.max()));
+        assert_eq!(shipped, q.dequantize());
+        assert_eq!(bytes, encoded_len(&q));
+        assert_eq!(shipped.dims(), t.dims());
     }
 
     #[test]

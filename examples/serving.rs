@@ -13,7 +13,7 @@ use mea_edgecloud::network::NetworkLink;
 use mea_edgecloud::partition::Objective;
 use mea_edgecloud::serve::{
     serve, trace_requests, ControllerConfig, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig,
-    FeatureWire, PayloadPlan, ServeConfig, ServeRequest, WireFormat,
+    FeatureWire, LinkChange, LinkFeedback, PayloadPlan, ServeConfig, ServeRequest, WireFormat,
 };
 use mea_edgecloud::traces::ArrivalModel;
 use mea_nn::models::SegmentedCnn;
@@ -31,6 +31,11 @@ fn main() {
     }
     if let Some(BackboneChoice::CifarResNet(ref mut c)) = cfg.cloud {
         c.input_hw = 8;
+        // A bottlenecked final stage: the deepest activation (64 elems)
+        // is far smaller than the input (192), so a *deep* cut can beat
+        // shipping pixels outright — the regime where closed-loop cut
+        // planning has something to find.
+        c.channels = [16, 24, 16];
     }
     let mut pipe = Pipeline::run(&cfg, &bundle.train);
 
@@ -142,7 +147,38 @@ fn main() {
                 classes: vec![DeviceProfile::new("edge worker", 15.0, 5e11)],
                 cloud: DeviceProfile::new("congested cloud", 200.0, 1e10),
                 objective: Objective::Latency,
+                feedback: None,
             }),
         }),
+    );
+
+    // Closed-loop planning: the uplink silently collapses 50 -> 1 Mbps a
+    // few batches in. The planner's static model never hears about it —
+    // the cloud workers' per-batch telemetry (LinkEstimator EWMA) is the
+    // only way the degradation can reach the cut decision.
+    let mut edges = build_edges(true);
+    let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|i| build_cloud(500 + i as u64)).collect();
+    let mut cfg3 = ServeConfig::new(OffloadPolicy::Always, edge_workers, cloud_workers, 8);
+    cfg3.queue_depth = 8;
+    cfg3.link = Some(NetworkLink::wifi(50.0).with_rtt(0.004));
+    cfg3.link_schedule = vec![LinkChange { after_batches: 8, link: NetworkLink::wifi(1.0).with_rtt(0.004) }];
+    cfg3.payload = PayloadPlan::Features(FeatureConfig {
+        wire: FeatureWire::F32,
+        cut: CutSelection::Planned(CutPlannerConfig {
+            classes: vec![DeviceProfile::new("edge worker", 15.0, 2e9)],
+            cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+            objective: Objective::Latency,
+            feedback: Some(LinkFeedback { alpha: 0.5, prior_samples: 2.0, replan_every: 4 }),
+        }),
+    });
+    let r = serve(&cfg3, &mut edges, &mut clouds, &requests);
+    let est = r.stats.link_estimates.as_ref().and_then(|e| e[0]);
+    println!(
+        "\nclosed-loop planning under a mid-run 50 -> 1 Mbps degradation: {} replans, final cut {:?},\n\
+         measured uplink {} over {} batches (the static model still believes 50 Mbps)",
+        r.stats.cut_replans,
+        r.stats.final_cuts.unwrap_or_default(),
+        est.map_or("-".into(), |e| format!("{:.2} Mbps", e.up_mbps)),
+        est.map_or(0, |e| e.samples),
     );
 }

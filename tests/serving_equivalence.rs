@@ -13,9 +13,9 @@ use mea_edgecloud::traces::ArrivalModel;
 use mea_nn::models::SegmentedCnn;
 use mea_nn::StateDict;
 use mea_tensor::Rng;
-use meanet::infer::run_inference_with_policy;
+use meanet::infer::{run_inference_with_payload, run_inference_with_policy};
 use meanet::pipeline::{BackboneChoice, Pipeline, PipelineConfig};
-use meanet::{MeaNet, OffloadPolicy};
+use meanet::{MeaNet, OffloadPolicy, SweepPayload};
 
 /// Trains a tiny model-B system and returns builders for bitwise replicas
 /// of the edge net and the cloud net.
@@ -146,6 +146,73 @@ fn feature_payload_serving_is_the_same_system_at_every_cut() {
     assert_eq!(saved_at[0], 0, "cut 0 ships pixels and saves nothing");
     assert!(saved_at.windows(2).all(|w| w[0] <= w[1]), "deeper cuts must save at least as much: {saved_at:?}");
     assert!(*saved_at.last().unwrap() > 0, "the deepest cut must spare the cloud real recompute");
+}
+
+#[test]
+fn offline_feature_sweep_is_bitwise_identical_to_feature_serving() {
+    // The acceptance bar for the offline "sending features" Table I row:
+    // `run_inference_with_payload` in feature mode and feature-payload
+    // *serving* at the same cut are one system — identical records on the
+    // lossless f32 wire, and identical records *and* wire frames (modulo
+    // the 1-byte payload tag) on the lossy int8 wire, because both paths
+    // quantize each instance's activation on its own affine grid through
+    // the same `mea_quant::wire` round trip.
+    let (mut pipe, cfg, bundle) = trained_system();
+    let mid = 0.5 * (pipe.entropy.mean_correct + pipe.entropy.mean_wrong) as f32;
+    let policy = OffloadPolicy::EntropyThreshold(mid);
+
+    let mut rng = Rng::new(11);
+    let requests = trace_requests(&bundle.test, 3, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+    let layers = cloud_replicas(&mut pipe, &cfg, 1)[0].cut_layer_count();
+
+    let serve_at = |pipe: &mut Pipeline, wire: FeatureWire, cut: usize| {
+        let mut edges = split_serving_replicas(pipe, &cfg, 2);
+        let mut clouds = cloud_replicas(pipe, &cfg, 2);
+        let mut serve_cfg = ServeConfig::new(policy, 2, 2, 4);
+        serve_cfg.payload = PayloadPlan::Features(FeatureConfig { wire, cut: CutSelection::Fixed(cut) });
+        serve(&serve_cfg, &mut edges, &mut clouds, &requests)
+    };
+
+    // Lossless wire, several cuts: offline sweep == serving, bitwise.
+    for cut in [1usize, layers / 2, layers - 1] {
+        let mut net = edge_replicas(&mut pipe, &cfg, 1);
+        let mut cloud = cloud_replicas(&mut pipe, &cfg, 1);
+        let (offline, stats) = run_inference_with_payload(
+            &mut net[0],
+            Some(&mut cloud[0]),
+            &bundle.test,
+            policy,
+            16,
+            SweepPayload::Features { cut },
+        );
+        let report = serve_at(&mut pipe, FeatureWire::F32, cut);
+        assert_eq!(report.records, offline, "offline f32 feature sweep diverged from serving at cut {cut}");
+        assert_eq!(stats.offloaded, report.stats.offloaded);
+        assert!(stats.offloaded > 0, "nothing offloaded; the equivalence is vacuous");
+        assert_eq!(stats.cut, cut);
+    }
+
+    // Int8 wire at the deepest cut: the two lossy paths flip the *same*
+    // borderline predictions, and the measured bytes line up exactly
+    // (serving frames carry one extra payload-tag byte per offload).
+    let cut = layers - 1;
+    let mut net = edge_replicas(&mut pipe, &cfg, 1);
+    let mut cloud = cloud_replicas(&mut pipe, &cfg, 1);
+    let (offline_q, q_stats) = run_inference_with_payload(
+        &mut net[0],
+        Some(&mut cloud[0]),
+        &bundle.test,
+        policy,
+        16,
+        SweepPayload::QuantFeatures { cut },
+    );
+    let report = serve_at(&mut pipe, FeatureWire::Int8, cut);
+    assert_eq!(report.records, offline_q, "offline int8 feature sweep diverged from int8 serving");
+    assert_eq!(
+        report.stats.bytes_to_cloud,
+        q_stats.upload_bytes + q_stats.offloaded as u64,
+        "serving's int8 wire must be the offline codec frame plus one tag byte per offload"
+    );
 }
 
 #[test]
