@@ -6,7 +6,7 @@ use crate::scale::Scale;
 use mea_data::synth::generate;
 use mea_data::{ClassDict, Dataset};
 use mea_edgecloud::device::DeviceProfile;
-use mea_edgecloud::network::{LinkEstimate, NetworkLink};
+use mea_edgecloud::network::{LinkEstimate, NetworkLink, PaceChange, PipeConfig, TransportKind};
 use mea_edgecloud::partition::Objective;
 use mea_edgecloud::serve::{
     serve, trace_requests, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, LinkChange,
@@ -392,6 +392,199 @@ pub fn planner_feedback(scale: Scale) -> PlannerFeedbackResult {
         .expect("class 0 observed at least one batch");
     let offloaded = offline.iter().filter(|r| r.exit == meanet::ExitPoint::Cloud).count();
     PlannerFeedbackResult { open, closed, offline, offloaded, degraded_up_mbps: 1.0, estimate }
+}
+
+/// One payload plan's modelled-vs-pipe parity measurement in the
+/// real-transport experiment.
+#[derive(Debug, Clone)]
+pub struct TransportParityRow {
+    /// Human-readable plan name.
+    pub plan: &'static str,
+    /// Whether the pipe run's records equal the modelled run's, bitwise.
+    pub records_match: bool,
+    /// Uplink bytes (asserted identical across transports).
+    pub bytes_to_cloud: u64,
+    /// Downlink bytes (asserted identical across transports).
+    pub bytes_from_cloud: u64,
+    /// The final cut, where the plan has one (identical across transports).
+    pub cut: Option<usize>,
+    /// Mean wall-clock service time per request over the modelled wire (ms).
+    pub service_modelled_ms: f64,
+    /// Mean wall-clock service time per request over the byte pipe (ms).
+    pub service_pipe_ms: f64,
+}
+
+/// One closed-loop run over the real pipe (measured wall-clock telemetry).
+#[derive(Debug, Clone)]
+pub struct PipeLoopRow {
+    /// The cut the single device class ended the run on.
+    pub final_cut: usize,
+    /// Replans that actually changed a cut.
+    pub cut_replans: u64,
+    /// The final class-0 link estimate (from `Instant::now()` deltas).
+    pub estimate: LinkEstimate,
+    /// Mean wall-clock service time per request (ms).
+    pub service_ms: f64,
+    /// Records produced by the run, in input order.
+    pub records: Vec<InstanceRecord>,
+}
+
+/// Everything the `real_transport` bench target asserts and reports.
+#[derive(Debug)]
+pub struct RealTransportResult {
+    /// Modelled-vs-pipe parity, one row per payload plan.
+    pub parity: Vec<TransportParityRow>,
+    /// Instances served per parity run.
+    pub total: usize,
+    /// Requests offloaded per parity run (identical across transports).
+    pub offloaded: usize,
+    /// Open loop over the throttled pipe: no feedback, the static model's
+    /// plan holds to the end.
+    pub open_cut: usize,
+    /// Two identically-configured closed-loop runs over the throttled
+    /// pipe: real clocks make their link estimates differ run-to-run
+    /// while every routing outcome stays identical.
+    pub closed: [PipeLoopRow; 2],
+    /// The pacer rate (Mbps) the mid-run throttle drops the uplink to.
+    pub throttled_up_mbps: f64,
+}
+
+/// Runs the real-transport experiment. Part one: the same high-offload
+/// trace crosses the modelled wire and the real in-process byte pipe
+/// under every payload plan (raw/quantised image, fixed f32/int8 cuts,
+/// planner-chosen cut) — records and byte accounting must be identical,
+/// since the transport only changes where the time comes from. Part two:
+/// the pipe's pacer silently throttles mid-run and only the measured
+/// closed loop (fed by `Instant::now()` deltas around real sends) moves
+/// the cut; the static model is never told.
+pub fn real_transport(scale: Scale) -> RealTransportResult {
+    let instances = match scale {
+        Scale::Smoke => 96,
+        Scale::Repro | Scale::Full => 192,
+    };
+    let mut data_cfg = scale.cifar100_like(7501);
+    data_cfg.num_classes = 6;
+    data_cfg.num_clusters = 3;
+    data_cfg.image_hw = 8;
+    data_cfg.test_per_class = instances / 6 + 1;
+    let bundle = generate(&data_cfg);
+    let data = bundle.test.subset(&(0..instances.min(bundle.test.len())).collect::<Vec<_>>());
+
+    let hard = [0usize, 2, 4];
+    let mut probe_net = edge_replica(61, &hard);
+    let policy = high_offload_policy(&mut probe_net, &data, 0.8);
+
+    let mut rng = Rng::new(10);
+    let requests = trace_requests(&data, 4, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+    let link = NetworkLink::wifi(50.0).with_rtt(0.002);
+    let deep_cut = cloud_replica(62).cut_layer_count() - 1;
+    let planned = || {
+        CutSelection::Planned(CutPlannerConfig {
+            classes: vec![DeviceProfile::new("edge worker", 15.0, 5e11)],
+            cloud: DeviceProfile::new("cloud worker", 200.0, 1e12),
+            objective: Objective::Latency,
+            feedback: None,
+        })
+    };
+    let plans: Vec<(&'static str, PayloadPlan)> = vec![
+        ("image f32", PayloadPlan::Image(WireFormat::Float32)),
+        ("image quant8", PayloadPlan::Image(WireFormat::Quantised8Bit)),
+        (
+            "features f32 @ mid cut",
+            PayloadPlan::Features(FeatureConfig {
+                wire: FeatureWire::F32,
+                cut: CutSelection::Fixed(deep_cut / 2),
+            }),
+        ),
+        (
+            "features int8 @ deep cut",
+            PayloadPlan::Features(FeatureConfig { wire: FeatureWire::Int8, cut: CutSelection::Fixed(deep_cut) }),
+        ),
+        (
+            "features f32 @ planned cut",
+            PayloadPlan::Features(FeatureConfig { wire: FeatureWire::F32, cut: planned() }),
+        ),
+    ];
+
+    let run = |payload: &PayloadPlan, transport: TransportKind| -> ServeReport {
+        let mut edges: Vec<EdgeReplica> =
+            (0..2).map(|_| EdgeReplica::with_cloud_prefix(edge_replica(61, &hard), cloud_replica(62))).collect();
+        let mut clouds: Vec<SegmentedCnn> = (0..2).map(|_| cloud_replica(62)).collect();
+        let mut cfg = ServeConfig::new(policy, 2, 2, 4);
+        cfg.queue_depth = 8;
+        cfg.link = Some(link);
+        cfg.payload = payload.clone();
+        cfg.transport = transport;
+        serve(&cfg, &mut edges, &mut clouds, &requests)
+    };
+
+    let mut parity = Vec::new();
+    let mut offloaded = 0;
+    for (name, payload) in &plans {
+        let modelled = run(payload, TransportKind::Modelled);
+        let piped = run(payload, TransportKind::Pipe(PipeConfig::default()));
+        assert_eq!(
+            piped.stats.bytes_to_cloud, modelled.stats.bytes_to_cloud,
+            "{name}: uplink bytes diverged between transports"
+        );
+        assert_eq!(
+            piped.stats.bytes_from_cloud, modelled.stats.bytes_from_cloud,
+            "{name}: downlink bytes diverged between transports"
+        );
+        assert_eq!(piped.stats.final_cuts, modelled.stats.final_cuts, "{name}: the transport moved the cut");
+        offloaded = modelled.stats.offloaded;
+        parity.push(TransportParityRow {
+            plan: name,
+            records_match: piped.records == modelled.records,
+            bytes_to_cloud: modelled.stats.bytes_to_cloud,
+            bytes_from_cloud: modelled.stats.bytes_from_cloud,
+            cut: modelled.stats.final_cuts.as_ref().map(|c| c[0]),
+            service_modelled_ms: 1e3 * modelled.stats.wall_s / modelled.stats.total as f64,
+            service_pipe_ms: 1e3 * piped.stats.wall_s / piped.stats.total as f64,
+        });
+    }
+
+    // Part two: a single deterministic pipeline (1 edge x 1 cloud x
+    // max_batch 1) over the PACED pipe. The pacer starts at 50 Mbps and
+    // silently throttles to 1 Mbps a quarter of the way in; the static
+    // model (the planner's prior) is told 100 Mbps and never updated.
+    let throttled_up_mbps = 1.0;
+    let loop_requests = trace_requests(&data, 1, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+    let closed_loop = |feedback: Option<LinkFeedback>| -> ServeReport {
+        let mut edges = vec![EdgeReplica::with_cloud_prefix(edge_replica(61, &hard), cloud_replica(62))];
+        let mut clouds = vec![cloud_replica(62)];
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+        cfg.queue_depth = 4;
+        cfg.payload = PayloadPlan::Features(FeatureConfig {
+            wire: FeatureWire::F32,
+            cut: CutSelection::Planned(CutPlannerConfig {
+                classes: vec![DeviceProfile::new("edge", 10.0, 5e9)],
+                cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                objective: Objective::Latency,
+                feedback,
+            }),
+        });
+        cfg.link = Some(NetworkLink::wifi(100.0).with_rtt(0.0002));
+        cfg.transport = TransportKind::Pipe(PipeConfig {
+            up_mbps: Some(50.0),
+            throttle: vec![PaceChange { after_frames: instances as u64 / 4, up_mbps: throttled_up_mbps }],
+            ..PipeConfig::default()
+        });
+        serve(&cfg, &mut edges, &mut clouds, &loop_requests)
+    };
+    let open = closed_loop(None);
+    let open_cut = open.stats.final_cuts.as_ref().expect("planned mode")[0];
+    let feedback = Some(LinkFeedback { alpha: 0.5, prior_samples: 0.0, replan_every: 8 });
+    let closed = [closed_loop(feedback), closed_loop(feedback)].map(|report| PipeLoopRow {
+        final_cut: report.stats.final_cuts.as_ref().expect("planned mode")[0],
+        cut_replans: report.stats.cut_replans,
+        estimate: report.stats.link_estimates.expect("feedback reports estimates")[0]
+            .expect("class 0 observed at least one batch"),
+        service_ms: 1e3 * report.stats.wall_s / report.stats.total as f64,
+        records: report.records,
+    });
+
+    RealTransportResult { parity, total: data.len(), offloaded, open_cut, closed, throttled_up_mbps }
 }
 
 fn row_from(cloud_workers: usize, report: &ServeReport) -> ServingRow {

@@ -17,6 +17,11 @@
 //! * [`energy`] — per-image compute/communication energy (Table VII) and
 //!   whole-testset totals (Fig. 8), both the paper's coarse model and a
 //!   per-exit refinement driven by Algorithm-2 records;
+//! * [`transport`] — the edge→cloud wire behind a [`transport::Transport`]
+//!   trait: a deterministic modelled conduit (bounded channels, the
+//!   [`network::NetworkLink`] model as the only clock) and a real
+//!   in-process duplex byte pipe with bounded-buffer backpressure and
+//!   frame multiplexing, whose transfer times come from `Instant::now()`;
 //! * [`sim`] — an edge-cloud pipeline simulator: a deterministic
 //!   virtual-clock mode for latency accounting and a threaded mode (real
 //!   crossbeam channels) for end-to-end integration tests;
@@ -46,6 +51,7 @@ pub mod payload;
 pub mod serve;
 pub mod sim;
 pub mod traces;
+pub mod transport;
 
 pub use cost::{CostBreakdown, CostParams, Strategy};
 pub use device::DeviceProfile;
@@ -63,3 +69,7 @@ pub use serve::{
     ServeStats, WireFormat,
 };
 pub use traces::ArrivalModel;
+pub use transport::{
+    ModelledTransport, PaceChange, PipeConfig, PipeTransport, RequestFrame, ResponseFrame, Transport,
+    TransportKind,
+};

@@ -1,6 +1,10 @@
 //! The wireless uplink model (paper §IV-B, after Huang et al., MobiSys'12
 //! and Eshratifar & Pedram): `P_upload = 283.17 mW/Mbps · s + 132.86 mW`.
 
+pub use crate::transport::{
+    DownlinkReceiver, ModelledTransport, PaceChange, PipeConfig, PipeTransport, RecvOutcome, RequestFrame,
+    ResponseFrame, Transport, TransportClosed, TransportKind, UplinkReceiver,
+};
 use serde::{Deserialize, Serialize};
 
 /// Linear throughput→power model of the uplink radio.

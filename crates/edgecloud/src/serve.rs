@@ -20,10 +20,16 @@
 //!   [`ServeConfig::max_wait`] for stragglers) and classified in *one*
 //!   batched forward. Because eval-mode forwards are bitwise per-sample
 //!   independent, batch composition cannot change predictions.
-//! * Offloaded instances cross a real wire format ([`Payload`]); an
-//!   optional [`NetworkLink`] models upload + RTT + response download as
-//!   wall-clock delay, so cloud-worker scaling overlaps network latency
-//!   exactly like concurrent in-flight RPCs.
+//! * Offloaded instances cross a real wire format ([`Payload`]) inside
+//!   length-prefixed request/response frames, carried by a pluggable
+//!   [`Transport`] ([`ServeConfig::transport`]). The default modelled
+//!   conduit pays an optional [`NetworkLink`] as upload + RTT + response
+//!   download wall-clock sleeps (deterministic, the CI path), so
+//!   cloud-worker scaling overlaps network latency exactly like
+//!   concurrent in-flight RPCs; [`TransportKind::Pipe`] instead ships the
+//!   same frames over a real in-process byte pipe with bounded-buffer
+//!   backpressure, where transfer time is whatever the wire genuinely
+//!   took ([`crate::transport`]).
 //! * [`PayloadPlan::Features`] turns on **feature-payload serving**: the
 //!   edge runs the *cloud network's* prefix up to a cut layer (each
 //!   [`EdgeReplica`] carries a cloud-prefix replica) and ships the
@@ -41,7 +47,10 @@
 //!   from the *measured* effective rates (blended with its static
 //!   `rate / max(1, β·streams)` contention prior by sample count) — so
 //!   real congestion, including a mid-run [`LinkChange`] the static model
-//!   never hears about, reaches the cut decision.
+//!   never hears about, reaches the cut decision. On the modelled
+//!   transport those observations are the model's own times; on the pipe
+//!   they are `Instant::now()` deltas around the actual send/recv, so the
+//!   loop learns from time genuinely paid.
 //! * A [`ThresholdController`] can steer the entropy threshold inside the
 //!   serving path (SPINN-style runtime adaptation): every
 //!   [`ControllerConfig::window`] routed instances, the achieved offload
@@ -57,7 +66,11 @@ use crate::partition::{profile_network, CutPlanner, Objective, PartitionEnv, MEA
 use crate::payload::Payload;
 use crate::sim::ThreadedStats;
 use crate::traces::ArrivalModel;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::transport::{
+    DownlinkReceiver, InboundRequest, ModelledTransport, PipeTransport, RecvOutcome, RequestFrame, ResponseFrame,
+    Transport, TransportKind, UplinkReceiver,
+};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use mea_data::Dataset;
 use mea_metrics::Histogram;
 use mea_nn::layer::Mode;
@@ -69,10 +82,12 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-/// Bytes of the cloud's response per prediction on the downlink (a class
-/// id plus framing) — what [`ServeStats::bytes_from_cloud`] counts and
-/// the [`CutPlanner`] charges as `response_bytes`.
-pub const RESPONSE_WIRE_BYTES: u64 = 8;
+/// Bytes of the cloud's response per prediction on the downlink — the
+/// exact encoded size of a [`ResponseFrame`] (length prefix, request id,
+/// class id), which is what [`ServeStats::bytes_from_cloud`] counts and
+/// the [`CutPlanner`] charges as `response_bytes`. Both transports put
+/// the same frame on the wire, so the charge is byte-for-byte real.
+pub const RESPONSE_WIRE_BYTES: u64 = ResponseFrame::WIRE_BYTES;
 
 /// How offloaded images are encoded on the edge→cloud wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -269,8 +284,15 @@ pub struct ServeConfig {
     /// wall-clock delay on the worker that serves it — the same
     /// [`NetworkLink::uplink_leg_s`]/[`NetworkLink::downlink_leg_s`]
     /// convention the virtual-clock simulator and the closed-form
-    /// `round_trip_s` charge.
+    /// `round_trip_s` charge. Under [`TransportKind::Pipe`] the wire's
+    /// own transfer time replaces these sleeps; the model then only
+    /// informs the [`CutPlanner`]'s static prior.
     pub link: Option<NetworkLink>,
+    /// Which wire the offloaded payloads cross: the deterministic
+    /// modelled conduit (default — the CI/record-identity path) or a real
+    /// in-process byte pipe whose transfer times feed the
+    /// [`LinkEstimator`] as genuine `Instant::now()` deltas.
+    pub transport: TransportKind,
     /// Scheduled changes of the *real* wire mid-run (radio degradation):
     /// once the cloud tier has *started* `after_batches` coalesced
     /// batches, subsequently started batches ride the changed link.
@@ -296,8 +318,10 @@ pub struct LinkChange {
 }
 
 /// The link a batch rides given how many batches the cloud tier has
-/// completed before it: [`ServeConfig::link`] with every due
-/// [`LinkChange`] applied in order.
+/// *started* (dequeued) before it: [`ServeConfig::link`] with every due
+/// [`LinkChange`] applied in order. Keying on started batches matches
+/// [`LinkChange::after_batches`]: the counter increments when a worker
+/// dequeues a coalesced batch, before any leg of the link is paid.
 fn scheduled_link(cfg: &ServeConfig, batches_before: u64) -> Option<NetworkLink> {
     let mut link = cfg.link?;
     for change in &cfg.link_schedule {
@@ -323,6 +347,7 @@ impl ServeConfig {
             controller: None,
             payload: PayloadPlan::default(),
             link: None,
+            transport: TransportKind::default(),
             link_schedule: Vec::new(),
         }
     }
@@ -358,7 +383,9 @@ pub struct ServeRequest {
 ///
 /// # Panics
 ///
-/// Panics if `devices == 0` or the dataset is empty.
+/// Panics if `devices == 0`, the dataset is empty, or the arrival model
+/// produces a non-finite arrival time (the error names the offending
+/// request).
 pub fn trace_requests(data: &Dataset, devices: usize, model: &ArrivalModel, rng: &mut Rng) -> Vec<ServeRequest> {
     assert!(devices > 0, "need at least one device");
     let n = data.len();
@@ -379,7 +406,16 @@ pub fn trace_requests(data: &Dataset, devices: usize, model: &ArrivalModel, rng:
             }
         })
         .collect();
-    requests.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).expect("finite arrival times"));
+    for (i, r) in requests.iter().enumerate() {
+        assert!(
+            r.arrival_s.is_finite(),
+            "non-finite arrival time {} for request {i} (device {}, seq {})",
+            r.arrival_s,
+            r.device,
+            r.seq
+        );
+    }
+    requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
     requests
 }
 
@@ -488,14 +524,14 @@ struct EdgeJob<'a> {
     due: Instant,
 }
 
-/// An offloaded instance travelling from an edge worker to a cloud worker.
+/// An offloaded request parked on the edge side of the transport until
+/// its [`ResponseFrame`] returns: everything needed to finish the record
+/// that does not cross the wire.
 #[derive(Debug)]
-struct CloudJob {
-    req_id: usize,
+struct PendingEntry {
+    pending: PendingCloud,
     device: usize,
     seq: usize,
-    bytes: bytes::Bytes,
-    pending: PendingCloud,
     due: Instant,
 }
 
@@ -643,25 +679,28 @@ struct CloudCounters {
     macs_saved: u64,
 }
 
-/// Coalesces queued items into a batch: blocks for the first item, then
-/// drains greedily up to `max_batch`, waiting at most `max_wait` for
-/// stragglers. Returns `None` once the channel is closed and drained.
-fn coalesce<T>(rx: &Receiver<T>, max_batch: usize, max_wait: Duration) -> Option<Vec<T>> {
-    let first = rx.recv().ok()?;
+/// Coalesces queued request frames into a batch: blocks for the first
+/// frame, then drains greedily up to `max_batch`, waiting at most
+/// `max_wait` for stragglers. Returns `None` once the uplink is closed
+/// and drained.
+fn coalesce_frames<U: UplinkReceiver>(
+    up: &mut U,
+    max_batch: usize,
+    max_wait: Duration,
+) -> Option<Vec<InboundRequest>> {
+    let first = match up.recv(None) {
+        RecvOutcome::Frame(f) => f,
+        RecvOutcome::Closed => return None,
+        RecvOutcome::TimedOut => unreachable!("recv without a timeout cannot time out"),
+    };
     let mut batch = vec![first];
     let deadline = Instant::now() + max_wait;
     while batch.len() < max_batch {
         let now = Instant::now();
-        if now >= deadline {
-            match rx.try_recv() {
-                Ok(item) => batch.push(item),
-                Err(_) => break,
-            }
-        } else {
-            match rx.recv_timeout(deadline - now) {
-                Ok(item) => batch.push(item),
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
-            }
+        let timeout = if now >= deadline { Duration::ZERO } else { deadline - now };
+        match up.recv(Some(timeout)) {
+            RecvOutcome::Frame(f) => batch.push(f),
+            RecvOutcome::TimedOut | RecvOutcome::Closed => break,
         }
     }
     Some(batch)
@@ -760,6 +799,23 @@ pub fn serve(
         cfg.link_schedule.is_empty() || cfg.link.is_some(),
         "a link schedule needs a link model (ServeConfig::link) to change"
     );
+    if matches!(cfg.transport, TransportKind::Pipe(_)) {
+        assert!(
+            cfg.link_schedule.is_empty(),
+            "link_schedule drives the modelled wire; throttle the pipe transport via PipeConfig::throttle"
+        );
+    }
+    // Finiteness first: a NaN arrival would otherwise trip the sortedness
+    // assert below (NaN fails every comparison) with a misleading message.
+    for (i, r) in requests.iter().enumerate() {
+        assert!(
+            r.arrival_s.is_finite(),
+            "non-finite arrival time {} for request {i} (device {}, seq {})",
+            r.arrival_s,
+            r.device,
+            r.seq
+        );
+    }
     assert!(
         requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
         "requests must be sorted by arrival time"
@@ -782,6 +838,60 @@ pub fn serve(
         }
     }
 
+    match &cfg.transport {
+        TransportKind::Modelled => serve_core(
+            cfg,
+            edges,
+            clouds,
+            requests,
+            ModelledTransport::new(cfg.cloud_workers, cfg.queue_depth),
+            false,
+        ),
+        TransportKind::Pipe(pc) => {
+            serve_core(cfg, edges, clouds, requests, PipeTransport::new(cfg.cloud_workers, pc.clone()), true)
+        }
+    }
+}
+
+/// Renders a joined worker's panic payload so the original message
+/// survives propagation out of the serving runtime.
+fn panic_note(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Closes a lane's response direction when its cloud worker exits —
+/// normally or mid-unwind — so the lane's response collector always sees
+/// end-of-stream instead of blocking forever behind a dead worker.
+struct LaneCloser<'a, T: Transport> {
+    transport: &'a T,
+    lane: usize,
+}
+
+impl<T: Transport> Drop for LaneCloser<'_, T> {
+    fn drop(&mut self) {
+        self.transport.close_responses(self.lane);
+    }
+}
+
+/// The serving runtime over a concrete [`Transport`]. `measured` selects
+/// the telemetry source: `false` feeds the [`LinkEstimator`] the link
+/// model's own times (deterministic), `true` feeds it `Instant::now()`
+/// deltas around the actual transfers (and skips the modelled sleeps —
+/// the wire's own time is the latency).
+fn serve_core<T: Transport>(
+    cfg: &ServeConfig,
+    edges: &mut [EdgeReplica],
+    clouds: &mut [SegmentedCnn],
+    requests: &[ServeRequest],
+    transport: T,
+    measured: bool,
+) -> ServeReport {
     let n = requests.len();
     let cloud_available = cfg.cloud_workers > 0;
     let cut_table = build_cut_table(cfg, edges, requests);
@@ -801,15 +911,11 @@ pub fn serve(
         }
         None => Vec::new(),
     };
+    // Offloaded requests park here until their response frame returns
+    // (the wire carries only the request id and the prediction back).
+    let pending: Mutex<Vec<Option<PendingEntry>>> = Mutex::new((0..n).map(|_| None).collect());
 
     let (done_tx, done_rx) = unbounded::<Completion>();
-    let mut cloud_txs: Vec<Sender<CloudJob>> = Vec::with_capacity(cfg.cloud_workers);
-    let mut cloud_rxs: Vec<Receiver<CloudJob>> = Vec::with_capacity(cfg.cloud_workers);
-    for _ in 0..cfg.cloud_workers {
-        let (tx, rx) = bounded(cfg.queue_depth);
-        cloud_txs.push(tx);
-        cloud_rxs.push(rx);
-    }
     let mut edge_txs: Vec<Sender<EdgeJob<'_>>> = Vec::with_capacity(cfg.edge_workers);
     let mut edge_rxs: Vec<Receiver<EdgeJob<'_>>> = Vec::with_capacity(cfg.edge_workers);
     for _ in 0..cfg.edge_workers {
@@ -818,44 +924,102 @@ pub fn serve(
         edge_rxs.push(rx);
     }
 
+    let transport = &transport;
     let t0 = Instant::now();
+    let mut worker_panics: Vec<String> = Vec::new();
     let completions = crossbeam::thread::scope(|scope| {
-        for (rx, cloud) in cloud_rxs.into_iter().zip(clouds.iter_mut()) {
-            let dtx = done_tx.clone();
+        let mut cloud_handles = Vec::with_capacity(cfg.cloud_workers);
+        for (lane, cloud) in clouds.iter_mut().enumerate() {
+            let uplink = transport.take_uplink(lane);
             let counters = &cloud_counters;
             let suffixes = &suffix_macs;
             let shared = &policy_state;
-            scope.spawn(move |_| cloud_worker(cfg, cloud, rx, dtx, counters, suffixes, shared));
+            cloud_handles.push(scope.spawn(move |_| {
+                cloud_worker(cfg, cloud, lane, uplink, transport, counters, suffixes, shared, measured)
+            }));
         }
+        let mut collector_handles = Vec::with_capacity(cfg.cloud_workers);
+        for lane in 0..cfg.cloud_workers {
+            let mut downlink = transport.take_downlink(lane);
+            let dtx = done_tx.clone();
+            let pending_ref = &pending;
+            collector_handles.push(scope.spawn(move |_| {
+                while let RecvOutcome::Frame(resp) = downlink.recv() {
+                    let entry = pending_ref.lock()[resp.frame.req_id as usize]
+                        .take()
+                        .expect("one pending entry per response frame");
+                    let completion = Completion {
+                        req_id: resp.frame.req_id as usize,
+                        device: entry.device,
+                        seq: entry.seq,
+                        record: entry.pending.complete(resp.frame.prediction as usize),
+                        latency_s: entry.due.elapsed().as_secs_f64(),
+                    };
+                    if dtx.send(completion).is_err() {
+                        return;
+                    }
+                }
+            }));
+        }
+        let mut edge_handles = Vec::with_capacity(cfg.edge_workers);
         for (rx, replica) in edge_rxs.into_iter().zip(edges.iter_mut()) {
-            let ctxs = cloud_txs.clone();
             let dtx = done_tx.clone();
             let shared = &policy_state;
-            scope.spawn(move |_| edge_worker(cfg, replica, rx, ctxs, dtx, shared));
+            let pending_ref = &pending;
+            edge_handles
+                .push(scope.spawn(move |_| edge_worker(cfg, replica, rx, transport, pending_ref, dtx, shared)));
         }
-        drop(cloud_txs);
         drop(done_tx);
 
-        // Dispatch: pace the trace in real time, device-sticky routing.
+        // Dispatch: pace the trace in real time, device-sticky routing. A
+        // dead edge worker (closed queue) stops dispatch; the joins below
+        // surface its panic.
         for (req_id, req) in requests.iter().enumerate() {
             let due = t0 + Duration::from_secs_f64(req.arrival_s);
             let now = Instant::now();
             if due > now {
                 std::thread::sleep(due - now);
             }
-            edge_txs[req.device % cfg.edge_workers].send(EdgeJob { req_id, req, due }).expect("edge worker alive");
+            if edge_txs[req.device % cfg.edge_workers].send(EdgeJob { req_id, req, due }).is_err() {
+                break;
+            }
         }
         drop(edge_txs);
 
-        // Collect every completion (workers drain and shut down as the
-        // channels close behind the dispatcher).
+        // Shutdown cascade: edge workers drain their closed queues and
+        // exit; the request stream then closes, cloud workers drain and
+        // exit (each closing its response lane via LaneCloser), and the
+        // collectors follow. Joining — instead of blocking on a
+        // completion count — means a panicked worker is *detected*: its
+        // payload is collected and re-raised with context, rather than
+        // wedging the runtime on completions that will never arrive.
+        for (w, h) in edge_handles.into_iter().enumerate() {
+            if let Err(p) = h.join() {
+                worker_panics.push(format!("edge worker {w} panicked: {}", panic_note(&p)));
+            }
+        }
+        transport.close_requests();
+        for (w, h) in cloud_handles.into_iter().enumerate() {
+            if let Err(p) = h.join() {
+                worker_panics.push(format!("cloud worker {w} panicked: {}", panic_note(&p)));
+            }
+        }
+        for (lane, h) in collector_handles.into_iter().enumerate() {
+            if let Err(p) = h.join() {
+                worker_panics.push(format!("response collector {lane} panicked: {}", panic_note(&p)));
+            }
+        }
+
         let mut completions = Vec::with_capacity(n);
-        for _ in 0..n {
-            completions.push(done_rx.recv().expect("completion for every request"));
+        while let Ok(c) = done_rx.try_recv() {
+            completions.push(c);
         }
         completions
     })
-    .expect("serving runtime panicked");
+    .expect("serving scope");
+    if !worker_panics.is_empty() {
+        panic!("serving runtime worker panicked — {}", worker_panics.join("; "));
+    }
     let wall_s = t0.elapsed().as_secs_f64();
 
     let mut records: Vec<Option<InstanceRecord>> = vec![None; n];
@@ -895,14 +1059,16 @@ pub fn serve(
 }
 
 /// Edge worker loop: route each request through the shared engine,
-/// finish main/extension exits locally, ship cloud exits to the sticky
-/// cloud worker — as images, or as cut-layer activations of the local
-/// cloud-prefix replica in feature-payload mode.
-fn edge_worker(
+/// finish main/extension exits locally, ship cloud exits as
+/// [`RequestFrame`]s up the sticky transport lane — as images, or as
+/// cut-layer activations of the local cloud-prefix replica in
+/// feature-payload mode.
+fn edge_worker<T: Transport>(
     cfg: &ServeConfig,
     replica: &mut EdgeReplica,
     rx: Receiver<EdgeJob<'_>>,
-    cloud_txs: Vec<Sender<CloudJob>>,
+    transport: &T,
+    pending: &Mutex<Vec<Option<PendingEntry>>>,
     done_tx: Sender<Completion>,
     shared: &Mutex<PolicyState>,
 ) {
@@ -956,15 +1122,27 @@ fn edge_worker(
                         (payload, cut)
                     }
                 };
-                let job = CloudJob {
-                    req_id: job.req_id,
+                let frame = RequestFrame {
+                    req_id: job.req_id as u64,
+                    device: req.device as u32,
+                    seq: req.seq as u64,
+                    resume_layer: resume as u32,
+                    payload: payload.encode(),
+                };
+                // Park the pending record BEFORE the frame leaves: the
+                // response can race back on another thread.
+                pending.lock()[job.req_id] = Some(PendingEntry {
+                    pending: PendingCloud::from_main(net, &main, 0, req.truth).resume_at(resume),
                     device: req.device,
                     seq: req.seq,
-                    bytes: payload.encode(),
-                    pending: PendingCloud::from_main(net, &main, 0, req.truth).resume_at(resume),
                     due: job.due,
-                };
-                cloud_txs[req.device % cloud_txs.len()].send(job).expect("cloud worker alive");
+                });
+                if transport.send_request(req.device % transport.lanes(), frame).is_err() {
+                    // The cloud tier is gone (a worker panicked and its
+                    // uplink dropped): stop quietly — the join in
+                    // serve_core surfaces the original panic.
+                    return;
+                }
             }
             exit => {
                 let prediction = match exit {
@@ -985,95 +1163,127 @@ fn edge_worker(
     }
 }
 
-/// Cloud worker loop: coalesce queued payloads, pay the (optional) link
-/// delay on both legs (rtt/2 each — the shared `NetworkLink` leg
-/// convention), resume one batched forward per distinct cut point, report
-/// the link time the batch actually paid to the measured-link feedback
-/// loop, and complete every record in the batch.
-fn cloud_worker(
+/// Cloud worker loop: coalesce the lane's queued request frames, pay the
+/// (modelled) link delay on both legs (rtt/2 each — the shared
+/// `NetworkLink` leg convention), resume one batched forward per distinct
+/// cut point, ship the predictions back as [`ResponseFrame`]s, and report
+/// the link time the batch paid — model time on the modelled transport,
+/// genuine `Instant::now()` deltas on a real one — to the measured-link
+/// feedback loop.
+#[allow(clippy::too_many_arguments)]
+fn cloud_worker<T: Transport>(
     cfg: &ServeConfig,
     cloud: &mut SegmentedCnn,
-    rx: Receiver<CloudJob>,
-    done_tx: Sender<Completion>,
+    lane: usize,
+    mut uplink: T::Uplink,
+    transport: &T,
     counters: &Mutex<CloudCounters>,
     suffix_macs: &[u64],
     shared: &Mutex<PolicyState>,
+    measured: bool,
 ) {
-    while let Some(batch) = coalesce(&rx, cfg.max_batch, cfg.max_wait) {
-        let batch_bytes: u64 = batch.iter().map(|j| j.bytes.len() as u64).sum();
+    // However this worker exits — drained uplink or a panic mid-batch —
+    // its response lane closes behind it (collector shutdown).
+    let _closer = LaneCloser { transport, lane };
+    while let Some(batch) = coalesce_frames(&mut uplink, cfg.max_batch, cfg.max_wait) {
+        let payload_bytes: u64 = batch.iter().map(|b| b.frame.payload.len() as u64).sum();
         let response_bytes = RESPONSE_WIRE_BYTES * batch.len() as u64;
+        // Real-wire telemetry: total frame bytes (headers included) and
+        // the span from the first frame's send to the last frame's full
+        // reassembly — queueing, pacing and scheduling noise included.
+        let wire_bytes: u64 = batch.iter().map(|b| b.frame.wire_bytes()).sum();
+        let up_span_s = if measured {
+            let first_sent = batch.iter().map(|b| b.sent_at).min().expect("non-empty batch");
+            let last_received = batch.iter().map(|b| b.received_at).max().expect("non-empty batch");
+            last_received.duration_since(first_sent).as_secs_f64()
+        } else {
+            0.0
+        };
         let total_macs = suffix_macs[0];
         let batches_before = {
             let mut c = counters.lock();
             c.batches += 1;
             c.max_batch = c.max_batch.max(batch.len());
-            c.bytes += batch_bytes;
+            c.bytes += payload_bytes;
             c.bytes_down += response_bytes;
-            for job in &batch {
-                c.macs += suffix_macs[job.pending.resume_layer];
-                c.macs_saved += total_macs - suffix_macs[job.pending.resume_layer];
+            for b in &batch {
+                let resume = b.frame.resume_layer as usize;
+                c.macs += suffix_macs[resume];
+                c.macs_saved += total_macs - suffix_macs[resume];
             }
             c.batches - 1
         };
-        // The wire this batch actually rides: the configured link with any
+        // The modelled wire this batch rides: the configured link with any
         // due schedule changes applied. The telemetry below observes THIS
         // link's per-byte behaviour; the planner's static model still
         // assumes the nominal one — measured feedback is the only path by
-        // which a degradation reaches the cut decision.
-        let link = scheduled_link(cfg, batches_before);
+        // which a degradation reaches the cut decision. On a real
+        // transport the frames already paid their wire time crossing the
+        // pipe, so no modelled sleep is charged.
+        let link = if measured { None } else { scheduled_link(cfg, batches_before) };
         if let Some(link) = &link {
-            std::thread::sleep(Duration::from_secs_f64(link.uplink_leg_s(batch_bytes)));
+            std::thread::sleep(Duration::from_secs_f64(link.uplink_leg_s(payload_bytes)));
         }
         // A coalesced batch may mix cut points (the planner re-planned
         // mid-flight, or device classes cut differently): group by resume
         // layer — activations at different cuts have different shapes —
         // and run one batched forward per group. Per-sample independence
         // makes the grouping invisible in the predictions.
-        let mut groups: BTreeMap<usize, Vec<CloudJob>> = BTreeMap::new();
-        for job in batch {
-            groups.entry(job.pending.resume_layer).or_default().push(job);
+        let mut groups: BTreeMap<u32, Vec<RequestFrame>> = BTreeMap::new();
+        for b in batch {
+            groups.entry(b.frame.resume_layer).or_default().push(b.frame);
         }
         counters.lock().forwards += groups.len() as u64;
-        let mut classified: Vec<(CloudJob, usize)> = Vec::new();
+        let mut classified: Vec<(RequestFrame, usize)> = Vec::new();
         for (resume, group) in groups {
             let tensors: Vec<Tensor> =
-                group.iter().map(|j| Payload::decode(j.bytes.clone()).into_tensor()).collect();
+                group.iter().map(|f| Payload::decode(f.payload.clone()).into_tensor()).collect();
             let refs: Vec<&Tensor> = tensors.iter().collect();
             let stacked = Tensor::concat_axis0(&refs);
-            let preds = RoutingEngine::classify_cloud_from(cloud, &stacked, resume);
+            let preds = RoutingEngine::classify_cloud_from(cloud, &stacked, resume as usize);
             classified.extend(group.into_iter().zip(preds));
         }
         // Grouping by cut may interleave devices; restore per-device
         // sequence order so the device-FIFO guarantee survives a mid-batch
         // replan boundary.
-        classified.sort_by_key(|(job, _)| (job.device, job.seq));
+        classified.sort_by_key(|(f, _)| (f.device, f.seq));
         // The responses ride the downlink back before anyone observes a
-        // completion.
+        // completion: the modelled leg as a sleep, the real one as the
+        // pipe's own transfer time.
         if let Some(link) = &link {
             std::thread::sleep(Duration::from_secs_f64(link.downlink_leg_s(response_bytes)));
-            // Close the telemetry loop: record what this round trip cost
-            // per leg — (bytes, seconds) pairs and the propagation delay,
-            // exactly what timestamps on a real wire would yield — for
-            // every device class in the batch.
-            let devices: Vec<usize> = classified.iter().map(|(job, _)| job.device).collect();
+        }
+        let down_t0 = Instant::now();
+        let mut lane_open = true;
+        for (frame, pred) in &classified {
+            let resp = ResponseFrame { req_id: frame.req_id, prediction: *pred as u32 };
+            if transport.send_response(lane, resp).is_err() {
+                // The collector is gone; its panic surfaces at join.
+                lane_open = false;
+                break;
+            }
+        }
+        // Close the telemetry loop: record what this round trip cost per
+        // leg — (bytes, seconds) pairs and the propagation delay — for
+        // every device class in the batch. The modelled transport reports
+        // the model's own times (bit-reproducible trajectories); a real
+        // transport reports what the clock genuinely saw.
+        let devices: Vec<usize> = classified.iter().map(|(f, _)| f.device as usize).collect();
+        if measured {
+            let down_s = down_t0.elapsed().as_secs_f64();
+            shared.lock().observe_link(&devices, wire_bytes, up_span_s, response_bytes, down_s, 0.0);
+        } else if let Some(link) = &link {
             shared.lock().observe_link(
                 &devices,
-                batch_bytes,
-                link.upload_time_s(batch_bytes),
+                payload_bytes,
+                link.upload_time_s(payload_bytes),
                 response_bytes,
                 link.download_time_s(response_bytes),
                 link.rtt_s,
             );
         }
-        for (job, pred) in classified {
-            let completion = Completion {
-                req_id: job.req_id,
-                device: job.device,
-                seq: job.seq,
-                record: job.pending.complete(pred),
-                latency_s: job.due.elapsed().as_secs_f64(),
-            };
-            done_tx.send(completion).expect("collector alive");
+        if !lane_open {
+            return;
         }
     }
 }
@@ -1096,49 +1306,132 @@ pub fn run_payload_pipeline(
     queue_depth: usize,
     classify: impl Fn(&Payload) -> usize + Send + Sync,
 ) -> (Vec<usize>, ThreadedStats) {
+    run_payload_pipeline_over(
+        &TransportKind::Modelled,
+        payloads,
+        workers,
+        max_batch,
+        max_wait,
+        queue_depth,
+        classify,
+    )
+}
+
+/// [`run_payload_pipeline`] over an explicit transport: the same
+/// round-robin fan-out and dynamic batching, with the frames crossing the
+/// chosen wire ([`TransportKind::Modelled`] in-memory channels, or a real
+/// byte pipe under [`TransportKind::Pipe`]). Both yield identical results
+/// and byte accounting; only the wall-clock differs.
+///
+/// # Panics
+///
+/// Panics if `workers == 0` or `max_batch == 0`, or when a worker thread
+/// panics.
+pub fn run_payload_pipeline_over(
+    kind: &TransportKind,
+    payloads: Vec<Payload>,
+    workers: usize,
+    max_batch: usize,
+    max_wait: Duration,
+    queue_depth: usize,
+    classify: impl Fn(&Payload) -> usize + Send + Sync,
+) -> (Vec<usize>, ThreadedStats) {
     assert!(workers > 0, "need at least one worker");
     assert!(max_batch > 0, "max_batch must be at least 1");
+    match kind {
+        TransportKind::Modelled => pipeline_core(
+            ModelledTransport::new(workers, queue_depth),
+            payloads,
+            workers,
+            max_batch,
+            max_wait,
+            classify,
+        ),
+        TransportKind::Pipe(pc) => pipeline_core(
+            PipeTransport::new(workers, pc.clone()),
+            payloads,
+            workers,
+            max_batch,
+            max_wait,
+            classify,
+        ),
+    }
+}
+
+/// The payload pipeline over a concrete [`Transport`]: per-lane dynamic
+/// batching workers decode and classify, per-lane collectors funnel the
+/// response frames back, the caller's thread dispatches round-robin.
+fn pipeline_core<T: Transport>(
+    transport: T,
+    payloads: Vec<Payload>,
+    workers: usize,
+    max_batch: usize,
+    max_wait: Duration,
+    classify: impl Fn(&Payload) -> usize + Send + Sync,
+) -> (Vec<usize>, ThreadedStats) {
     let n = payloads.len();
     let stats = Mutex::new(ThreadedStats::default());
     let (resp_tx, resp_rx) = unbounded::<(usize, usize)>();
-    let mut txs = Vec::with_capacity(workers);
-    let mut rxs = Vec::with_capacity(workers);
-    for _ in 0..workers {
-        let (tx, rx) = bounded::<(usize, bytes::Bytes)>(queue_depth);
-        txs.push(tx);
-        rxs.push(rx);
-    }
-
     let mut results = vec![0usize; n];
+    let transport = &transport;
     crossbeam::thread::scope(|scope| {
-        for rx in rxs {
-            let tx = resp_tx.clone();
+        for lane in 0..workers {
+            let mut uplink = transport.take_uplink(lane);
             let stats_ref = &stats;
             let classify_ref = &classify;
             scope.spawn(move |_| {
-                while let Some(batch) = coalesce(&rx, max_batch, max_wait) {
+                let _closer = LaneCloser { transport, lane };
+                while let Some(batch) = coalesce_frames(&mut uplink, max_batch, max_wait) {
                     {
                         let mut guard = stats_ref.lock();
-                        for (_, buf) in &batch {
-                            guard.bytes_sent += buf.len() as u64;
+                        for b in &batch {
+                            guard.bytes_sent += b.frame.payload.len() as u64;
                             guard.payloads += 1;
                         }
                     }
-                    for (id, buf) in batch {
-                        let payload = Payload::decode(buf);
-                        tx.send((id, classify_ref(&payload))).expect("response channel open");
+                    for b in batch {
+                        let req_id = b.frame.req_id;
+                        let payload = Payload::decode(b.frame.payload);
+                        let resp = ResponseFrame { req_id, prediction: classify_ref(&payload) as u32 };
+                        if transport.send_response(lane, resp).is_err() {
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        for lane in 0..workers {
+            let mut downlink = transport.take_downlink(lane);
+            let tx = resp_tx.clone();
+            scope.spawn(move |_| {
+                while let RecvOutcome::Frame(resp) = downlink.recv() {
+                    if tx.send((resp.frame.req_id as usize, resp.frame.prediction as usize)).is_err() {
+                        return;
                     }
                 }
             });
         }
         drop(resp_tx);
         for (id, p) in payloads.iter().enumerate() {
-            txs[id % workers].send((id, p.encode())).expect("worker alive");
+            let frame = RequestFrame {
+                req_id: id as u64,
+                device: (id % workers) as u32,
+                seq: id as u64,
+                resume_layer: 0,
+                payload: p.encode(),
+            };
+            if transport.send_request(id % workers, frame).is_err() {
+                break;
+            }
         }
-        drop(txs);
+        transport.close_requests();
         for _ in 0..n {
-            let (id, pred) = resp_rx.recv().expect("response for every payload");
-            results[id] = pred;
+            match resp_rx.recv() {
+                Ok((id, pred)) => results[id] = pred,
+                // A worker died mid-run: stop collecting; the scope join
+                // re-raises its panic.
+                Err(_) => break,
+            }
         }
     })
     .expect("payload pipeline panicked");
@@ -1149,6 +1442,7 @@ pub fn run_payload_pipeline(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::{PaceChange, PipeConfig};
     use mea_data::{presets, ClassDict};
     use mea_nn::models::{resnet_cifar, CifarResNetConfig};
     use meanet::infer::run_inference;
@@ -1707,5 +2001,189 @@ mod tests {
             });
             assert_eq!(results, serial, "worker/batch configuration changed results");
         }
+    }
+
+    #[test]
+    fn scheduled_link_keys_on_started_batches() {
+        // `after_batches: 3` means "the 4th started batch (and later) rides
+        // the new link": a batch with 3 starts before it has crossed the
+        // boundary, one with 2 has not.
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+        let before = NetworkLink::wifi(100.0);
+        let after = NetworkLink::wifi(1.0);
+        cfg.link = Some(before);
+        cfg.link_schedule = vec![LinkChange { after_batches: 3, link: after }];
+        assert_eq!(scheduled_link(&cfg, 2), Some(before));
+        assert_eq!(scheduled_link(&cfg, 3), Some(after));
+        assert_eq!(scheduled_link(&cfg, 9), Some(after));
+    }
+
+    #[test]
+    fn link_change_fires_on_the_started_batch_boundary() {
+        // Regression for the started-vs-completed ambiguity: a change due
+        // at batch 3 must leave EXACTLY the first three started batches on
+        // the fast link, even with two cloud workers racing to dequeue.
+        // The fast link is effectively free; the slow one costs 0.2 s of
+        // RTT, so per-request latency separates the two regimes cleanly.
+        let bundle = presets::tiny(83);
+        let mut reqs = instant_requests(&bundle.test, 2);
+        reqs.truncate(12);
+        let mut edges = edge_replicas(1, 34);
+        let mut clouds = replicas(2, || tiny_cloud(35));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 2, 1);
+        cfg.link = Some(NetworkLink::wifi(10_000.0).with_rtt(0.0));
+        cfg.link_schedule = vec![LinkChange { after_batches: 3, link: NetworkLink::wifi(10_000.0).with_rtt(0.2) }];
+        let report = serve(&cfg, &mut edges, &mut clouds, &reqs);
+        assert_eq!(report.stats.cloud_batches, 12, "max_batch 1 means one batch per offload");
+        let fast = report.completions.iter().filter(|c| c.latency_s < 0.1).count();
+        assert_eq!(fast, 3, "exactly the batches started before the boundary ride the fast link");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite arrival time")]
+    fn trace_requests_reject_non_finite_arrivals() {
+        // `0 * inf = NaN`: an infinite uniform interval passes the model's
+        // own `>= 0` parameter check but yields a NaN first arrival.
+        let bundle = presets::tiny(84);
+        let mut rng = Rng::new(0);
+        let _ = trace_requests(&bundle.test, 1, &ArrivalModel::Uniform { interval_s: f64::INFINITY }, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite arrival time")]
+    fn serve_rejects_non_finite_arrivals() {
+        // A NaN smuggled into a hand-built trace must be named up front,
+        // not surface as a misleading "sorted by arrival" comparator error.
+        let bundle = presets::tiny(85);
+        let mut reqs = instant_requests(&bundle.test, 1);
+        reqs[3].arrival_s = f64::NAN;
+        let mut edges = edge_replicas(1, 36);
+        let _ = serve(&ServeConfig::new(OffloadPolicy::Never, 1, 0, 1), &mut edges, &mut [], &reqs);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge worker 0 panicked")]
+    fn worker_panic_propagates_instead_of_hanging() {
+        // A poisoned frame (wrong channel count) blows up the edge forward
+        // mid-run. The collector used to block forever on `done_rx.recv()`;
+        // now the runtime joins the workers and re-raises the original
+        // panic, naming the worker that died.
+        let bundle = presets::tiny(86);
+        let mut reqs = instant_requests(&bundle.test, 1);
+        let mid = reqs.len() / 2;
+        reqs[mid].image = Tensor::zeros([1, 1, 8, 8]);
+        let mut edges = edge_replicas(1, 37);
+        let mut clouds = replicas(2, || tiny_cloud(38));
+        let _ = serve(&ServeConfig::new(OffloadPolicy::Always, 1, 2, 1), &mut edges, &mut clouds, &reqs);
+    }
+
+    #[test]
+    fn pipe_transport_matches_modelled_records_bitwise() {
+        // The acceptance bar of the transport tentpole: byte-identical
+        // frames ride a real buffered byte stream instead of a modelled
+        // channel, so records, uplink bytes, and downlink bytes all match
+        // the modelled path exactly — on every payload plan and cut.
+        let bundle = presets::tiny(87);
+        let deep = tiny_cloud(41).cut_layer_count() - 1;
+        let plans = [
+            PayloadPlan::Image(WireFormat::Float32),
+            PayloadPlan::Image(WireFormat::Quantised8Bit),
+            feature_plan(FeatureWire::F32, 2),
+            feature_plan(FeatureWire::Int8, deep),
+        ];
+        for plan in plans {
+            let run = |transport: TransportKind| {
+                let mut edges = split_replicas(2, 40, 41);
+                let mut clouds = replicas(2, || tiny_cloud(41));
+                let mut cfg = ServeConfig::new(OffloadPolicy::EntropyThreshold(0.5), 2, 2, 4);
+                cfg.payload = plan.clone();
+                cfg.transport = transport;
+                serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 3))
+            };
+            let modelled = run(TransportKind::Modelled);
+            let piped = run(TransportKind::Pipe(PipeConfig::default()));
+            assert_eq!(piped.records, modelled.records, "{plan:?}: pipe transport changed records");
+            assert_eq!(piped.stats.offloaded, modelled.stats.offloaded);
+            assert_eq!(
+                piped.stats.bytes_to_cloud, modelled.stats.bytes_to_cloud,
+                "{plan:?}: uplink bytes diverged"
+            );
+            assert_eq!(
+                piped.stats.bytes_from_cloud, modelled.stats.bytes_from_cloud,
+                "{plan:?}: downlink bytes diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn pipe_telemetry_measures_the_real_wire_not_the_model() {
+        // Pace the pipe's uplink at 4 Mbps while telling the planner the
+        // link is 100 Mbps. The estimator must report the paced wire (from
+        // Instant::now() deltas around real sends), not echo the model.
+        let bundle = presets::tiny(88);
+        let mut edges = split_replicas(1, 42, 43);
+        let mut clouds = replicas(1, || tiny_cloud(43));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+        cfg.payload = PayloadPlan::Features(FeatureConfig {
+            wire: FeatureWire::F32,
+            cut: CutSelection::Planned(CutPlannerConfig {
+                classes: vec![DeviceProfile::new("edge", 10.0, 5e8)],
+                cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                objective: Objective::Latency,
+                feedback: Some(LinkFeedback { alpha: 0.5, prior_samples: 0.0, replan_every: 4 }),
+            }),
+        });
+        cfg.link = Some(NetworkLink::wifi(100.0).with_rtt(0.0));
+        cfg.transport = TransportKind::Pipe(PipeConfig { up_mbps: Some(4.0), ..PipeConfig::default() });
+        let report = serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1));
+        let ests = report.stats.link_estimates.expect("feedback reports estimates");
+        let est = ests[0].expect("class 0 observed");
+        assert_eq!(est.samples, report.stats.offloaded as u64, "one observation per served batch");
+        assert!(
+            est.up_mbps > 1.0 && est.up_mbps < 16.0,
+            "measured estimate {} Mbps should track the 4 Mbps pace, not the 100 Mbps model",
+            est.up_mbps
+        );
+    }
+
+    #[test]
+    fn pipe_throttle_replans_toward_an_edge_heavier_cut() {
+        // The closed loop over REAL wall-clock time: the pipe's pacer
+        // silently throttles 50 -> 0.4 Mbps mid-run. The static model is
+        // never told, but the measured estimates are, and the planner
+        // moves the cut toward the edge (smaller uploads) — the modelled
+        // analogue of `measured_degradation_replans_toward_an_edge_heavier_cut`.
+        let edge = DeviceProfile::new("edge", 10.0, 5e8);
+        let bundle = presets::tiny(89);
+        let run = |throttle: Vec<PaceChange>| {
+            let mut edges = split_replicas(1, 44, 45);
+            let mut clouds = replicas(1, || tiny_cloud(45));
+            let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+            cfg.payload = PayloadPlan::Features(FeatureConfig {
+                wire: FeatureWire::F32,
+                cut: CutSelection::Planned(CutPlannerConfig {
+                    classes: vec![edge.clone()],
+                    cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                    objective: Objective::Latency,
+                    feedback: Some(LinkFeedback { alpha: 0.5, prior_samples: 0.0, replan_every: 4 }),
+                }),
+            });
+            cfg.link = Some(NetworkLink::wifi(100.0).with_rtt(0.0002));
+            cfg.transport =
+                TransportKind::Pipe(PipeConfig { up_mbps: Some(50.0), throttle, ..PipeConfig::default() });
+            serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1))
+        };
+        let steady = run(Vec::new());
+        let throttled = run(vec![PaceChange { after_frames: 8, up_mbps: 0.4 }]);
+        assert!(throttled.stats.cut_replans >= 1, "throttle never reached the planner");
+        let steady_cut = steady.stats.final_cuts.clone().expect("planned mode")[0];
+        let throttled_cut = throttled.stats.final_cuts.clone().expect("planned mode")[0];
+        assert!(
+            throttled_cut > steady_cut,
+            "cut should move edge-heavier under the real throttle: {steady_cut} -> {throttled_cut}"
+        );
+        // Lossless wire: the cut stays a pure cost knob even when the
+        // schedule is driven by measured time.
+        assert_eq!(throttled.records, steady.records, "replanning leaked into predictions");
     }
 }

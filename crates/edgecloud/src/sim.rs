@@ -22,6 +22,7 @@ use crate::device::DeviceProfile;
 use crate::energy::EnergyReport;
 use crate::network::NetworkLink;
 use crate::payload::Payload;
+use crate::transport::TransportKind;
 use mea_metrics::Histogram;
 use meanet::ExitPoint;
 use serde::{Deserialize, Serialize};
@@ -168,7 +169,20 @@ pub fn run_threaded(
     payloads: Vec<Payload>,
     classify: impl Fn(&Payload) -> usize + Send + Sync,
 ) -> (Vec<usize>, ThreadedStats) {
-    crate::serve::run_payload_pipeline(payloads, 1, 1, Duration::ZERO, 4, classify)
+    run_threaded_over(&TransportKind::Modelled, payloads, classify)
+}
+
+/// [`run_threaded`] with an explicit transport: `Modelled` keeps the
+/// deterministic bounded-channel wire, [`TransportKind::Pipe`] ships the
+/// same frames over the real in-process byte pipe
+/// ([`crate::transport::PipeTransport`]). Results and byte accounting are
+/// identical either way — the transport only changes where the time goes.
+pub fn run_threaded_over(
+    transport: &TransportKind,
+    payloads: Vec<Payload>,
+    classify: impl Fn(&Payload) -> usize + Send + Sync,
+) -> (Vec<usize>, ThreadedStats) {
+    crate::serve::run_payload_pipeline_over(transport, payloads, 1, 1, Duration::ZERO, 4, classify)
 }
 
 #[cfg(test)]
@@ -270,5 +284,24 @@ mod tests {
         assert_eq!(stats.payloads, 6);
         let expected_bytes: u64 = payloads.iter().map(|p| p.wire_size_bytes()).sum();
         assert_eq!(stats.bytes_sent, expected_bytes);
+    }
+
+    #[test]
+    fn threaded_pipeline_is_transport_agnostic() {
+        use crate::transport::PipeConfig;
+        let mut rng = Rng::new(7);
+        let payloads: Vec<Payload> = (0..6)
+            .map(|i| {
+                let t = Tensor::randn([3, 4, 4], 1.0, &mut rng).map(|v| v + i as f32);
+                Payload::Features { features: t }
+            })
+            .collect();
+        let classify = |p: &Payload| p.to_tensor().sum().clamp(0.0, 5.0) as usize;
+        let (modelled, modelled_stats) = run_threaded_over(&TransportKind::Modelled, payloads.clone(), classify);
+        let (piped, piped_stats) =
+            run_threaded_over(&TransportKind::Pipe(PipeConfig::default()), payloads, classify);
+        assert_eq!(piped, modelled, "the byte pipe changed classifications");
+        assert_eq!(piped_stats.payloads, modelled_stats.payloads);
+        assert_eq!(piped_stats.bytes_sent, modelled_stats.bytes_sent, "payload byte accounting diverged");
     }
 }

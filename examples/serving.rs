@@ -9,7 +9,7 @@
 //! ```
 
 use mea_edgecloud::device::DeviceProfile;
-use mea_edgecloud::network::NetworkLink;
+use mea_edgecloud::network::{NetworkLink, PaceChange, PipeConfig, TransportKind};
 use mea_edgecloud::partition::Objective;
 use mea_edgecloud::serve::{
     serve, trace_requests, ControllerConfig, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig,
@@ -176,6 +176,41 @@ fn main() {
     println!(
         "\nclosed-loop planning under a mid-run 50 -> 1 Mbps degradation: {} replans, final cut {:?},\n\
          measured uplink {} over {} batches (the static model still believes 50 Mbps)",
+        r.stats.cut_replans,
+        r.stats.final_cuts.unwrap_or_default(),
+        est.map_or("-".into(), |e| format!("{:.2} Mbps", e.up_mbps)),
+        est.map_or(0, |e| e.samples),
+    );
+
+    // The same closed loop over a REAL wire: payload frames genuinely
+    // cross an in-process byte pipe whose pacer throttles 20 -> 1 Mbps
+    // mid-run. No modelled sleeps on this path — the telemetry is
+    // Instant::now() deltas around the actual sends, so the estimate
+    // (and hence the replanned cut) comes from time genuinely paid.
+    let mut edges = build_edges(true);
+    let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|i| build_cloud(500 + i as u64)).collect();
+    let mut cfg4 = ServeConfig::new(OffloadPolicy::Always, edge_workers, cloud_workers, 8);
+    cfg4.queue_depth = 8;
+    cfg4.link = Some(NetworkLink::wifi(20.0).with_rtt(0.004)); // the planner's (stale) prior
+    cfg4.transport = TransportKind::Pipe(PipeConfig {
+        up_mbps: Some(20.0),
+        throttle: vec![PaceChange { after_frames: 24, up_mbps: 1.0 }],
+        ..PipeConfig::default()
+    });
+    cfg4.payload = PayloadPlan::Features(FeatureConfig {
+        wire: FeatureWire::F32,
+        cut: CutSelection::Planned(CutPlannerConfig {
+            classes: vec![DeviceProfile::new("edge worker", 15.0, 2e9)],
+            cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+            objective: Objective::Latency,
+            feedback: Some(LinkFeedback { alpha: 0.5, prior_samples: 2.0, replan_every: 4 }),
+        }),
+    });
+    let r = serve(&cfg4, &mut edges, &mut clouds, &requests);
+    let est = r.stats.link_estimates.as_ref().and_then(|e| e[0]);
+    println!(
+        "\nsame loop over the real byte pipe (pacer throttled 20 -> 1 Mbps): {} replans, final cut {:?},\n\
+         wall-clock-measured uplink {} over {} batches",
         r.stats.cut_replans,
         r.stats.final_cuts.unwrap_or_default(),
         est.map_or("-".into(), |e| format!("{:.2} Mbps", e.up_mbps)),
