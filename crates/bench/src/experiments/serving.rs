@@ -6,11 +6,13 @@ use crate::scale::Scale;
 use mea_data::synth::generate;
 use mea_data::{ClassDict, Dataset};
 use mea_edgecloud::device::DeviceProfile;
+use mea_edgecloud::fleet::{ComputeTier, DeviceClass, FleetSpec};
 use mea_edgecloud::network::{LinkEstimate, NetworkLink, PaceChange, PipeConfig, TransportKind};
-use mea_edgecloud::partition::Objective;
+use mea_edgecloud::partition::{CutPlanner, Objective, PartitionEnv};
 use mea_edgecloud::serve::{
-    serve, trace_requests, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, LinkChange,
-    LinkFeedback, PayloadPlan, ServeConfig, ServeReport, ServeRequest, WireFormat,
+    trace_requests, try_serve, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, Fleet,
+    LinkChange, LinkFeedback, PayloadPlan, ServeConfig, ServeReport, ServeRequest, WireFormat,
+    RESPONSE_WIRE_BYTES,
 };
 use mea_edgecloud::traces::ArrivalModel;
 use mea_metrics::Histogram;
@@ -18,7 +20,7 @@ use mea_nn::models::{resnet_cifar, CifarResNetConfig, SegmentedCnn};
 use mea_tensor::Rng;
 use meanet::infer::run_inference_with_policy;
 use meanet::model::{AdaptivePlan, MeaNet, Merge, Variant};
-use meanet::{InstanceRecord, OffloadPolicy};
+use meanet::{Difficulty, DifficultyPredictor, InstanceRecord, OffloadPolicy};
 
 /// One serving configuration's measurements.
 #[derive(Debug, Clone)]
@@ -138,7 +140,7 @@ pub fn serving_throughput(scale: Scale) -> ServingResult {
         // cloud tier scales by overlapping in-flight batches even when
         // host cores are scarce.
         cfg.link = Some(NetworkLink::wifi(50.0).with_rtt(0.010));
-        let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+        let report = try_serve(&cfg, &mut edges, &mut clouds, &requests).expect("valid serving configuration");
         rows.push(row_from(cloud_workers, &report));
         served.push(report.records);
     }
@@ -154,7 +156,7 @@ pub fn serving_throughput(scale: Scale) -> ServingResult {
     cfg.max_wait = std::time::Duration::from_millis(1);
     cfg.link = Some(NetworkLink::wifi(50.0).with_rtt(0.010));
     let paced_requests = trace_requests(&data, 8, &ArrivalModel::Uniform { interval_s: 0.016 }, &mut rng);
-    let report = serve(&cfg, &mut edges, &mut clouds, &paced_requests);
+    let report = try_serve(&cfg, &mut edges, &mut clouds, &paced_requests).expect("valid serving configuration");
     let paced = row_from(4, &report);
     // The paced trace interleaves devices by arrival time; map records
     // back to dataset order (instance = seq · devices + device) so they
@@ -245,7 +247,7 @@ pub fn feature_payload(scale: Scale) -> FeaturePayloadResult {
         cfg.queue_depth = 8;
         cfg.link = Some(link);
         cfg.payload = payload;
-        let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+        let report = try_serve(&cfg, &mut edges, &mut clouds, &requests).expect("valid serving configuration");
         PayloadModeRow {
             mode,
             bytes_to_cloud: report.stats.bytes_to_cloud,
@@ -371,7 +373,7 @@ pub fn planner_feedback(scale: Scale) -> PlannerFeedbackResult {
         });
         cfg.link = Some(nominal);
         cfg.link_schedule = vec![LinkChange { after_batches: degrade_after, link: degraded }];
-        let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+        let report = try_serve(&cfg, &mut edges, &mut clouds, &requests).expect("valid serving configuration");
         let row = FeedbackRow {
             mode,
             final_cut: report.stats.final_cuts.as_ref().expect("planned mode")[0],
@@ -515,7 +517,7 @@ pub fn real_transport(scale: Scale) -> RealTransportResult {
         cfg.link = Some(link);
         cfg.payload = payload.clone();
         cfg.transport = transport;
-        serve(&cfg, &mut edges, &mut clouds, &requests)
+        try_serve(&cfg, &mut edges, &mut clouds, &requests).expect("valid serving configuration")
     };
 
     let mut parity = Vec::new();
@@ -570,7 +572,7 @@ pub fn real_transport(scale: Scale) -> RealTransportResult {
             throttle: vec![PaceChange { after_frames: instances as u64 / 4, up_mbps: throttled_up_mbps }],
             ..PipeConfig::default()
         });
-        serve(&cfg, &mut edges, &mut clouds, &loop_requests)
+        try_serve(&cfg, &mut edges, &mut clouds, &loop_requests).expect("valid serving configuration")
     };
     let open = closed_loop(None);
     let open_cut = open.stats.final_cuts.as_ref().expect("planned mode")[0];
@@ -600,4 +602,181 @@ fn row_from(cloud_workers: usize, report: &ServeReport) -> ServingRow {
         cloud_batches: report.stats.cloud_batches,
         max_batch_seen: report.stats.max_batch_seen,
     }
+}
+
+/// One device class's outcome in the heterogeneous-fleet experiment
+/// (from the base run, difficulty routing off).
+#[derive(Debug, Clone)]
+pub struct FleetTierRow {
+    /// Class name (it names the compute tier).
+    pub name: &'static str,
+    /// The tier's kernel-latency scale factor on the shared profile.
+    pub throughput_factor: f64,
+    /// The cut the planner derived from the tier-scaled profile.
+    pub planned_cut: usize,
+    /// Requests served by devices of this class.
+    pub served: usize,
+    /// Requests this class's devices offloaded to the cloud.
+    pub offloaded: usize,
+    /// 95th-percentile end-to-end latency (ms) within the class.
+    pub p95_ms: f64,
+}
+
+/// One whole-fleet serving run (difficulty routing on or off).
+#[derive(Debug, Clone)]
+pub struct FleetRunRow {
+    /// Human-readable routing mode.
+    pub mode: &'static str,
+    /// Requests served.
+    pub total: usize,
+    /// Requests classified by the cloud.
+    pub offloaded: usize,
+    /// Main-exit forwards skipped by hard-request pre-commits.
+    pub skipped_main_exits: usize,
+    /// Main-exit forwards actually executed (`total - skipped`).
+    pub main_exit_evals: usize,
+    /// Mean wall-clock service time per request (ms).
+    pub service_ms: f64,
+}
+
+/// Everything the `hetero_fleet` bench target asserts and reports.
+#[derive(Debug)]
+pub struct HeteroFleetResult {
+    /// Per-class outcomes of the base run, High → Medium → Low.
+    pub tiers: Vec<FleetTierRow>,
+    /// The base run: heterogeneous fleet, no difficulty predictor.
+    pub base: FleetRunRow,
+    /// The same trace with difficulty-aware routing enabled.
+    pub routed: FleetRunRow,
+    /// Requests the predictor banded hard (pre-committed to the cloud).
+    pub predicted_hard: usize,
+    /// Requests the predictor banded easy (kept on the edge).
+    pub predicted_easy: usize,
+    /// The link rate (Mbps) the search settled on to separate the tiers.
+    pub link_mbps: f64,
+}
+
+/// Runs the heterogeneous-fleet experiment: six devices spread round-robin
+/// across three [`ComputeTier`]s of one hardware profile, served through
+/// the [`Fleet`] API with planner-chosen per-class cuts — the link rate is
+/// searched so the High and Low tiers provably plan different cuts. The
+/// same trace then reruns with a [`DifficultyPredictor`] so hard requests
+/// pre-commit to the cloud (skipping their main-exit forwards) and easy
+/// requests refuse the offload leg.
+pub fn hetero_fleet(scale: Scale) -> HeteroFleetResult {
+    let instances = match scale {
+        Scale::Smoke => 96,
+        Scale::Repro | Scale::Full => 288,
+    };
+    let mut data_cfg = scale.cifar100_like(8601);
+    data_cfg.num_classes = 6;
+    data_cfg.num_clusters = 3;
+    data_cfg.image_hw = 8;
+    data_cfg.test_per_class = instances / 6 + 1;
+    let bundle = generate(&data_cfg);
+    let data = bundle.test.subset(&(0..instances.min(bundle.test.len())).collect::<Vec<_>>());
+
+    let hard = [0usize, 2, 4];
+    let mut probe_net = edge_replica(71, &hard);
+    let policy = high_offload_policy(&mut probe_net, &data, 0.5);
+    let predictor = DifficultyPredictor::calibrate(&mut probe_net, &bundle.train.images, 16);
+
+    // Three tiers sharing one hardware profile: only the kernel-latency
+    // scale factor separates their effective throughputs.
+    let base_profile = DeviceProfile::new("edge", 10.0, 5e8);
+    let tier_list = [("high", ComputeTier::High), ("medium", ComputeTier::Medium), ("low", ComputeTier::Low)];
+    let classes: Vec<DeviceClass> =
+        tier_list.iter().map(|&(name, tier)| DeviceClass::new(name, base_profile.clone(), tier)).collect();
+
+    // Find a link rate where the High and Low effective profiles plan
+    // different cuts (their throughputs differ 2.5x, so some rate must),
+    // making the per-class cut assertion meaningful at every scale.
+    let devices = 6;
+    let cloud_net = cloud_replica(72);
+    let in_elems: u64 = cloud_net.in_shape.iter().map(|&d| d as u64).product();
+    let planner_at = |rate: f64| {
+        let env = PartitionEnv {
+            edge: classes[0].effective_profile(),
+            cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+            link: NetworkLink::wifi(rate).with_rtt(0.001),
+            bytes_per_elem: 4,
+            raw_input_bytes: 4 * in_elems,
+            response_bytes: RESPONSE_WIRE_BYTES,
+        };
+        CutPlanner::from_network(&cloud_net, env, Objective::Latency, devices)
+    };
+    let (high_profile, low_profile) = (classes[0].effective_profile(), classes[2].effective_profile());
+    let link_mbps = (0..60)
+        .map(|i| 0.05 * 1.3f64.powi(i))
+        .find(|&r| {
+            let planner = planner_at(r);
+            planner.plan_for(&high_profile).cut != planner.plan_for(&low_profile).cut
+        })
+        .expect("some link rate separates the High and Low tiers");
+    let link = NetworkLink::wifi(link_mbps).with_rtt(0.001);
+
+    let mut rng = Rng::new(11);
+    let requests = trace_requests(&data, devices, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+    let spec = FleetSpec::round_robin(classes.clone());
+    let run = |mode: &'static str, difficulty: Option<DifficultyPredictor>| {
+        let edges: Vec<EdgeReplica> =
+            (0..3).map(|_| EdgeReplica::with_cloud_prefix(edge_replica(71, &hard), cloud_replica(72))).collect();
+        let clouds: Vec<SegmentedCnn> = (0..2).map(|_| cloud_replica(72)).collect();
+        let mut builder = ServeConfig::builder(policy)
+            .edge_workers(3)
+            .cloud_workers(2)
+            .max_batch(4)
+            .queue_depth(8)
+            .payload(PayloadPlan::Features(FeatureConfig {
+                wire: FeatureWire::F32,
+                cut: CutSelection::Planned(CutPlannerConfig {
+                    classes: Vec::new(),
+                    cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                    objective: Objective::Latency,
+                    feedback: None,
+                }),
+            }))
+            .link(link)
+            .fleet(spec.clone());
+        if let Some(p) = difficulty {
+            builder = builder.difficulty(p);
+        }
+        let cfg = builder.build().expect("valid fleet configuration");
+        let mut fleet = Fleet::new(cfg, edges, clouds).expect("replicas match the configuration");
+        let report = fleet.serve(&requests).expect("the fleet serves the trace");
+        let row = FleetRunRow {
+            mode,
+            total: report.stats.total,
+            offloaded: report.stats.offloaded,
+            skipped_main_exits: report.stats.skipped_main_exits,
+            main_exit_evals: report.stats.total - report.stats.skipped_main_exits,
+            service_ms: 1e3 * report.stats.wall_s / report.stats.total as f64,
+        };
+        (row, report)
+    };
+
+    let (base, base_report) = run("uniform routing", None);
+    let verdicts: Vec<Difficulty> = requests.iter().map(|r| predictor.predict(&r.image)).collect();
+    let predicted_hard = verdicts.iter().filter(|&&d| d == Difficulty::Hard).count();
+    let predicted_easy = verdicts.iter().filter(|&&d| d == Difficulty::Easy).count();
+    let (routed, _) = run("difficulty-aware routing", Some(predictor));
+
+    let cuts = base_report.stats.final_cuts.clone().expect("planned mode reports cuts");
+    let served = base_report.stats.per_class_served.clone().expect("fleet stats");
+    let offload = base_report.stats.per_class_offload.clone().expect("fleet stats");
+    let latency = base_report.stats.per_class_latency.clone().expect("fleet stats");
+    let tiers = tier_list
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, tier))| FleetTierRow {
+            name,
+            throughput_factor: tier.throughput_factor(),
+            planned_cut: cuts[i],
+            served: served[i],
+            offloaded: offload[i],
+            p95_ms: latency[i].as_ref().map_or(0.0, |h| h.p95() * 1e3),
+        })
+        .collect();
+
+    HeteroFleetResult { tiers, base, routed, predicted_hard, predicted_easy, link_mbps }
 }

@@ -25,6 +25,11 @@
 //!   out of the sweep: main-exit evaluation, route planning, the local
 //!   execution legs and record assembly, shared with the online serving
 //!   runtime in `mea_edgecloud::serve`.
+//! * [`difficulty`] — input-difficulty prediction for difficulty-aware
+//!   routing: main-exit entropies of a calibration set clustered into
+//!   easy/ambiguous/hard bands, plus a cheap input-statistics regressor
+//!   so serving can route a request before any forward pass (easy skips
+//!   the offload machinery, hard pre-commits to the cloud).
 //! * [`policy`] — the offload decision abstracted: the paper's entropy
 //!   threshold plus margin-based and budgeted (quantile-calibrated)
 //!   alternatives, and the edge-only/cloud-only endpoints.
@@ -47,6 +52,7 @@
 
 pub mod continual;
 pub mod detector;
+pub mod difficulty;
 pub mod hard_classes;
 pub mod infer;
 pub mod model;
@@ -60,6 +66,7 @@ pub mod train;
 
 pub use continual::{extension_accuracy, train_edge_continual, AdaptationStats, ReplayBuffer};
 pub use detector::{compare_detectors, DetectorComparison, HardDetector};
+pub use difficulty::{Difficulty, DifficultyPredictor};
 pub use hard_classes::Selection;
 pub use infer::{ExitPoint, InferenceConfig, InstanceRecord, SweepStats};
 pub use model::{AdaptivePlan, ExtensionPlan, MeaNet, Merge};

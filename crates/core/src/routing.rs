@@ -132,6 +132,34 @@ pub struct PendingCloud {
 }
 
 impl PendingCloud {
+    /// Sentinel `main_prediction` of a pre-committed offload: the main
+    /// exit was never evaluated, so there is no prediction to carry.
+    pub const PRECOMMITTED: usize = usize::MAX;
+
+    /// A pre-committed offload: the difficulty predictor routed this
+    /// instance to the cloud *without* evaluating the main exit, so the
+    /// record carries sentinels instead of main-exit statistics —
+    /// `entropy` is the predictor's entropy estimate,
+    /// `main_prediction` is [`PendingCloud::PRECOMMITTED`], and
+    /// `detected_hard` is `false` (the hard-class detector never ran).
+    /// The resume point defaults to `0`; feature-payload paths override
+    /// it with [`PendingCloud::resume_at`].
+    pub fn precommit(truth: usize, predicted_entropy: f32) -> PendingCloud {
+        PendingCloud {
+            truth,
+            entropy: predicted_entropy,
+            main_prediction: Self::PRECOMMITTED,
+            detected_hard: false,
+            resume_layer: 0,
+        }
+    }
+
+    /// Whether this offload was pre-committed by a difficulty predictor
+    /// (its record carries sentinel main-exit fields).
+    pub fn is_precommitted(&self) -> bool {
+        self.main_prediction == Self::PRECOMMITTED
+    }
+
     /// Captures the main-exit side of instance `i`'s record. The resume
     /// point defaults to `0` (cloud computes from pixels); feature-payload
     /// paths override it with [`PendingCloud::resume_at`].
@@ -234,6 +262,31 @@ impl RoutingEngine {
                     ExitPoint::Main
                 }
             })
+            .collect();
+        RoutePlan { routes }
+    }
+
+    /// Whether a request predicted at `difficulty` should pre-commit to
+    /// the cloud leg without evaluating the main exit: only `Hard`
+    /// predictions, only when a cloud is reachable, and only if the
+    /// policy can offload at all — a [`OffloadPolicy::Never`] deployment
+    /// keeps every instance local, difficulty predictor or not.
+    pub fn wants_precommit(&self, difficulty: crate::difficulty::Difficulty) -> bool {
+        difficulty == crate::difficulty::Difficulty::Hard && self.cloud_available && !self.policy.is_edge_only()
+    }
+
+    /// Plans a batch *local-only*: extension when the main prediction is
+    /// a hard class, main otherwise — the offload decision is skipped
+    /// entirely. This is the `Easy` difficulty band's plan: detection
+    /// quality is preserved (the hard-class detector still runs on the
+    /// main prediction) while the cloud machinery never engages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if edge blocks are not attached to `net`.
+    pub fn plan_local(&self, net: &MeaNet, main: &MainExit) -> RoutePlan {
+        let routes = (0..main.len())
+            .map(|i| if net.is_hard(main.preds[i]) { ExitPoint::Extension } else { ExitPoint::Main })
             .collect();
         RoutePlan { routes }
     }
@@ -477,6 +530,54 @@ mod tests {
             let preds = RoutingEngine::classify_cloud_from(&mut cloud, &activation, cut);
             assert_eq!(preds, expected, "resume at layer {cut} changed cloud predictions");
         }
+    }
+
+    #[test]
+    fn precommit_carries_sentinels_and_completes_like_any_offload() {
+        let pending = PendingCloud::precommit(3, 1.25);
+        assert!(pending.is_precommitted());
+        assert_eq!(pending.main_prediction, PendingCloud::PRECOMMITTED);
+        assert!(!pending.detected_hard);
+        assert_eq!(pending.resume_layer, 0);
+        let rec = pending.resume_at(2).complete(3);
+        assert_eq!(rec.exit, ExitPoint::Cloud);
+        assert!(rec.correct);
+        assert_eq!(rec.entropy, 1.25);
+        // A main-evaluated offload is never mistaken for a precommit.
+        let mut net = tiny_net(5);
+        let bundle = presets::tiny(35);
+        let images = bundle.test.images.slice_axis0(0, 2);
+        let main = RoutingEngine::evaluate_main(&mut net, &images);
+        assert!(!PendingCloud::from_main(&net, &main, 0, 0).is_precommitted());
+    }
+
+    #[test]
+    fn wants_precommit_needs_hard_cloud_and_an_offloading_policy() {
+        use crate::difficulty::Difficulty;
+        let offloading = RoutingEngine::new(OffloadPolicy::EntropyThreshold(0.5), true);
+        assert!(offloading.wants_precommit(Difficulty::Hard));
+        assert!(!offloading.wants_precommit(Difficulty::Ambiguous));
+        assert!(!offloading.wants_precommit(Difficulty::Easy));
+        let edge_only = RoutingEngine::new(OffloadPolicy::Never, false);
+        assert!(!edge_only.wants_precommit(Difficulty::Hard), "no cloud, no precommit");
+        let never_with_cloud = RoutingEngine::new(OffloadPolicy::Never, true);
+        assert!(!never_with_cloud.wants_precommit(Difficulty::Hard), "Never keeps everything local");
+    }
+
+    #[test]
+    fn plan_local_never_routes_to_the_cloud() {
+        let mut net = tiny_net(6);
+        let bundle = presets::tiny(36);
+        let images = bundle.test.images.slice_axis0(0, 8);
+        let main = RoutingEngine::evaluate_main(&mut net, &images);
+        // Even under Always — the point of the Easy band is to skip the
+        // offload decision entirely.
+        let engine = RoutingEngine::new(OffloadPolicy::Always, true);
+        let plan = engine.plan_local(&net, &main);
+        assert!(plan.cloud_indices().is_empty());
+        // And it agrees with the edge-only full plan instance by instance.
+        let edge_only = RoutingEngine::new(OffloadPolicy::Never, false).plan(&net, &main);
+        assert_eq!(plan, edge_only);
     }
 
     #[test]

@@ -68,6 +68,20 @@ impl DeviceProfile {
         DeviceProfile::new("cloud accelerator", 250.0, 2.0e13)
     }
 
+    /// The same device at `factor ×` the effective throughput (same name
+    /// and power draw): every kernel latency scales by `1 / factor`. This
+    /// is how [`crate::fleet::ComputeTier`] derives a class's effective
+    /// profile from its base profile — `factor 1.0` returns the profile
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn scaled_throughput(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "throughput scale must be finite and positive");
+        DeviceProfile { name: self.name.clone(), power_w: self.power_w, macs_per_sec: self.macs_per_sec * factor }
+    }
+
     /// Seconds to execute `macs` multiply-adds.
     pub fn latency_s(&self, macs: u64) -> f64 {
         macs as f64 / self.macs_per_sec
@@ -111,5 +125,20 @@ mod tests {
     #[should_panic(expected = "power must be positive")]
     fn zero_power_rejected() {
         let _ = DeviceProfile::new("bad", 0.0, 1.0);
+    }
+
+    #[test]
+    fn scaled_throughput_is_identity_at_one_and_inverse_in_latency() {
+        let d = DeviceProfile::new("x", 10.0, 1e9);
+        assert_eq!(d.scaled_throughput(1.0), d);
+        let half = d.scaled_throughput(0.5);
+        assert!((half.latency_s(1_000_000) - 2.0 * d.latency_s(1_000_000)).abs() < 1e-15);
+        assert_eq!(half.power_w, d.power_w);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_scale_rejected() {
+        let _ = DeviceProfile::new("x", 10.0, 1e9).scaled_throughput(0.0);
     }
 }

@@ -1,10 +1,22 @@
-//! Multi-device fleet simulation: many edge devices sharing one cloud.
+//! Heterogeneous device fleets: class registry and multi-device simulation.
 //!
 //! The paper's introduction motivates early exits with exactly this
 //! pressure: *"the large amount of IoT devices would put significant
 //! pressure on the cloud server to respond"*. This module quantifies that
-//! claim. Each device runs the [`crate::sim`] pipeline (its own edge GPU
-//! and radio), while the cloud is a shared pool of `cloud_servers` FIFO
+//! claim — and models the fleet as it really is: **unequal**. A
+//! [`FleetSpec`] names the device classes (per-class compute profile with
+//! a high/medium/low [`ComputeTier`], optional per-class link prior) and
+//! maps device ids onto them, either round-robin (the legacy
+//! `device % classes` convention, preserved bit-for-bit by
+//! [`FleetSpec::round_robin`]) or by explicit assignment, so sparse and
+//! skewed device populations are first-class.
+//!
+//! Two consumers share the spec: the serving runtime
+//! ([`crate::serve::Fleet`]) plans per-class cuts and reports per-class
+//! stats from it, and the virtual-clock simulator here
+//! ([`simulate_fleet_spec`]) prices the same fleet analytically. Each
+//! device runs the [`crate::sim`] pipeline (its own edge compute and
+//! radio), while the cloud is a shared pool of `cloud_servers` FIFO
 //! execution slots. Offloaded jobs queue when all slots are busy, so cloud
 //! latency degrades as the fleet grows or the offload fraction β rises —
 //! and recovers when MEANet keeps more inference at the edge.
@@ -18,16 +30,186 @@ use crate::network::NetworkLink;
 use meanet::ExitPoint;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
+use std::collections::BTreeMap;
 use std::collections::BinaryHeap;
+
+/// Relative compute capability of a device class.
+///
+/// Modelled on the high/medium/low node profiles of the adaptive-edge
+/// exemplar (CPU shares 1.0 / 0.6 / 0.4): the tier scales the class's
+/// base profile *throughput* by [`ComputeTier::throughput_factor`], so
+/// every kernel latency scales by the inverse factor. `High` is the
+/// identity tier — a `High`-tier class runs its base profile unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ComputeTier {
+    /// Full-speed device (factor 1.0) — the base profile as written.
+    High,
+    /// Mid-range device at 0.6× the base throughput.
+    Medium,
+    /// Constrained device at 0.4× the base throughput.
+    Low,
+}
+
+impl ComputeTier {
+    /// Fraction of the base profile's `macs_per_sec` this tier sustains.
+    pub fn throughput_factor(self) -> f64 {
+        match self {
+            ComputeTier::High => 1.0,
+            ComputeTier::Medium => 0.6,
+            ComputeTier::Low => 0.4,
+        }
+    }
+
+    /// Kernel-latency multiplier relative to the base profile (the
+    /// reciprocal of [`Self::throughput_factor`]).
+    pub fn latency_factor(self) -> f64 {
+        1.0 / self.throughput_factor()
+    }
+}
+
+/// One named class of devices in a heterogeneous fleet.
+///
+/// The class pairs a base [`DeviceProfile`] with a [`ComputeTier`] that
+/// scales its throughput, and optionally a per-class [`NetworkLink`]
+/// prior for fleets where classes sit on different radios (e.g. Wi-Fi
+/// gateways next to LTE sensors). [`DeviceClass::effective_profile`] is
+/// the profile consumers should plan and simulate with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceClass {
+    /// Human-readable class name (reported in per-class stats).
+    pub name: String,
+    /// Base compute profile at the `High` tier.
+    pub profile: DeviceProfile,
+    /// Compute tier scaling the base profile's throughput.
+    pub tier: ComputeTier,
+    /// Link prior for this class, overriding the fleet-shared link in
+    /// planning and simulation when set. `None` means the class uses the
+    /// shared link model.
+    pub link_prior: Option<NetworkLink>,
+}
+
+impl DeviceClass {
+    /// A class running `profile` at `tier`, on the fleet-shared link.
+    pub fn new(name: impl Into<String>, profile: DeviceProfile, tier: ComputeTier) -> Self {
+        DeviceClass { name: name.into(), profile, tier, link_prior: None }
+    }
+
+    /// Sets a per-class link prior (builder style).
+    pub fn with_link_prior(mut self, link: NetworkLink) -> Self {
+        self.link_prior = Some(link);
+        self
+    }
+
+    /// The tier-scaled compute profile: base profile throughput times
+    /// [`ComputeTier::throughput_factor`]. A `High`-tier class returns
+    /// the base profile bit-for-bit.
+    pub fn effective_profile(&self) -> DeviceProfile {
+        self.profile.scaled_throughput(self.tier.throughput_factor())
+    }
+}
+
+/// The device-class registry of a heterogeneous fleet: which classes
+/// exist and which class each device id belongs to.
+///
+/// Devices not explicitly assigned fall back to round-robin over the
+/// class list (`device % class_count`), so [`FleetSpec::round_robin`]
+/// reproduces the legacy implicit convention exactly; explicit
+/// [`FleetSpec::assign`] entries take precedence, which makes sparse or
+/// skewed populations (ten `low` sensors per `high` gateway, device ids
+/// with gaps) expressible without renumbering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    classes: Vec<DeviceClass>,
+    assignment: BTreeMap<usize, usize>,
+}
+
+impl FleetSpec {
+    /// A fleet assigning device `d` to class `d % classes.len()` — the
+    /// exact legacy convention, kept as the compatibility anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty.
+    pub fn round_robin(classes: Vec<DeviceClass>) -> Self {
+        assert!(!classes.is_empty(), "a fleet needs at least one device class");
+        FleetSpec { classes, assignment: BTreeMap::new() }
+    }
+
+    /// A homogeneous fleet: every device belongs to the one class.
+    pub fn uniform(class: DeviceClass) -> Self {
+        FleetSpec::round_robin(vec![class])
+    }
+
+    /// Pins device `device` to `class` (builder style), overriding the
+    /// round-robin fallback for that id only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is not an index into the class list.
+    pub fn assign(mut self, device: usize, class: usize) -> Self {
+        assert!(class < self.classes.len(), "class {class} out of range ({} classes)", self.classes.len());
+        self.assignment.insert(device, class);
+        self
+    }
+
+    /// The registered device classes, in index order.
+    pub fn classes(&self) -> &[DeviceClass] {
+        &self.classes
+    }
+
+    /// Number of registered classes (always ≥ 1).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The class index device `device` belongs to: its explicit
+    /// assignment if pinned, else `device % class_count`.
+    pub fn class_of(&self, device: usize) -> usize {
+        self.assignment.get(&device).copied().unwrap_or(device % self.classes.len())
+    }
+
+    /// The class record device `device` belongs to.
+    pub fn device_class(&self, device: usize) -> &DeviceClass {
+        &self.classes[self.class_of(device)]
+    }
+
+    /// Tier-scaled compute profiles, one per class in index order — what
+    /// the cut planner and the fleet simulator consume.
+    pub fn effective_profiles(&self) -> Vec<DeviceProfile> {
+        self.classes.iter().map(DeviceClass::effective_profile).collect()
+    }
+
+    /// Per-class link priors in index order (`None` = shared link).
+    pub fn link_priors(&self) -> Vec<Option<NetworkLink>> {
+        self.classes.iter().map(|c| c.link_prior).collect()
+    }
+
+    /// Device-sticky slot selection: maps a device id onto one of `n`
+    /// serving resources (transport lanes, edge-worker queues) such that
+    /// one device always lands on the same slot. This is the single
+    /// definition of the serving runtime's `device → slot` mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sticky_index(&self, device: usize, n: usize) -> usize {
+        assert!(n > 0, "cannot pick among zero slots");
+        device % n
+    }
+}
 
 /// Static parameters of a fleet simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetConfig {
-    /// Edge device profile (all devices identical).
+    /// Edge device profile shared by every device in the homogeneous
+    /// entry points ([`simulate_fleet`], [`simulate_fleet_with_arrivals`]).
+    /// The [`FleetSpec`]-aware entry points ignore it and give each
+    /// device its class's tier-scaled profile instead.
     pub edge: DeviceProfile,
     /// Cloud device profile (per server slot).
     pub cloud: DeviceProfile,
-    /// Radio link per device (independent radios).
+    /// Radio link per device (independent radios). Classes with a
+    /// [`DeviceClass::link_prior`] override it under a [`FleetSpec`].
     pub link: NetworkLink,
     /// Parallel execution slots at the cloud.
     pub cloud_servers: usize,
@@ -78,18 +260,17 @@ struct CloudJob {
     ready_s: f64,
 }
 
-/// Runs the fleet simulation with the fixed per-device frame interval of
-/// `cfg.arrival_interval_s`. `routes[d]` is the per-instance exit sequence
-/// of device `d` (e.g. from Algorithm-2 records); devices may have
-/// different instance counts.
+/// Runs the homogeneous fleet simulation with the fixed per-device frame
+/// interval of `cfg.arrival_interval_s`. `routes[d]` is the per-instance
+/// exit sequence of device `d` (e.g. from Algorithm-2 records); devices
+/// may have different instance counts.
 ///
 /// # Panics
 ///
 /// Panics if `routes` is empty, any device has no instances, or
 /// `cfg.cloud_servers == 0`.
 pub fn simulate_fleet(cfg: &FleetConfig, routes: &[Vec<ExitPoint>]) -> FleetReport {
-    let arrivals: Vec<Vec<f64>> =
-        routes.iter().map(|r| (0..r.len()).map(|i| i as f64 * cfg.arrival_interval_s).collect()).collect();
+    let arrivals = interval_arrivals(cfg, routes);
     simulate_fleet_with_arrivals(cfg, routes, &arrivals)
 }
 
@@ -107,6 +288,60 @@ pub fn simulate_fleet_with_arrivals(
     routes: &[Vec<ExitPoint>],
     arrivals: &[Vec<f64>],
 ) -> FleetReport {
+    let per_device: Vec<(DeviceProfile, NetworkLink)> =
+        routes.iter().map(|_| (cfg.edge.clone(), cfg.link)).collect();
+    simulate_core(cfg, &per_device, routes, arrivals)
+}
+
+/// Runs the heterogeneous fleet simulation: device `d` computes with its
+/// class's tier-scaled profile and uploads over its class's link prior
+/// (falling back to `cfg.link` for classes without one), so the virtual
+/// clock prices the same fleet the serving runtime schedules.
+/// `cfg.edge` is ignored. A spec whose every class carries `cfg.edge` at
+/// [`ComputeTier::High`] with no link prior reproduces [`simulate_fleet`]
+/// exactly.
+///
+/// # Panics
+///
+/// Panics as [`simulate_fleet`] does.
+pub fn simulate_fleet_spec(spec: &FleetSpec, cfg: &FleetConfig, routes: &[Vec<ExitPoint>]) -> FleetReport {
+    let arrivals = interval_arrivals(cfg, routes);
+    simulate_fleet_spec_with_arrivals(spec, cfg, routes, &arrivals)
+}
+
+/// [`simulate_fleet_spec`] with explicit per-device arrival times.
+///
+/// # Panics
+///
+/// Panics as [`simulate_fleet_with_arrivals`] does.
+pub fn simulate_fleet_spec_with_arrivals(
+    spec: &FleetSpec,
+    cfg: &FleetConfig,
+    routes: &[Vec<ExitPoint>],
+    arrivals: &[Vec<f64>],
+) -> FleetReport {
+    let per_device: Vec<(DeviceProfile, NetworkLink)> = (0..routes.len())
+        .map(|d| {
+            let class = spec.device_class(d);
+            (class.effective_profile(), class.link_prior.unwrap_or(cfg.link))
+        })
+        .collect();
+    simulate_core(cfg, &per_device, routes, arrivals)
+}
+
+fn interval_arrivals(cfg: &FleetConfig, routes: &[Vec<ExitPoint>]) -> Vec<Vec<f64>> {
+    routes.iter().map(|r| (0..r.len()).map(|i| i as f64 * cfg.arrival_interval_s).collect()).collect()
+}
+
+/// The shared virtual-clock core: per-device edge/radio FIFOs feeding a
+/// shared FIFO cloud-server pool, with device `d`'s compute and link
+/// taken from `per_device[d]`.
+fn simulate_core(
+    cfg: &FleetConfig,
+    per_device: &[(DeviceProfile, NetworkLink)],
+    routes: &[Vec<ExitPoint>],
+    arrivals: &[Vec<f64>],
+) -> FleetReport {
     assert!(!routes.is_empty(), "no devices to simulate");
     assert!(routes.iter().all(|r| !r.is_empty()), "every device needs at least one instance");
     assert!(cfg.cloud_servers > 0, "need at least one cloud server");
@@ -116,11 +351,7 @@ pub fn simulate_fleet_with_arrivals(
         assert!(a.windows(2).all(|w| w[1] >= w[0]), "device {d}: arrival times must be non-decreasing");
     }
 
-    let t_main = cfg.edge.latency_s(cfg.macs_main);
-    let t_ext = cfg.edge.latency_s(cfg.macs_extension_extra);
-    let t_up = cfg.link.upload_time_s(cfg.payload_bytes);
     let t_cloud = cfg.cloud.latency_s(cfg.macs_cloud);
-    let half_rtt = cfg.link.rtt_s / 2.0;
 
     let mut energy = EnergyReport::default();
     // completion[d][i]: set for edge exits now, cloud exits after queueing.
@@ -128,13 +359,18 @@ pub fn simulate_fleet_with_arrivals(
     let mut cloud_jobs: Vec<CloudJob> = Vec::new();
 
     for (d, dev_routes) in routes.iter().enumerate() {
+        let (edge, link) = &per_device[d];
+        let t_main = edge.latency_s(cfg.macs_main);
+        let t_ext = edge.latency_s(cfg.macs_extension_extra);
+        let t_up = link.upload_time_s(cfg.payload_bytes);
+        let half_rtt = link.rtt_s / 2.0;
         let mut edge_free = 0.0f64;
         let mut radio_free = 0.0f64;
         for (i, route) in dev_routes.iter().enumerate() {
             let arrival = arrivals[d][i];
             let start_edge = edge_free.max(arrival);
             let done_main = start_edge + t_main;
-            energy.compute_j += cfg.edge.compute_energy_j(cfg.macs_main);
+            energy.compute_j += edge.compute_energy_j(cfg.macs_main);
             match route {
                 ExitPoint::Main => {
                     edge_free = done_main;
@@ -142,7 +378,7 @@ pub fn simulate_fleet_with_arrivals(
                 }
                 ExitPoint::Extension => {
                     let done = done_main + t_ext;
-                    energy.compute_j += cfg.edge.compute_energy_j(cfg.macs_extension_extra);
+                    energy.compute_j += edge.compute_energy_j(cfg.macs_extension_extra);
                     edge_free = done;
                     completion[d][i] = done;
                 }
@@ -151,7 +387,7 @@ pub fn simulate_fleet_with_arrivals(
                     let start_up = radio_free.max(done_main);
                     let uploaded = start_up + t_up;
                     radio_free = uploaded;
-                    energy.communication_j += cfg.link.upload_energy_j(cfg.payload_bytes);
+                    energy.communication_j += link.upload_energy_j(cfg.payload_bytes);
                     cloud_jobs.push(CloudJob { device: d, index: i, ready_s: uploaded + half_rtt });
                 }
             }
@@ -181,6 +417,7 @@ pub fn simulate_fleet_with_arrivals(
         let finish = start + t_cloud;
         busy += t_cloud;
         servers.push(Reverse(OrderedF64(finish)));
+        let half_rtt = per_device[job.device].1.rtt_s / 2.0;
         completion[job.device][job.index] = finish + half_rtt;
     }
 
@@ -256,6 +493,14 @@ mod tests {
                 _ => ExitPoint::Cloud,
             })
             .collect()
+    }
+
+    fn tiered_spec(base: &FleetConfig) -> FleetSpec {
+        FleetSpec::round_robin(vec![
+            DeviceClass::new("high", base.edge.clone(), ComputeTier::High),
+            DeviceClass::new("medium", base.edge.clone(), ComputeTier::Medium),
+            DeviceClass::new("low", base.edge.clone(), ComputeTier::Low),
+        ])
     }
 
     #[test]
@@ -400,5 +645,125 @@ mod tests {
     fn decreasing_arrivals_rejected() {
         let f = cfg(1);
         let _ = simulate_fleet_with_arrivals(&f, &[vec![ExitPoint::Main; 2]], &[vec![1.0, 0.5]]);
+    }
+
+    #[test]
+    fn tier_factors_are_reciprocal() {
+        for tier in [ComputeTier::High, ComputeTier::Medium, ComputeTier::Low] {
+            assert!((tier.throughput_factor() * tier.latency_factor() - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(ComputeTier::High.throughput_factor(), 1.0);
+        assert!(ComputeTier::Medium.throughput_factor() > ComputeTier::Low.throughput_factor());
+    }
+
+    #[test]
+    fn effective_profile_scales_latency_by_the_tier() {
+        let base = DeviceProfile::new("edge", 10.0, 1e9);
+        let low = DeviceClass::new("low", base.clone(), ComputeTier::Low).effective_profile();
+        let high = DeviceClass::new("high", base.clone(), ComputeTier::High).effective_profile();
+        assert_eq!(high, base, "High tier is the identity");
+        let macs = 1_000_000u64;
+        let ratio = low.latency_s(macs) / base.latency_s(macs);
+        assert!((ratio - ComputeTier::Low.latency_factor()).abs() < 1e-9, "Low runs 2.5x slower: {ratio}");
+    }
+
+    #[test]
+    fn round_robin_matches_the_legacy_modulo_convention() {
+        let spec = tiered_spec(&cfg(1));
+        for d in 0..30 {
+            assert_eq!(spec.class_of(d), d % 3);
+        }
+    }
+
+    #[test]
+    fn explicit_assignment_overrides_round_robin() {
+        // A skewed population: one gateway, everything else pinned low —
+        // including a sparse id far past the class count.
+        let spec = tiered_spec(&cfg(1)).assign(0, 0).assign(1, 2).assign(2, 2).assign(1000, 2);
+        assert_eq!(spec.class_of(0), 0);
+        assert_eq!(spec.class_of(1), 2);
+        assert_eq!(spec.class_of(2), 2);
+        assert_eq!(spec.class_of(1000), 2);
+        // Unpinned ids still fall back to round-robin.
+        assert_eq!(spec.class_of(4), 1);
+        assert_eq!(spec.device_class(1000).name, "low");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn assignment_to_unknown_class_rejected() {
+        let _ = tiered_spec(&cfg(1)).assign(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device class")]
+    fn empty_class_list_rejected() {
+        let _ = FleetSpec::round_robin(Vec::new());
+    }
+
+    #[test]
+    fn identity_spec_reproduces_the_homogeneous_fleet_exactly() {
+        // The regression anchor for the simulator port: a spec whose every
+        // class is the shared profile at High tier with no link prior must
+        // be bit-identical to the homogeneous entry point.
+        let f = cfg(2);
+        let spec = FleetSpec::round_robin(vec![
+            DeviceClass::new("a", f.edge.clone(), ComputeTier::High),
+            DeviceClass::new("b", f.edge.clone(), ComputeTier::High),
+        ]);
+        let routes: Vec<Vec<ExitPoint>> = (0..5).map(|d| mixed_routes(7 + d)).collect();
+        let homogeneous = simulate_fleet(&f, &routes);
+        let spec_report = simulate_fleet_spec(&spec, &f, &routes);
+        assert_eq!(spec_report, homogeneous);
+    }
+
+    #[test]
+    fn slower_tiers_raise_fleet_latency() {
+        let f = cfg(2);
+        let routes: Vec<Vec<ExitPoint>> = (0..6).map(|_| mixed_routes(12)).collect();
+        let high = simulate_fleet_spec(
+            &FleetSpec::uniform(DeviceClass::new("high", f.edge.clone(), ComputeTier::High)),
+            &f,
+            &routes,
+        );
+        let low = simulate_fleet_spec(
+            &FleetSpec::uniform(DeviceClass::new("low", f.edge.clone(), ComputeTier::Low)),
+            &f,
+            &routes,
+        );
+        assert!(
+            low.mean_latency_s > high.mean_latency_s,
+            "a 0.4x fleet must be slower: {} vs {}",
+            low.mean_latency_s,
+            high.mean_latency_s
+        );
+        // Compute energy rises too: the same MACs on a slower device draw
+        // power for longer.
+        assert!(low.energy.compute_j > high.energy.compute_j);
+    }
+
+    #[test]
+    fn per_class_link_prior_overrides_the_shared_link() {
+        let f = cfg(2);
+        let slow_radio = NetworkLink::wifi(0.5).with_rtt(0.05);
+        let routes: Vec<Vec<ExitPoint>> = (0..4).map(|_| vec![ExitPoint::Cloud; 8]).collect();
+        let shared = simulate_fleet_spec(
+            &FleetSpec::uniform(DeviceClass::new("edge", f.edge.clone(), ComputeTier::High)),
+            &f,
+            &routes,
+        );
+        let throttled = simulate_fleet_spec(
+            &FleetSpec::uniform(
+                DeviceClass::new("edge", f.edge.clone(), ComputeTier::High).with_link_prior(slow_radio),
+            ),
+            &f,
+            &routes,
+        );
+        assert!(
+            throttled.mean_latency_s > shared.mean_latency_s,
+            "a 0.5 Mbps class radio must hurt: {} vs {}",
+            throttled.mean_latency_s,
+            shared.mean_latency_s
+        );
     }
 }

@@ -27,7 +27,10 @@
 //!   crossbeam channels) for end-to-end integration tests;
 //! * [`fleet`] — a multi-device extension of the simulator where many edge
 //!   devices share a bounded pool of cloud servers, quantifying the cloud
-//!   congestion the paper's introduction argues early exits relieve;
+//!   congestion the paper's introduction argues early exits relieve —
+//!   plus the [`fleet::FleetSpec`] registry of heterogeneous device
+//!   classes (tier-scaled compute profiles, per-class link priors,
+//!   device→class assignment) shared with the serving runtime;
 //! * [`mod@serve`] — the *online* counterpart of [`fleet`]: a real multi-worker
 //!   serving runtime (N edge workers, M dynamically batching cloud
 //!   workers over bounded channels) that routes trace-driven traffic
@@ -35,7 +38,13 @@
 //!   offline sweep, shipping offloads as images or as cut-layer
 //!   activations whose cut the [`partition::CutPlanner`] selects online —
 //!   closed-loop when [`serve::LinkFeedback`] feeds the workers' measured
-//!   per-batch link times ([`network::LinkEstimator`]) back into the plan;
+//!   per-batch link times ([`network::LinkEstimator`]) back into the plan.
+//!   The public entry is [`serve::Fleet`] over a builder-validated
+//!   [`serve::ServeConfig`]; a [`fleet::FleetSpec`] makes the planning,
+//!   link estimation and stats per-device-class, and a calibrated
+//!   `meanet` difficulty predictor can pre-commit predicted-hard inputs
+//!   to the cloud (skipping their main-exit forward) and settle
+//!   predicted-easy inputs locally;
 //! * [`traces`] — seeded arrival-time generators (uniform / Poisson /
 //!   bursty) driving both the fleet simulator and the serving runtime.
 
@@ -56,17 +65,22 @@ pub mod transport;
 pub use cost::{CostBreakdown, CostParams, Strategy};
 pub use device::DeviceProfile;
 pub use energy::{EnergyReport, PerImageCosts};
-pub use fleet::{simulate_fleet, simulate_fleet_with_arrivals, FleetConfig, FleetReport};
+pub use fleet::{
+    simulate_fleet, simulate_fleet_spec, simulate_fleet_spec_with_arrivals, simulate_fleet_with_arrivals,
+    ComputeTier, DeviceClass, FleetConfig, FleetReport, FleetSpec,
+};
 pub use network::{LinkEstimate, LinkEstimator, NetworkLink, UploadPowerModel};
 pub use partition::{
     best_cut, profile_network, sweep_cuts, CutCost, CutPlanner, LayerProfile, Objective, PartitionEnv,
     MEASURED_PRIOR_SAMPLES,
 };
 pub use payload::Payload;
+#[allow(deprecated)]
+pub use serve::serve;
 pub use serve::{
-    serve, trace_requests, Completion, ControllerConfig, CutPlannerConfig, CutSelection, EdgeReplica,
-    FeatureConfig, FeatureWire, LinkChange, LinkFeedback, PayloadPlan, ServeConfig, ServeReport, ServeRequest,
-    ServeStats, WireFormat,
+    trace_requests, try_serve, Completion, ControllerConfig, CutPlannerConfig, CutSelection, EdgeReplica,
+    FeatureConfig, FeatureWire, Fleet, LinkChange, LinkFeedback, PayloadPlan, ServeConfig, ServeConfigBuilder,
+    ServeConfigError, ServeError, ServeReport, ServeRequest, ServeStats, WireFormat,
 };
 pub use traces::ArrivalModel;
 pub use transport::{

@@ -373,6 +373,73 @@ impl CutPlanner {
         assert_eq!(classes.len(), estimates.len(), "one (optional) link estimate per device class");
         classes.iter().zip(estimates).map(|(c, m)| self.plan_for_measured(c, m.as_ref())).collect()
     }
+
+    /// [`CutPlanner::plan_for_measured`] for a class with its own link
+    /// prior: `link` (if `Some`) replaces the planner's shared link model
+    /// for this plan only, *before* the contention scaling and the
+    /// measured blend — a class radio is congested by the same fleet and
+    /// corrected by the same telemetry as the shared wire would be.
+    /// `None` plans on the shared link, bit-identically to
+    /// [`CutPlanner::plan_for_measured`].
+    pub fn plan_for_measured_with_link(
+        &self,
+        edge: &DeviceProfile,
+        link: Option<&NetworkLink>,
+        measured: Option<&LinkEstimate>,
+    ) -> CutCost {
+        match link {
+            None => self.plan_for_measured(edge, measured),
+            Some(l) => {
+                let mut on_link = self.clone();
+                on_link.env.link = *l;
+                on_link.plan_for_measured(edge, measured)
+            }
+        }
+    }
+
+    /// One cost-minimal serving cut per device class where each class may
+    /// carry its own link prior (`links[c]`; `None` entries use the
+    /// shared link) and its own measured estimate (`estimates[c]`) — the
+    /// heterogeneous-fleet planning entry point
+    /// ([`crate::fleet::FleetSpec::link_priors`] supplies `links`).
+    ///
+    /// With every link `None` this is exactly
+    /// [`CutPlanner::plan_classes_measured`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or the slices' lengths differ.
+    pub fn plan_classes_measured_with_links(
+        &self,
+        classes: &[DeviceProfile],
+        links: &[Option<NetworkLink>],
+        estimates: &[Option<LinkEstimate>],
+    ) -> Vec<CutCost> {
+        assert!(!classes.is_empty(), "need at least one device class");
+        assert_eq!(classes.len(), links.len(), "one (optional) link prior per device class");
+        assert_eq!(classes.len(), estimates.len(), "one (optional) link estimate per device class");
+        classes
+            .iter()
+            .zip(links)
+            .zip(estimates)
+            .map(|((c, l), m)| self.plan_for_measured_with_link(c, l.as_ref(), m.as_ref()))
+            .collect()
+    }
+
+    /// [`CutPlanner::plan_classes_measured_with_links`] without telemetry:
+    /// per-class link priors under the static contention model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or the slices' lengths differ.
+    pub fn plan_classes_with_links(
+        &self,
+        classes: &[DeviceProfile],
+        links: &[Option<NetworkLink>],
+    ) -> Vec<CutCost> {
+        let none = vec![None; classes.len()];
+        self.plan_classes_measured_with_links(classes, links, &none)
+    }
 }
 
 #[cfg(test)]
@@ -671,6 +738,49 @@ mod tests {
         let fast_cut = planner.plan();
         assert_eq!(fast_cut.cut, 0, "free uplink + huge cloud: ship pixels immediately");
         assert!(fast_cut.latency_s <= slow_cut.latency_s, "a better link cannot make the plan worse");
+    }
+
+    #[test]
+    fn per_class_link_priors_plan_per_radio() {
+        // Two identical compute classes on very different radios: the
+        // throttled class must not upload more bytes than the one on the
+        // shared fast wire, and an all-`None` priors slice must reproduce
+        // `plan_classes` bit-for-bit.
+        let profiles = vec![
+            LayerProfile { name: "conv1".into(), macs: 1_000_000, out_elems: 4096 },
+            LayerProfile { name: "conv2".into(), macs: 2_000_000, out_elems: 256 },
+            LayerProfile { name: "head".into(), macs: 100_000, out_elems: 10 },
+        ];
+        let mut e = env();
+        e.link = NetworkLink::wifi(1000.0).with_rtt(0.0);
+        e.raw_input_bytes = 12288;
+        let planner = CutPlanner::new(profiles, e.clone(), Objective::Latency, 2);
+        let edge = DeviceProfile::new("edge", 10.0, 1e9);
+        let classes = vec![edge.clone(), edge];
+        let slow = NetworkLink::wifi(0.01).with_rtt(0.0);
+
+        let cuts = planner.plan_classes_with_links(&classes, &[None, Some(slow)]);
+        let shared = planner.plan_classes(&classes);
+        assert_eq!(cuts[0], shared[0], "a class without a prior plans on the shared link");
+        assert!(cuts[1].upload_bytes <= cuts[0].upload_bytes, "the throttled class must not ship more: {cuts:?}");
+        assert_ne!(cuts[1].cut, cuts[0].cut, "a 100000x slower radio must move the cut");
+
+        let none = planner.plan_classes_with_links(&classes, &[None, None]);
+        assert_eq!(none, shared, "all-None priors must be the shared-link plan exactly");
+    }
+
+    #[test]
+    fn per_class_link_prior_composes_with_measured_blend() {
+        // The measured estimate corrects the class link exactly as it
+        // corrects the shared link: planning with a prior equal to the
+        // shared link and any estimate matches `plan_for_measured`.
+        let planner = CutPlanner::new(toy_profiles(), env(), Objective::Latency, 3);
+        let edge = DeviceProfile::new("edge", 10.0, 1e9);
+        let est = LinkEstimate { up_mbps: 0.5, down_mbps: 0.5, rtt_s: 0.02, samples: 16 };
+        let shared_link = env().link;
+        let with_prior = planner.plan_for_measured_with_link(&edge, Some(&shared_link), Some(&est));
+        let without = planner.plan_for_measured(&edge, Some(&est));
+        assert_eq!(with_prior, without);
     }
 
     #[test]

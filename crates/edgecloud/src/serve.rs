@@ -55,12 +55,35 @@
 //!   serving path (SPINN-style runtime adaptation): every
 //!   [`ControllerConfig::window`] routed instances, the achieved offload
 //!   fraction is fed back and the threshold retuned.
+//! * A [`FleetSpec`] ([`ServeConfig::fleet`]) makes the device population
+//!   **heterogeneous**: named [`DeviceClass`]es with a [`ComputeTier`]
+//!   (high/medium/low kernel-latency scaling), an optional per-class
+//!   radio prior, and explicit device→class assignments. The cut planner
+//!   then plans one cut per class from each class's *effective* profile
+//!   and link prior, the link estimator indexes its telemetry by the
+//!   spec's class map, and [`ServeStats`] breaks served/offloaded counts
+//!   and latency out per class. Without a spec, serving falls back to the
+//!   legacy homogeneous convention (planner class = `device % classes`).
+//! * A [`DifficultyPredictor`] ([`ServeConfig::difficulty`]) turns on
+//!   **difficulty-aware routing** from input statistics alone:
+//!   predicted-easy requests settle locally without consulting the
+//!   offload policy, predicted-hard requests pre-commit to the cloud
+//!   *without evaluating the main exit at all*
+//!   ([`ServeStats::skipped_main_exits`] counts the saved forwards), and
+//!   ambiguous requests take the full Algorithm-2 path unchanged.
+//!
+//! The preferred entry point is [`Fleet`]: it owns the replicas, checks
+//! every configuration invariant up front (builder-validated via
+//! [`ServeConfig::builder`], or [`Fleet::new`] returning [`ServeError`])
+//! and serves traces through [`Fleet::serve`]. The free [`serve`]
+//! function is a deprecated panic-on-misuse shim over [`try_serve`].
 //!
 //! Backpressure is end-to-end: bounded edge queues block the dispatcher,
 //! bounded cloud queues block edge workers, so a slow cloud tier slows
 //! admission instead of ballooning memory.
 
 use crate::device::DeviceProfile;
+use crate::fleet::{ComputeTier, DeviceClass, FleetSpec};
 use crate::network::{LinkEstimate, LinkEstimator, NetworkLink};
 use crate::partition::{profile_network, CutPlanner, Objective, PartitionEnv, MEASURED_PRIOR_SAMPLES};
 use crate::payload::Payload;
@@ -77,9 +100,13 @@ use mea_nn::layer::Mode;
 use mea_nn::models::SegmentedCnn;
 use mea_tensor::{Rng, Tensor};
 use meanet::routing::{PendingCloud, RoutingEngine};
-use meanet::{ExitPoint, InstanceRecord, MeaNet, OffloadPolicy, ThresholdController};
+use meanet::{
+    Difficulty, DifficultyPredictor, ExitPoint, InstanceRecord, MeaNet, OffloadPolicy, ThresholdController,
+};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Bytes of the cloud's response per prediction on the downlink — the
@@ -167,6 +194,11 @@ impl Default for LinkFeedback {
 pub struct CutPlannerConfig {
     /// Edge device classes: device `d` belongs to class
     /// `d % classes.len()` and serves from that class's planned cut.
+    ///
+    /// When [`ServeConfig::fleet`] is set this list must be **empty** —
+    /// the fleet's effective per-class profiles (and link priors) drive
+    /// the planner, and devices map to classes through
+    /// [`FleetSpec::class_of`] instead of the modulo convention.
     pub classes: Vec<DeviceProfile>,
     /// The cloud device executing the suffix.
     pub cloud: DeviceProfile,
@@ -300,6 +332,24 @@ pub struct ServeConfig {
     /// static model is deliberately not told — only measured-link
     /// feedback ([`LinkFeedback`]) can observe the change.
     pub link_schedule: Vec<LinkChange>,
+    /// Optional heterogeneous device registry. `Some` routes every
+    /// device→class decision (planned cuts, link telemetry, per-class
+    /// stats) through [`FleetSpec::class_of`] and plans cuts from each
+    /// class's tier-scaled profile and radio prior; `None` keeps the
+    /// legacy homogeneous convention. A spec whose classes are all
+    /// identical to the legacy planner classes serves record-identically
+    /// to `None`.
+    pub fleet: Option<FleetSpec>,
+    /// Optional difficulty-aware routing. `Some` classifies every request
+    /// from its input statistics before any forward pass:
+    /// predicted-**easy** requests settle locally (main or extension
+    /// exit) without consulting the offload policy, predicted-**hard**
+    /// requests pre-commit to the cloud without evaluating the main exit
+    /// (skipped evaluations are counted in
+    /// [`ServeStats::skipped_main_exits`]), and ambiguous requests take
+    /// the unchanged Algorithm-2 path. `None` routes everything through
+    /// Algorithm 2.
+    pub difficulty: Option<DifficultyPredictor>,
 }
 
 /// One scheduled change of serving link conditions (see
@@ -349,6 +399,8 @@ impl ServeConfig {
             link: None,
             transport: TransportKind::default(),
             link_schedule: Vec::new(),
+            fleet: None,
+            difficulty: None,
         }
     }
 
@@ -358,6 +410,409 @@ impl ServeConfig {
     pub fn pipeline(policy: OffloadPolicy) -> Self {
         ServeConfig::new(policy, 1, 1, 1)
     }
+
+    /// A validating builder starting from [`ServeConfig::new`]'s defaults
+    /// (`edge_workers: 1, cloud_workers: 1, max_batch: 1`).
+    /// [`ServeConfigBuilder::build`] checks every static invariant and
+    /// returns [`ServeConfigError`] instead of panicking downstream.
+    pub fn builder(policy: OffloadPolicy) -> ServeConfigBuilder {
+        ServeConfigBuilder { cfg: ServeConfig::new(policy, 1, 1, 1) }
+    }
+}
+
+/// Validating builder for [`ServeConfig`] — see [`ServeConfig::builder`].
+///
+/// Every setter is infallible; [`ServeConfigBuilder::build`] runs the
+/// full invariant suite once at the end, so a successfully built config
+/// can never trip a configuration panic inside the runtime.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Number of edge worker threads (one replica each).
+    pub fn edge_workers(mut self, n: usize) -> Self {
+        self.cfg.edge_workers = n;
+        self
+    }
+
+    /// Number of cloud worker threads (one replica each).
+    pub fn cloud_workers(mut self, n: usize) -> Self {
+        self.cfg.cloud_workers = n;
+        self
+    }
+
+    /// Dynamic-batching cap per coalesced cloud batch.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.cfg.max_batch = n;
+        self
+    }
+
+    /// How long a cloud worker waits for stragglers once it holds a
+    /// payload.
+    pub fn max_wait(mut self, wait: Duration) -> Self {
+        self.cfg.max_wait = wait;
+        self
+    }
+
+    /// Capacity of each bounded edge/cloud ingress queue.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.queue_depth = depth;
+        self
+    }
+
+    /// Replaces the offload policy.
+    pub fn policy(mut self, policy: OffloadPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Enables SPINN-style runtime threshold adaptation.
+    pub fn controller(mut self, cc: ControllerConfig) -> Self {
+        self.cfg.controller = Some(cc);
+        self
+    }
+
+    /// What offloaded instances carry across the wire.
+    pub fn payload(mut self, payload: PayloadPlan) -> Self {
+        self.cfg.payload = payload;
+        self
+    }
+
+    /// The modelled network link.
+    pub fn link(mut self, link: NetworkLink) -> Self {
+        self.cfg.link = Some(link);
+        self
+    }
+
+    /// Which wire the payloads cross (modelled conduit or real pipe).
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.cfg.transport = transport;
+        self
+    }
+
+    /// Scheduled mid-run changes of the modelled wire.
+    pub fn link_schedule(mut self, schedule: Vec<LinkChange>) -> Self {
+        self.cfg.link_schedule = schedule;
+        self
+    }
+
+    /// Heterogeneous device registry (see [`ServeConfig::fleet`]).
+    pub fn fleet(mut self, spec: FleetSpec) -> Self {
+        self.cfg.fleet = Some(spec);
+        self
+    }
+
+    /// Difficulty-aware routing (see [`ServeConfig::difficulty`]).
+    pub fn difficulty(mut self, predictor: DifficultyPredictor) -> Self {
+        self.cfg.difficulty = Some(predictor);
+        self
+    }
+
+    /// Validates every static invariant and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// One [`ServeConfigError`] per violated invariant — the same checks
+    /// [`try_serve`] runs, so a built config cannot fail them later.
+    pub fn build(self) -> Result<ServeConfig, ServeConfigError> {
+        validate_config(&self.cfg)?;
+        Ok(self.cfg)
+    }
+}
+
+/// A [`ServeConfig`] that violates a static invariant — everything
+/// checkable from the configuration alone, before any replica or request
+/// is seen. Returned by [`ServeConfigBuilder::build`] and (wrapped in
+/// [`ServeError::Config`]) by [`try_serve`] / [`Fleet::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeConfigError {
+    /// `edge_workers == 0`: there is nobody to route requests.
+    NoEdgeWorkers,
+    /// `max_batch == 0`: a cloud batch cannot hold zero payloads.
+    ZeroMaxBatch,
+    /// `queue_depth == 0`: bounded queues need capacity.
+    ZeroQueueDepth,
+    /// A [`ServeConfig::link_schedule`] without a [`ServeConfig::link`]
+    /// to change.
+    ScheduleWithoutLink,
+    /// A link schedule combined with the pipe transport (the schedule
+    /// drives the modelled wire only).
+    ScheduleOnPipe,
+    /// A [`ControllerConfig::window`] of zero instances.
+    ControllerWindowEmpty,
+    /// An offloading policy (or a controller, which implies one) with no
+    /// cloud workers to offload to.
+    PolicyNeedsCloud,
+    /// Planned cut selection with no device classes and no fleet spec to
+    /// derive them from.
+    NoPlannerClasses,
+    /// Planned cut selection without a [`ServeConfig::link`] to plan
+    /// against.
+    PlannedCutWithoutLink,
+    /// A [`LinkFeedback::replan_every`] of zero batches.
+    FeedbackNeverReplans,
+    /// Both [`ServeConfig::fleet`] and [`CutPlannerConfig::classes`] list
+    /// device classes — it must be one or the other.
+    FleetClassesConflict,
+}
+
+impl fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeConfigError::NoEdgeWorkers => write!(f, "need at least one edge worker"),
+            ServeConfigError::ZeroMaxBatch => write!(f, "max_batch must be at least 1"),
+            ServeConfigError::ZeroQueueDepth => write!(f, "queues need capacity"),
+            ServeConfigError::ScheduleWithoutLink => {
+                write!(f, "a link schedule needs a link model (ServeConfig::link) to change")
+            }
+            ServeConfigError::ScheduleOnPipe => write!(
+                f,
+                "link_schedule drives the modelled wire; throttle the pipe transport via PipeConfig::throttle"
+            ),
+            ServeConfigError::ControllerWindowEmpty => write!(f, "controller window must be non-empty"),
+            ServeConfigError::PolicyNeedsCloud => {
+                write!(f, "an offloading policy requires a cloud model (no cloud workers configured)")
+            }
+            ServeConfigError::NoPlannerClasses => {
+                write!(f, "planned cut selection needs at least one device class")
+            }
+            ServeConfigError::PlannedCutWithoutLink => {
+                write!(f, "planned cut selection requires a link model (ServeConfig::link)")
+            }
+            ServeConfigError::FeedbackNeverReplans => {
+                write!(f, "feedback must replan after a positive number of batches")
+            }
+            ServeConfigError::FleetClassesConflict => write!(
+                f,
+                "planned cut selection must leave CutPlannerConfig::classes empty when ServeConfig::fleet \
+                 is set (the fleet's effective profiles drive the planner)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
+/// Anything [`try_serve`] / [`Fleet::new`] / [`Fleet::serve`] can reject:
+/// an invalid configuration, replicas that do not match it, or a
+/// malformed request trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The configuration itself violates a static invariant.
+    Config(ServeConfigError),
+    /// `edges.len()` does not match [`ServeConfig::edge_workers`].
+    EdgeReplicaMismatch {
+        /// Configured edge workers.
+        workers: usize,
+        /// Edge replicas supplied.
+        replicas: usize,
+    },
+    /// `clouds.len()` does not match [`ServeConfig::cloud_workers`].
+    CloudReplicaMismatch {
+        /// Configured cloud workers.
+        workers: usize,
+        /// Cloud replicas supplied.
+        replicas: usize,
+    },
+    /// A request with a NaN or infinite arrival time.
+    NonFiniteArrival {
+        /// Index of the offending request in the trace.
+        index: usize,
+        /// Originating device.
+        device: usize,
+        /// Per-device sequence number.
+        seq: usize,
+    },
+    /// Requests not sorted by arrival time.
+    UnsortedArrivals,
+    /// A request with a negative arrival time.
+    NegativeArrival {
+        /// Index of the offending request in the trace.
+        index: usize,
+    },
+    /// A request whose image is not a single-instance `[1, C, H, W]`
+    /// batch.
+    NotSingleInstance {
+        /// Index of the offending request in the trace.
+        index: usize,
+    },
+    /// Feature-payload serving with an edge replica lacking a
+    /// cloud-prefix replica.
+    MissingCloudPrefix {
+        /// The edge worker whose replica has no prefix.
+        worker: usize,
+    },
+    /// A fixed cut outside the cloud network's cut-layer range.
+    FixedCutOutOfRange {
+        /// The configured cut.
+        cut: usize,
+        /// Cut layers the cloud network actually has.
+        cut_layers: usize,
+    },
+    /// Edge cloud-prefix and cloud replicas disagree on the layer
+    /// enumeration.
+    PrefixMismatch {
+        /// Cut layers of the edge-side prefix replica.
+        edge_layers: usize,
+        /// Cut layers of the cloud replica.
+        cloud_layers: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(e) => e.fmt(f),
+            ServeError::EdgeReplicaMismatch { workers, replicas } => {
+                write!(f, "one edge replica per edge worker ({workers} workers, {replicas} replicas)")
+            }
+            ServeError::CloudReplicaMismatch { workers, replicas } => {
+                write!(f, "one cloud replica per cloud worker ({workers} workers, {replicas} replicas)")
+            }
+            ServeError::NonFiniteArrival { index, device, seq } => {
+                write!(f, "non-finite arrival time for request {index} (device {device}, seq {seq})")
+            }
+            ServeError::UnsortedArrivals => write!(f, "requests must be sorted by arrival time"),
+            ServeError::NegativeArrival { index } => {
+                write!(f, "negative arrival time for request {index}")
+            }
+            ServeError::NotSingleInstance { index } => {
+                write!(f, "requests carry single-instance [1, C, H, W] images (request {index} is not)")
+            }
+            ServeError::MissingCloudPrefix { worker } => {
+                write!(f, "feature-payload serving: edge worker {worker} has no cloud prefix")
+            }
+            ServeError::FixedCutOutOfRange { cut, cut_layers } => {
+                write!(f, "fixed cut {cut} out of range (cloud network has {cut_layers} cut layers)")
+            }
+            ServeError::PrefixMismatch { edge_layers, cloud_layers } => write!(
+                f,
+                "edge cloud-prefix and cloud replicas disagree on the layer enumeration \
+                 ({edge_layers} vs {cloud_layers} cut layers)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeConfigError> for ServeError {
+    fn from(e: ServeConfigError) -> Self {
+        ServeError::Config(e)
+    }
+}
+
+/// Checks every invariant knowable from the configuration alone.
+fn validate_config(cfg: &ServeConfig) -> Result<(), ServeConfigError> {
+    if cfg.edge_workers == 0 {
+        return Err(ServeConfigError::NoEdgeWorkers);
+    }
+    if cfg.max_batch == 0 {
+        return Err(ServeConfigError::ZeroMaxBatch);
+    }
+    if cfg.queue_depth == 0 {
+        return Err(ServeConfigError::ZeroQueueDepth);
+    }
+    if !cfg.link_schedule.is_empty() && cfg.link.is_none() {
+        return Err(ServeConfigError::ScheduleWithoutLink);
+    }
+    if matches!(cfg.transport, TransportKind::Pipe(_)) && !cfg.link_schedule.is_empty() {
+        return Err(ServeConfigError::ScheduleOnPipe);
+    }
+    if let Some(cc) = &cfg.controller {
+        if cc.window == 0 {
+            return Err(ServeConfigError::ControllerWindowEmpty);
+        }
+    }
+    // A controller always drives an entropy-threshold policy, which needs
+    // the cloud; otherwise the configured policy decides.
+    let edge_only = cfg.controller.is_none() && cfg.policy.is_edge_only();
+    if cfg.cloud_workers == 0 && !edge_only {
+        return Err(ServeConfigError::PolicyNeedsCloud);
+    }
+    if let PayloadPlan::Features(fc) = &cfg.payload {
+        if let CutSelection::Planned(pc) = &fc.cut {
+            if cfg.fleet.is_some() && !pc.classes.is_empty() {
+                return Err(ServeConfigError::FleetClassesConflict);
+            }
+            if cfg.fleet.is_none() && pc.classes.is_empty() {
+                return Err(ServeConfigError::NoPlannerClasses);
+            }
+            if cfg.link.is_none() {
+                return Err(ServeConfigError::PlannedCutWithoutLink);
+            }
+            if let Some(fb) = &pc.feedback {
+                if fb.replan_every == 0 {
+                    return Err(ServeConfigError::FeedbackNeverReplans);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the configuration plus everything that needs the replicas and
+/// the trace: worker/replica counts, arrival-time sanity, image shapes
+/// and feature-payload prefix consistency.
+fn validate_serve(
+    cfg: &ServeConfig,
+    edges: &[EdgeReplica],
+    clouds: &[SegmentedCnn],
+    requests: &[ServeRequest],
+) -> Result<(), ServeError> {
+    validate_config(cfg)?;
+    if cfg.edge_workers != edges.len() {
+        return Err(ServeError::EdgeReplicaMismatch { workers: cfg.edge_workers, replicas: edges.len() });
+    }
+    if cfg.cloud_workers != clouds.len() {
+        return Err(ServeError::CloudReplicaMismatch { workers: cfg.cloud_workers, replicas: clouds.len() });
+    }
+    // Finiteness first: a NaN arrival would otherwise trip the sortedness
+    // check (NaN fails every comparison) with a misleading message.
+    for (i, r) in requests.iter().enumerate() {
+        if !r.arrival_s.is_finite() {
+            return Err(ServeError::NonFiniteArrival { index: i, device: r.device, seq: r.seq });
+        }
+    }
+    if !requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s) {
+        return Err(ServeError::UnsortedArrivals);
+    }
+    for (i, r) in requests.iter().enumerate() {
+        if r.arrival_s < 0.0 {
+            return Err(ServeError::NegativeArrival { index: i });
+        }
+        if r.image.dims()[0] != 1 {
+            return Err(ServeError::NotSingleInstance { index: i });
+        }
+    }
+    if let PayloadPlan::Features(fc) = &cfg.payload {
+        for (w, e) in edges.iter().enumerate() {
+            if e.cloud_prefix.is_none() {
+                return Err(ServeError::MissingCloudPrefix { worker: w });
+            }
+        }
+        let edge_layers = edges[0].cloud_prefix.as_ref().expect("checked above").cut_layer_count();
+        if let Some(cloud) = clouds.first() {
+            if edge_layers != cloud.cut_layer_count() {
+                return Err(ServeError::PrefixMismatch { edge_layers, cloud_layers: cloud.cut_layer_count() });
+            }
+        }
+        if let CutSelection::Fixed(k) = &fc.cut {
+            if *k >= edge_layers {
+                return Err(ServeError::FixedCutOutOfRange { cut: *k, cut_layers: edge_layers });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// One request to the serving runtime: an image from a device, due at a
@@ -478,6 +933,21 @@ pub struct ServeStats {
     /// The entropy threshold after the last controller window (None
     /// without a controller).
     pub final_threshold: Option<f32>,
+    /// Requests whose main exit was never evaluated because the
+    /// difficulty predictor pre-committed them to the cloud (0 without
+    /// [`ServeConfig::difficulty`]): the main-exit forwards
+    /// difficulty-aware routing saved.
+    pub skipped_main_exits: usize,
+    /// Requests served per fleet device class (Some exactly when
+    /// [`ServeConfig::fleet`] is set; indexed by class).
+    pub per_class_served: Option<Vec<usize>>,
+    /// Requests classified by the cloud per fleet device class (Some
+    /// exactly when [`ServeConfig::fleet`] is set).
+    pub per_class_offload: Option<Vec<usize>>,
+    /// End-to-end latency distribution per fleet device class (Some
+    /// exactly when [`ServeConfig::fleet`] is set; a class entry is None
+    /// until it serves its first request).
+    pub per_class_latency: Option<Vec<Option<Histogram>>>,
 }
 
 /// Everything the serving runtime produces.
@@ -542,6 +1012,11 @@ struct PendingEntry {
 struct CutTable {
     /// None for `CutSelection::Fixed` (the table never changes).
     planner: Option<(CutPlanner, Vec<DeviceProfile>)>,
+    /// The fleet spec the table is indexed by (the configured one, or the
+    /// legacy-compatible implicit spec).
+    spec: FleetSpec,
+    /// Per-class static radio priors (all None without a fleet spec).
+    links: Vec<Option<NetworkLink>>,
     per_class: Vec<usize>,
     replans: u64,
     /// The closed-loop configuration; None plans open-loop.
@@ -554,7 +1029,7 @@ struct CutTable {
 
 impl CutTable {
     fn cut_for(&self, device: usize) -> usize {
-        class_cut(&self.per_class, device)
+        class_cut(&self.per_class, &self.spec, device)
     }
 
     /// Re-derives the per-class cuts under the planner's current β and
@@ -563,8 +1038,8 @@ impl CutTable {
     fn replan(&mut self) {
         let Some((planner, classes)) = &self.planner else { return };
         let costs = match &self.estimator {
-            Some(est) => planner.plan_classes_measured(classes, &est.estimates()),
-            None => planner.plan_classes(classes),
+            Some(est) => planner.plan_classes_measured_with_links(classes, &self.links, &est.estimates()),
+            None => planner.plan_classes_with_links(classes, &self.links),
         };
         let new_cuts: Vec<usize> = costs.iter().map(|c| c.cut).collect();
         if new_cuts != self.per_class {
@@ -574,10 +1049,33 @@ impl CutTable {
     }
 }
 
-/// The single definition of device→class cut lookup (class is
-/// `device % classes`), shared by the locked and lock-free edge paths.
-fn class_cut(per_class: &[usize], device: usize) -> usize {
-    per_class[device % per_class.len()]
+/// The single definition of device→class cut lookup, shared by the
+/// locked and lock-free edge paths. The spec resolves the class (its
+/// explicit assignment, or the legacy `device % classes` convention).
+fn class_cut(per_class: &[usize], spec: &FleetSpec, device: usize) -> usize {
+    per_class[spec.class_of(device)]
+}
+
+/// The fleet spec serving actually runs under: the configured one, or —
+/// for `ServeConfig::fleet: None` — an implicit legacy-compatible spec
+/// (round-robin over the planner's device classes at [`ComputeTier::High`],
+/// which scales nothing, so every lookup reduces to `device % classes`;
+/// one uniform class outside planned-cut mode).
+fn implicit_spec(cfg: &ServeConfig) -> FleetSpec {
+    if let Some(spec) = &cfg.fleet {
+        return spec.clone();
+    }
+    if let PayloadPlan::Features(fc) = &cfg.payload {
+        if let CutSelection::Planned(pc) = &fc.cut {
+            return FleetSpec::round_robin(
+                pc.classes
+                    .iter()
+                    .map(|p| DeviceClass::new(p.name.clone(), p.clone(), ComputeTier::High))
+                    .collect(),
+            );
+        }
+    }
+    FleetSpec::uniform(DeviceClass::new("edge", DeviceProfile::edge_gpu_cifar(), ComputeTier::High))
 }
 
 /// Shared (mutexed) routing policy state: the engine all edge workers
@@ -650,11 +1148,11 @@ impl PolicyState {
     ) {
         let Some(table) = &mut self.cuts else { return };
         let Some(fb) = table.feedback else { return };
+        let spec = &table.spec;
         let Some(est) = &mut table.estimator else { return };
-        let classes = est.class_count();
-        let mut seen = vec![false; classes];
+        let mut seen = vec![false; est.class_count()];
         for &d in devices {
-            let class = d % classes;
+            let class = spec.class_of(d);
             if !seen[class] {
                 seen[class] = true;
                 est.observe(class, up_bytes, up_s, down_bytes, down_s, rtt_s);
@@ -706,8 +1204,14 @@ fn coalesce_frames<U: UplinkReceiver>(
     Some(batch)
 }
 
-/// Derives the initial cut table (and its planner) from the payload plan.
-fn build_cut_table(cfg: &ServeConfig, edges: &[EdgeReplica], requests: &[ServeRequest]) -> Option<CutTable> {
+/// Derives the initial cut table (and its planner) from the payload plan
+/// and the resolved fleet spec.
+fn build_cut_table(
+    cfg: &ServeConfig,
+    edges: &[EdgeReplica],
+    requests: &[ServeRequest],
+    spec: &FleetSpec,
+) -> Option<CutTable> {
     let PayloadPlan::Features(fc) = &cfg.payload else { return None };
     let prefix = edges
         .first()
@@ -719,7 +1223,9 @@ fn build_cut_table(cfg: &ServeConfig, edges: &[EdgeReplica], requests: &[ServeRe
             assert!(*k < cut_layers, "fixed cut {k} out of range (cloud network has {cut_layers} cut layers)");
             Some(CutTable {
                 planner: None,
-                per_class: vec![*k],
+                spec: spec.clone(),
+                links: vec![None; spec.class_count()],
+                per_class: vec![*k; spec.class_count()],
                 replans: 0,
                 feedback: None,
                 estimator: None,
@@ -727,11 +1233,20 @@ fn build_cut_table(cfg: &ServeConfig, edges: &[EdgeReplica], requests: &[ServeRe
             })
         }
         CutSelection::Planned(pc) => {
-            assert!(!pc.classes.is_empty(), "planned cut selection needs at least one device class");
+            // With a fleet the planner's classes are the spec's effective
+            // (tier-scaled) profiles and its per-class radio priors;
+            // without one, the legacy explicit class list plans against
+            // the shared link only.
+            let (classes, links) = if cfg.fleet.is_some() {
+                (spec.effective_profiles(), spec.link_priors())
+            } else {
+                (pc.classes.clone(), vec![None; pc.classes.len()])
+            };
+            assert!(!classes.is_empty(), "planned cut selection needs at least one device class");
             let link = cfg.link.expect("planned cut selection requires a link model (ServeConfig::link)");
             let in_elems: u64 = prefix.in_shape.iter().map(|&d| d as u64).product();
             let env = PartitionEnv {
-                edge: pc.classes[0].clone(),
+                edge: classes[0].clone(),
                 cloud: pc.cloud.clone(),
                 link,
                 bytes_per_elem: fc.wire.bytes_per_elem(),
@@ -749,11 +1264,13 @@ fn build_cut_table(cfg: &ServeConfig, edges: &[EdgeReplica], requests: &[ServeRe
             let estimator = pc.feedback.map(|fb| {
                 assert!(fb.replan_every > 0, "feedback must replan after a positive number of batches");
                 planner.set_prior_samples(fb.prior_samples);
-                LinkEstimator::new(pc.classes.len(), fb.alpha)
+                LinkEstimator::new(classes.len(), fb.alpha)
             });
-            let per_class = planner.plan_classes(&pc.classes).iter().map(|c| c.cut).collect();
+            let per_class = planner.plan_classes_with_links(&classes, &links).iter().map(|c| c.cut).collect();
             Some(CutTable {
-                planner: Some((planner, pc.classes.clone())),
+                planner: Some((planner, classes)),
+                spec: spec.clone(),
+                links,
                 per_class,
                 replans: 0,
                 feedback: pc.feedback,
@@ -774,71 +1291,27 @@ fn build_cut_table(cfg: &ServeConfig, edges: &[EdgeReplica], requests: &[ServeRe
 /// (its prefix runs at the edge). Requests must be sorted by `arrival_s`
 /// (see [`trace_requests`]); the dispatcher paces them in real time.
 ///
-/// # Panics
+/// Prefer [`Fleet`], which owns its replicas and validates once at
+/// construction; `try_serve` is the borrowing form underneath it.
 ///
-/// Panics on inconsistent configuration: worker counts not matching the
-/// replica slices, zero edge workers, `max_batch == 0`, an offloading
-/// policy with no cloud workers, unsorted arrivals, images that are not
-/// single-instance `[1, C, H, W]` batches, a
-/// [`ServeConfig::link_schedule`] without a [`ServeConfig::link`], or a
-/// feature-payload plan whose edge replicas lack cloud prefixes, whose
-/// fixed cut is out of range, or whose planned cut selection has no
-/// device classes or no [`ServeConfig::link`] to plan against.
-pub fn serve(
+/// # Errors
+///
+/// Every inconsistency is rejected up front, before any thread spawns:
+/// [`ServeError::Config`] wraps the static [`ServeConfigError`]s
+/// (zero workers or batch, schedules without links, planner
+/// misconfiguration, fleet/class conflicts), and the remaining variants
+/// cover replica-count mismatches, malformed traces (non-finite,
+/// unsorted or negative arrivals, multi-instance images) and
+/// feature-payload plans whose replicas lack or disagree on cloud
+/// prefixes or whose fixed cut is out of range.
+pub fn try_serve(
     cfg: &ServeConfig,
     edges: &mut [EdgeReplica],
     clouds: &mut [SegmentedCnn],
     requests: &[ServeRequest],
-) -> ServeReport {
-    assert!(cfg.edge_workers > 0, "need at least one edge worker");
-    assert_eq!(cfg.edge_workers, edges.len(), "one edge replica per edge worker");
-    assert_eq!(cfg.cloud_workers, clouds.len(), "one cloud replica per cloud worker");
-    assert!(cfg.max_batch > 0, "max_batch must be at least 1");
-    assert!(cfg.queue_depth > 0, "queues need capacity");
-    assert!(
-        cfg.link_schedule.is_empty() || cfg.link.is_some(),
-        "a link schedule needs a link model (ServeConfig::link) to change"
-    );
-    if matches!(cfg.transport, TransportKind::Pipe(_)) {
-        assert!(
-            cfg.link_schedule.is_empty(),
-            "link_schedule drives the modelled wire; throttle the pipe transport via PipeConfig::throttle"
-        );
-    }
-    // Finiteness first: a NaN arrival would otherwise trip the sortedness
-    // assert below (NaN fails every comparison) with a misleading message.
-    for (i, r) in requests.iter().enumerate() {
-        assert!(
-            r.arrival_s.is_finite(),
-            "non-finite arrival time {} for request {i} (device {}, seq {})",
-            r.arrival_s,
-            r.device,
-            r.seq
-        );
-    }
-    assert!(
-        requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
-        "requests must be sorted by arrival time"
-    );
-    for r in requests {
-        assert!(r.arrival_s >= 0.0, "negative arrival time");
-        assert_eq!(r.image.dims()[0], 1, "requests carry single-instance [1, C, H, W] images");
-    }
-    if matches!(cfg.payload, PayloadPlan::Features(_)) {
-        for (w, e) in edges.iter().enumerate() {
-            assert!(e.cloud_prefix.is_some(), "feature-payload serving: edge worker {w} has no cloud prefix");
-        }
-        if let Some(cloud) = clouds.first() {
-            let prefix = edges[0].cloud_prefix.as_ref().expect("checked above");
-            assert_eq!(
-                prefix.cut_layer_count(),
-                cloud.cut_layer_count(),
-                "edge cloud-prefix and cloud replicas disagree on the layer enumeration"
-            );
-        }
-    }
-
-    match &cfg.transport {
+) -> Result<ServeReport, ServeError> {
+    validate_serve(cfg, edges, clouds, requests)?;
+    Ok(match &cfg.transport {
         TransportKind::Modelled => serve_core(
             cfg,
             edges,
@@ -850,6 +1323,84 @@ pub fn serve(
         TransportKind::Pipe(pc) => {
             serve_core(cfg, edges, clouds, requests, PipeTransport::new(cfg.cloud_workers, pc.clone()), true)
         }
+    })
+}
+
+/// Panic-on-misuse shim over [`try_serve`], kept for source
+/// compatibility.
+///
+/// # Panics
+///
+/// Panics with the [`ServeError`]'s message on any configuration,
+/// replica or trace inconsistency — exactly the conditions [`try_serve`]
+/// returns as `Err`.
+#[deprecated(note = "panics on misuse; use Fleet::serve, or try_serve and handle the ServeError")]
+pub fn serve(
+    cfg: &ServeConfig,
+    edges: &mut [EdgeReplica],
+    clouds: &mut [SegmentedCnn],
+    requests: &[ServeRequest],
+) -> ServeReport {
+    try_serve(cfg, edges, clouds, requests).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// A serving deployment behind one validated entry point: the
+/// configuration plus the edge/cloud replicas it owns.
+///
+/// [`Fleet::new`] runs every request-independent check once —
+/// configuration invariants *and* replica consistency (counts, cloud
+/// prefixes, layer enumeration, cut range) — so a `Fleet` in hand is
+/// known-servable and [`Fleet::serve`] can only fail on a malformed
+/// trace. This replaces the panic-on-misuse free [`serve`] convention:
+/// misconfiguration is a value ([`ServeError`]), not a crash.
+#[derive(Debug)]
+pub struct Fleet {
+    config: ServeConfig,
+    edges: Vec<EdgeReplica>,
+    clouds: Vec<SegmentedCnn>,
+}
+
+impl Fleet {
+    /// Validates the configuration against the replicas and bundles them.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`try_serve`] rejects except trace errors: wrapped
+    /// [`ServeConfigError`]s, replica-count mismatches, and
+    /// feature-payload prefix/cut inconsistencies.
+    pub fn new(
+        config: ServeConfig,
+        edges: Vec<EdgeReplica>,
+        clouds: Vec<SegmentedCnn>,
+    ) -> Result<Fleet, ServeError> {
+        validate_serve(&config, &edges, &clouds, &[])?;
+        Ok(Fleet { config, edges, clouds })
+    }
+
+    /// Serves a request trace to completion (see [`try_serve`]).
+    ///
+    /// # Errors
+    ///
+    /// Only trace errors remain possible after [`Fleet::new`]: non-finite,
+    /// unsorted or negative arrival times, or multi-instance images.
+    pub fn serve(&mut self, requests: &[ServeRequest]) -> Result<ServeReport, ServeError> {
+        try_serve(&self.config, &mut self.edges, &mut self.clouds, requests)
+    }
+
+    /// The validated configuration this fleet serves under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The heterogeneous device registry, if one is configured.
+    pub fn spec(&self) -> Option<&FleetSpec> {
+        self.config.fleet.as_ref()
+    }
+
+    /// Releases the configuration and replicas (e.g. to retrain the
+    /// models or rebuild with a different configuration).
+    pub fn into_parts(self) -> (ServeConfig, Vec<EdgeReplica>, Vec<SegmentedCnn>) {
+        (self.config, self.edges, self.clouds)
     }
 }
 
@@ -894,9 +1445,11 @@ fn serve_core<T: Transport>(
 ) -> ServeReport {
     let n = requests.len();
     let cloud_available = cfg.cloud_workers > 0;
-    let cut_table = build_cut_table(cfg, edges, requests);
+    let spec = implicit_spec(cfg);
+    let cut_table = build_cut_table(cfg, edges, requests, &spec);
     let policy_state = Mutex::new(PolicyState::new(cfg, cloud_available, cut_table));
     let cloud_counters = Mutex::new(CloudCounters::default());
+    let skipped_main_exits = AtomicUsize::new(0);
     // Suffix MACs per resume layer (suffix_macs[k] = MACs of layers
     // [k, L)): what the cloud pays per instance resumed at k, and the
     // basis of the recompute-saved accounting.
@@ -966,21 +1519,28 @@ fn serve_core<T: Transport>(
             let dtx = done_tx.clone();
             let shared = &policy_state;
             let pending_ref = &pending;
-            edge_handles
-                .push(scope.spawn(move |_| edge_worker(cfg, replica, rx, transport, pending_ref, dtx, shared)));
+            let spec_ref = &spec;
+            let skipped = &skipped_main_exits;
+            edge_handles.push(scope.spawn(move |_| {
+                edge_worker(cfg, spec_ref, replica, rx, transport, pending_ref, dtx, shared, skipped)
+            }));
         }
         drop(done_tx);
 
-        // Dispatch: pace the trace in real time, device-sticky routing. A
-        // dead edge worker (closed queue) stops dispatch; the joins below
-        // surface its panic.
+        // Dispatch: pace the trace in real time, device-sticky routing
+        // through the spec's canonical mapping. A dead edge worker
+        // (closed queue) stops dispatch; the joins below surface its
+        // panic.
         for (req_id, req) in requests.iter().enumerate() {
             let due = t0 + Duration::from_secs_f64(req.arrival_s);
             let now = Instant::now();
             if due > now {
                 std::thread::sleep(due - now);
             }
-            if edge_txs[req.device % cfg.edge_workers].send(EdgeJob { req_id, req, due }).is_err() {
+            if edge_txs[spec.sticky_index(req.device, cfg.edge_workers)]
+                .send(EdgeJob { req_id, req, due })
+                .is_err()
+            {
                 break;
             }
         }
@@ -1038,6 +1598,29 @@ fn serve_core<T: Transport>(
         let cuts = st.cuts.map(|t| t.per_class);
         (st.controller.map(|c| c.threshold()), replans, cuts, estimates)
     };
+    // Per-class breakdowns only when a fleet is explicitly configured:
+    // the implicit legacy spec would report a single meaningless class.
+    let per_class = cfg.fleet.as_ref().map(|fleet| {
+        let k = fleet.class_count();
+        let mut served = vec![0usize; k];
+        let mut offload = vec![0usize; k];
+        let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); k];
+        for c in &completions {
+            let class = fleet.class_of(c.device);
+            served[class] += 1;
+            offload[class] += usize::from(c.record.exit == ExitPoint::Cloud);
+            latencies[class].push(c.latency_s);
+        }
+        let hists: Vec<Option<Histogram>> = latencies
+            .iter()
+            .map(|v| if v.is_empty() { None } else { Some(Histogram::of_nonnegative(v, 64)) })
+            .collect();
+        (served, offload, hists)
+    });
+    let (per_class_served, per_class_offload, per_class_latency) = match per_class {
+        Some((s, o, h)) => (Some(s), Some(o), Some(h)),
+        None => (None, None, None),
+    };
     let stats = ServeStats {
         total: n,
         offloaded,
@@ -1054,8 +1637,58 @@ fn serve_core<T: Transport>(
         final_cuts,
         link_estimates,
         final_threshold,
+        skipped_main_exits: skipped_main_exits.into_inner(),
+        per_class_served,
+        per_class_offload,
+        per_class_latency,
     };
     ServeReport { records, completions, stats }
+}
+
+/// Ships one request to the cloud tier: encodes the payload (image, or
+/// the cut-layer activation of the local cloud-prefix replica), parks the
+/// pending record, and puts the frame on the device's sticky lane.
+/// Returns `false` when the cloud tier is gone (uplink dropped) — the
+/// caller stops quietly and the join in `serve_core` surfaces whatever
+/// panic killed it.
+#[allow(clippy::too_many_arguments)]
+fn offload_to_cloud<T: Transport>(
+    cfg: &ServeConfig,
+    spec: &FleetSpec,
+    cloud_prefix: &mut Option<SegmentedCnn>,
+    job: &EdgeJob<'_>,
+    cut: Option<usize>,
+    parked: PendingCloud,
+    transport: &T,
+    pending: &Mutex<Vec<Option<PendingEntry>>>,
+) -> bool {
+    let req = job.req;
+    let (payload, resume) = match &cfg.payload {
+        PayloadPlan::Image(WireFormat::Float32) => (Payload::Features { features: req.image.clone() }, 0),
+        PayloadPlan::Image(WireFormat::Quantised8Bit) => (Payload::RawImage { image: req.image.clone() }, 0),
+        PayloadPlan::Features(fc) => {
+            let cut = cut.expect("feature mode builds a cut table");
+            let prefix = cloud_prefix.as_mut().expect("validated in try_serve()");
+            let activation = prefix.forward_prefix(&req.image, cut, Mode::Eval);
+            let payload = match fc.wire {
+                FeatureWire::F32 => Payload::Features { features: activation },
+                FeatureWire::Int8 => Payload::quantize_features(&activation),
+            };
+            (payload, cut)
+        }
+    };
+    let frame = RequestFrame {
+        req_id: job.req_id as u64,
+        device: req.device as u32,
+        seq: req.seq as u64,
+        resume_layer: resume as u32,
+        payload: payload.encode(),
+    };
+    // Park the pending record BEFORE the frame leaves: the response can
+    // race back on another thread.
+    pending.lock()[job.req_id] =
+        Some(PendingEntry { pending: parked.resume_at(resume), device: req.device, seq: req.seq, due: job.due });
+    transport.send_request(spec.sticky_index(req.device, transport.lanes()), frame).is_ok()
 }
 
 /// Edge worker loop: route each request through the shared engine,
@@ -1063,14 +1696,23 @@ fn serve_core<T: Transport>(
 /// [`RequestFrame`]s up the sticky transport lane — as images, or as
 /// cut-layer activations of the local cloud-prefix replica in
 /// feature-payload mode.
+///
+/// With a [`DifficultyPredictor`] configured the engine is consulted
+/// difficulty-first: predicted-hard inputs pre-commit to the cloud
+/// without evaluating the main exit (counted in `skipped`), and
+/// predicted-easy inputs settle locally without the offload policy ever
+/// seeing them.
+#[allow(clippy::too_many_arguments)]
 fn edge_worker<T: Transport>(
     cfg: &ServeConfig,
+    spec: &FleetSpec,
     replica: &mut EdgeReplica,
     rx: Receiver<EdgeJob<'_>>,
     transport: &T,
     pending: &Mutex<Vec<Option<PendingEntry>>>,
     done_tx: Sender<Completion>,
     shared: &Mutex<PolicyState>,
+    skipped: &AtomicUsize,
 ) {
     let EdgeReplica { net, cloud_prefix } = replica;
     // Without a controller or measured-link feedback neither the policy
@@ -1088,59 +1730,55 @@ fn edge_worker<T: Transport>(
     };
     while let Ok(job) = rx.recv() {
         let req = job.req;
+        let difficulty = cfg.difficulty.as_ref().map(|p| (p, p.predict(&req.image)));
+        // Pre-commit: a predicted-hard input ships to the cloud without
+        // the main exit ever running. The parked record carries the
+        // predictor's entropy estimate and the PRECOMMITTED sentinel
+        // instead of main-exit values.
+        if let Some((predictor, Difficulty::Hard)) = difficulty {
+            let wants = match &static_engine {
+                Some(engine) => engine.wants_precommit(Difficulty::Hard),
+                None => shared.lock().engine.wants_precommit(Difficulty::Hard),
+            };
+            if wants {
+                let cut = match &static_engine {
+                    Some(_) => static_cuts.as_ref().map(|cuts| class_cut(cuts, spec, req.device)),
+                    None => {
+                        let mut st = shared.lock();
+                        st.observe(true);
+                        st.cuts.as_ref().map(|t| t.cut_for(req.device))
+                    }
+                };
+                skipped.fetch_add(1, Ordering::Relaxed);
+                let parked = PendingCloud::precommit(req.truth, predictor.predict_entropy(&req.image));
+                if !offload_to_cloud(cfg, spec, cloud_prefix, &job, cut, parked, transport, pending) {
+                    return;
+                }
+                continue;
+            }
+        }
         let main = RoutingEngine::evaluate_main(net, &req.image);
+        // A predicted-easy input settles locally: the plan picks main or
+        // extension exit, never the cloud.
+        let local_only = matches!(difficulty, Some((_, Difficulty::Easy)));
         let (route, cut) = match &static_engine {
             Some(engine) => {
-                let route = engine.plan(net, &main).routes[0];
-                let cut = static_cuts.as_ref().map(|cuts| class_cut(cuts, req.device));
-                (route, cut)
+                let plan = if local_only { engine.plan_local(net, &main) } else { engine.plan(net, &main) };
+                let cut = static_cuts.as_ref().map(|cuts| class_cut(cuts, spec, req.device));
+                (plan.routes[0], cut)
             }
             None => {
                 let mut st = shared.lock();
-                let route = st.engine.plan(net, &main).routes[0];
+                let plan = if local_only { st.engine.plan_local(net, &main) } else { st.engine.plan(net, &main) };
+                let route = plan.routes[0];
                 st.observe(route == ExitPoint::Cloud);
                 (route, st.cuts.as_ref().map(|t| t.cut_for(req.device)))
             }
         };
         match route {
             ExitPoint::Cloud => {
-                let (payload, resume) = match &cfg.payload {
-                    PayloadPlan::Image(WireFormat::Float32) => {
-                        (Payload::Features { features: req.image.clone() }, 0)
-                    }
-                    PayloadPlan::Image(WireFormat::Quantised8Bit) => {
-                        (Payload::RawImage { image: req.image.clone() }, 0)
-                    }
-                    PayloadPlan::Features(fc) => {
-                        let cut = cut.expect("feature mode builds a cut table");
-                        let prefix = cloud_prefix.as_mut().expect("validated in serve()");
-                        let activation = prefix.forward_prefix(&req.image, cut, Mode::Eval);
-                        let payload = match fc.wire {
-                            FeatureWire::F32 => Payload::Features { features: activation },
-                            FeatureWire::Int8 => Payload::quantize_features(&activation),
-                        };
-                        (payload, cut)
-                    }
-                };
-                let frame = RequestFrame {
-                    req_id: job.req_id as u64,
-                    device: req.device as u32,
-                    seq: req.seq as u64,
-                    resume_layer: resume as u32,
-                    payload: payload.encode(),
-                };
-                // Park the pending record BEFORE the frame leaves: the
-                // response can race back on another thread.
-                pending.lock()[job.req_id] = Some(PendingEntry {
-                    pending: PendingCloud::from_main(net, &main, 0, req.truth).resume_at(resume),
-                    device: req.device,
-                    seq: req.seq,
-                    due: job.due,
-                });
-                if transport.send_request(req.device % transport.lanes(), frame).is_err() {
-                    // The cloud tier is gone (a worker panicked and its
-                    // uplink dropped): stop quietly — the join in
-                    // serve_core surfaces the original panic.
+                let parked = PendingCloud::from_main(net, &main, 0, req.truth);
+                if !offload_to_cloud(cfg, spec, cloud_prefix, &job, cut, parked, transport, pending) {
                     return;
                 }
             }
@@ -1440,6 +2078,10 @@ fn pipeline_core<T: Transport>(
 }
 
 #[cfg(test)]
+// The deprecated free `serve` stays under test deliberately: it is the
+// compatibility shim whose behaviour (including every panic message)
+// must keep matching `try_serve`.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::transport::{PaceChange, PipeConfig};
@@ -2185,5 +2827,384 @@ mod tests {
         // Lossless wire: the cut stays a pure cost knob even when the
         // schedule is driven by measured time.
         assert_eq!(throttled.records, steady.records, "replanning leaked into predictions");
+    }
+
+    /// A planned-cut feature payload over the given classes (no feedback).
+    fn planned_payload(classes: Vec<DeviceProfile>) -> PayloadPlan {
+        PayloadPlan::Features(FeatureConfig {
+            wire: FeatureWire::F32,
+            cut: CutSelection::Planned(CutPlannerConfig {
+                classes,
+                cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                objective: Objective::Latency,
+                feedback: None,
+            }),
+        })
+    }
+
+    #[test]
+    fn builder_rejects_each_static_invariant_by_name() {
+        let b = || ServeConfig::builder(OffloadPolicy::Always);
+        let edge = DeviceProfile::new("edge", 10.0, 1e9);
+        assert_eq!(b().edge_workers(0).build(), Err(ServeConfigError::NoEdgeWorkers));
+        assert_eq!(b().max_batch(0).build(), Err(ServeConfigError::ZeroMaxBatch));
+        assert_eq!(b().queue_depth(0).build(), Err(ServeConfigError::ZeroQueueDepth));
+        let schedule = vec![LinkChange { after_batches: 1, link: NetworkLink::wifi(1.0) }];
+        assert_eq!(b().link_schedule(schedule.clone()).build(), Err(ServeConfigError::ScheduleWithoutLink));
+        assert_eq!(
+            b().link(NetworkLink::wifi(1.0))
+                .link_schedule(schedule)
+                .transport(TransportKind::Pipe(PipeConfig::default()))
+                .build(),
+            Err(ServeConfigError::ScheduleOnPipe)
+        );
+        let controller =
+            ControllerConfig { controller: ThresholdController::new(1.0, 0.5, 2.0, (0.0, 3.0)), window: 0 };
+        assert_eq!(b().controller(controller).build(), Err(ServeConfigError::ControllerWindowEmpty));
+        assert_eq!(b().cloud_workers(0).build(), Err(ServeConfigError::PolicyNeedsCloud));
+        // An edge-only policy without cloud workers stays legal.
+        assert!(ServeConfig::builder(OffloadPolicy::Never).cloud_workers(0).build().is_ok());
+        assert_eq!(
+            b().payload(planned_payload(Vec::new())).link(NetworkLink::wifi(1.0)).build(),
+            Err(ServeConfigError::NoPlannerClasses)
+        );
+        assert_eq!(
+            b().payload(planned_payload(vec![edge.clone()])).build(),
+            Err(ServeConfigError::PlannedCutWithoutLink)
+        );
+        let feedback = Some(LinkFeedback { replan_every: 0, ..LinkFeedback::default() });
+        let never_replans = PayloadPlan::Features(FeatureConfig {
+            wire: FeatureWire::F32,
+            cut: CutSelection::Planned(CutPlannerConfig {
+                classes: vec![edge.clone()],
+                cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                objective: Objective::Latency,
+                feedback,
+            }),
+        });
+        assert_eq!(
+            b().payload(never_replans).link(NetworkLink::wifi(1.0)).build(),
+            Err(ServeConfigError::FeedbackNeverReplans)
+        );
+        let spec = FleetSpec::uniform(DeviceClass::new("edge", edge.clone(), ComputeTier::High));
+        assert_eq!(
+            b().payload(planned_payload(vec![edge])).link(NetworkLink::wifi(1.0)).fleet(spec).build(),
+            Err(ServeConfigError::FleetClassesConflict)
+        );
+        // And a fully specified valid configuration builds.
+        let cfg = b().edge_workers(2).cloud_workers(1).max_batch(4).build().expect("valid config");
+        assert_eq!((cfg.edge_workers, cfg.cloud_workers, cfg.max_batch), (2, 1, 4));
+    }
+
+    #[test]
+    fn config_errors_keep_the_legacy_panic_wording() {
+        // The deprecated `serve` shim panics with `{error}`; every
+        // `#[should_panic(expected = ...)]` substring that guarded the old
+        // asserts must therefore survive in the Display impls.
+        for (error, legacy) in [
+            (ServeConfigError::PolicyNeedsCloud, "requires a cloud model"),
+            (ServeConfigError::ScheduleWithoutLink, "link schedule needs a link"),
+            (ServeConfigError::NoEdgeWorkers, "need at least one edge worker"),
+        ] {
+            assert!(error.to_string().contains(legacy), "{error:?} lost its wording: {error}");
+        }
+        for (error, legacy) in [
+            (ServeError::UnsortedArrivals, "sorted by arrival"),
+            (ServeError::NonFiniteArrival { index: 0, device: 0, seq: 0 }, "non-finite arrival time"),
+            (ServeError::MissingCloudPrefix { worker: 0 }, "no cloud prefix"),
+            (ServeError::FixedCutOutOfRange { cut: 9, cut_layers: 9 }, "out of range"),
+        ] {
+            assert!(error.to_string().contains(legacy), "{error:?} lost its wording: {error}");
+        }
+        // Config errors surface their source through the ServeError chain.
+        let wrapped = ServeError::from(ServeConfigError::NoEdgeWorkers);
+        assert_eq!(wrapped, ServeError::Config(ServeConfigError::NoEdgeWorkers));
+        assert!(std::error::Error::source(&wrapped).is_some());
+    }
+
+    /// A deeper cloud variant (two blocks per stage): same input shape as
+    /// [`tiny_cloud`], different layer enumeration.
+    fn deeper_cloud(seed: u64) -> SegmentedCnn {
+        let mut rng = Rng::new(seed);
+        let mut cfg = CifarResNetConfig::repro_scale(6);
+        cfg.input_hw = 8;
+        cfg.channels = [16, 24, 32];
+        cfg.blocks_per_stage = 2;
+        resnet_cifar(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn try_serve_names_every_runtime_inconsistency() {
+        let bundle = presets::tiny(150);
+        let reqs = instant_requests(&bundle.test, 1);
+        let mut edges = edge_replicas(1, 50);
+        let mut clouds = replicas(1, || tiny_cloud(51));
+
+        let two_workers = ServeConfig::new(OffloadPolicy::Never, 2, 0, 1);
+        assert_eq!(
+            try_serve(&two_workers, &mut edges, &mut [], &reqs).unwrap_err(),
+            ServeError::EdgeReplicaMismatch { workers: 2, replicas: 1 }
+        );
+        let no_cloud = ServeConfig::new(OffloadPolicy::Never, 1, 0, 1);
+        assert_eq!(
+            try_serve(&no_cloud, &mut edges, &mut clouds, &reqs).unwrap_err(),
+            ServeError::CloudReplicaMismatch { workers: 0, replicas: 1 }
+        );
+
+        let cfg = ServeConfig::new(OffloadPolicy::Never, 1, 0, 1);
+        let mut unsorted = reqs.clone();
+        unsorted[0].arrival_s = 1.0;
+        assert_eq!(try_serve(&cfg, &mut edges, &mut [], &unsorted).unwrap_err(), ServeError::UnsortedArrivals);
+        // Finiteness is named before sortedness: a NaN fails every
+        // comparison, so it must not masquerade as "unsorted".
+        let mut nan = reqs.clone();
+        nan[2].arrival_s = f64::NAN;
+        assert!(matches!(
+            try_serve(&cfg, &mut edges, &mut [], &nan),
+            Err(ServeError::NonFiniteArrival { index: 2, .. })
+        ));
+        let mut negative = reqs.clone();
+        negative[0].arrival_s = -1.0;
+        assert_eq!(
+            try_serve(&cfg, &mut edges, &mut [], &negative).unwrap_err(),
+            ServeError::NegativeArrival { index: 0 }
+        );
+        let mut batched = reqs.clone();
+        batched[1].image = Tensor::zeros([2, 3, 8, 8]);
+        assert_eq!(
+            try_serve(&cfg, &mut edges, &mut [], &batched).unwrap_err(),
+            ServeError::NotSingleInstance { index: 1 }
+        );
+
+        // Feature-payload inconsistencies.
+        let mut features = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+        features.payload = feature_plan(FeatureWire::F32, 1);
+        assert_eq!(
+            try_serve(&features, &mut edges, &mut clouds, &reqs).unwrap_err(),
+            ServeError::MissingCloudPrefix { worker: 0 }
+        );
+        let mut split = split_replicas(1, 52, 53);
+        let layers = tiny_cloud(53).cut_layer_count();
+        let mut out_of_range = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+        out_of_range.payload = feature_plan(FeatureWire::F32, layers);
+        let mut clouds53 = replicas(1, || tiny_cloud(53));
+        assert_eq!(
+            try_serve(&out_of_range, &mut split, &mut clouds53, &reqs).unwrap_err(),
+            ServeError::FixedCutOutOfRange { cut: layers, cut_layers: layers }
+        );
+        let mut deeper = replicas(1, || deeper_cloud(53));
+        let mut fixed0 = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+        fixed0.payload = feature_plan(FeatureWire::F32, 0);
+        assert_eq!(
+            try_serve(&fixed0, &mut split, &mut deeper, &reqs).unwrap_err(),
+            ServeError::PrefixMismatch { edge_layers: layers, cloud_layers: deeper_cloud(53).cut_layer_count() }
+        );
+        // A config error reaches try_serve callers wrapped.
+        let zero_batch = ServeConfig::new(OffloadPolicy::Never, 1, 0, 0);
+        assert_eq!(
+            try_serve(&zero_batch, &mut edges, &mut [], &reqs).unwrap_err(),
+            ServeError::Config(ServeConfigError::ZeroMaxBatch)
+        );
+    }
+
+    #[test]
+    fn fleet_serve_matches_the_free_function_bitwise() {
+        let bundle = presets::tiny(151);
+        let cfg = ServeConfig::builder(OffloadPolicy::EntropyThreshold(0.8))
+            .edge_workers(2)
+            .cloud_workers(1)
+            .max_batch(4)
+            .build()
+            .expect("valid config");
+        let reqs = instant_requests(&bundle.test, 3);
+        let mut edges = edge_replicas(2, 54);
+        let mut clouds = replicas(1, || tiny_cloud(55));
+        let expected = try_serve(&cfg, &mut edges, &mut clouds, &reqs).expect("serves");
+
+        let mut fleet = Fleet::new(cfg, edge_replicas(2, 54), replicas(1, || tiny_cloud(55))).expect("consistent");
+        assert!(fleet.spec().is_none(), "no registry configured");
+        let report = fleet.serve(&reqs).expect("serves");
+        assert_eq!(report.records, expected.records);
+        assert_eq!(report.stats.offloaded, expected.stats.offloaded);
+        // The parts come back out for rebuilding.
+        let (cfg, edges, clouds) = fleet.into_parts();
+        assert_eq!((edges.len(), clouds.len()), (cfg.edge_workers, cfg.cloud_workers));
+    }
+
+    #[test]
+    fn fleet_new_rejects_mismatched_replicas_up_front() {
+        let cfg = ServeConfig::new(OffloadPolicy::Never, 2, 0, 1);
+        let err = Fleet::new(cfg, edge_replicas(1, 56), Vec::new()).expect_err("one replica short");
+        assert_eq!(err, ServeError::EdgeReplicaMismatch { workers: 2, replicas: 1 });
+        assert!(err.to_string().contains("one edge replica per edge worker"));
+    }
+
+    #[test]
+    fn uniform_high_tier_fleet_matches_the_legacy_planner_path_bitwise() {
+        // Backward compatibility of the registry: a single High-tier class
+        // (scale factor 1.0, no link prior) must reproduce the legacy
+        // `CutPlannerConfig::classes` path bit for bit — same cuts, same
+        // records — because `scaled_throughput(1.0)` preserves the profile
+        // and an absent prior falls back to the shared link model.
+        let bundle = presets::tiny(152);
+        let edge = DeviceProfile::new("edge", 10.0, 5e8);
+        let link = NetworkLink::wifi(1.0).with_rtt(0.001);
+        let run = |classes: Vec<DeviceProfile>, fleet: Option<FleetSpec>| {
+            let mut edges = split_replicas(2, 58, 59);
+            let mut clouds = replicas(1, || tiny_cloud(59));
+            let mut cfg = ServeConfig::new(OffloadPolicy::Always, 2, 1, 4);
+            cfg.payload = planned_payload(classes);
+            cfg.link = Some(link);
+            cfg.fleet = fleet;
+            try_serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2)).expect("serves")
+        };
+        let legacy = run(vec![edge.clone()], None);
+        let spec = FleetSpec::uniform(DeviceClass::new("edge", edge, ComputeTier::High));
+        let fleet = run(Vec::new(), Some(spec));
+        assert_eq!(fleet.records, legacy.records);
+        assert_eq!(fleet.stats.final_cuts, legacy.stats.final_cuts);
+        assert_eq!(fleet.stats.bytes_to_cloud, legacy.stats.bytes_to_cloud);
+        // Only the registry path reports per-class breakdowns.
+        assert!(legacy.stats.per_class_served.is_none());
+        let served = fleet.stats.per_class_served.expect("fleet stats");
+        assert_eq!(served, vec![fleet.stats.total]);
+    }
+
+    #[test]
+    fn heterogeneous_tiers_plan_per_class_cuts_from_effective_profiles() {
+        // The heart of the heterogeneity tentpole: two classes sharing one
+        // hardware profile but different compute tiers must plan different
+        // cuts once a link rate separates their effective throughputs —
+        // and the planned cuts must equal what an offline planner derives
+        // from the tier-scaled profiles.
+        let bundle = presets::tiny(153);
+        let base = DeviceProfile::new("edge", 10.0, 5e8);
+        let high = DeviceClass::new("high", base.clone(), ComputeTier::High);
+        let low = DeviceClass::new("low", base, ComputeTier::Low);
+        let (hp, lp) = (high.effective_profile(), low.effective_profile());
+        let rate = (0..60)
+            .map(|i| 0.05 * 1.3f64.powi(i))
+            .find(|&r| {
+                let planner = planner_like_serve(61, NetworkLink::wifi(r).with_rtt(0.001), &hp, 2);
+                planner.plan_for(&hp).cut != planner.plan_for(&lp).cut
+            })
+            .expect("some rate separates the High and Low tiers");
+        let link = NetworkLink::wifi(rate).with_rtt(0.001);
+        let planner = planner_like_serve(61, link, &hp, 2);
+        let expected = vec![planner.plan_for(&hp).cut, planner.plan_for(&lp).cut];
+
+        let mut edges = split_replicas(2, 60, 61);
+        let mut clouds = replicas(1, || tiny_cloud(61));
+        let cfg = ServeConfig::builder(OffloadPolicy::Always)
+            .edge_workers(2)
+            .cloud_workers(1)
+            .max_batch(4)
+            .payload(planned_payload(Vec::new()))
+            .link(link)
+            .fleet(FleetSpec::round_robin(vec![high, low]))
+            .build()
+            .expect("valid config");
+        let report = try_serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2)).expect("serves");
+        assert_eq!(report.stats.final_cuts, Some(expected.clone()));
+        assert_ne!(expected[0], expected[1], "tiers must plan different cuts");
+
+        // Round-robin assignment: devices {0, 1} split across the classes,
+        // and the per-class breakdown partitions the totals.
+        let served = report.stats.per_class_served.clone().expect("fleet stats");
+        let offload = report.stats.per_class_offload.clone().expect("fleet stats");
+        assert_eq!(served.iter().sum::<usize>(), report.stats.total);
+        assert_eq!(offload.iter().sum::<usize>(), report.stats.offloaded);
+        assert!(served.iter().all(|&s| s > 0), "both classes serve traffic: {served:?}");
+        let latency = report.stats.per_class_latency.expect("fleet stats");
+        assert!(latency.iter().all(Option::is_some), "both classes record latencies");
+    }
+
+    #[test]
+    fn explicit_assignment_overrides_the_modulo_convention() {
+        // `FleetSpec::assign` must beat `device % classes`: pin both
+        // devices to class 1 and the class-0 row of every per-class stat
+        // stays empty.
+        let bundle = presets::tiny(154);
+        let base = DeviceProfile::new("edge", 10.0, 1e9);
+        let spec = FleetSpec::round_robin(vec![
+            DeviceClass::new("a", base.clone(), ComputeTier::High),
+            DeviceClass::new("b", base, ComputeTier::Medium),
+        ])
+        .assign(0, 1)
+        .assign(1, 1);
+        let cfg = ServeConfig::builder(OffloadPolicy::Always)
+            .edge_workers(2)
+            .cloud_workers(1)
+            .max_batch(4)
+            .fleet(spec)
+            .build()
+            .expect("valid config");
+        let mut edges = edge_replicas(2, 62);
+        let mut clouds = replicas(1, || tiny_cloud(63));
+        let report = try_serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2)).expect("serves");
+        let served = report.stats.per_class_served.expect("fleet stats");
+        assert_eq!(served[0], 0, "every device is pinned to class b");
+        assert_eq!(served[1], report.stats.total);
+        assert_eq!(report.stats.per_class_latency.expect("fleet stats")[0], None, "empty class has no histogram");
+    }
+
+    #[test]
+    fn difficulty_routing_skips_main_exits_and_settles_easy_locally() {
+        // Algorithm-2 short-circuits: predicted-hard requests pre-commit
+        // to the cloud WITHOUT running the main exit (the saved forwards
+        // are counted), predicted-easy requests refuse the offload leg
+        // entirely, and ambiguous requests take the unchanged route.
+        let bundle = presets::tiny(155);
+        let mut calibration = tiny_net(64);
+        let predictor = DifficultyPredictor::calibrate(&mut calibration, &bundle.train.images, 8);
+        let reqs = instant_requests(&bundle.test, 2);
+        let verdicts: Vec<Difficulty> = reqs.iter().map(|r| predictor.predict(&r.image)).collect();
+        let hard = verdicts.iter().filter(|&&d| d == Difficulty::Hard).count();
+        let easy = verdicts.iter().filter(|&&d| d == Difficulty::Easy).count();
+        assert!(hard > 0 && easy > 0, "calibration must spread the trace across bands: {verdicts:?}");
+
+        let run = |difficulty: Option<DifficultyPredictor>| {
+            let mut edges = edge_replicas(2, 64);
+            let mut clouds = replicas(1, || tiny_cloud(65));
+            let mut cfg = ServeConfig::new(OffloadPolicy::EntropyThreshold(0.8), 2, 1, 4);
+            cfg.difficulty = difficulty;
+            try_serve(&cfg, &mut edges, &mut clouds, &reqs).expect("serves")
+        };
+        let plain = run(None);
+        let routed = run(Some(predictor.clone()));
+
+        assert_eq!(plain.stats.skipped_main_exits, 0, "no predictor, no skips");
+        assert_eq!(routed.stats.total, plain.stats.total, "routing must not drop requests");
+        // Every predicted-hard request skipped its main-exit forward …
+        assert_eq!(routed.stats.skipped_main_exits, hard);
+        // … and is recognisable in the records by the sentinel.
+        let precommitted =
+            routed.records.iter().filter(|r| r.main_prediction == PendingCloud::PRECOMMITTED).count();
+        assert_eq!(precommitted, hard);
+        for (verdict, record) in verdicts.iter().zip(&routed.records) {
+            match verdict {
+                Difficulty::Hard => assert_eq!(record.exit, ExitPoint::Cloud, "hard pre-commits to the cloud"),
+                Difficulty::Easy => assert_ne!(record.exit, ExitPoint::Cloud, "easy settles on the edge"),
+                Difficulty::Ambiguous => {}
+            }
+        }
+    }
+
+    #[test]
+    fn difficulty_respects_an_edge_only_policy() {
+        // `wants_precommit` defers to the policy: with no cloud at all a
+        // predicted-hard request must still run the normal local route
+        // (there is nowhere to pre-commit to).
+        let bundle = presets::tiny(156);
+        let mut calibration = tiny_net(66);
+        let predictor = DifficultyPredictor::calibrate(&mut calibration, &bundle.train.images, 8);
+        let mut edges = edge_replicas(1, 66);
+        let mut cfg = ServeConfig::new(OffloadPolicy::Never, 1, 0, 1);
+        cfg.difficulty = Some(predictor);
+        let report = try_serve(&cfg, &mut edges, &mut [], &instant_requests(&bundle.test, 1)).expect("serves");
+        assert_eq!(report.stats.offloaded, 0);
+        assert_eq!(report.stats.skipped_main_exits, 0, "edge-only serving never pre-commits");
+        assert_eq!(report.stats.total, bundle.test.len());
+        assert!(report.records.iter().all(|r| r.exit != ExitPoint::Cloud));
     }
 }

@@ -5,18 +5,19 @@
 
 use mea_data::{presets, ClassDict};
 use mea_edgecloud::device::DeviceProfile;
+use mea_edgecloud::fleet::{ComputeTier, DeviceClass, FleetSpec};
 use mea_edgecloud::network::{LinkEstimate, LinkEstimator, NetworkLink};
 use mea_edgecloud::partition::{CutPlanner, Objective, PartitionEnv};
 use mea_edgecloud::serve::{
-    serve, trace_requests, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, LinkChange,
-    LinkFeedback, PayloadPlan, ServeConfig, RESPONSE_WIRE_BYTES,
+    trace_requests, try_serve, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, Fleet,
+    LinkChange, LinkFeedback, PayloadPlan, ServeConfig, RESPONSE_WIRE_BYTES,
 };
 use mea_edgecloud::traces::ArrivalModel;
 use mea_nn::models::{resnet_cifar, CifarResNetConfig, SegmentedCnn};
 use mea_tensor::Rng;
 use meanet::infer::run_inference_with_policy;
 use meanet::model::{AdaptivePlan, MeaNet, Merge, Variant};
-use meanet::{ExitPoint, OffloadPolicy};
+use meanet::{DifficultyPredictor, ExitPoint, OffloadPolicy};
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -75,7 +76,7 @@ proptest! {
             max_batch,
         );
         cfg.max_wait = Duration::from_micros(wait_us);
-        let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+        let report = try_serve(&cfg, &mut edges, &mut clouds, &requests).expect("serves");
         prop_assert_eq!(report.completions.len(), requests.len());
 
         for d in 0..devices {
@@ -128,7 +129,7 @@ proptest! {
         let mut edges: Vec<EdgeReplica> = (0..edge_workers).map(|_| EdgeReplica::new(tiny_net(23))).collect();
         let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|_| tiny_cloud(24)).collect();
         let cfg = ServeConfig::new(policy, edge_workers, cloud_workers, max_batch);
-        let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+        let report = try_serve(&cfg, &mut edges, &mut clouds, &requests).expect("serves");
         prop_assert_eq!(report.records, expected);
     }
 
@@ -166,7 +167,7 @@ proptest! {
             wire: FeatureWire::F32,
             cut: CutSelection::Fixed(cut),
         });
-        let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+        let report = try_serve(&cfg, &mut edges, &mut clouds, &requests).expect("serves");
         prop_assert_eq!(report.records, expected, "cut {} diverged", cut);
         prop_assert_eq!(report.stats.final_cuts, Some(vec![cut]));
         // MAC conservation: executed + saved = offloads x full forward.
@@ -287,7 +288,7 @@ proptest! {
             let mut rng = Rng::new(9);
             let requests =
                 trace_requests(&bundle.test, 1, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
-            serve(&cfg, &mut edges, &mut clouds, &requests)
+            try_serve(&cfg, &mut edges, &mut clouds, &requests).expect("serves")
         };
         let closed = run(Some(LinkFeedback { alpha, prior_samples: 0.0, replan_every }));
         let open = run(None);
@@ -310,5 +311,144 @@ proptest! {
             upload(closed_cut) <= upload(open_cut),
             "feedback grew the upload: open cut {} -> closed cut {}", open_cut, closed_cut
         );
+    }
+
+    /// Heterogeneity never breaks ordering: whatever the class mix
+    /// (random tiers), the explicit device pins, the worker topology or
+    /// the difficulty predictor, each device's stream stays FIFO per exit
+    /// lane and the per-class breakdown partitions the totals exactly.
+    #[test]
+    fn heterogeneous_fleets_preserve_per_device_order(
+        devices in 1usize..5,
+        edge_workers in 1usize..4,
+        cloud_workers in 1usize..3,
+        max_batch in 1usize..6,
+        tiers in proptest::collection::vec(0usize..3, 1..4),
+        pins in proptest::collection::vec(0usize..4, 0..4),
+        use_difficulty in any::<bool>(),
+        threshold in 0.0f32..2.0,
+    ) {
+        let bundle = presets::tiny(90);
+        let base = DeviceProfile::new("edge", 10.0, 1e9);
+        let classes: Vec<DeviceClass> = tiers
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let tier = [ComputeTier::High, ComputeTier::Medium, ComputeTier::Low][t];
+                DeviceClass::new(format!("c{i}"), base.clone(), tier)
+            })
+            .collect();
+        let class_count = classes.len();
+        let mut spec = FleetSpec::round_robin(classes);
+        for (device, &class) in pins.iter().enumerate() {
+            spec = spec.assign(device, class % class_count);
+        }
+        let mut rng = Rng::new(8);
+        let requests =
+            trace_requests(&bundle.test, devices, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+        let mut builder = ServeConfig::builder(OffloadPolicy::EntropyThreshold(threshold))
+            .edge_workers(edge_workers)
+            .cloud_workers(cloud_workers)
+            .max_batch(max_batch)
+            .fleet(spec);
+        if use_difficulty {
+            let mut calibration = tiny_net(29);
+            builder = builder
+                .difficulty(DifficultyPredictor::calibrate(&mut calibration, &bundle.train.images, 8));
+        }
+        let cfg = builder.build().expect("valid config");
+        let edges: Vec<EdgeReplica> = (0..edge_workers).map(|_| EdgeReplica::new(tiny_net(29))).collect();
+        let clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|_| tiny_cloud(30)).collect();
+        let mut fleet = Fleet::new(cfg, edges, clouds).expect("consistent replicas");
+        let report = fleet.serve(&requests).expect("serves");
+        prop_assert_eq!(report.completions.len(), requests.len());
+
+        let served = report.stats.per_class_served.as_ref().expect("fleet stats");
+        let offload = report.stats.per_class_offload.as_ref().expect("fleet stats");
+        prop_assert_eq!(served.iter().sum::<usize>(), report.stats.total);
+        prop_assert_eq!(offload.iter().sum::<usize>(), report.stats.offloaded);
+
+        for d in 0..devices {
+            let mut last_cloud_seq = None;
+            let mut last_local_seq = None;
+            for c in report.completions.iter().filter(|c| c.device == d) {
+                let slot = if c.record.exit == ExitPoint::Cloud {
+                    &mut last_cloud_seq
+                } else {
+                    &mut last_local_seq
+                };
+                if let Some(prev) = *slot {
+                    prop_assert!(
+                        c.seq > prev,
+                        "device {} exit {:?}: seq {} completed after seq {}",
+                        d, c.record.exit, c.seq, prev
+                    );
+                }
+                *slot = Some(c.seq);
+            }
+        }
+    }
+
+    /// The identity embedding of the old API into the new one: a fleet of
+    /// ONE High-tier class (scale factor 1.0, no link prior, no pins) is
+    /// record-identical — cuts, bytes and all — to the legacy homogeneous
+    /// `CutPlannerConfig::classes` path, for any topology, link rate and
+    /// threshold.
+    #[test]
+    fn identity_fleet_is_record_identical_to_the_homogeneous_path(
+        devices in 1usize..4,
+        edge_workers in 1usize..3,
+        cloud_workers in 1usize..3,
+        max_batch in 1usize..6,
+        rate in 0.5f64..200.0,
+        threshold in 0.0f32..1.5,
+    ) {
+        let bundle = presets::tiny(91);
+        let edge = DeviceProfile::new("edge", 10.0, 5e8);
+        let link = NetworkLink::wifi(rate).with_rtt(0.001);
+        let policy = OffloadPolicy::EntropyThreshold(threshold);
+        let mut rng = Rng::new(10);
+        let requests =
+            trace_requests(&bundle.test, devices, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+        let planned = |classes: Vec<DeviceProfile>| PayloadPlan::Features(FeatureConfig {
+            wire: FeatureWire::F32,
+            cut: CutSelection::Planned(CutPlannerConfig {
+                classes,
+                cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                objective: Objective::Latency,
+                feedback: None,
+            }),
+        });
+        let build_replicas = || {
+            let edges: Vec<EdgeReplica> = (0..edge_workers)
+                .map(|_| EdgeReplica::with_cloud_prefix(tiny_net(31), tiny_cloud(32)))
+                .collect();
+            let clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|_| tiny_cloud(32)).collect();
+            (edges, clouds)
+        };
+
+        let mut legacy_cfg = ServeConfig::new(policy, edge_workers, cloud_workers, max_batch);
+        legacy_cfg.payload = planned(vec![edge.clone()]);
+        legacy_cfg.link = Some(link);
+        let (mut edges, mut clouds) = build_replicas();
+        let legacy = try_serve(&legacy_cfg, &mut edges, &mut clouds, &requests).expect("serves");
+
+        let spec = FleetSpec::uniform(DeviceClass::new("edge", edge, ComputeTier::High));
+        let fleet_cfg = ServeConfig::builder(policy)
+            .edge_workers(edge_workers)
+            .cloud_workers(cloud_workers)
+            .max_batch(max_batch)
+            .payload(planned(Vec::new()))
+            .link(link)
+            .fleet(spec)
+            .build()
+            .expect("valid config");
+        let (fleet_edges, fleet_clouds) = build_replicas();
+        let mut fleet = Fleet::new(fleet_cfg, fleet_edges, fleet_clouds).expect("consistent replicas");
+        let report = fleet.serve(&requests).expect("serves");
+        prop_assert_eq!(&report.records, &legacy.records, "identity fleet diverged from the legacy path");
+        prop_assert_eq!(report.stats.final_cuts, legacy.stats.final_cuts);
+        prop_assert_eq!(report.stats.bytes_to_cloud, legacy.stats.bytes_to_cloud);
+        prop_assert_eq!(report.stats.offloaded, legacy.stats.offloaded);
     }
 }

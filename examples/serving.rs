@@ -12,8 +12,8 @@ use mea_edgecloud::device::DeviceProfile;
 use mea_edgecloud::network::{NetworkLink, PaceChange, PipeConfig, TransportKind};
 use mea_edgecloud::partition::Objective;
 use mea_edgecloud::serve::{
-    serve, trace_requests, ControllerConfig, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig,
-    FeatureWire, LinkChange, LinkFeedback, PayloadPlan, ServeConfig, ServeRequest, WireFormat,
+    trace_requests, try_serve, ControllerConfig, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig,
+    FeatureWire, Fleet, LinkChange, LinkFeedback, PayloadPlan, ServeConfig, ServeRequest, WireFormat,
 };
 use mea_edgecloud::traces::ArrivalModel;
 use mea_nn::models::SegmentedCnn;
@@ -70,8 +70,8 @@ fn main() {
             })
             .collect()
     };
-    let mut edges = build_edges(false);
-    let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|i| build_cloud(200 + i as u64)).collect();
+    let edges = build_edges(false);
+    let clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|i| build_cloud(200 + i as u64)).collect();
 
     // Bursty traffic from 6 devices: 5-frame bursts with a 60 ms gap —
     // exactly the pattern that stresses the shared cloud queue. Repeat
@@ -88,14 +88,25 @@ fn main() {
         }
     }
 
-    // Serve with dynamic batching (up to 8 per cloud forward), a WiFi
-    // uplink model, and a controller steering beta toward 0.3.
-    let mut serve_cfg = ServeConfig::new(OffloadPolicy::Never, edge_workers, cloud_workers, 8);
-    serve_cfg.queue_depth = 8;
-    serve_cfg.link = Some(NetworkLink::wifi(50.0).with_rtt(0.008));
-    serve_cfg.controller =
-        Some(ControllerConfig { controller: ThresholdController::new(0.5, 0.3, 1.0, (0.0, 2.0)), window: 24 });
-    let report = serve(&serve_cfg, &mut edges, &mut clouds, &requests);
+    // Serve through the Fleet API with dynamic batching (up to 8 per
+    // cloud forward), a WiFi uplink model, and a controller steering beta
+    // toward 0.3. The builder validates the configuration up front and
+    // Fleet::new checks it against the replicas, so the serving loop
+    // itself can only fail on a malformed trace.
+    let serve_cfg = ServeConfig::builder(OffloadPolicy::Never)
+        .edge_workers(edge_workers)
+        .cloud_workers(cloud_workers)
+        .max_batch(8)
+        .queue_depth(8)
+        .link(NetworkLink::wifi(50.0).with_rtt(0.008))
+        .controller(ControllerConfig {
+            controller: ThresholdController::new(0.5, 0.3, 1.0, (0.0, 2.0)),
+            window: 24,
+        })
+        .build()
+        .expect("valid serving configuration");
+    let mut fleet = Fleet::new(serve_cfg, edges, clouds).expect("replicas match the configuration");
+    let report = fleet.serve(&requests).expect("the fleet serves the trace");
 
     let accuracy = report.records.iter().filter(|r| r.correct).count() as f64 / report.records.len() as f64;
     println!(
@@ -125,7 +136,7 @@ fn main() {
         cfg2.queue_depth = 8;
         cfg2.link = Some(NetworkLink::wifi(50.0).with_rtt(0.008));
         cfg2.payload = payload;
-        let r = serve(&cfg2, &mut edges, &mut clouds, &requests);
+        let r = try_serve(&cfg2, &mut edges, &mut clouds, &requests).expect("valid serving configuration");
         println!(
             "{label:<26} cut {:<8} {:>8} bytes up, cloud ran {:>6.2} MMACs, skipped {:>6.2} MMACs",
             r.stats.final_cuts.map_or("-".into(), |c| format!("{c:?}")),
@@ -171,7 +182,7 @@ fn main() {
             feedback: Some(LinkFeedback { alpha: 0.5, prior_samples: 2.0, replan_every: 4 }),
         }),
     });
-    let r = serve(&cfg3, &mut edges, &mut clouds, &requests);
+    let r = try_serve(&cfg3, &mut edges, &mut clouds, &requests).expect("valid serving configuration");
     let est = r.stats.link_estimates.as_ref().and_then(|e| e[0]);
     println!(
         "\nclosed-loop planning under a mid-run 50 -> 1 Mbps degradation: {} replans, final cut {:?},\n\
@@ -206,7 +217,7 @@ fn main() {
             feedback: Some(LinkFeedback { alpha: 0.5, prior_samples: 2.0, replan_every: 4 }),
         }),
     });
-    let r = serve(&cfg4, &mut edges, &mut clouds, &requests);
+    let r = try_serve(&cfg4, &mut edges, &mut clouds, &requests).expect("valid serving configuration");
     let est = r.stats.link_estimates.as_ref().and_then(|e| e[0]);
     println!(
         "\nsame loop over the real byte pipe (pacer throttled 20 -> 1 Mbps): {} replans, final cut {:?},\n\

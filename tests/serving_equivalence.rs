@@ -7,7 +7,7 @@
 //! prediction, entropy or exit.
 
 use mea_edgecloud::serve::{
-    serve, trace_requests, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, PayloadPlan, ServeConfig,
+    trace_requests, try_serve, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, PayloadPlan, ServeConfig,
 };
 use mea_edgecloud::traces::ArrivalModel;
 use mea_nn::models::SegmentedCnn;
@@ -96,7 +96,7 @@ fn serving_runtime_reproduces_sequential_inference_exactly() {
         let mut edges = serving_replicas(&mut pipe, &cfg, e);
         let mut clouds = cloud_replicas(&mut pipe, &cfg, c);
         let serve_cfg = ServeConfig::new(policy, e, c, b);
-        let report = serve(&serve_cfg, &mut edges, &mut clouds, &requests);
+        let report = try_serve(&serve_cfg, &mut edges, &mut clouds, &requests).expect("valid configuration");
         assert_eq!(
             report.records, expected,
             "serve(edge={e}, cloud={c}, max_batch={b}) diverged from the offline sweep"
@@ -136,7 +136,7 @@ fn feature_payload_serving_is_the_same_system_at_every_cut() {
         let mut serve_cfg = ServeConfig::new(policy, e, c, b);
         serve_cfg.payload =
             PayloadPlan::Features(FeatureConfig { wire: FeatureWire::F32, cut: CutSelection::Fixed(cut) });
-        let report = serve(&serve_cfg, &mut edges, &mut clouds, &requests);
+        let report = try_serve(&serve_cfg, &mut edges, &mut clouds, &requests).expect("valid configuration");
         assert_eq!(
             report.records, expected,
             "feature serve(edge={e}, cloud={c}, max_batch={b}, cut={cut}) diverged from the offline sweep"
@@ -170,7 +170,7 @@ fn offline_feature_sweep_is_bitwise_identical_to_feature_serving() {
         let mut clouds = cloud_replicas(pipe, &cfg, 2);
         let mut serve_cfg = ServeConfig::new(policy, 2, 2, 4);
         serve_cfg.payload = PayloadPlan::Features(FeatureConfig { wire, cut: CutSelection::Fixed(cut) });
-        serve(&serve_cfg, &mut edges, &mut clouds, &requests)
+        try_serve(&serve_cfg, &mut edges, &mut clouds, &requests).expect("valid configuration")
     };
 
     // Lossless wire, several cuts: offline sweep == serving, bitwise.
@@ -230,7 +230,7 @@ fn batched_cloud_forward_is_bitwise_stable_across_batch_caps() {
         let mut serve_cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, max_batch);
         serve_cfg.max_wait = std::time::Duration::from_millis(1);
         serve_cfg.queue_depth = 8;
-        let report = serve(&serve_cfg, &mut edges, &mut clouds, &requests);
+        let report = try_serve(&serve_cfg, &mut edges, &mut clouds, &requests).expect("valid configuration");
         assert_eq!(report.stats.offloaded, report.stats.total);
         match &baseline {
             None => baseline = Some(report.records),
