@@ -10,17 +10,18 @@ use mea_edgecloud::fleet::{ComputeTier, DeviceClass, FleetSpec};
 use mea_edgecloud::network::{LinkEstimate, NetworkLink, PaceChange, PipeConfig, TransportKind};
 use mea_edgecloud::partition::{CutPlanner, Objective, PartitionEnv};
 use mea_edgecloud::serve::{
-    trace_requests, try_serve, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, Fleet,
-    LinkChange, LinkFeedback, PayloadPlan, ServeConfig, ServeReport, ServeRequest, WireFormat,
+    trace_requests, try_serve, CloudIngress, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig,
+    FeatureWire, Fleet, LinkChange, LinkFeedback, PayloadPlan, ServeConfig, ServeReport, ServeRequest, WireFormat,
     RESPONSE_WIRE_BYTES,
 };
 use mea_edgecloud::traces::ArrivalModel;
-use mea_metrics::Histogram;
+use mea_metrics::{Histogram, StreamingHistogram};
 use mea_nn::models::{resnet_cifar, CifarResNetConfig, SegmentedCnn};
 use mea_tensor::Rng;
 use meanet::infer::run_inference_with_policy;
 use meanet::model::{AdaptivePlan, MeaNet, Merge, Variant};
-use meanet::{Difficulty, DifficultyPredictor, InstanceRecord, OffloadPolicy};
+use meanet::{Difficulty, DifficultyPredictor, ExitPoint, InstanceRecord, OffloadPolicy};
+use std::collections::HashMap;
 
 /// One serving configuration's measurements.
 #[derive(Debug, Clone)]
@@ -779,4 +780,273 @@ pub fn hetero_fleet(scale: Scale) -> HeteroFleetResult {
         .collect();
 
     HeteroFleetResult { tiers, base, routed, predicted_hard, predicted_easy, link_mbps }
+}
+
+/// One ingress/transport configuration's outcome in the saturation load
+/// harness.
+#[derive(Debug, Clone)]
+pub struct LoadRow {
+    /// Row label (ingress mode + transport).
+    pub label: &'static str,
+    /// Sustained throughput at saturation (req/s of wall clock).
+    pub sustained_hz: f64,
+    /// Mean wall-clock service time per request (ms).
+    pub service_ms: f64,
+    /// Median end-to-end latency (ms), from the bounded streaming
+    /// histogram — saturation quantiles track the backlog drain.
+    pub p50_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Device-sticky runs a cloud worker stole from another shard.
+    pub steals: u64,
+    /// High-water mark of frames queued across all ingress shards
+    /// (0 under the single-queue ingress, which has no shards).
+    pub max_queue_depth: usize,
+    /// Batched cloud forwards executed.
+    pub cloud_batches: u64,
+    /// Requests classified by the cloud tier.
+    pub offloaded: usize,
+    /// Per-device FIFO held per exit lane across the completion stream.
+    pub fifo_ok: bool,
+    /// Every request's record matched the offline sweep of its instance.
+    pub record_identity: bool,
+}
+
+/// Everything the `load_harness` bench target asserts and reports.
+#[derive(Debug)]
+pub struct LoadHarnessResult {
+    /// Devices in the trace (each contributes `frames_per_device` frames).
+    pub devices: usize,
+    /// Frames each device offers.
+    pub frames_per_device: usize,
+    /// Total requests per run.
+    pub total: usize,
+    /// Cloud workers (= ingress shards) in every run.
+    pub cloud_workers: usize,
+    /// Sharded work-stealing ingress, modelled WiFi link, heavy tail.
+    pub sharded: LoadRow,
+    /// Single-queue ingress on the identical trace (the A/B baseline).
+    pub single_queue: LoadRow,
+    /// Sharded ingress over the real byte-pipe transport, same trace.
+    pub pipe: LoadRow,
+    /// Sharded ingress on the diurnal-modulated Poisson trace.
+    pub diurnal: LoadRow,
+    /// `single_queue.service_ms / sharded.service_ms` — the scheduling
+    /// win from stealing under a pathologically skewed device population.
+    pub speedup: f64,
+}
+
+/// Builds a saturating trace of `devices * frames_per_device` requests by
+/// cycling the dataset's instances round-robin (instance `seq·devices +
+/// device`, modulo the dataset), with every device id multiplied by
+/// `lane_stride` so all sticky lanes collapse to lane 0 — the worst-case
+/// skew for a sharded ingress, and exactly the population where work
+/// stealing has to carry the whole cloud tier.
+fn skewed_trace(
+    data: &Dataset,
+    devices: usize,
+    frames_per_device: usize,
+    lane_stride: usize,
+    model: &ArrivalModel,
+    rng: &mut Rng,
+) -> (Vec<usize>, Vec<ServeRequest>) {
+    let mut tagged: Vec<(usize, ServeRequest)> = Vec::with_capacity(devices * frames_per_device);
+    for d in 0..devices {
+        let times = model.generate(frames_per_device, rng);
+        for (s, &arrival_s) in times.iter().enumerate() {
+            assert!(arrival_s.is_finite(), "non-finite arrival for device {d} seq {s}");
+            let instance = (s * devices + d) % data.len();
+            tagged.push((
+                instance,
+                ServeRequest {
+                    device: d * lane_stride,
+                    seq: s,
+                    arrival_s,
+                    image: data.images.slice_axis0(instance, instance + 1),
+                    truth: data.labels[instance],
+                },
+            ));
+        }
+    }
+    // Stable sort: ties keep per-device generation order, and each
+    // device's own times are non-decreasing, so seq order survives.
+    tagged.sort_by(|a, b| a.1.arrival_s.total_cmp(&b.1.arrival_s));
+    tagged.into_iter().unzip()
+}
+
+/// Slimmer replicas than [`edge_replica`]/[`cloud_replica`]: the load
+/// harness measures *scheduling* (how well link sleeps overlap across the
+/// cloud tier), so per-request model compute is kept far below the
+/// modelled link time — otherwise the edge tier's forwards would bound
+/// both ingress modes on a small CI host and hide the scheduling gap.
+fn slim_edge(seed: u64, hard: &[usize]) -> MeaNet {
+    let mut rng = Rng::new(seed);
+    let mut cfg = CifarResNetConfig::repro_scale(6);
+    cfg.input_hw = 8;
+    cfg.blocks_per_stage = 1;
+    cfg.channels = [8, 12, 16];
+    let backbone = resnet_cifar(&cfg, &mut rng);
+    let mut net = MeaNet::from_backbone(
+        backbone,
+        Variant::FullBackbone { extension_channels: 8, extension_blocks: 1 },
+        Merge::Sum,
+        &mut rng,
+    );
+    net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, ClassDict::new(hard), &mut rng);
+    net
+}
+
+/// The matching slim cloud DNN replica.
+fn slim_cloud(seed: u64) -> SegmentedCnn {
+    let mut rng = Rng::new(seed);
+    let mut cfg = CifarResNetConfig::repro_scale(6);
+    cfg.input_hw = 8;
+    cfg.blocks_per_stage = 2;
+    cfg.channels = [8, 12, 16];
+    resnet_cifar(&cfg, &mut rng)
+}
+
+/// Runs the scale-out saturation harness: a heavy-tailed (log-normal)
+/// trace from a large skewed device population — every sticky lane maps
+/// to shard 0 — through the sharded work-stealing ingress and the legacy
+/// single-queue ingress on the modelled-link transport (A/B on identical
+/// requests), plus the same trace over the real byte-pipe transport and a
+/// diurnal-modulated Poisson trace, all at a high offload fraction.
+///
+/// The modelled link charges each coalesced batch an upload plus a 20 ms
+/// RTT; under the single queue those sleeps serialise behind shard 0's
+/// owner, while stealing overlaps them across the whole cloud tier — the
+/// measured speedup is pure scheduling, which is why records must still
+/// match the offline sweep bit for bit in every run.
+pub fn load_harness(scale: Scale) -> LoadHarnessResult {
+    let (devices, frames_per_device) = match scale {
+        Scale::Smoke => (1_000, 2),
+        Scale::Repro | Scale::Full => (10_000, 2),
+    };
+    let instances = 96;
+    let mut data_cfg = scale.cifar100_like(9701);
+    data_cfg.num_classes = 6;
+    data_cfg.num_clusters = 3;
+    data_cfg.image_hw = 8;
+    data_cfg.test_per_class = instances / 6 + 1;
+    let bundle = generate(&data_cfg);
+    let data = bundle.test.subset(&(0..instances.min(bundle.test.len())).collect::<Vec<_>>());
+
+    let hard = [0usize, 2, 4];
+    let mut probe_net = slim_edge(81, &hard);
+    let policy = high_offload_policy(&mut probe_net, &data, 0.8);
+
+    // Ground truth: the sequential offline sweep over the base instances.
+    // Each request is a cycled instance, so its record must equal the
+    // offline record of that instance regardless of ingress or transport.
+    let mut offline_net = slim_edge(81, &hard);
+    let mut offline_cloud = slim_cloud(82);
+    let offline = run_inference_with_policy(&mut offline_net, Some(&mut offline_cloud), &data, policy, 16);
+
+    let cloud_workers = 6;
+    let edge_workers = 2;
+    let mut rng = Rng::new(12);
+
+    // Heavy tail: median inter-arrival ~0.9 ms per device with sigma=1
+    // log-normal stragglers — saturating in aggregate, bursty per device.
+    let heavy = ArrivalModel::LogNormal { mu: -7.0, sigma: 1.0 };
+    let (instance_of, requests) = skewed_trace(&data, devices, frames_per_device, cloud_workers, &heavy, &mut rng);
+    // Day/night swing compressed to a sub-second period so the modulation
+    // actually moves within the trace.
+    let diurnal_model = ArrivalModel::Diurnal { base_rate_hz: 2_000.0, amplitude: 0.8, period_s: 0.25 };
+    let (diurnal_instance_of, diurnal_requests) =
+        skewed_trace(&data, devices, frames_per_device, cloud_workers, &diurnal_model, &mut rng);
+
+    let run = |label: &'static str,
+               ingress: CloudIngress,
+               transport: TransportKind,
+               requests: &[ServeRequest],
+               instance_of: &[usize]|
+     -> LoadRow {
+        let mut edges: Vec<EdgeReplica> =
+            (0..edge_workers).map(|_| EdgeReplica::new(slim_edge(81, &hard))).collect();
+        let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|_| slim_cloud(82)).collect();
+        let mut cfg = ServeConfig::new(policy, edge_workers, cloud_workers, 8);
+        cfg.queue_depth = 64;
+        cfg.ingress = ingress;
+        if matches!(transport, TransportKind::Modelled) {
+            // WiFi-class uplink with a 20 ms RTT: each batch pays real
+            // wall-clock sleep, so overlap (not host cores) sets capacity,
+            // and deep shards let stolen prefixes fill whole batches.
+            cfg.link = Some(NetworkLink::wifi(50.0).with_rtt(0.020));
+        }
+        cfg.transport = transport;
+        let report = try_serve(&cfg, &mut edges, &mut clouds, requests).expect("valid serving configuration");
+        assert_eq!(report.completions.len(), requests.len(), "{label}: every request completes");
+
+        let mut fifo_ok = true;
+        let mut last: HashMap<usize, [Option<usize>; 2]> = HashMap::new();
+        for c in &report.completions {
+            let lane = usize::from(c.record.exit == ExitPoint::Cloud);
+            let slot = &mut last.entry(c.device).or_default()[lane];
+            if slot.is_some_and(|prev| c.seq <= prev) {
+                fifo_ok = false;
+            }
+            *slot = Some(c.seq);
+        }
+
+        let mut h = StreamingHistogram::for_latency();
+        for c in &report.completions {
+            h.record(c.latency_s);
+        }
+
+        LoadRow {
+            label,
+            sustained_hz: report.stats.throughput_hz,
+            service_ms: 1e3 * report.stats.wall_s / report.stats.total as f64,
+            p50_ms: h.p50() * 1e3,
+            p95_ms: h.p95() * 1e3,
+            p99_ms: h.p99() * 1e3,
+            steals: report.stats.steals,
+            max_queue_depth: report.stats.max_queue_depth,
+            cloud_batches: report.stats.cloud_batches,
+            offloaded: report.stats.offloaded,
+            fifo_ok,
+            record_identity: report.records.iter().zip(instance_of).all(|(r, &i)| *r == offline[i]),
+        }
+    };
+
+    let sharded =
+        run("sharded / modelled", CloudIngress::Sharded, TransportKind::Modelled, &requests, &instance_of);
+    let single_queue = run(
+        "single-queue / modelled",
+        CloudIngress::SingleQueue,
+        TransportKind::Modelled,
+        &requests,
+        &instance_of,
+    );
+    let pipe = run(
+        "sharded / byte pipe",
+        CloudIngress::Sharded,
+        TransportKind::Pipe(PipeConfig::default()),
+        &requests,
+        &instance_of,
+    );
+    let diurnal = run(
+        "sharded / diurnal trace",
+        CloudIngress::Sharded,
+        TransportKind::Modelled,
+        &diurnal_requests,
+        &diurnal_instance_of,
+    );
+
+    let speedup = single_queue.service_ms / sharded.service_ms;
+    LoadHarnessResult {
+        devices,
+        frames_per_device,
+        total: requests.len(),
+        cloud_workers,
+        sharded,
+        single_queue,
+        pipe,
+        diurnal,
+        speedup,
+    }
 }

@@ -14,7 +14,12 @@
 //! Two consumers share the spec: the serving runtime
 //! ([`crate::serve::Fleet`]) plans per-class cuts and reports per-class
 //! stats from it, and the virtual-clock simulator here
-//! ([`simulate_fleet_spec`]) prices the same fleet analytically. Each
+//! ([`simulate_fleet_spec`]) prices the same fleet analytically. Skew is
+//! also why the runtime's cloud tier defaults to the sharded
+//! work-stealing ingress ([`crate::serve::CloudIngress`]): a population
+//! whose sticky lanes collapse onto few shards would otherwise idle every
+//! other cloud worker, exactly the regime a lopsided [`FleetSpec`]
+//! produces. Each
 //! device runs the [`crate::sim`] pipeline (its own edge compute and
 //! radio), while the cloud is a shared pool of `cloud_servers` FIFO
 //! execution slots. Offloaded jobs queue when all slots are busy, so cloud

@@ -8,9 +8,10 @@
 //! A compact binary codec (length-prefixed shape + little-endian payload)
 //! over [`bytes`] makes the transfer concrete for the threaded simulator.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes};
 use mea_quant::{wire, QTensor, QuantParams};
 use mea_tensor::Tensor;
+use std::borrow::Cow;
 
 /// A payload travelling from the edge to the cloud.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,34 +57,55 @@ impl Payload {
         }
     }
 
-    /// Encodes into a byte buffer (tag, rank, dims, data).
+    /// Encodes into a byte buffer (tag, rank, dims, data). Allocates the
+    /// exact wire size once and hands it over without a copy.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.wire_size_bytes() as usize + 1);
         match self {
-            Payload::RawImage { image } => {
-                buf.put_u8(0);
-                put_header(&mut buf, image);
-                // Quantise [-2, 2] → u8, mirroring a sensor's 8-bit output.
-                for &v in image.as_slice() {
-                    let q = ((v + 2.0) / 4.0 * 255.0).clamp(0.0, 255.0) as u8;
-                    buf.put_u8(q);
-                }
-            }
-            Payload::Features { features } => {
-                buf.put_u8(1);
-                put_header(&mut buf, features);
-                for &v in features.as_slice() {
-                    buf.put_f32_le(v);
-                }
-            }
-            Payload::QuantFeatures { features } => {
-                buf.put_u8(2);
-                let mut frame = Vec::new();
-                wire::encode_into(features, &mut frame);
-                buf.put_slice(&frame);
-            }
+            Payload::RawImage { image } => Self::encode_raw_image(image),
+            Payload::Features { features } => Self::encode_features(features),
+            Payload::QuantFeatures { features } => Self::encode_quant(features),
         }
-        buf.freeze()
+    }
+
+    /// Encodes a raw-image payload straight from a borrowed tensor — same
+    /// bytes as `Payload::RawImage { .. }.encode()` without constructing
+    /// (and cloning into) the enum first.
+    pub fn encode_raw_image(image: &Tensor) -> Bytes {
+        let mut buf = Vec::with_capacity(header_len(image) as usize + image.numel());
+        buf.put_u8(0);
+        put_header(&mut buf, image);
+        // Quantise [-2, 2] → u8, mirroring a sensor's 8-bit output.
+        buf.extend(image.as_slice().iter().map(|&v| ((v + 2.0) / 4.0 * 255.0).clamp(0.0, 255.0) as u8));
+        Bytes::from(buf)
+    }
+
+    /// Encodes an f32 feature payload straight from a borrowed tensor.
+    pub fn encode_features(features: &Tensor) -> Bytes {
+        let mut buf = Vec::with_capacity(header_len(features) as usize + 4 * features.numel());
+        buf.put_u8(1);
+        put_header(&mut buf, features);
+        for &v in features.as_slice() {
+            buf.put_f32_le(v);
+        }
+        Bytes::from(buf)
+    }
+
+    /// Encodes an int8 feature payload straight from a borrowed tensor:
+    /// the `mea_quant::wire` frame is written directly into the output
+    /// buffer (no intermediate frame allocation).
+    pub fn encode_quant(features: &QTensor) -> Bytes {
+        let mut buf = Vec::with_capacity(1 + wire::encoded_len(features) as usize);
+        buf.put_u8(2);
+        wire::encode_into(features, &mut buf);
+        Bytes::from(buf)
+    }
+
+    /// Quantises and encodes in one step: the same bytes as
+    /// `Payload::quantize_features(t).encode()` without keeping the
+    /// intermediate [`QTensor`] around past the call.
+    pub fn encode_quantized_features(features: &Tensor) -> Bytes {
+        let params = QuantParams::affine_from_range(features.min(), features.max());
+        Self::encode_quant(&QTensor::quantize(features, params))
     }
 
     /// Decodes a payload produced by [`Payload::encode`].
@@ -91,26 +113,54 @@ impl Payload {
     /// # Panics
     ///
     /// Panics on a malformed buffer (wrong tag, truncated data).
-    pub fn decode(mut buf: Bytes) -> Payload {
+    pub fn decode(buf: Bytes) -> Payload {
+        let tag = buf[0];
+        if tag == 2 {
+            let (features, _) = wire::decode(&buf[1..]);
+            return Payload::QuantFeatures { features };
+        }
+        let mut data = Vec::new();
+        let dims = Self::decode_into(buf, &mut data);
+        let t = Tensor::from_vec(data, &dims).expect("decoded shape");
+        match tag {
+            0 => Payload::RawImage { image: t },
+            1 => Payload::Features { features: t },
+            t => unreachable!("decode_into rejected tag {t}"),
+        }
+    }
+
+    /// Decodes the payload's f32 tensor data straight into `out`
+    /// (appending; bit-identical values to
+    /// `Payload::decode(buf).into_tensor()`), returning the tensor dims.
+    /// This is the cloud worker's batch-assembly path: consecutive
+    /// payloads decode into one reused scratch arena, so stacking a batch
+    /// needs no per-frame tensor allocation and no concat pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed buffer (wrong tag, truncated data).
+    pub fn decode_into(mut buf: Bytes, out: &mut Vec<f32>) -> Vec<usize> {
         let tag = buf.get_u8();
         if tag == 2 {
             let (features, _) = wire::decode(&buf);
-            return Payload::QuantFeatures { features };
+            features.dequantize_into(out);
+            return features.dims().to_vec();
         }
         let rank = buf.get_u8() as usize;
         let dims: Vec<usize> = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
         let numel: usize = dims.iter().product();
+        out.reserve(numel);
         match tag {
-            0 => {
-                let data: Vec<f32> = (0..numel).map(|_| (buf.get_u8() as f32 / 255.0) * 4.0 - 2.0).collect();
-                Payload::RawImage { image: Tensor::from_vec(data, &dims).expect("decoded shape") }
-            }
-            1 => {
-                let data: Vec<f32> = (0..numel).map(|_| buf.get_f32_le()).collect();
-                Payload::Features { features: Tensor::from_vec(data, &dims).expect("decoded shape") }
-            }
+            // Bulk little-endian conversion over the remaining slice: the
+            // frame is decoded in place, not element-by-element through a
+            // cursor.
+            0 => out.extend(buf.chunk()[..numel].iter().map(|&b| (b as f32 / 255.0) * 4.0 - 2.0)),
+            1 => out.extend(
+                buf.chunk()[..4 * numel].chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+            ),
             t => panic!("unknown payload tag {t}"),
         }
+        dims
     }
 
     /// The f32 tensor the cloud computes on, consuming the payload —
@@ -125,15 +175,27 @@ impl Payload {
         }
     }
 
-    /// The f32 tensor the cloud computes on. This clones (and for int8
-    /// features dequantises) the payload — prefer
-    /// [`Payload::into_tensor`] when the payload can be consumed.
+    /// Borrows the f32 tensor the cloud computes on: f32 variants are
+    /// handed out without any copy, only int8 features pay a dequantise.
+    /// Prefer this over [`Payload::to_tensor`] wherever the payload
+    /// outlives the use.
+    pub fn as_tensor(&self) -> Cow<'_, Tensor> {
+        match self {
+            Payload::RawImage { image } => Cow::Borrowed(image),
+            Payload::Features { features } => Cow::Borrowed(features),
+            Payload::QuantFeatures { features } => Cow::Owned(features.dequantize()),
+        }
+    }
+
+    /// The f32 tensor the cloud computes on, cloned out of the payload.
+    /// Prefer [`Payload::as_tensor`] (borrows) or [`Payload::into_tensor`]
+    /// (consumes) — both skip the copy for f32 payloads.
     pub fn to_tensor(&self) -> Tensor {
-        self.clone().into_tensor()
+        self.as_tensor().into_owned()
     }
 }
 
-fn put_header(buf: &mut BytesMut, t: &Tensor) {
+fn put_header(buf: &mut Vec<u8>, t: &Tensor) {
     buf.put_u8(t.shape().rank() as u8);
     for &d in t.dims() {
         buf.put_u32_le(d as u32);
@@ -238,8 +300,75 @@ mod tests {
     #[test]
     fn wire_size_matches_encoding_length() {
         let t = Tensor::ones([3, 4, 4]);
-        for p in [Payload::RawImage { image: t.clone() }, Payload::Features { features: t }] {
+        for p in [
+            Payload::RawImage { image: t.clone() },
+            Payload::Features { features: t.clone() },
+            Payload::quantize_features(&t),
+        ] {
             assert_eq!(p.encode().len() as u64, p.wire_size_bytes());
         }
+    }
+
+    #[test]
+    fn as_tensor_borrows_f32_payloads_and_matches_to_tensor() {
+        let mut rng = Rng::new(9);
+        let t = Tensor::randn([2, 3, 3], 1.0, &mut rng);
+        for p in [
+            Payload::RawImage { image: t.clone() },
+            Payload::Features { features: t.clone() },
+            Payload::quantize_features(&t),
+        ] {
+            let borrowed = p.as_tensor();
+            assert_eq!(*borrowed, p.to_tensor(), "accessors must agree");
+            match (&p, &borrowed) {
+                // f32 payloads hand out the exact tensor they hold — no copy.
+                (Payload::RawImage { image }, std::borrow::Cow::Borrowed(b)) => {
+                    assert!(std::ptr::eq(*b, image));
+                }
+                (Payload::Features { features }, std::borrow::Cow::Borrowed(b)) => {
+                    assert!(std::ptr::eq(*b, features));
+                }
+                (Payload::QuantFeatures { .. }, std::borrow::Cow::Owned(_)) => {}
+                _ => panic!("unexpected borrow mode"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_into_appends_exactly_the_decoded_tensor() {
+        let mut rng = Rng::new(4);
+        let a = Tensor::randn([2, 3, 4], 1.0, &mut rng);
+        let b = Tensor::randn([2, 3, 4], 1.0, &mut rng);
+        for payloads in [
+            vec![Payload::Features { features: a.clone() }, Payload::Features { features: b.clone() }],
+            vec![Payload::RawImage { image: a.clone() }, Payload::RawImage { image: b.clone() }],
+            vec![Payload::quantize_features(&a), Payload::quantize_features(&b)],
+        ] {
+            // Arena path: both payloads decode into one buffer…
+            let mut arena = Vec::new();
+            let dims_a = Payload::decode_into(payloads[0].encode(), &mut arena);
+            let dims_b = Payload::decode_into(payloads[1].encode(), &mut arena);
+            assert_eq!(dims_a, dims_b);
+            // …and the arena holds exactly the concatenation of the
+            // per-payload decodes, bit for bit.
+            let ta = Payload::decode(payloads[0].encode()).into_tensor();
+            let tb = Payload::decode(payloads[1].encode()).into_tensor();
+            let expect: Vec<f32> = ta.as_slice().iter().chain(tb.as_slice()).copied().collect();
+            assert_eq!(arena, expect);
+        }
+    }
+
+    #[test]
+    fn borrowing_encoders_match_the_enum_encoders() {
+        let mut rng = Rng::new(8);
+        let t = Tensor::randn([4, 2, 2], 1.0, &mut rng);
+        assert_eq!(Payload::encode_raw_image(&t), Payload::RawImage { image: t.clone() }.encode());
+        assert_eq!(Payload::encode_features(&t), Payload::Features { features: t.clone() }.encode());
+        let q = match Payload::quantize_features(&t) {
+            Payload::QuantFeatures { features } => features,
+            _ => unreachable!(),
+        };
+        assert_eq!(Payload::encode_quant(&q), Payload::QuantFeatures { features: q.clone() }.encode());
+        assert_eq!(Payload::encode_quantized_features(&t), Payload::quantize_features(&t).encode());
     }
 }

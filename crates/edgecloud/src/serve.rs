@@ -95,7 +95,7 @@ use crate::transport::{
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use mea_data::Dataset;
-use mea_metrics::Histogram;
+use mea_metrics::{Histogram, StreamingHistogram};
 use mea_nn::layer::Mode;
 use mea_nn::models::SegmentedCnn;
 use mea_tensor::{Rng, Tensor};
@@ -104,9 +104,10 @@ use meanet::{
     Difficulty, DifficultyPredictor, ExitPoint, InstanceRecord, MeaNet, OffloadPolicy, ThresholdController,
 };
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 /// Bytes of the cloud's response per prediction on the downlink — the
@@ -350,6 +351,12 @@ pub struct ServeConfig {
     /// the unchanged Algorithm-2 path. `None` routes everything through
     /// Algorithm 2.
     pub difficulty: Option<DifficultyPredictor>,
+    /// How cloud workers pick up arrived frames: the sharded
+    /// work-stealing ingress (default) or the legacy one-queue-per-worker
+    /// path. Pure scheduling knob — the served [`InstanceRecord`]s are
+    /// identical either way (asserted by the property suite); only
+    /// throughput and the [`ServeStats`] scheduling counters differ.
+    pub ingress: CloudIngress,
 }
 
 /// One scheduled change of serving link conditions (see
@@ -365,6 +372,33 @@ pub struct LinkChange {
     pub after_batches: u64,
     /// The link every later batch pays (and telemetry observes).
     pub link: NetworkLink,
+}
+
+/// How offloaded frames reach the cloud workers (see
+/// [`ServeConfig::ingress`]).
+///
+/// Either way every frame still enters through its device-sticky lane
+/// (`spec.sticky_index(device, lanes)`), so the wire-level ordering
+/// guarantees are identical; the choice only controls how cloud *workers*
+/// pick frames up once they have arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CloudIngress {
+    /// Sharded work-stealing ingress (the default): each cloud worker
+    /// owns one bounded shard fed by a pump thread draining its lane, and
+    /// an idle worker steals a FIFO prefix of frames (whole device-sticky
+    /// runs, in arrival order) from the deepest backlogged shard instead
+    /// of sleeping. Per-device FIFO survives stealing because (a) a steal
+    /// takes a *prefix* of a shard, preserving every device's frame order
+    /// within it, and (b) completions pass a per-device reorder gate
+    /// keyed on the edge-assigned offload index, so results leave the
+    /// cloud tier in exactly per-device offload order. [`ServeStats::steals`] / [`ServeStats::per_shard_batches`]
+    /// expose the balancing behaviour.
+    #[default]
+    Sharded,
+    /// The legacy path: each cloud worker blocks on its own lane only.
+    /// A skewed device population can idle every other worker; kept as
+    /// the record-identity reference and for A/B measurement.
+    SingleQueue,
 }
 
 /// The link a batch rides given how many batches the cloud tier has
@@ -401,6 +435,7 @@ impl ServeConfig {
             link_schedule: Vec::new(),
             fleet: None,
             difficulty: None,
+            ingress: CloudIngress::default(),
         }
     }
 
@@ -507,6 +542,13 @@ impl ServeConfigBuilder {
     /// Difficulty-aware routing (see [`ServeConfig::difficulty`]).
     pub fn difficulty(mut self, predictor: DifficultyPredictor) -> Self {
         self.cfg.difficulty = Some(predictor);
+        self
+    }
+
+    /// How cloud workers pick up arrived frames (see
+    /// [`ServeConfig::ingress`]).
+    pub fn ingress(mut self, ingress: CloudIngress) -> Self {
+        self.cfg.ingress = ingress;
         self
     }
 
@@ -946,8 +988,23 @@ pub struct ServeStats {
     pub per_class_offload: Option<Vec<usize>>,
     /// End-to-end latency distribution per fleet device class (Some
     /// exactly when [`ServeConfig::fleet`] is set; a class entry is None
-    /// until it serves its first request).
-    pub per_class_latency: Option<Vec<Option<Histogram>>>,
+    /// until it serves its first request). Recorded incrementally into
+    /// bounded [`StreamingHistogram`]s, so memory stays flat at any
+    /// trace length.
+    pub per_class_latency: Option<Vec<Option<StreamingHistogram>>>,
+    /// Batches a cloud worker assembled from *another* worker's shard
+    /// (always 0 under [`CloudIngress::SingleQueue`]). Scheduler-
+    /// dependent with >1 workers: a measure of imbalance absorbed, not a
+    /// deterministic invariant.
+    pub steals: u64,
+    /// Coalesced batches per ingress shard (indexed by lane; length
+    /// `cloud_workers`). Under [`CloudIngress::SingleQueue`] this is the
+    /// per-worker batch count. Sums to [`ServeStats::cloud_batches`].
+    pub per_shard_batches: Vec<u64>,
+    /// High-water mark of frames queued across all ingress shards at any
+    /// instant (0 under [`CloudIngress::SingleQueue`], where arrivals sit
+    /// in the transport's own lanes instead).
+    pub max_queue_depth: usize,
 }
 
 /// Everything the serving runtime produces.
@@ -1003,6 +1060,10 @@ struct PendingEntry {
     device: usize,
     seq: usize,
     due: Instant,
+    /// Per-device offload index assigned by the (single) edge worker that
+    /// owns the device's stream — the key the [`ReorderGate`] releases
+    /// completions in, so per-device FIFO survives work stealing.
+    cloud_idx: u64,
 }
 
 /// The live cut table of feature-payload serving: the current cut per
@@ -1175,6 +1236,9 @@ struct CloudCounters {
     bytes_down: u64,
     macs: u64,
     macs_saved: u64,
+    steals: u64,
+    /// Coalesced batches per ingress shard / lane (sized `cloud_workers`).
+    per_shard: Vec<u64>,
 }
 
 /// Coalesces queued request frames into a batch: blocks for the first
@@ -1202,6 +1266,227 @@ fn coalesce_frames<U: UplinkReceiver>(
         }
     }
     Some(batch)
+}
+
+/// One bounded shard of the [`ShardedIngress`]: the frames pumped off one
+/// transport lane that have not yet been coalesced into a batch.
+#[derive(Debug)]
+struct ShardState {
+    queue: VecDeque<InboundRequest>,
+    /// False once the lane's pump saw the uplink close and drained it.
+    open: bool,
+}
+
+/// Shared state behind the [`ShardedIngress`] lock.
+#[derive(Debug)]
+struct IngressState {
+    shards: Vec<ShardState>,
+    /// Set by [`ShardedIngress::abort`] when any cloud worker unwinds, so
+    /// pumps and peers blocked on the condvars wake and exit instead of
+    /// deadlocking the join cascade.
+    aborted: bool,
+    /// High-water mark of frames queued across all shards at any instant.
+    max_depth: usize,
+}
+
+/// The sharded work-stealing cloud ingress ([`CloudIngress::Sharded`]).
+///
+/// One pump thread per transport lane drains arrived frames into that
+/// lane's bounded shard; each cloud worker coalesces batches from its own
+/// shard first and, when its shard is empty, *steals* from the deepest
+/// backlogged peer instead of sleeping. A steal takes a **FIFO prefix**
+/// of the victim shard — whole device-sticky runs, in arrival order, up
+/// to a full batch — so a device's frames are never reordered (relative
+/// to each other) on their way into a batch, and stolen batches coalesce
+/// as fully as owned ones; the
+/// [`ReorderGate`] then restores per-device completion order across
+/// concurrently running batches.
+///
+/// Built on `std::sync` primitives (the vendored `parking_lot` carries no
+/// `Condvar`), mirroring the byte pipe in [`crate::transport`].
+#[derive(Debug)]
+struct ShardedIngress {
+    state: StdMutex<IngressState>,
+    /// Signalled on frame arrival, shard close, or abort.
+    arrived: Condvar,
+    /// Signalled when frames leave a full shard (and on abort).
+    space: Condvar,
+    /// Per-shard frame capacity ([`ServeConfig::queue_depth`]).
+    depth_cap: usize,
+}
+
+impl ShardedIngress {
+    fn new(shards: usize, depth_cap: usize) -> Self {
+        let shards = (0..shards).map(|_| ShardState { queue: VecDeque::new(), open: true }).collect();
+        ShardedIngress {
+            state: StdMutex::new(IngressState { shards, aborted: false, max_depth: 0 }),
+            arrived: Condvar::new(),
+            space: Condvar::new(),
+            depth_cap,
+        }
+    }
+
+    /// Pump side: enqueues one frame on `shard`, blocking while the shard
+    /// is at capacity (backpressure reaches the transport and from there
+    /// the edge workers). `Err(())` once the ingress aborted.
+    fn push(&self, shard: usize, req: InboundRequest) -> Result<(), ()> {
+        let mut st = self.state.lock().expect("ingress lock poisoned");
+        while !st.aborted && st.shards[shard].queue.len() >= self.depth_cap {
+            st = self.space.wait(st).expect("ingress lock poisoned");
+        }
+        if st.aborted {
+            return Err(());
+        }
+        st.shards[shard].queue.push_back(req);
+        let depth: usize = st.shards.iter().map(|s| s.queue.len()).sum();
+        st.max_depth = st.max_depth.max(depth);
+        self.arrived.notify_all();
+        Ok(())
+    }
+
+    /// Pump side: marks `shard`'s lane as closed and drained.
+    fn close_shard(&self, shard: usize) {
+        self.state.lock().expect("ingress lock poisoned").shards[shard].open = false;
+        self.arrived.notify_all();
+    }
+
+    /// Unblocks every thread parked on the ingress; pushes fail and
+    /// `next_batch` returns `None` from here on. Idempotent.
+    fn abort(&self) {
+        self.state.lock().expect("ingress lock poisoned").aborted = true;
+        self.arrived.notify_all();
+        self.space.notify_all();
+    }
+
+    fn max_depth(&self) -> usize {
+        self.state.lock().expect("ingress lock poisoned").max_depth
+    }
+
+    /// Worker side: the next coalesced batch for `shard`'s owner, and
+    /// whether it was stolen. Own-shard batches block for the first frame,
+    /// drain greedily to `max_batch` and wait up to `max_wait` for
+    /// stragglers — the same contract as [`coalesce_frames`]. When the own
+    /// shard is empty but a peer's is not, a FIFO prefix — whole
+    /// device-sticky runs, in arrival order, up to `max_batch` — is stolen
+    /// from the deepest victim and returned immediately (no straggler
+    /// wait: the point of stealing is to soak backlog now, and taking a
+    /// prefix keeps every device's frames in order while still filling
+    /// the batch). `None` once every shard is closed and drained, or on
+    /// abort.
+    fn next_batch(
+        &self,
+        shard: usize,
+        max_batch: usize,
+        max_wait: Duration,
+    ) -> Option<(Vec<InboundRequest>, bool)> {
+        let mut st = self.state.lock().expect("ingress lock poisoned");
+        loop {
+            if st.aborted {
+                return None;
+            }
+            if let Some(first) = st.shards[shard].queue.pop_front() {
+                let mut batch = vec![first];
+                let deadline = Instant::now() + max_wait;
+                loop {
+                    while batch.len() < max_batch {
+                        match st.shards[shard].queue.pop_front() {
+                            Some(f) => batch.push(f),
+                            None => break,
+                        }
+                    }
+                    // A partial batch is returned (never dropped) on
+                    // abort, lane close, or deadline — mirroring how
+                    // `coalesce_frames` gives up on stragglers.
+                    if batch.len() >= max_batch || st.aborted {
+                        break;
+                    }
+                    if st.shards[shard].queue.is_empty() && !st.shards[shard].open {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, _) = self.arrived.wait_timeout(st, deadline - now).expect("ingress lock poisoned");
+                    st = guard;
+                }
+                self.space.notify_all();
+                return Some((batch, false));
+            }
+            let victim = st
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| *i != shard && !s.queue.is_empty())
+                .max_by_key(|(_, s)| s.queue.len())
+                .map(|(i, _)| i);
+            if let Some(v) = victim {
+                let take = st.shards[v].queue.len().min(max_batch);
+                let batch: Vec<InboundRequest> = st.shards[v].queue.drain(..take).collect();
+                self.space.notify_all();
+                return Some((batch, true));
+            }
+            if st.shards.iter().all(|s| s.queue.is_empty() && !s.open) {
+                return None;
+            }
+            st = self.arrived.wait(st).expect("ingress lock poisoned");
+        }
+    }
+}
+
+/// Aborts the ingress if its holder unwinds. Held by every pump and
+/// sharded cloud worker: if one panics mid-operation, the abort unwedges
+/// every thread blocked on the ingress condvars so the join cascade can
+/// collect the panic instead of deadlocking. A clean exit leaves the
+/// ingress alone — peers may still be draining their shards.
+struct IngressAbortGuard<'a> {
+    ingress: &'a ShardedIngress,
+}
+
+impl Drop for IngressAbortGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.ingress.abort();
+        }
+    }
+}
+
+/// Per-device release state of the [`ReorderGate`].
+#[derive(Debug, Default)]
+struct DeviceGate {
+    /// The offload index the device's next released completion must have.
+    next: u64,
+    /// Completions that arrived early, parked until their turn.
+    parked: BTreeMap<u64, Completion>,
+}
+
+/// Releases offload completions in per-device offload order
+/// ([`PendingEntry::cloud_idx`]), regardless of which cloud worker — own
+/// shard or thief — classified each batch. This is what keeps the
+/// per-device FIFO guarantee of the single-queue path intact under work
+/// stealing: a stolen batch can *finish* before an earlier in-flight
+/// batch of the same device, but its completions wait here.
+#[derive(Debug, Default)]
+struct ReorderGate {
+    devices: HashMap<usize, DeviceGate>,
+}
+
+impl ReorderGate {
+    /// Emits `c` if `idx` is `device`'s next expected offload index (plus
+    /// any parked successors it unblocks); parks it otherwise.
+    fn release(&mut self, device: usize, idx: u64, c: Completion, tx: &Sender<Completion>) {
+        let gate = self.devices.entry(device).or_default();
+        if idx != gate.next {
+            gate.parked.insert(idx, c);
+            return;
+        }
+        let _ = tx.send(c);
+        gate.next += 1;
+        while let Some(ready) = gate.parked.remove(&gate.next) {
+            let _ = tx.send(ready);
+            gate.next += 1;
+        }
+    }
 }
 
 /// Derives the initial cut table (and its planner) from the payload plan
@@ -1448,7 +1733,17 @@ fn serve_core<T: Transport>(
     let spec = implicit_spec(cfg);
     let cut_table = build_cut_table(cfg, edges, requests, &spec);
     let policy_state = Mutex::new(PolicyState::new(cfg, cloud_available, cut_table));
-    let cloud_counters = Mutex::new(CloudCounters::default());
+    let cloud_counters =
+        Mutex::new(CloudCounters { per_shard: vec![0; cfg.cloud_workers], ..CloudCounters::default() });
+    // Completions of offloaded requests pass a per-device reorder gate,
+    // so work stealing cannot reorder a device's cloud responses.
+    let reorder = Mutex::new(ReorderGate::default());
+    // The sharded work-stealing ingress (None under SingleQueue, where
+    // each cloud worker drains its own transport lane directly).
+    let ingress = match cfg.ingress {
+        CloudIngress::Sharded if cloud_available => Some(ShardedIngress::new(cfg.cloud_workers, cfg.queue_depth)),
+        _ => None,
+    };
     let skipped_main_exits = AtomicUsize::new(0);
     // Suffix MACs per resume layer (suffix_macs[k] = MACs of layers
     // [k, L)): what the cloud pays per instance resumed at k, and the
@@ -1481,21 +1776,60 @@ fn serve_core<T: Transport>(
     let t0 = Instant::now();
     let mut worker_panics: Vec<String> = Vec::new();
     let completions = crossbeam::thread::scope(|scope| {
+        // Sharded mode: one pump per lane drains arrived frames into its
+        // bounded shard (the workers below coalesce from the shards and
+        // steal across them). SingleQueue mode: the workers own the
+        // uplinks directly.
+        let mut pump_handles = Vec::new();
+        if let Some(ing) = ingress.as_ref() {
+            for lane in 0..cfg.cloud_workers {
+                let mut uplink = transport.take_uplink(lane);
+                pump_handles.push(scope.spawn(move |_| {
+                    let _guard = IngressAbortGuard { ingress: ing };
+                    loop {
+                        match uplink.recv(None) {
+                            RecvOutcome::Frame(f) => {
+                                if ing.push(lane, f).is_err() {
+                                    return;
+                                }
+                            }
+                            RecvOutcome::Closed => {
+                                ing.close_shard(lane);
+                                return;
+                            }
+                            RecvOutcome::TimedOut => unreachable!("recv without a timeout cannot time out"),
+                        }
+                    }
+                }));
+            }
+        }
         let mut cloud_handles = Vec::with_capacity(cfg.cloud_workers);
         for (lane, cloud) in clouds.iter_mut().enumerate() {
-            let uplink = transport.take_uplink(lane);
             let counters = &cloud_counters;
             let suffixes = &suffix_macs;
             let shared = &policy_state;
-            cloud_handles.push(scope.spawn(move |_| {
-                cloud_worker(cfg, cloud, lane, uplink, transport, counters, suffixes, shared, measured)
-            }));
+            match ingress.as_ref() {
+                Some(ing) => {
+                    cloud_handles.push(scope.spawn(move |_| {
+                        cloud_worker_sharded(
+                            cfg, cloud, lane, ing, transport, counters, suffixes, shared, measured,
+                        )
+                    }));
+                }
+                None => {
+                    let uplink = transport.take_uplink(lane);
+                    cloud_handles.push(scope.spawn(move |_| {
+                        cloud_worker(cfg, cloud, lane, uplink, transport, counters, suffixes, shared, measured)
+                    }));
+                }
+            }
         }
         let mut collector_handles = Vec::with_capacity(cfg.cloud_workers);
         for lane in 0..cfg.cloud_workers {
             let mut downlink = transport.take_downlink(lane);
             let dtx = done_tx.clone();
             let pending_ref = &pending;
+            let gate = &reorder;
             collector_handles.push(scope.spawn(move |_| {
                 while let RecvOutcome::Frame(resp) = downlink.recv() {
                     let entry = pending_ref.lock()[resp.frame.req_id as usize]
@@ -1508,9 +1842,10 @@ fn serve_core<T: Transport>(
                         record: entry.pending.complete(resp.frame.prediction as usize),
                         latency_s: entry.due.elapsed().as_secs_f64(),
                     };
-                    if dtx.send(completion).is_err() {
-                        return;
-                    }
+                    // Latency is measured at arrival; only the *release*
+                    // into the completion stream is deferred until every
+                    // earlier offload of the device has come back.
+                    gate.lock().release(entry.device, entry.cloud_idx, completion, &dtx);
                 }
             }));
         }
@@ -1559,6 +1894,11 @@ fn serve_core<T: Transport>(
             }
         }
         transport.close_requests();
+        for (lane, h) in pump_handles.into_iter().enumerate() {
+            if let Err(p) = h.join() {
+                worker_panics.push(format!("ingress pump {lane} panicked: {}", panic_note(&p)));
+            }
+        }
         for (w, h) in cloud_handles.into_iter().enumerate() {
             if let Err(p) = h.join() {
                 worker_panics.push(format!("cloud worker {w} panicked: {}", panic_note(&p)));
@@ -1604,17 +1944,15 @@ fn serve_core<T: Transport>(
         let k = fleet.class_count();
         let mut served = vec![0usize; k];
         let mut offload = vec![0usize; k];
-        let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); k];
+        // Bounded streaming histograms, fed one completion at a time: no
+        // per-class latency buffer scaling with the trace length.
+        let mut hists: Vec<Option<StreamingHistogram>> = vec![None; k];
         for c in &completions {
             let class = fleet.class_of(c.device);
             served[class] += 1;
             offload[class] += usize::from(c.record.exit == ExitPoint::Cloud);
-            latencies[class].push(c.latency_s);
+            hists[class].get_or_insert_with(StreamingHistogram::for_latency).record(c.latency_s);
         }
-        let hists: Vec<Option<Histogram>> = latencies
-            .iter()
-            .map(|v| if v.is_empty() { None } else { Some(Histogram::of_nonnegative(v, 64)) })
-            .collect();
         (served, offload, hists)
     });
     let (per_class_served, per_class_offload, per_class_latency) = match per_class {
@@ -1641,16 +1979,22 @@ fn serve_core<T: Transport>(
         per_class_served,
         per_class_offload,
         per_class_latency,
+        steals: counters.steals,
+        per_shard_batches: counters.per_shard,
+        max_queue_depth: ingress.as_ref().map_or(0, ShardedIngress::max_depth),
     };
     ServeReport { records, completions, stats }
 }
 
 /// Ships one request to the cloud tier: encodes the payload (image, or
-/// the cut-layer activation of the local cloud-prefix replica), parks the
-/// pending record, and puts the frame on the device's sticky lane.
-/// Returns `false` when the cloud tier is gone (uplink dropped) — the
-/// caller stops quietly and the join in `serve_core` surfaces whatever
-/// panic killed it.
+/// the cut-layer activation of the local cloud-prefix replica) straight
+/// from the borrowed tensor — the borrowing [`Payload`] encoders write
+/// the wire bytes without cloning the tensor into an enum first — parks
+/// the pending record, and puts the frame on the device's sticky lane.
+/// `cloud_idx` is the device's offload sequence number, the key the
+/// [`ReorderGate`] releases the completion in. Returns `false` when the
+/// cloud tier is gone (uplink dropped) — the caller stops quietly and the
+/// join in `serve_core` surfaces whatever panic killed it.
 #[allow(clippy::too_many_arguments)]
 fn offload_to_cloud<T: Transport>(
     cfg: &ServeConfig,
@@ -1659,20 +2003,21 @@ fn offload_to_cloud<T: Transport>(
     job: &EdgeJob<'_>,
     cut: Option<usize>,
     parked: PendingCloud,
+    cloud_idx: u64,
     transport: &T,
     pending: &Mutex<Vec<Option<PendingEntry>>>,
 ) -> bool {
     let req = job.req;
     let (payload, resume) = match &cfg.payload {
-        PayloadPlan::Image(WireFormat::Float32) => (Payload::Features { features: req.image.clone() }, 0),
-        PayloadPlan::Image(WireFormat::Quantised8Bit) => (Payload::RawImage { image: req.image.clone() }, 0),
+        PayloadPlan::Image(WireFormat::Float32) => (Payload::encode_features(&req.image), 0),
+        PayloadPlan::Image(WireFormat::Quantised8Bit) => (Payload::encode_raw_image(&req.image), 0),
         PayloadPlan::Features(fc) => {
             let cut = cut.expect("feature mode builds a cut table");
             let prefix = cloud_prefix.as_mut().expect("validated in try_serve()");
             let activation = prefix.forward_prefix(&req.image, cut, Mode::Eval);
             let payload = match fc.wire {
-                FeatureWire::F32 => Payload::Features { features: activation },
-                FeatureWire::Int8 => Payload::quantize_features(&activation),
+                FeatureWire::F32 => Payload::encode_features(&activation),
+                FeatureWire::Int8 => Payload::encode_quantized_features(&activation),
             };
             (payload, cut)
         }
@@ -1682,12 +2027,17 @@ fn offload_to_cloud<T: Transport>(
         device: req.device as u32,
         seq: req.seq as u64,
         resume_layer: resume as u32,
-        payload: payload.encode(),
+        payload,
     };
     // Park the pending record BEFORE the frame leaves: the response can
     // race back on another thread.
-    pending.lock()[job.req_id] =
-        Some(PendingEntry { pending: parked.resume_at(resume), device: req.device, seq: req.seq, due: job.due });
+    pending.lock()[job.req_id] = Some(PendingEntry {
+        pending: parked.resume_at(resume),
+        device: req.device,
+        seq: req.seq,
+        due: job.due,
+        cloud_idx,
+    });
     transport.send_request(spec.sticky_index(req.device, transport.lanes()), frame).is_ok()
 }
 
@@ -1728,6 +2078,17 @@ fn edge_worker<T: Transport>(
             (None, None)
         }
     };
+    // Per-device offload sequence numbers. Exactly one edge worker owns
+    // each device's stream (device-sticky dispatch), so a thread-local
+    // counter is the authoritative offload order the [`ReorderGate`]
+    // releases completions in.
+    let mut cloud_seq: HashMap<usize, u64> = HashMap::new();
+    let mut next_cloud_idx = |device: usize| {
+        let slot = cloud_seq.entry(device).or_insert(0);
+        let idx = *slot;
+        *slot += 1;
+        idx
+    };
     while let Ok(job) = rx.recv() {
         let req = job.req;
         let difficulty = cfg.difficulty.as_ref().map(|p| (p, p.predict(&req.image)));
@@ -1751,7 +2112,8 @@ fn edge_worker<T: Transport>(
                 };
                 skipped.fetch_add(1, Ordering::Relaxed);
                 let parked = PendingCloud::precommit(req.truth, predictor.predict_entropy(&req.image));
-                if !offload_to_cloud(cfg, spec, cloud_prefix, &job, cut, parked, transport, pending) {
+                let idx = next_cloud_idx(req.device);
+                if !offload_to_cloud(cfg, spec, cloud_prefix, &job, cut, parked, idx, transport, pending) {
                     return;
                 }
                 continue;
@@ -1778,7 +2140,8 @@ fn edge_worker<T: Transport>(
         match route {
             ExitPoint::Cloud => {
                 let parked = PendingCloud::from_main(net, &main, 0, req.truth);
-                if !offload_to_cloud(cfg, spec, cloud_prefix, &job, cut, parked, transport, pending) {
+                let idx = next_cloud_idx(req.device);
+                if !offload_to_cloud(cfg, spec, cloud_prefix, &job, cut, parked, idx, transport, pending) {
                     return;
                 }
             }
@@ -1801,13 +2164,9 @@ fn edge_worker<T: Transport>(
     }
 }
 
-/// Cloud worker loop: coalesce the lane's queued request frames, pay the
-/// (modelled) link delay on both legs (rtt/2 each — the shared
-/// `NetworkLink` leg convention), resume one batched forward per distinct
-/// cut point, ship the predictions back as [`ResponseFrame`]s, and report
-/// the link time the batch paid — model time on the modelled transport,
-/// genuine `Instant::now()` deltas on a real one — to the measured-link
-/// feedback loop.
+/// Cloud worker loop ([`CloudIngress::SingleQueue`]): coalesce the lane's
+/// queued request frames and classify each batch. Kept verbatim as the
+/// record-identity reference path for the sharded ingress.
 #[allow(clippy::too_many_arguments)]
 fn cloud_worker<T: Transport>(
     cfg: &ServeConfig,
@@ -1823,107 +2182,208 @@ fn cloud_worker<T: Transport>(
     // However this worker exits — drained uplink or a panic mid-batch —
     // its response lane closes behind it (collector shutdown).
     let _closer = LaneCloser { transport, lane };
+    let mut scratch = Vec::new();
     while let Some(batch) = coalesce_frames(&mut uplink, cfg.max_batch, cfg.max_wait) {
-        let payload_bytes: u64 = batch.iter().map(|b| b.frame.payload.len() as u64).sum();
-        let response_bytes = RESPONSE_WIRE_BYTES * batch.len() as u64;
-        // Real-wire telemetry: total frame bytes (headers included) and
-        // the span from the first frame's send to the last frame's full
-        // reassembly — queueing, pacing and scheduling noise included.
-        let wire_bytes: u64 = batch.iter().map(|b| b.frame.wire_bytes()).sum();
-        let up_span_s = if measured {
-            let first_sent = batch.iter().map(|b| b.sent_at).min().expect("non-empty batch");
-            let last_received = batch.iter().map(|b| b.received_at).max().expect("non-empty batch");
-            last_received.duration_since(first_sent).as_secs_f64()
-        } else {
-            0.0
-        };
-        let total_macs = suffix_macs[0];
-        let batches_before = {
-            let mut c = counters.lock();
-            c.batches += 1;
-            c.max_batch = c.max_batch.max(batch.len());
-            c.bytes += payload_bytes;
-            c.bytes_down += response_bytes;
-            for b in &batch {
-                let resume = b.frame.resume_layer as usize;
-                c.macs += suffix_macs[resume];
-                c.macs_saved += total_macs - suffix_macs[resume];
-            }
-            c.batches - 1
-        };
-        // The modelled wire this batch rides: the configured link with any
-        // due schedule changes applied. The telemetry below observes THIS
-        // link's per-byte behaviour; the planner's static model still
-        // assumes the nominal one — measured feedback is the only path by
-        // which a degradation reaches the cut decision. On a real
-        // transport the frames already paid their wire time crossing the
-        // pipe, so no modelled sleep is charged.
-        let link = if measured { None } else { scheduled_link(cfg, batches_before) };
-        if let Some(link) = &link {
-            std::thread::sleep(Duration::from_secs_f64(link.uplink_leg_s(payload_bytes)));
-        }
-        // A coalesced batch may mix cut points (the planner re-planned
-        // mid-flight, or device classes cut differently): group by resume
-        // layer — activations at different cuts have different shapes —
-        // and run one batched forward per group. Per-sample independence
-        // makes the grouping invisible in the predictions.
-        let mut groups: BTreeMap<u32, Vec<RequestFrame>> = BTreeMap::new();
-        for b in batch {
-            groups.entry(b.frame.resume_layer).or_default().push(b.frame);
-        }
-        counters.lock().forwards += groups.len() as u64;
-        let mut classified: Vec<(RequestFrame, usize)> = Vec::new();
-        for (resume, group) in groups {
-            let tensors: Vec<Tensor> =
-                group.iter().map(|f| Payload::decode(f.payload.clone()).into_tensor()).collect();
-            let refs: Vec<&Tensor> = tensors.iter().collect();
-            let stacked = Tensor::concat_axis0(&refs);
-            let preds = RoutingEngine::classify_cloud_from(cloud, &stacked, resume as usize);
-            classified.extend(group.into_iter().zip(preds));
-        }
-        // Grouping by cut may interleave devices; restore per-device
-        // sequence order so the device-FIFO guarantee survives a mid-batch
-        // replan boundary.
-        classified.sort_by_key(|(f, _)| (f.device, f.seq));
-        // The responses ride the downlink back before anyone observes a
-        // completion: the modelled leg as a sleep, the real one as the
-        // pipe's own transfer time.
-        if let Some(link) = &link {
-            std::thread::sleep(Duration::from_secs_f64(link.downlink_leg_s(response_bytes)));
-        }
-        let down_t0 = Instant::now();
-        let mut lane_open = true;
-        for (frame, pred) in &classified {
-            let resp = ResponseFrame { req_id: frame.req_id, prediction: *pred as u32 };
-            if transport.send_response(lane, resp).is_err() {
-                // The collector is gone; its panic surfaces at join.
-                lane_open = false;
-                break;
-            }
-        }
-        // Close the telemetry loop: record what this round trip cost per
-        // leg — (bytes, seconds) pairs and the propagation delay — for
-        // every device class in the batch. The modelled transport reports
-        // the model's own times (bit-reproducible trajectories); a real
-        // transport reports what the clock genuinely saw.
-        let devices: Vec<usize> = classified.iter().map(|(f, _)| f.device as usize).collect();
-        if measured {
-            let down_s = down_t0.elapsed().as_secs_f64();
-            shared.lock().observe_link(&devices, wire_bytes, up_span_s, response_bytes, down_s, 0.0);
-        } else if let Some(link) = &link {
-            shared.lock().observe_link(
-                &devices,
-                payload_bytes,
-                link.upload_time_s(payload_bytes),
-                response_bytes,
-                link.download_time_s(response_bytes),
-                link.rtt_s,
-            );
-        }
-        if !lane_open {
+        let open = process_cloud_batch(
+            cfg,
+            cloud,
+            lane,
+            false,
+            batch,
+            &mut scratch,
+            transport,
+            counters,
+            suffix_macs,
+            shared,
+            measured,
+        );
+        if !open {
             return;
         }
     }
+}
+
+/// Cloud worker loop ([`CloudIngress::Sharded`]): coalesce batches from
+/// the worker's own ingress shard, stealing FIFO prefixes (whole
+/// device-sticky runs) from backlogged peers when idle.
+#[allow(clippy::too_many_arguments)]
+fn cloud_worker_sharded<T: Transport>(
+    cfg: &ServeConfig,
+    cloud: &mut SegmentedCnn,
+    lane: usize,
+    ingress: &ShardedIngress,
+    transport: &T,
+    counters: &Mutex<CloudCounters>,
+    suffix_macs: &[u64],
+    shared: &Mutex<PolicyState>,
+    measured: bool,
+) {
+    let _closer = LaneCloser { transport, lane };
+    let _guard = IngressAbortGuard { ingress };
+    let mut scratch = Vec::new();
+    while let Some((batch, stolen)) = ingress.next_batch(lane, cfg.max_batch, cfg.max_wait) {
+        let open = process_cloud_batch(
+            cfg,
+            cloud,
+            lane,
+            stolen,
+            batch,
+            &mut scratch,
+            transport,
+            counters,
+            suffix_macs,
+            shared,
+            measured,
+        );
+        if !open {
+            // The collector died; unwedge pumps and peers so the join
+            // cascade can surface its panic instead of deadlocking.
+            ingress.abort();
+            return;
+        }
+    }
+}
+
+/// Classifies one coalesced batch on the cloud tier: pay the (modelled)
+/// link delay on both legs (rtt/2 each — the shared `NetworkLink` leg
+/// convention), decode every frame into the worker's reusable `scratch`
+/// arena (one contiguous batch tensor, no per-frame tensor allocations),
+/// resume one batched forward per distinct cut point, ship the
+/// predictions back as [`ResponseFrame`]s, and report the link time the
+/// batch paid — model time on the modelled transport, genuine
+/// `Instant::now()` deltas on a real one — to the measured-link feedback
+/// loop. Returns `false` when the response lane's collector is gone.
+#[allow(clippy::too_many_arguments)]
+fn process_cloud_batch<T: Transport>(
+    cfg: &ServeConfig,
+    cloud: &mut SegmentedCnn,
+    lane: usize,
+    stolen: bool,
+    batch: Vec<InboundRequest>,
+    scratch: &mut Vec<f32>,
+    transport: &T,
+    counters: &Mutex<CloudCounters>,
+    suffix_macs: &[u64],
+    shared: &Mutex<PolicyState>,
+    measured: bool,
+) -> bool {
+    let payload_bytes: u64 = batch.iter().map(|b| b.frame.payload.len() as u64).sum();
+    let response_bytes = RESPONSE_WIRE_BYTES * batch.len() as u64;
+    // Real-wire telemetry: total frame bytes (headers included) and
+    // the span from the first frame's send to the last frame's full
+    // reassembly — queueing, pacing and scheduling noise included.
+    let wire_bytes: u64 = batch.iter().map(|b| b.frame.wire_bytes()).sum();
+    let up_span_s = if measured {
+        let first_sent = batch.iter().map(|b| b.sent_at).min().expect("non-empty batch");
+        let last_received = batch.iter().map(|b| b.received_at).max().expect("non-empty batch");
+        last_received.duration_since(first_sent).as_secs_f64()
+    } else {
+        0.0
+    };
+    let total_macs = suffix_macs[0];
+    let batches_before = {
+        let mut c = counters.lock();
+        c.batches += 1;
+        c.max_batch = c.max_batch.max(batch.len());
+        c.bytes += payload_bytes;
+        c.bytes_down += response_bytes;
+        if stolen {
+            c.steals += 1;
+        }
+        c.per_shard[lane] += 1;
+        for b in &batch {
+            let resume = b.frame.resume_layer as usize;
+            c.macs += suffix_macs[resume];
+            c.macs_saved += total_macs - suffix_macs[resume];
+        }
+        c.batches - 1
+    };
+    // The modelled wire this batch rides: the configured link with any
+    // due schedule changes applied. The telemetry below observes THIS
+    // link's per-byte behaviour; the planner's static model still
+    // assumes the nominal one — measured feedback is the only path by
+    // which a degradation reaches the cut decision. On a real
+    // transport the frames already paid their wire time crossing the
+    // pipe, so no modelled sleep is charged.
+    let link = if measured { None } else { scheduled_link(cfg, batches_before) };
+    if let Some(link) = &link {
+        std::thread::sleep(Duration::from_secs_f64(link.uplink_leg_s(payload_bytes)));
+    }
+    // A coalesced batch may mix cut points (the planner re-planned
+    // mid-flight, or device classes cut differently): group by resume
+    // layer — activations at different cuts have different shapes —
+    // and run one batched forward per group. Per-sample independence
+    // makes the grouping invisible in the predictions.
+    let mut groups: BTreeMap<u32, Vec<RequestFrame>> = BTreeMap::new();
+    for b in batch {
+        groups.entry(b.frame.resume_layer).or_default().push(b.frame);
+    }
+    counters.lock().forwards += groups.len() as u64;
+    let mut classified: Vec<(RequestFrame, usize)> = Vec::new();
+    for (resume, group) in groups {
+        // Zero-copy batch assembly: every frame decodes straight into
+        // the worker's scratch arena, which then *becomes* the batch
+        // tensor — no per-frame Tensor allocations, no concat copy.
+        // Served tensors are single-instance, so appending each
+        // frame's data is bitwise identical to `concat_axis0` of the
+        // per-frame tensors.
+        scratch.clear();
+        let mut frame_dims: Option<Vec<usize>> = None;
+        for f in &group {
+            let dims = Payload::decode_into(f.payload.clone(), scratch);
+            match &frame_dims {
+                Some(prev) => assert_eq!(prev, &dims, "coalesced group mixes tensor shapes"),
+                None => frame_dims = Some(dims),
+            }
+        }
+        let mut batch_dims = frame_dims.expect("coalesced groups are non-empty");
+        batch_dims[0] *= group.len();
+        let stacked = Tensor::from_vec(std::mem::take(scratch), &batch_dims).expect("group frames share a shape");
+        let preds = RoutingEngine::classify_cloud_from(cloud, &stacked, resume as usize);
+        // Hand the arena's allocation back for the next group/batch.
+        *scratch = stacked.into_vec();
+        classified.extend(group.into_iter().zip(preds));
+    }
+    // Grouping by cut may interleave devices; restore per-device
+    // sequence order so the device-FIFO guarantee survives a mid-batch
+    // replan boundary.
+    classified.sort_by_key(|(f, _)| (f.device, f.seq));
+    // The responses ride the downlink back before anyone observes a
+    // completion: the modelled leg as a sleep, the real one as the
+    // pipe's own transfer time.
+    if let Some(link) = &link {
+        std::thread::sleep(Duration::from_secs_f64(link.downlink_leg_s(response_bytes)));
+    }
+    let down_t0 = Instant::now();
+    let mut lane_open = true;
+    for (frame, pred) in &classified {
+        let resp = ResponseFrame { req_id: frame.req_id, prediction: *pred as u32 };
+        if transport.send_response(lane, resp).is_err() {
+            // The collector is gone; its panic surfaces at join.
+            lane_open = false;
+            break;
+        }
+    }
+    // Close the telemetry loop: record what this round trip cost per
+    // leg — (bytes, seconds) pairs and the propagation delay — for
+    // every device class in the batch. The modelled transport reports
+    // the model's own times (bit-reproducible trajectories); a real
+    // transport reports what the clock genuinely saw.
+    let devices: Vec<usize> = classified.iter().map(|(f, _)| f.device as usize).collect();
+    if measured {
+        let down_s = down_t0.elapsed().as_secs_f64();
+        shared.lock().observe_link(&devices, wire_bytes, up_span_s, response_bytes, down_s, 0.0);
+    } else if let Some(link) = &link {
+        shared.lock().observe_link(
+            &devices,
+            payload_bytes,
+            link.upload_time_s(payload_bytes),
+            response_bytes,
+            link.download_time_s(response_bytes),
+            link.rtt_s,
+        );
+    }
+    lane_open
 }
 
 /// Generic payload pipeline: round-robins encoded payloads across
@@ -2151,6 +2611,81 @@ mod tests {
             assert_eq!(report.records, expected, "serve({e} edge, {c} cloud, batch {b}) diverged");
             assert_eq!(report.stats.total, bundle.test.len());
         }
+    }
+
+    #[test]
+    fn sharded_ingress_serves_record_identically_to_single_queue() {
+        // The ingress is a pure scheduling knob: same trace, same
+        // replicas, same records — whatever the worker/batch topology.
+        let bundle = presets::tiny(170);
+        let policy = OffloadPolicy::EntropyThreshold(0.8);
+        let requests = instant_requests(&bundle.test, 4);
+        for (e, c, b) in [(1usize, 2usize, 1usize), (2, 3, 4), (3, 1, 2)] {
+            let run = |ingress: CloudIngress| {
+                let mut edges = edge_replicas(e, 21);
+                let mut clouds = replicas(c, || tiny_cloud(22));
+                let cfg = ServeConfig::builder(policy)
+                    .edge_workers(e)
+                    .cloud_workers(c)
+                    .max_batch(b)
+                    .ingress(ingress)
+                    .build()
+                    .expect("valid config");
+                try_serve(&cfg, &mut edges, &mut clouds, &requests).expect("serves")
+            };
+            let sharded = run(CloudIngress::Sharded);
+            let single = run(CloudIngress::SingleQueue);
+            assert_eq!(sharded.records, single.records, "ingress changed records at ({e},{c},{b})");
+            assert_eq!(sharded.stats.offloaded, single.stats.offloaded);
+            assert_eq!(single.stats.steals, 0, "the single-queue path never steals");
+            assert_eq!(single.stats.max_queue_depth, 0, "single-queue frames wait in transport lanes");
+            for stats in [&sharded.stats, &single.stats] {
+                assert_eq!(stats.per_shard_batches.len(), c);
+                assert_eq!(stats.per_shard_batches.iter().sum::<u64>(), stats.cloud_batches);
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_soaks_a_skewed_population_and_keeps_device_fifo() {
+        // Every request comes from device 0, so every frame lands on
+        // shard 0 of a 3-worker cloud tier: under SingleQueue two workers
+        // would idle, under the sharded ingress they steal the backlog.
+        // The modelled link sleep keeps whichever worker holds a batch
+        // busy long enough for the shard to refill, forcing steals even
+        // on a single-core host.
+        let bundle = presets::tiny(171);
+        let mut edges = edge_replicas(1, 23);
+        let mut clouds = replicas(3, || tiny_cloud(24));
+        let cfg = ServeConfig::builder(OffloadPolicy::Always)
+            .edge_workers(1)
+            .cloud_workers(3)
+            .max_batch(1)
+            .queue_depth(8)
+            .link(NetworkLink::wifi(50.0).with_rtt(0.002))
+            .build()
+            .expect("valid config");
+        let report = try_serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1)).expect("serves");
+        assert_eq!(report.stats.offloaded, report.stats.total);
+        assert!(
+            report.stats.steals > 0,
+            "skewed population must force steals: per-shard {:?}",
+            report.stats.per_shard_batches
+        );
+        assert!(report.stats.max_queue_depth > 0, "the backlog must have queued");
+        // Cloud completions of the single device leave in offload order
+        // even though three workers classified them concurrently.
+        let seqs: Vec<usize> =
+            report.completions.iter().filter(|c| c.record.exit == ExitPoint::Cloud).map(|c| c.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted, "per-device cloud FIFO violated under stealing");
+        // And the records still match the offline sweep bit for bit.
+        let mut net = tiny_net(23);
+        let mut cloud = tiny_cloud(24);
+        let expected =
+            run_inference_with_policy(&mut net, Some(&mut cloud), &bundle.test, OffloadPolicy::Always, 8);
+        assert_eq!(report.records, expected);
     }
 
     #[test]
@@ -2633,13 +3168,13 @@ mod tests {
         for workers in [1usize, 3] {
             let (results, stats) =
                 run_payload_pipeline(payloads.clone(), workers, 4, Duration::from_millis(1), 4, |p| {
-                    p.to_tensor().sum().clamp(0.0, 11.0) as usize
+                    p.as_tensor().sum().clamp(0.0, 11.0) as usize
                 });
             assert_eq!(results.len(), 12);
             assert_eq!(stats.payloads, 12);
             assert_eq!(stats.bytes_sent, expected_bytes);
             let (serial, _) = run_payload_pipeline(payloads.clone(), 1, 1, Duration::ZERO, 4, |p| {
-                p.to_tensor().sum().clamp(0.0, 11.0) as usize
+                p.as_tensor().sum().clamp(0.0, 11.0) as usize
             });
             assert_eq!(results, serial, "worker/batch configuration changed results");
         }

@@ -277,7 +277,7 @@ mod tests {
             .collect();
         // "Classifier": index of the largest element sum bucketised.
         let (results, stats) = run_threaded(payloads.clone(), |p| {
-            let s = p.to_tensor().sum();
+            let s = p.as_tensor().sum();
             s.clamp(0.0, 5.0) as usize
         });
         assert_eq!(results.len(), 6);
@@ -296,7 +296,7 @@ mod tests {
                 Payload::Features { features: t }
             })
             .collect();
-        let classify = |p: &Payload| p.to_tensor().sum().clamp(0.0, 5.0) as usize;
+        let classify = |p: &Payload| p.as_tensor().sum().clamp(0.0, 5.0) as usize;
         let (modelled, modelled_stats) = run_threaded_over(&TransportKind::Modelled, payloads.clone(), classify);
         let (piped, piped_stats) =
             run_threaded_over(&TransportKind::Pipe(PipeConfig::default()), payloads, classify);

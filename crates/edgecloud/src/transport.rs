@@ -662,7 +662,10 @@ impl Drop for PipeDownlink {
 }
 
 /// Pops one complete length-prefixed frame body off `acc`, if present.
-fn split_frame(acc: &mut Vec<u8>) -> Option<Vec<u8>> {
+/// The body leaves the reassembly buffer with a single copy and is handed
+/// out as shared [`Bytes`], so the payload below is a zero-copy slice of
+/// it rather than a second allocation.
+fn split_frame(acc: &mut Vec<u8>) -> Option<Bytes> {
     if acc.len() < 4 {
         return None;
     }
@@ -671,7 +674,7 @@ fn split_frame(acc: &mut Vec<u8>) -> Option<Vec<u8>> {
         return None;
     }
     let frame: Vec<u8> = acc.drain(..4 + body).collect();
-    Some(frame[4..].to_vec())
+    Some(Bytes::from(frame).slice(4..))
 }
 
 fn decode_request(acc: &mut Vec<u8>) -> Option<RequestFrame> {
@@ -682,7 +685,7 @@ fn decode_request(acc: &mut Vec<u8>) -> Option<RequestFrame> {
         device: u32::from_le_bytes(body[8..12].try_into().expect("4 bytes")),
         seq: u64::from_le_bytes(body[12..20].try_into().expect("8 bytes")),
         resume_layer: u32::from_le_bytes(body[20..24].try_into().expect("4 bytes")),
-        payload: Bytes::from(body[24..].to_vec()),
+        payload: body.slice(24..),
     })
 }
 

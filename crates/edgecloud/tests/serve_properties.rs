@@ -9,8 +9,8 @@ use mea_edgecloud::fleet::{ComputeTier, DeviceClass, FleetSpec};
 use mea_edgecloud::network::{LinkEstimate, LinkEstimator, NetworkLink};
 use mea_edgecloud::partition::{CutPlanner, Objective, PartitionEnv};
 use mea_edgecloud::serve::{
-    trace_requests, try_serve, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig, FeatureWire, Fleet,
-    LinkChange, LinkFeedback, PayloadPlan, ServeConfig, RESPONSE_WIRE_BYTES,
+    trace_requests, try_serve, CloudIngress, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig,
+    FeatureWire, Fleet, LinkChange, LinkFeedback, PayloadPlan, ServeConfig, RESPONSE_WIRE_BYTES,
 };
 use mea_edgecloud::traces::ArrivalModel;
 use mea_nn::models::{resnet_cifar, CifarResNetConfig, SegmentedCnn};
@@ -387,6 +387,112 @@ proptest! {
                 *slot = Some(c.seq);
             }
         }
+    }
+
+    /// The sharded work-stealing ingress is a pure scheduling knob:
+    /// whatever the shard count (= cloud workers), batch cap, straggler
+    /// wait or threshold, the served records are identical to the
+    /// single-queue reference path, steal accounting only ever appears on
+    /// the sharded side, and the per-shard batch counts partition the
+    /// batch total in both modes.
+    #[test]
+    fn sharded_ingress_is_record_identical_to_single_queue(
+        devices in 1usize..5,
+        edge_workers in 1usize..4,
+        cloud_workers in 1usize..5,
+        max_batch in 1usize..9,
+        wait_us in 0u64..1500,
+        threshold in 0.0f32..2.0,
+    ) {
+        let bundle = presets::tiny(95);
+        let mut rng = Rng::new(11);
+        let requests =
+            trace_requests(&bundle.test, devices, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+        let run = |ingress: CloudIngress| {
+            let mut edges: Vec<EdgeReplica> =
+                (0..edge_workers).map(|_| EdgeReplica::new(tiny_net(33))).collect();
+            let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|_| tiny_cloud(34)).collect();
+            let cfg = ServeConfig::builder(OffloadPolicy::EntropyThreshold(threshold))
+                .edge_workers(edge_workers)
+                .cloud_workers(cloud_workers)
+                .max_batch(max_batch)
+                .max_wait(Duration::from_micros(wait_us))
+                .ingress(ingress)
+                .build()
+                .expect("valid config");
+            try_serve(&cfg, &mut edges, &mut clouds, &requests).expect("serves")
+        };
+        let sharded = run(CloudIngress::Sharded);
+        let single = run(CloudIngress::SingleQueue);
+        prop_assert_eq!(&sharded.records, &single.records, "ingress changed the served records");
+        prop_assert_eq!(sharded.stats.offloaded, single.stats.offloaded);
+        prop_assert_eq!(single.stats.steals, 0);
+        prop_assert_eq!(single.stats.max_queue_depth, 0);
+        for stats in [&sharded.stats, &single.stats] {
+            prop_assert_eq!(stats.per_shard_batches.len(), cloud_workers);
+            prop_assert_eq!(stats.per_shard_batches.iter().sum::<u64>(), stats.cloud_batches);
+        }
+    }
+
+    /// Per-device FIFO per exit lane survives work stealing under a
+    /// deliberately skewed population: every device id is a multiple of
+    /// the cloud worker count, so every frame lands on shard 0 and any
+    /// parallelism the other workers contribute comes entirely from
+    /// steals. The completion stream must still be sequence-ordered per
+    /// device and exit lane, and the records identical to the offline
+    /// sweep.
+    #[test]
+    fn work_stealing_preserves_per_device_fifo_under_skew(
+        device_count in 1usize..4,
+        cloud_workers in 2usize..5,
+        max_batch in 1usize..5,
+        threshold in 0.0f32..2.0,
+    ) {
+        let bundle = presets::tiny(96);
+        let policy = OffloadPolicy::EntropyThreshold(threshold);
+        let mut rng = Rng::new(12);
+        let mut requests =
+            trace_requests(&bundle.test, device_count, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+        // Skew: device d -> d * cloud_workers keeps ids distinct while
+        // pinning every sticky lane index to 0.
+        for r in &mut requests {
+            r.device *= cloud_workers;
+        }
+        let mut edges = vec![EdgeReplica::new(tiny_net(35))];
+        let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|_| tiny_cloud(36)).collect();
+        let cfg = ServeConfig::builder(policy)
+            .edge_workers(1)
+            .cloud_workers(cloud_workers)
+            .max_batch(max_batch)
+            .queue_depth(8)
+            .link(NetworkLink::wifi(200.0).with_rtt(0.0005))
+            .build()
+            .expect("valid config");
+        let report = try_serve(&cfg, &mut edges, &mut clouds, &requests).expect("serves");
+        prop_assert_eq!(report.completions.len(), requests.len());
+        for d in (0..device_count).map(|d| d * cloud_workers) {
+            let mut last_cloud_seq = None;
+            let mut last_local_seq = None;
+            for c in report.completions.iter().filter(|c| c.device == d) {
+                let slot = if c.record.exit == ExitPoint::Cloud {
+                    &mut last_cloud_seq
+                } else {
+                    &mut last_local_seq
+                };
+                if let Some(prev) = *slot {
+                    prop_assert!(
+                        c.seq > prev,
+                        "device {} exit {:?}: seq {} completed after seq {}",
+                        d, c.record.exit, c.seq, prev
+                    );
+                }
+                *slot = Some(c.seq);
+            }
+        }
+        let mut net = tiny_net(35);
+        let mut cloud = tiny_cloud(36);
+        let expected = run_inference_with_policy(&mut net, Some(&mut cloud), &bundle.test, policy, 8);
+        prop_assert_eq!(report.records, expected, "skewed stealing run diverged from the sweep");
     }
 
     /// The identity embedding of the old API into the new one: a fleet of

@@ -11,6 +11,8 @@
 //!   fixed-vs-trained split (paper Table VI, ptflops-equivalent);
 //! * [`memory`] — the analytic training-memory model behind paper Fig. 6;
 //! * [`histogram`] — fixed-bin histograms for entropy distributions;
+//! * [`streaming`] — bounded log-bucket histograms for high-volume
+//!   latency streams (flat memory at any sample count);
 //! * [`report`] — plain-text table rendering for the bench harness.
 
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@ pub mod flops;
 pub mod histogram;
 pub mod memory;
 pub mod report;
+pub mod streaming;
 
 pub use calibration::{ece, Reliability, ReliabilityBin};
 pub use confusion::ConfusionMatrix;
@@ -31,3 +34,4 @@ pub use errors::{ErrorBreakdown, ErrorType};
 pub use flops::{CostSplit, LayerCost};
 pub use histogram::Histogram;
 pub use report::Table;
+pub use streaming::StreamingHistogram;

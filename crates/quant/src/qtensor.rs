@@ -57,19 +57,27 @@ impl QTensor {
 
     /// Dequantizes back to f32.
     pub fn dequantize(&self) -> Tensor {
-        let values: Vec<f32> = match self.params.scheme() {
+        let mut values = Vec::with_capacity(self.data.len());
+        self.dequantize_into(&mut values);
+        Tensor::from_vec(values, &self.dims).expect("dims consistent by construction")
+    }
+
+    /// Appends the dequantized f32 values to `out` (same element order and
+    /// bit-identical values as [`QTensor::dequantize`]). Lets callers
+    /// assemble batches in a reused scratch arena instead of allocating a
+    /// tensor per payload.
+    pub fn dequantize_into(&self, out: &mut Vec<f32>) {
+        out.reserve(self.data.len());
+        match self.params.scheme() {
             QScheme::SymmetricPerChannel => {
                 let out_c = self.dims[0];
                 let row = self.data.len() / out_c;
-                self.data
-                    .chunks(row)
-                    .enumerate()
-                    .flat_map(|(c, chunk)| chunk.iter().map(move |&q| self.params.dequantize_value(q, c)))
-                    .collect()
+                for (c, chunk) in self.data.chunks(row).enumerate() {
+                    out.extend(chunk.iter().map(|&q| self.params.dequantize_value(q, c)));
+                }
             }
-            _ => self.data.iter().map(|&q| self.params.dequantize_value(q, 0)).collect(),
-        };
-        Tensor::from_vec(values, &self.dims).expect("dims consistent by construction")
+            _ => out.extend(self.data.iter().map(|&q| self.params.dequantize_value(q, 0))),
+        }
     }
 
     /// The raw int8 data.

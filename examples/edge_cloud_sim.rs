@@ -83,7 +83,7 @@ fn main() {
     }
     let n = offload.len();
     let (preds, stats) = run_threaded(offload, |payload| {
-        let logits = cloud_net.lock().forward(&payload.to_tensor(), Mode::Eval);
+        let logits = cloud_net.lock().forward(&payload.as_tensor(), Mode::Eval);
         logits.argmax_rows()[0]
     });
     println!(

@@ -35,7 +35,7 @@ fn threaded_cloud_matches_local_predictions_for_feature_payloads() {
     let expected_bytes: u64 = payloads.iter().map(|p| p.wire_size_bytes()).sum();
     let cloud = Mutex::new(cloud);
     let (remote, stats) =
-        run_threaded(payloads, |p| cloud.lock().forward(&p.to_tensor(), Mode::Eval).argmax_rows()[0]);
+        run_threaded(payloads, |p| cloud.lock().forward(&p.as_tensor(), Mode::Eval).argmax_rows()[0]);
 
     assert_eq!(remote, local, "wire transfer changed predictions");
     assert_eq!(stats.bytes_sent, expected_bytes, "byte accounting mismatch");
@@ -61,7 +61,7 @@ fn raw_payload_quantisation_rarely_flips_predictions() {
         (0..n).map(|i| Payload::RawImage { image: bundle.test.images.slice_axis0(i, i + 1) }).collect();
     let cloud = Mutex::new(cloud);
     let (remote, _) =
-        run_threaded(payloads, |p| cloud.lock().forward(&p.to_tensor(), Mode::Eval).argmax_rows()[0]);
+        run_threaded(payloads, |p| cloud.lock().forward(&p.as_tensor(), Mode::Eval).argmax_rows()[0]);
     let agree = remote.iter().zip(&local).filter(|(a, b)| a == b).count();
     assert!(agree * 4 >= n * 3, "8-bit quantisation flipped too many predictions: {agree}/{n}");
 }

@@ -217,6 +217,15 @@ impl BufMut for BytesMut {
     }
 }
 
+// Like upstream `bytes`, a plain `Vec<u8>` is a valid sink — lets codecs
+// encode straight into a caller-owned buffer (e.g. `mea_quant::wire`
+// frames appended to a payload without an intermediate copy).
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
 impl Deref for BytesMut {
     type Target = [u8];
 
