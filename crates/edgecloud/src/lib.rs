@@ -45,6 +45,13 @@
 //!   `meanet` difficulty predictor can pre-commit predicted-hard inputs
 //!   to the cloud (skipping their main-exit forward) and settle
 //!   predicted-easy inputs locally;
+//! * [`governor`] — the SLA control plane over [`mod@serve`]: a
+//!   [`governor::Governor`] escalation ladder that jointly moves the
+//!   offload fraction β, the cut depth and the wire format (f32 →
+//!   per-tensor int8 → per-channel int8) per device class, replanning
+//!   from measured link EWMAs and live windowed p95 latency so the
+//!   runtime holds a [`governor::SlaTarget`] (p95 budget + Table-III
+//!   accuracy floor); selected with [`serve::ControlPlan::Governed`];
 //! * [`traces`] — seeded arrival-time generators (uniform / Poisson /
 //!   bursty) driving both the fleet simulator and the serving runtime.
 
@@ -54,6 +61,7 @@ pub mod cost;
 pub mod device;
 pub mod energy;
 pub mod fleet;
+pub mod governor;
 pub mod network;
 pub mod partition;
 pub mod payload;
@@ -69,18 +77,19 @@ pub use fleet::{
     simulate_fleet, simulate_fleet_spec, simulate_fleet_spec_with_arrivals, simulate_fleet_with_arrivals,
     ComputeTier, DeviceClass, FleetConfig, FleetReport, FleetSpec,
 };
+pub use governor::{AccuracyModel, ControlPoint, Governor, GovernorConfig, SlaTarget};
 pub use network::{LinkEstimate, LinkEstimator, NetworkLink, UploadPowerModel};
 pub use partition::{
     best_cut, profile_network, sweep_cuts, CutCost, CutPlanner, LayerProfile, Objective, PartitionEnv,
-    MEASURED_PRIOR_SAMPLES,
+    SlaObjective, MEASURED_PRIOR_SAMPLES,
 };
-pub use payload::Payload;
+pub use payload::{channel_absmax, ActivationGrids, Payload};
 #[allow(deprecated)]
 pub use serve::serve;
 pub use serve::{
-    trace_requests, try_serve, Completion, ControllerConfig, CutPlannerConfig, CutSelection, EdgeReplica,
-    FeatureConfig, FeatureWire, Fleet, LinkChange, LinkFeedback, PayloadPlan, ServeConfig, ServeConfigBuilder,
-    ServeConfigError, ServeError, ServeReport, ServeRequest, ServeStats, WireFormat,
+    trace_requests, try_serve, Completion, ControlPlan, ControllerConfig, CutPlannerConfig, CutSelection,
+    EdgeReplica, FeatureConfig, FeatureWire, Fleet, LinkChange, LinkFeedback, PayloadPlan, ServeConfig,
+    ServeConfigBuilder, ServeConfigError, ServeError, ServeReport, ServeRequest, ServeStats, WireFormat,
 };
 pub use traces::ArrivalModel;
 pub use transport::{

@@ -72,6 +72,28 @@ pub enum Objective {
     EdgeEnergy,
 }
 
+/// An SLA-constrained refinement of [`Objective`] for the serving
+/// governor: instead of minimising one scalar cost, the planner first
+/// restricts the candidate cuts to those whose *predicted* per-image
+/// latency fits inside the p95 budget, then maximises sustained
+/// throughput over the feasible set by minimising the bytes each offload
+/// holds the shared uplink for. The accuracy floor rides along for the
+/// governor's β bound — cut choice itself is accuracy-neutral (split
+/// execution is bitwise-identical at every cut), so the floor constrains
+/// how far the offload fraction may drop, not which layer to cut at.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaObjective {
+    /// Tie-break score inside the feasible set (and the fallback score
+    /// when no cut fits the budget).
+    pub base: Objective,
+    /// The p95 latency budget one served image must fit in (seconds).
+    pub p95_budget_s: f64,
+    /// The Table-III detection-accuracy floor the governor may not trade
+    /// away when it lowers β (carried here so one struct describes the
+    /// whole SLA; unused by cut scoring itself).
+    pub accuracy_floor: f64,
+}
+
 /// Scored evaluation of one cut point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CutCost {
@@ -332,19 +354,84 @@ impl CutPlanner {
     /// blending the static contention prior with that class's measured
     /// link estimate (see [`CutPlanner::effective_env_measured`]).
     pub fn plan_for_measured(&self, edge: &DeviceProfile, measured: Option<&LinkEstimate>) -> CutCost {
-        let mut env = self.effective_env_measured(measured);
-        env.edge = edge.clone();
-        let costs = sweep_cuts(&self.profiles, &env);
+        let costs = self.serving_costs(edge, measured);
         let score = |c: &CutCost| match self.objective {
             Objective::Latency => c.latency_s,
             Objective::EdgeEnergy => c.edge_energy_j,
         };
-        costs[..self.profiles.len()] // exclude the edge-only endpoint
+        costs
             .iter()
             .rev() // later cuts (more edge) win ties
             .min_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite costs"))
             .copied()
             .expect("at least the raw-upload cut exists")
+    }
+
+    /// Every *serving* cut (edge-only endpoint excluded) scored under the
+    /// blended environment for one edge class — the shared sweep behind
+    /// [`CutPlanner::plan_for_measured`] and [`CutPlanner::plan_for_sla`].
+    fn serving_costs(&self, edge: &DeviceProfile, measured: Option<&LinkEstimate>) -> Vec<CutCost> {
+        let mut env = self.effective_env_measured(measured);
+        env.edge = edge.clone();
+        let mut costs = sweep_cuts(&self.profiles, &env);
+        costs.truncate(self.profiles.len()); // exclude the edge-only endpoint
+        costs
+    }
+
+    /// SLA-constrained serving cut for one edge class: among the cuts
+    /// whose predicted per-image latency fits inside `sla.p95_budget_s`,
+    /// pick the one occupying the shared uplink for the fewest bytes per
+    /// offload (the sustained-throughput maximiser), breaking byte ties
+    /// by the base objective and then toward more edge layers. Returns
+    /// the chosen cut and whether the budget was satisfiable at all —
+    /// when no cut fits, the fallback is the plain base-objective optimum
+    /// (latency can only be *reduced* by ignoring an unmeetable budget,
+    /// never traded away) flagged `false` so the governor can count the
+    /// SLA as unreachable instead of pretending.
+    pub fn plan_for_sla(
+        &self,
+        edge: &DeviceProfile,
+        measured: Option<&LinkEstimate>,
+        sla: &SlaObjective,
+    ) -> (CutCost, bool) {
+        let costs = self.serving_costs(edge, measured);
+        let base = |c: &CutCost| match sla.base {
+            Objective::Latency => c.latency_s,
+            Objective::EdgeEnergy => c.edge_energy_j,
+        };
+        let feasible = costs
+            .iter()
+            .rev() // later cuts (more edge) win ties
+            .filter(|c| c.latency_s <= sla.p95_budget_s)
+            .min_by(|a, b| {
+                (a.upload_bytes, base(a)).partial_cmp(&(b.upload_bytes, base(b))).expect("finite costs")
+            })
+            .copied();
+        match feasible {
+            Some(c) => (c, true),
+            None => (self.plan_for_measured(edge, measured), false),
+        }
+    }
+
+    /// [`CutPlanner::plan_for_sla`] with an optional per-class link prior
+    /// (the [`CutPlanner::plan_for_measured_with_link`] convention: the
+    /// prior replaces the shared link before contention scaling and the
+    /// measured blend).
+    pub fn plan_for_sla_with_link(
+        &self,
+        edge: &DeviceProfile,
+        link: Option<&NetworkLink>,
+        measured: Option<&LinkEstimate>,
+        sla: &SlaObjective,
+    ) -> (CutCost, bool) {
+        match link {
+            None => self.plan_for_sla(edge, measured, sla),
+            Some(l) => {
+                let mut on_link = self.clone();
+                on_link.env.link = *l;
+                on_link.plan_for_sla(edge, measured, sla)
+            }
+        }
     }
 
     /// One cost-minimal serving cut per edge device class, in class order.
@@ -780,6 +867,72 @@ mod tests {
         let shared_link = env().link;
         let with_prior = planner.plan_for_measured_with_link(&edge, Some(&shared_link), Some(&est));
         let without = planner.plan_for_measured(&edge, Some(&est));
+        assert_eq!(with_prior, without);
+    }
+
+    #[test]
+    fn sla_plan_minimises_bytes_over_the_feasible_set() {
+        // All cuts fit a generous budget: the SLA plan ships the fewest
+        // bytes per offload (sustained-throughput maximiser), which is
+        // not necessarily the latency optimum.
+        let profiles = vec![
+            LayerProfile { name: "conv1".into(), macs: 1_000_000, out_elems: 4096 },
+            LayerProfile { name: "conv2".into(), macs: 2_000_000, out_elems: 256 },
+            LayerProfile { name: "head".into(), macs: 5_000_000, out_elems: 10 },
+        ];
+        let mut e = env();
+        e.link = NetworkLink::wifi(100_000.0).with_rtt(0.0);
+        e.cloud = DeviceProfile::new("dc", 500.0, 1e14);
+        e.raw_input_bytes = 12288;
+        let planner = CutPlanner::new(profiles, e, Objective::Latency, 1);
+        let edge = planner.effective_env().edge;
+        let latency_best = planner.plan_for_measured(&edge, None);
+        assert_eq!(latency_best.cut, 0, "free uplink + huge cloud: latency ships pixels");
+        let sla = SlaObjective { base: Objective::Latency, p95_budget_s: 10.0, accuracy_floor: 0.9 };
+        let (cut, feasible) = planner.plan_for_sla(&edge, None, &sla);
+        assert!(feasible);
+        assert_eq!(cut.cut, 2, "throughput wants the bottleneck cut: {cut:?}");
+        assert!(cut.upload_bytes < latency_best.upload_bytes);
+    }
+
+    #[test]
+    fn sla_plan_excludes_cuts_over_budget() {
+        // A budget between the slowest and fastest cut prunes the
+        // infeasible ones; the returned cut must fit it.
+        let planner = CutPlanner::new(toy_profiles(), env(), Objective::Latency, 1);
+        let edge = planner.effective_env().edge;
+        let all: Vec<CutCost> = planner.serving_costs(&edge, None);
+        let (lo, hi) =
+            all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), c| (lo.min(c.latency_s), hi.max(c.latency_s)));
+        assert!(lo < hi, "toy cuts must differ in latency");
+        let budget = (lo + hi) / 2.0;
+        let sla = SlaObjective { base: Objective::Latency, p95_budget_s: budget, accuracy_floor: 0.9 };
+        let (cut, feasible) = planner.plan_for_sla(&edge, None, &sla);
+        assert!(feasible);
+        assert!(cut.latency_s <= budget, "{cut:?} over budget {budget}");
+        let fewest_feasible = all.iter().filter(|c| c.latency_s <= budget).map(|c| c.upload_bytes).min().unwrap();
+        assert_eq!(cut.upload_bytes, fewest_feasible);
+    }
+
+    #[test]
+    fn unreachable_sla_falls_back_to_the_base_optimum() {
+        let planner = CutPlanner::new(toy_profiles(), env(), Objective::Latency, 1);
+        let edge = planner.effective_env().edge;
+        let sla = SlaObjective { base: Objective::Latency, p95_budget_s: 1e-12, accuracy_floor: 0.9 };
+        let (cut, feasible) = planner.plan_for_sla(&edge, None, &sla);
+        assert!(!feasible, "a picosecond budget is unreachable");
+        assert_eq!(cut, planner.plan_for_measured(&edge, None), "fallback is the unconstrained optimum");
+    }
+
+    #[test]
+    fn sla_plan_with_link_matches_shared_link_when_prior_is_shared() {
+        let planner = CutPlanner::new(toy_profiles(), env(), Objective::Latency, 3);
+        let edge = DeviceProfile::new("edge", 10.0, 1e9);
+        let est = LinkEstimate { up_mbps: 0.5, down_mbps: 0.5, rtt_s: 0.02, samples: 16 };
+        let sla = SlaObjective { base: Objective::Latency, p95_budget_s: 0.5, accuracy_floor: 0.9 };
+        let shared_link = env().link;
+        let with_prior = planner.plan_for_sla_with_link(&edge, Some(&shared_link), Some(&est), &sla);
+        let without = planner.plan_for_sla(&edge, Some(&est), &sla);
         assert_eq!(with_prior, without);
     }
 

@@ -13,6 +13,63 @@ use mea_quant::{wire, QTensor, QuantParams};
 use mea_tensor::Tensor;
 use std::borrow::Cow;
 
+/// Calibrated per-channel int8 activation grids, one per partition cut.
+///
+/// The self-describing `mea_quant::wire` frame pays 8 bytes per channel of
+/// scale/zero-point header, which makes a naive per-channel activation
+/// frame *larger* than its per-tensor cousin. The grids fix that: edge and
+/// cloud agree on the quantization parameters for every cut **once, at
+/// serve setup** (calibrated from a sample activation), and the frames on
+/// the wire carry only a cut index — the parameter table never travels
+/// with the data. A grid-indexed frame (payload tag 3) is therefore
+/// strictly smaller than the per-tensor int8 frame (tag 2) at the same
+/// cut, while keeping per-channel scale resolution at deep cuts.
+///
+/// Entries are indexed by cut layer; `None` marks cuts that were never
+/// calibrated (offloads at those cuts must use a self-describing wire).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationGrids {
+    per_cut: Vec<Option<QuantParams>>,
+}
+
+impl ActivationGrids {
+    /// Builds a grid table from per-cut parameters (index = cut layer).
+    pub fn new(per_cut: Vec<Option<QuantParams>>) -> Self {
+        ActivationGrids { per_cut }
+    }
+
+    /// Builds a grid table from per-cut channel absolute maxima, producing
+    /// symmetric per-channel parameters ([`QuantParams::symmetric_per_channel`]).
+    pub fn from_absmax(per_cut: Vec<Option<Vec<f32>>>) -> Self {
+        let per_cut = per_cut.into_iter().map(|a| a.map(|m| QuantParams::symmetric_per_channel(&m))).collect();
+        ActivationGrids { per_cut }
+    }
+
+    /// The calibrated parameters at `cut`, if any.
+    pub fn params(&self, cut: usize) -> Option<&QuantParams> {
+        self.per_cut.get(cut).and_then(|p| p.as_ref())
+    }
+
+    /// Number of cut slots in the table.
+    pub fn cuts(&self) -> usize {
+        self.per_cut.len()
+    }
+}
+
+/// Per-channel absolute maxima of a single-instance activation `[1, C, ...]`
+/// — the calibration statistic [`ActivationGrids::from_absmax`] consumes.
+///
+/// # Panics
+///
+/// Panics if the tensor is not single-instance with a channel axis.
+pub fn channel_absmax(features: &Tensor) -> Vec<f32> {
+    let dims = features.dims();
+    assert!(dims.len() >= 2 && dims[0] == 1, "calibration activations are single-instance [1, C, ...]");
+    let ch = dims[1];
+    let row = features.numel() / ch;
+    features.as_slice().chunks(row).map(|c| c.iter().fold(0.0f32, |m, &x| m.max(x.abs()))).collect()
+}
+
 /// A payload travelling from the edge to the cloud.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
@@ -108,6 +165,40 @@ impl Payload {
         Self::encode_quant(&QTensor::quantize(features, params))
     }
 
+    /// Quantises a single-instance activation `[1, C, ...]` onto the
+    /// calibrated per-channel grid for `cut` and encodes a **grid-indexed
+    /// frame** (payload tag 3): tag, cut index, and the params-less
+    /// `mea_quant::wire` indexed frame. The channel axis on the wire is
+    /// the leading axis of the squeezed `[C, ...]` shape; the decode side
+    /// ([`Payload::decode_into_with_grids`]) reinstates the batch axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no grid is calibrated at `cut`, the activation is not
+    /// single-instance, or its channel count differs from the grid's.
+    pub fn encode_grid_features(features: &Tensor, cut: usize, grids: &ActivationGrids) -> Bytes {
+        let params = grids.params(cut).unwrap_or_else(|| panic!("no activation grid calibrated for cut {cut}"));
+        let dims = features.dims();
+        assert!(dims.len() >= 2 && dims[0] == 1, "grid-indexed frames ship single-instance activations");
+        assert!(cut <= u8::MAX as usize, "cut index {cut} exceeds the one-byte frame field");
+        let ch = dims[1];
+        assert_eq!(params.channels(), ch, "grid covers {} channels, activation has {ch}", params.channels());
+        // [1, C, ...] is laid out exactly as [C, ...]: quantize per leading
+        // chunk and frame the squeezed shape, whose leading axis is the
+        // channel axis the per-channel QTensor machinery expects.
+        let row = features.numel() / ch;
+        let mut data = Vec::with_capacity(features.numel());
+        for (c, chunk) in features.as_slice().chunks(row).enumerate() {
+            data.extend(chunk.iter().map(|&x| params.quantize_value(x, c)));
+        }
+        let q = QTensor::from_parts(data, dims[1..].to_vec(), params.clone());
+        let mut buf = Vec::with_capacity(2 + wire::indexed_encoded_len(&q) as usize);
+        buf.put_u8(3);
+        buf.put_u8(cut as u8);
+        wire::encode_indexed_into(&q, &mut buf);
+        Bytes::from(buf)
+    }
+
     /// Decodes a payload produced by [`Payload::encode`].
     ///
     /// # Panics
@@ -160,6 +251,31 @@ impl Payload {
             ),
             t => panic!("unknown payload tag {t}"),
         }
+        dims
+    }
+
+    /// [`Payload::decode_into`] extended with the grid-indexed frame
+    /// (payload tag 3): the frame's cut index selects the shared
+    /// calibrated [`ActivationGrids`] entry, the params-less frame decodes
+    /// against it, and the dequantized values append to `out` with the
+    /// single-instance batch axis reinstated in the returned dims. All
+    /// other tags fall through to [`Payload::decode_into`] unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed buffer or a cut with no calibrated grid.
+    pub fn decode_into_with_grids(mut buf: Bytes, grids: &ActivationGrids, out: &mut Vec<f32>) -> Vec<usize> {
+        if buf[0] != 3 {
+            return Self::decode_into(buf, out);
+        }
+        buf.advance(1);
+        let cut = buf.get_u8() as usize;
+        let params = grids.params(cut).unwrap_or_else(|| panic!("no activation grid calibrated for cut {cut}"));
+        let (q, _) = wire::decode_indexed(&buf, params);
+        q.dequantize_into(out);
+        let mut dims = Vec::with_capacity(q.dims().len() + 1);
+        dims.push(1);
+        dims.extend_from_slice(q.dims());
         dims
     }
 
@@ -356,6 +472,63 @@ mod tests {
             let expect: Vec<f32> = ta.as_slice().iter().chain(tb.as_slice()).copied().collect();
             assert_eq!(arena, expect);
         }
+    }
+
+    #[test]
+    fn grid_indexed_frame_round_trips_bit_exactly() {
+        let mut rng = Rng::new(11);
+        let t = Tensor::randn([1, 8, 3, 3], 1.0, &mut rng);
+        let grids = ActivationGrids::from_absmax(vec![None, Some(channel_absmax(&t))]);
+        let buf = Payload::encode_grid_features(&t, 1, &grids);
+        let mut arena = Vec::new();
+        let dims = Payload::decode_into_with_grids(buf.clone(), &grids, &mut arena);
+        assert_eq!(dims, vec![1, 8, 3, 3]);
+        // The decode is exactly quantize → dequantize on the shared grid.
+        let params = grids.params(1).unwrap();
+        let expect: Vec<f32> = t
+            .as_slice()
+            .chunks(9)
+            .enumerate()
+            .flat_map(|(c, chunk)| {
+                chunk.iter().map(move |&x| params.dequantize_value(params.quantize_value(x, c), c))
+            })
+            .collect();
+        assert_eq!(arena, expect);
+    }
+
+    #[test]
+    fn grid_indexed_frame_is_smaller_than_per_tensor_int8() {
+        // The acceptance-criterion inequality, at frame granularity: the
+        // grid-indexed per-channel frame beats the self-describing
+        // per-tensor frame because the parameter block travels out of band.
+        let mut rng = Rng::new(12);
+        let t = Tensor::randn([1, 16, 2, 2], 1.0, &mut rng);
+        let grids = ActivationGrids::from_absmax(vec![Some(channel_absmax(&t))]);
+        let grid_frame = Payload::encode_grid_features(&t, 0, &grids);
+        let per_tensor_frame = Payload::encode_quantized_features(&t);
+        assert!(grid_frame.len() < per_tensor_frame.len(), "{} vs {}", grid_frame.len(), per_tensor_frame.len());
+    }
+
+    #[test]
+    fn decode_into_with_grids_falls_through_on_other_tags() {
+        let mut rng = Rng::new(13);
+        let t = Tensor::randn([1, 4, 3, 3], 1.0, &mut rng);
+        let grids = ActivationGrids::new(vec![]);
+        for buf in [Payload::encode_features(&t), Payload::encode_quantized_features(&t)] {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            let da = Payload::decode_into_with_grids(buf.clone(), &grids, &mut a);
+            let db = Payload::decode_into(buf, &mut b);
+            assert_eq!(da, db);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no activation grid calibrated")]
+    fn grid_encode_rejects_uncalibrated_cut() {
+        let t = Tensor::ones([1, 4, 2, 2]);
+        let grids = ActivationGrids::new(vec![None, None]);
+        let _ = Payload::encode_grid_features(&t, 1, &grids);
     }
 
     #[test]

@@ -84,9 +84,12 @@
 
 use crate::device::DeviceProfile;
 use crate::fleet::{ComputeTier, DeviceClass, FleetSpec};
+use crate::governor::{ControlPoint, Governor, GovernorConfig, SlaTarget};
 use crate::network::{LinkEstimate, LinkEstimator, NetworkLink};
-use crate::partition::{profile_network, CutPlanner, Objective, PartitionEnv, MEASURED_PRIOR_SAMPLES};
-use crate::payload::Payload;
+use crate::partition::{
+    profile_network, CutPlanner, Objective, PartitionEnv, SlaObjective, MEASURED_PRIOR_SAMPLES,
+};
+use crate::payload::{channel_absmax, ActivationGrids, Payload};
 use crate::sim::ThreadedStats;
 use crate::traces::ArrivalModel;
 use crate::transport::{
@@ -95,7 +98,7 @@ use crate::transport::{
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use mea_data::Dataset;
-use mea_metrics::{Histogram, StreamingHistogram};
+use mea_metrics::{Histogram, StreamingHistogram, WindowedQuantiles};
 use mea_nn::layer::Mode;
 use mea_nn::models::SegmentedCnn;
 use mea_tensor::{Rng, Tensor};
@@ -104,6 +107,7 @@ use meanet::{
     Difficulty, DifficultyPredictor, ExitPoint, InstanceRecord, MeaNet, OffloadPolicy, ThresholdController,
 };
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -116,6 +120,12 @@ use std::time::{Duration, Instant};
 /// the [`CutPlanner`] charges as `response_bytes`. Both transports put
 /// the same frame on the wire, so the charge is byte-for-byte real.
 pub const RESPONSE_WIRE_BYTES: u64 = ResponseFrame::WIRE_BYTES;
+
+/// Headroom factor on the calibration activations' per-channel absolute
+/// maxima when building the serve-time [`ActivationGrids`]: inputs hotter
+/// than the calibration image saturate instead of wrapping, and a little
+/// headroom keeps saturation rare.
+const GRID_HEADROOM: f32 = 1.25;
 
 /// How offloaded images are encoded on the edge→cloud wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -133,7 +143,7 @@ pub enum WireFormat {
 
 /// How offloaded *activations* are encoded on the edge→cloud wire in
 /// feature-payload mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum FeatureWire {
     /// Lossless `f32` activations ([`Payload::Features`]): the resumed
     /// cloud forward is bitwise identical to the full forward, whatever
@@ -143,8 +153,17 @@ pub enum FeatureWire {
     /// Int8 activations through the `mea-quant` wire codec
     /// ([`Payload::QuantFeatures`]): ~4× smaller — a deep cut undercuts
     /// even the raw-image upload — at the cost of borderline prediction
-    /// flips.
+    /// flips. Every frame carries its own per-tensor quantisation
+    /// parameters.
     Int8,
+    /// Per-channel int8 activations on a **calibrated grid**
+    /// ([`Payload::encode_grid_features`]): the per-channel scales are
+    /// calibrated once at serve setup ([`ActivationGrids`]) and shared by
+    /// edge and cloud out of band, so frames carry only a one-byte cut
+    /// index plus the quantised data — strictly fewer bytes per offload
+    /// than [`FeatureWire::Int8`] at every cut, with the finer channel
+    /// granularity on top. The governor's deepest wire rung.
+    PerChannelInt8,
 }
 
 impl FeatureWire {
@@ -152,7 +171,7 @@ impl FeatureWire {
     pub fn bytes_per_elem(self) -> u64 {
         match self {
             FeatureWire::F32 => 4,
-            FeatureWire::Int8 => 1,
+            FeatureWire::Int8 | FeatureWire::PerChannelInt8 => 1,
         }
     }
 }
@@ -285,6 +304,56 @@ pub struct ControllerConfig {
     pub window: usize,
 }
 
+/// The unified control plane of feature-payload serving: one value that
+/// says how the (β, cut, wire) operating point is chosen, replacing the
+/// scattered legacy combination of [`ServeConfigBuilder::controller`],
+/// a [`PayloadPlan::Features`] payload with [`CutSelection`], and the
+/// feedback option buried inside [`CutPlannerConfig`].
+///
+/// Set via [`ServeConfigBuilder::control`]; the runtime normalises every
+/// plan into the legacy fields through one shared path, so a plan and the
+/// equivalent hand-assembled legacy configuration serve **identically**.
+/// Combining a plan with the legacy `controller`/`payload` fields is
+/// rejected at build time ([`ServeConfigError`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlPlan {
+    /// Open-loop: a fixed cut and wire for every device, optionally with
+    /// SPINN-style threshold steering. Nothing replans at runtime.
+    Static {
+        /// The fixed cut layer (same for every device class).
+        cut: usize,
+        /// The activation wire encoding.
+        wire: FeatureWire,
+        /// Optional runtime threshold adaptation.
+        controller: Option<ControllerConfig>,
+    },
+    /// Closed-loop planned cuts: the [`CutPlanner`] picks the per-class
+    /// cut online and measured-link `feedback` replans it from the link
+    /// times cloud batches actually paid.
+    ClosedLoop {
+        /// Planner parameters. Its [`CutPlannerConfig::feedback`] field
+        /// must be `None` — the loop's feedback lives in
+        /// [`ControlPlan::ClosedLoop::feedback`], not inside the planner
+        /// config ([`ServeConfigError::ClosedLoopFeedbackConflict`]).
+        planner: CutPlannerConfig,
+        /// The measured-link feedback loop (mandatory: a closed loop
+        /// without feedback is the open-loop plan).
+        feedback: LinkFeedback,
+        /// The activation wire encoding.
+        wire: FeatureWire,
+        /// Optional runtime threshold adaptation.
+        controller: Option<ControllerConfig>,
+    },
+    /// SLA-governed joint (β, cut, wire) control: the
+    /// [`Governor`] watches live per-class p95 latency windows and
+    /// escalates cut objective, wire format and finally the offload
+    /// fraction to hold the [`SlaTarget`] — see [`crate::governor`].
+    /// Starts from lossless `f32` on latency-planned cuts with default
+    /// measured-link feedback; requires [`ServeConfig::link`]
+    /// ([`ServeConfigError::GovernedWithoutTelemetry`]).
+    Governed(SlaTarget),
+}
+
 /// Static configuration of the serving runtime.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
@@ -306,7 +375,18 @@ pub struct ServeConfig {
     /// threshold).
     pub policy: OffloadPolicy,
     /// Optional SPINN-style runtime threshold adaptation.
+    ///
+    /// Legacy field: prefer [`ServeConfig::control`], which carries the
+    /// controller inside its [`ControlPlan`]. Setting both is rejected
+    /// ([`ServeConfigError::ControlPlanControllerConflict`]).
     pub controller: Option<ControllerConfig>,
+    /// The unified control plane ([`ControlPlan`]): how the (β, cut,
+    /// wire) operating point of feature-payload serving is chosen.
+    /// `None` keeps the legacy field combination
+    /// (`controller` + `payload`) in charge; `Some` expands into those
+    /// fields through one shared normalisation path before validation,
+    /// and conflicts with explicitly set legacy fields are rejected.
+    pub control: Option<ControlPlan>,
     /// What offloaded instances carry across the wire: images (the cloud
     /// recomputes from pixels) or cut-layer activations (the cloud
     /// resumes from the cut).
@@ -429,6 +509,7 @@ impl ServeConfig {
             queue_depth: 4,
             policy,
             controller: None,
+            control: None,
             payload: PayloadPlan::default(),
             link: None,
             transport: TransportKind::default(),
@@ -504,8 +585,19 @@ impl ServeConfigBuilder {
     }
 
     /// Enables SPINN-style runtime threshold adaptation.
+    #[deprecated(note = "use ServeConfigBuilder::control with a ControlPlan carrying the controller")]
     pub fn controller(mut self, cc: ControllerConfig) -> Self {
         self.cfg.controller = Some(cc);
+        self
+    }
+
+    /// The unified control plane: how the (β, cut, wire) operating point
+    /// of feature-payload serving is chosen (see [`ControlPlan`]).
+    /// Replaces the legacy `controller`/`payload`/`link_schedule` wiring;
+    /// combining a plan with those legacy setters is rejected at
+    /// [`ServeConfigBuilder::build`].
+    pub fn control(mut self, plan: ControlPlan) -> Self {
+        self.cfg.control = Some(plan);
         self
     }
 
@@ -527,7 +619,16 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Scheduled mid-run changes of the modelled wire. These are
+    /// *scenario* input — what happens to the radio — not control policy;
+    /// the [`ControlPlan`] decides how serving reacts.
+    pub fn link_events(mut self, events: Vec<LinkChange>) -> Self {
+        self.cfg.link_schedule = events;
+        self
+    }
+
     /// Scheduled mid-run changes of the modelled wire.
+    #[deprecated(note = "renamed to ServeConfigBuilder::link_events (link changes are scenario, not control)")]
     pub fn link_schedule(mut self, schedule: Vec<LinkChange>) -> Self {
         self.cfg.link_schedule = schedule;
         self
@@ -557,9 +658,11 @@ impl ServeConfigBuilder {
     /// # Errors
     ///
     /// One [`ServeConfigError`] per violated invariant — the same checks
-    /// [`try_serve`] runs, so a built config cannot fail them later.
+    /// [`try_serve`] runs (including the [`ControlPlan`] normalisation),
+    /// so a built config cannot fail them later.
     pub fn build(self) -> Result<ServeConfig, ServeConfigError> {
-        validate_config(&self.cfg)?;
+        let (effective, _) = effective_config(&self.cfg)?;
+        validate_config(&effective)?;
         Ok(self.cfg)
     }
 }
@@ -598,6 +701,24 @@ pub enum ServeConfigError {
     /// Both [`ServeConfig::fleet`] and [`CutPlannerConfig::classes`] list
     /// device classes — it must be one or the other.
     FleetClassesConflict,
+    /// A [`ControlPlan`] combined with the legacy
+    /// [`ServeConfig::controller`] field — the plan carries its own
+    /// controller slot.
+    ControlPlanControllerConflict,
+    /// A [`ControlPlan`] combined with an explicitly set
+    /// [`ServeConfig::payload`] — the plan *is* the payload decision.
+    ControlPlanPayloadConflict,
+    /// A [`ControlPlan::ClosedLoop`] whose planner config also carries a
+    /// [`CutPlannerConfig::feedback`] — the loop's feedback lives in the
+    /// plan's own field.
+    ClosedLoopFeedbackConflict,
+    /// [`ControlPlan::Governed`] without a [`ServeConfig::link`]: the
+    /// governor plans cuts against a link model and needs link telemetry
+    /// to close its loop.
+    GovernedWithoutTelemetry,
+    /// [`ControlPlan::Governed`] combined with a fixed-cut features
+    /// payload: an SLA governor must be free to move the cut.
+    GovernedFixedCut,
 }
 
 impl fmt::Display for ServeConfigError {
@@ -631,6 +752,26 @@ impl fmt::Display for ServeConfigError {
                 "planned cut selection must leave CutPlannerConfig::classes empty when ServeConfig::fleet \
                  is set (the fleet's effective profiles drive the planner)"
             ),
+            ServeConfigError::ControlPlanControllerConflict => write!(
+                f,
+                "a ControlPlan carries its own controller slot; drop the legacy \
+                 ServeConfigBuilder::controller setter"
+            ),
+            ServeConfigError::ControlPlanPayloadConflict => write!(
+                f,
+                "a ControlPlan decides the payload; drop the explicit ServeConfigBuilder::payload setter"
+            ),
+            ServeConfigError::ClosedLoopFeedbackConflict => write!(
+                f,
+                "ControlPlan::ClosedLoop carries the feedback loop itself; leave \
+                 CutPlannerConfig::feedback as None"
+            ),
+            ServeConfigError::GovernedWithoutTelemetry => {
+                write!(f, "ControlPlan::Governed needs link telemetry: configure a link model (ServeConfig::link)")
+            }
+            ServeConfigError::GovernedFixedCut => {
+                write!(f, "an SLA governor must be free to move the cut; drop the fixed-cut payload")
+            }
         }
     }
 }
@@ -750,6 +891,76 @@ impl std::error::Error for ServeError {
 impl From<ServeConfigError> for ServeError {
     fn from(e: ServeConfigError) -> Self {
         ServeError::Config(e)
+    }
+}
+
+/// Normalises a [`ControlPlan`] into the legacy field combination: the
+/// single code path every entry point ([`try_serve`], the deprecated free
+/// [`serve`] shim, [`Fleet::new`] / [`Fleet::serve`],
+/// [`ServeConfigBuilder::build`]) funnels through, so a plan and the
+/// equivalent hand-assembled legacy configuration are *the same*
+/// configuration by the time the runtime sees them.
+///
+/// Returns the effective configuration (the input expanded, `control`
+/// cleared) plus the governor configuration when the plan is
+/// [`ControlPlan::Governed`]. A `None` plan passes the input through
+/// untouched.
+fn effective_config(cfg: &ServeConfig) -> Result<(ServeConfig, Option<GovernorConfig>), ServeConfigError> {
+    let Some(plan) = &cfg.control else { return Ok((cfg.clone(), None)) };
+    if cfg.controller.is_some() {
+        return Err(ServeConfigError::ControlPlanControllerConflict);
+    }
+    // The specific incoherence first, so the error names it: a governor
+    // pinned to a fixed cut has nothing to govern.
+    if let (ControlPlan::Governed(_), PayloadPlan::Features(fc)) = (plan, &cfg.payload) {
+        if matches!(fc.cut, CutSelection::Fixed(_)) {
+            return Err(ServeConfigError::GovernedFixedCut);
+        }
+    }
+    if cfg.payload != PayloadPlan::default() {
+        return Err(ServeConfigError::ControlPlanPayloadConflict);
+    }
+    let mut eff = cfg.clone();
+    eff.control = None;
+    match plan {
+        ControlPlan::Static { cut, wire, controller } => {
+            eff.payload = PayloadPlan::Features(FeatureConfig { wire: *wire, cut: CutSelection::Fixed(*cut) });
+            eff.controller = *controller;
+            Ok((eff, None))
+        }
+        ControlPlan::ClosedLoop { planner, feedback, wire, controller } => {
+            if planner.feedback.is_some() {
+                return Err(ServeConfigError::ClosedLoopFeedbackConflict);
+            }
+            let mut pc = planner.clone();
+            pc.feedback = Some(*feedback);
+            eff.payload = PayloadPlan::Features(FeatureConfig { wire: *wire, cut: CutSelection::Planned(pc) });
+            eff.controller = *controller;
+            Ok((eff, None))
+        }
+        ControlPlan::Governed(target) => {
+            if cfg.link.is_none() {
+                return Err(ServeConfigError::GovernedWithoutTelemetry);
+            }
+            // With a fleet the planner's classes come from the spec
+            // (FleetClassesConflict guards the combination); without one
+            // a single default edge class keeps the legacy convention.
+            let classes = if cfg.fleet.is_some() { Vec::new() } else { vec![DeviceProfile::edge_gpu_cifar()] };
+            let pc = CutPlannerConfig {
+                classes,
+                cloud: DeviceProfile::cloud_accelerator(),
+                objective: Objective::Latency,
+                feedback: Some(LinkFeedback::default()),
+            };
+            // The governor starts at the open-loop operating point —
+            // lossless f32 on latency-planned cuts, the configured
+            // routing policy untouched — and only moves away from it
+            // when live windows violate the SLA.
+            eff.payload =
+                PayloadPlan::Features(FeatureConfig { wire: FeatureWire::F32, cut: CutSelection::Planned(pc) });
+            eff.controller = None;
+            Ok((eff, Some(GovernorConfig::new(*target))))
+        }
     }
 }
 
@@ -1005,6 +1216,20 @@ pub struct ServeStats {
     /// instant (0 under [`CloudIngress::SingleQueue`], where arrivals sit
     /// in the transport's own lanes instead).
     pub max_queue_depth: usize,
+    /// Decision windows whose live p95 latency violated the governed SLA
+    /// (always 0 without [`ControlPlan::Governed`]). Each violation
+    /// advanced the violating class one rung up the governor's ladder.
+    pub sla_violations: u64,
+    /// Times the governor actually *moved* the joint (β, cut, wire)
+    /// operating point (0 without [`ControlPlan::Governed`]; epochs that
+    /// re-derived the same point do not count).
+    pub governor_decisions: u64,
+    /// The governed control trajectory: the initial operating point plus
+    /// one [`ControlPoint`] per decision that moved it, so
+    /// `control_trajectory.as_ref().unwrap().last()` is always the final
+    /// (β, cut, wire) per class. `Some` exactly when
+    /// [`ControlPlan::Governed`] is configured.
+    pub control_trajectory: Option<Vec<ControlPoint>>,
 }
 
 /// Everything the serving runtime produces.
@@ -1079,6 +1304,13 @@ struct CutTable {
     /// Per-class static radio priors (all None without a fleet spec).
     links: Vec<Option<NetworkLink>>,
     per_class: Vec<usize>,
+    /// The feature wire each class currently ships offloads on: the
+    /// configured wire everywhere until a governor moves a class up its
+    /// ladder.
+    wires: Vec<FeatureWire>,
+    /// What the planner minimises (the governor wraps this base objective
+    /// in its SLA constraint for escalated classes).
+    objective: Objective,
     replans: u64,
     /// The closed-loop configuration; None plans open-loop.
     feedback: Option<LinkFeedback>,
@@ -1093,6 +1325,10 @@ impl CutTable {
         class_cut(&self.per_class, &self.spec, device)
     }
 
+    fn wire_for(&self, device: usize) -> FeatureWire {
+        self.wires[self.spec.class_of(device)]
+    }
+
     /// Re-derives the per-class cuts under the planner's current β and
     /// whatever telemetry has accumulated; counts a replan only when a
     /// cut actually changes.
@@ -1103,6 +1339,35 @@ impl CutTable {
             None => planner.plan_classes_with_links(classes, &self.links),
         };
         let new_cuts: Vec<usize> = costs.iter().map(|c| c.cut).collect();
+        if new_cuts != self.per_class {
+            self.per_class = new_cuts;
+            self.replans += 1;
+        }
+    }
+
+    /// The governed counterpart of [`CutTable::replan`]: classes the
+    /// governor has escalated (`constrained[k]`) plan against the
+    /// SLA-constrained objective ([`CutPlanner::plan_for_sla_with_link`]
+    /// — fewest upload bytes among the cuts that fit the p95 budget),
+    /// while unescalated classes keep the base objective, so a healthy
+    /// class is planned bit-identically to the open-loop path.
+    fn replan_governed(&mut self, sla: &SlaObjective, constrained: &[bool]) {
+        let Some((planner, classes)) = &self.planner else { return };
+        let estimates =
+            self.estimator.as_ref().map(LinkEstimator::estimates).unwrap_or_else(|| vec![None; classes.len()]);
+        let new_cuts: Vec<usize> = classes
+            .iter()
+            .enumerate()
+            .map(|(k, edge)| {
+                let link = self.links[k];
+                let measured = estimates[k].as_ref();
+                if constrained[k] {
+                    planner.plan_for_sla_with_link(edge, link.as_ref(), measured, sla).0.cut
+                } else {
+                    planner.plan_for_measured_with_link(edge, link.as_ref(), measured).cut
+                }
+            })
+            .collect();
         if new_cuts != self.per_class {
             self.per_class = new_cuts;
             self.replans += 1;
@@ -1139,19 +1404,52 @@ fn implicit_spec(cfg: &ServeConfig) -> FleetSpec {
     FleetSpec::uniform(DeviceClass::new("edge", DeviceProfile::edge_gpu_cifar(), ComputeTier::High))
 }
 
+/// Window size of the β controller the governor synthesises when its β
+/// rung first fires without a configured [`ControllerConfig`] (governed
+/// plans never configure one — β belongs to the governor).
+const GOVERNOR_CONTROLLER_WINDOW: usize = 32;
+
+/// The governor's live state inside [`PolicyState`]: the decision core
+/// plus the per-class latency windows the collectors feed and the
+/// decision trajectory the stats report.
+struct GovernorState {
+    governor: Governor,
+    /// Per-class end-to-end latency, cumulative + current decision
+    /// window, fed by every completion (local and cloud).
+    latency: Vec<WindowedQuantiles>,
+    /// Epochs that actually moved the (β, cut, wire) operating point.
+    decisions: u64,
+    /// The initial operating point plus one entry per decision.
+    trajectory: Vec<ControlPoint>,
+}
+
 /// Shared (mutexed) routing policy state: the engine all edge workers
-/// consult, plus the controller feedback loop and the live cut table.
+/// consult, plus the controller feedback loop, the live cut table and —
+/// under [`ControlPlan::Governed`] — the SLA governor.
 struct PolicyState {
     engine: RoutingEngine,
     controller: Option<ThresholdController>,
     window: usize,
     seen: usize,
     offloaded: usize,
+    /// Lifetime routing counts (never reset): the achieved offload
+    /// fraction the governor seeds its β rung from.
+    seen_total: u64,
+    offloaded_total: u64,
+    /// The configured routing policy — what the governor synthesises a β
+    /// controller from when its β rung first fires.
+    base_policy: OffloadPolicy,
     cuts: Option<CutTable>,
+    governor: Option<GovernorState>,
 }
 
 impl PolicyState {
-    fn new(cfg: &ServeConfig, cloud_available: bool, cuts: Option<CutTable>) -> PolicyState {
+    fn new(
+        cfg: &ServeConfig,
+        cloud_available: bool,
+        cuts: Option<CutTable>,
+        governor: Option<GovernorConfig>,
+    ) -> PolicyState {
         let (policy, controller, window) = match cfg.controller {
             Some(cc) => {
                 assert!(cc.window > 0, "controller window must be non-empty");
@@ -1159,13 +1457,34 @@ impl PolicyState {
             }
             None => (cfg.policy, None, 0),
         };
+        let governor = governor.map(|config| {
+            let table = cuts.as_ref().expect("a governed plan always builds a planned cut table");
+            let classes = table.per_class.len();
+            GovernorState {
+                governor: Governor::new(config, classes),
+                latency: vec![WindowedQuantiles::for_latency(); classes],
+                decisions: 0,
+                // Seed the trajectory with the initial operating point so
+                // `last()` is always the final (β, cut, wire) per class.
+                trajectory: vec![ControlPoint {
+                    after_batches: 0,
+                    beta_target: None,
+                    cuts: table.per_class.clone(),
+                    wires: table.wires.clone(),
+                }],
+            }
+        });
         PolicyState {
             engine: RoutingEngine::new(policy, cloud_available),
             controller,
             window,
             seen: 0,
             offloaded: 0,
+            seen_total: 0,
+            offloaded_total: 0,
+            base_policy: cfg.policy,
             cuts,
+            governor,
         }
     }
 
@@ -1175,6 +1494,8 @@ impl PolicyState {
     /// the per-class cuts under the new contention (and whatever link
     /// telemetry has accumulated).
     fn observe(&mut self, offloaded: bool) {
+        self.seen_total += 1;
+        self.offloaded_total += u64::from(offloaded);
         let Some(ctrl) = &mut self.controller else { return };
         self.seen += 1;
         self.offloaded += usize::from(offloaded);
@@ -1187,16 +1508,29 @@ impl PolicyState {
             if let Some(table) = &mut self.cuts {
                 if let Some((planner, _)) = &mut table.planner {
                     planner.set_beta(achieved);
-                    table.replan();
+                    // A governed cut table replans only at the governor's
+                    // own epochs, with its per-class constraints.
+                    if self.governor.is_none() {
+                        table.replan();
+                    }
                 }
             }
+        }
+    }
+
+    /// Records one completion's end-to-end latency into `class`'s live
+    /// quantile window. No-op without a governor.
+    fn record_latency(&mut self, class: usize, latency_s: f64) {
+        if let Some(gv) = &mut self.governor {
+            gv.latency[class].record(latency_s);
         }
     }
 
     /// Feeds one served cloud batch's link telemetry into the estimator
     /// (one observation per device class present in the batch) and, every
     /// [`LinkFeedback::replan_every`] batches, replans the cuts from the
-    /// measured rates. No-op without a closed-loop cut table.
+    /// measured rates — through the governor's decision epoch when one is
+    /// configured. No-op without a closed-loop cut table.
     #[allow(clippy::too_many_arguments)]
     fn observe_link(
         &mut self,
@@ -1207,21 +1541,92 @@ impl PolicyState {
         down_s: f64,
         rtt_s: f64,
     ) {
-        let Some(table) = &mut self.cuts else { return };
-        let Some(fb) = table.feedback else { return };
-        let spec = &table.spec;
-        let Some(est) = &mut table.estimator else { return };
-        let mut seen = vec![false; est.class_count()];
-        for &d in devices {
-            let class = spec.class_of(d);
-            if !seen[class] {
-                seen[class] = true;
-                est.observe(class, up_bytes, up_s, down_bytes, down_s, rtt_s);
+        let due = {
+            let Some(table) = &mut self.cuts else { return };
+            let Some(fb) = table.feedback else { return };
+            let spec = &table.spec;
+            let Some(est) = &mut table.estimator else { return };
+            let mut seen = vec![false; est.class_count()];
+            for &d in devices {
+                let class = spec.class_of(d);
+                if !seen[class] {
+                    seen[class] = true;
+                    est.observe(class, up_bytes, up_s, down_bytes, down_s, rtt_s);
+                }
+            }
+            table.observed_batches += 1;
+            table.observed_batches % fb.replan_every == 0
+        };
+        if !due {
+            return;
+        }
+        if self.governor.is_some() {
+            self.governor_epoch();
+        } else if let Some(table) = &mut self.cuts {
+            table.replan();
+        }
+    }
+
+    /// One governor decision epoch (every [`LinkFeedback::replan_every`]
+    /// cloud batches): judge each class's live latency window against the
+    /// SLA (escalating violators one ladder rung), roll the windows, then
+    /// apply the ladder — per-class wires, an SLA-constrained replan for
+    /// escalated classes, and the β target through a (synthesised)
+    /// threshold controller. Counts a decision only when the joint
+    /// (β, cut, wire) point actually moved.
+    fn governor_epoch(&mut self) {
+        let (Some(gv), Some(table)) = (self.governor.as_mut(), self.cuts.as_mut()) else { return };
+        let achieved =
+            if self.seen_total == 0 { 0.0 } else { self.offloaded_total as f64 / self.seen_total as f64 };
+        let classes = table.per_class.len();
+        for class in 0..classes {
+            let w = &mut gv.latency[class];
+            gv.governor.observe_window(class, w.window_quantile(0.95), w.window_count(), achieved);
+            // Each epoch judges only the evidence gathered since the
+            // last one: close the window either way.
+            w.roll();
+        }
+        for class in 0..classes {
+            table.wires[class] = gv.governor.wire(class);
+        }
+        let constrained: Vec<bool> = (0..classes).map(|c| gv.governor.sla_constrained(c)).collect();
+        if constrained.iter().any(|&c| c) {
+            let sla = gv.governor.sla_objective(table.objective);
+            table.replan_governed(&sla, &constrained);
+        } else {
+            // No class escalated yet: plan exactly like the open-loop
+            // path, so a generous SLA serves record-identically to it.
+            table.replan();
+        }
+        if let Some(beta) = gv.governor.beta_target() {
+            match &mut self.controller {
+                Some(ctrl) => ctrl.set_target_beta(beta),
+                // The β rung binds entropy-threshold routing only: the
+                // governor synthesises an integral controller steering
+                // the configured threshold toward the lowered target.
+                // Other policies leave routing untouched (the rung is
+                // inert, never a panic).
+                None => {
+                    if let OffloadPolicy::EntropyThreshold(t0) = self.base_policy {
+                        self.controller = Some(ThresholdController::new(t0, beta, 2.0, (0.0, 3.0)));
+                        self.window = GOVERNOR_CONTROLLER_WINDOW;
+                        self.seen = 0;
+                        self.offloaded = 0;
+                    }
+                }
             }
         }
-        table.observed_batches += 1;
-        if table.observed_batches % fb.replan_every == 0 {
-            table.replan();
+        let point = ControlPoint {
+            after_batches: table.observed_batches,
+            beta_target: gv.governor.beta_target(),
+            cuts: table.per_class.clone(),
+            wires: table.wires.clone(),
+        };
+        let last = gv.trajectory.last().expect("trajectory seeded with the initial operating point");
+        let moved = last.beta_target != point.beta_target || last.cuts != point.cuts || last.wires != point.wires;
+        if moved {
+            gv.decisions += 1;
+            gv.trajectory.push(point);
         }
     }
 }
@@ -1511,6 +1916,8 @@ fn build_cut_table(
                 spec: spec.clone(),
                 links: vec![None; spec.class_count()],
                 per_class: vec![*k; spec.class_count()],
+                wires: vec![fc.wire; spec.class_count()],
+                objective: Objective::Latency,
                 replans: 0,
                 feedback: None,
                 estimator: None,
@@ -1551,12 +1958,16 @@ fn build_cut_table(
                 planner.set_prior_samples(fb.prior_samples);
                 LinkEstimator::new(classes.len(), fb.alpha)
             });
-            let per_class = planner.plan_classes_with_links(&classes, &links).iter().map(|c| c.cut).collect();
+            let per_class: Vec<usize> =
+                planner.plan_classes_with_links(&classes, &links).iter().map(|c| c.cut).collect();
+            let wires = vec![fc.wire; per_class.len()];
             Some(CutTable {
                 planner: Some((planner, classes)),
                 spec: spec.clone(),
                 links,
                 per_class,
+                wires,
+                objective: pc.objective,
                 replans: 0,
                 feedback: pc.feedback,
                 estimator,
@@ -1595,6 +2006,12 @@ pub fn try_serve(
     clouds: &mut [SegmentedCnn],
     requests: &[ServeRequest],
 ) -> Result<ServeReport, ServeError> {
+    // One shared normalisation path: every entry point (this function,
+    // the deprecated free `serve` shim, `Fleet::serve`) expands a
+    // ControlPlan into the legacy fields here, so all of them validate
+    // and serve the *same* effective configuration.
+    let (cfg, governor) = effective_config(cfg)?;
+    let cfg = &cfg;
     validate_serve(cfg, edges, clouds, requests)?;
     Ok(match &cfg.transport {
         TransportKind::Modelled => serve_core(
@@ -1604,10 +2021,17 @@ pub fn try_serve(
             requests,
             ModelledTransport::new(cfg.cloud_workers, cfg.queue_depth),
             false,
+            governor,
         ),
-        TransportKind::Pipe(pc) => {
-            serve_core(cfg, edges, clouds, requests, PipeTransport::new(cfg.cloud_workers, pc.clone()), true)
-        }
+        TransportKind::Pipe(pc) => serve_core(
+            cfg,
+            edges,
+            clouds,
+            requests,
+            PipeTransport::new(cfg.cloud_workers, pc.clone()),
+            true,
+            governor,
+        ),
     })
 }
 
@@ -1658,7 +2082,14 @@ impl Fleet {
         edges: Vec<EdgeReplica>,
         clouds: Vec<SegmentedCnn>,
     ) -> Result<Fleet, ServeError> {
-        validate_serve(&config, &edges, &clouds, &[])?;
+        // Validate the *effective* configuration (any ControlPlan
+        // expanded) so plan-induced requirements — e.g. a governed plan
+        // needing cloud-prefix replicas — are caught here; the original
+        // configuration is kept so `Fleet::config` returns what the
+        // caller set and `Fleet::serve` re-normalises through the same
+        // path as `try_serve`.
+        let (effective, _) = effective_config(&config)?;
+        validate_serve(&effective, &edges, &clouds, &[])?;
         Ok(Fleet { config, edges, clouds })
     }
 
@@ -1727,12 +2158,38 @@ fn serve_core<T: Transport>(
     requests: &[ServeRequest],
     transport: T,
     measured: bool,
+    governor: Option<GovernorConfig>,
 ) -> ServeReport {
     let n = requests.len();
     let cloud_available = cfg.cloud_workers > 0;
     let spec = implicit_spec(cfg);
     let cut_table = build_cut_table(cfg, edges, requests, &spec);
-    let policy_state = Mutex::new(PolicyState::new(cfg, cloud_available, cut_table));
+    // Calibrated per-channel activation grids, shared by edge encoders
+    // and cloud decoders out of band: needed whenever offloads may ship
+    // grid-indexed per-channel int8 frames — the configured wire, or any
+    // governed run (per-channel int8 is the governor's deepest wire
+    // rung). Calibrated once from the first request's activations at
+    // every cut, with headroom for hotter inputs.
+    let wants_grids = match &cfg.payload {
+        PayloadPlan::Features(fc) => fc.wire == FeatureWire::PerChannelInt8 || governor.is_some(),
+        _ => false,
+    };
+    let grids: Option<ActivationGrids> = match (wants_grids, requests.first()) {
+        (true, Some(first)) => {
+            let prefix = edges[0].cloud_prefix.as_mut().expect("validated in try_serve()");
+            let per_cut = (0..prefix.cut_layer_count())
+                .map(|k| {
+                    let act = prefix.forward_prefix(&first.image, k, Mode::Eval);
+                    Some(channel_absmax(&act).iter().map(|a| (a * GRID_HEADROOM).max(1e-6)).collect())
+                })
+                .collect();
+            Some(ActivationGrids::from_absmax(per_cut))
+        }
+        _ => None,
+    };
+    let grids = grids.as_ref();
+    let governed = governor.is_some();
+    let policy_state = Mutex::new(PolicyState::new(cfg, cloud_available, cut_table, governor));
     let cloud_counters =
         Mutex::new(CloudCounters { per_shard: vec![0; cfg.cloud_workers], ..CloudCounters::default() });
     // Completions of offloaded requests pass a per-device reorder gate,
@@ -1812,14 +2269,16 @@ fn serve_core<T: Transport>(
                 Some(ing) => {
                     cloud_handles.push(scope.spawn(move |_| {
                         cloud_worker_sharded(
-                            cfg, cloud, lane, ing, transport, counters, suffixes, shared, measured,
+                            cfg, cloud, lane, ing, transport, counters, suffixes, shared, measured, grids,
                         )
                     }));
                 }
                 None => {
                     let uplink = transport.take_uplink(lane);
                     cloud_handles.push(scope.spawn(move |_| {
-                        cloud_worker(cfg, cloud, lane, uplink, transport, counters, suffixes, shared, measured)
+                        cloud_worker(
+                            cfg, cloud, lane, uplink, transport, counters, suffixes, shared, measured, grids,
+                        )
                     }));
                 }
             }
@@ -1830,6 +2289,8 @@ fn serve_core<T: Transport>(
             let dtx = done_tx.clone();
             let pending_ref = &pending;
             let gate = &reorder;
+            let shared = &policy_state;
+            let spec_ref = &spec;
             collector_handles.push(scope.spawn(move |_| {
                 while let RecvOutcome::Frame(resp) = downlink.recv() {
                     let entry = pending_ref.lock()[resp.frame.req_id as usize]
@@ -1842,6 +2303,12 @@ fn serve_core<T: Transport>(
                         record: entry.pending.complete(resp.frame.prediction as usize),
                         latency_s: entry.due.elapsed().as_secs_f64(),
                     };
+                    // The governor's live evidence: every cloud
+                    // completion's end-to-end latency, recorded as it
+                    // lands (release order is irrelevant to quantiles).
+                    if governed {
+                        shared.lock().record_latency(spec_ref.class_of(entry.device), completion.latency_s);
+                    }
                     // Latency is measured at arrival; only the *release*
                     // into the completion stream is deferred until every
                     // earlier offload of the device has come back.
@@ -1857,7 +2324,7 @@ fn serve_core<T: Transport>(
             let spec_ref = &spec;
             let skipped = &skipped_main_exits;
             edge_handles.push(scope.spawn(move |_| {
-                edge_worker(cfg, spec_ref, replica, rx, transport, pending_ref, dtx, shared, skipped)
+                edge_worker(cfg, spec_ref, replica, rx, transport, pending_ref, dtx, shared, skipped, grids)
             }));
         }
         drop(done_tx);
@@ -1931,12 +2398,17 @@ fn serve_core<T: Transport>(
 
     let offloaded = records.iter().filter(|r| r.exit == ExitPoint::Cloud).count();
     let counters = cloud_counters.into_inner();
-    let (final_threshold, cut_replans, final_cuts, link_estimates) = {
+    let (final_threshold, cut_replans, final_cuts, link_estimates, governor_outcome) = {
         let st = policy_state.into_inner();
         let replans = st.cuts.as_ref().map_or(0, |t| t.replans);
         let estimates = st.cuts.as_ref().and_then(|t| t.estimator.as_ref()).map(LinkEstimator::estimates);
         let cuts = st.cuts.map(|t| t.per_class);
-        (st.controller.map(|c| c.threshold()), replans, cuts, estimates)
+        let outcome = st.governor.map(|g| (g.governor.sla_violations(), g.decisions, g.trajectory));
+        (st.controller.map(|c| c.threshold()), replans, cuts, estimates, outcome)
+    };
+    let (sla_violations, governor_decisions, control_trajectory) = match governor_outcome {
+        Some((violations, decisions, trajectory)) => (violations, decisions, Some(trajectory)),
+        None => (0, 0, None),
     };
     // Per-class breakdowns only when a fleet is explicitly configured:
     // the implicit legacy spec would report a single meaningless class.
@@ -1982,6 +2454,9 @@ fn serve_core<T: Transport>(
         steals: counters.steals,
         per_shard_batches: counters.per_shard,
         max_queue_depth: ingress.as_ref().map_or(0, ShardedIngress::max_depth),
+        sla_violations,
+        governor_decisions,
+        control_trajectory,
     };
     ServeReport { records, completions, stats }
 }
@@ -2001,23 +2476,29 @@ fn offload_to_cloud<T: Transport>(
     spec: &FleetSpec,
     cloud_prefix: &mut Option<SegmentedCnn>,
     job: &EdgeJob<'_>,
-    cut: Option<usize>,
+    cut: Option<(usize, FeatureWire)>,
     parked: PendingCloud,
     cloud_idx: u64,
     transport: &T,
     pending: &Mutex<Vec<Option<PendingEntry>>>,
+    grids: Option<&ActivationGrids>,
 ) -> bool {
     let req = job.req;
     let (payload, resume) = match &cfg.payload {
         PayloadPlan::Image(WireFormat::Float32) => (Payload::encode_features(&req.image), 0),
         PayloadPlan::Image(WireFormat::Quantised8Bit) => (Payload::encode_raw_image(&req.image), 0),
-        PayloadPlan::Features(fc) => {
-            let cut = cut.expect("feature mode builds a cut table");
+        PayloadPlan::Features(_) => {
+            let (cut, wire) = cut.expect("feature mode builds a cut table");
             let prefix = cloud_prefix.as_mut().expect("validated in try_serve()");
             let activation = prefix.forward_prefix(&req.image, cut, Mode::Eval);
-            let payload = match fc.wire {
+            let payload = match wire {
                 FeatureWire::F32 => Payload::encode_features(&activation),
                 FeatureWire::Int8 => Payload::encode_quantized_features(&activation),
+                FeatureWire::PerChannelInt8 => Payload::encode_grid_features(
+                    &activation,
+                    cut,
+                    grids.expect("per-channel int8 serving calibrates grids at setup"),
+                ),
             };
             (payload, cut)
         }
@@ -2063,19 +2544,28 @@ fn edge_worker<T: Transport>(
     done_tx: Sender<Completion>,
     shared: &Mutex<PolicyState>,
     skipped: &AtomicUsize,
+    grids: Option<&ActivationGrids>,
 ) {
     let EdgeReplica { net, cloud_prefix } = replica;
-    // Without a controller or measured-link feedback neither the policy
-    // nor the cut table ever changes: take private copies once and keep
-    // the hot path lock-free. With either loop active, the lock serves
-    // the current threshold and cuts, and feeds the window back.
-    let (static_engine, static_cuts): (Option<RoutingEngine>, Option<Vec<usize>>) = {
+    // The wire offloads ship on when the cut table is static (a governor
+    // moves it per class through the table instead).
+    let static_wire = match &cfg.payload {
+        PayloadPlan::Features(fc) => fc.wire,
+        _ => FeatureWire::F32,
+    };
+    // Without a controller, measured-link feedback or a governor neither
+    // the policy nor the cut table ever changes: take private copies once
+    // and keep the hot path lock-free. With any loop active, the lock
+    // serves the current threshold, cuts and wires, and feeds the window
+    // back. (A governor always rides measured-link feedback, so governed
+    // serving always takes the locked path.)
+    let (static_engine, static_cuts, governed): (Option<RoutingEngine>, Option<Vec<usize>>, bool) = {
         let st = shared.lock();
         let cuts_move = st.cuts.as_ref().is_some_and(|t| t.feedback.is_some());
         if st.controller.is_none() && !cuts_move {
-            (Some(st.engine), st.cuts.as_ref().map(|t| t.per_class.clone()))
+            (Some(st.engine), st.cuts.as_ref().map(|t| t.per_class.clone()), st.governor.is_some())
         } else {
-            (None, None)
+            (None, None, st.governor.is_some())
         }
     };
     // Per-device offload sequence numbers. Exactly one edge worker owns
@@ -2103,17 +2593,17 @@ fn edge_worker<T: Transport>(
             };
             if wants {
                 let cut = match &static_engine {
-                    Some(_) => static_cuts.as_ref().map(|cuts| class_cut(cuts, spec, req.device)),
+                    Some(_) => static_cuts.as_ref().map(|cuts| (class_cut(cuts, spec, req.device), static_wire)),
                     None => {
                         let mut st = shared.lock();
                         st.observe(true);
-                        st.cuts.as_ref().map(|t| t.cut_for(req.device))
+                        st.cuts.as_ref().map(|t| (t.cut_for(req.device), t.wire_for(req.device)))
                     }
                 };
                 skipped.fetch_add(1, Ordering::Relaxed);
                 let parked = PendingCloud::precommit(req.truth, predictor.predict_entropy(&req.image));
                 let idx = next_cloud_idx(req.device);
-                if !offload_to_cloud(cfg, spec, cloud_prefix, &job, cut, parked, idx, transport, pending) {
+                if !offload_to_cloud(cfg, spec, cloud_prefix, &job, cut, parked, idx, transport, pending, grids) {
                     return;
                 }
                 continue;
@@ -2126,7 +2616,7 @@ fn edge_worker<T: Transport>(
         let (route, cut) = match &static_engine {
             Some(engine) => {
                 let plan = if local_only { engine.plan_local(net, &main) } else { engine.plan(net, &main) };
-                let cut = static_cuts.as_ref().map(|cuts| class_cut(cuts, spec, req.device));
+                let cut = static_cuts.as_ref().map(|cuts| (class_cut(cuts, spec, req.device), static_wire));
                 (plan.routes[0], cut)
             }
             None => {
@@ -2134,14 +2624,14 @@ fn edge_worker<T: Transport>(
                 let plan = if local_only { st.engine.plan_local(net, &main) } else { st.engine.plan(net, &main) };
                 let route = plan.routes[0];
                 st.observe(route == ExitPoint::Cloud);
-                (route, st.cuts.as_ref().map(|t| t.cut_for(req.device)))
+                (route, st.cuts.as_ref().map(|t| (t.cut_for(req.device), t.wire_for(req.device))))
             }
         };
         match route {
             ExitPoint::Cloud => {
                 let parked = PendingCloud::from_main(net, &main, 0, req.truth);
                 let idx = next_cloud_idx(req.device);
-                if !offload_to_cloud(cfg, spec, cloud_prefix, &job, cut, parked, idx, transport, pending) {
+                if !offload_to_cloud(cfg, spec, cloud_prefix, &job, cut, parked, idx, transport, pending, grids) {
                     return;
                 }
             }
@@ -2158,6 +2648,12 @@ fn edge_worker<T: Transport>(
                     record,
                     latency_s: job.due.elapsed().as_secs_f64(),
                 };
+                // Local completions count toward the governor's live
+                // latency windows too — the SLA covers every request,
+                // not just offloads.
+                if governed {
+                    shared.lock().record_latency(spec.class_of(req.device), completion.latency_s);
+                }
                 done_tx.send(completion).expect("collector alive");
             }
         }
@@ -2178,6 +2674,7 @@ fn cloud_worker<T: Transport>(
     suffix_macs: &[u64],
     shared: &Mutex<PolicyState>,
     measured: bool,
+    grids: Option<&ActivationGrids>,
 ) {
     // However this worker exits — drained uplink or a panic mid-batch —
     // its response lane closes behind it (collector shutdown).
@@ -2196,6 +2693,7 @@ fn cloud_worker<T: Transport>(
             suffix_macs,
             shared,
             measured,
+            grids,
         );
         if !open {
             return;
@@ -2217,6 +2715,7 @@ fn cloud_worker_sharded<T: Transport>(
     suffix_macs: &[u64],
     shared: &Mutex<PolicyState>,
     measured: bool,
+    grids: Option<&ActivationGrids>,
 ) {
     let _closer = LaneCloser { transport, lane };
     let _guard = IngressAbortGuard { ingress };
@@ -2234,6 +2733,7 @@ fn cloud_worker_sharded<T: Transport>(
             suffix_macs,
             shared,
             measured,
+            grids,
         );
         if !open {
             // The collector died; unwedge pumps and peers so the join
@@ -2266,6 +2766,7 @@ fn process_cloud_batch<T: Transport>(
     suffix_macs: &[u64],
     shared: &Mutex<PolicyState>,
     measured: bool,
+    grids: Option<&ActivationGrids>,
 ) -> bool {
     let payload_bytes: u64 = batch.iter().map(|b| b.frame.payload.len() as u64).sum();
     let response_bytes = RESPONSE_WIRE_BYTES * batch.len() as u64;
@@ -2330,7 +2831,10 @@ fn process_cloud_batch<T: Transport>(
         scratch.clear();
         let mut frame_dims: Option<Vec<usize>> = None;
         for f in &group {
-            let dims = Payload::decode_into(f.payload.clone(), scratch);
+            let dims = match grids {
+                Some(g) => Payload::decode_into_with_grids(f.payload.clone(), g, scratch),
+                None => Payload::decode_into(f.payload.clone(), scratch),
+            };
             match &frame_dims {
                 Some(prev) => assert_eq!(prev, &dims, "coalesced group mixes tensor shapes"),
                 None => frame_dims = Some(dims),
@@ -2914,6 +3418,146 @@ mod tests {
     }
 
     #[test]
+    fn per_channel_int8_is_deterministic_and_undercuts_per_tensor_at_every_cut() {
+        // The grid-indexed frames round-trip deterministically end to end
+        // (same trace, same records, twice), and carrying the quant params
+        // out of band in the calibrated grid makes every frame exactly 16
+        // bytes smaller than its per-tensor twin at the same cut: 12 bytes
+        // of embedded params plus the squeezed batch-axis dim.
+        let bundle = presets::tiny(77);
+        let run = |payload: PayloadPlan| {
+            let mut edges = split_replicas(1, 46, 47);
+            let mut clouds = replicas(1, || tiny_cloud(47));
+            let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 4);
+            cfg.payload = payload;
+            serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2))
+        };
+        for cut in 0..tiny_cloud(47).cut_layer_count() {
+            let a = run(feature_plan(FeatureWire::PerChannelInt8, cut));
+            let b = run(feature_plan(FeatureWire::PerChannelInt8, cut));
+            assert_eq!(a.records, b.records, "cut {cut}: grid framing must be deterministic");
+            assert_eq!(a.records.len(), bundle.test.len());
+            assert!(a.records.iter().all(|r| r.exit == ExitPoint::Cloud));
+            let per_tensor = run(feature_plan(FeatureWire::Int8, cut));
+            assert_eq!(per_tensor.stats.offloaded, a.stats.offloaded);
+            assert_eq!(
+                per_tensor.stats.bytes_to_cloud - a.stats.bytes_to_cloud,
+                16 * a.stats.offloaded as u64,
+                "cut {cut}: the shared grid should save exactly the per-frame param overhead"
+            );
+        }
+    }
+
+    #[test]
+    fn governed_unreachable_sla_escalates_the_full_ladder() {
+        // Deterministic single-lane run under an impossible budget: the
+        // governor walks rung 1 (SLA-constrained replan), rungs 2-3 (the
+        // int8 wires) and then spends β — and the cloud decodes the
+        // mid-run mix of f32 / per-tensor / grid-indexed frames without a
+        // hiccup, serving every request.
+        let bundle = presets::tiny(84);
+        let mut requests = Vec::new();
+        for rep in 0..4 {
+            for mut r in instant_requests(&bundle.test, 2) {
+                r.seq += rep * bundle.test.len();
+                requests.push(r);
+            }
+        }
+        let mut edges = split_replicas(1, 48, 49);
+        let mut clouds = replicas(1, || tiny_cloud(49));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+        cfg.link = Some(NetworkLink::wifi(2.0).with_rtt(0.001));
+        cfg.control = Some(ControlPlan::Governed(SlaTarget::new(1e-3, 0.80)));
+        let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+        assert_eq!(report.records.len(), requests.len());
+        assert!(
+            report.stats.sla_violations >= 4,
+            "every judged window violates a 1 µs budget, saw {}",
+            report.stats.sla_violations
+        );
+        let traj = report.stats.control_trajectory.expect("governed runs report their trajectory");
+        let last = traj.last().expect("trajectory holds at least the initial point");
+        assert_eq!(
+            last.wires,
+            vec![FeatureWire::PerChannelInt8],
+            "the ladder should exhaust the wire rungs down to per-channel int8"
+        );
+        assert!(last.beta_target.is_some(), "past the wire rungs the β rung must be spent");
+        assert!(report.stats.governor_decisions >= 1, "wire moves count as decisions");
+        assert_eq!(traj.first().expect("seeded").after_batches, 0, "trajectory starts at the initial point");
+    }
+
+    #[test]
+    fn control_plan_rejects_each_incoherent_combination_by_name() {
+        let b = || ServeConfig::builder(OffloadPolicy::Always);
+        let edge = DeviceProfile::new("edge", 10.0, 1e9);
+        let planner = || CutPlannerConfig {
+            classes: vec![edge.clone()],
+            cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+            objective: Objective::Latency,
+            feedback: None,
+        };
+        let closed = || ControlPlan::ClosedLoop {
+            planner: planner(),
+            feedback: LinkFeedback::default(),
+            wire: FeatureWire::F32,
+            controller: None,
+        };
+        // Governed without link telemetry has nothing to govern from.
+        assert_eq!(
+            b().control(ControlPlan::Governed(SlaTarget::new(50.0, 0.9))).build(),
+            Err(ServeConfigError::GovernedWithoutTelemetry)
+        );
+        // Governed over a fixed cut cannot move the cut.
+        assert_eq!(
+            b().payload(feature_plan(FeatureWire::F32, 1))
+                .control(ControlPlan::Governed(SlaTarget::new(50.0, 0.9)))
+                .link(NetworkLink::wifi(10.0))
+                .build(),
+            Err(ServeConfigError::GovernedFixedCut)
+        );
+        // A plan carries its own controller slot; the legacy setter clashes.
+        let controller =
+            ControllerConfig { controller: ThresholdController::new(1.0, 0.5, 2.0, (0.0, 3.0)), window: 8 };
+        #[allow(deprecated)]
+        let with_both = b().controller(controller).control(closed()).link(NetworkLink::wifi(10.0)).build();
+        assert_eq!(with_both, Err(ServeConfigError::ControlPlanControllerConflict));
+        // A plan decides the payload; an explicit payload clashes.
+        assert_eq!(
+            b().payload(planned_payload(vec![edge.clone()]))
+                .control(closed())
+                .link(NetworkLink::wifi(10.0))
+                .build(),
+            Err(ServeConfigError::ControlPlanPayloadConflict)
+        );
+        // ClosedLoop's own feedback slot is the only one.
+        let mut doubled = planner();
+        doubled.feedback = Some(LinkFeedback::default());
+        assert_eq!(
+            b().control(ControlPlan::ClosedLoop {
+                planner: doubled,
+                feedback: LinkFeedback::default(),
+                wire: FeatureWire::F32,
+                controller: None,
+            })
+            .link(NetworkLink::wifi(10.0))
+            .build(),
+            Err(ServeConfigError::ClosedLoopFeedbackConflict)
+        );
+        // And each coherent plan builds.
+        assert!(b()
+            .control(ControlPlan::Static { cut: 1, wire: FeatureWire::F32, controller: None })
+            .build()
+            .is_ok());
+        assert!(b().control(closed()).link(NetworkLink::wifi(10.0)).build().is_ok());
+        assert!(b()
+            .control(ControlPlan::Governed(SlaTarget::new(50.0, 0.9)))
+            .link(NetworkLink::wifi(10.0))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
     fn planned_cut_is_deterministic_and_in_range() {
         let bundle = presets::tiny(74);
         let planned = PayloadPlan::Features(FeatureConfig {
@@ -3079,15 +3723,28 @@ mod tests {
             let mut edges = split_replicas(1, 30, 31);
             let mut clouds = replicas(1, || tiny_cloud(31));
             let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
-            cfg.payload = PayloadPlan::Features(FeatureConfig {
-                wire: FeatureWire::F32,
-                cut: CutSelection::Planned(CutPlannerConfig {
-                    classes: vec![edge.clone()],
-                    cloud: DeviceProfile::new("cloud", 200.0, 1e12),
-                    objective: Objective::Latency,
-                    feedback,
-                }),
-            });
+            let planner = CutPlannerConfig {
+                classes: vec![edge.clone()],
+                cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                objective: Objective::Latency,
+                feedback: None,
+            };
+            match feedback {
+                Some(fb) => {
+                    cfg.control = Some(ControlPlan::ClosedLoop {
+                        planner,
+                        feedback: fb,
+                        wire: FeatureWire::F32,
+                        controller: None,
+                    });
+                }
+                None => {
+                    cfg.payload = PayloadPlan::Features(FeatureConfig {
+                        wire: FeatureWire::F32,
+                        cut: CutSelection::Planned(planner),
+                    });
+                }
+            }
             cfg.link = Some(nominal);
             cfg.link_schedule = vec![LinkChange { after_batches: 8, link: degraded }];
             serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1))
@@ -3301,14 +3958,16 @@ mod tests {
         let mut edges = split_replicas(1, 42, 43);
         let mut clouds = replicas(1, || tiny_cloud(43));
         let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
-        cfg.payload = PayloadPlan::Features(FeatureConfig {
-            wire: FeatureWire::F32,
-            cut: CutSelection::Planned(CutPlannerConfig {
+        cfg.control = Some(ControlPlan::ClosedLoop {
+            planner: CutPlannerConfig {
                 classes: vec![DeviceProfile::new("edge", 10.0, 5e8)],
                 cloud: DeviceProfile::new("cloud", 200.0, 1e12),
                 objective: Objective::Latency,
-                feedback: Some(LinkFeedback { alpha: 0.5, prior_samples: 0.0, replan_every: 4 }),
-            }),
+                feedback: None,
+            },
+            feedback: LinkFeedback { alpha: 0.5, prior_samples: 0.0, replan_every: 4 },
+            wire: FeatureWire::F32,
+            controller: None,
         });
         cfg.link = Some(NetworkLink::wifi(100.0).with_rtt(0.0));
         cfg.transport = TransportKind::Pipe(PipeConfig { up_mbps: Some(4.0), ..PipeConfig::default() });
@@ -3336,14 +3995,16 @@ mod tests {
             let mut edges = split_replicas(1, 44, 45);
             let mut clouds = replicas(1, || tiny_cloud(45));
             let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
-            cfg.payload = PayloadPlan::Features(FeatureConfig {
-                wire: FeatureWire::F32,
-                cut: CutSelection::Planned(CutPlannerConfig {
+            cfg.control = Some(ControlPlan::ClosedLoop {
+                planner: CutPlannerConfig {
                     classes: vec![edge.clone()],
                     cloud: DeviceProfile::new("cloud", 200.0, 1e12),
                     objective: Objective::Latency,
-                    feedback: Some(LinkFeedback { alpha: 0.5, prior_samples: 0.0, replan_every: 4 }),
-                }),
+                    feedback: None,
+                },
+                feedback: LinkFeedback { alpha: 0.5, prior_samples: 0.0, replan_every: 4 },
+                wire: FeatureWire::F32,
+                controller: None,
             });
             cfg.link = Some(NetworkLink::wifi(100.0).with_rtt(0.0002));
             cfg.transport =

@@ -6,11 +6,12 @@
 use mea_data::{presets, ClassDict};
 use mea_edgecloud::device::DeviceProfile;
 use mea_edgecloud::fleet::{ComputeTier, DeviceClass, FleetSpec};
+use mea_edgecloud::governor::SlaTarget;
 use mea_edgecloud::network::{LinkEstimate, LinkEstimator, NetworkLink};
 use mea_edgecloud::partition::{CutPlanner, Objective, PartitionEnv};
 use mea_edgecloud::serve::{
-    trace_requests, try_serve, CloudIngress, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig,
-    FeatureWire, Fleet, LinkChange, LinkFeedback, PayloadPlan, ServeConfig, RESPONSE_WIRE_BYTES,
+    trace_requests, try_serve, CloudIngress, ControlPlan, CutPlannerConfig, CutSelection, EdgeReplica,
+    FeatureConfig, FeatureWire, Fleet, LinkChange, LinkFeedback, PayloadPlan, ServeConfig, RESPONSE_WIRE_BYTES,
 };
 use mea_edgecloud::traces::ArrivalModel;
 use mea_nn::models::{resnet_cifar, CifarResNetConfig, SegmentedCnn};
@@ -274,15 +275,28 @@ proptest! {
                 vec![EdgeReplica::with_cloud_prefix(tiny_net(27), tiny_cloud(28))];
             let mut clouds: Vec<SegmentedCnn> = vec![tiny_cloud(28)];
             let mut cfg = ServeConfig::new(OffloadPolicy::EntropyThreshold(threshold), 1, 1, 1);
-            cfg.payload = PayloadPlan::Features(FeatureConfig {
-                wire: FeatureWire::F32,
-                cut: CutSelection::Planned(CutPlannerConfig {
-                    classes: vec![edge.clone()],
-                    cloud: DeviceProfile::new("cloud", 200.0, 1e12),
-                    objective: Objective::Latency,
-                    feedback,
-                }),
-            });
+            let planner = CutPlannerConfig {
+                classes: vec![edge.clone()],
+                cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                objective: Objective::Latency,
+                feedback: None,
+            };
+            match feedback {
+                Some(fb) => {
+                    cfg.control = Some(ControlPlan::ClosedLoop {
+                        planner,
+                        feedback: fb,
+                        wire: FeatureWire::F32,
+                        controller: None,
+                    });
+                }
+                None => {
+                    cfg.payload = PayloadPlan::Features(FeatureConfig {
+                        wire: FeatureWire::F32,
+                        cut: CutSelection::Planned(planner),
+                    });
+                }
+            }
             cfg.link = Some(nominal);
             cfg.link_schedule = vec![LinkChange { after_batches, link: degraded }];
             let mut rng = Rng::new(9);
@@ -556,5 +570,100 @@ proptest! {
         prop_assert_eq!(report.stats.final_cuts, legacy.stats.final_cuts);
         prop_assert_eq!(report.stats.bytes_to_cloud, legacy.stats.bytes_to_cloud);
         prop_assert_eq!(report.stats.offloaded, legacy.stats.offloaded);
+    }
+
+    /// An unreachable SLA degrades gracefully: whatever the topology or
+    /// routing policy, the governor escalates its ladder without ever
+    /// panicking, every request still completes, and — once enough
+    /// decision epochs have fired — the violating windows are reported
+    /// in the stats rather than swallowed.
+    #[test]
+    fn governed_unreachable_sla_degrades_gracefully(
+        edge_workers in 1usize..3,
+        cloud_workers in 1usize..3,
+        max_batch in 1usize..5,
+        always in any::<bool>(),
+        threshold in 0.2f32..1.2,
+    ) {
+        let bundle = presets::tiny(97);
+        let policy =
+            if always { OffloadPolicy::Always } else { OffloadPolicy::EntropyThreshold(threshold) };
+        let mut rng = Rng::new(13);
+        let requests =
+            trace_requests(&bundle.test, 2, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+        let mut edges: Vec<EdgeReplica> = (0..edge_workers)
+            .map(|_| EdgeReplica::with_cloud_prefix(tiny_net(41), tiny_cloud(42)))
+            .collect();
+        let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|_| tiny_cloud(42)).collect();
+        let mut cfg = ServeConfig::new(policy, edge_workers, cloud_workers, max_batch);
+        cfg.link = Some(NetworkLink::wifi(1.0).with_rtt(0.002));
+        // A 1 µs p95 budget: no cut, wire or beta can reach it.
+        cfg.control = Some(ControlPlan::Governed(SlaTarget::new(1e-3, 0.90)));
+        let report = try_serve(&cfg, &mut edges, &mut clouds, &requests).expect("serves");
+        prop_assert_eq!(report.completions.len(), requests.len());
+        let trajectory =
+            report.stats.control_trajectory.as_ref().expect("governed runs report their trajectory");
+        prop_assert!(!trajectory.is_empty(), "trajectory always holds the initial operating point");
+        // Three epochs' worth of batches guarantees at least one judged
+        // window; under a 1 µs budget every judged window violates.
+        if report.stats.cloud_batches >= 24 {
+            prop_assert!(
+                report.stats.sla_violations > 0,
+                "an unreachable SLA must report violating windows ({} cloud batches, 0 violations)",
+                report.stats.cloud_batches
+            );
+        }
+    }
+
+    /// A generous SLA is invisible: a governed run whose budget nothing
+    /// ever violates takes the exact open-loop decision path, so its
+    /// records, cuts and bytes are identical to the equivalent
+    /// `ControlPlan::ClosedLoop` run and its counters stay zero.
+    #[test]
+    fn governed_generous_sla_is_record_identical_to_closed_loop(
+        devices in 1usize..4,
+        edge_workers in 1usize..3,
+        cloud_workers in 1usize..3,
+        max_batch in 1usize..6,
+        threshold in 0.2f32..1.2,
+    ) {
+        let bundle = presets::tiny(98);
+        let policy = OffloadPolicy::EntropyThreshold(threshold);
+        let mut rng = Rng::new(14);
+        let requests =
+            trace_requests(&bundle.test, devices, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+        let run = |control: ControlPlan| {
+            let mut edges: Vec<EdgeReplica> = (0..edge_workers)
+                .map(|_| EdgeReplica::with_cloud_prefix(tiny_net(43), tiny_cloud(44)))
+                .collect();
+            let mut clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|_| tiny_cloud(44)).collect();
+            let mut cfg = ServeConfig::new(policy, edge_workers, cloud_workers, max_batch);
+            cfg.link = Some(NetworkLink::wifi(50.0).with_rtt(0.001));
+            cfg.control = Some(control);
+            try_serve(&cfg, &mut edges, &mut clouds, &requests).expect("serves")
+        };
+        // A one-minute p95 budget no tiny trace can violate.
+        let governed = run(ControlPlan::Governed(SlaTarget::new(60_000.0, 0.80)));
+        // The exact plan Governed normalizes to, minus the governor.
+        let open = run(ControlPlan::ClosedLoop {
+            planner: CutPlannerConfig {
+                classes: vec![DeviceProfile::edge_gpu_cifar()],
+                cloud: DeviceProfile::cloud_accelerator(),
+                objective: Objective::Latency,
+                feedback: None,
+            },
+            feedback: LinkFeedback::default(),
+            wire: FeatureWire::F32,
+            controller: None,
+        });
+        prop_assert_eq!(&governed.records, &open.records, "an idle governor leaked into the records");
+        prop_assert_eq!(governed.stats.final_cuts, open.stats.final_cuts);
+        prop_assert_eq!(governed.stats.bytes_to_cloud, open.stats.bytes_to_cloud);
+        prop_assert_eq!(governed.stats.sla_violations, 0);
+        prop_assert_eq!(governed.stats.governor_decisions, 0);
+        let trajectory =
+            governed.stats.control_trajectory.as_ref().expect("governed runs report their trajectory");
+        prop_assert_eq!(trajectory.len(), 1, "no violation, no decision: only the initial point");
+        prop_assert_eq!(open.stats.control_trajectory, None);
     }
 }

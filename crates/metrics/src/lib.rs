@@ -26,6 +26,7 @@ pub mod histogram;
 pub mod memory;
 pub mod report;
 pub mod streaming;
+pub mod windowed;
 
 pub use calibration::{ece, Reliability, ReliabilityBin};
 pub use confusion::ConfusionMatrix;
@@ -35,3 +36,4 @@ pub use flops::{CostSplit, LayerCost};
 pub use histogram::Histogram;
 pub use report::Table;
 pub use streaming::StreamingHistogram;
+pub use windowed::WindowedQuantiles;

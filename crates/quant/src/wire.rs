@@ -117,6 +117,58 @@ pub fn decode(buf: &[u8]) -> (QTensor, usize) {
     (t, pos)
 }
 
+/// Bytes [`encode_indexed_into`] produces for `t`: rank (1) + dims (4·r)
+/// + data (numel). No parameter block — the grid travels out of band.
+pub fn indexed_encoded_len(t: &QTensor) -> u64 {
+    1 + 4 * t.dims().len() as u64 + t.numel() as u64
+}
+
+/// Encodes a quantized tensor **without its parameters**, appending to
+/// `out`. The receiving side must already hold the same [`QuantParams`]
+/// (a calibrated grid shared out of band) and pass them to
+/// [`decode_indexed`]. This is what makes a per-channel activation frame
+/// *smaller* than a per-tensor one: the per-channel scale table — 8 bytes
+/// per channel on the self-describing wire — is hoisted out of every
+/// frame entirely.
+pub fn encode_indexed_into(t: &QTensor, out: &mut Vec<u8>) {
+    out.reserve(indexed_encoded_len(t) as usize);
+    out.push(t.dims().len() as u8);
+    for &d in t.dims() {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    out.extend(t.as_slice().iter().map(|&q| q as u8));
+}
+
+/// Decodes a buffer produced by [`encode_indexed_into`] against an
+/// out-of-band parameter grid, returning the tensor and the bytes
+/// consumed. The result is bitwise-identical to the [`QTensor`] that was
+/// encoded, provided `params` is the same grid the sender used.
+///
+/// # Panics
+///
+/// Panics on a truncated buffer, or if `params` is per-channel and its
+/// channel count differs from the frame's leading dimension.
+pub fn decode_indexed(buf: &[u8], params: &QuantParams) -> (QTensor, usize) {
+    let mut pos = 0usize;
+    let mut take = |n: usize| {
+        let s = buf.get(pos..pos + n).expect("truncated indexed quantized-tensor wire buffer");
+        pos += n;
+        s
+    };
+    let rank = take(1)[0] as usize;
+    let dims: Vec<usize> = (0..rank).map(|_| u32::from_le_bytes(take(4).try_into().unwrap()) as usize).collect();
+    let numel: usize = dims.iter().product();
+    let data: Vec<i8> = take(numel).iter().map(|&b| b as i8).collect();
+    if params.scheme() == QScheme::SymmetricPerChannel {
+        assert_eq!(
+            params.channels(),
+            dims.first().copied().unwrap_or(0),
+            "indexed frame's channel axis does not match the shared grid"
+        );
+    }
+    (QTensor::from_parts(data, dims, params.clone()), pos)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +234,51 @@ mod tests {
         let q = sample(3);
         let buf = encode(&q);
         let _ = decode(&buf[..buf.len() - 1]);
+    }
+
+    #[test]
+    fn indexed_round_trip_is_exact_per_channel() {
+        let mut rng = Rng::new(5);
+        let t = Tensor::randn([6, 3, 4], 1.0, &mut rng);
+        let absmax: Vec<f32> =
+            t.as_slice().chunks(12).map(|c| c.iter().fold(0.0f32, |m, &x| m.max(x.abs()))).collect();
+        let params = QuantParams::symmetric_per_channel(&absmax);
+        let q = QTensor::quantize_per_channel(&t, params.clone());
+        let mut buf = Vec::new();
+        encode_indexed_into(&q, &mut buf);
+        assert_eq!(buf.len() as u64, indexed_encoded_len(&q));
+        let (back, consumed) = decode_indexed(&buf, &params);
+        assert_eq!(consumed, buf.len());
+        assert_eq!(back, q, "indexed wire round trip must be exact");
+    }
+
+    #[test]
+    fn indexed_frame_is_smaller_than_self_describing_frame() {
+        // The whole point of the out-of-band grid: a per-channel frame
+        // drops 5 + 8n header bytes relative to the self-describing wire.
+        let t = Tensor::from_vec(vec![0.01, -0.02, 10.0, -8.0], &[2, 2]).unwrap();
+        let q = QTensor::quantize_per_channel(&t, QuantParams::symmetric_per_channel(&[0.02, 10.0]));
+        assert_eq!(indexed_encoded_len(&q) + 5 + 8 * 2, encoded_len(&q));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the shared grid")]
+    fn indexed_decode_rejects_mismatched_grid() {
+        let t = Tensor::from_vec(vec![0.01, -0.02, 10.0, -8.0], &[2, 2]).unwrap();
+        let params = QuantParams::symmetric_per_channel(&[0.02, 10.0]);
+        let q = QTensor::quantize_per_channel(&t, params);
+        let mut buf = Vec::new();
+        encode_indexed_into(&q, &mut buf);
+        let wrong = QuantParams::symmetric_per_channel(&[0.02, 10.0, 1.0]);
+        let _ = decode_indexed(&buf, &wrong);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated indexed")]
+    fn indexed_truncated_buffer_rejected() {
+        let q = sample(6);
+        let mut buf = Vec::new();
+        encode_indexed_into(&q, &mut buf);
+        let _ = decode_indexed(&buf[..buf.len() - 1], q.params());
     }
 }

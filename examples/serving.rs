@@ -12,8 +12,9 @@ use mea_edgecloud::device::DeviceProfile;
 use mea_edgecloud::network::{NetworkLink, PaceChange, PipeConfig, TransportKind};
 use mea_edgecloud::partition::Objective;
 use mea_edgecloud::serve::{
-    trace_requests, try_serve, ControllerConfig, CutPlannerConfig, CutSelection, EdgeReplica, FeatureConfig,
-    FeatureWire, Fleet, LinkChange, LinkFeedback, PayloadPlan, ServeConfig, ServeRequest, WireFormat,
+    trace_requests, try_serve, ControlPlan, ControllerConfig, CutPlannerConfig, CutSelection, EdgeReplica,
+    FeatureConfig, FeatureWire, Fleet, LinkChange, LinkFeedback, PayloadPlan, ServeConfig, ServeRequest,
+    WireFormat,
 };
 use mea_edgecloud::traces::ArrivalModel;
 use mea_nn::models::SegmentedCnn;
@@ -93,6 +94,10 @@ fn main() {
     // toward 0.3. The builder validates the configuration up front and
     // Fleet::new checks it against the replicas, so the serving loop
     // itself can only fail on a malformed trace.
+    // (Image payloads have no ControlPlan form — a Static plan implies a
+    // feature cut — so this is the one site that stays on the legacy
+    // controller setter.)
+    #[allow(deprecated)]
     let serve_cfg = ServeConfig::builder(OffloadPolicy::Never)
         .edge_workers(edge_workers)
         .cloud_workers(cloud_workers)
@@ -173,14 +178,16 @@ fn main() {
     cfg3.queue_depth = 8;
     cfg3.link = Some(NetworkLink::wifi(50.0).with_rtt(0.004));
     cfg3.link_schedule = vec![LinkChange { after_batches: 8, link: NetworkLink::wifi(1.0).with_rtt(0.004) }];
-    cfg3.payload = PayloadPlan::Features(FeatureConfig {
-        wire: FeatureWire::F32,
-        cut: CutSelection::Planned(CutPlannerConfig {
+    cfg3.control = Some(ControlPlan::ClosedLoop {
+        planner: CutPlannerConfig {
             classes: vec![DeviceProfile::new("edge worker", 15.0, 2e9)],
             cloud: DeviceProfile::new("cloud", 200.0, 1e12),
             objective: Objective::Latency,
-            feedback: Some(LinkFeedback { alpha: 0.5, prior_samples: 2.0, replan_every: 4 }),
-        }),
+            feedback: None,
+        },
+        feedback: LinkFeedback { alpha: 0.5, prior_samples: 2.0, replan_every: 4 },
+        wire: FeatureWire::F32,
+        controller: None,
     });
     let r = try_serve(&cfg3, &mut edges, &mut clouds, &requests).expect("valid serving configuration");
     let est = r.stats.link_estimates.as_ref().and_then(|e| e[0]);
@@ -208,14 +215,16 @@ fn main() {
         throttle: vec![PaceChange { after_frames: 24, up_mbps: 1.0 }],
         ..PipeConfig::default()
     });
-    cfg4.payload = PayloadPlan::Features(FeatureConfig {
-        wire: FeatureWire::F32,
-        cut: CutSelection::Planned(CutPlannerConfig {
+    cfg4.control = Some(ControlPlan::ClosedLoop {
+        planner: CutPlannerConfig {
             classes: vec![DeviceProfile::new("edge worker", 15.0, 2e9)],
             cloud: DeviceProfile::new("cloud", 200.0, 1e12),
             objective: Objective::Latency,
-            feedback: Some(LinkFeedback { alpha: 0.5, prior_samples: 2.0, replan_every: 4 }),
-        }),
+            feedback: None,
+        },
+        feedback: LinkFeedback { alpha: 0.5, prior_samples: 2.0, replan_every: 4 },
+        wire: FeatureWire::F32,
+        controller: None,
     });
     let r = try_serve(&cfg4, &mut edges, &mut clouds, &requests).expect("valid serving configuration");
     let est = r.stats.link_estimates.as_ref().and_then(|e| e[0]);
