@@ -1366,3 +1366,173 @@ pub fn sla_governor(scale: Scale) -> SlaGovernorResult {
         bytes_per_channel,
     }
 }
+
+/// One cooperative-splitting serving run (the Low tier solo or pooled).
+#[derive(Debug, Clone)]
+pub struct CoopRunRow {
+    /// Row label.
+    pub mode: &'static str,
+    /// Requests served.
+    pub total: usize,
+    /// Requests classified by the cloud.
+    pub offloaded: usize,
+    /// Layer the final upload resumes at (planner-chosen).
+    pub final_cut: usize,
+    /// Stages in the planned placement.
+    pub stages: usize,
+    /// Offloads that crossed the cooperative local wire first.
+    pub peer_hops: u64,
+    /// Bytes shipped over the cooperative local wire.
+    pub peer_bytes: u64,
+    /// Bytes shipped over the WAN uplink.
+    pub bytes_to_cloud: u64,
+    /// Mean wall-clock service time per request (ms).
+    pub service_ms: f64,
+}
+
+/// Everything the `coop_edge` bench target asserts and reports.
+#[derive(Debug)]
+pub struct CoopEdgeResult {
+    /// The Low-tier class serving alone.
+    pub solo: CoopRunRow,
+    /// The same class splitting across its cooperative group.
+    pub coop: CoopRunRow,
+    /// The WAN rate (Mbps) the search settled on to make pooling pay.
+    pub link_mbps: f64,
+    /// The cooperative group's local wire rate (Mbps).
+    pub peer_mbps: f64,
+    /// Devices in the cooperative group.
+    pub members: usize,
+    /// Planner-promised WAN payload bytes per offload, solo plan.
+    pub planned_upload_solo: u64,
+    /// Planner-promised WAN payload bytes per offload, pooled plan.
+    pub planned_upload_coop: u64,
+    /// Planner-promised peer-wire bytes per offload, pooled plan.
+    pub planned_peer_bytes: u64,
+    /// Whether both runs produced bitwise-identical Algorithm-2 records.
+    pub records_match: bool,
+}
+
+/// Runs the cooperative-edge-splitting experiment: one Low-tier device
+/// class served through the [`Fleet`] API twice over the same trace —
+/// once solo (the planner can only choose a two-stage edge→cloud plan)
+/// and once with a 3-member cooperative group behind a fast local wire,
+/// where pooled peer throughput lets the planner push the final cut
+/// deeper and shrink the WAN upload. The WAN rate is searched so the
+/// pooled plan provably takes a peer stage AND uploads strictly fewer
+/// bytes than the solo plan, making the wall-clock comparison decisive.
+/// Both runs ship `f32` features, so their Algorithm-2 records must be
+/// bitwise identical despite the different cuts.
+pub fn coop_edge(scale: Scale) -> CoopEdgeResult {
+    let instances = match scale {
+        Scale::Smoke => 96,
+        Scale::Repro | Scale::Full => 240,
+    };
+    let mut data_cfg = scale.cifar100_like(9301);
+    data_cfg.num_classes = 6;
+    data_cfg.num_clusters = 3;
+    data_cfg.image_hw = 8;
+    data_cfg.test_per_class = instances / 6 + 1;
+    let bundle = generate(&data_cfg);
+    let data = bundle.test.subset(&(0..instances.min(bundle.test.len())).collect::<Vec<_>>());
+
+    let hard = [0usize, 2, 4];
+    let mut probe_net = edge_replica(91, &hard);
+    let policy = high_offload_policy(&mut probe_net, &data, 0.6);
+
+    // One Low-tier class in two guises: solo, and pooled into a
+    // 3-member cooperative group behind a fast dedicated local wire.
+    let members = 3;
+    let peer_mbps = 400.0;
+    let base_profile = DeviceProfile::new("edge", 10.0, 5e8);
+    let solo_class = DeviceClass::new("low", base_profile.clone(), ComputeTier::Low);
+    let coop_class = solo_class.clone().coop_group(members, NetworkLink::wifi(peer_mbps).with_rtt(0.0005));
+    let pool = FleetSpec::uniform(coop_class.clone()).peer_pools().remove(0);
+    let low_profile = solo_class.effective_profile();
+
+    // Find a WAN rate where the pooled plan takes a peer stage and
+    // strictly shrinks the upload: the cooperative win is then decisive
+    // (the saved WAN bytes dominate the cheap local hop at any scale).
+    let devices = 4;
+    let cloud_net = cloud_replica(92);
+    let in_elems: u64 = cloud_net.in_shape.iter().map(|&d| d as u64).product();
+    let planner_at = |rate: f64| {
+        let env = PartitionEnv {
+            edge: low_profile.clone(),
+            cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+            link: NetworkLink::wifi(rate).with_rtt(0.001),
+            bytes_per_elem: 4,
+            raw_input_bytes: 4 * in_elems,
+            response_bytes: RESPONSE_WIRE_BYTES,
+        };
+        CutPlanner::from_network(&cloud_net, env, Objective::Latency, devices)
+    };
+    let link_mbps = (0..60)
+        .map(|i| 0.05 * 1.3f64.powi(i))
+        .find(|&r| {
+            let planner = planner_at(r);
+            let pooled = planner.plan_placement_for_measured(&low_profile, None, pool.as_ref());
+            let solo = planner.plan_placement_for_measured(&low_profile, None, None);
+            pooled.plan.peer_stage().is_some() && pooled.upload_bytes < solo.upload_bytes
+        })
+        .expect("some WAN rate makes the cooperative split pay");
+    let link = NetworkLink::wifi(link_mbps).with_rtt(0.001);
+    let planner = planner_at(link_mbps);
+    let planned_coop = planner.plan_placement_for_measured(&low_profile, None, pool.as_ref());
+    let planned_solo = planner.plan_placement_for_measured(&low_profile, None, None);
+
+    let mut rng = Rng::new(17);
+    let requests = trace_requests(&data, devices, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+    let run = |mode: &'static str, class: DeviceClass| {
+        let edges: Vec<EdgeReplica> =
+            (0..2).map(|_| EdgeReplica::with_cloud_prefix(edge_replica(91, &hard), cloud_replica(92))).collect();
+        let clouds: Vec<SegmentedCnn> = (0..2).map(|_| cloud_replica(92)).collect();
+        let cfg = ServeConfig::builder(policy)
+            .edge_workers(2)
+            .cloud_workers(2)
+            .max_batch(4)
+            .queue_depth(8)
+            .payload(PayloadPlan::Features(FeatureConfig {
+                wire: FeatureWire::F32,
+                cut: CutSelection::Planned(CutPlannerConfig {
+                    classes: Vec::new(),
+                    cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                    objective: Objective::Latency,
+                    feedback: None,
+                }),
+            }))
+            .link(link)
+            .fleet(FleetSpec::uniform(class))
+            .build()
+            .expect("valid fleet configuration");
+        let mut fleet = Fleet::new(cfg, edges, clouds).expect("replicas match the configuration");
+        let report = fleet.serve(&requests).expect("the fleet serves the trace");
+        let placement = report.stats.placements.as_ref().expect("planned mode reports placements")[0].clone();
+        let row = CoopRunRow {
+            mode,
+            total: report.stats.total,
+            offloaded: report.stats.offloaded,
+            final_cut: placement.final_cut(),
+            stages: placement.stages().len(),
+            peer_hops: report.stats.peer_hops,
+            peer_bytes: report.stats.peer_bytes,
+            bytes_to_cloud: report.stats.bytes_to_cloud,
+            service_ms: 1e3 * report.stats.wall_s / report.stats.total as f64,
+        };
+        (row, report)
+    };
+
+    let (solo, solo_report) = run("solo", solo_class);
+    let (coop, coop_report) = run("coop pool", coop_class);
+    CoopEdgeResult {
+        solo,
+        coop,
+        link_mbps,
+        peer_mbps,
+        members,
+        planned_upload_solo: planned_solo.upload_bytes,
+        planned_upload_coop: planned_coop.upload_bytes,
+        planned_peer_bytes: planned_coop.peer_bytes,
+        records_match: solo_report.records == coop_report.records,
+    }
+}

@@ -32,6 +32,7 @@
 use crate::device::DeviceProfile;
 use crate::energy::EnergyReport;
 use crate::network::NetworkLink;
+use crate::partition::PeerPool;
 use meanet::ExitPoint;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -91,12 +92,30 @@ pub struct DeviceClass {
     /// planning and simulation when set. `None` means the class uses the
     /// shared link model.
     pub link_prior: Option<NetworkLink>,
+    /// Cooperative-group membership: `Some` when idle same-class
+    /// neighbours pool compute behind a dedicated local wire, making a
+    /// `Peer` placement stage available to this class (DistrEdge-style
+    /// cooperative edge splitting). `None` means the class serves solo.
+    pub coop: Option<CoopGroup>,
+}
+
+/// A cooperative group of same-class edge devices: `members` devices
+/// pooling their tier-scaled throughput, reachable over a dedicated local
+/// `link` (never the shared WAN uplink). A single-member group is legal
+/// and structurally equivalent to serving solo — the placement planner
+/// never scores a peer hop across one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoopGroup {
+    /// Devices in the group (>= 1).
+    pub members: usize,
+    /// The dedicated local wire to the group.
+    pub link: NetworkLink,
 }
 
 impl DeviceClass {
     /// A class running `profile` at `tier`, on the fleet-shared link.
     pub fn new(name: impl Into<String>, profile: DeviceProfile, tier: ComputeTier) -> Self {
-        DeviceClass { name: name.into(), profile, tier, link_prior: None }
+        DeviceClass { name: name.into(), profile, tier, link_prior: None, coop: None }
     }
 
     /// Sets a per-class link prior (builder style).
@@ -105,11 +124,36 @@ impl DeviceClass {
         self
     }
 
+    /// Joins this class's devices into a cooperative group of `members`
+    /// peers behind the dedicated local `link` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members == 0`.
+    pub fn coop_group(mut self, members: usize, link: NetworkLink) -> Self {
+        assert!(members > 0, "a cooperative group needs at least one member");
+        self.coop = Some(CoopGroup { members, link });
+        self
+    }
+
     /// The tier-scaled compute profile: base profile throughput times
     /// [`ComputeTier::throughput_factor`]. A `High`-tier class returns
     /// the base profile bit-for-bit.
     pub fn effective_profile(&self) -> DeviceProfile {
         self.profile.scaled_throughput(self.tier.throughput_factor())
+    }
+
+    /// The pooled peer resource of this class's cooperative group for the
+    /// placement planner, stamped with this class's index: the group's
+    /// tier-scaled throughput times its member count behind its local
+    /// wire. `None` when the class serves solo.
+    pub fn peer_pool(&self, class: usize) -> Option<PeerPool> {
+        self.coop.map(|g| PeerPool {
+            class,
+            members: g.members,
+            pooled: self.effective_profile().scaled_throughput(g.members as f64),
+            link: g.link,
+        })
     }
 }
 
@@ -187,6 +231,14 @@ impl FleetSpec {
     /// Per-class link priors in index order (`None` = shared link).
     pub fn link_priors(&self) -> Vec<Option<NetworkLink>> {
         self.classes.iter().map(|c| c.link_prior).collect()
+    }
+
+    /// Per-class cooperative peer pools in index order (`None` = the
+    /// class serves solo) — what
+    /// [`crate::partition::CutPlanner::plan_placements_measured_with_links`]
+    /// consumes.
+    pub fn peer_pools(&self) -> Vec<Option<PeerPool>> {
+        self.classes.iter().enumerate().map(|(c, dc)| dc.peer_pool(c)).collect()
     }
 
     /// Device-sticky slot selection: maps a device id onto one of `n`
@@ -525,6 +577,7 @@ mod tests {
                 macs_cloud: f.macs_cloud,
                 payload_bytes: f.payload_bytes,
                 arrival_interval_s: f.arrival_interval_s,
+                coop: None,
             },
             &routes,
         );
@@ -770,5 +823,43 @@ mod tests {
             throttled.mean_latency_s,
             shared.mean_latency_s
         );
+    }
+
+    #[test]
+    fn coop_group_pools_tier_scaled_throughput() {
+        let base = DeviceProfile::new("low", 10.0, 1e9);
+        let wire = NetworkLink::wifi(400.0);
+        let class = DeviceClass::new("low", base.clone(), ComputeTier::Low).coop_group(3, wire);
+        let pool = class.peer_pool(2).expect("grouped class exposes a pool");
+        assert_eq!(pool.class, 2);
+        assert_eq!(pool.members, 3);
+        assert_eq!(pool.link, wire);
+        // Pooled throughput = tier-scaled base times the member count.
+        let expect = base.macs_per_sec * ComputeTier::Low.throughput_factor() * 3.0;
+        assert!((pool.pooled.macs_per_sec - expect).abs() < 1e-6, "pooled rate {}", pool.pooled.macs_per_sec);
+        // An ungrouped class has no pool.
+        assert!(DeviceClass::new("solo", base, ComputeTier::Low).peer_pool(0).is_none());
+    }
+
+    #[test]
+    fn fleet_spec_peer_pools_index_by_class() {
+        let p = DeviceProfile::new("e", 10.0, 1e9);
+        let spec = FleetSpec::round_robin(vec![
+            DeviceClass::new("solo", p.clone(), ComputeTier::High),
+            DeviceClass::new("grouped", p, ComputeTier::Medium).coop_group(2, NetworkLink::wifi(100.0)),
+        ]);
+        let pools = spec.peer_pools();
+        assert_eq!(pools.len(), 2);
+        assert!(pools[0].is_none());
+        let pool = pools[1].as_ref().expect("class 1 is grouped");
+        assert_eq!(pool.class, 1);
+        assert_eq!(pool.members, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_coop_group_rejected() {
+        let _ = DeviceClass::new("e", DeviceProfile::new("e", 10.0, 1e9), ComputeTier::High)
+            .coop_group(0, NetworkLink::wifi(100.0));
     }
 }

@@ -33,7 +33,7 @@
 //! cut and wire moves are (near-)lossless, so the governor spends the
 //! free knobs first and the accuracy budget last.
 
-use crate::partition::{Objective, SlaObjective};
+use crate::partition::{Objective, PlacementPlan, SlaObjective};
 use crate::serve::FeatureWire;
 use serde::{Deserialize, Serialize};
 
@@ -134,8 +134,8 @@ impl GovernorConfig {
 }
 
 /// One point of the governor's per-class control trajectory: the joint
-/// (β, cut, wire) operating point after a decision epoch, recorded only
-/// when the point actually moved.
+/// (β, placement, wire) operating point after a decision epoch, recorded
+/// only when the point actually moved.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ControlPoint {
     /// Cloud batches completed when this operating point was adopted.
@@ -144,8 +144,13 @@ pub struct ControlPoint {
     /// first touches the β rung — routing then still follows the
     /// configured static policy).
     pub beta_target: Option<f64>,
-    /// The planned cut per device class.
+    /// The planned final cut per device class — the layer whose
+    /// activation crosses the WAN ([`PlacementPlan::final_cut`] of
+    /// `placements`, kept alongside it for scalar-cut consumers).
     pub cuts: Vec<usize>,
+    /// The planned placement per device class (the full stage list; a
+    /// two-stage plan is the legacy scalar cut).
+    pub placements: Vec<PlacementPlan>,
     /// The feature wire per device class.
     pub wires: Vec<FeatureWire>,
 }

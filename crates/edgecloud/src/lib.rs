@@ -75,13 +75,13 @@ pub use device::DeviceProfile;
 pub use energy::{EnergyReport, PerImageCosts};
 pub use fleet::{
     simulate_fleet, simulate_fleet_spec, simulate_fleet_spec_with_arrivals, simulate_fleet_with_arrivals,
-    ComputeTier, DeviceClass, FleetConfig, FleetReport, FleetSpec,
+    ComputeTier, CoopGroup, DeviceClass, FleetConfig, FleetReport, FleetSpec,
 };
 pub use governor::{AccuracyModel, ControlPoint, Governor, GovernorConfig, SlaTarget};
 pub use network::{LinkEstimate, LinkEstimator, NetworkLink, UploadPowerModel};
 pub use partition::{
-    best_cut, profile_network, sweep_cuts, CutCost, CutPlanner, LayerProfile, Objective, PartitionEnv,
-    SlaObjective, MEASURED_PRIOR_SAMPLES,
+    best_cut, profile_network, sweep_cuts, CutCost, CutPlanner, LayerProfile, Objective, PartitionEnv, PeerPool,
+    PlacementCost, PlacementPlan, SlaObjective, Stage, StageExecutor, MEASURED_PRIOR_SAMPLES,
 };
 pub use payload::{channel_absmax, ActivationGrids, Payload};
 #[allow(deprecated)]
@@ -96,3 +96,5 @@ pub use transport::{
     ModelledTransport, PaceChange, PipeConfig, PipeTransport, RequestFrame, ResponseFrame, Transport,
     TransportKind,
 };
+#[cfg(unix)]
+pub use transport::{UdsConfig, UdsTransport};

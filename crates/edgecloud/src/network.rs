@@ -5,6 +5,8 @@ pub use crate::transport::{
     DownlinkReceiver, ModelledTransport, PaceChange, PipeConfig, PipeTransport, RecvOutcome, RequestFrame,
     ResponseFrame, Transport, TransportClosed, TransportKind, UplinkReceiver,
 };
+#[cfg(unix)]
+pub use crate::transport::{UdsConfig, UdsTransport};
 use serde::{Deserialize, Serialize};
 
 /// Linear throughput→power model of the uplink radio.

@@ -110,6 +110,177 @@ pub struct CutCost {
     pub edge_energy_j: f64,
 }
 
+/// Who executes one stage of a [`PlacementPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageExecutor {
+    /// The originating edge device itself.
+    Local,
+    /// The cooperative peer group of the given device class (see
+    /// [`crate::fleet::DeviceClass::coop_group`]): idle same-class
+    /// neighbours pooling their tier-scaled throughput over a dedicated
+    /// local wire.
+    Peer(usize),
+    /// The cloud tier (always the final stage of a serving placement —
+    /// the cloud produces the prediction).
+    Cloud,
+}
+
+/// One contiguous slice of the network assigned to one executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Who runs this slice.
+    pub executor: StageExecutor,
+    /// Half-open layer range `[from, to)` this executor runs. An empty
+    /// range is legal (the executor is a pass-through for this plan).
+    pub layer_range: (usize, usize),
+}
+
+/// An ordered list of execution stages covering the whole network — the
+/// N-stage generalisation of the scalar cut. The legacy two-tier split is
+/// exactly [`PlacementPlan::two_stage`]: `Local [0, cut)` then
+/// `Cloud [cut, L)`. Cooperative edge splitting inserts a `Peer` stage
+/// between them, so one forward crosses *two* wires: the dedicated local
+/// hop to the pooled peers, then the shared WAN hop to the cloud.
+///
+/// Stages are contiguous (`stage[i]` ends where `stage[i+1]` starts), the
+/// first starts at layer 0, and the last stage is always `Cloud` — every
+/// serving placement ends at the tier that produces the prediction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementPlan {
+    stages: Vec<Stage>,
+}
+
+impl PlacementPlan {
+    /// Builds a plan from explicit stages, validating the invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty, the ranges are not contiguous from
+    /// layer 0, or the final stage is not [`StageExecutor::Cloud`].
+    pub fn from_stages(stages: Vec<Stage>) -> Self {
+        assert!(!stages.is_empty(), "a placement needs at least one stage");
+        let mut at = 0usize;
+        for s in &stages {
+            let (from, to) = s.layer_range;
+            assert!(from == at, "placement stages must be contiguous: stage starts at {from}, expected {at}");
+            assert!(to >= from, "placement stage range [{from}, {to}) is inverted");
+            at = to;
+        }
+        assert!(
+            stages.last().map(|s| s.executor) == Some(StageExecutor::Cloud),
+            "a serving placement must end at the cloud"
+        );
+        PlacementPlan { stages }
+    }
+
+    /// The legacy two-tier split: `Local [0, cut)` then
+    /// `Cloud [cut, total_layers)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut > total_layers`.
+    pub fn two_stage(cut: usize, total_layers: usize) -> Self {
+        assert!(cut <= total_layers, "cut {cut} beyond the {total_layers}-layer network");
+        PlacementPlan::from_stages(vec![
+            Stage { executor: StageExecutor::Local, layer_range: (0, cut) },
+            Stage { executor: StageExecutor::Cloud, layer_range: (cut, total_layers) },
+        ])
+    }
+
+    /// A cooperative three-tier split: `Local [0, local_end)`, then the
+    /// peer group of `peer_class` runs `[local_end, peer_end)`, then
+    /// `Cloud [peer_end, total_layers)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundaries are not monotone within the network.
+    pub fn three_stage(local_end: usize, peer_end: usize, peer_class: usize, total_layers: usize) -> Self {
+        assert!(
+            local_end <= peer_end && peer_end <= total_layers,
+            "placement boundaries must be monotone: {local_end} <= {peer_end} <= {total_layers}"
+        );
+        PlacementPlan::from_stages(vec![
+            Stage { executor: StageExecutor::Local, layer_range: (0, local_end) },
+            Stage { executor: StageExecutor::Peer(peer_class), layer_range: (local_end, peer_end) },
+            Stage { executor: StageExecutor::Cloud, layer_range: (peer_end, total_layers) },
+        ])
+    }
+
+    /// The stages in execution order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Where the cloud takes over — the layer index the *final* upload
+    /// resumes at (the generalisation of the scalar cut; equal to it for
+    /// a two-stage plan).
+    pub fn final_cut(&self) -> usize {
+        self.stages.last().expect("validated non-empty").layer_range.0
+    }
+
+    /// Total layers covered by the plan.
+    pub fn total_layers(&self) -> usize {
+        self.stages.last().expect("validated non-empty").layer_range.1
+    }
+
+    /// The first peer stage, if the plan splits across cooperating edge
+    /// devices.
+    pub fn peer_stage(&self) -> Option<&Stage> {
+        self.stages.iter().find(|s| matches!(s.executor, StageExecutor::Peer(_)))
+    }
+
+    /// Whether this is a legacy-shaped plan with no peer stage (the
+    /// two-tier special case the scalar-cut path served).
+    pub fn is_two_stage(&self) -> bool {
+        self.peer_stage().is_none()
+    }
+}
+
+/// Scored evaluation of one [`PlacementPlan`] — the placement analogue of
+/// [`CutCost`]. For a two-stage plan the latency/energy/upload fields are
+/// bit-identical to the [`CutCost`] of the same cut under the same
+/// environment (asserted in tests): the placement search *contains* the
+/// scalar sweep as its degenerate case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementCost {
+    /// The scored plan.
+    pub plan: PlacementPlan,
+    /// Bytes shipped per image over the dedicated peer wire (0 for a
+    /// two-stage plan). Peer hops always carry lossless f32 activations —
+    /// the wire format knob applies to the WAN hop only, so the cloud
+    /// wire can never change what the peers compute.
+    pub peer_bytes: u64,
+    /// Bytes uploaded per image over the shared WAN link at the final
+    /// cut.
+    pub upload_bytes: u64,
+    /// Per-image end-to-end latency (s) across every stage and hop.
+    pub latency_s: f64,
+    /// Per-image energy drawn at the edge tier (J): local compute, the
+    /// peer-wire radio, pooled peer compute, and the WAN radio.
+    pub edge_energy_j: f64,
+}
+
+/// The pooled execution resource of one device class's cooperative group
+/// — what a `Peer` stage runs on. Built by
+/// [`crate::fleet::FleetSpec::peer_pools`] from
+/// [`crate::fleet::DeviceClass::coop_group`] membership: `members` idle
+/// same-class devices pool their tier-scaled throughput behind a
+/// dedicated local wire (never contention-scaled by the WAN model — the
+/// peer hop does not share the uplink the cloud hop congests).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeerPool {
+    /// The device class this pool belongs to (stamped into
+    /// [`StageExecutor::Peer`]).
+    pub class: usize,
+    /// Cooperating devices in the group.
+    pub members: usize,
+    /// The group's pooled compute profile (tier-scaled throughput times
+    /// `members`).
+    pub pooled: DeviceProfile,
+    /// The dedicated local wire to the group.
+    pub link: NetworkLink,
+}
+
 /// Device/link context of a partition search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartitionEnv {
@@ -527,6 +698,217 @@ impl CutPlanner {
         let none = vec![None; classes.len()];
         self.plan_classes_measured_with_links(classes, links, &none)
     }
+
+    /// Every candidate placement for one edge class, scored, in canonical
+    /// search order: final cuts deepest-first (the legacy tie-break), and
+    /// within each final cut the two-stage plan before any cooperative
+    /// split (a peer hop must *strictly* improve the objective to be
+    /// chosen). Two-stage candidates reuse the [`CutCost`] values of
+    /// [`CutPlanner::serving_costs`] verbatim, so without a pool — or with
+    /// a single-member pool, where "splitting" across one device is the
+    /// unsplit plan by construction — the candidate set is exactly the
+    /// legacy scalar sweep.
+    fn placement_candidates(
+        &self,
+        edge: &DeviceProfile,
+        measured: Option<&LinkEstimate>,
+        pool: Option<&PeerPool>,
+    ) -> Vec<PlacementCost> {
+        let l = self.profiles.len();
+        let costs = self.serving_costs(edge, measured);
+        let mut env = self.effective_env_measured(measured);
+        env.edge = edge.clone();
+        let mut prefix_macs = vec![0u64; l + 1];
+        for k in 0..l {
+            prefix_macs[k + 1] = prefix_macs[k] + self.profiles[k].macs;
+        }
+        let total_macs = prefix_macs[l];
+        let pool = pool.filter(|p| p.members >= 2);
+        let mut out = Vec::with_capacity(if pool.is_some() { l * (l + 1) / 2 } else { l });
+        for k2 in (0..l).rev() {
+            let c = costs[k2];
+            out.push(PlacementCost {
+                plan: PlacementPlan::two_stage(c.cut, l),
+                peer_bytes: 0,
+                upload_bytes: c.upload_bytes,
+                latency_s: c.latency_s,
+                edge_energy_j: c.edge_energy_j,
+            });
+            let Some(pool) = pool else { continue };
+            // The local device runs at least one layer before handing off
+            // (a device that computes nothing has nothing to split), so
+            // cooperative candidates exist only for final cuts >= 2.
+            for k1 in (1..k2).rev() {
+                // Peer hops ship lossless f32 regardless of the WAN wire.
+                let peer_bytes = self.profiles[k1 - 1].out_elems * 4;
+                let m1 = prefix_macs[k1];
+                let m2 = prefix_macs[k2] - prefix_macs[k1];
+                let cloud_macs = total_macs - prefix_macs[k2];
+                let latency_s = env.edge.latency_s(m1)
+                    + pool.link.uplink_leg_s(peer_bytes)
+                    + pool.pooled.latency_s(m2)
+                    + env.link.round_trip_s(c.upload_bytes, env.response_bytes)
+                    + env.cloud.latency_s(cloud_macs);
+                let edge_energy_j = env.edge.compute_energy_j(m1)
+                    + pool.link.upload_energy_j(peer_bytes)
+                    + pool.pooled.compute_energy_j(m2)
+                    + env.link.upload_energy_j(c.upload_bytes);
+                out.push(PlacementCost {
+                    plan: PlacementPlan::three_stage(k1, k2, pool.class, l),
+                    peer_bytes,
+                    upload_bytes: c.upload_bytes,
+                    latency_s,
+                    edge_energy_j,
+                });
+            }
+        }
+        out
+    }
+
+    /// The cost-minimal [`PlacementPlan`] for one edge class — the
+    /// N-stage generalisation of [`CutPlanner::plan_for_measured`],
+    /// scoring intra-edge peer hops with the same objective as the cloud
+    /// hop. Without a pool (or with a single-member pool) this reduces to
+    /// the scalar plan exactly: same final cut, bit-identical cost.
+    pub fn plan_placement_for_measured(
+        &self,
+        edge: &DeviceProfile,
+        measured: Option<&LinkEstimate>,
+        pool: Option<&PeerPool>,
+    ) -> PlacementCost {
+        let score = |c: &PlacementCost| match self.objective {
+            Objective::Latency => c.latency_s,
+            Objective::EdgeEnergy => c.edge_energy_j,
+        };
+        self.placement_candidates(edge, measured, pool)
+            .into_iter()
+            .min_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite costs"))
+            .expect("at least the raw-upload cut exists")
+    }
+
+    /// [`CutPlanner::plan_placement_for_measured`] with an optional
+    /// per-class link prior (the
+    /// [`CutPlanner::plan_for_measured_with_link`] convention: the prior
+    /// replaces the shared WAN link before contention scaling and the
+    /// measured blend; the peer wire is untouched — it is not the shared
+    /// uplink).
+    pub fn plan_placement_for_measured_with_link(
+        &self,
+        edge: &DeviceProfile,
+        link: Option<&NetworkLink>,
+        measured: Option<&LinkEstimate>,
+        pool: Option<&PeerPool>,
+    ) -> PlacementCost {
+        match link {
+            None => self.plan_placement_for_measured(edge, measured, pool),
+            Some(l) => {
+                let mut on_link = self.clone();
+                on_link.env.link = *l;
+                on_link.plan_placement_for_measured(edge, measured, pool)
+            }
+        }
+    }
+
+    /// SLA-constrained placement — [`CutPlanner::plan_for_sla`] over the
+    /// full candidate set: among placements whose predicted latency fits
+    /// the p95 budget, ship the fewest bytes over the *shared* WAN uplink
+    /// (peer bytes ride a dedicated wire and do not occupy it), breaking
+    /// ties by the base objective, then toward deeper final cuts, then
+    /// toward the plan without a peer hop. The infeasible fallback is the
+    /// unconstrained placement optimum flagged `false`.
+    pub fn plan_placement_for_sla(
+        &self,
+        edge: &DeviceProfile,
+        measured: Option<&LinkEstimate>,
+        sla: &SlaObjective,
+        pool: Option<&PeerPool>,
+    ) -> (PlacementCost, bool) {
+        let base = |c: &PlacementCost| match sla.base {
+            Objective::Latency => c.latency_s,
+            Objective::EdgeEnergy => c.edge_energy_j,
+        };
+        let feasible = self
+            .placement_candidates(edge, measured, pool)
+            .into_iter()
+            .filter(|c| c.latency_s <= sla.p95_budget_s)
+            .min_by(|a, b| {
+                (a.upload_bytes, base(a)).partial_cmp(&(b.upload_bytes, base(b))).expect("finite costs")
+            });
+        match feasible {
+            Some(c) => (c, true),
+            None => (self.plan_placement_for_measured(edge, measured, pool), false),
+        }
+    }
+
+    /// [`CutPlanner::plan_placement_for_sla`] with an optional per-class
+    /// WAN link prior (see
+    /// [`CutPlanner::plan_placement_for_measured_with_link`]).
+    pub fn plan_placement_for_sla_with_link(
+        &self,
+        edge: &DeviceProfile,
+        link: Option<&NetworkLink>,
+        measured: Option<&LinkEstimate>,
+        sla: &SlaObjective,
+        pool: Option<&PeerPool>,
+    ) -> (PlacementCost, bool) {
+        match link {
+            None => self.plan_placement_for_sla(edge, measured, sla, pool),
+            Some(l) => {
+                let mut on_link = self.clone();
+                on_link.env.link = *l;
+                on_link.plan_placement_for_sla(edge, measured, sla, pool)
+            }
+        }
+    }
+
+    /// One cost-minimal placement per device class, each with its own
+    /// optional WAN link prior, measured estimate, and cooperative peer
+    /// pool — the heterogeneous-fleet placement entry point
+    /// ([`crate::fleet::FleetSpec::peer_pools`] supplies `pools`). With
+    /// every pool `None`, the final cuts and costs match
+    /// [`CutPlanner::plan_classes_measured_with_links`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or the slices' lengths differ.
+    pub fn plan_placements_measured_with_links(
+        &self,
+        classes: &[DeviceProfile],
+        links: &[Option<NetworkLink>],
+        estimates: &[Option<LinkEstimate>],
+        pools: &[Option<PeerPool>],
+    ) -> Vec<PlacementCost> {
+        assert!(!classes.is_empty(), "need at least one device class");
+        assert_eq!(classes.len(), links.len(), "one (optional) link prior per device class");
+        assert_eq!(classes.len(), estimates.len(), "one (optional) link estimate per device class");
+        assert_eq!(classes.len(), pools.len(), "one (optional) peer pool per device class");
+        classes
+            .iter()
+            .zip(links)
+            .zip(estimates)
+            .zip(pools)
+            .map(|(((c, l), m), p)| {
+                self.plan_placement_for_measured_with_link(c, l.as_ref(), m.as_ref(), p.as_ref())
+            })
+            .collect()
+    }
+
+    /// [`CutPlanner::plan_placements_measured_with_links`] without
+    /// telemetry: per-class link priors and peer pools under the static
+    /// contention model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or the slices' lengths differ.
+    pub fn plan_placements_with_links(
+        &self,
+        classes: &[DeviceProfile],
+        links: &[Option<NetworkLink>],
+        pools: &[Option<PeerPool>],
+    ) -> Vec<PlacementCost> {
+        let none = vec![None; classes.len()];
+        self.plan_placements_measured_with_links(classes, links, &none, pools)
+    }
 }
 
 #[cfg(test)]
@@ -934,6 +1316,159 @@ mod tests {
         let with_prior = planner.plan_for_sla_with_link(&edge, Some(&shared_link), Some(&est), &sla);
         let without = planner.plan_for_sla(&edge, Some(&est), &sla);
         assert_eq!(with_prior, without);
+    }
+
+    fn coop_pool(members: usize, link_mbps: f64) -> PeerPool {
+        PeerPool {
+            class: 0,
+            members,
+            pooled: DeviceProfile::new("pool", 10.0, 1e9).scaled_throughput(members as f64),
+            link: NetworkLink::wifi(link_mbps).with_rtt(0.0),
+        }
+    }
+
+    #[test]
+    fn placement_plan_accessors_cover_the_shapes() {
+        let two = PlacementPlan::two_stage(2, 5);
+        assert!(two.is_two_stage());
+        assert_eq!(two.final_cut(), 2);
+        assert_eq!(two.total_layers(), 5);
+        assert!(two.peer_stage().is_none());
+        assert_eq!(two.stages().len(), 2);
+        let three = PlacementPlan::three_stage(1, 3, 7, 5);
+        assert!(!three.is_two_stage());
+        assert_eq!(three.final_cut(), 3);
+        assert_eq!(three.total_layers(), 5);
+        let peer = three.peer_stage().expect("has a peer stage");
+        assert_eq!(peer.executor, StageExecutor::Peer(7));
+        assert_eq!(peer.layer_range, (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn placement_plan_rejects_gaps() {
+        PlacementPlan::from_stages(vec![
+            Stage { executor: StageExecutor::Local, layer_range: (0, 1) },
+            Stage { executor: StageExecutor::Cloud, layer_range: (2, 3) },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "end at the cloud")]
+    fn placement_plan_rejects_non_cloud_tail() {
+        PlacementPlan::from_stages(vec![Stage { executor: StageExecutor::Local, layer_range: (0, 3) }]);
+    }
+
+    #[test]
+    fn placement_without_a_pool_is_the_scalar_plan_exactly() {
+        // The degenerate case of the tentpole: no cooperative group means
+        // the placement search *is* the legacy sweep — same final cut,
+        // bit-identical latency/energy/bytes, a two-stage plan.
+        for objective in [Objective::Latency, Objective::EdgeEnergy] {
+            let planner = CutPlanner::new(toy_profiles(), env(), objective, 4);
+            let edge = DeviceProfile::new("edge", 10.0, 1e9);
+            let est = LinkEstimate { up_mbps: 2.0, down_mbps: 2.0, rtt_s: 0.005, samples: 6 };
+            for measured in [None, Some(est)] {
+                let scalar = planner.plan_for_measured(&edge, measured.as_ref());
+                let placed = planner.plan_placement_for_measured(&edge, measured.as_ref(), None);
+                assert!(placed.plan.is_two_stage());
+                assert_eq!(placed.plan, PlacementPlan::two_stage(scalar.cut, 3));
+                assert_eq!(placed.upload_bytes, scalar.upload_bytes);
+                assert_eq!(placed.peer_bytes, 0);
+                assert!(placed.latency_s == scalar.latency_s, "latency must be bit-identical");
+                assert!(placed.edge_energy_j == scalar.edge_energy_j, "energy must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn single_member_pool_is_structurally_two_stage() {
+        // A one-device "group" cannot split anything: the planner never
+        // even scores a peer hop, so the plan is the no-pool plan
+        // verbatim (not merely equal-cost — structurally identical).
+        let planner = CutPlanner::new(toy_profiles(), env(), Objective::Latency, 4);
+        let edge = DeviceProfile::new("edge", 10.0, 1e9);
+        let solo = planner.plan_placement_for_measured(&edge, None, None);
+        let lone = planner.plan_placement_for_measured(&edge, None, Some(&coop_pool(1, 1000.0)));
+        assert_eq!(solo, lone);
+    }
+
+    #[test]
+    fn pooled_peers_justify_a_deeper_final_cut() {
+        // A weak edge on a thin WAN: solo it cannot afford the heavy
+        // bottleneck layer locally, so it ships a fat early activation.
+        // Three pooled peers on a fast local wire absorb that layer, the
+        // WAN upload shrinks to the bottleneck, and latency drops.
+        let profiles = vec![
+            LayerProfile { name: "conv1".into(), macs: 200_000, out_elems: 4096 },
+            LayerProfile { name: "conv2".into(), macs: 60_000_000, out_elems: 256 },
+            LayerProfile { name: "head".into(), macs: 5_000_000, out_elems: 10 },
+        ];
+        let e = PartitionEnv {
+            edge: DeviceProfile::new("edge", 10.0, 1e9),
+            cloud: DeviceProfile::new("dc", 500.0, 1e11),
+            link: NetworkLink::wifi(2.0).with_rtt(0.0),
+            bytes_per_elem: 4,
+            raw_input_bytes: 12288,
+            response_bytes: 0,
+        };
+        let planner = CutPlanner::new(profiles, e.clone(), Objective::Latency, 1);
+        let solo = planner.plan_placement_for_measured(&e.edge, None, None);
+        assert!(solo.plan.is_two_stage());
+        assert!(solo.plan.final_cut() < 2, "solo cannot afford the bottleneck layer: {solo:?}");
+        let pool = PeerPool {
+            class: 0,
+            members: 3,
+            pooled: e.edge.scaled_throughput(3.0),
+            link: NetworkLink::wifi(400.0).with_rtt(0.0),
+        };
+        let coop = planner.plan_placement_for_measured(&e.edge, None, Some(&pool));
+        let peer = coop.plan.peer_stage().expect("the pool should win a stage");
+        assert_eq!(peer.executor, StageExecutor::Peer(0));
+        assert_eq!(coop.plan.final_cut(), 2, "the pooled split should reach the bottleneck: {coop:?}");
+        assert_eq!(coop.upload_bytes, 256 * 4);
+        assert_eq!(coop.peer_bytes, 4096 * 4, "peer hops always ship lossless f32");
+        assert!(coop.latency_s < solo.latency_s, "cooperation must strictly improve: {solo:?} -> {coop:?}");
+    }
+
+    #[test]
+    fn sla_placement_degenerates_to_the_scalar_sla_plan() {
+        let planner = CutPlanner::new(toy_profiles(), env(), Objective::Latency, 1);
+        let edge = planner.effective_env().edge;
+        for budget in [1e-12, 0.5, 10.0] {
+            let sla = SlaObjective { base: Objective::Latency, p95_budget_s: budget, accuracy_floor: 0.9 };
+            let (scalar, scalar_ok) = planner.plan_for_sla(&edge, None, &sla);
+            let (placed, placed_ok) = planner.plan_placement_for_sla(&edge, None, &sla, None);
+            assert_eq!(placed_ok, scalar_ok);
+            assert_eq!(placed.plan, PlacementPlan::two_stage(scalar.cut, 3));
+            assert_eq!(placed.upload_bytes, scalar.upload_bytes);
+            assert!(placed.latency_s == scalar.latency_s);
+        }
+    }
+
+    #[test]
+    fn placements_per_class_mix_pools_and_priors() {
+        // Class 0 plans solo on the shared link; class 1 carries both a
+        // link prior and a pool. The solo class must match the scalar
+        // per-class planner entry point on final cut and cost.
+        let planner = CutPlanner::new(toy_profiles(), env(), Objective::Latency, 2);
+        let edge = DeviceProfile::new("edge", 10.0, 1e9);
+        let classes = vec![edge.clone(), edge];
+        let slow = NetworkLink::wifi(0.01).with_rtt(0.0);
+        let pool = coop_pool(3, 1000.0);
+        let placements = planner.plan_placements_with_links(
+            &classes,
+            &[None, Some(slow)],
+            &[None, Some(PeerPool { class: 1, ..pool })],
+        );
+        let scalar = planner.plan_classes_with_links(&classes, &[None, Some(slow)]);
+        assert_eq!(placements.len(), 2);
+        assert_eq!(placements[0].plan.final_cut(), scalar[0].cut);
+        assert!(placements[0].latency_s == scalar[0].latency_s);
+        if let Some(peer) = placements[1].plan.peer_stage() {
+            assert_eq!(peer.executor, StageExecutor::Peer(1));
+        }
+        assert!(placements[1].latency_s <= scalar[1].latency_s, "a pool can only help");
     }
 
     #[test]

@@ -1,0 +1,993 @@
+//! Serving configuration surface: payload/control plans, the validated
+//! [`ServeConfig`] builder, and the error taxonomy.
+
+use super::*;
+
+/// Bytes of the cloud's response per prediction on the downlink — the
+/// exact encoded size of a [`ResponseFrame`] (length prefix, request id,
+/// class id), which is what [`ServeStats::bytes_from_cloud`] counts and
+/// the [`CutPlanner`] charges as `response_bytes`. Both transports put
+/// the same frame on the wire, so the charge is byte-for-byte real.
+pub const RESPONSE_WIRE_BYTES: u64 = ResponseFrame::WIRE_BYTES;
+
+/// Headroom factor on the calibration activations' per-channel absolute
+/// maxima when building the serve-time [`ActivationGrids`]: inputs hotter
+/// than the calibration image saturate instead of wrapping, and a little
+/// headroom keeps saturation rare.
+pub(crate) const GRID_HEADROOM: f32 = 1.25;
+
+/// How offloaded images are encoded on the edge→cloud wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// Lossless `f32` tensors ([`Payload::Features`] codec). The cloud
+    /// sees exactly the edge's pixels, so the served system is
+    /// bit-identical to the offline sweep.
+    #[default]
+    Float32,
+    /// The paper's 1-byte-per-sample sensor format
+    /// ([`Payload::RawImage`]): 4× smaller uploads, but quantisation can
+    /// flip borderline cloud predictions.
+    Quantised8Bit,
+}
+
+/// How offloaded *activations* are encoded on the edge→cloud wire in
+/// feature-payload mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FeatureWire {
+    /// Lossless `f32` activations ([`Payload::Features`]): the resumed
+    /// cloud forward is bitwise identical to the full forward, whatever
+    /// the cut.
+    #[default]
+    F32,
+    /// Int8 activations through the `mea-quant` wire codec
+    /// ([`Payload::QuantFeatures`]): ~4× smaller — a deep cut undercuts
+    /// even the raw-image upload — at the cost of borderline prediction
+    /// flips. Every frame carries its own per-tensor quantisation
+    /// parameters.
+    Int8,
+    /// Per-channel int8 activations on a **calibrated grid**
+    /// ([`Payload::encode_grid_features`]): the per-channel scales are
+    /// calibrated once at serve setup ([`ActivationGrids`]) and shared by
+    /// edge and cloud out of band, so frames carry only a one-byte cut
+    /// index plus the quantised data — strictly fewer bytes per offload
+    /// than [`FeatureWire::Int8`] at every cut, with the finer channel
+    /// granularity on top. The governor's deepest wire rung.
+    PerChannelInt8,
+}
+
+impl FeatureWire {
+    /// Bytes one activation element occupies on the wire.
+    pub fn bytes_per_elem(self) -> u64 {
+        match self {
+            FeatureWire::F32 => 4,
+            FeatureWire::Int8 | FeatureWire::PerChannelInt8 => 1,
+        }
+    }
+}
+
+/// Measured-link feedback configuration: the closed loop between the
+/// cloud tier's per-batch link telemetry and the [`CutPlanner`].
+///
+/// When set on a [`CutPlannerConfig`], every served cloud batch feeds one
+/// `(bytes, seconds)` observation per device class into a
+/// [`LinkEstimator`] EWMA, and every [`LinkFeedback::replan_every`]
+/// batches the planner re-derives the per-class cuts from the measured
+/// effective rates blended with its static contention prior — so real
+/// congestion (e.g. a [`LinkChange`] degradation) moves the cut, not just
+/// the modelled `β·streams` divisor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFeedback {
+    /// EWMA coefficient for per-batch observations, in `(0, 1]` (weight
+    /// of the newest observation).
+    pub alpha: f64,
+    /// Pseudo-sample weight of the static contention prior: a class with
+    /// `n` observed batches trusts its measurement with weight
+    /// `n / (n + prior_samples)` (see
+    /// [`CutPlanner::effective_env_measured`]).
+    pub prior_samples: f64,
+    /// Replan the per-class cuts every this many observed batches.
+    pub replan_every: u64,
+}
+
+impl Default for LinkFeedback {
+    /// A moderately reactive loop: newest observation worth 30%, the
+    /// static prior worth [`MEASURED_PRIOR_SAMPLES`] batches, replanning
+    /// every 8 batches.
+    fn default() -> Self {
+        LinkFeedback { alpha: 0.3, prior_samples: MEASURED_PRIOR_SAMPLES, replan_every: 8 }
+    }
+}
+
+/// Online cut-point planning parameters for feature-payload serving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutPlannerConfig {
+    /// Edge device classes: device `d` belongs to class
+    /// `d % classes.len()` and serves from that class's planned cut.
+    ///
+    /// When [`ServeConfig::fleet`] is set this list must be **empty** —
+    /// the fleet's effective per-class profiles (and link priors) drive
+    /// the planner, and devices map to classes through
+    /// [`FleetSpec::class_of`] instead of the modulo convention.
+    pub classes: Vec<DeviceProfile>,
+    /// The cloud device executing the suffix.
+    pub cloud: DeviceProfile,
+    /// What the planner minimises.
+    pub objective: Objective,
+    /// Measured-link feedback: `None` plans open-loop from the static
+    /// contention model only (replanning only when the controller moves
+    /// β); `Some` closes the loop on observed per-batch link times.
+    pub feedback: Option<LinkFeedback>,
+}
+
+/// How the cut layer of feature-payload serving is chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CutSelection {
+    /// A fixed cut layer index (same for every device).
+    Fixed(usize),
+    /// Online planning: the [`CutPlanner`] scores every cut of the cloud
+    /// network against the serving link and device profiles, picks the
+    /// cost-minimal placement per device class (including cooperative
+    /// peer splits for classes with a
+    /// [`crate::fleet::DeviceClass::coop_group`]), and replans whenever
+    /// the [`ThresholdController`] moves β.
+    Planned(CutPlannerConfig),
+    /// A forced multi-stage [`PlacementPlan`], the same for every device
+    /// class — the N-stage generalisation of `Fixed`. The plan must cover
+    /// the cloud network's layers exactly and its final cut must be a
+    /// serving cut (the cloud runs at least the head).
+    Placement(PlacementPlan),
+}
+
+/// Configuration of feature-payload serving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureConfig {
+    /// Activation wire encoding.
+    pub wire: FeatureWire,
+    /// Cut-layer choice.
+    pub cut: CutSelection,
+}
+
+/// What crosses the edge→cloud wire for offloaded instances.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PayloadPlan {
+    /// Ship the input image; the cloud computes its whole network from
+    /// pixels (the paper's collaboration mode).
+    Image(WireFormat),
+    /// Ship the cloud network's activation at a cut layer; the cloud
+    /// resumes from there (the Neurosurgeon-style split this repo's
+    /// offline `partition` search scores, now live).
+    Features(FeatureConfig),
+}
+
+impl Default for PayloadPlan {
+    fn default() -> Self {
+        PayloadPlan::Image(WireFormat::Float32)
+    }
+}
+
+/// One edge worker's model state: the MEANet it routes with, plus — in
+/// feature-payload mode — a bitwise replica of the cloud network whose
+/// prefix it executes up to the current cut.
+#[derive(Debug)]
+pub struct EdgeReplica {
+    /// The trained MEANet (routing, main/extension exits).
+    pub net: MeaNet,
+    /// Cloud-network replica for prefix execution. Must be bitwise
+    /// identical to the cloud workers' replicas; required when
+    /// [`ServeConfig::payload`] is [`PayloadPlan::Features`].
+    pub cloud_prefix: Option<SegmentedCnn>,
+}
+
+impl EdgeReplica {
+    /// An edge replica for image-payload serving (no cloud prefix).
+    pub fn new(net: MeaNet) -> Self {
+        EdgeReplica { net, cloud_prefix: None }
+    }
+
+    /// An edge replica that can serve feature payloads.
+    pub fn with_cloud_prefix(net: MeaNet, cloud: SegmentedCnn) -> Self {
+        EdgeReplica { net, cloud_prefix: Some(cloud) }
+    }
+}
+
+/// Closed-loop threshold steering inside the serving path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// The integral controller (carries the initial threshold, the target
+    /// β and the gain).
+    pub controller: ThresholdController,
+    /// Number of routed instances per feedback window.
+    pub window: usize,
+}
+
+/// The unified control plane of feature-payload serving: one value that
+/// says how the (β, cut, wire) operating point is chosen, replacing the
+/// scattered legacy combination of [`ServeConfigBuilder::controller`],
+/// a [`PayloadPlan::Features`] payload with [`CutSelection`], and the
+/// feedback option buried inside [`CutPlannerConfig`].
+///
+/// Set via [`ServeConfigBuilder::control`]; the runtime normalises every
+/// plan into the legacy fields through one shared path, so a plan and the
+/// equivalent hand-assembled legacy configuration serve **identically**.
+/// Combining a plan with the legacy `controller`/`payload` fields is
+/// rejected at build time ([`ServeConfigError`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlPlan {
+    /// Open-loop: a fixed cut and wire for every device, optionally with
+    /// SPINN-style threshold steering. Nothing replans at runtime.
+    Static {
+        /// The fixed cut layer (same for every device class).
+        cut: usize,
+        /// The activation wire encoding.
+        wire: FeatureWire,
+        /// Optional runtime threshold adaptation.
+        controller: Option<ControllerConfig>,
+    },
+    /// Closed-loop planned cuts: the [`CutPlanner`] picks the per-class
+    /// cut online and measured-link `feedback` replans it from the link
+    /// times cloud batches actually paid.
+    ClosedLoop {
+        /// Planner parameters. Its [`CutPlannerConfig::feedback`] field
+        /// must be `None` — the loop's feedback lives in
+        /// [`ControlPlan::ClosedLoop::feedback`], not inside the planner
+        /// config ([`ServeConfigError::ClosedLoopFeedbackConflict`]).
+        planner: CutPlannerConfig,
+        /// The measured-link feedback loop (mandatory: a closed loop
+        /// without feedback is the open-loop plan).
+        feedback: LinkFeedback,
+        /// The activation wire encoding.
+        wire: FeatureWire,
+        /// Optional runtime threshold adaptation.
+        controller: Option<ControllerConfig>,
+    },
+    /// SLA-governed joint (β, cut, wire) control: the
+    /// [`Governor`] watches live per-class p95 latency windows and
+    /// escalates cut objective, wire format and finally the offload
+    /// fraction to hold the [`SlaTarget`] — see [`crate::governor`].
+    /// Starts from lossless `f32` on latency-planned cuts with default
+    /// measured-link feedback; requires [`ServeConfig::link`]
+    /// ([`ServeConfigError::GovernedWithoutTelemetry`]).
+    Governed(SlaTarget),
+}
+
+/// Static configuration of the serving runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Edge worker threads (must equal the number of edge replicas).
+    pub edge_workers: usize,
+    /// Cloud worker threads (must equal the number of cloud replicas).
+    pub cloud_workers: usize,
+    /// Dynamic-batching cap: a cloud worker coalesces at most this many
+    /// queued payloads into one batched forward.
+    pub max_batch: usize,
+    /// How long a cloud worker waits for stragglers once it holds at
+    /// least one payload. `Duration::ZERO` coalesces only what is already
+    /// queued (no added latency).
+    pub max_wait: Duration,
+    /// Capacity of each bounded edge/cloud ingress queue.
+    pub queue_depth: usize,
+    /// Offload policy. Ignored when `controller` is set (the controller
+    /// then drives an entropy-threshold policy starting from its own
+    /// threshold).
+    pub policy: OffloadPolicy,
+    /// Optional SPINN-style runtime threshold adaptation.
+    ///
+    /// Legacy field: prefer [`ServeConfig::control`], which carries the
+    /// controller inside its [`ControlPlan`]. Setting both is rejected
+    /// ([`ServeConfigError::ControlPlanControllerConflict`]).
+    pub controller: Option<ControllerConfig>,
+    /// The unified control plane ([`ControlPlan`]): how the (β, cut,
+    /// wire) operating point of feature-payload serving is chosen.
+    /// `None` keeps the legacy field combination
+    /// (`controller` + `payload`) in charge; `Some` expands into those
+    /// fields through one shared normalisation path before validation,
+    /// and conflicts with explicitly set legacy fields are rejected.
+    pub control: Option<ControlPlan>,
+    /// What offloaded instances carry across the wire: images (the cloud
+    /// recomputes from pixels) or cut-layer activations (the cloud
+    /// resumes from the cut).
+    pub payload: PayloadPlan,
+    /// Optional link model: each cloud batch pays its uplink leg (the
+    /// upload plus half the RTT) before the forward and its downlink leg
+    /// (half the RTT plus the response download) after it, as real
+    /// wall-clock delay on the worker that serves it — the same
+    /// [`NetworkLink::uplink_leg_s`]/[`NetworkLink::downlink_leg_s`]
+    /// convention the virtual-clock simulator and the closed-form
+    /// `round_trip_s` charge. Under [`TransportKind::Pipe`] the wire's
+    /// own transfer time replaces these sleeps; the model then only
+    /// informs the [`CutPlanner`]'s static prior.
+    pub link: Option<NetworkLink>,
+    /// Which wire the offloaded payloads cross: the deterministic
+    /// modelled conduit (default — the CI/record-identity path) or a real
+    /// in-process byte pipe whose transfer times feed the
+    /// [`LinkEstimator`] as genuine `Instant::now()` deltas.
+    pub transport: TransportKind,
+    /// Scheduled changes of the *real* wire mid-run (radio degradation):
+    /// once the cloud tier has *started* `after_batches` coalesced
+    /// batches, subsequently started batches ride the changed link.
+    /// Applied in order; requires [`ServeConfig::link`]. The planner's
+    /// static model is deliberately not told — only measured-link
+    /// feedback ([`LinkFeedback`]) can observe the change.
+    pub link_schedule: Vec<LinkChange>,
+    /// Optional heterogeneous device registry. `Some` routes every
+    /// device→class decision (planned cuts, link telemetry, per-class
+    /// stats) through [`FleetSpec::class_of`] and plans cuts from each
+    /// class's tier-scaled profile and radio prior; `None` keeps the
+    /// legacy homogeneous convention. A spec whose classes are all
+    /// identical to the legacy planner classes serves record-identically
+    /// to `None`.
+    pub fleet: Option<FleetSpec>,
+    /// Optional difficulty-aware routing. `Some` classifies every request
+    /// from its input statistics before any forward pass:
+    /// predicted-**easy** requests settle locally (main or extension
+    /// exit) without consulting the offload policy, predicted-**hard**
+    /// requests pre-commit to the cloud without evaluating the main exit
+    /// (skipped evaluations are counted in
+    /// [`ServeStats::skipped_main_exits`]), and ambiguous requests take
+    /// the unchanged Algorithm-2 path. `None` routes everything through
+    /// Algorithm 2.
+    pub difficulty: Option<DifficultyPredictor>,
+    /// How cloud workers pick up arrived frames: the sharded
+    /// work-stealing ingress (default) or the legacy one-queue-per-worker
+    /// path. Pure scheduling knob — the served [`InstanceRecord`]s are
+    /// identical either way (asserted by the property suite); only
+    /// throughput and the [`ServeStats`] scheduling counters differ.
+    pub ingress: CloudIngress,
+}
+
+/// One scheduled change of serving link conditions (see
+/// [`ServeConfig::link_schedule`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkChange {
+    /// The change takes effect once this many coalesced cloud batches
+    /// have been *started* (dequeued), counted across the whole cloud
+    /// tier. With one cloud worker batches start in completion order, so
+    /// the switch point is exact; with several workers the start order is
+    /// scheduler-dependent, so batches already in flight may still ride
+    /// the old link.
+    pub after_batches: u64,
+    /// The link every later batch pays (and telemetry observes).
+    pub link: NetworkLink,
+}
+
+/// How offloaded frames reach the cloud workers (see
+/// [`ServeConfig::ingress`]).
+///
+/// Either way every frame still enters through its device-sticky lane
+/// (`spec.sticky_index(device, lanes)`), so the wire-level ordering
+/// guarantees are identical; the choice only controls how cloud *workers*
+/// pick frames up once they have arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CloudIngress {
+    /// Sharded work-stealing ingress (the default): each cloud worker
+    /// owns one bounded shard fed by a pump thread draining its lane, and
+    /// an idle worker steals a FIFO prefix of frames (whole device-sticky
+    /// runs, in arrival order) from the deepest backlogged shard instead
+    /// of sleeping. Per-device FIFO survives stealing because (a) a steal
+    /// takes a *prefix* of a shard, preserving every device's frame order
+    /// within it, and (b) completions pass a per-device reorder gate
+    /// keyed on the edge-assigned offload index, so results leave the
+    /// cloud tier in exactly per-device offload order. [`ServeStats::steals`] / [`ServeStats::per_shard_batches`]
+    /// expose the balancing behaviour.
+    #[default]
+    Sharded,
+    /// The legacy path: each cloud worker blocks on its own lane only.
+    /// A skewed device population can idle every other worker; kept as
+    /// the record-identity reference and for A/B measurement.
+    SingleQueue,
+}
+
+/// The link a batch rides given how many batches the cloud tier has
+/// *started* (dequeued) before it: [`ServeConfig::link`] with every due
+/// [`LinkChange`] applied in order. Keying on started batches matches
+/// [`LinkChange::after_batches`]: the counter increments when a worker
+/// dequeues a coalesced batch, before any leg of the link is paid.
+pub(crate) fn scheduled_link(cfg: &ServeConfig, batches_before: u64) -> Option<NetworkLink> {
+    let mut link = cfg.link?;
+    for change in &cfg.link_schedule {
+        if batches_before >= change.after_batches {
+            link = change.link;
+        }
+    }
+    Some(link)
+}
+
+impl ServeConfig {
+    /// A serving configuration with sane defaults: no batching wait, a
+    /// queue depth of 4 per worker, lossless wire format, no simulated
+    /// link, no controller.
+    pub fn new(policy: OffloadPolicy, edge_workers: usize, cloud_workers: usize, max_batch: usize) -> Self {
+        ServeConfig {
+            edge_workers,
+            cloud_workers,
+            max_batch,
+            max_wait: Duration::ZERO,
+            queue_depth: 4,
+            policy,
+            controller: None,
+            control: None,
+            payload: PayloadPlan::default(),
+            link: None,
+            transport: TransportKind::default(),
+            link_schedule: Vec::new(),
+            fleet: None,
+            difficulty: None,
+            ingress: CloudIngress::default(),
+        }
+    }
+
+    /// The degenerate single-pipeline configuration (`edge_workers: 1,
+    /// cloud_workers: 1, max_batch: 1`) that
+    /// [`crate::sim::run_threaded`] is a thin wrapper over.
+    pub fn pipeline(policy: OffloadPolicy) -> Self {
+        ServeConfig::new(policy, 1, 1, 1)
+    }
+
+    /// A validating builder starting from [`ServeConfig::new`]'s defaults
+    /// (`edge_workers: 1, cloud_workers: 1, max_batch: 1`).
+    /// [`ServeConfigBuilder::build`] checks every static invariant and
+    /// returns [`ServeConfigError`] instead of panicking downstream.
+    pub fn builder(policy: OffloadPolicy) -> ServeConfigBuilder {
+        ServeConfigBuilder { cfg: ServeConfig::new(policy, 1, 1, 1) }
+    }
+}
+
+/// Validating builder for [`ServeConfig`] — see [`ServeConfig::builder`].
+///
+/// Every setter is infallible; [`ServeConfigBuilder::build`] runs the
+/// full invariant suite once at the end, so a successfully built config
+/// can never trip a configuration panic inside the runtime.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Number of edge worker threads (one replica each).
+    pub fn edge_workers(mut self, n: usize) -> Self {
+        self.cfg.edge_workers = n;
+        self
+    }
+
+    /// Number of cloud worker threads (one replica each).
+    pub fn cloud_workers(mut self, n: usize) -> Self {
+        self.cfg.cloud_workers = n;
+        self
+    }
+
+    /// Dynamic-batching cap per coalesced cloud batch.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.cfg.max_batch = n;
+        self
+    }
+
+    /// How long a cloud worker waits for stragglers once it holds a
+    /// payload.
+    pub fn max_wait(mut self, wait: Duration) -> Self {
+        self.cfg.max_wait = wait;
+        self
+    }
+
+    /// Capacity of each bounded edge/cloud ingress queue.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.queue_depth = depth;
+        self
+    }
+
+    /// Replaces the offload policy.
+    pub fn policy(mut self, policy: OffloadPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Enables SPINN-style runtime threshold adaptation.
+    #[deprecated(note = "use ServeConfigBuilder::control with a ControlPlan carrying the controller")]
+    pub fn controller(mut self, cc: ControllerConfig) -> Self {
+        self.cfg.controller = Some(cc);
+        self
+    }
+
+    /// The unified control plane: how the (β, cut, wire) operating point
+    /// of feature-payload serving is chosen (see [`ControlPlan`]).
+    /// Replaces the legacy `controller`/`payload`/`link_schedule` wiring;
+    /// combining a plan with those legacy setters is rejected at
+    /// [`ServeConfigBuilder::build`].
+    pub fn control(mut self, plan: ControlPlan) -> Self {
+        self.cfg.control = Some(plan);
+        self
+    }
+
+    /// What offloaded instances carry across the wire.
+    pub fn payload(mut self, payload: PayloadPlan) -> Self {
+        self.cfg.payload = payload;
+        self
+    }
+
+    /// The modelled network link.
+    pub fn link(mut self, link: NetworkLink) -> Self {
+        self.cfg.link = Some(link);
+        self
+    }
+
+    /// Which wire the payloads cross (modelled conduit or real pipe).
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.cfg.transport = transport;
+        self
+    }
+
+    /// Scheduled mid-run changes of the modelled wire. These are
+    /// *scenario* input — what happens to the radio — not control policy;
+    /// the [`ControlPlan`] decides how serving reacts.
+    pub fn link_events(mut self, events: Vec<LinkChange>) -> Self {
+        self.cfg.link_schedule = events;
+        self
+    }
+
+    /// Scheduled mid-run changes of the modelled wire.
+    #[deprecated(note = "renamed to ServeConfigBuilder::link_events (link changes are scenario, not control)")]
+    pub fn link_schedule(mut self, schedule: Vec<LinkChange>) -> Self {
+        self.cfg.link_schedule = schedule;
+        self
+    }
+
+    /// Heterogeneous device registry (see [`ServeConfig::fleet`]).
+    pub fn fleet(mut self, spec: FleetSpec) -> Self {
+        self.cfg.fleet = Some(spec);
+        self
+    }
+
+    /// Difficulty-aware routing (see [`ServeConfig::difficulty`]).
+    pub fn difficulty(mut self, predictor: DifficultyPredictor) -> Self {
+        self.cfg.difficulty = Some(predictor);
+        self
+    }
+
+    /// How cloud workers pick up arrived frames (see
+    /// [`ServeConfig::ingress`]).
+    pub fn ingress(mut self, ingress: CloudIngress) -> Self {
+        self.cfg.ingress = ingress;
+        self
+    }
+
+    /// Validates every static invariant and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// One [`ServeConfigError`] per violated invariant — the same checks
+    /// [`try_serve`] runs (including the [`ControlPlan`] normalisation),
+    /// so a built config cannot fail them later.
+    pub fn build(self) -> Result<ServeConfig, ServeConfigError> {
+        let (effective, _) = effective_config(&self.cfg)?;
+        validate_config(&effective)?;
+        Ok(self.cfg)
+    }
+}
+
+/// A [`ServeConfig`] that violates a static invariant — everything
+/// checkable from the configuration alone, before any replica or request
+/// is seen. Returned by [`ServeConfigBuilder::build`] and (wrapped in
+/// [`ServeError::Config`]) by [`try_serve`] / [`Fleet::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeConfigError {
+    /// `edge_workers == 0`: there is nobody to route requests.
+    NoEdgeWorkers,
+    /// `max_batch == 0`: a cloud batch cannot hold zero payloads.
+    ZeroMaxBatch,
+    /// `queue_depth == 0`: bounded queues need capacity.
+    ZeroQueueDepth,
+    /// A [`ServeConfig::link_schedule`] without a [`ServeConfig::link`]
+    /// to change.
+    ScheduleWithoutLink,
+    /// A link schedule combined with the pipe transport (the schedule
+    /// drives the modelled wire only).
+    ScheduleOnPipe,
+    /// A [`ControllerConfig::window`] of zero instances.
+    ControllerWindowEmpty,
+    /// An offloading policy (or a controller, which implies one) with no
+    /// cloud workers to offload to.
+    PolicyNeedsCloud,
+    /// Planned cut selection with no device classes and no fleet spec to
+    /// derive them from.
+    NoPlannerClasses,
+    /// Planned cut selection without a [`ServeConfig::link`] to plan
+    /// against.
+    PlannedCutWithoutLink,
+    /// A [`LinkFeedback::replan_every`] of zero batches.
+    FeedbackNeverReplans,
+    /// Both [`ServeConfig::fleet`] and [`CutPlannerConfig::classes`] list
+    /// device classes — it must be one or the other.
+    FleetClassesConflict,
+    /// A [`ControlPlan`] combined with the legacy
+    /// [`ServeConfig::controller`] field — the plan carries its own
+    /// controller slot.
+    ControlPlanControllerConflict,
+    /// A [`ControlPlan`] combined with an explicitly set
+    /// [`ServeConfig::payload`] — the plan *is* the payload decision.
+    ControlPlanPayloadConflict,
+    /// A [`ControlPlan::ClosedLoop`] whose planner config also carries a
+    /// [`CutPlannerConfig::feedback`] — the loop's feedback lives in the
+    /// plan's own field.
+    ClosedLoopFeedbackConflict,
+    /// [`ControlPlan::Governed`] without a [`ServeConfig::link`]: the
+    /// governor plans cuts against a link model and needs link telemetry
+    /// to close its loop.
+    GovernedWithoutTelemetry,
+    /// [`ControlPlan::Governed`] combined with a fixed-cut features
+    /// payload: an SLA governor must be free to move the cut.
+    GovernedFixedCut,
+}
+
+impl fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeConfigError::NoEdgeWorkers => write!(f, "need at least one edge worker"),
+            ServeConfigError::ZeroMaxBatch => write!(f, "max_batch must be at least 1"),
+            ServeConfigError::ZeroQueueDepth => write!(f, "queues need capacity"),
+            ServeConfigError::ScheduleWithoutLink => {
+                write!(f, "a link schedule needs a link model (ServeConfig::link) to change")
+            }
+            ServeConfigError::ScheduleOnPipe => write!(
+                f,
+                "link_schedule drives the modelled wire; throttle the pipe transport via PipeConfig::throttle"
+            ),
+            ServeConfigError::ControllerWindowEmpty => write!(f, "controller window must be non-empty"),
+            ServeConfigError::PolicyNeedsCloud => {
+                write!(f, "an offloading policy requires a cloud model (no cloud workers configured)")
+            }
+            ServeConfigError::NoPlannerClasses => {
+                write!(f, "planned cut selection needs at least one device class")
+            }
+            ServeConfigError::PlannedCutWithoutLink => {
+                write!(f, "planned cut selection requires a link model (ServeConfig::link)")
+            }
+            ServeConfigError::FeedbackNeverReplans => {
+                write!(f, "feedback must replan after a positive number of batches")
+            }
+            ServeConfigError::FleetClassesConflict => write!(
+                f,
+                "planned cut selection must leave CutPlannerConfig::classes empty when ServeConfig::fleet \
+                 is set (the fleet's effective profiles drive the planner)"
+            ),
+            ServeConfigError::ControlPlanControllerConflict => write!(
+                f,
+                "a ControlPlan carries its own controller slot; drop the legacy \
+                 ServeConfigBuilder::controller setter"
+            ),
+            ServeConfigError::ControlPlanPayloadConflict => write!(
+                f,
+                "a ControlPlan decides the payload; drop the explicit ServeConfigBuilder::payload setter"
+            ),
+            ServeConfigError::ClosedLoopFeedbackConflict => write!(
+                f,
+                "ControlPlan::ClosedLoop carries the feedback loop itself; leave \
+                 CutPlannerConfig::feedback as None"
+            ),
+            ServeConfigError::GovernedWithoutTelemetry => {
+                write!(f, "ControlPlan::Governed needs link telemetry: configure a link model (ServeConfig::link)")
+            }
+            ServeConfigError::GovernedFixedCut => {
+                write!(f, "an SLA governor must be free to move the cut; drop the fixed-cut payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
+/// Anything [`try_serve`] / [`Fleet::new`] / [`Fleet::serve`] can reject:
+/// an invalid configuration, replicas that do not match it, or a
+/// malformed request trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The configuration itself violates a static invariant.
+    Config(ServeConfigError),
+    /// `edges.len()` does not match [`ServeConfig::edge_workers`].
+    EdgeReplicaMismatch {
+        /// Configured edge workers.
+        workers: usize,
+        /// Edge replicas supplied.
+        replicas: usize,
+    },
+    /// `clouds.len()` does not match [`ServeConfig::cloud_workers`].
+    CloudReplicaMismatch {
+        /// Configured cloud workers.
+        workers: usize,
+        /// Cloud replicas supplied.
+        replicas: usize,
+    },
+    /// A request with a NaN or infinite arrival time.
+    NonFiniteArrival {
+        /// Index of the offending request in the trace.
+        index: usize,
+        /// Originating device.
+        device: usize,
+        /// Per-device sequence number.
+        seq: usize,
+    },
+    /// Requests not sorted by arrival time.
+    UnsortedArrivals,
+    /// A request with a negative arrival time.
+    NegativeArrival {
+        /// Index of the offending request in the trace.
+        index: usize,
+    },
+    /// A request whose image is not a single-instance `[1, C, H, W]`
+    /// batch.
+    NotSingleInstance {
+        /// Index of the offending request in the trace.
+        index: usize,
+    },
+    /// Feature-payload serving with an edge replica lacking a
+    /// cloud-prefix replica.
+    MissingCloudPrefix {
+        /// The edge worker whose replica has no prefix.
+        worker: usize,
+    },
+    /// A fixed cut outside the cloud network's cut-layer range.
+    FixedCutOutOfRange {
+        /// The configured cut.
+        cut: usize,
+        /// Cut layers the cloud network actually has.
+        cut_layers: usize,
+    },
+    /// Edge cloud-prefix and cloud replicas disagree on the layer
+    /// enumeration.
+    PrefixMismatch {
+        /// Cut layers of the edge-side prefix replica.
+        edge_layers: usize,
+        /// Cut layers of the cloud replica.
+        cloud_layers: usize,
+    },
+    /// A forced [`CutSelection::Placement`] plan that does not cover the
+    /// cloud network's layers exactly.
+    PlacementLayerMismatch {
+        /// Layers the placement plan covers.
+        plan_layers: usize,
+        /// Cut layers the cloud network actually has.
+        cut_layers: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(e) => e.fmt(f),
+            ServeError::EdgeReplicaMismatch { workers, replicas } => {
+                write!(f, "one edge replica per edge worker ({workers} workers, {replicas} replicas)")
+            }
+            ServeError::CloudReplicaMismatch { workers, replicas } => {
+                write!(f, "one cloud replica per cloud worker ({workers} workers, {replicas} replicas)")
+            }
+            ServeError::NonFiniteArrival { index, device, seq } => {
+                write!(f, "non-finite arrival time for request {index} (device {device}, seq {seq})")
+            }
+            ServeError::UnsortedArrivals => write!(f, "requests must be sorted by arrival time"),
+            ServeError::NegativeArrival { index } => {
+                write!(f, "negative arrival time for request {index}")
+            }
+            ServeError::NotSingleInstance { index } => {
+                write!(f, "requests carry single-instance [1, C, H, W] images (request {index} is not)")
+            }
+            ServeError::MissingCloudPrefix { worker } => {
+                write!(f, "feature-payload serving: edge worker {worker} has no cloud prefix")
+            }
+            ServeError::FixedCutOutOfRange { cut, cut_layers } => {
+                write!(f, "fixed cut {cut} out of range (cloud network has {cut_layers} cut layers)")
+            }
+            ServeError::PrefixMismatch { edge_layers, cloud_layers } => write!(
+                f,
+                "edge cloud-prefix and cloud replicas disagree on the layer enumeration \
+                 ({edge_layers} vs {cloud_layers} cut layers)"
+            ),
+            ServeError::PlacementLayerMismatch { plan_layers, cut_layers } => write!(
+                f,
+                "placement plan covers {plan_layers} layers but the cloud network has {cut_layers} cut layers"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeConfigError> for ServeError {
+    fn from(e: ServeConfigError) -> Self {
+        ServeError::Config(e)
+    }
+}
+
+/// Normalises a [`ControlPlan`] into the legacy field combination: the
+/// single code path every entry point ([`try_serve`], the deprecated free
+/// [`serve`] shim, [`Fleet::new`] / [`Fleet::serve`],
+/// [`ServeConfigBuilder::build`]) funnels through, so a plan and the
+/// equivalent hand-assembled legacy configuration are *the same*
+/// configuration by the time the runtime sees them.
+///
+/// Returns the effective configuration (the input expanded, `control`
+/// cleared) plus the governor configuration when the plan is
+/// [`ControlPlan::Governed`]. A `None` plan passes the input through
+/// untouched.
+pub(crate) fn effective_config(
+    cfg: &ServeConfig,
+) -> Result<(ServeConfig, Option<GovernorConfig>), ServeConfigError> {
+    let Some(plan) = &cfg.control else { return Ok((cfg.clone(), None)) };
+    if cfg.controller.is_some() {
+        return Err(ServeConfigError::ControlPlanControllerConflict);
+    }
+    // The specific incoherence first, so the error names it: a governor
+    // pinned to a fixed cut (or a forced placement) has nothing to govern.
+    if let (ControlPlan::Governed(_), PayloadPlan::Features(fc)) = (plan, &cfg.payload) {
+        if matches!(fc.cut, CutSelection::Fixed(_) | CutSelection::Placement(_)) {
+            return Err(ServeConfigError::GovernedFixedCut);
+        }
+    }
+    if cfg.payload != PayloadPlan::default() {
+        return Err(ServeConfigError::ControlPlanPayloadConflict);
+    }
+    let mut eff = cfg.clone();
+    eff.control = None;
+    match plan {
+        ControlPlan::Static { cut, wire, controller } => {
+            eff.payload = PayloadPlan::Features(FeatureConfig { wire: *wire, cut: CutSelection::Fixed(*cut) });
+            eff.controller = *controller;
+            Ok((eff, None))
+        }
+        ControlPlan::ClosedLoop { planner, feedback, wire, controller } => {
+            if planner.feedback.is_some() {
+                return Err(ServeConfigError::ClosedLoopFeedbackConflict);
+            }
+            let mut pc = planner.clone();
+            pc.feedback = Some(*feedback);
+            eff.payload = PayloadPlan::Features(FeatureConfig { wire: *wire, cut: CutSelection::Planned(pc) });
+            eff.controller = *controller;
+            Ok((eff, None))
+        }
+        ControlPlan::Governed(target) => {
+            if cfg.link.is_none() {
+                return Err(ServeConfigError::GovernedWithoutTelemetry);
+            }
+            // With a fleet the planner's classes come from the spec
+            // (FleetClassesConflict guards the combination); without one
+            // a single default edge class keeps the legacy convention.
+            let classes = if cfg.fleet.is_some() { Vec::new() } else { vec![DeviceProfile::edge_gpu_cifar()] };
+            let pc = CutPlannerConfig {
+                classes,
+                cloud: DeviceProfile::cloud_accelerator(),
+                objective: Objective::Latency,
+                feedback: Some(LinkFeedback::default()),
+            };
+            // The governor starts at the open-loop operating point —
+            // lossless f32 on latency-planned cuts, the configured
+            // routing policy untouched — and only moves away from it
+            // when live windows violate the SLA.
+            eff.payload =
+                PayloadPlan::Features(FeatureConfig { wire: FeatureWire::F32, cut: CutSelection::Planned(pc) });
+            eff.controller = None;
+            Ok((eff, Some(GovernorConfig::new(*target))))
+        }
+    }
+}
+
+/// Checks every invariant knowable from the configuration alone.
+pub(crate) fn validate_config(cfg: &ServeConfig) -> Result<(), ServeConfigError> {
+    if cfg.edge_workers == 0 {
+        return Err(ServeConfigError::NoEdgeWorkers);
+    }
+    if cfg.max_batch == 0 {
+        return Err(ServeConfigError::ZeroMaxBatch);
+    }
+    if cfg.queue_depth == 0 {
+        return Err(ServeConfigError::ZeroQueueDepth);
+    }
+    if !cfg.link_schedule.is_empty() && cfg.link.is_none() {
+        return Err(ServeConfigError::ScheduleWithoutLink);
+    }
+    if matches!(cfg.transport, TransportKind::Pipe(_)) && !cfg.link_schedule.is_empty() {
+        return Err(ServeConfigError::ScheduleOnPipe);
+    }
+    if let Some(cc) = &cfg.controller {
+        if cc.window == 0 {
+            return Err(ServeConfigError::ControllerWindowEmpty);
+        }
+    }
+    // A controller always drives an entropy-threshold policy, which needs
+    // the cloud; otherwise the configured policy decides.
+    let edge_only = cfg.controller.is_none() && cfg.policy.is_edge_only();
+    if cfg.cloud_workers == 0 && !edge_only {
+        return Err(ServeConfigError::PolicyNeedsCloud);
+    }
+    if let PayloadPlan::Features(fc) = &cfg.payload {
+        if let CutSelection::Planned(pc) = &fc.cut {
+            if cfg.fleet.is_some() && !pc.classes.is_empty() {
+                return Err(ServeConfigError::FleetClassesConflict);
+            }
+            if cfg.fleet.is_none() && pc.classes.is_empty() {
+                return Err(ServeConfigError::NoPlannerClasses);
+            }
+            if cfg.link.is_none() {
+                return Err(ServeConfigError::PlannedCutWithoutLink);
+            }
+            if let Some(fb) = &pc.feedback {
+                if fb.replan_every == 0 {
+                    return Err(ServeConfigError::FeedbackNeverReplans);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the configuration plus everything that needs the replicas and
+/// the trace: worker/replica counts, arrival-time sanity, image shapes
+/// and feature-payload prefix consistency.
+pub(crate) fn validate_serve(
+    cfg: &ServeConfig,
+    edges: &[EdgeReplica],
+    clouds: &[SegmentedCnn],
+    requests: &[ServeRequest],
+) -> Result<(), ServeError> {
+    validate_config(cfg)?;
+    if cfg.edge_workers != edges.len() {
+        return Err(ServeError::EdgeReplicaMismatch { workers: cfg.edge_workers, replicas: edges.len() });
+    }
+    if cfg.cloud_workers != clouds.len() {
+        return Err(ServeError::CloudReplicaMismatch { workers: cfg.cloud_workers, replicas: clouds.len() });
+    }
+    // Finiteness first: a NaN arrival would otherwise trip the sortedness
+    // check (NaN fails every comparison) with a misleading message.
+    for (i, r) in requests.iter().enumerate() {
+        if !r.arrival_s.is_finite() {
+            return Err(ServeError::NonFiniteArrival { index: i, device: r.device, seq: r.seq });
+        }
+    }
+    if !requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s) {
+        return Err(ServeError::UnsortedArrivals);
+    }
+    for (i, r) in requests.iter().enumerate() {
+        if r.arrival_s < 0.0 {
+            return Err(ServeError::NegativeArrival { index: i });
+        }
+        if r.image.dims()[0] != 1 {
+            return Err(ServeError::NotSingleInstance { index: i });
+        }
+    }
+    if let PayloadPlan::Features(fc) = &cfg.payload {
+        for (w, e) in edges.iter().enumerate() {
+            if e.cloud_prefix.is_none() {
+                return Err(ServeError::MissingCloudPrefix { worker: w });
+            }
+        }
+        let edge_layers = edges[0].cloud_prefix.as_ref().expect("checked above").cut_layer_count();
+        if let Some(cloud) = clouds.first() {
+            if edge_layers != cloud.cut_layer_count() {
+                return Err(ServeError::PrefixMismatch { edge_layers, cloud_layers: cloud.cut_layer_count() });
+            }
+        }
+        match &fc.cut {
+            CutSelection::Fixed(k) => {
+                if *k >= edge_layers {
+                    return Err(ServeError::FixedCutOutOfRange { cut: *k, cut_layers: edge_layers });
+                }
+            }
+            CutSelection::Placement(plan) => {
+                if plan.total_layers() != edge_layers {
+                    return Err(ServeError::PlacementLayerMismatch {
+                        plan_layers: plan.total_layers(),
+                        cut_layers: edge_layers,
+                    });
+                }
+                if plan.final_cut() >= edge_layers {
+                    return Err(ServeError::FixedCutOutOfRange { cut: plan.final_cut(), cut_layers: edge_layers });
+                }
+            }
+            CutSelection::Planned(_) => {}
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,1485 @@
+use super::*;
+use crate::transport::{PaceChange, PipeConfig};
+use mea_data::{presets, ClassDict};
+use mea_nn::models::{resnet_cifar, CifarResNetConfig};
+use meanet::infer::run_inference;
+use meanet::infer::{run_inference_with_policy, InferenceConfig};
+use meanet::model::{AdaptivePlan, Merge, Variant};
+
+fn tiny_net(seed: u64) -> MeaNet {
+    let mut rng = Rng::new(seed);
+    let mut cfg = CifarResNetConfig::repro_scale(6);
+    cfg.input_hw = 8;
+    let backbone = resnet_cifar(&cfg, &mut rng);
+    let mut net = MeaNet::from_backbone(
+        backbone,
+        Variant::FullBackbone { extension_channels: 8, extension_blocks: 1 },
+        Merge::Sum,
+        &mut rng,
+    );
+    net.attach_edge_blocks(AdaptivePlan::DepthwiseSeparable, ClassDict::new(&[0, 2, 4]), &mut rng);
+    net
+}
+
+fn tiny_cloud(seed: u64) -> SegmentedCnn {
+    let mut rng = Rng::new(seed);
+    let mut cfg = CifarResNetConfig::repro_scale(6);
+    cfg.input_hw = 8;
+    cfg.channels = [16, 24, 32];
+    resnet_cifar(&cfg, &mut rng)
+}
+
+fn replicas<T>(count: usize, mut build: impl FnMut() -> T) -> Vec<T> {
+    (0..count).map(|_| build()).collect()
+}
+
+/// Image-payload edge replicas (no cloud prefix).
+fn edge_replicas(count: usize, seed: u64) -> Vec<EdgeReplica> {
+    replicas(count, || EdgeReplica::new(tiny_net(seed)))
+}
+
+/// Feature-payload edge replicas: each carries a bitwise replica of
+/// the cloud network (same constructor seed = same weights).
+fn split_replicas(count: usize, net_seed: u64, cloud_seed: u64) -> Vec<EdgeReplica> {
+    replicas(count, || EdgeReplica::with_cloud_prefix(tiny_net(net_seed), tiny_cloud(cloud_seed)))
+}
+
+fn instant_requests(data: &Dataset, devices: usize) -> Vec<ServeRequest> {
+    let mut rng = Rng::new(0);
+    trace_requests(data, devices, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng)
+}
+
+#[test]
+fn serve_matches_offline_sweep_bitwise() {
+    let bundle = presets::tiny(60);
+    let policy = OffloadPolicy::EntropyThreshold(0.8);
+    let mut offline_net = tiny_net(1);
+    let mut offline_cloud = tiny_cloud(2);
+    let expected = run_inference_with_policy(&mut offline_net, Some(&mut offline_cloud), &bundle.test, policy, 8);
+
+    for (e, c, b) in [(1usize, 1usize, 1usize), (2, 1, 4), (3, 2, 4)] {
+        let mut edges = edge_replicas(e, 1);
+        let mut clouds = replicas(c, || tiny_cloud(2));
+        let cfg = ServeConfig::new(policy, e, c, b);
+        let report = serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 3));
+        assert_eq!(report.records, expected, "serve({e} edge, {c} cloud, batch {b}) diverged");
+        assert_eq!(report.stats.total, bundle.test.len());
+    }
+}
+
+#[test]
+fn sharded_ingress_serves_record_identically_to_single_queue() {
+    // The ingress is a pure scheduling knob: same trace, same
+    // replicas, same records — whatever the worker/batch topology.
+    let bundle = presets::tiny(170);
+    let policy = OffloadPolicy::EntropyThreshold(0.8);
+    let requests = instant_requests(&bundle.test, 4);
+    for (e, c, b) in [(1usize, 2usize, 1usize), (2, 3, 4), (3, 1, 2)] {
+        let run = |ingress: CloudIngress| {
+            let mut edges = edge_replicas(e, 21);
+            let mut clouds = replicas(c, || tiny_cloud(22));
+            let cfg = ServeConfig::builder(policy)
+                .edge_workers(e)
+                .cloud_workers(c)
+                .max_batch(b)
+                .ingress(ingress)
+                .build()
+                .expect("valid config");
+            try_serve(&cfg, &mut edges, &mut clouds, &requests).expect("serves")
+        };
+        let sharded = run(CloudIngress::Sharded);
+        let single = run(CloudIngress::SingleQueue);
+        assert_eq!(sharded.records, single.records, "ingress changed records at ({e},{c},{b})");
+        assert_eq!(sharded.stats.offloaded, single.stats.offloaded);
+        assert_eq!(single.stats.steals, 0, "the single-queue path never steals");
+        assert_eq!(single.stats.max_queue_depth, 0, "single-queue frames wait in transport lanes");
+        for stats in [&sharded.stats, &single.stats] {
+            assert_eq!(stats.per_shard_batches.len(), c);
+            assert_eq!(stats.per_shard_batches.iter().sum::<u64>(), stats.cloud_batches);
+        }
+    }
+}
+
+#[test]
+fn work_stealing_soaks_a_skewed_population_and_keeps_device_fifo() {
+    // Every request comes from device 0, so every frame lands on
+    // shard 0 of a 3-worker cloud tier: under SingleQueue two workers
+    // would idle, under the sharded ingress they steal the backlog.
+    // The modelled link sleep keeps whichever worker holds a batch
+    // busy long enough for the shard to refill, forcing steals even
+    // on a single-core host.
+    let bundle = presets::tiny(171);
+    let mut edges = edge_replicas(1, 23);
+    let mut clouds = replicas(3, || tiny_cloud(24));
+    let cfg = ServeConfig::builder(OffloadPolicy::Always)
+        .edge_workers(1)
+        .cloud_workers(3)
+        .max_batch(1)
+        .queue_depth(8)
+        .link(NetworkLink::wifi(50.0).with_rtt(0.002))
+        .build()
+        .expect("valid config");
+    let report = try_serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1)).expect("serves");
+    assert_eq!(report.stats.offloaded, report.stats.total);
+    assert!(
+        report.stats.steals > 0,
+        "skewed population must force steals: per-shard {:?}",
+        report.stats.per_shard_batches
+    );
+    assert!(report.stats.max_queue_depth > 0, "the backlog must have queued");
+    // Cloud completions of the single device leave in offload order
+    // even though three workers classified them concurrently.
+    let seqs: Vec<usize> =
+        report.completions.iter().filter(|c| c.record.exit == ExitPoint::Cloud).map(|c| c.seq).collect();
+    let mut sorted = seqs.clone();
+    sorted.sort_unstable();
+    assert_eq!(seqs, sorted, "per-device cloud FIFO violated under stealing");
+    // And the records still match the offline sweep bit for bit.
+    let mut net = tiny_net(23);
+    let mut cloud = tiny_cloud(24);
+    let expected = run_inference_with_policy(&mut net, Some(&mut cloud), &bundle.test, OffloadPolicy::Always, 8);
+    assert_eq!(report.records, expected);
+}
+
+#[test]
+fn pipeline_config_is_the_degenerate_case() {
+    let cfg = ServeConfig::pipeline(OffloadPolicy::Always);
+    assert_eq!((cfg.edge_workers, cfg.cloud_workers, cfg.max_batch), (1, 1, 1));
+}
+
+#[test]
+fn edge_only_serving_needs_no_cloud_replicas() {
+    let bundle = presets::tiny(61);
+    let mut edges = edge_replicas(2, 3);
+    let cfg = ServeConfig::new(OffloadPolicy::Never, 2, 0, 1);
+    let report = serve(&cfg, &mut edges, &mut [], &instant_requests(&bundle.test, 2));
+    assert_eq!(report.stats.offloaded, 0);
+    assert!(report.records.iter().all(|r| r.exit != ExitPoint::Cloud));
+    let mut net = tiny_net(3);
+    let expected = run_inference(&mut net, None, &bundle.test, &InferenceConfig::edge_only(8));
+    assert_eq!(report.records, expected);
+}
+
+#[test]
+fn dynamic_batching_actually_batches_under_saturation() {
+    let bundle = presets::tiny(62);
+    let mut edges = edge_replicas(1, 4);
+    let mut clouds = replicas(1, || tiny_cloud(5));
+    let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 8);
+    // A generous wait so queued items coalesce even on a slow host.
+    cfg.max_wait = Duration::from_millis(2);
+    cfg.queue_depth = 16;
+    let report = serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1));
+    assert_eq!(report.stats.offloaded, report.stats.total);
+    assert!(
+        report.stats.cloud_batches < report.stats.offloaded as u64 || report.stats.total <= 1,
+        "no coalescing happened: {} batches for {} offloads",
+        report.stats.cloud_batches,
+        report.stats.offloaded
+    );
+    assert!(report.stats.max_batch_seen >= 2);
+}
+
+#[test]
+fn controller_steers_beta_in_the_serving_path() {
+    let bundle = presets::tiny(63);
+    let mut edges = edge_replicas(1, 6);
+    let mut clouds = replicas(1, || tiny_cloud(7));
+    let target = 0.5;
+    let mut cfg = ServeConfig::new(OffloadPolicy::Never, 1, 1, 4);
+    cfg.controller =
+        Some(ControllerConfig { controller: ThresholdController::new(1.0, target, 2.0, (0.0, 3.0)), window: 8 });
+    // Repeat the tiny set to give the controller windows to converge.
+    let mut requests = Vec::new();
+    for rep in 0..6 {
+        for mut r in instant_requests(&bundle.test, 2) {
+            r.seq += rep * bundle.test.len();
+            requests.push(r);
+        }
+    }
+    let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+    assert!(report.stats.final_threshold.is_some());
+    let beta = report.achieved_beta();
+    assert!((beta - target).abs() < 0.25, "controller failed to steer beta toward {target}: achieved {beta}");
+}
+
+#[test]
+fn latency_histogram_quantiles_are_ordered() {
+    let bundle = presets::tiny(64);
+    let mut edges = edge_replicas(1, 8);
+    let mut clouds = replicas(1, || tiny_cloud(9));
+    let cfg = ServeConfig::new(OffloadPolicy::EntropyThreshold(0.5), 1, 1, 2);
+    let report = serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2));
+    let h = report.latency_histogram(128);
+    assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+    assert!(report.stats.throughput_hz > 0.0);
+}
+
+#[test]
+fn simulated_link_delay_shows_up_in_latency() {
+    let bundle = presets::tiny(65);
+    let n = bundle.test.len();
+    let run = |link: Option<NetworkLink>| {
+        let mut edges = edge_replicas(1, 10);
+        let mut clouds = replicas(1, || tiny_cloud(11));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 4);
+        cfg.link = link;
+        serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1))
+    };
+    let fast = run(None);
+    let slow = run(Some(NetworkLink::wifi(8.0).with_rtt(0.004)));
+    assert_eq!(fast.records, slow.records, "link delay must not change predictions");
+    let mean = |r: &ServeReport| r.completions.iter().map(|c| c.latency_s).sum::<f64>() / n as f64;
+    assert!(mean(&slow) > mean(&fast), "simulated RTT should add latency: {} vs {}", mean(&slow), mean(&fast));
+}
+
+#[test]
+fn quantised_wire_serves_everything_and_mostly_agrees_with_lossless() {
+    let bundle = presets::tiny(69);
+    let run = |wire: WireFormat| {
+        let mut edges = edge_replicas(2, 14);
+        let mut clouds = replicas(1, || tiny_cloud(15));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 2, 1, 4);
+        cfg.payload = PayloadPlan::Image(wire);
+        serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2))
+    };
+    let lossless = run(WireFormat::Float32);
+    let quantised = run(WireFormat::Quantised8Bit);
+    assert_eq!(quantised.records.len(), lossless.records.len());
+    assert!(quantised.records.iter().all(|r| r.exit == ExitPoint::Cloud));
+    // The 1-byte codec shrinks the upload roughly 4x (f32 -> u8).
+    assert!(quantised.stats.bytes_to_cloud * 3 < lossless.stats.bytes_to_cloud);
+    // Edge-side fields are computed before quantisation: identical.
+    for (q, l) in quantised.records.iter().zip(&lossless.records) {
+        assert_eq!(q.truth, l.truth);
+        assert_eq!(q.entropy, l.entropy);
+        assert_eq!(q.main_prediction, l.main_prediction);
+    }
+    // Cloud predictions may flip on borderline images, but rarely.
+    let n = lossless.records.len();
+    let agree =
+        quantised.records.iter().zip(&lossless.records).filter(|(q, l)| q.prediction == l.prediction).count();
+    assert!(agree * 4 >= n * 3, "8-bit wire flipped too many predictions: {agree}/{n}");
+}
+
+#[test]
+fn trace_requests_cover_the_dataset_in_order() {
+    let bundle = presets::tiny(66);
+    let mut rng = Rng::new(1);
+    let reqs = trace_requests(&bundle.test, 4, &ArrivalModel::Poisson { rate_hz: 100.0 }, &mut rng);
+    assert_eq!(reqs.len(), bundle.test.len());
+    assert!(reqs.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+    // Per-device seq numbers are contiguous from 0.
+    for d in 0..4 {
+        let mut seqs: Vec<usize> = reqs.iter().filter(|r| r.device == d).map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..seqs.len()).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+#[should_panic(expected = "sorted by arrival")]
+fn unsorted_requests_rejected() {
+    let bundle = presets::tiny(67);
+    let mut reqs = instant_requests(&bundle.test, 1);
+    reqs[0].arrival_s = 1.0;
+    let mut edges = edge_replicas(1, 12);
+    let _ = serve(&ServeConfig::new(OffloadPolicy::Never, 1, 0, 1), &mut edges, &mut [], &reqs);
+}
+
+#[test]
+#[should_panic(expected = "requires a cloud model")]
+fn offload_policy_without_cloud_workers_rejected() {
+    let bundle = presets::tiny(68);
+    let mut edges = edge_replicas(1, 13);
+    let reqs = instant_requests(&bundle.test, 1);
+    let _ = serve(&ServeConfig::new(OffloadPolicy::Always, 1, 0, 1), &mut edges, &mut [], &reqs);
+}
+
+/// A feature config with a fixed cut and the given wire.
+fn feature_plan(wire: FeatureWire, cut: usize) -> PayloadPlan {
+    PayloadPlan::Features(FeatureConfig { wire, cut: CutSelection::Fixed(cut) })
+}
+
+#[test]
+fn feature_payload_any_fixed_cut_matches_image_mode_bitwise() {
+    // The crux of the tentpole: shipping the activation at ANY cut and
+    // resuming on the cloud is indistinguishable (in records) from
+    // shipping pixels — the cut moves compute, never predictions.
+    let bundle = presets::tiny(72);
+    let policy = OffloadPolicy::EntropyThreshold(0.5);
+    let run = |payload: PayloadPlan| {
+        let mut edges = split_replicas(2, 16, 17);
+        let mut clouds = replicas(2, || tiny_cloud(17));
+        let mut cfg = ServeConfig::new(policy, 2, 2, 4);
+        cfg.payload = payload;
+        serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 3))
+    };
+    let image = run(PayloadPlan::Image(WireFormat::Float32));
+    let layers = tiny_cloud(17).cut_layer_count();
+    for cut in [0, 1, layers / 2, layers - 1] {
+        let feat = run(feature_plan(FeatureWire::F32, cut));
+        assert_eq!(feat.records, image.records, "cut {cut} changed records");
+        if cut > 0 {
+            assert!(feat.stats.cloud_macs_saved > 0, "cut {cut} saved no cloud MACs");
+        }
+        assert_eq!(
+            feat.stats.cloud_macs + feat.stats.cloud_macs_saved,
+            image.stats.cloud_macs,
+            "cut {cut}: MAC split does not cover the full forward"
+        );
+        assert_eq!(feat.stats.final_cuts, Some(vec![cut]));
+    }
+    assert_eq!(image.stats.cloud_macs_saved, 0);
+    assert_eq!(image.stats.final_cuts, None);
+}
+
+#[test]
+fn deep_int8_cut_beats_raw_image_upload_on_bytes() {
+    let bundle = presets::tiny(73);
+    let run = |payload: PayloadPlan| {
+        let mut edges = split_replicas(1, 18, 19);
+        let mut clouds = replicas(1, || tiny_cloud(19));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 4);
+        cfg.payload = payload;
+        serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2))
+    };
+    let raw = run(PayloadPlan::Image(WireFormat::Quantised8Bit));
+    let deep = tiny_cloud(19).cut_layer_count() - 1;
+    let int8 = run(feature_plan(FeatureWire::Int8, deep));
+    let f32_deep = run(feature_plan(FeatureWire::F32, deep));
+    assert!(
+        int8.stats.bytes_to_cloud < raw.stats.bytes_to_cloud,
+        "deep int8 activations should undercut the raw-image upload: {} vs {}",
+        int8.stats.bytes_to_cloud,
+        raw.stats.bytes_to_cloud
+    );
+    // While f32 features at the same cut are bigger than the raw image
+    // (the paper's objection to sending features from small images).
+    assert!(f32_deep.stats.bytes_to_cloud > raw.stats.bytes_to_cloud);
+    // Responses are charged: every offload pulls its prediction back.
+    assert_eq!(int8.stats.bytes_from_cloud, RESPONSE_WIRE_BYTES * int8.stats.offloaded as u64);
+    // Int8 may flip borderline predictions but serves everything.
+    assert_eq!(int8.records.len(), raw.records.len());
+    assert!(int8.records.iter().all(|r| r.exit == ExitPoint::Cloud));
+}
+
+#[test]
+fn per_channel_int8_is_deterministic_and_undercuts_per_tensor_at_every_cut() {
+    // The grid-indexed frames round-trip deterministically end to end
+    // (same trace, same records, twice), and carrying the quant params
+    // out of band in the calibrated grid makes every frame exactly 16
+    // bytes smaller than its per-tensor twin at the same cut: 12 bytes
+    // of embedded params plus the squeezed batch-axis dim.
+    let bundle = presets::tiny(77);
+    let run = |payload: PayloadPlan| {
+        let mut edges = split_replicas(1, 46, 47);
+        let mut clouds = replicas(1, || tiny_cloud(47));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 4);
+        cfg.payload = payload;
+        serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2))
+    };
+    for cut in 0..tiny_cloud(47).cut_layer_count() {
+        let a = run(feature_plan(FeatureWire::PerChannelInt8, cut));
+        let b = run(feature_plan(FeatureWire::PerChannelInt8, cut));
+        assert_eq!(a.records, b.records, "cut {cut}: grid framing must be deterministic");
+        assert_eq!(a.records.len(), bundle.test.len());
+        assert!(a.records.iter().all(|r| r.exit == ExitPoint::Cloud));
+        let per_tensor = run(feature_plan(FeatureWire::Int8, cut));
+        assert_eq!(per_tensor.stats.offloaded, a.stats.offloaded);
+        assert_eq!(
+            per_tensor.stats.bytes_to_cloud - a.stats.bytes_to_cloud,
+            16 * a.stats.offloaded as u64,
+            "cut {cut}: the shared grid should save exactly the per-frame param overhead"
+        );
+    }
+}
+
+#[test]
+fn governed_unreachable_sla_escalates_the_full_ladder() {
+    // Deterministic single-lane run under an impossible budget: the
+    // governor walks rung 1 (SLA-constrained replan), rungs 2-3 (the
+    // int8 wires) and then spends β — and the cloud decodes the
+    // mid-run mix of f32 / per-tensor / grid-indexed frames without a
+    // hiccup, serving every request.
+    let bundle = presets::tiny(84);
+    let mut requests = Vec::new();
+    for rep in 0..4 {
+        for mut r in instant_requests(&bundle.test, 2) {
+            r.seq += rep * bundle.test.len();
+            requests.push(r);
+        }
+    }
+    let mut edges = split_replicas(1, 48, 49);
+    let mut clouds = replicas(1, || tiny_cloud(49));
+    let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+    cfg.link = Some(NetworkLink::wifi(2.0).with_rtt(0.001));
+    cfg.control = Some(ControlPlan::Governed(SlaTarget::new(1e-3, 0.80)));
+    let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+    assert_eq!(report.records.len(), requests.len());
+    assert!(
+        report.stats.sla_violations >= 4,
+        "every judged window violates a 1 µs budget, saw {}",
+        report.stats.sla_violations
+    );
+    let traj = report.stats.control_trajectory.expect("governed runs report their trajectory");
+    let last = traj.last().expect("trajectory holds at least the initial point");
+    assert_eq!(
+        last.wires,
+        vec![FeatureWire::PerChannelInt8],
+        "the ladder should exhaust the wire rungs down to per-channel int8"
+    );
+    assert!(last.beta_target.is_some(), "past the wire rungs the β rung must be spent");
+    assert!(report.stats.governor_decisions >= 1, "wire moves count as decisions");
+    assert_eq!(traj.first().expect("seeded").after_batches, 0, "trajectory starts at the initial point");
+}
+
+#[test]
+fn control_plan_rejects_each_incoherent_combination_by_name() {
+    let b = || ServeConfig::builder(OffloadPolicy::Always);
+    let edge = DeviceProfile::new("edge", 10.0, 1e9);
+    let planner = || CutPlannerConfig {
+        classes: vec![edge.clone()],
+        cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+        objective: Objective::Latency,
+        feedback: None,
+    };
+    let closed = || ControlPlan::ClosedLoop {
+        planner: planner(),
+        feedback: LinkFeedback::default(),
+        wire: FeatureWire::F32,
+        controller: None,
+    };
+    // Governed without link telemetry has nothing to govern from.
+    assert_eq!(
+        b().control(ControlPlan::Governed(SlaTarget::new(50.0, 0.9))).build(),
+        Err(ServeConfigError::GovernedWithoutTelemetry)
+    );
+    // Governed over a fixed cut cannot move the cut.
+    assert_eq!(
+        b().payload(feature_plan(FeatureWire::F32, 1))
+            .control(ControlPlan::Governed(SlaTarget::new(50.0, 0.9)))
+            .link(NetworkLink::wifi(10.0))
+            .build(),
+        Err(ServeConfigError::GovernedFixedCut)
+    );
+    // A plan carries its own controller slot; the legacy setter clashes.
+    let controller =
+        ControllerConfig { controller: ThresholdController::new(1.0, 0.5, 2.0, (0.0, 3.0)), window: 8 };
+    #[allow(deprecated)]
+    let with_both = b().controller(controller).control(closed()).link(NetworkLink::wifi(10.0)).build();
+    assert_eq!(with_both, Err(ServeConfigError::ControlPlanControllerConflict));
+    // A plan decides the payload; an explicit payload clashes.
+    assert_eq!(
+        b().payload(planned_payload(vec![edge.clone()])).control(closed()).link(NetworkLink::wifi(10.0)).build(),
+        Err(ServeConfigError::ControlPlanPayloadConflict)
+    );
+    // ClosedLoop's own feedback slot is the only one.
+    let mut doubled = planner();
+    doubled.feedback = Some(LinkFeedback::default());
+    assert_eq!(
+        b().control(ControlPlan::ClosedLoop {
+            planner: doubled,
+            feedback: LinkFeedback::default(),
+            wire: FeatureWire::F32,
+            controller: None,
+        })
+        .link(NetworkLink::wifi(10.0))
+        .build(),
+        Err(ServeConfigError::ClosedLoopFeedbackConflict)
+    );
+    // And each coherent plan builds.
+    assert!(b().control(ControlPlan::Static { cut: 1, wire: FeatureWire::F32, controller: None }).build().is_ok());
+    assert!(b().control(closed()).link(NetworkLink::wifi(10.0)).build().is_ok());
+    assert!(b()
+        .control(ControlPlan::Governed(SlaTarget::new(50.0, 0.9)))
+        .link(NetworkLink::wifi(10.0))
+        .build()
+        .is_ok());
+}
+
+#[test]
+fn planned_cut_is_deterministic_and_in_range() {
+    let bundle = presets::tiny(74);
+    let planned = PayloadPlan::Features(FeatureConfig {
+        wire: FeatureWire::Int8,
+        cut: CutSelection::Planned(CutPlannerConfig {
+            classes: vec![DeviceProfile::new("fast edge", 10.0, 1e12), DeviceProfile::new("slow edge", 10.0, 1e7)],
+            cloud: DeviceProfile::new("cloud", 200.0, 1e11),
+            objective: Objective::Latency,
+            feedback: None,
+        }),
+    });
+    let run = || {
+        let mut edges = split_replicas(2, 20, 21);
+        let mut clouds = replicas(1, || tiny_cloud(21));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 2, 1, 4);
+        cfg.payload = planned.clone();
+        cfg.link = Some(NetworkLink::wifi(1.0).with_rtt(0.001));
+        serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 4))
+    };
+    let a = run();
+    let b = run();
+    let cuts = a.stats.final_cuts.clone().expect("feature mode reports cuts");
+    assert_eq!(cuts.len(), 2, "one cut per device class");
+    let layers = tiny_cloud(21).cut_layer_count();
+    assert!(cuts.iter().all(|&c| c < layers));
+    assert_eq!(a.stats.final_cuts, b.stats.final_cuts, "closed-form planning must be deterministic");
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.stats.cut_replans, 0, "no controller, no replans");
+}
+
+#[test]
+fn controller_replans_cuts_without_touching_predictions() {
+    // A controller window moves β; the planner re-derives the cut
+    // under the new contention. With the lossless wire the records
+    // still match plain image serving bit for bit.
+    let bundle = presets::tiny(75);
+    let mut requests = Vec::new();
+    for rep in 0..4 {
+        for mut r in instant_requests(&bundle.test, 4) {
+            r.seq += rep * bundle.test.len();
+            requests.push(r);
+        }
+    }
+    let controller =
+        Some(ControllerConfig { controller: ThresholdController::new(1.0, 0.5, 2.0, (0.0, 3.0)), window: 16 });
+    // One edge worker: the controller's window feedback then happens
+    // in arrival order, so both runs see the same threshold (and cut)
+    // trajectory. With several edge workers the lock interleaving —
+    // not the payload plan — can reorder observations.
+    let run = |payload: PayloadPlan| {
+        let mut edges = split_replicas(1, 22, 23);
+        let mut clouds = replicas(2, || tiny_cloud(23));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Never, 1, 2, 4);
+        cfg.payload = payload;
+        cfg.controller = controller;
+        cfg.link = Some(NetworkLink::wifi(40.0).with_rtt(0.0005));
+        serve(&cfg, &mut edges, &mut clouds, &requests)
+    };
+    let planned = PayloadPlan::Features(FeatureConfig {
+        wire: FeatureWire::F32,
+        cut: CutSelection::Planned(CutPlannerConfig {
+            classes: vec![DeviceProfile::new("edge", 10.0, 1e8)],
+            cloud: DeviceProfile::new("cloud", 200.0, 1e11),
+            objective: Objective::Latency,
+            feedback: None,
+        }),
+    });
+    let feat = run(planned);
+    let image = run(PayloadPlan::Image(WireFormat::Float32));
+    assert_eq!(feat.records, image.records, "replanning leaked into predictions");
+    assert!(feat.stats.final_cuts.is_some());
+}
+
+/// Rebuilds the planner exactly as `build_cut_table` does for an F32
+/// feature plan over the tiny cloud: same env, same stream count.
+fn planner_like_serve(cloud_seed: u64, link: NetworkLink, edge: &DeviceProfile, streams: usize) -> CutPlanner {
+    let prefix = tiny_cloud(cloud_seed);
+    let in_elems: u64 = prefix.in_shape.iter().map(|&d| d as u64).product();
+    let env = PartitionEnv {
+        edge: edge.clone(),
+        cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+        link,
+        bytes_per_elem: 4,
+        raw_input_bytes: 4 * in_elems,
+        response_bytes: RESPONSE_WIRE_BYTES,
+    };
+    CutPlanner::from_network(&prefix, env, Objective::Latency, streams)
+}
+
+#[test]
+fn stream_count_uses_distinct_devices_not_max_id() {
+    // Regression: the planner's contention model used to estimate the
+    // stream count as `max(device id) + 1`, so a trace from devices
+    // {0, 7} was charged as EIGHT concurrent uploaders instead of two,
+    // inflating β·streams and pushing the planned cut away from where
+    // the actual two-stream contention warrants.
+    let bundle = presets::tiny(80);
+    let edge = DeviceProfile::new("edge", 10.0, 1e9);
+    // Find a link rate where 2-stream and 8-stream contention plan
+    // different cuts (such a rate must exist: the effective rates
+    // differ 4x), so the test can detect which model served.
+    let rate = (0..60)
+        .map(|i| 0.05 * 1.3f64.powi(i))
+        .find(|&r| {
+            let two = planner_like_serve(29, NetworkLink::wifi(r).with_rtt(0.001), &edge, 2);
+            let eight = planner_like_serve(29, NetworkLink::wifi(r).with_rtt(0.001), &edge, 8);
+            two.plan_for(&edge).cut != eight.plan_for(&edge).cut
+        })
+        .expect("some rate separates 2-stream from 8-stream contention");
+    let link = NetworkLink::wifi(rate).with_rtt(0.001);
+    let expected_cut = planner_like_serve(29, link, &edge, 2).plan_for(&edge).cut;
+    let wrong_cut = planner_like_serve(29, link, &edge, 8).plan_for(&edge).cut;
+    assert_ne!(expected_cut, wrong_cut, "rate search guaranteed a separation");
+
+    // Sparse trace: the same frames, but the second device is id 7.
+    let mut requests = instant_requests(&bundle.test, 2);
+    for r in &mut requests {
+        if r.device == 1 {
+            r.device = 7;
+        }
+    }
+    let planned = PayloadPlan::Features(FeatureConfig {
+        wire: FeatureWire::F32,
+        cut: CutSelection::Planned(CutPlannerConfig {
+            classes: vec![edge.clone()],
+            cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+            objective: Objective::Latency,
+            feedback: None,
+        }),
+    });
+    let mut edges = split_replicas(2, 28, 29);
+    let mut clouds = replicas(1, || tiny_cloud(29));
+    let mut cfg = ServeConfig::new(OffloadPolicy::Always, 2, 1, 4);
+    cfg.payload = planned;
+    cfg.link = Some(link);
+    let report = serve(&cfg, &mut edges, &mut clouds, &requests);
+    assert_eq!(
+        report.stats.final_cuts,
+        Some(vec![expected_cut]),
+        "sparse ids {{0, 7}} must be planned as two streams, not eight"
+    );
+}
+
+#[test]
+fn measured_degradation_replans_toward_an_edge_heavier_cut() {
+    // The closed loop end to end: the wire silently degrades 50x
+    // mid-run; the static contention model can never see it, but the
+    // cloud workers' per-batch telemetry does, and the planner moves
+    // the cut toward the edge (smaller uploads). 1 edge x 1 cloud x
+    // max_batch 1 keeps the batch order and hence the whole feedback
+    // trajectory deterministic.
+    let bundle = presets::tiny(81);
+    // A slow edge device makes the nominal plan shallow (ship early,
+    // the cloud is 2000x faster); once the wire degrades 200x, paying
+    // the edge prefix to shrink the upload wins.
+    let nominal = NetworkLink::wifi(100.0).with_rtt(0.0002);
+    let degraded = NetworkLink::wifi(0.5).with_rtt(0.0002);
+    let edge = DeviceProfile::new("edge", 10.0, 5e8);
+    let run = |feedback: Option<LinkFeedback>| {
+        let mut edges = split_replicas(1, 30, 31);
+        let mut clouds = replicas(1, || tiny_cloud(31));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+        let planner = CutPlannerConfig {
+            classes: vec![edge.clone()],
+            cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+            objective: Objective::Latency,
+            feedback: None,
+        };
+        match feedback {
+            Some(fb) => {
+                cfg.control = Some(ControlPlan::ClosedLoop {
+                    planner,
+                    feedback: fb,
+                    wire: FeatureWire::F32,
+                    controller: None,
+                });
+            }
+            None => {
+                cfg.payload = PayloadPlan::Features(FeatureConfig {
+                    wire: FeatureWire::F32,
+                    cut: CutSelection::Planned(planner),
+                });
+            }
+        }
+        cfg.link = Some(nominal);
+        cfg.link_schedule = vec![LinkChange { after_batches: 8, link: degraded }];
+        serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1))
+    };
+    let closed = run(Some(LinkFeedback { alpha: 0.5, prior_samples: 0.0, replan_every: 4 }));
+    let open = run(None);
+
+    // Open loop: the degradation happened, nobody replanned.
+    assert_eq!(open.stats.cut_replans, 0);
+    assert!(open.stats.link_estimates.is_none());
+    let open_cut = open.stats.final_cuts.clone().expect("planned mode")[0];
+
+    // Closed loop: telemetry saw the slower wire and the plan moved.
+    assert!(closed.stats.cut_replans >= 1, "degradation never reached the planner");
+    let closed_cut = closed.stats.final_cuts.clone().expect("planned mode")[0];
+    assert!(closed_cut > open_cut, "cut should move edge-heavier: {open_cut} -> {closed_cut}");
+    let cloud_net = tiny_cloud(31);
+    let profiles = profile_network(&cloud_net);
+    let in_elems: u64 = cloud_net.in_shape.iter().map(|&d| d as u64).product();
+    let upload = |cut: usize| if cut == 0 { 4 * in_elems } else { 4 * profiles[cut - 1].out_elems };
+    assert!(upload(closed_cut) < upload(open_cut), "edge-heavier cut must shrink the upload");
+
+    // The estimator converged onto the degraded wire (EWMA of exact
+    // per-batch observations; the nominal prefix decays geometrically).
+    let ests = closed.stats.link_estimates.expect("feedback reports estimates");
+    let est = ests[0].expect("class 0 observed");
+    assert_eq!(est.samples, closed.stats.offloaded as u64, "one observation per served batch");
+    assert!((est.up_mbps - 0.5).abs() / 0.5 < 0.05, "estimate {} should track 0.5 Mbps", est.up_mbps);
+    assert!((est.rtt_s - 0.0002).abs() < 1e-9);
+
+    // The cut is a pure cost knob: closed- and open-loop runs serve
+    // bitwise-identical records under the lossless wire.
+    assert_eq!(closed.records, open.records, "replanning leaked into predictions");
+}
+
+#[test]
+#[should_panic(expected = "link schedule needs a link")]
+fn link_schedule_without_link_rejected() {
+    let bundle = presets::tiny(82);
+    let mut edges = edge_replicas(1, 33);
+    let mut cfg = ServeConfig::new(OffloadPolicy::Never, 1, 0, 1);
+    cfg.link_schedule = vec![LinkChange { after_batches: 1, link: NetworkLink::wifi(1.0) }];
+    let _ = serve(&cfg, &mut edges, &mut [], &instant_requests(&bundle.test, 1));
+}
+
+#[test]
+#[should_panic(expected = "no cloud prefix")]
+fn feature_mode_without_prefixes_rejected() {
+    let bundle = presets::tiny(76);
+    let mut edges = edge_replicas(1, 24);
+    let mut clouds = replicas(1, || tiny_cloud(25));
+    let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+    cfg.payload = feature_plan(FeatureWire::F32, 1);
+    let _ = serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1));
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn fixed_cut_out_of_range_rejected() {
+    let bundle = presets::tiny(78);
+    let mut edges = split_replicas(1, 26, 27);
+    let mut clouds = replicas(1, || tiny_cloud(27));
+    let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+    cfg.payload = feature_plan(FeatureWire::F32, tiny_cloud(27).cut_layer_count());
+    let _ = serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1));
+}
+
+#[test]
+fn payload_pipeline_round_trips_in_order_across_workers() {
+    let mut rng = Rng::new(0);
+    let payloads: Vec<Payload> = (0..12)
+        .map(|i| {
+            let t = Tensor::randn([3, 4, 4], 1.0, &mut rng).map(|v| v + i as f32);
+            Payload::Features { features: t }
+        })
+        .collect();
+    let expected_bytes: u64 = payloads.iter().map(|p| p.wire_size_bytes()).sum();
+    for workers in [1usize, 3] {
+        let (results, stats) =
+            run_payload_pipeline(payloads.clone(), workers, 4, Duration::from_millis(1), 4, |p| {
+                p.as_tensor().sum().clamp(0.0, 11.0) as usize
+            });
+        assert_eq!(results.len(), 12);
+        assert_eq!(stats.payloads, 12);
+        assert_eq!(stats.bytes_sent, expected_bytes);
+        let (serial, _) = run_payload_pipeline(payloads.clone(), 1, 1, Duration::ZERO, 4, |p| {
+            p.as_tensor().sum().clamp(0.0, 11.0) as usize
+        });
+        assert_eq!(results, serial, "worker/batch configuration changed results");
+    }
+}
+
+#[test]
+fn scheduled_link_keys_on_started_batches() {
+    // `after_batches: 3` means "the 4th started batch (and later) rides
+    // the new link": a batch with 3 starts before it has crossed the
+    // boundary, one with 2 has not.
+    let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+    let before = NetworkLink::wifi(100.0);
+    let after = NetworkLink::wifi(1.0);
+    cfg.link = Some(before);
+    cfg.link_schedule = vec![LinkChange { after_batches: 3, link: after }];
+    assert_eq!(scheduled_link(&cfg, 2), Some(before));
+    assert_eq!(scheduled_link(&cfg, 3), Some(after));
+    assert_eq!(scheduled_link(&cfg, 9), Some(after));
+}
+
+#[test]
+fn link_change_fires_on_the_started_batch_boundary() {
+    // Regression for the started-vs-completed ambiguity: a change due
+    // at batch 3 must leave EXACTLY the first three started batches on
+    // the fast link, even with two cloud workers racing to dequeue.
+    // The fast link is effectively free; the slow one costs 0.2 s of
+    // RTT, so per-request latency separates the two regimes cleanly.
+    let bundle = presets::tiny(83);
+    let mut reqs = instant_requests(&bundle.test, 2);
+    reqs.truncate(12);
+    let mut edges = edge_replicas(1, 34);
+    let mut clouds = replicas(2, || tiny_cloud(35));
+    let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 2, 1);
+    cfg.link = Some(NetworkLink::wifi(10_000.0).with_rtt(0.0));
+    cfg.link_schedule = vec![LinkChange { after_batches: 3, link: NetworkLink::wifi(10_000.0).with_rtt(0.2) }];
+    let report = serve(&cfg, &mut edges, &mut clouds, &reqs);
+    assert_eq!(report.stats.cloud_batches, 12, "max_batch 1 means one batch per offload");
+    let fast = report.completions.iter().filter(|c| c.latency_s < 0.1).count();
+    assert_eq!(fast, 3, "exactly the batches started before the boundary ride the fast link");
+}
+
+#[test]
+#[should_panic(expected = "non-finite arrival time")]
+fn trace_requests_reject_non_finite_arrivals() {
+    // `0 * inf = NaN`: an infinite uniform interval passes the model's
+    // own `>= 0` parameter check but yields a NaN first arrival.
+    let bundle = presets::tiny(84);
+    let mut rng = Rng::new(0);
+    let _ = trace_requests(&bundle.test, 1, &ArrivalModel::Uniform { interval_s: f64::INFINITY }, &mut rng);
+}
+
+#[test]
+#[should_panic(expected = "non-finite arrival time")]
+fn serve_rejects_non_finite_arrivals() {
+    // A NaN smuggled into a hand-built trace must be named up front,
+    // not surface as a misleading "sorted by arrival" comparator error.
+    let bundle = presets::tiny(85);
+    let mut reqs = instant_requests(&bundle.test, 1);
+    reqs[3].arrival_s = f64::NAN;
+    let mut edges = edge_replicas(1, 36);
+    let _ = serve(&ServeConfig::new(OffloadPolicy::Never, 1, 0, 1), &mut edges, &mut [], &reqs);
+}
+
+#[test]
+#[should_panic(expected = "edge worker 0 panicked")]
+fn worker_panic_propagates_instead_of_hanging() {
+    // A poisoned frame (wrong channel count) blows up the edge forward
+    // mid-run. The collector used to block forever on `done_rx.recv()`;
+    // now the runtime joins the workers and re-raises the original
+    // panic, naming the worker that died.
+    let bundle = presets::tiny(86);
+    let mut reqs = instant_requests(&bundle.test, 1);
+    let mid = reqs.len() / 2;
+    reqs[mid].image = Tensor::zeros([1, 1, 8, 8]);
+    let mut edges = edge_replicas(1, 37);
+    let mut clouds = replicas(2, || tiny_cloud(38));
+    let _ = serve(&ServeConfig::new(OffloadPolicy::Always, 1, 2, 1), &mut edges, &mut clouds, &reqs);
+}
+
+#[test]
+fn pipe_transport_matches_modelled_records_bitwise() {
+    // The acceptance bar of the transport tentpole: byte-identical
+    // frames ride a real buffered byte stream instead of a modelled
+    // channel, so records, uplink bytes, and downlink bytes all match
+    // the modelled path exactly — on every payload plan and cut.
+    let bundle = presets::tiny(87);
+    let deep = tiny_cloud(41).cut_layer_count() - 1;
+    let plans = [
+        PayloadPlan::Image(WireFormat::Float32),
+        PayloadPlan::Image(WireFormat::Quantised8Bit),
+        feature_plan(FeatureWire::F32, 2),
+        feature_plan(FeatureWire::Int8, deep),
+    ];
+    for plan in plans {
+        let run = |transport: TransportKind| {
+            let mut edges = split_replicas(2, 40, 41);
+            let mut clouds = replicas(2, || tiny_cloud(41));
+            let mut cfg = ServeConfig::new(OffloadPolicy::EntropyThreshold(0.5), 2, 2, 4);
+            cfg.payload = plan.clone();
+            cfg.transport = transport;
+            serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 3))
+        };
+        let modelled = run(TransportKind::Modelled);
+        let mut real_wires = vec![("pipe", TransportKind::Pipe(PipeConfig::default()))];
+        #[cfg(unix)]
+        real_wires.push(("uds", TransportKind::Uds(crate::transport::UdsConfig::default())));
+        for (wire, kind) in real_wires {
+            let real = run(kind);
+            assert_eq!(real.records, modelled.records, "{plan:?}: {wire} transport changed records");
+            assert_eq!(real.stats.offloaded, modelled.stats.offloaded);
+            assert_eq!(
+                real.stats.bytes_to_cloud, modelled.stats.bytes_to_cloud,
+                "{plan:?}: {wire} uplink bytes diverged"
+            );
+            assert_eq!(
+                real.stats.bytes_from_cloud, modelled.stats.bytes_from_cloud,
+                "{plan:?}: {wire} downlink bytes diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipe_telemetry_measures_the_real_wire_not_the_model() {
+    // Pace the pipe's uplink at 4 Mbps while telling the planner the
+    // link is 100 Mbps. The estimator must report the paced wire (from
+    // Instant::now() deltas around real sends), not echo the model.
+    let bundle = presets::tiny(88);
+    let mut edges = split_replicas(1, 42, 43);
+    let mut clouds = replicas(1, || tiny_cloud(43));
+    let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+    cfg.control = Some(ControlPlan::ClosedLoop {
+        planner: CutPlannerConfig {
+            classes: vec![DeviceProfile::new("edge", 10.0, 5e8)],
+            cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+            objective: Objective::Latency,
+            feedback: None,
+        },
+        feedback: LinkFeedback { alpha: 0.5, prior_samples: 0.0, replan_every: 4 },
+        wire: FeatureWire::F32,
+        controller: None,
+    });
+    cfg.link = Some(NetworkLink::wifi(100.0).with_rtt(0.0));
+    cfg.transport = TransportKind::Pipe(PipeConfig { up_mbps: Some(4.0), ..PipeConfig::default() });
+    let report = serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1));
+    let ests = report.stats.link_estimates.expect("feedback reports estimates");
+    let est = ests[0].expect("class 0 observed");
+    assert_eq!(est.samples, report.stats.offloaded as u64, "one observation per served batch");
+    assert!(
+        est.up_mbps > 1.0 && est.up_mbps < 16.0,
+        "measured estimate {} Mbps should track the 4 Mbps pace, not the 100 Mbps model",
+        est.up_mbps
+    );
+}
+
+#[test]
+fn pipe_throttle_replans_toward_an_edge_heavier_cut() {
+    // The closed loop over REAL wall-clock time: the pipe's pacer
+    // silently throttles 50 -> 0.4 Mbps mid-run. The static model is
+    // never told, but the measured estimates are, and the planner
+    // moves the cut toward the edge (smaller uploads) — the modelled
+    // analogue of `measured_degradation_replans_toward_an_edge_heavier_cut`.
+    let edge = DeviceProfile::new("edge", 10.0, 5e8);
+    let bundle = presets::tiny(89);
+    let run = |throttle: Vec<PaceChange>| {
+        let mut edges = split_replicas(1, 44, 45);
+        let mut clouds = replicas(1, || tiny_cloud(45));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+        cfg.control = Some(ControlPlan::ClosedLoop {
+            planner: CutPlannerConfig {
+                classes: vec![edge.clone()],
+                cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                objective: Objective::Latency,
+                feedback: None,
+            },
+            feedback: LinkFeedback { alpha: 0.5, prior_samples: 0.0, replan_every: 4 },
+            wire: FeatureWire::F32,
+            controller: None,
+        });
+        cfg.link = Some(NetworkLink::wifi(100.0).with_rtt(0.0002));
+        cfg.transport = TransportKind::Pipe(PipeConfig { up_mbps: Some(50.0), throttle, ..PipeConfig::default() });
+        serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1))
+    };
+    let steady = run(Vec::new());
+    let throttled = run(vec![PaceChange { after_frames: 8, up_mbps: 0.4 }]);
+    assert!(throttled.stats.cut_replans >= 1, "throttle never reached the planner");
+    let steady_cut = steady.stats.final_cuts.clone().expect("planned mode")[0];
+    let throttled_cut = throttled.stats.final_cuts.clone().expect("planned mode")[0];
+    assert!(
+        throttled_cut > steady_cut,
+        "cut should move edge-heavier under the real throttle: {steady_cut} -> {throttled_cut}"
+    );
+    // Lossless wire: the cut stays a pure cost knob even when the
+    // schedule is driven by measured time.
+    assert_eq!(throttled.records, steady.records, "replanning leaked into predictions");
+}
+
+/// A planned-cut feature payload over the given classes (no feedback).
+fn planned_payload(classes: Vec<DeviceProfile>) -> PayloadPlan {
+    PayloadPlan::Features(FeatureConfig {
+        wire: FeatureWire::F32,
+        cut: CutSelection::Planned(CutPlannerConfig {
+            classes,
+            cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+            objective: Objective::Latency,
+            feedback: None,
+        }),
+    })
+}
+
+#[test]
+fn builder_rejects_each_static_invariant_by_name() {
+    let b = || ServeConfig::builder(OffloadPolicy::Always);
+    let edge = DeviceProfile::new("edge", 10.0, 1e9);
+    assert_eq!(b().edge_workers(0).build(), Err(ServeConfigError::NoEdgeWorkers));
+    assert_eq!(b().max_batch(0).build(), Err(ServeConfigError::ZeroMaxBatch));
+    assert_eq!(b().queue_depth(0).build(), Err(ServeConfigError::ZeroQueueDepth));
+    let schedule = vec![LinkChange { after_batches: 1, link: NetworkLink::wifi(1.0) }];
+    assert_eq!(b().link_schedule(schedule.clone()).build(), Err(ServeConfigError::ScheduleWithoutLink));
+    assert_eq!(
+        b().link(NetworkLink::wifi(1.0))
+            .link_schedule(schedule)
+            .transport(TransportKind::Pipe(PipeConfig::default()))
+            .build(),
+        Err(ServeConfigError::ScheduleOnPipe)
+    );
+    let controller =
+        ControllerConfig { controller: ThresholdController::new(1.0, 0.5, 2.0, (0.0, 3.0)), window: 0 };
+    assert_eq!(b().controller(controller).build(), Err(ServeConfigError::ControllerWindowEmpty));
+    assert_eq!(b().cloud_workers(0).build(), Err(ServeConfigError::PolicyNeedsCloud));
+    // An edge-only policy without cloud workers stays legal.
+    assert!(ServeConfig::builder(OffloadPolicy::Never).cloud_workers(0).build().is_ok());
+    assert_eq!(
+        b().payload(planned_payload(Vec::new())).link(NetworkLink::wifi(1.0)).build(),
+        Err(ServeConfigError::NoPlannerClasses)
+    );
+    assert_eq!(
+        b().payload(planned_payload(vec![edge.clone()])).build(),
+        Err(ServeConfigError::PlannedCutWithoutLink)
+    );
+    let feedback = Some(LinkFeedback { replan_every: 0, ..LinkFeedback::default() });
+    let never_replans = PayloadPlan::Features(FeatureConfig {
+        wire: FeatureWire::F32,
+        cut: CutSelection::Planned(CutPlannerConfig {
+            classes: vec![edge.clone()],
+            cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+            objective: Objective::Latency,
+            feedback,
+        }),
+    });
+    assert_eq!(
+        b().payload(never_replans).link(NetworkLink::wifi(1.0)).build(),
+        Err(ServeConfigError::FeedbackNeverReplans)
+    );
+    let spec = FleetSpec::uniform(DeviceClass::new("edge", edge.clone(), ComputeTier::High));
+    assert_eq!(
+        b().payload(planned_payload(vec![edge])).link(NetworkLink::wifi(1.0)).fleet(spec).build(),
+        Err(ServeConfigError::FleetClassesConflict)
+    );
+    // And a fully specified valid configuration builds.
+    let cfg = b().edge_workers(2).cloud_workers(1).max_batch(4).build().expect("valid config");
+    assert_eq!((cfg.edge_workers, cfg.cloud_workers, cfg.max_batch), (2, 1, 4));
+}
+
+#[test]
+fn config_errors_keep_the_legacy_panic_wording() {
+    // The deprecated `serve` shim panics with `{error}`; every
+    // `#[should_panic(expected = ...)]` substring that guarded the old
+    // asserts must therefore survive in the Display impls.
+    for (error, legacy) in [
+        (ServeConfigError::PolicyNeedsCloud, "requires a cloud model"),
+        (ServeConfigError::ScheduleWithoutLink, "link schedule needs a link"),
+        (ServeConfigError::NoEdgeWorkers, "need at least one edge worker"),
+    ] {
+        assert!(error.to_string().contains(legacy), "{error:?} lost its wording: {error}");
+    }
+    for (error, legacy) in [
+        (ServeError::UnsortedArrivals, "sorted by arrival"),
+        (ServeError::NonFiniteArrival { index: 0, device: 0, seq: 0 }, "non-finite arrival time"),
+        (ServeError::MissingCloudPrefix { worker: 0 }, "no cloud prefix"),
+        (ServeError::FixedCutOutOfRange { cut: 9, cut_layers: 9 }, "out of range"),
+    ] {
+        assert!(error.to_string().contains(legacy), "{error:?} lost its wording: {error}");
+    }
+    // Config errors surface their source through the ServeError chain.
+    let wrapped = ServeError::from(ServeConfigError::NoEdgeWorkers);
+    assert_eq!(wrapped, ServeError::Config(ServeConfigError::NoEdgeWorkers));
+    assert!(std::error::Error::source(&wrapped).is_some());
+}
+
+/// A deeper cloud variant (two blocks per stage): same input shape as
+/// [`tiny_cloud`], different layer enumeration.
+fn deeper_cloud(seed: u64) -> SegmentedCnn {
+    let mut rng = Rng::new(seed);
+    let mut cfg = CifarResNetConfig::repro_scale(6);
+    cfg.input_hw = 8;
+    cfg.channels = [16, 24, 32];
+    cfg.blocks_per_stage = 2;
+    resnet_cifar(&cfg, &mut rng)
+}
+
+#[test]
+fn try_serve_names_every_runtime_inconsistency() {
+    let bundle = presets::tiny(150);
+    let reqs = instant_requests(&bundle.test, 1);
+    let mut edges = edge_replicas(1, 50);
+    let mut clouds = replicas(1, || tiny_cloud(51));
+
+    let two_workers = ServeConfig::new(OffloadPolicy::Never, 2, 0, 1);
+    assert_eq!(
+        try_serve(&two_workers, &mut edges, &mut [], &reqs).unwrap_err(),
+        ServeError::EdgeReplicaMismatch { workers: 2, replicas: 1 }
+    );
+    let no_cloud = ServeConfig::new(OffloadPolicy::Never, 1, 0, 1);
+    assert_eq!(
+        try_serve(&no_cloud, &mut edges, &mut clouds, &reqs).unwrap_err(),
+        ServeError::CloudReplicaMismatch { workers: 0, replicas: 1 }
+    );
+
+    let cfg = ServeConfig::new(OffloadPolicy::Never, 1, 0, 1);
+    let mut unsorted = reqs.clone();
+    unsorted[0].arrival_s = 1.0;
+    assert_eq!(try_serve(&cfg, &mut edges, &mut [], &unsorted).unwrap_err(), ServeError::UnsortedArrivals);
+    // Finiteness is named before sortedness: a NaN fails every
+    // comparison, so it must not masquerade as "unsorted".
+    let mut nan = reqs.clone();
+    nan[2].arrival_s = f64::NAN;
+    assert!(matches!(
+        try_serve(&cfg, &mut edges, &mut [], &nan),
+        Err(ServeError::NonFiniteArrival { index: 2, .. })
+    ));
+    let mut negative = reqs.clone();
+    negative[0].arrival_s = -1.0;
+    assert_eq!(
+        try_serve(&cfg, &mut edges, &mut [], &negative).unwrap_err(),
+        ServeError::NegativeArrival { index: 0 }
+    );
+    let mut batched = reqs.clone();
+    batched[1].image = Tensor::zeros([2, 3, 8, 8]);
+    assert_eq!(
+        try_serve(&cfg, &mut edges, &mut [], &batched).unwrap_err(),
+        ServeError::NotSingleInstance { index: 1 }
+    );
+
+    // Feature-payload inconsistencies.
+    let mut features = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+    features.payload = feature_plan(FeatureWire::F32, 1);
+    assert_eq!(
+        try_serve(&features, &mut edges, &mut clouds, &reqs).unwrap_err(),
+        ServeError::MissingCloudPrefix { worker: 0 }
+    );
+    let mut split = split_replicas(1, 52, 53);
+    let layers = tiny_cloud(53).cut_layer_count();
+    let mut out_of_range = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+    out_of_range.payload = feature_plan(FeatureWire::F32, layers);
+    let mut clouds53 = replicas(1, || tiny_cloud(53));
+    assert_eq!(
+        try_serve(&out_of_range, &mut split, &mut clouds53, &reqs).unwrap_err(),
+        ServeError::FixedCutOutOfRange { cut: layers, cut_layers: layers }
+    );
+    let mut deeper = replicas(1, || deeper_cloud(53));
+    let mut fixed0 = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+    fixed0.payload = feature_plan(FeatureWire::F32, 0);
+    assert_eq!(
+        try_serve(&fixed0, &mut split, &mut deeper, &reqs).unwrap_err(),
+        ServeError::PrefixMismatch { edge_layers: layers, cloud_layers: deeper_cloud(53).cut_layer_count() }
+    );
+    // A config error reaches try_serve callers wrapped.
+    let zero_batch = ServeConfig::new(OffloadPolicy::Never, 1, 0, 0);
+    assert_eq!(
+        try_serve(&zero_batch, &mut edges, &mut [], &reqs).unwrap_err(),
+        ServeError::Config(ServeConfigError::ZeroMaxBatch)
+    );
+}
+
+#[test]
+fn fleet_serve_matches_the_free_function_bitwise() {
+    let bundle = presets::tiny(151);
+    let cfg = ServeConfig::builder(OffloadPolicy::EntropyThreshold(0.8))
+        .edge_workers(2)
+        .cloud_workers(1)
+        .max_batch(4)
+        .build()
+        .expect("valid config");
+    let reqs = instant_requests(&bundle.test, 3);
+    let mut edges = edge_replicas(2, 54);
+    let mut clouds = replicas(1, || tiny_cloud(55));
+    let expected = try_serve(&cfg, &mut edges, &mut clouds, &reqs).expect("serves");
+
+    let mut fleet = Fleet::new(cfg, edge_replicas(2, 54), replicas(1, || tiny_cloud(55))).expect("consistent");
+    assert!(fleet.spec().is_none(), "no registry configured");
+    let report = fleet.serve(&reqs).expect("serves");
+    assert_eq!(report.records, expected.records);
+    assert_eq!(report.stats.offloaded, expected.stats.offloaded);
+    // The parts come back out for rebuilding.
+    let (cfg, edges, clouds) = fleet.into_parts();
+    assert_eq!((edges.len(), clouds.len()), (cfg.edge_workers, cfg.cloud_workers));
+}
+
+#[test]
+fn fleet_new_rejects_mismatched_replicas_up_front() {
+    let cfg = ServeConfig::new(OffloadPolicy::Never, 2, 0, 1);
+    let err = Fleet::new(cfg, edge_replicas(1, 56), Vec::new()).expect_err("one replica short");
+    assert_eq!(err, ServeError::EdgeReplicaMismatch { workers: 2, replicas: 1 });
+    assert!(err.to_string().contains("one edge replica per edge worker"));
+}
+
+#[test]
+fn uniform_high_tier_fleet_matches_the_legacy_planner_path_bitwise() {
+    // Backward compatibility of the registry: a single High-tier class
+    // (scale factor 1.0, no link prior) must reproduce the legacy
+    // `CutPlannerConfig::classes` path bit for bit — same cuts, same
+    // records — because `scaled_throughput(1.0)` preserves the profile
+    // and an absent prior falls back to the shared link model.
+    let bundle = presets::tiny(152);
+    let edge = DeviceProfile::new("edge", 10.0, 5e8);
+    let link = NetworkLink::wifi(1.0).with_rtt(0.001);
+    let run = |classes: Vec<DeviceProfile>, fleet: Option<FleetSpec>| {
+        let mut edges = split_replicas(2, 58, 59);
+        let mut clouds = replicas(1, || tiny_cloud(59));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 2, 1, 4);
+        cfg.payload = planned_payload(classes);
+        cfg.link = Some(link);
+        cfg.fleet = fleet;
+        try_serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2)).expect("serves")
+    };
+    let legacy = run(vec![edge.clone()], None);
+    let spec = FleetSpec::uniform(DeviceClass::new("edge", edge, ComputeTier::High));
+    let fleet = run(Vec::new(), Some(spec));
+    assert_eq!(fleet.records, legacy.records);
+    assert_eq!(fleet.stats.final_cuts, legacy.stats.final_cuts);
+    assert_eq!(fleet.stats.bytes_to_cloud, legacy.stats.bytes_to_cloud);
+    // Only the registry path reports per-class breakdowns.
+    assert!(legacy.stats.per_class_served.is_none());
+    let served = fleet.stats.per_class_served.expect("fleet stats");
+    assert_eq!(served, vec![fleet.stats.total]);
+}
+
+#[test]
+fn heterogeneous_tiers_plan_per_class_cuts_from_effective_profiles() {
+    // The heart of the heterogeneity tentpole: two classes sharing one
+    // hardware profile but different compute tiers must plan different
+    // cuts once a link rate separates their effective throughputs —
+    // and the planned cuts must equal what an offline planner derives
+    // from the tier-scaled profiles.
+    let bundle = presets::tiny(153);
+    let base = DeviceProfile::new("edge", 10.0, 5e8);
+    let high = DeviceClass::new("high", base.clone(), ComputeTier::High);
+    let low = DeviceClass::new("low", base, ComputeTier::Low);
+    let (hp, lp) = (high.effective_profile(), low.effective_profile());
+    let rate = (0..60)
+        .map(|i| 0.05 * 1.3f64.powi(i))
+        .find(|&r| {
+            let planner = planner_like_serve(61, NetworkLink::wifi(r).with_rtt(0.001), &hp, 2);
+            planner.plan_for(&hp).cut != planner.plan_for(&lp).cut
+        })
+        .expect("some rate separates the High and Low tiers");
+    let link = NetworkLink::wifi(rate).with_rtt(0.001);
+    let planner = planner_like_serve(61, link, &hp, 2);
+    let expected = vec![planner.plan_for(&hp).cut, planner.plan_for(&lp).cut];
+
+    let mut edges = split_replicas(2, 60, 61);
+    let mut clouds = replicas(1, || tiny_cloud(61));
+    let cfg = ServeConfig::builder(OffloadPolicy::Always)
+        .edge_workers(2)
+        .cloud_workers(1)
+        .max_batch(4)
+        .payload(planned_payload(Vec::new()))
+        .link(link)
+        .fleet(FleetSpec::round_robin(vec![high, low]))
+        .build()
+        .expect("valid config");
+    let report = try_serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2)).expect("serves");
+    assert_eq!(report.stats.final_cuts, Some(expected.clone()));
+    assert_ne!(expected[0], expected[1], "tiers must plan different cuts");
+
+    // Round-robin assignment: devices {0, 1} split across the classes,
+    // and the per-class breakdown partitions the totals.
+    let served = report.stats.per_class_served.clone().expect("fleet stats");
+    let offload = report.stats.per_class_offload.clone().expect("fleet stats");
+    assert_eq!(served.iter().sum::<usize>(), report.stats.total);
+    assert_eq!(offload.iter().sum::<usize>(), report.stats.offloaded);
+    assert!(served.iter().all(|&s| s > 0), "both classes serve traffic: {served:?}");
+    let latency = report.stats.per_class_latency.expect("fleet stats");
+    assert!(latency.iter().all(Option::is_some), "both classes record latencies");
+}
+
+#[test]
+fn explicit_assignment_overrides_the_modulo_convention() {
+    // `FleetSpec::assign` must beat `device % classes`: pin both
+    // devices to class 1 and the class-0 row of every per-class stat
+    // stays empty.
+    let bundle = presets::tiny(154);
+    let base = DeviceProfile::new("edge", 10.0, 1e9);
+    let spec = FleetSpec::round_robin(vec![
+        DeviceClass::new("a", base.clone(), ComputeTier::High),
+        DeviceClass::new("b", base, ComputeTier::Medium),
+    ])
+    .assign(0, 1)
+    .assign(1, 1);
+    let cfg = ServeConfig::builder(OffloadPolicy::Always)
+        .edge_workers(2)
+        .cloud_workers(1)
+        .max_batch(4)
+        .fleet(spec)
+        .build()
+        .expect("valid config");
+    let mut edges = edge_replicas(2, 62);
+    let mut clouds = replicas(1, || tiny_cloud(63));
+    let report = try_serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2)).expect("serves");
+    let served = report.stats.per_class_served.expect("fleet stats");
+    assert_eq!(served[0], 0, "every device is pinned to class b");
+    assert_eq!(served[1], report.stats.total);
+    assert_eq!(report.stats.per_class_latency.expect("fleet stats")[0], None, "empty class has no histogram");
+}
+
+#[test]
+fn difficulty_routing_skips_main_exits_and_settles_easy_locally() {
+    // Algorithm-2 short-circuits: predicted-hard requests pre-commit
+    // to the cloud WITHOUT running the main exit (the saved forwards
+    // are counted), predicted-easy requests refuse the offload leg
+    // entirely, and ambiguous requests take the unchanged route.
+    let bundle = presets::tiny(155);
+    let mut calibration = tiny_net(64);
+    let predictor = DifficultyPredictor::calibrate(&mut calibration, &bundle.train.images, 8);
+    let reqs = instant_requests(&bundle.test, 2);
+    let verdicts: Vec<Difficulty> = reqs.iter().map(|r| predictor.predict(&r.image)).collect();
+    let hard = verdicts.iter().filter(|&&d| d == Difficulty::Hard).count();
+    let easy = verdicts.iter().filter(|&&d| d == Difficulty::Easy).count();
+    assert!(hard > 0 && easy > 0, "calibration must spread the trace across bands: {verdicts:?}");
+
+    let run = |difficulty: Option<DifficultyPredictor>| {
+        let mut edges = edge_replicas(2, 64);
+        let mut clouds = replicas(1, || tiny_cloud(65));
+        let mut cfg = ServeConfig::new(OffloadPolicy::EntropyThreshold(0.8), 2, 1, 4);
+        cfg.difficulty = difficulty;
+        try_serve(&cfg, &mut edges, &mut clouds, &reqs).expect("serves")
+    };
+    let plain = run(None);
+    let routed = run(Some(predictor.clone()));
+
+    assert_eq!(plain.stats.skipped_main_exits, 0, "no predictor, no skips");
+    assert_eq!(routed.stats.total, plain.stats.total, "routing must not drop requests");
+    // Every predicted-hard request skipped its main-exit forward …
+    assert_eq!(routed.stats.skipped_main_exits, hard);
+    // … and is recognisable in the records by the sentinel.
+    let precommitted = routed.records.iter().filter(|r| r.main_prediction == PendingCloud::PRECOMMITTED).count();
+    assert_eq!(precommitted, hard);
+    for (verdict, record) in verdicts.iter().zip(&routed.records) {
+        match verdict {
+            Difficulty::Hard => assert_eq!(record.exit, ExitPoint::Cloud, "hard pre-commits to the cloud"),
+            Difficulty::Easy => assert_ne!(record.exit, ExitPoint::Cloud, "easy settles on the edge"),
+            Difficulty::Ambiguous => {}
+        }
+    }
+}
+
+#[test]
+fn difficulty_respects_an_edge_only_policy() {
+    // `wants_precommit` defers to the policy: with no cloud at all a
+    // predicted-hard request must still run the normal local route
+    // (there is nowhere to pre-commit to).
+    let bundle = presets::tiny(156);
+    let mut calibration = tiny_net(66);
+    let predictor = DifficultyPredictor::calibrate(&mut calibration, &bundle.train.images, 8);
+    let mut edges = edge_replicas(1, 66);
+    let mut cfg = ServeConfig::new(OffloadPolicy::Never, 1, 0, 1);
+    cfg.difficulty = Some(predictor);
+    let report = try_serve(&cfg, &mut edges, &mut [], &instant_requests(&bundle.test, 1)).expect("serves");
+    assert_eq!(report.stats.offloaded, 0);
+    assert_eq!(report.stats.skipped_main_exits, 0, "edge-only serving never pre-commits");
+    assert_eq!(report.stats.total, bundle.test.len());
+    assert!(report.records.iter().all(|r| r.exit != ExitPoint::Cloud));
+}
+
+#[test]
+fn forced_multi_stage_placement_is_record_identical_to_its_final_cut() {
+    // The tentpole's degeneracy proof at the serving layer: a forced
+    // 3-stage placement (edge → peer → cloud) serves the exact records
+    // of the fixed scalar cut at the same final cut. The peer hop ships
+    // the lossless f32 codec through a bitwise prefix replica, so
+    // splitting the prefix across edge devices is a pure cost knob.
+    let bundle = presets::tiny(190);
+    let layers = tiny_cloud(91).cut_layer_count();
+    let fin = layers / 2 + 1;
+    assert!(fin >= 2, "need room for a local/peer split");
+    let run = |cut: CutSelection| {
+        let mut edges = split_replicas(2, 90, 91);
+        let mut clouds = replicas(1, || tiny_cloud(91));
+        let mut cfg = ServeConfig::new(OffloadPolicy::EntropyThreshold(0.5), 2, 1, 4);
+        cfg.payload = PayloadPlan::Features(FeatureConfig { wire: FeatureWire::F32, cut });
+        serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 3))
+    };
+    let fixed = run(CutSelection::Fixed(fin));
+    let placed = run(CutSelection::Placement(PlacementPlan::three_stage(1, fin, 0, layers)));
+    assert_eq!(placed.records, fixed.records, "the peer stage changed records");
+    assert_eq!(placed.stats.bytes_to_cloud, fixed.stats.bytes_to_cloud, "same final cut, same WAN bytes");
+    assert_eq!(placed.stats.final_cuts, Some(vec![fin]));
+    // Every offload paid exactly one peer hop, and the hop shipped real
+    // bytes; the scalar path never touched the peer wire.
+    assert_eq!(placed.stats.peer_hops, placed.stats.offloaded as u64);
+    assert!(placed.stats.offloaded > 0, "threshold 0.5 offloads some of the trace");
+    assert!(placed.stats.peer_bytes > 0);
+    assert_eq!(fixed.stats.peer_hops, 0);
+    assert_eq!(fixed.stats.peer_bytes, 0);
+    let plans = placed.stats.placements.expect("feature mode reports placements");
+    assert_eq!(plans[0].stages().len(), 3);
+    assert!(plans[0].peer_stage().is_some());
+    let fixed_plans = fixed.stats.placements.expect("feature mode reports placements");
+    assert!(fixed_plans[0].is_two_stage(), "a fixed cut is the two-stage special case");
+}
+
+#[test]
+fn coop_fleet_plans_multi_stage_placements_and_keeps_records() {
+    // Cooperative edge splitting end to end: a Low-tier class pooled
+    // into a 3-member coop group over a fast intra-edge wire plans a
+    // multi-stage placement the solo class does not, the placement
+    // matches the offline placement planner exactly, and the records are
+    // identical with and without the pool (the plan is a cost knob).
+    let bundle = presets::tiny(191);
+    let base = DeviceProfile::new("edge", 10.0, 5e8);
+    let coop_link = NetworkLink::wifi(400.0).with_rtt(0.0005);
+    let spec_with = |coop: bool| {
+        let mut dc = DeviceClass::new("low", base.clone(), ComputeTier::Low);
+        if coop {
+            dc = dc.coop_group(3, coop_link);
+        }
+        FleetSpec::uniform(dc)
+    };
+    let eff = spec_with(false).classes()[0].effective_profile();
+    let pool = spec_with(true).peer_pools()[0].clone().expect("coop group pools");
+    // Find a WAN rate where the pool actually changes the plan (the
+    // pooled peers absorb deep prefix layers the solo class cannot).
+    let rate = (0..60)
+        .map(|i| 0.05 * 1.3f64.powi(i))
+        .find(|&r| {
+            let planner = planner_like_serve(93, NetworkLink::wifi(r).with_rtt(0.001), &eff, 2);
+            let coop = planner.plan_placement_for_measured(&eff, None, Some(&pool));
+            coop.plan.peer_stage().is_some()
+        })
+        .expect("some WAN rate makes the pool worthwhile");
+    let link = NetworkLink::wifi(rate).with_rtt(0.001);
+    let offline = planner_like_serve(93, link, &eff, 2);
+    let expected_coop = offline.plan_placement_for_measured(&eff, None, Some(&pool));
+    let expected_solo = offline.plan_placement_for_measured(&eff, None, None);
+
+    let run = |coop: bool| {
+        let mut edges = split_replicas(2, 92, 93);
+        let mut clouds = replicas(1, || tiny_cloud(93));
+        let cfg = ServeConfig::builder(OffloadPolicy::Always)
+            .edge_workers(2)
+            .cloud_workers(1)
+            .max_batch(8)
+            .payload(planned_payload(Vec::new()))
+            .link(link)
+            .fleet(spec_with(coop))
+            .build()
+            .expect("valid config");
+        try_serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 2)).expect("serves")
+    };
+    let coop = run(true);
+    let solo = run(false);
+    assert_eq!(coop.records, solo.records, "the pool changed records");
+    assert_eq!(coop.stats.placements, Some(vec![expected_coop.plan.clone()]));
+    assert_eq!(solo.stats.placements, Some(vec![expected_solo.plan.clone()]));
+    assert!(coop.stats.placements.as_ref().unwrap()[0].peer_stage().is_some());
+    assert_eq!(coop.stats.final_cuts, Some(vec![expected_coop.plan.final_cut()]));
+    // Every offload paid the peer hop; the solo run never did.
+    assert_eq!(coop.stats.peer_hops, coop.stats.offloaded as u64);
+    assert!(coop.stats.peer_bytes > 0);
+    assert_eq!(solo.stats.peer_hops, 0);
+}
+
+#[test]
+fn placement_validation_rejects_each_mismatch_by_name() {
+    let bundle = presets::tiny(192);
+    let layers = tiny_cloud(95).cut_layer_count();
+    let run = |cut: CutSelection| {
+        let mut edges = split_replicas(1, 94, 95);
+        let mut clouds = replicas(1, || tiny_cloud(95));
+        let mut cfg = ServeConfig::new(OffloadPolicy::Always, 1, 1, 1);
+        cfg.payload = PayloadPlan::Features(FeatureConfig { wire: FeatureWire::F32, cut });
+        try_serve(&cfg, &mut edges, &mut clouds, &instant_requests(&bundle.test, 1))
+    };
+    // A plan over the wrong layer count cannot line up with the prefix.
+    let short = PlacementPlan::two_stage(1, layers - 1);
+    assert_eq!(
+        run(CutSelection::Placement(short)).err(),
+        Some(ServeError::PlacementLayerMismatch { plan_layers: layers - 1, cut_layers: layers })
+    );
+    // A final cut swallowing the whole network leaves the cloud nothing
+    // to run — rejected exactly like the scalar fixed cut.
+    let edge_only = PlacementPlan::two_stage(layers, layers);
+    assert_eq!(
+        run(CutSelection::Placement(edge_only)).err(),
+        Some(ServeError::FixedCutOutOfRange { cut: layers, cut_layers: layers })
+    );
+    // And the governor refuses a forced placement just like a fixed cut.
+    let forced = PlacementPlan::three_stage(1, 2, 0, layers);
+    let plan =
+        PayloadPlan::Features(FeatureConfig { wire: FeatureWire::F32, cut: CutSelection::Placement(forced) });
+    assert_eq!(
+        ServeConfig::builder(OffloadPolicy::Always)
+            .payload(plan)
+            .control(ControlPlan::Governed(SlaTarget::new(50.0, 0.9)))
+            .link(NetworkLink::wifi(10.0))
+            .build(),
+        Err(ServeConfigError::GovernedFixedCut)
+    );
+    // A well-formed forced placement serves.
+    let ok = PlacementPlan::three_stage(1, layers / 2 + 1, 0, layers);
+    assert!(run(CutSelection::Placement(ok)).is_ok());
+}

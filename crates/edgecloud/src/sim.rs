@@ -48,6 +48,31 @@ pub struct SimConfig {
     /// Inter-arrival time of frames at the edge (s); 0 = all available at
     /// time zero (batch processing).
     pub arrival_interval_s: f64,
+    /// Optional cooperative edge stage ahead of the radio (the
+    /// virtual-clock counterpart of a multi-stage
+    /// [`crate::partition::PlacementPlan`]): offloaded instances first
+    /// ship a lossless activation over the intra-edge coop wire and run
+    /// the peer stage on the pooled peer group, then enter the WAN radio
+    /// queue as usual. `None` is the classic two-stage pipeline.
+    pub coop: Option<CoopStage>,
+}
+
+/// The cooperative peer stage of a simulated multi-stage placement: one
+/// intra-edge hop to a pooled peer group that executes part of the cloud
+/// network's prefix before the WAN upload (see
+/// [`crate::fleet::DeviceClass::coop_group`] for the serving-side
+/// counterpart).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoopStage {
+    /// Intra-edge wire to the peer group (FIFO, like the WAN radio).
+    pub link: NetworkLink,
+    /// Pooled profile of the cooperating peer group (FIFO server).
+    pub pooled: DeviceProfile,
+    /// MACs the peer stage executes per offloaded instance.
+    pub macs_peer: u64,
+    /// Activation bytes shipped to the peer (always the lossless f32
+    /// codec, whatever the WAN wire carries).
+    pub peer_payload_bytes: u64,
 }
 
 /// Per-instance timing from the virtual-clock simulation.
@@ -90,6 +115,8 @@ pub struct SimReport {
 pub fn simulate(cfg: &SimConfig, routes: &[ExitPoint]) -> SimReport {
     assert!(!routes.is_empty(), "nothing to simulate");
     let mut edge_free = 0.0f64;
+    let mut peer_radio_free = 0.0f64;
+    let mut peer_free = 0.0f64;
     let mut radio_free = 0.0f64;
     let mut cloud_free = 0.0f64;
     let mut energy = EnergyReport::default();
@@ -125,6 +152,21 @@ pub fn simulate(cfg: &SimConfig, routes: &[ExitPoint]) -> SimReport {
                 // the label is back at the edge after the downlink leg
                 // (the simulator ships no response payload bytes).
                 edge_free = done;
+                // Optional cooperative peer stage: the activation crosses
+                // the intra-edge coop wire (FIFO) and the pooled peer
+                // group (FIFO) runs its share of the prefix before the
+                // WAN radio sees the instance. The coop wire is paid like
+                // the WAN (serialisation occupies the wire, rtt/2 for
+                // propagation) and its upload energy is the edge's.
+                if let Some(coop) = &cfg.coop {
+                    let start_peer_up = peer_radio_free.max(done);
+                    peer_radio_free = start_peer_up + coop.link.upload_time_s(coop.peer_payload_bytes);
+                    energy.communication_j += coop.link.upload_energy_j(coop.peer_payload_bytes);
+                    let at_peer = start_peer_up + coop.link.uplink_leg_s(coop.peer_payload_bytes);
+                    let start_peer = peer_free.max(at_peer);
+                    done = start_peer + coop.pooled.latency_s(coop.macs_peer);
+                    peer_free = done;
+                }
                 let start_up = radio_free.max(done);
                 radio_free = start_up + t_up;
                 energy.communication_j += cfg.link.upload_energy_j(cfg.payload_bytes);
@@ -200,6 +242,7 @@ mod tests {
             macs_cloud: 10_000_000,        // 1 ms on cloud
             payload_bytes: 1000,           // 1 ms on the 1 MB/s link
             arrival_interval_s: 0.002,
+            coop: None,
         }
     }
 
@@ -264,6 +307,45 @@ mod tests {
         let t_cloud = report.timings[0].completion_s;
         let t_main = report.timings[1].completion_s;
         assert!(t_main < t_cloud, "edge work should overlap offload");
+    }
+
+    #[test]
+    fn coop_stage_prices_peer_hop_before_radio() {
+        let mut c = cfg();
+        c.coop = Some(CoopStage {
+            link: NetworkLink::wifi(80.0).with_rtt(0.002),
+            pooled: DeviceProfile::new("pooled", 10.0, 3e9),
+            macs_peer: 3_000_000, // 1 ms on the 3× pool
+            peer_payload_bytes: 10_000,
+        });
+        let coop = c.coop.as_ref().unwrap().clone();
+        let report = simulate(&c, &[ExitPoint::Cloud]);
+        // Edge main + coop leg + peer compute + WAN upload leg + cloud +
+        // downlink leg, each from the same helpers the closed form uses.
+        let expect = c.edge.latency_s(c.macs_main)
+            + coop.link.uplink_leg_s(coop.peer_payload_bytes)
+            + coop.pooled.latency_s(coop.macs_peer)
+            + c.link.uplink_leg_s(c.payload_bytes)
+            + c.cloud.latency_s(c.macs_cloud)
+            + c.link.downlink_leg_s(0);
+        assert!((report.timings[0].latency_s() - expect).abs() < 1e-9, "got {}", report.timings[0].latency_s());
+        // The coop wire's energy lands in the communication bucket.
+        let solo = simulate(&cfg(), &[ExitPoint::Cloud]);
+        assert!(report.energy.communication_j > solo.energy.communication_j);
+    }
+
+    #[test]
+    fn coop_stage_only_affects_cloud_exits() {
+        let mut c = cfg();
+        c.coop = Some(CoopStage {
+            link: NetworkLink::wifi(80.0).with_rtt(0.002),
+            pooled: DeviceProfile::new("pooled", 10.0, 3e9),
+            macs_peer: 3_000_000,
+            peer_payload_bytes: 10_000,
+        });
+        let with = simulate(&c, &[ExitPoint::Main, ExitPoint::Extension]);
+        let without = simulate(&cfg(), &[ExitPoint::Main, ExitPoint::Extension]);
+        assert_eq!(with.timings, without.timings, "local exits never touch the coop stage");
     }
 
     #[test]

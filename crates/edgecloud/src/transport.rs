@@ -4,8 +4,7 @@
 //! The serving runtime ([`mod@crate::serve`]) ships offloaded instances as
 //! length-prefixed frames of the existing [`crate::payload::Payload`]
 //! codecs. *How* those frames cross from the edge workers to the cloud
-//! tier is this module's concern, behind one trait with two
-//! implementations:
+//! tier is this module's concern, behind one trait:
 //!
 //! * [`ModelledTransport`] — frames pass through bounded in-memory
 //!   channels instantly; the [`crate::network::NetworkLink`] model is
@@ -25,6 +24,11 @@
 //!   `Instant::now()` deltas around the transfer — queueing, scheduling
 //!   noise and mid-run throttles included, none of which the static link
 //!   model can see.
+//! * [`UdsTransport`] (unix only) — the same byte-stream contract over a
+//!   real kernel socket: one `UnixStream` pair per lane and direction, so
+//!   framing, backpressure and shutdown exercise genuine `read`/`write`
+//!   syscalls and EOF semantics, with a deterministic application-level
+//!   in-flight byte budget layered over the kernel's opaque buffering.
 //!
 //! One **lane** connects the edge tier to one cloud worker: requests flow
 //! up the lane, responses flow back down it. Both directions carry
@@ -62,6 +66,13 @@ pub enum TransportKind {
     /// a bounded byte stream and link telemetry comes from
     /// `Instant::now()` deltas around the transfer.
     Pipe(PipeConfig),
+    /// [`UdsTransport`] under the given config: payloads cross a real
+    /// kernel socket (a `UnixStream` pair per lane and direction), so
+    /// framing, backpressure and shutdown exercise genuine OS I/O and
+    /// link telemetry comes from `Instant::now()` deltas around the
+    /// transfer.
+    #[cfg(unix)]
+    Uds(UdsConfig),
 }
 
 /// One offloaded instance on the uplink: the request identity, the cut
@@ -776,6 +787,341 @@ impl Transport for PipeTransport {
     }
 }
 
+// ---------------------------------------------------------------------------
+// UDS transport: a real kernel socket per lane and direction.
+// ---------------------------------------------------------------------------
+
+/// Configuration of the [`UdsTransport`].
+#[cfg(unix)]
+#[derive(Debug, Clone, PartialEq)]
+pub struct UdsConfig {
+    /// Application-level in-flight byte budget per lane direction: bytes
+    /// written but not yet decoded by the receiver. A frame is admitted
+    /// when the direction is idle *or* when it fits under the budget, so
+    /// one oversized frame still passes and a budget smaller than any
+    /// frame degenerates to exactly one frame in flight at a time —
+    /// deterministic backpressure layered over the kernel's own opaque
+    /// socket buffering.
+    pub window_bytes: usize,
+}
+
+#[cfg(unix)]
+impl Default for UdsConfig {
+    /// 256 KiB in-flight budget per direction.
+    fn default() -> Self {
+        UdsConfig { window_bytes: 256 * 1024 }
+    }
+}
+
+/// Bookkeeping shared between a [`UdsPipe`]'s sender and receiver sides:
+/// the in-flight budget and the FIFO send-timestamp side-queue. The
+/// socket carries only bytes; stamps and credits ride here, kept in frame
+/// order because stamps are pushed under the same lock that serialises
+/// whole-frame writes into the socket.
+#[cfg(unix)]
+struct UdsShared {
+    cap: usize,
+    state: StdMutex<UdsState>,
+    writable: Condvar,
+}
+
+#[cfg(unix)]
+struct UdsState {
+    in_flight: usize,
+    stamps: VecDeque<Instant>,
+    write_closed: bool,
+    read_closed: bool,
+}
+
+/// One direction of a UDS lane: a connected `UnixStream` pair plus the
+/// shared budget/stamp bookkeeping.
+#[cfg(unix)]
+struct UdsPipe {
+    /// The sending socket end. The mutex serialises whole-frame writes so
+    /// concurrent senders multiplex at frame granularity, never mid-frame
+    /// — and keeps the stamp queue aligned with the byte stream.
+    writer: StdMutex<std::os::unix::net::UnixStream>,
+    /// The receiving socket end, taken out once by the owning thread.
+    reader: StdMutex<Option<std::os::unix::net::UnixStream>>,
+    shared: Arc<UdsShared>,
+}
+
+#[cfg(unix)]
+impl UdsPipe {
+    fn new(window: usize) -> UdsPipe {
+        assert!(window > 0, "the in-flight budget needs capacity");
+        let (writer, reader) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+        UdsPipe {
+            writer: StdMutex::new(writer),
+            reader: StdMutex::new(Some(reader)),
+            shared: Arc::new(UdsShared {
+                cap: window,
+                state: StdMutex::new(UdsState {
+                    in_flight: 0,
+                    stamps: VecDeque::new(),
+                    write_closed: false,
+                    read_closed: false,
+                }),
+                writable: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Writes one whole frame, blocking while the in-flight budget is
+    /// exhausted. Fails once the receiver is gone or writes were closed.
+    fn write_frame(&self, encoded: &[u8], sent_at: Instant) -> Result<(), TransportClosed> {
+        use std::io::Write;
+        let mut sock = lk(&self.writer);
+        {
+            let mut st = lk(&self.shared.state);
+            loop {
+                if st.write_closed || st.read_closed {
+                    return Err(TransportClosed);
+                }
+                if st.in_flight == 0 || st.in_flight + encoded.len() <= self.shared.cap {
+                    break;
+                }
+                st = self.shared.writable.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            st.in_flight += encoded.len();
+            st.stamps.push_back(sent_at);
+        }
+        match sock.write_all(encoded) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                // The kernel saw the receiver's end closed (EPIPE): mark
+                // the direction dead so later and blocked senders fail
+                // instead of waiting for credits that will never come.
+                lk(&self.shared.state).read_closed = true;
+                self.shared.writable.notify_all();
+                Err(TransportClosed)
+            }
+        }
+    }
+
+    fn close_write(&self) {
+        // Flag first and wake budget-blocked senders (they hold the
+        // writer lock while waiting, so taking it before flagging would
+        // deadlock); then EOF the stream so the receiver drains and sees
+        // `Closed`.
+        lk(&self.shared.state).write_closed = true;
+        self.shared.writable.notify_all();
+        let sock = lk(&self.writer);
+        let _ = sock.shutdown(std::net::Shutdown::Write);
+    }
+
+    fn take_reader(&self) -> std::os::unix::net::UnixStream {
+        lk(&self.reader).take().expect("receiver taken once")
+    }
+}
+
+/// Reads whatever the socket has buffered into `acc`; blocks (up to
+/// `deadline`) while the stream is empty and open. The UDS counterpart of
+/// [`BytePipe::read_some`], with the kernel's read timeout standing in
+/// for the condvar wait.
+#[cfg(unix)]
+fn uds_read_some(sock: &std::os::unix::net::UnixStream, acc: &mut Vec<u8>, deadline: Option<Instant>) -> ReadSome {
+    use std::io::Read;
+    let mut sock = sock;
+    let mut buf = [0u8; 8192];
+    loop {
+        let timeout = match deadline {
+            None => None,
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    return ReadSome::TimedOut;
+                }
+                Some(d - now)
+            }
+        };
+        sock.set_read_timeout(timeout).expect("socket read timeout");
+        match sock.read(&mut buf) {
+            Ok(0) => return ReadSome::Closed,
+            Ok(n) => {
+                acc.extend_from_slice(&buf[..n]);
+                return ReadSome::Data;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) => {
+                return ReadSome::TimedOut
+            }
+            Err(_) => return ReadSome::Closed,
+        }
+    }
+}
+
+/// Credits `bytes` back to the sender's budget and pops the matching send
+/// timestamp — called once per fully decoded frame.
+#[cfg(unix)]
+fn uds_credit(shared: &UdsShared, bytes: usize) -> Instant {
+    let sent_at = {
+        let mut st = lk(&shared.state);
+        st.in_flight = st.in_flight.saturating_sub(bytes);
+        st.stamps.pop_front().expect("one stamp per framed write")
+    };
+    shared.writable.notify_all();
+    sent_at
+}
+
+/// Closes a receiver's end of a UDS direction: blocked and future senders
+/// get [`TransportClosed`] (budget waiters via the flag + wakeup, kernel
+/// writes via EPIPE after the socket shutdown).
+#[cfg(unix)]
+fn uds_close_read(shared: &UdsShared, sock: &std::os::unix::net::UnixStream) {
+    lk(&shared.state).read_closed = true;
+    shared.writable.notify_all();
+    let _ = sock.shutdown(std::net::Shutdown::Both);
+}
+
+/// [`UdsTransport`]'s owned uplink endpoint: reassembles request frames
+/// from the socket's byte stream. Dropping it closes the lane for
+/// senders.
+#[cfg(unix)]
+pub struct UdsUplink {
+    sock: std::os::unix::net::UnixStream,
+    shared: Arc<UdsShared>,
+    acc: Vec<u8>,
+}
+
+#[cfg(unix)]
+impl Drop for UdsUplink {
+    fn drop(&mut self) {
+        uds_close_read(&self.shared, &self.sock);
+    }
+}
+
+/// [`UdsTransport`]'s owned downlink endpoint.
+#[cfg(unix)]
+pub struct UdsDownlink {
+    sock: std::os::unix::net::UnixStream,
+    shared: Arc<UdsShared>,
+    acc: Vec<u8>,
+}
+
+#[cfg(unix)]
+impl Drop for UdsDownlink {
+    fn drop(&mut self) {
+        uds_close_read(&self.shared, &self.sock);
+    }
+}
+
+#[cfg(unix)]
+impl UplinkReceiver for UdsUplink {
+    fn recv(&mut self, timeout: Option<Duration>) -> RecvOutcome<InboundRequest> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            if let Some(frame) = decode_request(&mut self.acc) {
+                let received_at = Instant::now();
+                let sent_at = uds_credit(&self.shared, frame.wire_bytes() as usize);
+                return RecvOutcome::Frame(InboundRequest { frame, sent_at, received_at });
+            }
+            match uds_read_some(&self.sock, &mut self.acc, deadline) {
+                ReadSome::Data => continue,
+                ReadSome::TimedOut => return RecvOutcome::TimedOut,
+                ReadSome::Closed => return RecvOutcome::Closed,
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+impl DownlinkReceiver for UdsDownlink {
+    fn recv(&mut self) -> RecvOutcome<InboundResponse> {
+        loop {
+            if let Some(frame) = decode_response(&mut self.acc) {
+                let received_at = Instant::now();
+                let sent_at = uds_credit(&self.shared, ResponseFrame::WIRE_BYTES as usize);
+                return RecvOutcome::Frame(InboundResponse { frame, sent_at, received_at });
+            }
+            match uds_read_some(&self.sock, &mut self.acc, None) {
+                ReadSome::Data => continue,
+                ReadSome::TimedOut => unreachable!("no deadline was set"),
+                ReadSome::Closed => return RecvOutcome::Closed,
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+struct UdsLane {
+    up: UdsPipe,
+    down: UdsPipe,
+}
+
+/// The loopback-socket transport: one `UnixStream` pair per lane and
+/// direction, so frames cross genuine kernel I/O — real `read`/`write`
+/// syscalls, kernel socket buffering, EOF-driven shutdown — while
+/// [`UdsConfig::window_bytes`] adds a deterministic application-level
+/// in-flight budget on top. Send timestamps ride a side-queue pushed
+/// under the frame-serialising write lock (the same NIC-timestamping
+/// surrogate as [`PipeTransport`]), so measured link telemetry comes from
+/// genuine `Instant::now()` deltas around the socket transfer.
+#[cfg(unix)]
+pub struct UdsTransport {
+    lanes: Vec<UdsLane>,
+}
+
+#[cfg(unix)]
+impl UdsTransport {
+    /// A UDS transport with `lanes` lanes under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.window_bytes == 0` or the process is out of file
+    /// descriptors for the socket pairs.
+    pub fn new(lanes: usize, cfg: UdsConfig) -> Self {
+        let lanes = (0..lanes)
+            .map(|_| UdsLane { up: UdsPipe::new(cfg.window_bytes), down: UdsPipe::new(cfg.window_bytes) })
+            .collect();
+        UdsTransport { lanes }
+    }
+}
+
+#[cfg(unix)]
+impl Transport for UdsTransport {
+    type Uplink = UdsUplink;
+    type Downlink = UdsDownlink;
+
+    fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn take_uplink(&self, lane: usize) -> UdsUplink {
+        let pipe = &self.lanes[lane].up;
+        UdsUplink { sock: pipe.take_reader(), shared: Arc::clone(&pipe.shared), acc: Vec::new() }
+    }
+
+    fn take_downlink(&self, lane: usize) -> UdsDownlink {
+        let pipe = &self.lanes[lane].down;
+        UdsDownlink { sock: pipe.take_reader(), shared: Arc::clone(&pipe.shared), acc: Vec::new() }
+    }
+
+    fn send_request(&self, lane: usize, frame: RequestFrame) -> Result<(), TransportClosed> {
+        // Stamp before the budget wait: queueing for the window is part
+        // of the transfer time a real sender would observe.
+        let sent_at = Instant::now();
+        let encoded = frame.encode();
+        self.lanes[lane].up.write_frame(&encoded, sent_at)
+    }
+
+    fn send_response(&self, lane: usize, frame: ResponseFrame) -> Result<(), TransportClosed> {
+        let sent_at = Instant::now();
+        let encoded = frame.encode();
+        self.lanes[lane].down.write_frame(&encoded, sent_at)
+    }
+
+    fn close_requests(&self) {
+        for lane in &self.lanes {
+            lane.up.close_write();
+        }
+    }
+
+    fn close_responses(&self, lane: usize) {
+        self.lanes[lane].down.close_write();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -896,6 +1242,137 @@ mod tests {
         let t = PipeTransport::new(1, PipeConfig::default());
         t.close_requests();
         assert_eq!(t.send_request(0, frame(0, vec![1])), Err(TransportClosed));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_send_after_close_or_receiver_drop_fails() {
+        let t = UdsTransport::new(1, UdsConfig::default());
+        let up = t.take_uplink(0);
+        drop(up);
+        assert_eq!(t.send_request(0, frame(0, vec![1])), Err(TransportClosed));
+        let t = UdsTransport::new(1, UdsConfig::default());
+        t.close_requests();
+        assert_eq!(t.send_request(0, frame(0, vec![1])), Err(TransportClosed));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_receiver_drains_then_sees_closed() {
+        let t = UdsTransport::new(2, UdsConfig::default());
+        let sent = vec![frame(0, vec![9; 40]), frame(1, Vec::new()), frame(2, (0..255).collect())];
+        for f in &sent {
+            t.send_request(1, f.clone()).expect("receiver alive");
+        }
+        t.close_requests();
+        let mut up = t.take_uplink(1);
+        for f in &sent {
+            match up.recv(None) {
+                RecvOutcome::Frame(got) => {
+                    assert_eq!(&got.frame, f);
+                    assert!(got.received_at >= got.sent_at);
+                }
+                other => panic!("expected a frame, got {other:?}"),
+            }
+        }
+        assert!(matches!(up.recv(None), RecvOutcome::Closed));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_budget_admits_one_oversized_frame_at_a_time() {
+        // Budget far below any frame: the idle-direction rule admits one
+        // frame, then the next sender must wait for the receiver to
+        // decode it — deterministically one frame in flight.
+        let t = UdsTransport::new(1, UdsConfig { window_bytes: 1 });
+        let sent = Arc::new(AtomicU64::new(0));
+        crossbeam::thread::scope(|scope| {
+            let t_ref = &t;
+            let sent_ref = Arc::clone(&sent);
+            scope.spawn(move |_| {
+                for id in 0..3u64 {
+                    t_ref.send_request(0, frame(id, vec![7; 64])).expect("receiver alive");
+                    sent_ref.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            // The first frame is admitted; the second blocks on the
+            // budget until we decode the first.
+            let mut up = t.take_uplink(0);
+            while sent.load(Ordering::SeqCst) < 1 {
+                std::thread::yield_now();
+            }
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(sent.load(Ordering::SeqCst), 1, "second frame should stall on the budget");
+            for id in 0..3u64 {
+                match up.recv(None) {
+                    RecvOutcome::Frame(got) => assert_eq!(got.frame.req_id, id),
+                    other => panic!("expected frame {id}, got {other:?}"),
+                }
+            }
+        })
+        .expect("scope");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_receiver_drop_unblocks_a_budget_waiter() {
+        let t = UdsTransport::new(1, UdsConfig { window_bytes: 1 });
+        let up = t.take_uplink(0);
+        crossbeam::thread::scope(|scope| {
+            let t_ref = &t;
+            let waiter = scope.spawn(move |_| {
+                let first = t_ref.send_request(0, frame(0, vec![7; 64]));
+                let second = t_ref.send_request(0, frame(1, vec![7; 64]));
+                (first, second)
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            drop(up);
+            let (first, second) = waiter.join().expect("sender thread");
+            assert_eq!(first, Ok(()));
+            assert_eq!(second, Err(TransportClosed));
+        })
+        .expect("scope");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_uplink_timeout_preserves_partial_frames() {
+        use std::io::Write;
+        let t = UdsTransport::new(1, UdsConfig::default());
+        let mut up = t.take_uplink(0);
+        assert!(matches!(up.recv(Some(Duration::from_millis(1))), RecvOutcome::TimedOut));
+        // Write half a frame directly into the socket, then the rest: the
+        // receiver must time out without losing the prefix and deliver
+        // the whole frame once it completes.
+        let f = frame(3, vec![7; 64]);
+        let encoded = f.encode();
+        let (head, tail) = encoded.split_at(10);
+        let pipe = &t.lanes[0].up;
+        lk(&pipe.shared.state).stamps.push_back(Instant::now());
+        lk(&pipe.writer).write_all(head).expect("receiver alive");
+        assert!(matches!(up.recv(Some(Duration::from_millis(5))), RecvOutcome::TimedOut));
+        lk(&pipe.writer).write_all(tail).expect("receiver alive");
+        match up.recv(Some(Duration::from_millis(1000))) {
+            RecvOutcome::Frame(got) => assert_eq!(got.frame, f),
+            other => panic!("expected the completed frame, got {other:?}"),
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_responses_round_trip_with_close() {
+        let t = UdsTransport::new(1, UdsConfig::default());
+        t.send_response(0, ResponseFrame { req_id: 11, prediction: 4 }).expect("receiver alive");
+        t.close_responses(0);
+        let mut down = t.take_downlink(0);
+        match down.recv() {
+            RecvOutcome::Frame(got) => {
+                assert_eq!(got.frame, ResponseFrame { req_id: 11, prediction: 4 });
+                assert!(got.received_at >= got.sent_at);
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        assert!(matches!(down.recv(), RecvOutcome::Closed));
     }
 
     #[test]

@@ -572,6 +572,90 @@ proptest! {
         prop_assert_eq!(report.stats.offloaded, legacy.stats.offloaded);
     }
 
+    /// The identity embedding of the scalar cut into placement planning:
+    /// a coop group with a SINGLE member pools no extra throughput, so
+    /// whatever the topology, WAN rate, peer-link rate, compute tier or
+    /// control plan (open-loop planned, closed-loop feedback, governed),
+    /// the planner must emit the same two-stage placements as a fleet
+    /// with no coop group at all — records, cuts, placements and bytes
+    /// all identical, with zero peer hops on the wire.
+    #[test]
+    fn single_member_coop_group_is_record_identical_to_solo_planning(
+        devices in 1usize..4,
+        edge_workers in 1usize..3,
+        cloud_workers in 1usize..3,
+        max_batch in 1usize..6,
+        rate in 0.5f64..200.0,
+        peer_rate in 1.0f64..500.0,
+        tier_pick in 0usize..3,
+        control_pick in 0usize..3,
+        threshold in 0.0f32..1.5,
+    ) {
+        let bundle = presets::tiny(99);
+        let edge = DeviceProfile::new("edge", 10.0, 5e8);
+        let link = NetworkLink::wifi(rate).with_rtt(0.001);
+        let policy = OffloadPolicy::EntropyThreshold(threshold);
+        let tier = [ComputeTier::High, ComputeTier::Medium, ComputeTier::Low][tier_pick];
+        let mut rng = Rng::new(15);
+        let requests =
+            trace_requests(&bundle.test, devices, &ArrivalModel::Uniform { interval_s: 0.0 }, &mut rng);
+        let planner = || CutPlannerConfig {
+            classes: Vec::new(), // the fleet spec supplies the class profiles
+            cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+            objective: Objective::Latency,
+            feedback: None,
+        };
+        let run = |coop: Option<(usize, NetworkLink)>| {
+            let mut class = DeviceClass::new("edge", edge.clone(), tier);
+            if let Some((members, peer_link)) = coop {
+                class = class.coop_group(members, peer_link);
+            }
+            let mut builder = ServeConfig::builder(policy)
+                .edge_workers(edge_workers)
+                .cloud_workers(cloud_workers)
+                .max_batch(max_batch)
+                .link(link)
+                .fleet(FleetSpec::uniform(class));
+            builder = match control_pick {
+                0 => builder.payload(PayloadPlan::Features(FeatureConfig {
+                    wire: FeatureWire::F32,
+                    cut: CutSelection::Planned(planner()),
+                })),
+                1 => builder.control(ControlPlan::ClosedLoop {
+                    planner: planner(),
+                    feedback: LinkFeedback::default(),
+                    wire: FeatureWire::F32,
+                    controller: None,
+                }),
+                // A one-minute p95 budget no tiny trace can violate: the
+                // governor plans but never escalates.
+                _ => builder.control(ControlPlan::Governed(SlaTarget::new(60_000.0, 0.80))),
+            };
+            let cfg = builder.build().expect("valid config");
+            let edges: Vec<EdgeReplica> = (0..edge_workers)
+                .map(|_| EdgeReplica::with_cloud_prefix(tiny_net(45), tiny_cloud(46)))
+                .collect();
+            let clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|_| tiny_cloud(46)).collect();
+            let mut fleet = Fleet::new(cfg, edges, clouds).expect("consistent replicas");
+            fleet.serve(&requests).expect("serves")
+        };
+        let solo = run(None);
+        let single = run(Some((1, NetworkLink::wifi(peer_rate).with_rtt(0.0002))));
+        prop_assert_eq!(&single.records, &solo.records, "a single-member coop group changed the records");
+        prop_assert_eq!(&single.stats.final_cuts, &solo.stats.final_cuts);
+        prop_assert_eq!(&single.stats.placements, &solo.stats.placements);
+        prop_assert_eq!(single.stats.bytes_to_cloud, solo.stats.bytes_to_cloud);
+        prop_assert_eq!(single.stats.offloaded, solo.stats.offloaded);
+        prop_assert_eq!(single.stats.peer_hops, 0, "a degenerate pool must never ship a peer hop");
+        prop_assert_eq!(single.stats.peer_bytes, 0);
+        let placements = single.stats.placements.as_ref().expect("planned placements");
+        prop_assert!(
+            placements.iter().all(mea_edgecloud::PlacementPlan::is_two_stage),
+            "single-member pool must stay two-stage: {:?}",
+            placements
+        );
+    }
+
     /// An unreachable SLA degrades gracefully: whatever the topology or
     /// routing policy, the governor escalates its ladder without ever
     /// panicking, every request still completes, and — once enough

@@ -1,9 +1,10 @@
 //! Transport-conformance suite: every behavioural contract of the
-//! [`Transport`] trait, asserted against BOTH implementations — the
-//! deterministic modelled conduit and the real in-process byte pipe.
-//! Each test body is generic over `T: Transport`; the `#[test]` wrappers
-//! instantiate it twice, so the two wires can never drift apart on
-//! framing, ordering, backpressure, or shutdown semantics.
+//! [`Transport`] trait, asserted against EVERY implementation — the
+//! deterministic modelled conduit, the real in-process byte pipe, and
+//! (on unix) the loopback kernel socket. Each test body is generic over
+//! `T: Transport`; the `#[test]` wrappers instantiate it per wire, so
+//! the implementations can never drift apart on framing, ordering,
+//! backpressure, or shutdown semantics.
 
 use bytes::Bytes;
 use mea_edgecloud::network::{
@@ -21,6 +22,11 @@ fn modelled(lanes: usize, queue_depth: usize) -> ModelledTransport {
 
 fn pipe(lanes: usize, buffer_bytes: usize) -> PipeTransport {
     PipeTransport::new(lanes, PipeConfig { buffer_bytes, ..PipeConfig::default() })
+}
+
+#[cfg(unix)]
+fn uds(lanes: usize, window_bytes: usize) -> mea_edgecloud::UdsTransport {
+    mea_edgecloud::UdsTransport::new(lanes, mea_edgecloud::UdsConfig { window_bytes })
 }
 
 fn request(req_id: u64, device: u32, seq: u64, payload: Bytes) -> RequestFrame {
@@ -90,6 +96,12 @@ fn pipe_round_trips_every_payload_codec() {
     check_round_trip(pipe(1, 64 * 1024));
 }
 
+#[cfg(unix)]
+#[test]
+fn uds_round_trips_every_payload_codec() {
+    check_round_trip(uds(1, 64 * 1024));
+}
+
 // ---------------------------------------------------------------------------
 // Multiplexing: concurrent senders interleave on one lane at frame
 // granularity — nothing lost, nothing corrupted, per-sender order kept.
@@ -145,6 +157,14 @@ fn pipe_multiplexes_concurrent_senders() {
     check_multiplexing(pipe(1, 48));
 }
 
+#[cfg(unix)]
+#[test]
+fn uds_multiplexes_concurrent_senders() {
+    // A budget smaller than one frame serialises the lane to one frame
+    // in flight, so budget waits (not luck) pace the interleaving.
+    check_multiplexing(uds(1, 48));
+}
+
 // ---------------------------------------------------------------------------
 // Backpressure: a bounded lane blocks the sender until the receiver
 // drains; nothing is dropped.
@@ -193,6 +213,15 @@ fn pipe_backpressure_blocks_the_sender() {
     check_backpressure(pipe(1, 24), 0);
 }
 
+#[cfg(unix)]
+#[test]
+fn uds_backpressure_blocks_the_sender() {
+    // A 1-byte budget admits the first frame (idle-direction rule), then
+    // stalls the second until the receiver decodes — deterministically
+    // one frame in flight.
+    check_backpressure(uds(1, 1), 1);
+}
+
 // ---------------------------------------------------------------------------
 // Shutdown: close lets receivers drain in-flight frames before seeing
 // Closed; sends after close (or after the receiver is gone) fail fast.
@@ -234,6 +263,12 @@ fn pipe_shutdown_drains_then_closes() {
     check_shutdown(pipe(1, 64 * 1024));
 }
 
+#[cfg(unix)]
+#[test]
+fn uds_shutdown_drains_then_closes() {
+    check_shutdown(uds(1, 64 * 1024));
+}
+
 // ---------------------------------------------------------------------------
 // Receiver drop: a consumer that dies (e.g. a panicking cloud worker)
 // closes its lane, so senders fail instead of blocking forever.
@@ -261,4 +296,10 @@ fn modelled_receiver_drop_closes_only_its_lane() {
 #[test]
 fn pipe_receiver_drop_closes_only_its_lane() {
     check_receiver_drop(pipe(2, 64 * 1024));
+}
+
+#[cfg(unix)]
+#[test]
+fn uds_receiver_drop_closes_only_its_lane() {
+    check_receiver_drop(uds(2, 64 * 1024));
 }

@@ -58,6 +58,7 @@ fn main() {
         macs_cloud: pipe.cloud.as_ref().map(|c| c.total_macs()).unwrap_or(0),
         payload_bytes: 3 * 8 * 8,
         arrival_interval_s: 0.005,
+        coop: None,
     };
     let report = simulate(&sim_cfg, &routes);
     println!(

@@ -2,19 +2,23 @@
 //! serve bursty multi-device traffic through it — N edge workers, a
 //! dynamically batching cloud tier behind a modelled WiFi uplink, and a
 //! runtime threshold controller steering the offload fraction — and
-//! print the end-to-end latency histogram.
+//! print the end-to-end latency histogram. Ends with cooperative edge
+//! splitting: a pooled 3-member group whose planned multi-stage
+//! `PlacementPlan` ships a fraction of the solo plan's WAN bytes over
+//! the same trace with bitwise-identical records.
 //!
 //! ```bash
 //! cargo run --release --example serving
 //! ```
 
 use mea_edgecloud::device::DeviceProfile;
+use mea_edgecloud::fleet::{ComputeTier, DeviceClass, FleetSpec};
 use mea_edgecloud::network::{NetworkLink, PaceChange, PipeConfig, TransportKind};
-use mea_edgecloud::partition::Objective;
+use mea_edgecloud::partition::{CutPlanner, Objective, PartitionEnv, StageExecutor};
 use mea_edgecloud::serve::{
     trace_requests, try_serve, ControlPlan, ControllerConfig, CutPlannerConfig, CutSelection, EdgeReplica,
     FeatureConfig, FeatureWire, Fleet, LinkChange, LinkFeedback, PayloadPlan, ServeConfig, ServeRequest,
-    WireFormat,
+    WireFormat, RESPONSE_WIRE_BYTES,
 };
 use mea_edgecloud::traces::ArrivalModel;
 use mea_nn::models::SegmentedCnn;
@@ -235,5 +239,91 @@ fn main() {
         r.stats.final_cuts.unwrap_or_default(),
         est.map_or("-".into(), |e| format!("{:.2} Mbps", e.up_mbps)),
         est.map_or(0, |e| e.samples),
+    );
+
+    // Cooperative edge splitting: the same trace through a Low-tier
+    // fleet twice — solo (the planner can only pick a two-stage
+    // edge -> cloud placement) and pooled into a 3-member cooperative
+    // group behind a fast local wire, where pooled peer throughput lets
+    // the planner insert a Peer stage and push the final upload deeper.
+    // The WAN rate is searched so the pooled plan provably takes the
+    // peer hop AND shrinks the upload; records stay bitwise identical
+    // (the peer hop is always lossless f32).
+    let solo_class = DeviceClass::new("low", DeviceProfile::new("edge", 10.0, 5e8), ComputeTier::Low);
+    let coop_class = solo_class.clone().coop_group(3, NetworkLink::wifi(400.0).with_rtt(0.0005));
+    let pool = FleetSpec::uniform(coop_class.clone()).peer_pools().remove(0);
+    let low = solo_class.effective_profile();
+    let cloud_probe = build_cloud(600);
+    let in_elems: u64 = cloud_probe.in_shape.iter().map(|&d| d as u64).product();
+    let planner_at = |rate: f64| {
+        let env = PartitionEnv {
+            edge: low.clone(),
+            cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+            link: NetworkLink::wifi(rate).with_rtt(0.001),
+            bytes_per_elem: 4,
+            raw_input_bytes: 4 * in_elems,
+            response_bytes: RESPONSE_WIRE_BYTES,
+        };
+        CutPlanner::from_network(&cloud_probe, env, Objective::Latency, 6)
+    };
+    let wan = (0..60)
+        .map(|i| 0.05 * 1.3f64.powi(i))
+        .find(|&r| {
+            let planner = planner_at(r);
+            let pooled = planner.plan_placement_for_measured(&low, None, pool.as_ref());
+            pooled.plan.peer_stage().is_some()
+                && pooled.upload_bytes < planner.plan_placement_for_measured(&low, None, None).upload_bytes
+        })
+        .expect("some WAN rate rewards the cooperative split");
+    println!("\ncooperative edge splitting over a {wan:.2} Mbps WAN (Low tier, all-offload):");
+    let mut coop_records = Vec::new();
+    for (label, class) in [("solo", solo_class), ("coop x3", coop_class)] {
+        let edges = build_edges(true);
+        let clouds: Vec<SegmentedCnn> = (0..cloud_workers).map(|i| build_cloud(600 + i as u64)).collect();
+        let cfg5 = ServeConfig::builder(OffloadPolicy::Always)
+            .edge_workers(edge_workers)
+            .cloud_workers(cloud_workers)
+            .max_batch(8)
+            .queue_depth(8)
+            .link(NetworkLink::wifi(wan).with_rtt(0.001))
+            .payload(PayloadPlan::Features(FeatureConfig {
+                wire: FeatureWire::F32,
+                cut: CutSelection::Planned(CutPlannerConfig {
+                    classes: Vec::new(),
+                    cloud: DeviceProfile::new("cloud", 200.0, 1e12),
+                    objective: Objective::Latency,
+                    feedback: None,
+                }),
+            }))
+            .fleet(FleetSpec::uniform(class))
+            .build()
+            .expect("valid serving configuration");
+        let mut fleet = Fleet::new(cfg5, edges, clouds).expect("replicas match the configuration");
+        let r = fleet.serve(&requests).expect("the fleet serves the trace");
+        let plan = &r.stats.placements.as_ref().expect("planned mode reports placements")[0];
+        let shape: Vec<String> = plan
+            .stages()
+            .iter()
+            .map(|s| {
+                let who = match s.executor {
+                    StageExecutor::Local => "Local".to_string(),
+                    StageExecutor::Peer(c) => format!("Peer({c})"),
+                    StageExecutor::Cloud => "Cloud".to_string(),
+                };
+                format!("{who}[{}..{})", s.layer_range.0, s.layer_range.1)
+            })
+            .collect();
+        println!(
+            "{label:<9} {:<46} {:>8} B to cloud, {:>6} B over the peer wire ({} hops)",
+            shape.join(" -> "),
+            r.stats.bytes_to_cloud,
+            r.stats.peer_bytes,
+            r.stats.peer_hops,
+        );
+        coop_records.push(r.records);
+    }
+    println!(
+        "records bitwise identical across placements: {} (the peer hop is lossless f32)",
+        coop_records[0] == coop_records[1]
     );
 }

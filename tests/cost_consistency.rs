@@ -70,6 +70,7 @@ fn simulator_energy_matches_record_accounting() {
         macs_cloud: 50_000_000,
         payload_bytes: 2048,
         arrival_interval_s: 0.01,
+        coop: None,
     };
     let report = simulate(&cfg, &routes);
     let fine = energy_from_records(&records, &device, &link, 2_000_000, 1_000_000, 2048);
@@ -108,6 +109,7 @@ fn latency_beats_cloud_only_when_most_exit_early() {
         macs_cloud: 100_000_000,
         payload_bytes: 3072,
         arrival_interval_s: 0.01,
+        coop: None,
     };
     let mixed: Vec<ExitPoint> =
         (0..40).map(|i| if i % 4 == 0 { ExitPoint::Cloud } else { ExitPoint::Main }).collect();
